@@ -1,0 +1,55 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Workloads (database scoring + calibration per model size) are expensive,
+so they are computed once per session and shared; each benchmark then
+derives its figure from the cached workloads, asserts the paper's shape,
+and writes its table to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.hmm.sampler import PAPER_MODEL_SIZES
+from repro.perf.workloads import experiment_workload
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Calibration sample sizes used by every benchmark workload (smaller than
+#: the library defaults to keep the bench suite fast; the fitted locations
+#: are within ~0.3 bits of the full-sample fits).
+CALIBRATION = dict(calibration_filter_sample=200, calibration_forward_sample=50)
+
+
+@pytest.fixture(scope="session")
+def workloads():
+    """{(M, database): ExperimentWorkload} for the paper's full sweep."""
+    out = {}
+    for db in ("swissprot", "envnr"):
+        for M in PAPER_MODEL_SIZES:
+            out[(M, db)] = experiment_workload(M, db, **CALIBRATION)
+    return out
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_table(path: Path, title: str, header: list[str], rows: list[list]) -> None:
+    """Write one figure's data as an aligned text table."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows))
+        for i, h in enumerate(header)
+    ]
+    lines = [title, ""]
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(c).rjust(w) for c, w in zip(row, widths)))
+    path.write_text("\n".join(lines) + "\n", encoding="ascii")
+    print()
+    print("\n".join(lines))

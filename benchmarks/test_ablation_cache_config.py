@@ -1,0 +1,97 @@
+"""abl-cache: shared-memory / L1 split exploration (paper conclusion).
+
+Kepler's on-chip memory can be configured as 16/32/48 KB of shared memory
+(the remainder serving as L1).  The paper's conclusion: "Our method takes
+advantage of the hardware cache configuration of the GPU architecture.
+We explore different cache configurations for strong scalability".  For
+the shared-memory kernel configuration the split caps how many DP rows
+and parameter tables fit per SM, so it directly moves the occupancy
+cliff.
+"""
+
+import dataclasses
+
+from repro.gpu import KEPLER_K40
+from repro.hmm.sampler import PAPER_MODEL_SIZES
+from repro.kernels import MemoryConfig, Stage, stage_occupancy
+from repro.perf import gpu_stage_time
+
+from conftest import write_table
+
+SPLITS = {16: 16 * 1024, 32: 32 * 1024, 48: 48 * 1024}
+
+
+def _device(smem_bytes):
+    return dataclasses.replace(
+        KEPLER_K40,
+        name=f"K40 ({smem_bytes // 1024}KB smem)",
+        shared_mem_per_sm=smem_bytes,
+        shared_mem_per_block=smem_bytes,
+    )
+
+
+def test_cache_config_occupancy(results_dir, benchmark):
+    def sweep():
+        table = {}
+        for kb, size in SPLITS.items():
+            dev = _device(size)
+            table[kb] = [
+                stage_occupancy(Stage.MSV, M, MemoryConfig.SHARED, dev)
+                for M in PAPER_MODEL_SIZES
+            ]
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for i, M in enumerate(PAPER_MODEL_SIZES):
+        row = [M]
+        for kb in SPLITS:
+            occ = table[kb][i]
+            row.append("--" if occ is None else f"{occ.occupancy:.0%}")
+        rows.append(row)
+    write_table(
+        results_dir / "ablation_cache_config.txt",
+        "Cache-config exploration: MSV shared-config occupancy per "
+        "shared/L1 split (Tesla K40)",
+        ["M", "16KB", "32KB", "48KB"],
+        rows,
+    )
+
+    # more shared memory never hurts shared-config occupancy...
+    for i in range(len(PAPER_MODEL_SIZES)):
+        occs = [
+            0.0 if table[kb][i] is None else table[kb][i].occupancy
+            for kb in (16, 32, 48)
+        ]
+        assert occs == sorted(occs)
+    # ...and is required for mid-size models at all
+    assert table[16][PAPER_MODEL_SIZES.index(800)] is None or (
+        table[16][PAPER_MODEL_SIZES.index(800)].occupancy
+        < table[48][PAPER_MODEL_SIZES.index(800)].occupancy
+    )
+
+
+def test_cache_config_speedup_effect(workloads, results_dir):
+    """The 48 KB split is what enables the paper's peak: at 16 KB the
+    shared configuration loses to global at far smaller model sizes."""
+    rows = []
+    for M in (200, 400, 800):
+        wl = workloads[(M, "envnr")].scaled()
+        row = [M]
+        for kb, size in SPLITS.items():
+            t = gpu_stage_time(
+                Stage.MSV, wl.msv, _device(size), MemoryConfig.SHARED
+            )
+            row.append("--" if t is None else f"{wl.msv.rows / t.rows_per_second:.2f}s")
+        rows.append(row)
+    write_table(
+        results_dir / "ablation_cache_speedup.txt",
+        "Cache-config exploration: modelled MSV shared-config stage time "
+        "(Env-nr at paper scale)",
+        ["M", "16KB", "32KB", "48KB"],
+        rows,
+    )
+    wl = workloads[(800, "envnr")].scaled()
+    t16 = gpu_stage_time(Stage.MSV, wl.msv, _device(SPLITS[16]), MemoryConfig.SHARED)
+    t48 = gpu_stage_time(Stage.MSV, wl.msv, _device(SPLITS[48]), MemoryConfig.SHARED)
+    assert t16 is None or t48.seconds < t16.seconds

@@ -1,0 +1,84 @@
+"""abl-shuffle: warp-shuffle vs shared-memory reduction (Section III.A).
+
+Kepler's ``__shfl_xor`` reduces a row maximum in 5 register exchanges with
+no shared-memory traffic; the Fermi fallback runs a tree through shared
+memory.  We measure the event difference on the functional kernels and
+price it with the cost model by toggling the device's shuffle capability.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.gpu import FERMI_GTX580, KEPLER_K40, KernelCounters
+from repro.hmm import SearchProfile
+from repro.kernels import MemoryConfig, Stage, msv_warp_kernel
+from repro.perf import gpu_stage_time
+from repro.perf.workloads import paper_database, paper_hmm
+from repro.scoring import MSVByteProfile
+
+from conftest import write_table
+
+
+def test_ablation_reduction_events(results_dir, benchmark):
+    hmm = paper_hmm(100)
+    db = paper_database("envnr", hmm, 60)
+    prof = MSVByteProfile.from_profile(SearchProfile(hmm, L=int(db.mean_length)))
+    ck, cf = KernelCounters(), KernelCounters()
+
+    def run_both():
+        a = msv_warp_kernel(prof, db, device=KEPLER_K40, counters=ck)
+        b = msv_warp_kernel(prof, db, device=FERMI_GTX580, counters=cf)
+        return a, b
+
+    a, b = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert np.array_equal(a.scores, b.scores)
+
+    write_table(
+        results_dir / "ablation_reduction.txt",
+        "Ablation: per-row reduction events (MSV, model size 100)",
+        ["path", "shuffles/row", "smem loads/row", "smem stores/row"],
+        [
+            [
+                "Kepler shuffle",
+                f"{ck.shuffles / ck.rows:.1f}",
+                f"{ck.shared_loads / ck.rows:.1f}",
+                f"{ck.shared_stores / ck.rows:.1f}",
+            ],
+            [
+                "Fermi smem tree",
+                f"{cf.shuffles / cf.rows:.1f}",
+                f"{cf.shared_loads / cf.rows:.1f}",
+                f"{cf.shared_stores / cf.rows:.1f}",
+            ],
+        ],
+    )
+    assert ck.shuffles == 5 * ck.rows
+    assert cf.shuffles == 0
+    assert cf.shared_loads > ck.shared_loads
+    assert cf.shared_stores > ck.shared_stores
+
+
+def test_ablation_reduction_cost(workloads, results_dir):
+    """Modelled benefit of warp shuffle: a hypothetical Fermi with
+    shuffle support vs the real one."""
+    fermi_with_shuffle = dataclasses.replace(
+        FERMI_GTX580, name="GTX 580 + shuffle", has_warp_shuffle=True
+    )
+    rows = []
+    for M in (48, 200, 800):
+        wl = workloads[(M, "envnr")].scaled()
+        real = gpu_stage_time(Stage.MSV, wl.msv, FERMI_GTX580, MemoryConfig.GLOBAL)
+        hypo = gpu_stage_time(
+            Stage.MSV, wl.msv, fermi_with_shuffle, MemoryConfig.GLOBAL
+        )
+        gain = real.seconds / hypo.seconds
+        rows.append([M, f"{real.seconds:.2f}", f"{hypo.seconds:.2f}", f"{gain:.2f}x"])
+        assert gain > 1.0
+    write_table(
+        results_dir / "ablation_reduction_cost.txt",
+        "Ablation: modelled MSV stage seconds on GTX 580, smem-tree vs "
+        "hypothetical shuffle reduction (Env-nr at paper scale)",
+        ["M", "smem tree (s)", "with shuffle (s)", "gain"],
+        rows,
+    )

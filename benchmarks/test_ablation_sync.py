@@ -1,0 +1,92 @@
+"""abl-sync: warp-synchronous vs synchronized multi-warp MSV (Fig. 4 vs 5).
+
+The paper motivates the warp-synchronous design by the cost of the two
+barriers per DP row (plus the block-scope reduction barriers) that a
+multi-warp row-sharing kernel needs.  We measure the barrier events of
+both functional kernels, then price the synchronized design through the
+cost model (each barrier costs ``sync_cost_cycles`` of latency and stalls
+the whole block).
+"""
+
+import numpy as np
+
+from repro.gpu import KEPLER_K40, KernelCounters
+from repro.hmm import SearchProfile
+from repro.kernels import (
+    MemoryConfig,
+    SYNCS_PER_ROW,
+    Stage,
+    msv_multiwarp_sync_kernel,
+    msv_warp_kernel,
+)
+from repro.perf import DEFAULT_COSTS, gpu_stage_time
+from repro.perf.workloads import paper_database, paper_hmm
+from repro.scoring import MSVByteProfile
+
+from conftest import write_table
+
+SIZES = (48, 200, 800)
+
+
+def test_ablation_synchronization(workloads, results_dir, benchmark):
+    # functional event measurement on a small database
+    hmm = paper_hmm(100)
+    db = paper_database("envnr", hmm, 60)
+    prof = MSVByteProfile.from_profile(
+        SearchProfile(hmm, L=int(db.mean_length))
+    )
+    c_warp, c_sync = KernelCounters(), KernelCounters()
+
+    def run_both():
+        a = msv_warp_kernel(prof, db, counters=c_warp)
+        b = msv_multiwarp_sync_kernel(prof, db, counters=c_sync)
+        return a, b
+
+    a, b = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    assert np.array_equal(a.scores, b.scores)  # ablation changes time only
+    assert c_warp.syncthreads == 0
+    assert c_sync.syncthreads >= 2 * c_sync.rows
+
+    # modelled cost of the barriers across model sizes
+    rows = []
+    for M in SIZES:
+        wl = workloads[(M, "envnr")].scaled()
+        base = gpu_stage_time(
+            Stage.MSV, wl.msv, KEPLER_K40, MemoryConfig.SHARED
+        )
+        synced = gpu_stage_time(
+            Stage.MSV,
+            wl.msv,
+            KEPLER_K40,
+            MemoryConfig.SHARED,
+            extra_row_issue=SYNCS_PER_ROW * 4.0,
+            extra_row_latency=SYNCS_PER_ROW * DEFAULT_COSTS.sync_cost_cycles,
+        )
+        slowdown = synced.seconds / base.seconds
+        rows.append([M, f"{base.seconds:.2f}", f"{synced.seconds:.2f}",
+                     f"{slowdown:.2f}x"])
+        assert slowdown > 1.1, f"barriers must cost real time at M={M}"
+    write_table(
+        results_dir / "ablation_sync.txt",
+        "Ablation: warp-synchronous vs synchronized multi-warp MSV "
+        "(modelled stage seconds, Env-nr at paper scale, K40 shared)",
+        ["M", "warp-sync (s)", "synchronized (s)", "slowdown"],
+        rows,
+    )
+
+
+def test_sync_cost_hurts_small_models_most(workloads):
+    """Barrier cost is per row, so short-strip (small-M) rows suffer the
+    largest relative penalty - the reason generic parallelizations lose
+    exactly where most Pfam models live."""
+    def slowdown(M):
+        wl = workloads[(M, "envnr")].scaled()
+        base = gpu_stage_time(Stage.MSV, wl.msv, KEPLER_K40, MemoryConfig.SHARED)
+        synced = gpu_stage_time(
+            Stage.MSV, wl.msv, KEPLER_K40, MemoryConfig.SHARED,
+            extra_row_issue=SYNCS_PER_ROW * 4.0,
+            extra_row_latency=SYNCS_PER_ROW * DEFAULT_COSTS.sync_cost_cycles,
+        )
+        return synced.seconds / base.seconds
+
+    assert slowdown(48) > slowdown(800)

@@ -1,0 +1,66 @@
+"""fig10: combined MSV+P7Viterbi speedup on a single K40 (Figure 10).
+
+Paper: maximum overall speedups of 3.0x (Swissprot) and 3.8x (Env-nr);
+Env-nr exceeds Swissprot at every size because its lower homology keeps
+the MSV:Viterbi execution-time ratio high (Section V).
+"""
+
+from repro.hmm.sampler import PAPER_MODEL_SIZES
+from repro.perf import overall_speedup
+
+from conftest import write_table
+
+PAPER_MAX = {"swissprot": 3.0, "envnr": 3.8}
+
+
+def test_fig10_overall(workloads, results_dir, benchmark):
+    def sweep():
+        return {
+            db: {
+                M: overall_speedup(workloads[(M, db)])
+                for M in PAPER_MODEL_SIZES
+            }
+            for db in ("swissprot", "envnr")
+        }
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [
+            M,
+            f"{table['swissprot'][M].speedup:.2f}",
+            f"{table['envnr'][M].speedup:.2f}",
+        ]
+        for M in PAPER_MODEL_SIZES
+    ]
+    write_table(
+        results_dir / "fig10_overall.txt",
+        "Figure 10: overall MSV+P7Viterbi speedup, single Tesla K40 "
+        f"(paper maxima: swissprot {PAPER_MAX['swissprot']}x, "
+        f"envnr {PAPER_MAX['envnr']}x)",
+        ["M", "swissprot", "envnr"],
+        rows,
+    )
+
+    for db, paper_max in PAPER_MAX.items():
+        points = table[db]
+        measured_max = max(p.speedup for p in points.values())
+        # within ~15% of the paper's reported maximum
+        assert abs(measured_max - paper_max) / paper_max < 0.15, (
+            db,
+            measured_max,
+        )
+        # rises from small models to a mid-size peak, then declines
+        peak_M = max(points, key=lambda m: points[m].speedup)
+        assert peak_M in (400, 800, 1002)
+        assert points[48].speedup < measured_max
+        assert points[2405].speedup < measured_max
+
+    # the database effect of Section V: Env-nr wins at every model size
+    for M in PAPER_MODEL_SIZES:
+        assert (
+            table["envnr"][M].speedup > table["swissprot"][M].speedup * 0.95
+        )
+    assert max(p.speedup for p in table["envnr"].values()) > max(
+        p.speedup for p in table["swissprot"].values()
+    )

@@ -1,0 +1,78 @@
+"""fig11: overall speedup on four Fermi GTX 580s (Figure 11).
+
+Paper: up to 5.6x (Swissprot) and 7.8x (Env-nr) on 4x GTX 580; the
+database partitioning has no inter-device dependencies, so scaling with
+device count is near-linear.  Fermi lacks warp shuffle (reductions go
+through shared memory) and has half of Kepler's registers, both of which
+the device model charges.
+"""
+
+from repro.gpu import FERMI_GTX580
+from repro.hmm.sampler import PAPER_MODEL_SIZES
+from repro.perf import multi_gpu_speedup
+
+from conftest import write_table
+
+PAPER_MAX = {"swissprot": 5.6, "envnr": 7.8}
+
+
+def test_fig11_multi_gpu(workloads, results_dir, benchmark):
+    def sweep():
+        return {
+            db: {
+                M: multi_gpu_speedup(
+                    workloads[(M, db)], device=FERMI_GTX580, device_count=4
+                )
+                for M in PAPER_MODEL_SIZES
+            }
+            for db in ("swissprot", "envnr")
+        }
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = [
+        [
+            M,
+            f"{table['swissprot'][M].speedup:.2f}",
+            f"{table['envnr'][M].speedup:.2f}",
+        ]
+        for M in PAPER_MODEL_SIZES
+    ]
+    write_table(
+        results_dir / "fig11_multigpu.txt",
+        "Figure 11: overall speedup, 4x GTX 580 (paper maxima: "
+        f"swissprot {PAPER_MAX['swissprot']}x, envnr {PAPER_MAX['envnr']}x)",
+        ["M", "swissprot", "envnr"],
+        rows,
+    )
+
+    for db, paper_max in PAPER_MAX.items():
+        measured_max = max(p.speedup for p in table[db].values())
+        assert abs(measured_max - paper_max) / paper_max < 0.20, (
+            db,
+            measured_max,
+        )
+    # database effect carries over to Fermi
+    assert max(p.speedup for p in table["envnr"].values()) > max(
+        p.speedup for p in table["swissprot"].values()
+    )
+
+
+def test_fig11_scaling_is_near_linear(workloads, results_dir):
+    wl = workloads[(400, "envnr")]
+    points = {
+        n: multi_gpu_speedup(wl, device=FERMI_GTX580, device_count=n)
+        for n in (1, 2, 3, 4)
+    }
+    write_table(
+        results_dir / "fig11_scaling.txt",
+        "Figure 11 (scaling): Env-nr, model size 400, 1-4 GTX 580s",
+        ["devices", "speedup", "efficiency"],
+        [
+            [n, f"{p.speedup:.2f}", f"{p.speedup / (n * points[1].speedup):.2f}"]
+            for n, p in points.items()
+        ],
+    )
+    for n in (2, 3, 4):
+        efficiency = points[n].speedup / (n * points[1].speedup)
+        assert efficiency > 0.90  # paper: "almost linear"

@@ -1,0 +1,73 @@
+"""fig1: the hmmsearch task pipeline profile (paper Figure 1 + Section II).
+
+Paper, for a model of size 400 against Env-nr: 2.2% of sequences pass the
+MSV filter, 0.1% reach the Forward stage; execution time splits 80.6%
+(MSV), 14.5% (P7Viterbi), 4.9% (Forward-Backward).
+
+We reproduce both series from the measured survivor fractions of the
+functional pipeline and the CPU cost model.
+"""
+
+import pytest
+
+from repro.kernels import Stage
+from repro.perf import cpu_forward_time, cpu_stage_time
+
+from conftest import write_table
+
+PAPER_PASS_MSV = 0.022
+PAPER_PASS_FWD = 0.001
+PAPER_TIME_SPLIT = (0.806, 0.145, 0.049)
+
+
+@pytest.fixture(scope="module")
+def fig1(workloads):
+    return workloads[(400, "envnr")]
+
+
+def test_fig1_survivor_fractions(fig1, results_dir):
+    wl = fig1
+    msv_pass = wl.results.stage("msv").survivor_fraction
+    fwd_reach = wl.results.stage("forward").n_in / wl.n_seqs
+    write_table(
+        results_dir / "fig1_survivors.txt",
+        "Figure 1: pipeline survivor fractions (model size 400, Env-nr-like)",
+        ["stage", "paper", "measured"],
+        [
+            ["after MSV", f"{PAPER_PASS_MSV:.3f}", f"{msv_pass:.3f}"],
+            ["reach Forward", f"{PAPER_PASS_FWD:.4f}", f"{fwd_reach:.4f}"],
+        ],
+    )
+    # the MSV threshold (P < 0.02) admits ~2% of random sequences plus the
+    # planted homologs; band-check rather than point-check
+    assert 0.005 <= msv_pass <= 0.08
+    assert fwd_reach <= 0.02
+    assert fwd_reach < msv_pass
+
+
+def test_fig1_execution_time_split(fig1, results_dir, benchmark):
+    wl = fig1
+
+    def split():
+        t_msv = cpu_stage_time(Stage.MSV, wl.msv)
+        t_vit = cpu_stage_time(Stage.P7VITERBI, wl.vit)
+        t_fwd = cpu_forward_time(wl.fwd)
+        total = t_msv + t_vit + t_fwd
+        return (t_msv / total, t_vit / total, t_fwd / total)
+
+    measured = benchmark(split)
+    write_table(
+        results_dir / "fig1_time_split.txt",
+        "Figure 1: CPU execution-time split (model size 400, Env-nr-like)",
+        ["stage", "paper", "measured"],
+        [
+            ["MSV", f"{PAPER_TIME_SPLIT[0]:.1%}", f"{measured[0]:.1%}"],
+            ["P7Viterbi", f"{PAPER_TIME_SPLIT[1]:.1%}", f"{measured[1]:.1%}"],
+            ["Forward", f"{PAPER_TIME_SPLIT[2]:.1%}", f"{measured[2]:.1%}"],
+        ],
+    )
+    # shape: MSV dominates, Viterbi second, Forward smallest
+    assert measured[0] > 0.65
+    assert measured[0] > measured[1] > measured[2] * 0.5
+    assert 0.02 < measured[1] < 0.30
+    assert measured[2] < 0.15

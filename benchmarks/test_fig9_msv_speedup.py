@@ -1,0 +1,91 @@
+"""fig9-msv: MSV stage speedup and occupancy vs model size (Figure 9, top).
+
+Paper (Tesla K40 vs quad-core i5 SSE): shared-memory configuration wins
+for models below ~1002 with 100% occupancy up to size 400 and a peak
+speedup of 5.0x (Swissprot) / 5.4x (Env-nr) around size 800; the global
+configuration wins beyond ~1002 where the shared table no longer allows
+useful occupancy.
+"""
+
+import pytest
+
+from repro.hmm.sampler import PAPER_MODEL_SIZES
+from repro.kernels import MemoryConfig, Stage
+from repro.perf import optimal_stage_speedup, stage_speedup
+
+from conftest import write_table
+
+
+def _row(point):
+    return (
+        "--"
+        if point.speedup is None
+        else f"{point.speedup:.2f}",
+        "--" if point.occupancy is None else f"{point.occupancy:.0%}",
+    )
+
+
+@pytest.mark.parametrize("database", ["swissprot", "envnr"])
+def test_fig9_msv(database, workloads, results_dir, benchmark):
+    def sweep():
+        table = {}
+        for M in PAPER_MODEL_SIZES:
+            wl = workloads[(M, database)]
+            table[M] = {
+                cfg: stage_speedup(wl, Stage.MSV, cfg) for cfg in MemoryConfig
+            }
+            table[M]["optimal"] = optimal_stage_speedup(wl, Stage.MSV)
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for M in PAPER_MODEL_SIZES:
+        s_sp, s_oc = _row(table[M][MemoryConfig.SHARED])
+        g_sp, g_oc = _row(table[M][MemoryConfig.GLOBAL])
+        o_sp, _ = _row(table[M]["optimal"])
+        rows.append([M, s_sp, s_oc, g_sp, g_oc, o_sp])
+    write_table(
+        results_dir / f"fig9_msv_{database}.txt",
+        f"Figure 9 (MSV, {database}): speedup and occupancy vs model size",
+        ["M", "shared", "occ", "global", "occ", "optimal"],
+        rows,
+    )
+
+    shared = {M: table[M][MemoryConfig.SHARED] for M in PAPER_MODEL_SIZES}
+    optimal = {M: table[M]["optimal"] for M in PAPER_MODEL_SIZES}
+
+    # --- paper shape assertions ---
+    # 100% occupancy for models of size <= 400 in the shared configuration
+    for M in (48, 100, 200, 400):
+        assert shared[M].occupancy == 1.0
+    # occupancy drastically decreases for larger shared models
+    assert shared[2405].occupancy < 0.10
+
+    # peak speedup in the paper's band, located at mid sizes (800)
+    peak_M = max(optimal, key=lambda m: optimal[m].speedup)
+    assert peak_M in (400, 800, 1002)
+    peak = optimal[peak_M].speedup
+    if database == "envnr":
+        assert 4.8 <= peak <= 5.8  # paper: up to 5.4x
+    else:
+        assert 4.4 <= peak <= 5.5  # paper: peak 5.0x
+
+    # Env-nr enjoys >= Swissprot speedup at the peak (Section V)
+    # (checked across databases in fig10; here check growth to the peak)
+    assert optimal[48].speedup < optimal[400].speedup <= peak + 1e-9
+
+    # the shared/global crossover sits near model size ~1002
+    for M in (48, 100, 200, 400, 800):
+        s = table[M][MemoryConfig.SHARED].speedup
+        g = table[M][MemoryConfig.GLOBAL].speedup
+        assert s > g, f"shared must win at M={M}"
+    for M in (1528, 2405):
+        s = table[M][MemoryConfig.SHARED].speedup
+        g = table[M][MemoryConfig.GLOBAL].speedup
+        assert g > s, f"global must win at M={M}"
+
+    # speedup correlates with occupancy (the paper's thumb rule): the
+    # shared config's speedup ordering follows its occupancy ordering for
+    # large models
+    assert shared[800].speedup > shared[1528].speedup > shared[2405].speedup

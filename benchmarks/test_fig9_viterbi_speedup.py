@@ -1,0 +1,82 @@
+"""fig9-vit: P7Viterbi stage speedup and occupancy (Figure 9, bottom).
+
+Paper: peak device occupancy is limited to 50% by register pressure,
+speedup reaches up to 2.9x, and occupancy decreases rapidly for models of
+size greater than 200; the shared configuration becomes infeasible for
+the largest models, where only the global configuration runs at all.
+"""
+
+import pytest
+
+from repro.hmm.sampler import PAPER_MODEL_SIZES
+from repro.kernels import MemoryConfig, Stage
+from repro.perf import optimal_stage_speedup, stage_speedup
+
+from conftest import write_table
+
+
+@pytest.mark.parametrize("database", ["swissprot", "envnr"])
+def test_fig9_viterbi(database, workloads, results_dir, benchmark):
+    def sweep():
+        table = {}
+        for M in PAPER_MODEL_SIZES:
+            wl = workloads[(M, database)]
+            table[M] = {
+                cfg: stage_speedup(wl, Stage.P7VITERBI, cfg)
+                for cfg in MemoryConfig
+            }
+            table[M]["optimal"] = optimal_stage_speedup(wl, Stage.P7VITERBI)
+        return table
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for M in PAPER_MODEL_SIZES:
+        s = table[M][MemoryConfig.SHARED]
+        g = table[M][MemoryConfig.GLOBAL]
+        o = table[M]["optimal"]
+        rows.append(
+            [
+                M,
+                "--" if s.speedup is None else f"{s.speedup:.2f}",
+                "--" if s.occupancy is None else f"{s.occupancy:.0%}",
+                f"{g.speedup:.2f}",
+                f"{g.occupancy:.0%}",
+                f"{o.speedup:.2f}",
+            ]
+        )
+    write_table(
+        results_dir / f"fig9_viterbi_{database}.txt",
+        f"Figure 9 (P7Viterbi, {database}): speedup and occupancy vs model size",
+        ["M", "shared", "occ", "global", "occ", "optimal"],
+        rows,
+    )
+
+    shared = {M: table[M][MemoryConfig.SHARED] for M in PAPER_MODEL_SIZES}
+    optimal = {M: table[M]["optimal"] for M in PAPER_MODEL_SIZES}
+
+    # peak occupancy 50%, register-limited
+    assert max(p.occupancy for p in shared.values() if p.occupancy) == 0.5
+    for M in (48, 100, 200):
+        assert shared[M].occupancy == 0.5
+
+    # occupancy decreases rapidly beyond size 200
+    assert shared[400].occupancy < 0.25
+
+    # shared infeasible for the largest models; global still runs
+    assert shared[1528].speedup is None and shared[2405].speedup is None
+    assert table[2405][MemoryConfig.GLOBAL].speedup is not None
+
+    # peak speedup in the paper's band ("up to 2.9x")
+    peak = max(p.speedup for p in optimal.values())
+    assert 2.5 <= peak <= 3.1
+
+    # the P7Viterbi stage never approaches the MSV stage's peak
+    msv_peak = max(
+        optimal_stage_speedup(workloads[(M, database)], Stage.MSV).speedup
+        for M in PAPER_MODEL_SIZES
+    )
+    assert peak < msv_peak
+
+    # declines for large models
+    assert optimal[2405].speedup < optimal[400].speedup

@@ -1,0 +1,53 @@
+"""Heterogeneous CPU+GPU schedule (paper conclusion, future work).
+
+Splits each stage's workload between the host CPU and the GPU so both
+finish together, quantifying what the otherwise-idle CPU is worth on top
+of the GPU-only speedups of Figures 9/10.
+"""
+
+from repro.gpu import KEPLER_K40
+from repro.kernels import Stage
+from repro.perf import hybrid_stage_split
+
+from conftest import write_table
+
+
+def test_hybrid_schedule(workloads, results_dir, benchmark):
+    def sweep():
+        out = {}
+        for M in (48, 200, 400, 800):
+            wl = workloads[(M, "envnr")].scaled()
+            out[M] = {
+                stage: hybrid_stage_split(stage, work, KEPLER_K40)
+                for stage, work in ((Stage.MSV, wl.msv), (Stage.P7VITERBI, wl.vit))
+            }
+        return out
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for M, stages in table.items():
+        for stage, split in stages.items():
+            rows.append(
+                [
+                    M,
+                    stage.value,
+                    f"{split.gpu_share:.0%}",
+                    f"{split.cpu_only_seconds / split.gpu_only_seconds:.2f}",
+                    f"{split.speedup_vs_cpu:.2f}",
+                    f"{split.gain_over_gpu_only:.2f}x",
+                ]
+            )
+    write_table(
+        results_dir / "heterogeneous.txt",
+        "Heterogeneous CPU+GPU split (K40 + quad-core i5, Env-nr at paper "
+        "scale)",
+        ["M", "stage", "gpu share", "gpu-only speedup", "hybrid speedup",
+         "cpu gain"],
+        rows,
+    )
+    for stages in table.values():
+        for split in stages.values():
+            assert split.gain_over_gpu_only > 1.05
+            assert split.speedup_vs_cpu > split.cpu_only_seconds / (
+                split.gpu_only_seconds + split.cpu_only_seconds
+            )

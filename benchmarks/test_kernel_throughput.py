@@ -1,0 +1,59 @@
+"""Wall-clock throughput of the simulated engines themselves.
+
+These are genuine pytest-benchmark measurements of this Python library
+(not the modelled hardware): residues/second of each scoring engine on a
+fixed workload.  Useful for tracking regressions in the vectorized
+implementations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cpu import (
+    generic_forward_score,
+    msv_score_batch,
+    viterbi_score_batch,
+)
+from repro.hmm import SearchProfile
+from repro.kernels import msv_warp_kernel, viterbi_warp_kernel
+from repro.perf.workloads import paper_database, paper_hmm
+from repro.scoring import MSVByteProfile, ViterbiWordProfile
+
+
+@pytest.fixture(scope="module")
+def setup():
+    hmm = paper_hmm(100)
+    db = paper_database("envnr", hmm, 80)
+    profile = SearchProfile(hmm, L=int(db.mean_length))
+    return {
+        "db": db,
+        "profile": profile,
+        "byte": MSVByteProfile.from_profile(profile),
+        "word": ViterbiWordProfile.from_profile(profile),
+    }
+
+
+def test_bench_msv_reference_batch(setup, benchmark):
+    result = benchmark(msv_score_batch, setup["byte"], setup["db"])
+    assert len(result) == len(setup["db"])
+
+
+def test_bench_msv_warp_kernel(setup, benchmark):
+    result = benchmark(msv_warp_kernel, setup["byte"], setup["db"])
+    assert len(result) == len(setup["db"])
+
+
+def test_bench_viterbi_reference_batch(setup, benchmark):
+    result = benchmark(viterbi_score_batch, setup["word"], setup["db"])
+    assert len(result) == len(setup["db"])
+
+
+def test_bench_viterbi_warp_kernel(setup, benchmark):
+    result = benchmark(viterbi_warp_kernel, setup["word"], setup["db"])
+    assert len(result) == len(setup["db"])
+
+
+def test_bench_forward_single(setup, benchmark):
+    codes = setup["db"][0].codes
+    score = benchmark(generic_forward_score, setup["profile"], codes)
+    assert np.isfinite(score)

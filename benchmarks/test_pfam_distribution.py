@@ -1,0 +1,57 @@
+"""tab-pfam: the Pfam model-size distribution (paper Section IV text).
+
+Paper: Pfam 27.0 (pfamA + pfamB) has 84.5% of models of size 400 or
+less, 14.4% between 401 and 1000, and 1.1% above 1000 - the argument for
+defaulting to the shared-memory configuration ("about 98.9% of Pfam ...
+have size less than 1002, [so] the presented technique will offer greater
+benefits to [the] vast majority of common use cases").
+"""
+
+import numpy as np
+
+from repro.gpu import KEPLER_K40
+from repro.hmm import pfam_band_fractions, sample_pfam_size
+from repro.kernels import MemoryConfig, Stage, stage_occupancy
+
+from conftest import write_table
+
+PAPER_BANDS = {"<=400": 0.845, "401-1000": 0.144, ">1000": 0.011}
+
+
+def test_pfam_band_fractions(results_dir, benchmark):
+    rng = np.random.default_rng(2015)
+
+    def draw():
+        return np.array([sample_pfam_size(rng) for _ in range(30000)])
+
+    sizes = benchmark.pedantic(draw, rounds=1, iterations=1)
+    bands = pfam_band_fractions(sizes)
+    write_table(
+        results_dir / "pfam_bands.txt",
+        "Pfam 27.0 model-size bands (paper Section IV)",
+        ["band", "paper", "sampled"],
+        [[k, f"{PAPER_BANDS[k]:.3f}", f"{bands[k]:.3f}"] for k in PAPER_BANDS],
+    )
+    for k, expected in PAPER_BANDS.items():
+        assert abs(bands[k] - expected) < 0.02
+
+
+def test_shared_config_serves_pfam_majority(results_dir):
+    """~99% of Pfam-sized models run the MSV shared config at >= 50%
+    occupancy on the K40 - the 'common use case' claim."""
+    rng = np.random.default_rng(7)
+    sizes = [sample_pfam_size(rng) for _ in range(3000)]
+    good = 0
+    for M in sizes:
+        occ = stage_occupancy(Stage.MSV, M, MemoryConfig.SHARED, KEPLER_K40)
+        if occ is not None and occ.occupancy >= 0.5:
+            good += 1
+    fraction = good / len(sizes)
+    write_table(
+        results_dir / "pfam_shared_coverage.txt",
+        "Fraction of Pfam-sized models served by the shared config at >=50% "
+        "MSV occupancy (Tesla K40)",
+        ["metric", "value"],
+        [["coverage", f"{fraction:.3f}"]],
+    )
+    assert fraction > 0.95

@@ -1,0 +1,53 @@
+"""Section V: the kernels are memory-bandwidth bound (roofline check)."""
+
+from repro.gpu import FERMI_GTX580, KEPLER_K40
+from repro.perf.roofline import kernel_intensity, ridge_point, roofline_summary
+from repro.kernels import MemoryConfig, Stage
+
+from conftest import write_table
+
+
+def test_roofline_places_both_kernels_memory_bound(results_dir, benchmark):
+    summary = benchmark.pedantic(roofline_summary, rounds=1, iterations=1)
+    rows = [
+        [
+            e["stage"],
+            e["config"],
+            f"{e['ops_per_cell']:.0f}",
+            f"{e['bytes_per_cell']:.0f}",
+            f"{e['intensity']:.2f}",
+            f"{e['ridge']:.1f}",
+            "yes" if e["memory_bound"] else "no",
+        ]
+        for e in summary
+    ]
+    write_table(
+        results_dir / "roofline.txt",
+        "Roofline placement on the Tesla K40 (paper Section V: 'memory-"
+        "bandwidth bound ... low arithmetic intensity')",
+        ["stage", "config", "ops/cell", "bytes/cell", "ops/byte",
+         "ridge", "memory-bound"],
+        rows,
+    )
+    # the paper's Section V claim, as arithmetic: every configuration of
+    # both kernels sits clearly left of the ridge point
+    for entry in summary:
+        assert entry["memory_bound"]
+        assert entry["intensity"] < entry["ridge"] / 2
+
+
+def test_claim_robust_to_alu_estimate():
+    """The conclusion survives an order of magnitude of uncertainty in
+    the per-SM integer throughput estimate."""
+    for ops_per_cycle in (16.0, 64.0, 256.0):
+        ridge = ridge_point(KEPLER_K40, ops_per_cycle)
+        for stage in Stage:
+            k = kernel_intensity(stage, MemoryConfig.SHARED)
+            if ops_per_cycle >= 64.0:
+                assert k.intensity < ridge
+
+
+def test_fermi_also_memory_bound():
+    ridge = ridge_point(FERMI_GTX580, ops_per_cycle_per_sm=32.0)
+    for stage in Stage:
+        assert kernel_intensity(stage, MemoryConfig.SHARED).intensity < ridge

@@ -1,0 +1,64 @@
+"""Domain annotation via posterior decoding.
+
+Run with::
+
+    python examples/domain_annotation.py
+
+After the filter pipeline identifies a hit, the full HMMER pipeline
+decodes *where* in the sequence the model aligns.  This example plants
+two copies of a domain in one protein, decodes the per-residue homology
+posterior with exact Forward/Backward, and renders the domain calls.
+"""
+
+import numpy as np
+
+from repro import sample_hmm
+from repro.cpu import domain_regions, posterior_decode
+from repro.hmm import SearchProfile
+from repro.sequence import random_sequence_codes
+
+
+def render_track(homology: np.ndarray, width: int = 100) -> str:
+    """ASCII rendering of the homology posterior."""
+    bins = np.array_split(homology, width)
+    glyphs = " .:-=+*#%@"
+    return "".join(
+        glyphs[min(int(b.mean() * (len(glyphs) - 1) + 0.5), len(glyphs) - 1)]
+        for b in bins
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    hmm = sample_hmm(60, rng, name="demo-domain", conservation=30.0)
+    profile = SearchProfile(hmm, L=300)
+
+    # a two-domain protein: flank + domain + linker + domain + flank
+    parts = [
+        random_sequence_codes(45, rng),
+        hmm.sample_sequence(rng),
+        random_sequence_codes(60, rng),
+        hmm.sample_sequence(rng),
+        random_sequence_codes(35, rng),
+    ]
+    codes = np.concatenate(parts).astype(np.uint8)
+    bounds = np.cumsum([len(p) for p in parts])
+    print(f"protein of {codes.size} residues; true domains at "
+          f"[{bounds[0]}, {bounds[1]}) and [{bounds[2]}, {bounds[3]})")
+
+    decoding = posterior_decode(profile, codes)
+    print(f"forward score: {decoding.score:.2f} nats; expected aligned "
+          f"residues: {decoding.expected_aligned_residues():.1f}")
+
+    print("\nhomology posterior (one glyph ~ "
+          f"{codes.size / 100:.1f} residues):")
+    print(render_track(decoding.homology))
+
+    print("\ndomain calls (posterior >= 0.5):")
+    for lo, hi in domain_regions(decoding):
+        mean_p = decoding.homology[lo:hi].mean()
+        print(f"  residues [{lo:4d}, {hi:4d})  mean posterior {mean_p:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Protein-family scan: sensitivity of the filter pipeline.
+
+Run with::
+
+    python examples/pfam_family_scan.py
+
+Emulates the paper's motivating workload: scanning a database for members
+of protein families of Pfam-representative sizes.  For each family we
+build the model from a seed alignment of emitted members (as ``hmmbuild``
+would), search a database seeded with *other* members of the same family,
+and report per-family sensitivity and false-positive counts - showing
+that the byte/word-quantized filter pipeline loses none of the planted
+homologs at these score margins.
+"""
+
+import numpy as np
+
+from repro import AMINO, HmmsearchPipeline, build_hmm_from_msa, sample_hmm
+from repro.sequence import (
+    DigitalSequence,
+    SequenceDatabase,
+    random_sequence_codes,
+)
+
+FAMILY_SIZES = (48, 100, 200)
+SEED_MEMBERS = 15
+PLANTED_MEMBERS = 6
+DECOYS = 250
+
+
+def emit_member(truth, rng) -> str:
+    return "".join(AMINO.symbols[c] for c in truth.sample_sequence(rng))
+
+
+def main() -> None:
+    rng = np.random.default_rng(2015)
+    print(f"{'family':>10} {'M':>6} {'hits':>5} {'sens':>6} {'FP':>4}")
+    for size in FAMILY_SIZES:
+        # the "true" family generator
+        truth = sample_hmm(size, rng, name=f"PF{size:05d}", conservation=25.0)
+
+        # build a model from a seed alignment of emitted members
+        members = [emit_member(truth, rng) for _ in range(SEED_MEMBERS)]
+        width = max(len(m) for m in members)
+        msa = [m + "-" * (width - len(m)) for m in members]
+        model = build_hmm_from_msa(msa, name=truth.name)
+
+        # target database: decoys plus unseen family members
+        seqs = [
+            DigitalSequence(
+                f"decoy{i}", random_sequence_codes(int(L), rng)
+            )
+            for i, L in enumerate(rng.integers(60, 400, size=DECOYS))
+        ]
+        planted = []
+        for i in range(PLANTED_MEMBERS):
+            name = f"member{i}"
+            planted.append(name)
+            flank = random_sequence_codes(25, rng)
+            seqs.append(
+                DigitalSequence(
+                    name,
+                    np.concatenate(
+                        [flank, truth.sample_sequence(rng)]
+                    ).astype(np.uint8),
+                )
+            )
+        database = SequenceDatabase(seqs, name=f"scan{size}")
+
+        results = HmmsearchPipeline(
+            model, L=int(database.mean_length)
+        ).search(database)
+        found = set(results.hit_names())
+        sensitivity = len(found.intersection(planted)) / len(planted)
+        false_pos = len(found.difference(planted))
+        print(
+            f"{model.name:>10} {model.M:>6} {len(found):>5} "
+            f"{sensitivity:>6.0%} {false_pos:>4}"
+        )
+
+
+if __name__ == "__main__":
+    main()

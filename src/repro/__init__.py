@@ -1,0 +1,132 @@
+"""repro: a reproduction of "Fine-Grained Acceleration of HMMER 3.0 via
+Architecture-Aware Optimization on Massively Parallel Processors"
+(Jiang & Ganesan, IPDPSW 2015).
+
+The package contains a from-scratch HMMER 3.0 ``hmmsearch`` engine
+(Plan-7 profile HMMs, the quantized MSV and ViterbiFilter scoring
+systems, striped SSE baselines, full-precision Forward/Backward, the
+filter pipeline with Gumbel/exponential statistics) plus a simulated
+SIMT GPU substrate on which the paper's warp-synchronous kernels run
+with bit-identical scores, and a mechanistic performance model that
+regenerates every figure of the paper's evaluation.
+
+Quickstart::
+
+    import numpy as np
+    from repro import sample_hmm, swissprot_like, HmmsearchPipeline
+
+    rng = np.random.default_rng(0)
+    hmm = sample_hmm(120, rng)
+    db = swissprot_like(500, rng, hmm=hmm)
+    results = HmmsearchPipeline(hmm).search(db)
+    print(results.summary())
+"""
+
+from .alphabet import AMINO, AminoAlphabet, pack_residues, unpack_residues
+from .cpu import (
+    generic_backward_score,
+    generic_forward_score,
+    generic_viterbi_score,
+    msv_score_batch,
+    msv_score_sequence,
+    viterbi_score_batch,
+    viterbi_score_sequence,
+)
+from .errors import ReproError
+from .gpu import FERMI_GTX580, KEPLER_K40, DeviceSpec, KernelCounters
+from .hmm import (
+    NullModel,
+    PAPER_MODEL_SIZES,
+    Plan7HMM,
+    SearchProfile,
+    build_hmm_from_msa,
+    load_hmm,
+    sample_hmm,
+    save_hmm,
+)
+from .kernels import (
+    MemoryConfig,
+    Stage,
+    msv_warp_kernel,
+    stage_occupancy,
+    viterbi_warp_kernel,
+)
+from .cpu.hmmalign import align_to_profile
+from .cpu.posterior import PosteriorDecoding, domain_regions, posterior_decode
+from .cpu.traceback import ViterbiAlignment, viterbi_traceback
+from .pipeline import (
+    Engine,
+    HmmsearchPipeline,
+    ModelLibrary,
+    PipelineThresholds,
+    SearchResults,
+)
+from .scoring import MSVByteProfile, ViterbiWordProfile
+from .sequence import (
+    DigitalSequence,
+    SequenceDatabase,
+    envnr_like,
+    read_fasta,
+    swissprot_like,
+    write_fasta,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # alphabet & sequences
+    "AMINO",
+    "AminoAlphabet",
+    "pack_residues",
+    "unpack_residues",
+    "DigitalSequence",
+    "SequenceDatabase",
+    "read_fasta",
+    "write_fasta",
+    "swissprot_like",
+    "envnr_like",
+    # models & profiles
+    "Plan7HMM",
+    "NullModel",
+    "SearchProfile",
+    "build_hmm_from_msa",
+    "sample_hmm",
+    "save_hmm",
+    "load_hmm",
+    "PAPER_MODEL_SIZES",
+    "MSVByteProfile",
+    "ViterbiWordProfile",
+    # engines
+    "msv_score_sequence",
+    "msv_score_batch",
+    "viterbi_score_sequence",
+    "viterbi_score_batch",
+    "generic_viterbi_score",
+    "generic_forward_score",
+    "generic_backward_score",
+    # GPU substrate & kernels
+    "DeviceSpec",
+    "KEPLER_K40",
+    "FERMI_GTX580",
+    "KernelCounters",
+    "MemoryConfig",
+    "Stage",
+    "msv_warp_kernel",
+    "viterbi_warp_kernel",
+    "stage_occupancy",
+    # pipeline
+    "HmmsearchPipeline",
+    "Engine",
+    "PipelineThresholds",
+    "SearchResults",
+    "ModelLibrary",
+    "PosteriorDecoding",
+    "posterior_decode",
+    "domain_regions",
+    "viterbi_traceback",
+    "ViterbiAlignment",
+    "align_to_profile",
+    # errors
+    "ReproError",
+]

@@ -1,0 +1,18 @@
+"""Digital amino-acid alphabet and residue packing."""
+
+from .amino import AMINO, AminoAlphabet
+from .packing import (
+    pack_residues,
+    packed_length_words,
+    packed_stream_bytes,
+    unpack_residues,
+)
+
+__all__ = [
+    "AMINO",
+    "AminoAlphabet",
+    "pack_residues",
+    "unpack_residues",
+    "packed_length_words",
+    "packed_stream_bytes",
+]

@@ -1,0 +1,104 @@
+"""Residue packing: six 5-bit residues per 32-bit word (paper Figure 6).
+
+The paper reduces global-memory bandwidth by packing 6 consecutive digital
+residues (codes 0..28) into one unsigned 32-bit word, using bits
+``[29:25] [24:20] [19:15] [14:10] [9:5] [4:0]``; the first residue of the
+group occupies the *most significant* field, matching the left-to-right
+layout in Figure 6.  Padding slots in the final word carry the terminator
+flag 31 so a kernel can stop its residue loop without knowing the length.
+
+Packing is a pure layout transform: :func:`unpack_residues` is the exact
+inverse of :func:`pack_residues` for any valid residue sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import PACK_TERMINATOR, RESIDUE_BITS, RESIDUES_PER_WORD
+from ..errors import AlphabetError
+
+__all__ = [
+    "pack_residues",
+    "unpack_residues",
+    "packed_length_words",
+    "packed_stream_bytes",
+]
+
+#: Bit shift of each of the 6 sub-words, first residue most significant.
+_SHIFTS = np.array(
+    [(RESIDUES_PER_WORD - 1 - j) * RESIDUE_BITS for j in range(RESIDUES_PER_WORD)],
+    dtype=np.uint32,
+)
+
+_FIELD_MASK = np.uint32((1 << RESIDUE_BITS) - 1)
+
+
+def packed_length_words(n_residues: int) -> int:
+    """Number of 32-bit words needed to pack ``n_residues`` residues."""
+    if n_residues < 0:
+        raise AlphabetError("residue count must be non-negative")
+    return -(-n_residues // RESIDUES_PER_WORD)
+
+
+def packed_stream_bytes(n_residues: int) -> int:
+    """Global-memory bytes used by a packed sequence of ``n_residues``."""
+    return 4 * packed_length_words(n_residues)
+
+
+def pack_residues(codes: np.ndarray) -> np.ndarray:
+    """Pack digital residue codes into 32-bit words.
+
+    Parameters
+    ----------
+    codes:
+        1-D array of digital codes, each in ``0..30`` (31 is reserved for
+        the terminator and must not appear in input).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``uint32`` array of ``ceil(len/6)`` packed words; trailing slots of
+        the final word are filled with the terminator flag 31.
+    """
+    arr = np.ascontiguousarray(codes, dtype=np.uint32)
+    if arr.ndim != 1:
+        raise AlphabetError("pack_residues expects a 1-D code array")
+    if arr.size and arr.max() >= PACK_TERMINATOR:
+        raise AlphabetError(
+            f"residue code >= {PACK_TERMINATOR} cannot be packed "
+            "(31 is the terminator flag)"
+        )
+    n_words = packed_length_words(arr.size)
+    padded = np.full(n_words * RESIDUES_PER_WORD, PACK_TERMINATOR, dtype=np.uint32)
+    padded[: arr.size] = arr
+    groups = padded.reshape(n_words, RESIDUES_PER_WORD)
+    return (groups << _SHIFTS).sum(axis=1, dtype=np.uint32)
+
+
+def unpack_residues(words: np.ndarray, n_residues: int | None = None) -> np.ndarray:
+    """Unpack 32-bit words back into digital residue codes.
+
+    Parameters
+    ----------
+    words:
+        ``uint32`` packed words as produced by :func:`pack_residues`.
+    n_residues:
+        Exact residue count to return.  When omitted, unpacking stops at
+        the first terminator flag (code 31), mirroring how the simulated
+        kernels detect end-of-sequence.
+    """
+    arr = np.ascontiguousarray(words, dtype=np.uint32)
+    if arr.ndim != 1:
+        raise AlphabetError("unpack_residues expects a 1-D word array")
+    fields = ((arr[:, None] >> _SHIFTS) & _FIELD_MASK).reshape(-1)
+    if n_residues is None:
+        terminators = np.flatnonzero(fields == PACK_TERMINATOR)
+        end = int(terminators[0]) if terminators.size else fields.size
+    else:
+        if n_residues < 0 or n_residues > fields.size:
+            raise AlphabetError(
+                f"cannot unpack {n_residues} residues from {arr.size} words"
+            )
+        end = n_residues
+    return fields[:end].astype(np.uint8)

@@ -1,0 +1,225 @@
+"""``repro-hmmsearch``: a small hmmsearch-style command-line front end.
+
+Examples
+--------
+Build a model from a Stockholm seed alignment, then search::
+
+    repro-hmmsearch build seed.sto query.hmm
+    repro-hmmsearch search query.hmm targets.fasta
+
+Align sequences back to the model (hmmalign)::
+
+    repro-hmmsearch align query.hmm members.fasta aligned.sto
+
+Scan one sequence against a directory of model files (hmmscan)::
+
+    repro-hmmsearch scan models_dir protein.fasta
+
+Generate a demo model + database and search them on the simulated GPU::
+
+    repro-hmmsearch demo --model-size 200 --n-seqs 500 --engine gpu
+
+Print the occupancy table behind Figure 9::
+
+    repro-hmmsearch occupancy --stage msv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .gpu.device import FERMI_GTX580, KEPLER_K40
+from .hmm.builder import build_hmm_from_msa
+from .hmm.hmmfile import load_hmm, save_hmm
+from .hmm.info import mean_relative_entropy
+from .hmm.sampler import PAPER_MODEL_SIZES, sample_hmm
+from .kernels.memconfig import MemoryConfig, Stage, stage_occupancy
+from .pipeline.hmmscan import ModelLibrary
+from .pipeline.pipeline import Engine, HmmsearchPipeline
+from .sequence.fasta import read_fasta
+from .sequence.stockholm import (
+    StockholmAlignment,
+    read_stockholm,
+    write_stockholm,
+)
+from .sequence.synthetic import envnr_like, swissprot_like
+
+__all__ = ["main"]
+
+
+def _engine(name: str) -> Engine:
+    return Engine.GPU_WARP if name == "gpu" else Engine.CPU_SSE
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    hmm = load_hmm(args.model)
+    db = read_fasta(args.database)
+    pipe = HmmsearchPipeline(hmm, L=args.length)
+    results = pipe.search(db, engine=_engine(args.engine))
+    print(results.summary())
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    hmm = sample_hmm(args.model_size, rng)
+    maker = swissprot_like if args.database == "swissprot" else envnr_like
+    db = maker(args.n_seqs, rng, hmm=hmm)
+    print(f"model: {hmm}   database: {db}")
+    pipe = HmmsearchPipeline(hmm, L=int(db.mean_length))
+    results = pipe.search(db, engine=_engine(args.engine))
+    print(results.summary())
+    if results.counters:
+        for stage_name, c in results.counters.items():
+            print(f"counters[{stage_name}]: rows={c.rows} strips={c.strips} "
+                  f"shuffles={c.shuffles} syncthreads={c.syncthreads}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    seed = read_stockholm(args.alignment)
+    name = args.name or seed.annotations.get("ID") or Path(args.alignment).stem
+    hmm = build_hmm_from_msa(seed.rows, name=name, symfrac=args.symfrac)
+    save_hmm(args.output, hmm)
+    print(
+        f"built {hmm.name}: M={hmm.M}, "
+        f"{mean_relative_entropy(hmm):.2f} bits/position -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_align(args: argparse.Namespace) -> int:
+    from .cpu.hmmalign import align_to_profile
+    from .hmm.profile import SearchProfile
+
+    hmm = load_hmm(args.model)
+    db = read_fasta(args.sequences)
+    profile = SearchProfile(hmm, L=max(1, int(db.mean_length)))
+    rows = align_to_profile(profile, list(db))
+    write_stockholm(
+        args.output,
+        StockholmAlignment(
+            names=[s.name for s in db],
+            rows=rows,
+            annotations={"ID": hmm.name},
+        ),
+    )
+    print(f"aligned {len(db)} sequences to {hmm.name} -> {args.output}")
+    return 0
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    model_files = sorted(Path(args.models).glob("*.hmm"))
+    if not model_files:
+        print(f"no .hmm files in {args.models}", file=sys.stderr)
+        return 1
+    library = ModelLibrary(
+        [load_hmm(p) for p in model_files],
+        L=args.length,
+        calibration_filter_sample=args.calibration_sample,
+        calibration_forward_sample=max(25, args.calibration_sample // 4),
+    )
+    db = read_fasta(args.sequence)
+    for seq in db:
+        print(library.scan(seq).summary())
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from .perf.report import full_report
+
+    sizes = tuple(args.sizes) if args.sizes else PAPER_MODEL_SIZES
+    report = full_report(
+        sizes=sizes,
+        calibration_filter_sample=args.calibration_sample,
+        calibration_forward_sample=max(25, args.calibration_sample // 4),
+    )
+    print(report.render())
+    return 0
+
+
+def _cmd_occupancy(args: argparse.Namespace) -> int:
+    stage = Stage.MSV if args.stage == "msv" else Stage.P7VITERBI
+    device = KEPLER_K40 if args.device == "k40" else FERMI_GTX580
+    print(f"{stage.value} occupancy on {device.name} (% of max warp slots)")
+    header = "config   " + " ".join(f"{m:>6d}" for m in PAPER_MODEL_SIZES)
+    print(header)
+    for config in MemoryConfig:
+        cells = []
+        for m in PAPER_MODEL_SIZES:
+            occ = stage_occupancy(stage, m, config, device)
+            cells.append("    --" if occ is None else f"{100 * occ.occupancy:>6.1f}")
+        print(f"{config.value:8s} " + " ".join(cells))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-hmmsearch",
+        description="HMMER3 hmmsearch reproduction with simulated GPU kernels",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("search", help="search a FASTA database with a model file")
+    p.add_argument("model", help="model file (repro flat format)")
+    p.add_argument("database", help="FASTA file of target sequences")
+    p.add_argument("--engine", choices=("cpu", "gpu"), default="cpu")
+    p.add_argument("--length", type=int, default=400, help="length-model L")
+    p.set_defaults(func=_cmd_search)
+
+    p = sub.add_parser("demo", help="generate a synthetic search and run it")
+    p.add_argument("--model-size", type=int, default=200)
+    p.add_argument("--n-seqs", type=int, default=400)
+    p.add_argument("--database", choices=("swissprot", "envnr"), default="envnr")
+    p.add_argument("--engine", choices=("cpu", "gpu"), default="gpu")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_demo)
+
+    p = sub.add_parser("build", help="build a model from a Stockholm alignment")
+    p.add_argument("alignment", help="Stockholm seed alignment")
+    p.add_argument("output", help="output model file")
+    p.add_argument("--name", default=None, help="model name (default: #=GF ID)")
+    p.add_argument("--symfrac", type=float, default=0.5)
+    p.set_defaults(func=_cmd_build)
+
+    p = sub.add_parser("align", help="align sequences to a model (hmmalign)")
+    p.add_argument("model", help="model file")
+    p.add_argument("sequences", help="FASTA of sequences to align")
+    p.add_argument("output", help="output Stockholm alignment")
+    p.set_defaults(func=_cmd_align)
+
+    p = sub.add_parser("scan", help="scan sequences against a model library")
+    p.add_argument("models", help="directory of .hmm model files")
+    p.add_argument("sequence", help="FASTA of query sequences")
+    p.add_argument("--length", type=int, default=350)
+    p.add_argument("--calibration-sample", type=int, default=150)
+    p.set_defaults(func=_cmd_scan)
+
+    p = sub.add_parser("occupancy", help="print the Figure 9 occupancy table")
+    p.add_argument("--stage", choices=("msv", "p7viterbi"), default="msv")
+    p.add_argument("--device", choices=("k40", "gtx580"), default="k40")
+    p.set_defaults(func=_cmd_occupancy)
+
+    p = sub.add_parser(
+        "figures", help="regenerate the paper's evaluation figures"
+    )
+    p.add_argument(
+        "--sizes", type=int, nargs="*", default=None,
+        help="model sizes to sweep (default: the paper's eight)",
+    )
+    p.add_argument("--calibration-sample", type=int, default=150)
+    p.set_defaults(func=_cmd_figures)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

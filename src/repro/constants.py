@@ -1,0 +1,107 @@
+"""Numerical constants shared across the library.
+
+The quantized scoring systems mirror the conventions of HMMER 3.0's
+``impl_sse`` layer (Eddy 2011): MSV scores live in unsigned bytes expressed
+in third-bits around a fixed base, ViterbiFilter scores live in signed
+16-bit words expressed in 1/500 bits around a fixed base.  All profile
+scores are stored internally in **nats** (natural-log odds).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "LOG2",
+    "NEG_INF",
+    "MSV_SCALE",
+    "MSV_BASE",
+    "MSV_BYTE_MAX",
+    "VF_SCALE",
+    "VF_BASE",
+    "VF_WORD_MAX",
+    "VF_WORD_MIN",
+    "GUMBEL_LAMBDA",
+    "EXP_LAMBDA",
+    "DEFAULT_F1",
+    "DEFAULT_F2",
+    "DEFAULT_F3",
+    "WARP_SIZE",
+    "RESIDUE_BITS",
+    "RESIDUES_PER_WORD",
+    "PACK_TERMINATOR",
+]
+
+#: Natural log of 2; the unit conversion between bits and nats.
+LOG2 = math.log(2.0)
+
+#: Sentinel for minus infinity in float score space (nats).
+NEG_INF = float("-inf")
+
+# ---------------------------------------------------------------------------
+# MSV 8-bit ("byte") scoring system, HMMER 3.0 conventions.
+# ---------------------------------------------------------------------------
+
+#: Bytes per nat: scores are quantized to third-bits (3 per bit).
+MSV_SCALE = 3.0 / LOG2
+
+#: Fixed offset added to byte scores so the dynamic range is ~[-170, +65] bits.
+MSV_BASE = 190
+
+#: Saturation ceiling of the unsigned byte system.
+MSV_BYTE_MAX = 255
+
+# ---------------------------------------------------------------------------
+# ViterbiFilter 16-bit ("word") scoring system, HMMER 3.0 conventions.
+# ---------------------------------------------------------------------------
+
+#: Words per nat: scores are quantized to 1/500 bits (500 per bit).
+VF_SCALE = 500.0 / LOG2
+
+#: Fixed offset added to word scores.
+VF_BASE = 12000
+
+#: Saturation ceiling of the signed word system; reaching it means overflow.
+VF_WORD_MAX = 32767
+
+#: Saturation floor of the signed word system; acts as minus infinity.
+VF_WORD_MIN = -32768
+
+# ---------------------------------------------------------------------------
+# Score statistics (Eddy 2008): high Viterbi/MSV scores are Gumbel
+# distributed with slope lambda = log 2; Forward scores have an exponential
+# high-score tail with the same lambda.
+# ---------------------------------------------------------------------------
+
+GUMBEL_LAMBDA = LOG2
+EXP_LAMBDA = LOG2
+
+# ---------------------------------------------------------------------------
+# Pipeline filter thresholds (HMMER 3.0 defaults): a sequence survives a
+# stage when its P-value is below the stage threshold.
+# ---------------------------------------------------------------------------
+
+#: MSV filter P-value threshold (passes ~2% of random sequences).
+DEFAULT_F1 = 0.02
+
+#: ViterbiFilter P-value threshold.
+DEFAULT_F2 = 1e-3
+
+#: Forward filter P-value threshold.
+DEFAULT_F3 = 1e-5
+
+# ---------------------------------------------------------------------------
+# SIMT / residue-packing constants (paper, Section III).
+# ---------------------------------------------------------------------------
+
+#: Threads per warp on every NVIDIA architecture the paper targets.
+WARP_SIZE = 32
+
+#: Bits used to encode one digitized residue (values 0..28 fit in 5 bits).
+RESIDUE_BITS = 5
+
+#: Residues packed into one 32-bit word (Figure 6 of the paper).
+RESIDUES_PER_WORD = 6
+
+#: 5-bit code marking padding slots in the final packed word of a sequence.
+PACK_TERMINATOR = 31

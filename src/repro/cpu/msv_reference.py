@@ -1,0 +1,102 @@
+"""Reference MSV filter: the golden quantized semantics, linear layout.
+
+This is the executable specification of the MSV byte DP that every other
+engine (striped SSE baseline, simulated warp kernel) must match
+bit-for-bit.  The recurrence per target residue ``x_i`` is::
+
+    mpv[j]  = previous row's M value at node j-1   (j = 0 -> byte 0)
+    sv[j]   = sat_sub(sat_add(max(mpv[j], xB - tbm), bias), rbv[x_i][j])
+    xE      = max_j sv[j]
+    overflow when xE >= 255 - bias  ->  score = +inf
+    xJ      = max(xJ, xE - tec)
+    xB      = max(base, xJ) - tjb            (all subtractions saturating)
+
+with byte 0 acting as minus infinity.  ``msv_score_batch`` is the
+vectorized form the pipeline uses: it processes every sequence in lockstep
+rows and is exactly equivalent to per-sequence scoring.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import KernelError
+from ..scoring.msv_profile import MSVByteProfile
+from ..scoring.quantized import sat_add_u8, sat_sub_u8
+from ..sequence.database import PaddedBatch, SequenceDatabase
+from .results import FilterScores
+
+__all__ = ["msv_score_sequence", "msv_score_batch"]
+
+
+def msv_score_sequence(profile: MSVByteProfile, codes: np.ndarray) -> float:
+    """MSV score (nats) of one digital sequence; +inf on byte overflow."""
+    codes = np.asarray(codes)
+    if codes.ndim != 1 or codes.size == 0:
+        raise KernelError("codes must be a non-empty 1-D array")
+    M = profile.M
+    row = np.zeros(M + 1, dtype=np.int32)  # row[j+1] = M value at node j
+    xJ = 0
+    xB = profile.init_xB
+    for x in codes:
+        rbv = profile.rbv[int(x)]
+        xBv = max(0, xB - profile.tbm)
+        sv = np.maximum(row[:M], xBv)
+        sv = sat_add_u8(sv, profile.bias)
+        sv = sat_sub_u8(sv, rbv)
+        row[1:] = sv
+        xE = int(sv.max())
+        if xE >= profile.overflow_threshold:
+            return float("inf")
+        xJ = max(xJ, max(0, xE - profile.tec))
+        xB = max(0, max(profile.base, xJ) - profile.tjb)
+    return profile.final_score_nats(xJ)
+
+
+def msv_score_batch(
+    profile: MSVByteProfile, batch: PaddedBatch | SequenceDatabase
+) -> FilterScores:
+    """MSV scores for a whole database, lockstep-vectorized across rows.
+
+    Semantics are identical to calling :func:`msv_score_sequence` on every
+    sequence: rows beyond a sequence's length leave its state untouched,
+    and overflow is latched per sequence at the row where it occurs.
+    """
+    if isinstance(batch, SequenceDatabase):
+        batch = batch.padded_batch()
+    n, width = batch.n_seqs, batch.max_len
+    M = profile.M
+    rows = np.zeros((n, M + 1), dtype=np.int32)
+    xJ = np.zeros(n, dtype=np.int32)
+    xB = np.full(n, profile.init_xB, dtype=np.int32)
+    overflowed = np.zeros(n, dtype=bool)
+
+    for i in range(width):
+        active = batch.lengths > i
+        if not active.any():
+            break
+        codes = batch.codes[:, i].astype(np.intp)
+        # padded slots carry code 31 which indexes nothing; map them to 0,
+        # the 'active' mask discards their results anyway
+        codes = np.where(active, codes, 0)
+        rbv = profile.rbv[codes]  # (n, M)
+        xBv = np.maximum(0, xB - profile.tbm)[:, None]
+        sv = np.maximum(rows[:, :M], xBv)
+        sv = sat_add_u8(sv, profile.bias)
+        sv = sat_sub_u8(sv, rbv)
+        xE = sv.max(axis=1)
+        update = active & ~overflowed
+        rows[update, 1:] = sv[update]
+        overflow_now = update & (xE >= profile.overflow_threshold)
+        overflowed |= overflow_now
+        update &= ~overflow_now
+        xJ[update] = np.maximum(
+            xJ[update], np.maximum(0, xE[update] - profile.tec)
+        )
+        xB[update] = np.maximum(
+            0, np.maximum(profile.base, xJ[update]) - profile.tjb
+        )
+
+    scores = np.array([profile.final_score_nats(int(v)) for v in xJ])
+    scores[overflowed] = float("inf")
+    return FilterScores(scores=scores, overflowed=overflowed)

@@ -1,0 +1,80 @@
+"""Striped SSE MSV filter - the CPU baseline the paper compares against.
+
+HMMER 3.0's ``msvfilter.c`` processes 16 model positions per 128-bit SSE
+vector using saturating unsigned bytes and the Farrar striped layout.
+This module reproduces that implementation lane-for-lane: ``Q = ceil(M/16)``
+vectors per row, the previous-row diagonal obtained by a single lane
+right-shift of vector ``Q-1``, and no synchronization anywhere - the
+property the paper's warp-synchronous GPU kernel is designed to preserve.
+
+Scores are bit-identical to :mod:`repro.cpu.msv_reference` (tested); the
+performance of the *modelled* SSE hardware comes from
+:mod:`repro.perf.cost_model`, not from timing this Python simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import KernelError
+from ..scoring.msv_profile import MSVByteProfile
+from ..scoring.quantized import sat_add_u8, sat_sub_u8
+from .striped import lane_rightshift, stripe_array, stripe_count
+
+__all__ = ["SSE_BYTE_LANES", "msv_striped_profile", "msv_score_sequence_striped"]
+
+#: 8-bit lanes in one 128-bit SSE register.
+SSE_BYTE_LANES = 16
+
+
+def msv_striped_profile(profile: MSVByteProfile, lanes: int = SSE_BYTE_LANES):
+    """Pre-stripe the emission costs: ``(Kp, Q, lanes)`` biased bytes.
+
+    Padding slots get the maximum byte cost so they pin their cells at 0
+    (minus infinity) and can never contribute to xE.
+    """
+    if lanes < 2:
+        raise KernelError("striping needs at least 2 lanes")
+    Kp = profile.rbv.shape[0]
+    Q = stripe_count(profile.M, lanes)
+    out = np.empty((Kp, Q, lanes), dtype=np.int32)
+    for x in range(Kp):
+        out[x] = stripe_array(profile.rbv[x], lanes, fill=255)
+    return out
+
+
+def msv_score_sequence_striped(
+    profile: MSVByteProfile,
+    codes: np.ndarray,
+    lanes: int = SSE_BYTE_LANES,
+    striped_rbv: np.ndarray | None = None,
+) -> float:
+    """MSV score (nats) via the striped SSE algorithm; +inf on overflow."""
+    codes = np.asarray(codes)
+    if codes.ndim != 1 or codes.size == 0:
+        raise KernelError("codes must be a non-empty 1-D array")
+    if striped_rbv is None:
+        striped_rbv = msv_striped_profile(profile, lanes)
+    Q = stripe_count(profile.M, lanes)
+    dp = np.zeros((Q, lanes), dtype=np.int32)
+    xJ = 0
+    xB = profile.init_xB
+    for x in codes:
+        rsc = striped_rbv[int(x)]
+        xBv = max(0, xB - profile.tbm)
+        # diagonal dependency for q=0 wraps from (Q-1, z-1)
+        mpv = lane_rightshift(dp[Q - 1], fill=0)
+        xEv = np.zeros(lanes, dtype=np.int32)
+        for q in range(Q):
+            sv = np.maximum(mpv, xBv)
+            sv = sat_add_u8(sv, profile.bias)
+            sv = sat_sub_u8(sv, rsc[q])
+            xEv = np.maximum(xEv, sv)
+            mpv = dp[q].copy()
+            dp[q] = sv
+        xE = int(xEv.max())  # horizontal max across the 16 lanes
+        if xE >= profile.overflow_threshold:
+            return float("inf")
+        xJ = max(xJ, max(0, xE - profile.tec))
+        xB = max(0, max(profile.base, xJ) - profile.tjb)
+    return profile.final_score_nats(xJ)

@@ -1,0 +1,43 @@
+"""Result containers shared by the scoring engines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import KernelError
+
+__all__ = ["FilterScores"]
+
+
+@dataclass(frozen=True)
+class FilterScores:
+    """Scores (nats) for a batch of sequences from one filter stage.
+
+    Attributes
+    ----------
+    scores:
+        ``(n,)`` float64 scores in nats; +inf where the quantized system
+        overflowed (the sequence unconditionally passes the stage).
+    overflowed:
+        ``(n,)`` boolean overflow flags.
+    """
+
+    scores: np.ndarray
+    overflowed: np.ndarray
+
+    def __post_init__(self) -> None:
+        s = np.asarray(self.scores, dtype=np.float64)
+        o = np.asarray(self.overflowed, dtype=bool)
+        if s.shape != o.shape or s.ndim != 1:
+            raise KernelError("scores and overflowed must be matching 1-D arrays")
+        object.__setattr__(self, "scores", s)
+        object.__setattr__(self, "overflowed", o)
+
+    def __len__(self) -> int:
+        return int(self.scores.size)
+
+    def bits(self) -> np.ndarray:
+        """Scores converted from nats to bits."""
+        return self.scores / np.log(2.0)

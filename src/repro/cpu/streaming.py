@@ -1,0 +1,62 @@
+"""Bounded-memory (chunked) database scoring.
+
+The paper's databases hold millions of sequences and a padded batch of
+the whole of Env-nr would not fit in memory; real pipelines stream the
+database through the engines in chunks (which is also how the GPU
+kernels receive work: grids of blocks over successive slices).  Chunked
+scoring is *exactly* equivalent to whole-database scoring because
+sequences are independent - an equivalence the tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import KernelError
+from ..sequence.database import SequenceDatabase
+from .results import FilterScores
+
+__all__ = ["score_in_chunks", "chunk_indices"]
+
+
+def chunk_indices(n: int, chunk_size: int) -> list[tuple[int, int]]:
+    """Half-open index ranges covering ``0..n`` in ``chunk_size`` steps."""
+    if chunk_size < 1:
+        raise KernelError("chunk_size must be positive")
+    return [(lo, min(lo + chunk_size, n)) for lo in range(0, n, chunk_size)]
+
+
+def score_in_chunks(
+    score_batch: Callable[[object, SequenceDatabase], FilterScores],
+    profile,
+    database: SequenceDatabase,
+    chunk_size: int,
+) -> FilterScores:
+    """Apply a batch scoring engine chunk-by-chunk and stitch the results.
+
+    Parameters
+    ----------
+    score_batch:
+        Any engine with the ``(profile, database) -> FilterScores``
+        signature (:func:`~repro.cpu.msv_score_batch`,
+        :func:`~repro.cpu.viterbi_score_batch`, or a warp kernel wrapped
+        with ``functools.partial`` for its device arguments).
+    chunk_size:
+        Maximum sequences per chunk; memory scales with
+        ``chunk_size * max_length_in_chunk`` instead of the whole
+        database.
+    """
+    n = len(database)
+    scores = np.empty(n, dtype=np.float64)
+    overflowed = np.empty(n, dtype=bool)
+    for lo, hi in chunk_indices(n, chunk_size):
+        part = score_batch(profile, database[lo:hi])
+        if len(part) != hi - lo:
+            raise KernelError(
+                "engine returned a result of the wrong length"
+            )
+        scores[lo:hi] = part.scores
+        overflowed[lo:hi] = part.overflowed
+    return FilterScores(scores=scores, overflowed=overflowed)

@@ -1,0 +1,89 @@
+"""Striped ("Farrar") memory-layout helpers for the SSE baselines.
+
+HMMER 3.0's SIMD filters interleave the model positions across vector
+lanes: with ``Q = ceil(M / lanes)`` vectors, vector ``q`` lane ``z`` holds
+model position ``k = z * Q + q`` (0-based).  The payoff is that the
+diagonal dependency "position k-1, previous row" becomes "vector q-1, same
+lane", except at ``q = 0`` where it wraps to ``(Q-1, z-1)`` - handled by a
+single lane right-shift per row instead of a horizontal rotate per vector.
+
+These helpers build the index maps and shifted views shared by the striped
+MSV and ViterbiFilter engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import KernelError
+
+__all__ = [
+    "stripe_count",
+    "stripe_positions",
+    "stripe_array",
+    "unstripe_array",
+    "lane_rightshift",
+]
+
+
+def stripe_count(M: int, lanes: int) -> int:
+    """Number of vectors ``Q`` needed to stripe ``M`` positions."""
+    if M < 1 or lanes < 1:
+        raise KernelError("M and lanes must be positive")
+    return -(-M // lanes)
+
+
+def stripe_positions(M: int, lanes: int) -> np.ndarray:
+    """``(Q, lanes)`` matrix of model positions; -1 marks padding slots."""
+    Q = stripe_count(M, lanes)
+    z, q = np.meshgrid(np.arange(lanes), np.arange(Q))
+    k = z * Q + q
+    k[k >= M] = -1
+    return k
+
+
+def stripe_array(values: np.ndarray, lanes: int, fill) -> np.ndarray:
+    """Rearrange a per-position array into striped ``(Q, lanes)`` layout.
+
+    ``fill`` populates the padding slots (e.g. the maximum byte cost for
+    MSV emissions, -32768 for ViterbiFilter scores).
+    """
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise KernelError("stripe_array expects a 1-D per-position array")
+    M = values.shape[0]
+    k = stripe_positions(M, lanes)
+    out = np.full(k.shape, fill, dtype=values.dtype)
+    valid = k >= 0
+    out[valid] = values[k[valid]]
+    return out
+
+
+def unstripe_array(striped: np.ndarray, M: int) -> np.ndarray:
+    """Inverse of :func:`stripe_array`, dropping the padding slots."""
+    striped = np.asarray(striped)
+    if striped.ndim != 2:
+        raise KernelError("unstripe_array expects a (Q, lanes) array")
+    Q, lanes = striped.shape
+    if Q != stripe_count(M, lanes):
+        raise KernelError(f"striped shape {striped.shape} does not cover M={M}")
+    k = stripe_positions(M, lanes)
+    out = np.empty(M, dtype=striped.dtype)
+    valid = k >= 0
+    out[k[valid]] = striped[valid]
+    return out
+
+
+def lane_rightshift(vec: np.ndarray, fill) -> np.ndarray:
+    """Shift lanes up by one (lane z takes lane z-1), inserting ``fill``.
+
+    This is the per-row wrap of the striped layout
+    (``esl_sse_rightshift_*`` in HMMER): the value leaving lane
+    ``lanes-1`` corresponds to the model position just before position 0
+    of the next row sweep and is discarded.
+    """
+    vec = np.asarray(vec)
+    out = np.empty_like(vec)
+    out[..., 0] = fill
+    out[..., 1:] = vec[..., :-1]
+    return out

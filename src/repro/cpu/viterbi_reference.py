@@ -1,0 +1,157 @@
+"""Reference P7Viterbi filter: the golden word-quantized semantics.
+
+Executable specification of HMMER 3.0's ``ViterbiFilter`` (16-bit words,
+-32768 = minus infinity, +32767 = overflow sentinel) in linear layout.
+The per-row recurrence for target residue ``x_i`` at node ``j`` (0-based)::
+
+    Mv[j] = sat(max( xB + tbm,
+                     Mp[j-1] + enter_mm[j],
+                     Ip[j-1] + enter_im[j],
+                     Dp[j-1] + enter_dm[j] ) + rwv[x_i][j])
+    Iv[j] = sat(max( Mp[j] + tmi[j],  Ip[j] + tii[j] ))
+    Dv[j] = max( Mv[j-1] + tmd[j-1],  Dv[j-1] + tdd[j-1] )   (within-row chain)
+    xE    = max_j Mv[j]
+    xC    = max(xC, xE + E_move);  xJ = max(xJ, xE + E_loop)
+    xB    = max(base + NJ_move, xJ + NJ_move)
+
+Saturating adds are applied exactly where HMMER applies them.  The D
+within-row chain is computed *exactly* with a max-plus prefix scan (see
+``_exact_d_chain``): because every D->D step cost is non-positive, the
+scan followed by flooring at -32768 is provably identical to the serial
+saturating recurrence - the property that lets the striped Lazy-F and the
+warp-parallel Lazy-F terminate early without changing any score.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import VF_WORD_MIN
+from ..errors import KernelError
+from ..scoring.quantized import sat_add_i16
+from ..scoring.vit_profile import ViterbiWordProfile
+from ..sequence.database import PaddedBatch, SequenceDatabase
+from .results import FilterScores
+
+__all__ = ["viterbi_score_sequence", "viterbi_score_batch", "exact_d_chain"]
+
+
+def exact_d_chain(m_row: np.ndarray, tmd: np.ndarray, tdd: np.ndarray) -> np.ndarray:
+    """Exact within-row Delete chain via a max-plus prefix scan.
+
+    ``D[j] = max(M[j-1] + tmd[j-1], D[j-1] + tdd[j-1])`` with ``D[0] =
+    -inf``, floored at -32768.  Vectorized over the trailing axis; works
+    on ``(M,)`` rows and ``(n, M)`` batches alike.
+
+    Decomposition: with ``c[j] = sum_{t<j} tdd[t]`` every chain that
+    starts at node ``i`` contributes ``start[i] + c[j] - c[i+1]``, so
+    ``D[j] = c[j] + max_{i<j}(start[i] - c[i+1])`` - a cumulative sum and
+    a running maximum.  All D->D costs are <= 0, which makes flooring at
+    the end equivalent to flooring every intermediate (saturating) step.
+    """
+    m_row = np.asarray(m_row, dtype=np.int64)
+    M = m_row.shape[-1]
+    if tmd.shape != (M,) or tdd.shape != (M,):
+        raise KernelError("transition arrays must match the row length")
+    start = np.clip(m_row + tmd, VF_WORD_MIN, None)  # sat_add on stored M
+    # c[j] = sum of tdd[t] for t < j; depends only on the profile (1-D)
+    c = np.concatenate(
+        ([0], np.cumsum(tdd.astype(np.int64)))
+    )  # length M+1; c[M] unused below
+    g = start - c[1 : M + 1]  # g[i] = start[i] - c[i+1], broadcasts over batch
+    h = np.maximum.accumulate(g, axis=-1)
+    out = np.full(m_row.shape, VF_WORD_MIN, dtype=np.int64)
+    out[..., 1:] = np.clip(c[1:M] + h[..., :-1], VF_WORD_MIN, None)
+    return out.astype(np.int32)
+
+
+def _row_update(profile, codes, Mp, Ip, Dp, xB):
+    """One DP row for a batch; returns (Mv, Iv, Dv, xE)."""
+    rwv = profile.rwv[codes]  # (n, M)
+    shift = lambda a: np.concatenate(  # noqa: E731 - local one-liner
+        [np.full(a.shape[:-1] + (1,), VF_WORD_MIN, dtype=np.int32), a[..., :-1]],
+        axis=-1,
+    )
+    sv = sat_add_i16(np.asarray(xB)[..., None], profile.tbm)
+    sv = np.maximum(sv, sat_add_i16(shift(Mp), profile.enter_mm))
+    sv = np.maximum(sv, sat_add_i16(shift(Ip), profile.enter_im))
+    sv = np.maximum(sv, sat_add_i16(shift(Dp), profile.enter_dm))
+    Mv = sat_add_i16(sv, rwv)
+    Iv = np.maximum(
+        sat_add_i16(Mp, profile.tmi), sat_add_i16(Ip, profile.tii)
+    ).astype(np.int32)
+    Dv = exact_d_chain(Mv, profile.tmd, profile.tdd)
+    xE = Mv.max(axis=-1)
+    return Mv.astype(np.int32), Iv, Dv, xE
+
+
+def viterbi_score_sequence(profile: ViterbiWordProfile, codes: np.ndarray) -> float:
+    """ViterbiFilter score (nats) of one sequence; +inf on word overflow."""
+    codes = np.asarray(codes)
+    if codes.ndim != 1 or codes.size == 0:
+        raise KernelError("codes must be a non-empty 1-D array")
+    M = profile.M
+    Mp = np.full(M, VF_WORD_MIN, dtype=np.int32)
+    Ip = Mp.copy()
+    Dp = Mp.copy()
+    xJ = VF_WORD_MIN
+    xC = VF_WORD_MIN
+    xB = profile.init_xB
+    for x in codes:
+        Mp, Ip, Dp, xE = _row_update(profile, int(x), Mp, Ip, Dp, xB)
+        xE = int(xE)
+        if xE >= profile.overflow_threshold:
+            return float("inf")
+        xC = max(xC, xE + profile.xE_move)
+        xJ = max(xJ, xE + profile.xE_loop)
+        xB = max(profile.base + profile.xNJ_move, xJ + profile.xNJ_move)
+    if xC == VF_WORD_MIN:
+        return float("-inf")
+    return profile.final_score_nats(xC)
+
+
+def viterbi_score_batch(
+    profile: ViterbiWordProfile, batch: PaddedBatch | SequenceDatabase
+) -> FilterScores:
+    """ViterbiFilter scores for a whole database, lockstep across rows.
+
+    Exactly equivalent to per-sequence scoring; inactive and overflowed
+    sequences stop updating their state.
+    """
+    if isinstance(batch, SequenceDatabase):
+        batch = batch.padded_batch()
+    n = batch.n_seqs
+    M = profile.M
+    Mp = np.full((n, M), VF_WORD_MIN, dtype=np.int32)
+    Ip = Mp.copy()
+    Dp = Mp.copy()
+    xJ = np.full(n, VF_WORD_MIN, dtype=np.int64)
+    xC = xJ.copy()
+    xB = np.full(n, profile.init_xB, dtype=np.int64)
+    overflowed = np.zeros(n, dtype=bool)
+
+    for i in range(batch.max_len):
+        active = batch.lengths > i
+        if not active.any():
+            break
+        codes = np.where(active, batch.codes[:, i], 0).astype(np.intp)
+        Mv, Iv, Dv, xE = _row_update(profile, codes, Mp, Ip, Dp, xB)
+        update = active & ~overflowed
+        Mp[update], Ip[update], Dp[update] = Mv[update], Iv[update], Dv[update]
+        overflow_now = update & (xE >= profile.overflow_threshold)
+        overflowed |= overflow_now
+        update &= ~overflow_now
+        xC[update] = np.maximum(xC[update], xE[update] + profile.xE_move)
+        xJ[update] = np.maximum(xJ[update], xE[update] + profile.xE_loop)
+        xB[update] = np.maximum(
+            profile.base + profile.xNJ_move, xJ[update] + profile.xNJ_move
+        )
+
+    scores = np.where(
+        xC == VF_WORD_MIN,
+        float("-inf"),
+        (xC + profile.xNJ_move - profile.base) / profile.scale - 2.0,
+    )
+    scores = scores.astype(np.float64)
+    scores[overflowed] = float("inf")
+    return FilterScores(scores=scores, overflowed=overflowed)

@@ -1,0 +1,164 @@
+"""Striped SSE ViterbiFilter with serial Lazy-F - the CPU baseline.
+
+Reproduces HMMER 3.0's ``vitfilter.c`` lane-for-lane: 8 signed 16-bit
+lanes per 128-bit vector, Farrar striped layout, and the *Lazy-F*
+treatment of the Delete chain: the main loop stores only the M->D
+contribution, then fixed-point passes propagate D->D until a pass makes
+no improvement.  Because every D->D step cost is non-positive the fixed
+point equals the exact chain, so scores are bit-identical to
+:mod:`repro.cpu.viterbi_reference` (tested).
+
+The paper's GPU contribution ports exactly this Lazy-F idea to SIMT
+warps, replacing the serial column sweep with 32 lanes and a warp vote
+(:mod:`repro.kernels.lazy_f`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import VF_WORD_MIN
+from ..errors import KernelError
+from ..scoring.quantized import sat_add_i16
+from ..scoring.vit_profile import ViterbiWordProfile
+from .striped import lane_rightshift, stripe_array, stripe_count
+
+__all__ = [
+    "SSE_WORD_LANES",
+    "StripedViterbiProfile",
+    "viterbi_score_sequence_striped",
+]
+
+#: 16-bit lanes in one 128-bit SSE register.
+SSE_WORD_LANES = 8
+
+
+@dataclass(frozen=True)
+class StripedViterbiProfile:
+    """Pre-striped word profile: all arrays ``(Q, lanes)`` (emissions
+    ``(Kp, Q, lanes)``), padding slots filled with -32768."""
+
+    base: ViterbiWordProfile
+    lanes: int
+    Q: int
+    rwv: np.ndarray
+    enter_mm: np.ndarray
+    enter_im: np.ndarray
+    enter_dm: np.ndarray
+    tmi: np.ndarray
+    tii: np.ndarray
+    tmd: np.ndarray
+    tdd: np.ndarray
+
+    @classmethod
+    def from_profile(
+        cls, profile: ViterbiWordProfile, lanes: int = SSE_WORD_LANES
+    ) -> "StripedViterbiProfile":
+        if lanes < 2:
+            raise KernelError("striping needs at least 2 lanes")
+        Q = stripe_count(profile.M, lanes)
+        stripe = lambda a: stripe_array(a, lanes, fill=VF_WORD_MIN)  # noqa: E731
+        Kp = profile.rwv.shape[0]
+        rwv = np.empty((Kp, Q, lanes), dtype=np.int32)
+        for x in range(Kp):
+            rwv[x] = stripe(profile.rwv[x])
+        return cls(
+            base=profile,
+            lanes=lanes,
+            Q=Q,
+            rwv=rwv,
+            enter_mm=stripe(profile.enter_mm),
+            enter_im=stripe(profile.enter_im),
+            enter_dm=stripe(profile.enter_dm),
+            tmi=stripe(profile.tmi),
+            tii=stripe(profile.tii),
+            tmd=stripe(profile.tmd),
+            tdd=stripe(profile.tdd),
+        )
+
+
+def _lazy_f(DMX: np.ndarray, dcv: np.ndarray, tdd: np.ndarray) -> int:
+    """Serial Lazy-F fixed point; returns the number of passes executed.
+
+    ``DMX`` holds the per-column M->D contributions; ``dcv`` is the carry
+    leaving the last column of the main loop.  Mutates ``DMX`` in place.
+    """
+    Q = DMX.shape[0]
+    passes = 0
+    # first pass is unconditional, as in vitfilter.c
+    dcv = lane_rightshift(dcv, VF_WORD_MIN)
+    for q in range(Q):
+        DMX[q] = np.maximum(DMX[q], dcv)
+        dcv = sat_add_i16(DMX[q], tdd[q])
+    passes += 1
+    while True:
+        dcv = lane_rightshift(dcv, VF_WORD_MIN)
+        completed = True
+        for q in range(Q):
+            if not np.any(dcv > DMX[q]):
+                completed = False
+                break
+            DMX[q] = np.maximum(DMX[q], dcv)
+            dcv = sat_add_i16(DMX[q], tdd[q])
+        passes += 1
+        if not completed:
+            return passes
+
+
+def viterbi_score_sequence_striped(
+    profile: ViterbiWordProfile | StripedViterbiProfile,
+    codes: np.ndarray,
+    lanes: int = SSE_WORD_LANES,
+) -> float:
+    """ViterbiFilter score (nats) via the striped SSE + Lazy-F algorithm."""
+    if isinstance(profile, ViterbiWordProfile):
+        sp = StripedViterbiProfile.from_profile(profile, lanes)
+    else:
+        sp = profile
+    base = sp.base
+    codes = np.asarray(codes)
+    if codes.ndim != 1 or codes.size == 0:
+        raise KernelError("codes must be a non-empty 1-D array")
+
+    Q, L = sp.Q, sp.lanes
+    MMX = np.full((Q, L), VF_WORD_MIN, dtype=np.int32)
+    IMX = MMX.copy()
+    DMX = MMX.copy()
+    xJ = VF_WORD_MIN
+    xC = VF_WORD_MIN
+    xB = base.init_xB
+
+    for x in codes:
+        rsc = sp.rwv[int(x)]
+        xBv = sat_add_i16(np.int32(xB), np.int32(base.tbm))
+        mpv = lane_rightshift(MMX[Q - 1], VF_WORD_MIN)
+        ipv = lane_rightshift(IMX[Q - 1], VF_WORD_MIN)
+        dpv = lane_rightshift(DMX[Q - 1], VF_WORD_MIN)
+        dcv = np.full(L, VF_WORD_MIN, dtype=np.int32)
+        xEv = np.full(L, VF_WORD_MIN, dtype=np.int32)
+        for q in range(Q):
+            sv = np.maximum(xBv, sat_add_i16(mpv, sp.enter_mm[q]))
+            sv = np.maximum(sv, sat_add_i16(ipv, sp.enter_im[q]))
+            sv = np.maximum(sv, sat_add_i16(dpv, sp.enter_dm[q]))
+            sv = sat_add_i16(sv, rsc[q])
+            xEv = np.maximum(xEv, sv)
+            # load previous-row vectors of this column before overwriting
+            mpv, ipv, dpv = MMX[q].copy(), IMX[q].copy(), DMX[q].copy()
+            MMX[q] = sv
+            DMX[q] = dcv
+            dcv = sat_add_i16(sv, sp.tmd[q])
+            IMX[q] = np.maximum(
+                sat_add_i16(mpv, sp.tmi[q]), sat_add_i16(ipv, sp.tii[q])
+            )
+        _lazy_f(DMX, dcv, sp.tdd)
+        xE = int(xEv.max())
+        if xE >= base.overflow_threshold:
+            return float("inf")
+        xC = max(xC, xE + base.xE_move)
+        xJ = max(xJ, xE + base.xE_loop)
+        xB = max(base.base + base.xNJ_move, xJ + base.xNJ_move)
+    if xC == VF_WORD_MIN:
+        return float("-inf")
+    return base.final_score_nats(xC)

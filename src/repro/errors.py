@@ -1,0 +1,61 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so downstream callers can catch the library's failures
+without also swallowing programming errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "AlphabetError",
+    "SequenceError",
+    "ModelError",
+    "ProfileError",
+    "FormatError",
+    "KernelError",
+    "LaunchError",
+    "PipelineError",
+    "CalibrationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AlphabetError(ReproError):
+    """A symbol or digital code is not valid for the alphabet."""
+
+
+class SequenceError(ReproError):
+    """A sequence or database is malformed or inconsistent."""
+
+
+class ModelError(ReproError):
+    """A profile HMM is structurally invalid (shapes, probabilities)."""
+
+
+class ProfileError(ReproError):
+    """A scoring profile cannot be configured or quantized as requested."""
+
+
+class FormatError(ReproError):
+    """A file being parsed does not conform to the expected format."""
+
+
+class KernelError(ReproError):
+    """A simulated GPU kernel was invoked with invalid inputs."""
+
+
+class LaunchError(ReproError):
+    """A simulated launch configuration violates device limits."""
+
+
+class PipelineError(ReproError):
+    """The hmmsearch pipeline was configured or driven incorrectly."""
+
+
+class CalibrationError(ReproError):
+    """Statistical calibration failed (e.g. degenerate score sample)."""

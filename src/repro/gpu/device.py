@@ -1,0 +1,102 @@
+"""Device models of the GPUs the paper evaluates on.
+
+A :class:`DeviceSpec` captures exactly the per-SM resource limits and
+throughput figures the paper's optimizations interact with: warp slots,
+register file, shared memory, warp-shuffle availability (Kepler yes,
+Fermi no - Section IV.A), clock and memory bandwidth.  The occupancy
+calculator (:mod:`repro.gpu.occupancy`) and the timing model
+(:mod:`repro.gpu.timing`) are parameterized by these specs, so swapping
+K40 for GTX 580 changes behaviour mechanistically rather than through
+hand-tuned curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import LaunchError
+
+__all__ = ["DeviceSpec", "KEPLER_K40", "FERMI_GTX580"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Resource and throughput description of one GPU.
+
+    All "per_sm" quantities are per streaming multiprocessor (SM on
+    Fermi, SMX on Kepler, paper Figure 8).
+    """
+
+    name: str
+    architecture: str                 # "kepler" | "fermi"
+    sm_count: int
+    max_warps_per_sm: int
+    max_blocks_per_sm: int
+    max_threads_per_block: int
+    registers_per_sm: int             # 32-bit registers
+    max_registers_per_thread: int
+    shared_mem_per_sm: int            # bytes
+    shared_mem_per_block: int         # bytes
+    shared_mem_banks: int
+    has_warp_shuffle: bool            # inter-thread register exchange
+    dual_issue: bool                  # dual instruction dispatch per scheduler
+    clock_ghz: float
+    mem_bandwidth_gbs: float          # global memory, GB/s
+    reg_alloc_granularity: int = 256  # register-file allocation rounding
+
+    def __post_init__(self) -> None:
+        if self.sm_count < 1 or self.max_warps_per_sm < 1:
+            raise LaunchError("device must have at least one SM and warp slot")
+        if self.shared_mem_per_block > self.shared_mem_per_sm:
+            raise LaunchError("per-block shared memory cannot exceed per-SM")
+
+    @property
+    def max_threads_per_sm(self) -> int:
+        return self.max_warps_per_sm * 32
+
+    @property
+    def peak_bytes_per_cycle(self) -> float:
+        """Global-memory bytes per core cycle, device-wide."""
+        return self.mem_bandwidth_gbs / self.clock_ghz
+
+    def __repr__(self) -> str:
+        return f"DeviceSpec({self.name!r}, {self.architecture}, {self.sm_count} SMs)"
+
+
+#: NVIDIA Tesla K40 (GK110B), the paper's single-GPU platform.
+KEPLER_K40 = DeviceSpec(
+    name="Tesla K40",
+    architecture="kepler",
+    sm_count=15,
+    max_warps_per_sm=64,
+    max_blocks_per_sm=16,
+    max_threads_per_block=1024,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    shared_mem_per_sm=48 * 1024,
+    shared_mem_per_block=48 * 1024,
+    shared_mem_banks=32,
+    has_warp_shuffle=True,
+    dual_issue=True,
+    clock_ghz=0.745,
+    mem_bandwidth_gbs=288.0,
+)
+
+#: NVIDIA GTX 580 (GF110), the paper's multi-GPU (4x) platform.
+FERMI_GTX580 = DeviceSpec(
+    name="GTX 580",
+    architecture="fermi",
+    sm_count=16,
+    max_warps_per_sm=48,
+    max_blocks_per_sm=8,
+    max_threads_per_block=1024,
+    registers_per_sm=32768,
+    max_registers_per_thread=63,
+    shared_mem_per_sm=48 * 1024,
+    shared_mem_per_block=48 * 1024,
+    shared_mem_banks=32,
+    has_warp_shuffle=False,
+    dual_issue=False,
+    clock_ghz=1.544,
+    mem_bandwidth_gbs=192.0,
+)

@@ -1,0 +1,146 @@
+"""CUDA occupancy calculator.
+
+Occupancy is "the ratio of the total number of resident threads (warps)
+and the maximum theoretical number of threads per multiprocessor" (paper
+Figure 9 caption).  Resident blocks per SM are limited by four resources;
+the binding one determines the occupancy cliff that drives every
+performance curve in the paper:
+
+* warp slots              (``max_warps_per_sm``),
+* the register file       (``registers_per_thread`` x threads, rounded to
+  the allocation granularity),
+* shared memory           (``smem_per_block``),
+* the block-count limit   (``max_blocks_per_sm``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import LaunchError
+from .device import DeviceSpec
+
+__all__ = ["KernelResources", "Occupancy", "occupancy", "best_occupancy"]
+
+
+@dataclass(frozen=True)
+class KernelResources:
+    """Per-launch resource usage of a kernel."""
+
+    registers_per_thread: int
+    shared_mem_per_block: int  # bytes
+    warps_per_block: int
+
+    def __post_init__(self) -> None:
+        if self.registers_per_thread < 1:
+            raise LaunchError("registers_per_thread must be positive")
+        if self.shared_mem_per_block < 0:
+            raise LaunchError("shared memory cannot be negative")
+        if self.warps_per_block < 1:
+            raise LaunchError("warps_per_block must be positive")
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.warps_per_block * 32
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Result of the occupancy calculation for one launch configuration."""
+
+    device: DeviceSpec
+    resources: KernelResources
+    blocks_per_sm: int
+    limiting_factor: str  # "warps" | "registers" | "shared_mem" | "blocks" | "infeasible"
+
+    @property
+    def warps_per_sm(self) -> int:
+        return self.blocks_per_sm * self.resources.warps_per_block
+
+    @property
+    def occupancy(self) -> float:
+        return self.warps_per_sm / self.device.max_warps_per_sm
+
+    @property
+    def feasible(self) -> bool:
+        return self.blocks_per_sm >= 1
+
+
+def _round_up(value: int, granularity: int) -> int:
+    return -(-value // granularity) * granularity
+
+
+def occupancy(device: DeviceSpec, resources: KernelResources) -> Occupancy:
+    """Occupancy of a kernel launch on a device.
+
+    Returns a result with ``blocks_per_sm == 0`` (infeasible) when a
+    single block already exceeds a per-block limit - e.g. a shared-memory
+    configuration whose model does not fit, which is how "models of size
+    1528 could be accommodated within the shared memory" and larger ones
+    cannot (paper Section IV).
+    """
+    res = resources
+    if (
+        res.threads_per_block > device.max_threads_per_block
+        or res.shared_mem_per_block > device.shared_mem_per_block
+        or res.registers_per_thread > device.max_registers_per_thread
+    ):
+        return Occupancy(device, res, 0, "infeasible")
+
+    by_warps = device.max_warps_per_sm // res.warps_per_block
+    regs_per_block = _round_up(
+        res.registers_per_thread * res.threads_per_block,
+        device.reg_alloc_granularity,
+    )
+    by_regs = device.registers_per_sm // regs_per_block
+    by_smem = (
+        device.shared_mem_per_sm // res.shared_mem_per_block
+        if res.shared_mem_per_block > 0
+        else device.max_warps_per_sm + 1  # unconstrained
+    )
+    by_blocks = device.max_blocks_per_sm
+
+    limits = {
+        "warps": by_warps,
+        "registers": by_regs,
+        "shared_mem": by_smem,
+        "blocks": by_blocks,
+    }
+    factor = min(limits, key=limits.get)  # type: ignore[arg-type]
+    blocks = limits[factor]
+    if blocks < 1:
+        return Occupancy(device, res, 0, "infeasible")
+    return Occupancy(device, res, int(blocks), factor)
+
+
+def best_occupancy(
+    device: DeviceSpec,
+    registers_per_thread: int,
+    smem_for_warps,
+    candidates: tuple[int, ...] = (2, 4, 8, 16, 32),
+) -> Occupancy | None:
+    """Pick the warps-per-block count that maximizes occupancy.
+
+    ``smem_for_warps(w)`` must return the per-block shared-memory bytes
+    for ``w`` warps per block.  Returns None when no candidate fits (the
+    launch is infeasible on this device, e.g. shared-memory configuration
+    with a very large model).  Ties prefer fewer warps per block (smaller
+    blocks schedule more flexibly).
+    """
+    best: Occupancy | None = None
+    for w in candidates:
+        if w * 32 > device.max_threads_per_block:
+            continue
+        res = KernelResources(
+            registers_per_thread=registers_per_thread,
+            shared_mem_per_block=int(smem_for_warps(w)),
+            warps_per_block=w,
+        )
+        if res.registers_per_thread > device.max_registers_per_thread:
+            continue
+        occ = occupancy(device, res)
+        if not occ.feasible:
+            continue
+        if best is None or occ.warps_per_sm > best.warps_per_sm:
+            best = occ
+    return best

@@ -1,0 +1,54 @@
+"""Shared-memory bank-conflict model.
+
+Shared memory on Fermi/Kepler is divided into 32 banks of 4-byte words;
+a warp's access is serialized into as many transactions as the worst
+bank's number of *distinct words* touched (accesses to sub-words of the
+same 4-byte word are broadcast within one transaction).
+
+The paper's "Intrinsic Conflict-Free Access" (Section III.A) lays byte
+DP cells out consecutively so each group of four lanes reads one word
+from one bank; :func:`transactions_for_access` lets tests verify that
+claim quantitatively and lets the counters charge conflicted patterns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import KernelError
+
+__all__ = ["transactions_for_access", "byte_row_addresses"]
+
+_WORD = 4
+
+
+def transactions_for_access(byte_addresses: np.ndarray, banks: int = 32) -> int:
+    """Number of shared-memory transactions for one warp access.
+
+    Parameters
+    ----------
+    byte_addresses:
+        Byte address accessed by each lane (any number of lanes; inactive
+        lanes should be omitted by the caller).
+    banks:
+        Bank count (32 on every architecture modelled here).
+    """
+    addr = np.asarray(byte_addresses, dtype=np.int64)
+    if addr.ndim != 1:
+        raise KernelError("expected a 1-D array of per-lane byte addresses")
+    if addr.size == 0:
+        return 0
+    if np.any(addr < 0):
+        raise KernelError("byte addresses must be non-negative")
+    words = addr // _WORD
+    bank = words % banks
+    transactions = 0
+    for b in np.unique(bank):
+        transactions += len(np.unique(words[bank == b]))
+    return int(transactions)
+
+
+def byte_row_addresses(base: int, lane_offsets: np.ndarray) -> np.ndarray:
+    """Byte addresses of a warp accessing ``base + offsets`` (helper)."""
+    off = np.asarray(lane_offsets, dtype=np.int64)
+    return base + off

@@ -1,0 +1,44 @@
+"""Plan-7 profile HMMs: core models, builders, search profiles, file I/O."""
+
+from .background import NullModel
+from .builder import build_hmm_from_msa, consensus_columns, henikoff_weights
+from .hmmfile import dumps_hmm, load_hmm, loads_hmm, save_hmm
+from .info import (
+    expected_domain_length,
+    match_occupancy,
+    mean_relative_entropy,
+    relative_entropy,
+)
+from .plan7 import TRANSITION_NAMES, Plan7HMM
+from .profile import SearchProfile, SpecialScores
+from .sampler import (
+    PAPER_MODEL_SIZES,
+    PFAM_SIZE_BANDS,
+    pfam_band_fractions,
+    sample_hmm,
+    sample_pfam_size,
+)
+
+__all__ = [
+    "Plan7HMM",
+    "TRANSITION_NAMES",
+    "NullModel",
+    "SearchProfile",
+    "SpecialScores",
+    "build_hmm_from_msa",
+    "consensus_columns",
+    "henikoff_weights",
+    "save_hmm",
+    "load_hmm",
+    "loads_hmm",
+    "dumps_hmm",
+    "relative_entropy",
+    "mean_relative_entropy",
+    "match_occupancy",
+    "expected_domain_length",
+    "sample_hmm",
+    "sample_pfam_size",
+    "pfam_band_fractions",
+    "PAPER_MODEL_SIZES",
+    "PFAM_SIZE_BANDS",
+]

@@ -1,0 +1,55 @@
+"""The null (background) model against which log-odds are scored.
+
+HMMER's null model emits i.i.d. background residues with a geometric
+length distribution: ``p1 = L / (L + 1)`` is the self-loop probability,
+re-set for each target sequence length.  Log-odds profile scores divide
+out the emission part; the length part enters the final bit score.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ModelError
+from ..sequence.synthetic import BACKGROUND_FREQUENCIES
+
+__all__ = ["NullModel"]
+
+
+@dataclass(frozen=True)
+class NullModel:
+    """i.i.d. background emission model with geometric length model."""
+
+    frequencies: np.ndarray = field(
+        default_factory=lambda: BACKGROUND_FREQUENCIES.copy()
+    )
+
+    def __post_init__(self) -> None:
+        f = np.ascontiguousarray(self.frequencies, dtype=np.float64)
+        if f.shape != (20,):
+            raise ModelError("null model needs 20 canonical frequencies")
+        if np.any(f <= 0) or not math.isclose(float(f.sum()), 1.0, abs_tol=1e-6):
+            raise ModelError("null frequencies must be positive and sum to 1")
+        object.__setattr__(self, "frequencies", f / f.sum())
+
+    def loop_probability(self, L: int) -> float:
+        """Self-loop probability ``p1`` for a length-``L`` target."""
+        if L < 1:
+            raise ModelError("target length must be positive")
+        return L / (L + 1.0)
+
+    def length_log_likelihood(self, L: int) -> float:
+        """Log-likelihood (nats) of emitting exactly ``L`` residues.
+
+        The geometric length model contributes ``L*log(p1) + log(1-p1)``;
+        emission terms cancel inside log-odds scores so they are excluded.
+        """
+        p1 = self.loop_probability(L)
+        return L * math.log(p1) + math.log(1.0 - p1)
+
+    def log_frequencies(self) -> np.ndarray:
+        """Natural-log background frequencies, shape ``(20,)``."""
+        return np.log(self.frequencies)

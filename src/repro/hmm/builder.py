@@ -1,0 +1,188 @@
+"""``hmmbuild``-style construction of a Plan-7 model from an alignment.
+
+The builder follows the classic recipe:
+
+1. mark *consensus columns* - alignment columns whose residue occupancy is
+   at least ``symfrac`` (HMMER default 0.5);
+2. weight sequences with the position-based Henikoff & Henikoff (1994)
+   scheme to discount redundant alignment members;
+3. accumulate weighted emission and transition counts along each
+   sequence's implied Plan-7 state path;
+4. mix in background-proportional pseudocounts (a single-component prior,
+   a simplification of HMMER's Dirichlet mixtures) and normalize.
+
+Insert emissions are set to the background, matching how HMMER 3.0
+configures search profiles regardless of counted insert residues.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence as AbcSequence
+
+import numpy as np
+
+from ..alphabet import AMINO
+from ..errors import ModelError
+from ..sequence.synthetic import BACKGROUND_FREQUENCIES
+from .plan7 import Plan7HMM
+
+__all__ = ["build_hmm_from_msa", "henikoff_weights", "consensus_columns"]
+
+_GAP_CHARS = frozenset("-.~")
+
+
+def _validate_msa(msa: AbcSequence[str]) -> list[str]:
+    if len(msa) == 0:
+        raise ModelError("alignment must contain at least one sequence")
+    width = len(msa[0])
+    if width == 0:
+        raise ModelError("alignment columns cannot be empty")
+    rows = []
+    for i, row in enumerate(msa):
+        if len(row) != width:
+            raise ModelError(
+                f"alignment row {i} has length {len(row)}, expected {width}"
+            )
+        rows.append(row.upper())
+    return rows
+
+
+def _residue_matrix(rows: list[str]) -> np.ndarray:
+    """Digital codes with -1 marking gaps, shape ``(n_seqs, width)``."""
+    n, width = len(rows), len(rows[0])
+    out = np.full((n, width), -1, dtype=np.int16)
+    for i, row in enumerate(rows):
+        for j, ch in enumerate(row):
+            if ch in _GAP_CHARS:
+                continue
+            out[i, j] = AMINO.code(ch)
+    return out
+
+
+def consensus_columns(msa: AbcSequence[str], symfrac: float = 0.5) -> np.ndarray:
+    """Indices of alignment columns assigned to match states."""
+    if not 0.0 < symfrac <= 1.0:
+        raise ModelError("symfrac must be in (0, 1]")
+    codes = _residue_matrix(_validate_msa(msa))
+    occupancy = (codes >= 0).mean(axis=0)
+    cols = np.flatnonzero(occupancy >= symfrac)
+    if cols.size == 0:
+        raise ModelError(
+            f"no alignment column reaches occupancy {symfrac}; "
+            "cannot determine consensus"
+        )
+    return cols
+
+
+def henikoff_weights(msa: AbcSequence[str]) -> np.ndarray:
+    """Position-based sequence weights (Henikoff & Henikoff 1994).
+
+    Each column distributes one unit of weight: a residue observed in a
+    column receives ``1 / (r * s)`` where ``r`` is the number of distinct
+    residues in the column and ``s`` how many sequences carry this one.
+    Weights are normalized to mean 1.
+    """
+    codes = _residue_matrix(_validate_msa(msa))
+    n, width = codes.shape
+    weights = np.zeros(n, dtype=np.float64)
+    for j in range(width):
+        col = codes[:, j]
+        present = col >= 0
+        if not present.any():
+            continue
+        values, inverse, counts = np.unique(
+            col[present], return_inverse=True, return_counts=True
+        )
+        r = values.size
+        weights[present] += 1.0 / (r * counts[inverse])
+    if weights.sum() == 0:
+        weights[:] = 1.0
+    return weights * n / weights.sum()
+
+
+def build_hmm_from_msa(
+    msa: AbcSequence[str],
+    name: str = "msa-model",
+    symfrac: float = 0.5,
+    pseudocount: float = 1.0,
+    weighting: bool = True,
+) -> Plan7HMM:
+    """Build a Plan-7 model from an aligned set of sequences.
+
+    Parameters
+    ----------
+    msa:
+        Aligned rows of equal width; gaps are ``- . ~``.  Degenerate
+        residue codes are counted fractionally across their possibilities.
+    symfrac:
+        Minimum residue occupancy for a column to become a match state.
+    pseudocount:
+        Total pseudocount mass mixed into every emission/transition
+        distribution, spread proportionally to the background (emissions)
+        or uniformly (transitions).
+    weighting:
+        Apply Henikoff position-based sequence weighting (default True).
+    """
+    rows = _validate_msa(msa)
+    cols = consensus_columns(rows, symfrac)
+    M = int(cols.size)
+    codes = _residue_matrix(rows)
+    weights = henikoff_weights(rows) if weighting else np.ones(len(rows))
+    degeneracy = AMINO.degeneracy_matrix().astype(np.float64)
+    degeneracy /= np.clip(degeneracy.sum(axis=1, keepdims=True), 1.0, None)
+
+    is_consensus = np.zeros(codes.shape[1], dtype=bool)
+    is_consensus[cols] = True
+    col_to_node = {int(c): k for k, c in enumerate(cols)}  # node index 0..M-1
+
+    match_counts = np.zeros((M, 20), dtype=np.float64)
+    # transition counts in TRANSITION_NAMES order per origin node 1..M
+    t_counts = np.zeros((M, 7), dtype=np.float64)
+
+    for i in range(codes.shape[0]):
+        w = weights[i]
+        # emission counts
+        for j in cols:
+            c = codes[i, j]
+            if c >= 0:
+                match_counts[col_to_node[int(j)]] += w * degeneracy[c]
+        # state path: walk columns left to right, tracking the current
+        # Plan-7 state at each consensus node
+        path: list[tuple[int, str]] = []  # (node 1..M, state letter)
+        node = 0
+        for j in range(codes.shape[1]):
+            c = codes[i, j]
+            if is_consensus[j]:
+                node += 1
+                path.append((node, "M" if c >= 0 else "D"))
+            elif c >= 0 and 0 < node < M:
+                path.append((node, "I"))
+        for (node_a, sa), (_, sb) in zip(path, path[1:]):
+            kind = sa + ("I" if sb == "I" else sb)
+            # normalize I self-loop naming: I->I is "II", I->M is "IM" etc.
+            if sa == "I":
+                kind = "I" + ("I" if sb == "I" else sb)
+            index = {"MM": 0, "MI": 1, "MD": 2, "IM": 3, "II": 4,
+                     "DM": 5, "DD": 6}.get(kind)
+            if index is not None and node_a <= M:
+                t_counts[node_a - 1, index] += w
+
+    # pseudocounts and normalization
+    match = match_counts + pseudocount * BACKGROUND_FREQUENCIES
+    match /= match.sum(axis=1, keepdims=True)
+    insert = np.tile(BACKGROUND_FREQUENCIES, (M, 1))
+
+    transitions = np.empty((M, 7), dtype=np.float64)
+    prior = pseudocount / 3.0
+    for start, end in ((0, 3), (3, 5), (5, 7)):
+        block = t_counts[:, start:end] + prior
+        transitions[:, start:end] = block / block.sum(axis=1, keepdims=True)
+    transitions[M - 1] = (1.0, 0.0, 0.0, 1.0, 0.0, 1.0, 0.0)
+
+    return Plan7HMM(
+        name=name,
+        match_emissions=match,
+        insert_emissions=insert,
+        transitions=transitions,
+        description=f"built from {len(rows)} aligned sequences",
+    )

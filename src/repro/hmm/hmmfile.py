@@ -1,0 +1,127 @@
+"""Flat-file save/load for Plan-7 models (HMMER3-like text format).
+
+The format is a simplified cousin of HMMER3's ``.hmm`` files::
+
+    REPRO-HMM 1.0
+    NAME  globin
+    DESC  optional free text
+    LENG  148
+    ALPH  amino
+    HMM
+      <match emissions: 20 floats>      # node 1
+      <insert emissions: 20 floats>
+      <transitions: 7 floats MM MI MD IM II DM DD>
+      ... repeated per node ...
+    //
+
+Values are written with 9 significant digits, which round-trips every
+probability to well below the model validator's tolerance.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from ..errors import FormatError
+from .plan7 import Plan7HMM
+
+__all__ = ["save_hmm", "load_hmm", "loads_hmm", "dumps_hmm"]
+
+_MAGIC = "REPRO-HMM 1.0"
+
+
+def _format_row(values: np.ndarray) -> str:
+    return "  " + " ".join(f"{v:.9g}" for v in values)
+
+
+def dumps_hmm(hmm: Plan7HMM) -> str:
+    """Serialize a model to the flat text format."""
+    lines = [_MAGIC, f"NAME  {hmm.name}"]
+    if hmm.description:
+        lines.append(f"DESC  {hmm.description}")
+    lines += [f"LENG  {hmm.M}", "ALPH  amino", "HMM"]
+    for k in range(hmm.M):
+        lines.append(_format_row(hmm.match_emissions[k]))
+        lines.append(_format_row(hmm.insert_emissions[k]))
+        lines.append(_format_row(hmm.transitions[k]))
+    lines.append("//")
+    return "\n".join(lines) + "\n"
+
+
+def save_hmm(path: str | Path, hmm: Plan7HMM) -> None:
+    """Write a model to ``path``."""
+    Path(path).write_text(dumps_hmm(hmm), encoding="ascii")
+
+
+def _read_header(lines: list[str]) -> tuple[dict[str, str], int]:
+    if not lines or lines[0].strip() != _MAGIC:
+        raise FormatError(f"missing magic line {_MAGIC!r}")
+    fields: dict[str, str] = {}
+    i = 1
+    while i < len(lines):
+        line = lines[i].strip()
+        if line == "HMM":
+            return fields, i + 1
+        key, _, value = line.partition(" ")
+        if key not in {"NAME", "DESC", "LENG", "ALPH"}:
+            raise FormatError(f"unexpected header line {line!r}")
+        fields[key] = value.strip()
+        i += 1
+    raise FormatError("missing HMM section")
+
+
+def loads_hmm(text: str) -> Plan7HMM:
+    """Parse a model from flat text."""
+    lines = text.splitlines()
+    fields, body_start = _read_header(lines)
+    for required in ("NAME", "LENG", "ALPH"):
+        if required not in fields:
+            raise FormatError(f"missing required header field {required}")
+    if fields["ALPH"] != "amino":
+        raise FormatError(f"unsupported alphabet {fields['ALPH']!r}")
+    try:
+        M = int(fields["LENG"])
+    except ValueError:
+        raise FormatError(f"bad LENG value {fields['LENG']!r}") from None
+
+    body = [ln for ln in lines[body_start:] if ln.strip()]
+    if not body or body[-1].strip() != "//":
+        raise FormatError("model must end with a // terminator line")
+    rows = body[:-1]
+    if len(rows) != 3 * M:
+        raise FormatError(f"expected {3 * M} data rows for LENG {M}, got {len(rows)}")
+
+    def parse(row: str, n: int, what: str, node: int) -> np.ndarray:
+        parts = row.split()
+        if len(parts) != n:
+            raise FormatError(
+                f"node {node}: {what} row has {len(parts)} values, expected {n}"
+            )
+        try:
+            return np.array([float(p) for p in parts], dtype=np.float64)
+        except ValueError:
+            raise FormatError(f"node {node}: non-numeric value in {what} row") from None
+
+    match = np.empty((M, 20))
+    insert = np.empty((M, 20))
+    transitions = np.empty((M, 7))
+    for k in range(M):
+        match[k] = parse(rows[3 * k], 20, "match emission", k + 1)
+        insert[k] = parse(rows[3 * k + 1], 20, "insert emission", k + 1)
+        transitions[k] = parse(rows[3 * k + 2], 7, "transition", k + 1)
+
+    return Plan7HMM(
+        name=fields["NAME"],
+        match_emissions=match,
+        insert_emissions=insert,
+        transitions=transitions,
+        description=fields.get("DESC", ""),
+    )
+
+
+def load_hmm(path: str | Path) -> Plan7HMM:
+    """Read a model from ``path``."""
+    return loads_hmm(Path(path).read_text(encoding="ascii"))

@@ -1,0 +1,91 @@
+"""Model diagnostics: information content and state occupancy.
+
+The quantities ``hmmstat`` reports for a model:
+
+* per-position **relative entropy** (information content, bits) of the
+  match emissions against the null - what makes a motif findable;
+* **match-state occupancy** ``occ[k]``: the probability that a path
+  through the core model visits ``M_k`` rather than ``D_k`` (HMMER uses
+  it to weight entry points; here it diagnoses builder output);
+* expected emitted length of one domain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+from .background import NullModel
+from .plan7 import Plan7HMM
+
+__all__ = [
+    "relative_entropy",
+    "mean_relative_entropy",
+    "match_occupancy",
+    "expected_domain_length",
+]
+
+
+def relative_entropy(hmm: Plan7HMM, null: NullModel | None = None) -> np.ndarray:
+    """Per-position information content (bits) of the match emissions."""
+    null = null or NullModel()
+    p = np.clip(hmm.match_emissions, 1e-300, None)
+    return (p * np.log2(p / null.frequencies)).sum(axis=1)
+
+
+def mean_relative_entropy(hmm: Plan7HMM, null: NullModel | None = None) -> float:
+    """Mean information content (bits/position); Pfam models sit near
+    ~1 bit after entropy weighting, unweighted seeds higher."""
+    return float(relative_entropy(hmm, null).mean())
+
+
+def match_occupancy(hmm: Plan7HMM) -> np.ndarray:
+    """``occ[k]``: probability node ``k`` is visited in a Match state.
+
+    Computed by propagating the (M, D) visit distribution through the
+    node transitions, starting from a Match entry at node 1; insert
+    visits return to the Match track so they do not change occupancy.
+    """
+    M = hmm.M
+    occ = np.empty(M, dtype=np.float64)
+    p_match = 1.0  # entered at M_1
+    p_delete = 0.0
+    occ[0] = p_match
+    t = hmm.transitions
+    for k in range(1, M):
+        mm, mi, md = t[k - 1, 0], t[k - 1, 1], t[k - 1, 2]
+        dm, dd = t[k - 1, 5], t[k - 1, 6]
+        # M -> (M next | I -> eventually M next | D next); the insert
+        # detour re-enters the next node's Match state
+        to_match = p_match * (mm + mi) + p_delete * dm
+        to_delete = p_match * md + p_delete * dd
+        total = to_match + to_delete
+        if total <= 0:
+            raise ModelError(f"node {k}: no probability flow")
+        p_match, p_delete = to_match / total, to_delete / total
+        occ[k] = p_match
+    return occ
+
+
+def expected_domain_length(hmm: Plan7HMM, n_samples: int = 0,
+                           rng: np.random.Generator | None = None) -> float:
+    """Expected residues emitted by one pass through the core model.
+
+    Analytic: sum over nodes of ``occ[k] * (1 + E[inserts after k])``
+    where the insert run after node ``k`` is geometric with mean
+    ``tMI / (1 - tII)`` conditioned on entering.  When ``n_samples`` > 0
+    a Monte-Carlo estimate from :meth:`Plan7HMM.sample_sequence` is
+    returned instead (used by the tests to validate the formula).
+    """
+    if n_samples > 0:
+        if rng is None:
+            raise ModelError("sampling needs an rng")
+        return float(
+            np.mean([hmm.sample_sequence(rng).size for _ in range(n_samples)])
+        )
+    occ = match_occupancy(hmm)
+    mi = hmm.transitions[:, 1]
+    ii = hmm.transitions[:, 4]
+    # match emission + (geometric insert run entered with prob tMI)
+    per_node = occ * (1.0 + mi / np.clip(1.0 - ii, 1e-12, None))
+    return float(per_node.sum())

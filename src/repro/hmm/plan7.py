@@ -1,0 +1,174 @@
+"""Plan-7 profile hidden Markov models (core probability form).
+
+A Plan-7 model (Eddy 1998) has ``M`` nodes, each with a Match, Insert and
+Delete state.  Node ``k`` (1-based) owns seven transitions to node ``k+1``:
+
+====  =======================
+MM    Match(k)  -> Match(k+1)
+MI    Match(k)  -> Insert(k)
+MD    Match(k)  -> Delete(k+1)
+IM    Insert(k) -> Match(k+1)
+II    Insert(k) -> Insert(k)
+DM    Delete(k) -> Match(k+1)
+DD    Delete(k) -> Delete(k+1)
+====  =======================
+
+Node ``M`` transitions lead to the End state instead: the model stores
+``MM=1, MI=0, MD=0, IM=1, II=0, DM=1, DD=0`` at index ``M-1`` (there is no
+Insert state at node M, matching HMMER).  The flanking S/N/B/E/C/J/T states
+belong to the *search profile* (:mod:`repro.hmm.profile`), not to the core
+model.
+
+All probabilities are stored densely as float64 NumPy arrays; the class
+validates stochasticity on construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ModelError
+from ..sequence.synthetic import BACKGROUND_FREQUENCIES
+
+__all__ = ["Plan7HMM", "TRANSITION_NAMES"]
+
+#: Canonical order of the seven per-node transitions.
+TRANSITION_NAMES = ("MM", "MI", "MD", "IM", "II", "DM", "DD")
+
+_PROB_ATOL = 1e-6
+
+
+@dataclass
+class Plan7HMM:
+    """A Plan-7 core model over the 20 canonical amino acids.
+
+    Parameters
+    ----------
+    name:
+        Model name (e.g. a Pfam accession).
+    match_emissions:
+        ``(M, 20)`` match emission probabilities, rows sum to 1.
+    insert_emissions:
+        ``(M, 20)`` insert emission probabilities, rows sum to 1.
+    transitions:
+        ``(M, 7)`` transition probabilities in :data:`TRANSITION_NAMES`
+        order; groups (MM,MI,MD), (IM,II), (DM,DD) each sum to 1.
+    """
+
+    name: str
+    match_emissions: np.ndarray
+    insert_emissions: np.ndarray
+    transitions: np.ndarray
+    description: str = ""
+    _consensus: str = field(default="", repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        me = np.ascontiguousarray(self.match_emissions, dtype=np.float64)
+        ie = np.ascontiguousarray(self.insert_emissions, dtype=np.float64)
+        tr = np.ascontiguousarray(self.transitions, dtype=np.float64)
+        if me.ndim != 2 or me.shape[1] != 20:
+            raise ModelError("match_emissions must have shape (M, 20)")
+        M = me.shape[0]
+        if M < 1:
+            raise ModelError("model must have at least one node")
+        if ie.shape != (M, 20):
+            raise ModelError("insert_emissions must have shape (M, 20)")
+        if tr.shape != (M, 7):
+            raise ModelError("transitions must have shape (M, 7)")
+        if np.any(me < 0) or np.any(ie < 0) or np.any(tr < 0):
+            raise ModelError("probabilities must be non-negative")
+        for label, arr in (("match", me), ("insert", ie)):
+            if not np.allclose(arr.sum(axis=1), 1.0, atol=_PROB_ATOL):
+                raise ModelError(f"{label} emission rows must each sum to 1")
+        groups = {"MM+MI+MD": tr[:, 0:3], "IM+II": tr[:, 3:5], "DM+DD": tr[:, 5:7]}
+        for label, block in groups.items():
+            if not np.allclose(block.sum(axis=1), 1.0, atol=_PROB_ATOL):
+                raise ModelError(f"transition group {label} must sum to 1 per node")
+        # node-M boundary: all paths must leave the model (no I_M, no D->D).
+        if not (
+            np.isclose(tr[M - 1, 1], 0.0, atol=_PROB_ATOL)
+            and np.isclose(tr[M - 1, 2], 0.0, atol=_PROB_ATOL)
+            and np.isclose(tr[M - 1, 6], 0.0, atol=_PROB_ATOL)
+        ):
+            raise ModelError("node M must have MI = MD = DD = 0 (exits to E)")
+        self.match_emissions = me
+        self.insert_emissions = ie
+        self.transitions = tr
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def M(self) -> int:
+        """Model length (number of match states / consensus columns)."""
+        return int(self.match_emissions.shape[0])
+
+    def transition(self, kind: str) -> np.ndarray:
+        """One named transition column, shape ``(M,)``."""
+        try:
+            idx = TRANSITION_NAMES.index(kind)
+        except ValueError:
+            raise ModelError(f"unknown transition kind {kind!r}") from None
+        return self.transitions[:, idx]
+
+    @property
+    def consensus(self) -> str:
+        """One-letter consensus: most probable residue per match state."""
+        if not self._consensus:
+            from ..alphabet import AMINO
+
+            best = np.argmax(self.match_emissions, axis=1)
+            object.__setattr__(
+                self, "_consensus", "".join(AMINO.symbols[b] for b in best)
+            )
+        return self._consensus
+
+    def mean_match_entropy(self) -> float:
+        """Average Shannon entropy (bits) of the match emissions."""
+        p = np.clip(self.match_emissions, 1e-300, None)
+        return float(-(p * np.log2(p)).sum(axis=1).mean())
+
+    # -- generative use -------------------------------------------------------
+
+    def sample_sequence(self, rng: np.random.Generator) -> np.ndarray:
+        """Emit one domain by a stochastic traversal of the core model.
+
+        The walk enters at Match(1) and follows the node transitions until
+        it exits past node M; the returned array holds the emitted residue
+        codes.  Used to plant homologs in synthetic databases.
+        """
+        tr = self.transitions
+        out: list[int] = []
+        k, state = 1, "M"
+        while k <= self.M:
+            if state == "M":
+                out.append(
+                    int(rng.choice(20, p=self.match_emissions[k - 1]))
+                )
+                nxt = rng.choice(3, p=tr[k - 1, 0:3] / tr[k - 1, 0:3].sum())
+                if nxt == 0:
+                    k, state = k + 1, "M"
+                elif nxt == 1:
+                    state = "I"
+                else:
+                    k, state = k + 1, "D"
+            elif state == "I":
+                out.append(
+                    int(rng.choice(20, p=self.insert_emissions[k - 1]))
+                )
+                nxt = rng.choice(2, p=tr[k - 1, 3:5] / tr[k - 1, 3:5].sum())
+                if nxt == 0:
+                    k, state = k + 1, "M"
+            else:  # Delete
+                nxt = rng.choice(2, p=tr[k - 1, 5:7] / tr[k - 1, 5:7].sum())
+                if nxt == 0:
+                    k, state = k + 1, "M"
+                else:
+                    k, state = k + 1, "D"
+        if not out:  # an all-delete path is possible in principle
+            out.append(int(rng.choice(20, p=BACKGROUND_FREQUENCIES)))
+        return np.array(out, dtype=np.uint8)
+
+    def __repr__(self) -> str:
+        return f"Plan7HMM(name={self.name!r}, M={self.M})"

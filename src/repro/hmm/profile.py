@@ -1,0 +1,172 @@
+"""Search-profile configuration: core HMM -> log-odds scoring profile.
+
+A :class:`SearchProfile` wraps a Plan-7 core model with HMMER 3.0's
+"implicit probabilistic model" for local alignment:
+
+* uniform local entry ``B -> M_k`` with probability ``2 / (M (M+1))``,
+* free local exit ``M_k -> E`` (score 0),
+* multihit flanking machinery ``S-N-B ... E-C-T`` with a ``J`` loop whose
+  probabilities depend on the target sequence length ``L``.
+
+All scores are **nats** (natural-log odds against the null model).  Match
+emission scores are precomputed for every digital code, marginalizing
+degenerate residues by expected probability; gap/special codes score
+minus infinity.  Insert emission scores are zero, HMMER 3.0's convention
+(insert emissions are set equal to the background).
+
+The float profile is the single source of truth that the quantized MSV
+byte profile and ViterbiFilter word profile (:mod:`repro.scoring`) are
+derived from.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..alphabet import AMINO
+from ..errors import ProfileError
+from .background import NullModel
+from .plan7 import Plan7HMM
+
+__all__ = ["SearchProfile", "SpecialScores"]
+
+#: Scores treated as impossible transitions/emissions.
+_NEG_INF = float("-inf")
+
+
+@dataclass(frozen=True)
+class SpecialScores:
+    """Log scores (nats) of the flanking special-state transitions."""
+
+    E_move: float  # E -> C
+    E_loop: float  # E -> J
+    N_loop: float  # N -> N (per emitted residue)
+    N_move: float  # N -> B
+    C_loop: float  # C -> C
+    C_move: float  # C -> T
+    J_loop: float  # J -> J
+    J_move: float  # J -> B
+
+
+class SearchProfile:
+    """Length-configured local search profile over a Plan-7 model.
+
+    Parameters
+    ----------
+    hmm:
+        The core model.
+    null:
+        Null model used for log-odds; defaults to the standard background.
+    multihit:
+        When True (default, matching ``hmmsearch``) the profile may align
+        several domains per target via the J state.
+    L:
+        Target length the flanking length model is configured for; can be
+        re-set cheaply with :meth:`configured_for_length`.
+    """
+
+    def __init__(
+        self,
+        hmm: Plan7HMM,
+        null: NullModel | None = None,
+        multihit: bool = True,
+        L: int = 400,
+    ) -> None:
+        if L < 1:
+            raise ProfileError("target length L must be positive")
+        self.hmm = hmm
+        self.null = null if null is not None else NullModel()
+        self.multihit = multihit
+        self.L = int(L)
+        self.M = hmm.M
+
+        self._build_match_scores()
+        self._build_transition_scores()
+        self._build_specials()
+
+    # -- construction ---------------------------------------------------------
+
+    def _build_match_scores(self) -> None:
+        f = self.null.frequencies
+        em = self.hmm.match_emissions  # (M, 20)
+        degeneracy = AMINO.degeneracy_matrix()  # (Kp, 20) bool
+        msc = np.full((AMINO.Kp, self.M), _NEG_INF, dtype=np.float64)
+        for code in range(AMINO.Kp):
+            mask = degeneracy[code]
+            if not mask.any():
+                continue  # gap/special: impossible
+            # expected-probability marginalization for degenerate codes;
+            # reduces to the plain log-odds for canonical residues.
+            num = em[:, mask].sum(axis=1)
+            den = f[mask].sum()
+            with np.errstate(divide="ignore"):
+                msc[code] = np.log(num / den)
+        self.msc = msc  # (Kp, M): rows indexed by digital code, like rbv
+
+    def _build_transition_scores(self) -> None:
+        with np.errstate(divide="ignore"):
+            logt = np.log(self.hmm.transitions)  # (M, 7), -inf where p == 0
+        (self.tmm, self.tmi, self.tmd, self.tim, self.tii, self.tdm, self.tdd) = (
+            np.ascontiguousarray(logt[:, j]) for j in range(7)
+        )
+        # Uniform local entry: B -> M_k for every k, p = 2 / (M (M+1)).
+        self.tbm = math.log(2.0 / (self.M * (self.M + 1)))
+
+    def _build_specials(self) -> None:
+        L = self.L
+        if self.multihit:
+            e_move = e_loop = math.log(0.5)
+            p_move = 3.0 / (L + 3.0)
+        else:
+            e_move, e_loop = 0.0, _NEG_INF
+            p_move = 2.0 / (L + 2.0)
+        loop = math.log(1.0 - p_move)
+        move = math.log(p_move)
+        self.specials = SpecialScores(
+            E_move=e_move,
+            E_loop=e_loop,
+            N_loop=loop,
+            N_move=move,
+            C_loop=loop,
+            C_move=move,
+            J_loop=loop,
+            J_move=move,
+        )
+
+    # -- public API -----------------------------------------------------------
+
+    def configured_for_length(self, L: int) -> "SearchProfile":
+        """A profile identical to this one but with the length model at L."""
+        if L == self.L:
+            return self
+        return SearchProfile(self.hmm, self.null, multihit=self.multihit, L=L)
+
+    def match_score_row(self, code: int) -> np.ndarray:
+        """Match log-odds (nats) of digital code ``code`` at every node."""
+        if not 0 <= code < AMINO.Kp:
+            raise ProfileError(f"digital code {code} out of range")
+        return self.msc[code]
+
+    def null_length_correction(self, L: int) -> float:
+        """Null-model length log-likelihood subtracted from raw scores."""
+        return self.null.length_log_likelihood(L)
+
+    def max_match_score(self) -> float:
+        """Largest finite match emission score (used by quantizers)."""
+        finite = self.msc[np.isfinite(self.msc)]
+        if finite.size == 0:
+            raise ProfileError("profile has no finite match scores")
+        return float(finite.max())
+
+    def min_match_score(self) -> float:
+        """Most negative finite canonical match score (sets the MSV bias)."""
+        canonical = self.msc[:20]
+        finite = canonical[np.isfinite(canonical)]
+        return float(finite.min())
+
+    def __repr__(self) -> str:
+        mode = "multihit" if self.multihit else "unihit"
+        return f"SearchProfile({self.hmm.name!r}, M={self.M}, {mode}, L={self.L})"

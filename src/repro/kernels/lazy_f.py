@@ -1,0 +1,96 @@
+"""Parallel Lazy-F for SIMT warps (paper Section III.B, Figure 7).
+
+The P7Viterbi Delete chain ``D[j] = max(M[j-1]+tMD[j-1], D[j-1]+tDD[j-1])``
+is the only sequential dependency *within* a DP row.  HMMER's striped SSE
+code resolves it with serial "Lazy-F" passes; the paper ports the idea to
+warps:
+
+* the warp walks the row in 32-position windows (outer loop);
+* within a window, all 32 lanes compute candidate D-D improvements
+  simultaneously and a warp vote ``__all(MD_score > DD_score)`` decides
+  whether the window is stable; unstable windows repeat (inner
+  fixed-point loop), stable windows let the warp advance, carrying the
+  boundary D value to the next window;
+* no synchronization is ever needed - the vote is a warp instruction.
+
+Because windows are processed left to right and D chains only flow
+rightward, a single sweep with converged windows yields the *exact*
+Delete row (no multi-pass wrap like the striped layout needs).  Since a
+large fraction of rows has no profitable D-D transition at all, most
+windows converge after one vote - the reason Lazy-F beats both eager
+evaluation and prefix sums on on-chip resources (paper Section III.B),
+quantified by the ``abl-lazyf`` benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import VF_WORD_MIN, WARP_SIZE
+from ..errors import KernelError
+from ..gpu.counters import KernelCounters
+from ..scoring.quantized import sat_add_i16
+
+__all__ = ["parallel_lazy_f"]
+
+
+def parallel_lazy_f(
+    D: np.ndarray,
+    tdd_enter: np.ndarray,
+    counters: KernelCounters | None = None,
+) -> np.ndarray:
+    """Resolve the Delete chains of a batch of DP rows in place.
+
+    Parameters
+    ----------
+    D:
+        ``(n, M)`` int32 partial Delete rows holding only the M->D
+        contributions (``D[j] = sat(M[j-1] + tMD[j-1])``); updated in
+        place to the exact chain values.
+    tdd_enter:
+        ``(M,)`` D->D cost *entering* node j (i.e. ``tDD[j-1]``, with
+        ``tdd_enter[0] = -32768``).
+    counters:
+        Charged one vote per inner iteration per live warp, plus the
+        Lazy-F pass statistics.
+
+    Returns
+    -------
+    The same array ``D`` (for chaining).
+    """
+    D = np.asarray(D)
+    if D.ndim != 2:
+        raise KernelError("parallel_lazy_f expects (n_warps, M) rows")
+    n, M = D.shape
+    if tdd_enter.shape != (M,):
+        raise KernelError("tdd_enter must have one cost per model position")
+
+    carry = np.full(n, VF_WORD_MIN, dtype=np.int32)  # D value left of window
+    total_votes = 0  # one vote = one (row, window, iteration) triple
+    for p0 in range(0, M, WARP_SIZE):
+        p1 = min(p0 + WARP_SIZE, M)
+        window = D[:, p0:p1]
+        costs = tdd_enter[p0:p1]
+        live = np.ones(n, dtype=bool)
+        while True:
+            # all lanes compute their D-D candidate from the lane to the
+            # left (lane 0 from the inter-window carry register); each
+            # live warp then votes on whether anything improved
+            shifted = np.concatenate([carry[:, None], window[:, :-1]], axis=1)
+            cand = sat_add_i16(shifted, costs)
+            improves = cand > window
+            total_votes += int(live.sum())
+            live = live & improves.any(axis=1)
+            if not live.any():
+                break
+            window[live] = np.maximum(window[live], cand[live])
+        carry = window[:, -1].copy()
+    if counters is not None:
+        n_windows = -(-M // WARP_SIZE)
+        counters.votes += total_votes
+        counters.lazyf_rows_checked += n
+        counters.lazyf_passes += total_votes
+        # every row votes at least once per window; anything beyond that
+        # is real D-D propagation work
+        counters.lazyf_extra_passes += max(0, total_votes - n * n_windows)
+    return D

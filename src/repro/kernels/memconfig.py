@@ -1,0 +1,148 @@
+"""Memory configurations and kernel resource models (paper Section IV).
+
+The paper runs each kernel in two configurations:
+
+* **shared** - model parameters (emission/transition scores) are staged
+  in on-chip shared memory next to the DP rows: lowest access latency,
+  but the per-block footprint grows with the model and occupancy
+  collapses for large models (and very large models do not fit at all:
+  MSV models beyond 1528 "could not be accommodated");
+* **global** - parameters stay in (L2-cached) global memory: higher
+  access latency but only the DP rows occupy shared memory, so occupancy
+  stays high for large models.
+
+The optimal strategy switches between them - around model size 1002 for
+MSV on the K40.  In this reproduction the switch point *emerges* from the
+occupancy calculator and timing model rather than being hard-coded; the
+fig9 benchmark checks it lands in the right band.
+
+Resource numbers below are the calibration of this reproduction (real
+compiler register allocations are unknowable from the paper): register
+counts are typical for kernels of this complexity, and the staged
+parameter tables assume the 4-bit score packing in the spirit of the
+paper's residue packing (Section III.A), dequantized through a small LUT.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..constants import WARP_SIZE
+from ..errors import LaunchError
+from ..gpu.device import DeviceSpec
+from ..gpu.occupancy import Occupancy, best_occupancy
+
+__all__ = [
+    "MemoryConfig",
+    "Stage",
+    "registers_per_thread",
+    "dp_row_bytes_per_warp",
+    "param_table_bytes",
+    "smem_per_block",
+    "stage_occupancy",
+]
+
+
+class MemoryConfig(enum.Enum):
+    """Where the model parameters live during kernel execution."""
+
+    SHARED = "shared"
+    GLOBAL = "global"
+
+
+class Stage(enum.Enum):
+    """The two pipeline stages the paper accelerates."""
+
+    MSV = "msv"
+    P7VITERBI = "p7viterbi"
+
+
+#: Alphabet rows staged for the emission table.
+_EMISSION_CODES = 29
+
+#: Bytes of dequantization lookup table for 4-bit packed scores.
+_DEQUANT_LUT_BYTES = 16
+
+
+def registers_per_thread(stage: Stage, device: DeviceSpec) -> int:
+    """Estimated register usage of the warp-synchronous kernels.
+
+    The P7Viterbi kernel keeps M/I/D triples plus the Lazy-F state in
+    registers, which is what pins its occupancy to 50% on Kepler (paper:
+    "the amount of available registers per SM/SMX becomes the main
+    limiting factor").  Fermi caps threads at 63 registers.
+    """
+    if stage is Stage.MSV:
+        regs = 28 if device.has_warp_shuffle else 32
+    else:
+        regs = 60 if device.has_warp_shuffle else 63
+    return min(regs, device.max_registers_per_thread)
+
+
+def dp_row_bytes_per_warp(stage: Stage, M: int) -> int:
+    """Shared-memory DP row footprint of one warp (= one sequence).
+
+    MSV needs a single byte row of ``M+1`` cells; P7Viterbi needs three
+    16-bit rows (M, I, D).  The final partial strip is handled with
+    bounds masks, so no padding cells are stored.
+    """
+    if M < 1:
+        raise LaunchError("model size must be positive")
+    cells = M + 1
+    if stage is Stage.MSV:
+        return cells
+    return 3 * 2 * cells
+
+
+def param_table_bytes(stage: Stage, M: int) -> int:
+    """Shared-memory footprint of the staged model parameters.
+
+    MSV stages the 29-code emission table 4-bit packed with a 16-bit
+    per-position dequantization offset and an 8-bit scale; P7Viterbi
+    stages 7 transition words (full 16-bit precision - the Lazy-F chain
+    is sensitive to them) plus the packed emission table.
+    """
+    emissions = -(-_EMISSION_CODES * M // 2) + 3 * M + _DEQUANT_LUT_BYTES
+    if stage is Stage.MSV:
+        return emissions
+    return 7 * 2 * M + emissions
+
+
+def _reduction_scratch_bytes(device: DeviceSpec, warps_per_block: int) -> int:
+    """Fermi needs per-warp shared scratch for the smem reduction."""
+    if device.has_warp_shuffle:
+        return 0
+    return warps_per_block * WARP_SIZE * 4
+
+
+def smem_per_block(
+    stage: Stage,
+    M: int,
+    warps_per_block: int,
+    config: MemoryConfig,
+    device: DeviceSpec,
+) -> int:
+    """Total shared memory per block for a launch configuration."""
+    total = warps_per_block * dp_row_bytes_per_warp(stage, M)
+    total += _reduction_scratch_bytes(device, warps_per_block)
+    if config is MemoryConfig.SHARED:
+        total += param_table_bytes(stage, M)
+    return total
+
+
+def stage_occupancy(
+    stage: Stage, M: int, config: MemoryConfig, device: DeviceSpec
+) -> Occupancy | None:
+    """Best achievable occupancy for a stage/model/config on a device.
+
+    Chooses warps-per-block to maximize resident warps, like a tuned
+    launcher would.  Returns None when the configuration is infeasible
+    (the shared-memory table does not fit for any block shape) - the
+    global configuration is always feasible for the model sizes the
+    paper considers.
+    """
+    return best_occupancy(
+        device,
+        registers_per_thread(stage, device),
+        lambda w: smem_per_block(stage, M, w, config, device),
+    )

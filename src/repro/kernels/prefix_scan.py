@@ -1,0 +1,121 @@
+"""Warp-level max-plus prefix-scan Delete chain (paper future work).
+
+The paper's conclusion proposes replacing the data-dependent Lazy-F
+iteration count with a *parallel prefix sum* that bounds the work at
+``log2(32) = 5`` shuffle steps per window (citing the authors' earlier
+prefix-sum formulation [7] and the FPGA work [13]).  This module
+implements that alternative on the simulated warp substrate.
+
+The Delete chain ``D[j] = max(D[j-1] + t[j], s[j])`` is a linear
+recurrence over the (max, +) semiring.  Writing each element as the pair
+``(prefix cost, best chain value)`` the recurrence composes
+associatively, so a Kogge-Stone scan with ``shfl_up`` solves a 32-wide
+window in exactly 5 steps - independent of how many D-D transitions are
+actually taken, which is precisely its weakness relative to Lazy-F: the
+5 steps (and the extra register pair) are paid on *every* window of
+*every* row, while Lazy-F usually stops after one vote
+(``benchmarks/test_ablation_lazyf.py`` quantifies the trade).
+
+Derivation.  Within a window let ``t[k]`` be the D-D cost *entering*
+lane ``k`` and ``s[k]`` the lane's injected (M->D) value.  Define
+``c[k] = sum of t[0..k]`` (inclusive max-plus "cost to reach k from the
+left edge") and ``b[k] = max_{i<=k} (s[i] + c[k] - c[i])`` (the best
+chain ending at k using only in-window sources).  Both satisfy scan
+recurrences with the operator
+
+    (c1, b1) . (c2, b2) = (c1 + c2, max(b1 + c2, b2))
+
+which Kogge-Stone evaluates in log2(W) doubling steps.  The incoming
+carry (the exact D value left of the window) is then folded in with one
+extra max: ``D[k] = max(b[k], carry + c[k])``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import VF_WORD_MIN, WARP_SIZE
+from ..errors import KernelError
+from ..gpu.counters import KernelCounters
+from ..gpu.warp import shfl_up
+
+__all__ = ["prefix_scan_d_chain", "SCAN_STEPS"]
+
+#: Kogge-Stone doubling steps for a 32-lane scan.
+SCAN_STEPS = 5
+
+#: Clamp for the max-plus algebra: far below any score, far above the
+#: int64 overflow region even after 32 additions.
+_FLOOR = np.int64(-(1 << 40))
+
+
+def _window_scan(
+    s: np.ndarray, t: np.ndarray, carry: np.ndarray, counters
+) -> np.ndarray:
+    """Scan one (possibly partial) window; returns resolved D values."""
+    n, w = s.shape
+    pad = WARP_SIZE - w
+    if pad:
+        # padding lanes behave as impossible chain links
+        s = np.concatenate(
+            [s, np.full((n, pad), _FLOOR, dtype=np.int64)], axis=1
+        )
+        t = np.concatenate([t, np.full(pad, _FLOOR, dtype=np.int64)])
+
+    # per-lane identity segments: C = t[k] (cost across lane k's link),
+    # B = s[k] (the lane's own injected value, paid after entering)
+    c = np.broadcast_to(t, (n, WARP_SIZE)).astype(np.int64).copy()
+    b = s.astype(np.int64).copy()
+    for step in (1, 2, 4, 8, 16):
+        c_prev = shfl_up(c, step, fill=0)
+        b_prev = shfl_up(b, step, fill=_FLOOR)
+        valid = np.arange(WARP_SIZE) >= step
+        b = np.where(valid, np.maximum(b_prev + c, b), b)
+        c = np.where(valid, c_prev + c, c)
+        if counters is not None:
+            counters.shuffles += 2 * n
+    # fold in the exact carry from the left of the window
+    out = np.maximum(b, carry[:, None].astype(np.int64) + c)
+    return np.clip(out[:, :w], VF_WORD_MIN, None).astype(np.int32)
+
+
+def prefix_scan_d_chain(
+    D: np.ndarray,
+    tdd_enter: np.ndarray,
+    counters: KernelCounters | None = None,
+) -> np.ndarray:
+    """Resolve Delete chains with the prefix-scan strategy, in place.
+
+    Drop-in replacement for :func:`repro.kernels.lazy_f.parallel_lazy_f`:
+    same inputs (partial M->D rows and the D-D entering costs), same
+    exact result (tested), but a fixed ``SCAN_STEPS`` shuffle steps per
+    window instead of a data-dependent vote loop.
+    """
+    D = np.asarray(D)
+    if D.ndim != 2:
+        raise KernelError("prefix_scan_d_chain expects (n_warps, M) rows")
+    n, M = D.shape
+    if tdd_enter.shape != (M,):
+        raise KernelError("tdd_enter must have one cost per model position")
+
+    # work in an exact max-plus domain: -32768 sentinels become _FLOOR so
+    # chains through them can never resurface after clipping
+    t64 = tdd_enter.astype(np.int64)
+    t64[t64 <= VF_WORD_MIN] = _FLOOR
+    s64 = D.astype(np.int64)
+    s64[s64 <= VF_WORD_MIN] = _FLOOR
+
+    carry = np.full(n, _FLOOR, dtype=np.int64)
+    for p0 in range(0, M, WARP_SIZE):
+        p1 = min(p0 + WARP_SIZE, M)
+        resolved = _window_scan(
+            s64[:, p0:p1], t64[p0:p1], carry, counters
+        )
+        D[:, p0:p1] = resolved
+        carry = np.where(
+            resolved[:, -1] <= VF_WORD_MIN, _FLOOR, resolved[:, -1]
+        ).astype(np.int64)
+    if counters is not None:
+        counters.lazyf_rows_checked += n
+        counters.lazyf_passes += n * (-(-M // WARP_SIZE)) * SCAN_STEPS
+    return D

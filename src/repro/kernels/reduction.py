@@ -1,0 +1,85 @@
+"""Warp-level max reductions (paper Section III.A, "Warp-Shuffled
+Reduction").
+
+Two implementations of the per-row ``xE`` max-reduction:
+
+* :func:`warp_max_shuffle` - the Kepler path: a butterfly (XOR) exchange
+  of private registers, ``log2(32) = 5`` steps, no shared memory, no
+  synchronization, and the maximum is automatically broadcast to every
+  lane (needed for the next residue's ``xB`` update).
+* :func:`warp_max_shared` - the Fermi fallback: the classic tree
+  reduction through shared memory (Harris), which costs shared-memory
+  traffic and, when run at block scope as in pre-warp-synchronous
+  designs, synchronization barriers.
+
+Both return identical values (tested); they differ only in the hardware
+events they charge to the counters - which is exactly the ablation
+``abl-shuffle`` measures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import WARP_SIZE
+from ..gpu.counters import KernelCounters
+from ..gpu.warp import shfl_xor
+
+__all__ = ["warp_max_shuffle", "warp_max_shared", "SHUFFLE_STEPS"]
+
+#: Butterfly steps for a 32-lane reduction.
+SHUFFLE_STEPS = 5
+
+
+def warp_max_shuffle(
+    values: np.ndarray, counters: KernelCounters | None = None
+) -> np.ndarray:
+    """Butterfly max-reduction; every lane ends up holding the warp max.
+
+    ``values`` has warps on the leading axes and 32 lanes on the last
+    axis; the result has the same shape with the max broadcast across
+    lanes.
+    """
+    out = np.asarray(values)
+    n_warps = int(np.prod(out.shape[:-1])) if out.ndim > 1 else 1
+    for step in (16, 8, 4, 2, 1):
+        out = np.maximum(out, shfl_xor(out, step))
+    if counters is not None:
+        counters.shuffles += SHUFFLE_STEPS * n_warps
+    return out
+
+
+def warp_max_shared(
+    values: np.ndarray,
+    counters: KernelCounters | None = None,
+    block_scope: bool = False,
+) -> np.ndarray:
+    """Tree max-reduction through (simulated) shared memory.
+
+    Models the Fermi path: each of the 5 halving steps stores and loads
+    the partial array through shared memory.  With ``block_scope=True``
+    the reduction also charges one barrier per step, reproducing the
+    pre-warp-synchronous designs the paper improves on; warp-scope
+    reductions on real hardware are barrier-free.
+    """
+    arr = np.asarray(values)
+    n_warps = int(np.prod(arr.shape[:-1])) if arr.ndim > 1 else 1
+    scratch = arr.copy()
+    width = WARP_SIZE
+    while width > 1:
+        half = width // 2
+        scratch[..., :half] = np.maximum(
+            scratch[..., :half], scratch[..., half:width]
+        )
+        if counters is not None:
+            counters.shared_loads += n_warps
+            counters.shared_stores += n_warps
+            if block_scope:
+                counters.syncthreads += 1
+        width = half
+    result = scratch[..., :1]
+    # broadcast back through shared memory (one more store + load)
+    if counters is not None:
+        counters.shared_stores += n_warps
+        counters.shared_loads += n_warps
+    return np.broadcast_to(result, arr.shape).copy()

@@ -1,0 +1,54 @@
+"""The packed residue stream consumed by the warp kernels (Figure 6).
+
+Both kernels read one residue per DP row per warp.  With
+``packed_residues=True`` they decode it from the 5-bit packed 32-bit
+word stream instead of a byte array: word ``i // 6``, sub-field
+``(5 - i % 6) * 5`` bits up, with flag 31 marking slots past the end of
+a sequence.  This helper owns the padded word matrix and the per-row
+decode so the two kernels share one faithful implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..alphabet.packing import pack_residues
+from ..sequence.database import PaddedBatch
+from ..sequence.database import SequenceDatabase
+
+__all__ = ["PackedResidueStream"]
+
+
+class PackedResidueStream:
+    """Per-warp packed residue words, padded with all-terminator words."""
+
+    def __init__(
+        self,
+        batch: PaddedBatch,
+        source_db: SequenceDatabase | None = None,
+    ) -> None:
+        n = batch.n_seqs
+        lengths = batch.lengths
+        if source_db is not None:
+            per_seq = [seq.packed() for seq in source_db]
+        else:
+            per_seq = [
+                pack_residues(batch.codes[i, : int(lengths[i])])
+                for i in range(n)
+            ]
+        max_words = max(w.size for w in per_seq)
+        self.words = np.full((n, max_words), 0xFFFFFFFF, dtype=np.uint32)
+        for i, w in enumerate(per_seq):
+            self.words[i, : w.size] = w
+
+    def codes_at(self, i: int, active: np.ndarray) -> np.ndarray:
+        """Decode row ``i``'s residue for every warp.
+
+        The terminator flag must agree with the caller's length
+        bookkeeping - asserted, because a divergence would mean the
+        packer and the batch disagree about sequence ends.
+        """
+        shift = np.uint32((5 - i % 6) * 5)
+        fields = (self.words[:, i // 6] >> shift) & np.uint32(31)
+        assert bool(((fields == 31) == ~active).all())
+        return np.where(active, fields, 0).astype(np.intp)

@@ -1,0 +1,214 @@
+"""Warp-synchronous P7Viterbi kernel (paper Algorithm 2).
+
+The full Plan-7 filter on the GPU: same three-tiered, synchronization-free
+structure as the MSV kernel (one warp per sequence, 32-wide strips,
+double-buffered strip boundaries, shuffle reduction), extended with
+
+* three DP rows (M / I / D words) instead of one byte row,
+* the within-row D-D dependency resolved by the **parallel Lazy-F**
+  procedure with a warp vote (:mod:`repro.kernels.lazy_f`),
+* a ``Dmax`` shuffle reduction per row that skips Lazy-F entirely when no
+  finite M->D contribution exists ("selected residues need pass through
+  this checking procedure", Figure 7).
+
+The M and I rows are updated in place in (simulated) shared memory with
+the same load-before-store double buffering as the MSV kernel - both the
+diagonal (node ``j-1``) and same-position dependencies of the next strip
+are staged in registers before the store.  The previous row's Delete
+values are kept in a separate buffer here; real hardware double-buffers
+them in place (Algorithm 2 loads ``mmx, imx, dmx`` together), which the
+counters charge identically.
+
+Scores are bit-identical to :mod:`repro.cpu.viterbi_reference` (tested),
+i.e. the Lazy-F shortcut and the row-level Dmax skip never change a
+score.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import VF_WORD_MIN, WARP_SIZE
+from ..gpu.counters import KernelCounters
+from ..gpu.device import KEPLER_K40, DeviceSpec
+from ..scoring.quantized import sat_add_i16
+from ..scoring.vit_profile import ViterbiWordProfile
+from ..sequence.database import PaddedBatch, SequenceDatabase
+from ..alphabet.packing import packed_stream_bytes
+from ..cpu.results import FilterScores
+from .lazy_f import parallel_lazy_f
+from .memconfig import MemoryConfig
+from .reduction import warp_max_shared, warp_max_shuffle
+
+__all__ = ["viterbi_warp_kernel"]
+
+
+def viterbi_warp_kernel(
+    profile: ViterbiWordProfile,
+    database: SequenceDatabase | PaddedBatch,
+    config: MemoryConfig = MemoryConfig.SHARED,
+    device: DeviceSpec = KEPLER_K40,
+    counters: KernelCounters | None = None,
+    packed_residues: bool = False,
+) -> FilterScores:
+    """Score a database with the warp-synchronous P7Viterbi kernel.
+
+    ``packed_residues=True`` decodes residues from the 5-bit packed word
+    stream (Figure 6), exactly like the MSV kernel; scores are identical.
+    """
+    source_db = database if isinstance(database, SequenceDatabase) else None
+    if isinstance(database, SequenceDatabase):
+        lengths = np.asarray(database.lengths)
+        batch = database.padded_batch()
+    else:
+        batch = database
+        lengths = batch.lengths
+    stream = None
+    if packed_residues:
+        from .residue_stream import PackedResidueStream
+
+        stream = PackedResidueStream(batch, source_db)
+    n = batch.n_seqs
+    M = profile.M
+    strips = [(p0, min(p0 + WARP_SIZE, M)) for p0 in range(0, M, WARP_SIZE)]
+
+    # tDD cost entering node j, for the Lazy-F chain
+    tdd_enter = np.concatenate(([VF_WORD_MIN], profile.tdd[:-1])).astype(np.int32)
+
+    # shared-memory DP rows: index j+1 = node j for M and I (cell 0 is a
+    # permanent minus infinity); D is indexed by node directly
+    mmx = np.full((n, M + 1), VF_WORD_MIN, dtype=np.int32)
+    imx = mmx.copy()
+    dmx = np.full((n, M), VF_WORD_MIN, dtype=np.int32)
+    xJ = np.full(n, VF_WORD_MIN, dtype=np.int64)
+    xC = xJ.copy()
+    xB = np.full(n, profile.init_xB, dtype=np.int64)
+    overflowed = np.zeros(n, dtype=bool)
+
+    if counters is not None:
+        counters.sequences += n
+        counters.global_bytes += int(
+            sum(packed_stream_bytes(int(L)) for L in lengths)
+        )
+
+    neg_col = np.full((n, 1), VF_WORD_MIN, dtype=np.int32)
+    max_len = int(lengths.max())
+    for i in range(max_len):
+        active = lengths > i
+        live = active & ~overflowed
+        if not live.any():
+            break
+        if stream is not None:
+            codes = stream.codes_at(i, active)  # Figure 6 decode
+        else:
+            codes = np.where(active, batch.codes[:, i], 0).astype(np.intp)
+        rwv = profile.rwv[codes]  # (n, M)
+        xBv = sat_add_i16(xB, profile.tbm).astype(np.int32)
+
+        new_m = np.empty((n, M), dtype=np.int32)
+        xE_lanes = np.full((n, WARP_SIZE), VF_WORD_MIN, dtype=np.int32)
+        dmax_lanes = np.full((n, WARP_SIZE), VF_WORD_MIN, dtype=np.int32)
+
+        # Load(mmx, imx, dmx): first 32 diagonal deps (prev row, node j-1)
+        first = min(WARP_SIZE, M)
+        mpv = mmx[:, 0:first].copy()
+        ipv = imx[:, 0:first].copy()
+        dpv = np.concatenate([neg_col, dmx[:, : first - 1]], axis=1)
+
+        for s, (p0, p1) in enumerate(strips):
+            w = p1 - p0
+            # same-position prev-row values for the I update, read before
+            # this strip's store overwrites them (double buffering)
+            m_same = mmx[:, p0 + 1 : p1 + 1].copy()
+            i_same = imx[:, p0 + 1 : p1 + 1].copy()
+
+            sv = np.maximum(
+                xBv[:, None], sat_add_i16(mpv[:, :w], profile.enter_mm[p0:p1])
+            )
+            sv = np.maximum(sv, sat_add_i16(ipv[:, :w], profile.enter_im[p0:p1]))
+            sv = np.maximum(sv, sat_add_i16(dpv[:, :w], profile.enter_dm[p0:p1]))
+            temp_m = sat_add_i16(sv, rwv[:, p0:p1]).astype(np.int32)
+            temp_i = np.maximum(
+                sat_add_i16(m_same, profile.tmi[p0:p1]),
+                sat_add_i16(i_same, profile.tii[p0:p1]),
+            ).astype(np.int32)
+            temp_d = sat_add_i16(temp_m, profile.tmd[p0:p1]).astype(np.int32)
+
+            xE_lanes[:, :w] = np.maximum(xE_lanes[:, :w], temp_m)
+            dmax_lanes[:, :w] = np.maximum(dmax_lanes[:, :w], temp_d)
+
+            # double buffering: load the next strip's diagonal deps
+            # before the in-place store clobbers cell p1
+            if s + 1 < len(strips):
+                q0, q1 = strips[s + 1]
+                mpv = mmx[:, q0:q1].copy()
+                ipv = imx[:, q0:q1].copy()
+                dpv = dmx[:, q0 - 1 : q1 - 1].copy()
+
+            upd = live[:, None]
+            mmx[:, p0 + 1 : p1 + 1] = np.where(upd, temp_m, mmx[:, p0 + 1 : p1 + 1])
+            imx[:, p0 + 1 : p1 + 1] = np.where(upd, temp_i, imx[:, p0 + 1 : p1 + 1])
+            new_m[:, p0:p1] = temp_m
+            if counters is not None:
+                n_live = int(live.sum())
+                counters.strips += n_live
+                counters.cells += n_live * w
+                counters.shared_loads += 3 * n_live   # mmx/imx/dmx deps
+                counters.shared_stores += 3 * n_live  # row stores
+                if config is MemoryConfig.SHARED:
+                    counters.shared_loads += 2 * n_live  # emissions+transitions
+                else:
+                    counters.global_bytes += n_live * w * 4
+
+        # xE and Dmax reductions (shuffle on Kepler, shared tree on Fermi);
+        # events charged per *live* warp (finished warps are not executing)
+        n_live = int(live.sum())
+        live_counters = KernelCounters() if counters is not None else None
+        if device.has_warp_shuffle:
+            xE = warp_max_shuffle(xE_lanes, None)[:, 0]
+            dmax = warp_max_shuffle(dmax_lanes, None)[:, 0]
+            if live_counters is not None:
+                warp_max_shuffle(xE_lanes[:1], live_counters)
+        else:
+            xE = warp_max_shared(xE_lanes, None)[:, 0]
+            dmax = warp_max_shared(dmax_lanes, None)[:, 0]
+            if live_counters is not None:
+                warp_max_shared(xE_lanes[:1], live_counters)
+        if counters is not None and live_counters is not None:
+            # both xE and Dmax reduce: charge the per-warp events twice
+            counters.shuffles += 2 * live_counters.shuffles * n_live
+            counters.shared_loads += 2 * live_counters.shared_loads * n_live
+            counters.shared_stores += 2 * live_counters.shared_stores * n_live
+            counters.rows += n_live
+
+        # partial D row: M->D contribution arriving at node j
+        d_partial = np.concatenate(
+            [neg_col, sat_add_i16(new_m[:, :-1], profile.tmd[:-1]).astype(np.int32)],
+            axis=1,
+        )
+        # Dmax check: rows with no finite M->D contribution arriving at
+        # any node cannot have any D-D improvement either; skip Lazy-F
+        # (the final node's M->D leads nowhere and is excluded)
+        needs_lazyf = live & (d_partial.max(axis=1) > VF_WORD_MIN)
+        if needs_lazyf.any():
+            resolved = d_partial[needs_lazyf]
+            parallel_lazy_f(resolved, tdd_enter, counters)
+            d_partial[needs_lazyf] = resolved
+        dmx = np.where(live[:, None], d_partial, dmx)
+
+        overflow_now = live & (xE >= profile.overflow_threshold)
+        overflowed |= overflow_now
+        update = live & ~overflow_now
+        xC[update] = np.maximum(xC[update], xE[update] + profile.xE_move)
+        xJ[update] = np.maximum(xJ[update], xE[update] + profile.xE_loop)
+        xB[update] = np.maximum(
+            profile.base + profile.xNJ_move, xJ[update] + profile.xNJ_move
+        )
+
+    scores = np.where(
+        xC == VF_WORD_MIN,
+        float("-inf"),
+        (xC + profile.xNJ_move - profile.base) / profile.scale - 2.0,
+    ).astype(np.float64)
+    scores[overflowed] = float("inf")
+    return FilterScores(scores=scores, overflowed=overflowed)

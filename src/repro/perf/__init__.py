@@ -1,0 +1,64 @@
+"""Performance model: calibration, stage cost model, figure sweeps."""
+
+from .calibration import DEFAULT_COSTS, CostConstants
+from .cost_model import (
+    GpuStageTime,
+    StageWork,
+    best_gpu_stage_time,
+    cpu_forward_time,
+    cpu_stage_time,
+    gpu_stage_time,
+    transfer_time_s,
+)
+from .heterogeneous import HybridSplit, hybrid_stage_split
+from .load_balance import SchedulePolicy, imbalance_factor, warp_makespan
+from .report import EvaluationReport, FigureTable, full_report
+from .roofline import KernelIntensity, kernel_intensity, ridge_point, roofline_summary
+from .speedup import (
+    OverallSpeedupPoint,
+    StageSpeedupPoint,
+    multi_gpu_speedup,
+    optimal_stage_speedup,
+    overall_speedup,
+    stage_speedup,
+)
+from .workloads import (
+    ExperimentWorkload,
+    experiment_workload,
+    paper_database,
+    paper_hmm,
+)
+
+__all__ = [
+    "CostConstants",
+    "DEFAULT_COSTS",
+    "StageWork",
+    "GpuStageTime",
+    "cpu_stage_time",
+    "cpu_forward_time",
+    "gpu_stage_time",
+    "best_gpu_stage_time",
+    "transfer_time_s",
+    "HybridSplit",
+    "hybrid_stage_split",
+    "SchedulePolicy",
+    "warp_makespan",
+    "imbalance_factor",
+    "full_report",
+    "EvaluationReport",
+    "FigureTable",
+    "KernelIntensity",
+    "kernel_intensity",
+    "ridge_point",
+    "roofline_summary",
+    "StageSpeedupPoint",
+    "OverallSpeedupPoint",
+    "stage_speedup",
+    "optimal_stage_speedup",
+    "overall_speedup",
+    "multi_gpu_speedup",
+    "ExperimentWorkload",
+    "experiment_workload",
+    "paper_hmm",
+    "paper_database",
+]

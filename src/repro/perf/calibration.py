@@ -1,0 +1,95 @@
+"""Calibration constants of the performance model.
+
+The reproduction cannot time real SSE units or CUDA kernels, so stage
+times come from a mechanistic cost model (:mod:`repro.perf.cost_model`)
+whose *structure* is dictated by the paper (occupancy from real resource
+arithmetic, latency hiding by resident warps, strip-proportional work,
+bandwidth caps) and whose *constants* below are calibrated once so the
+reproduced curves land in the paper's reported bands (MSV up to ~5.4x,
+P7Viterbi up to ~2.9x, combined 3.0/3.8x on the K40, 5.6/7.8x on four
+GTX 580s).  The shapes - where peaks sit, where shared/global cross over,
+how occupancy cliffs bend the curves - are emergent, not fitted
+pointwise.
+
+Internal-consistency notes baked into the numbers:
+
+* The CPU MSV:Viterbi per-row cost ratio is set so that, at the paper's
+  quoted 2.2% MSV survivor rate, the pipeline time splits ~80/15/5
+  between MSV, P7Viterbi and Forward (paper Figure 1).
+* ``vit_issue_slots_*`` < ``msv_issue_slots_*`` models the P7Viterbi
+  kernel's long dependency chains and register pressure preventing
+  multi-issue - the knob that caps its speedup near 2.9x while MSV
+  reaches 5.4x.
+
+Units: "issue" constants are instruction-issue cycles per warp; "latency"
+constants are round-trip stall cycles per warp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostConstants", "DEFAULT_COSTS"]
+
+
+@dataclass(frozen=True)
+class CostConstants:
+    """All tunable constants of the CPU and GPU cost models."""
+
+    # ---- CPU baseline: HMMER 3.0 SSE on quad-core i5 @ 3.4 GHz ----
+    cpu_clock_hz: float = 3.4e9
+    cpu_cores: int = 4
+    cpu_parallel_efficiency: float = 0.95
+    cpu_msv_row_fixed: float = 30.0      # cycles/row outside the vector loop
+    cpu_msv_vec_cycles: float = 10.0     # cycles per 16-lane byte vector
+    cpu_vit_row_fixed: float = 45.0
+    cpu_vit_vec_cycles: float = 45.0     # cycles per 8-lane word vector (+lazy-F)
+    cpu_fwd_cell_cycles: float = 45.0    # float Forward, cycles per DP cell
+    cpu_seq_setup_per_stripe: float = 300.0  # striped buffers + per-target
+    #   length reconfiguration, per SSE stripe per sequence
+
+    # ---- GPU warp-instruction issue throughput (warp-instr / cycle / SM) ----
+    msv_issue_slots_kepler: float = 4.0
+    vit_issue_slots_kepler: float = 1.5  # dependency chains block dual issue
+    msv_issue_slots_fermi: float = 0.94
+    vit_issue_slots_fermi: float = 0.24
+
+    # ---- MSV kernel (per warp) ----
+    msv_row_fixed_issue: float = 55.0    # residue decode + specials + reduction
+    msv_strip_issue: float = 13.0        # max/adds/subs/max + ld/st per strip
+    msv_strip_issue_global_extra: float = 8.0  # gmem emission fetch path
+    msv_row_fixed_latency: float = 600.0
+    msv_strip_latency_shared: float = 100.0
+    msv_strip_latency_global: float = 170.0   # emission fetch misses L2
+
+    # ---- P7Viterbi kernel (per warp) ----
+    vit_row_fixed_issue: float = 90.0    # two reductions + specials + Dmax check
+    vit_strip_issue: float = 55.0        # 3 states, 4-way max, partial D, lazy-F
+    vit_strip_issue_global_extra: float = 10.0
+    vit_row_fixed_latency: float = 1200.0
+    vit_strip_latency_shared: float = 700.0
+    vit_strip_latency_global: float = 760.0
+    lazyf_issue_per_strip: float = 6.0   # amortized vote + conditional update
+    lazyf_extra_pass_fraction: float = 0.35  # windows needing a second pass
+
+    # ---- Fermi lacks warp shuffle: shared-memory reductions cost extra ----
+    fermi_reduction_extra_issue: float = 45.0
+    fermi_reduction_extra_latency: float = 700.0
+
+    # ---- memory system ----
+    residue_bytes_per_row_packed: float = 4.0 / 6.0   # 5-bit packing, Fig. 6
+    residue_bytes_per_row_unpacked: float = 1.0
+    global_param_miss_rate: float = 0.35              # L2 miss on emission rows
+    sync_cost_cycles: float = 220.0                   # __syncthreads round trip
+
+    # ---- host / pipeline ----
+    kernel_launch_overhead_s: float = 2.0e-5
+    pcie_bandwidth_gbs: float = 6.0
+    host_pipeline_overhead: float = 0.16  # survivor readback/compaction between
+    #   stages; calibrated so per-stage (Fig. 9) and combined (Fig. 10) speedups
+    #   are mutually consistent, as the paper's own numbers require
+    multi_gpu_dispatch_overhead_s: float = 1.0e-3     # per device per search
+
+
+#: The constants used throughout the benchmarks.
+DEFAULT_COSTS = CostConstants()

@@ -1,0 +1,248 @@
+"""Mechanistic stage-time model for the CPU baseline and the GPU kernels.
+
+Structure (constants in :mod:`repro.perf.calibration`):
+
+* **CPU** - each DP row costs a fixed overhead plus one vector-op term per
+  16-lane (MSV) or 8-lane (ViterbiFilter) SSE stripe, on ``cores``
+  parallel cores; per-sequence striped-buffer setup is charged separately.
+  Forward is a scalar float engine charged per cell.
+
+* **GPU** - a warp needs ``issue`` cycles of instruction slots and
+  ``latency`` cycles of dependency stalls per row (both with a fixed part
+  and a per-strip part; the per-strip latency depends on where the model
+  parameters live - the shared/global memory configuration).  An SM with
+  ``W`` resident warps (from the occupancy calculator) retires
+
+      ``rows/cycle = min(W / latency, issue_slots / issue)``
+
+  - Little's law: latency-bound when occupancy is low (speedup tracks
+  occupancy, the paper's "thumb rule"), issue-bound once enough warps are
+  resident.  Device throughput is additionally capped by global-memory
+  bandwidth, and residue traffic is charged at the packed 5-bit rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import CalibrationError
+from ..gpu.device import DeviceSpec
+from ..gpu.occupancy import Occupancy
+from ..kernels.memconfig import MemoryConfig, Stage, stage_occupancy
+from .calibration import DEFAULT_COSTS, CostConstants
+
+__all__ = [
+    "StageWork",
+    "GpuStageTime",
+    "cpu_stage_time",
+    "cpu_forward_time",
+    "gpu_stage_time",
+    "best_gpu_stage_time",
+]
+
+
+@dataclass(frozen=True)
+class StageWork:
+    """The workload one stage must process."""
+
+    rows: int   # DP rows = total residues of the scored sequences
+    seqs: int   # number of sequences scored
+    M: int      # model size
+
+    def __post_init__(self) -> None:
+        if self.rows < 0 or self.seqs < 0 or self.M < 1:
+            raise CalibrationError("invalid stage workload")
+
+
+@dataclass(frozen=True)
+class GpuStageTime:
+    """GPU time prediction with its diagnostic breakdown."""
+
+    seconds: float
+    occupancy: float
+    config: MemoryConfig
+    bound: str  # "latency" | "issue" | "bandwidth"
+    rows_per_second: float
+
+
+def _strips(M: int, lanes: int) -> int:
+    return -(-M // lanes)
+
+
+def cpu_stage_time(
+    stage: Stage, work: StageWork, costs: CostConstants = DEFAULT_COSTS
+) -> float:
+    """Modelled seconds for HMMER 3.0's SSE filter on the baseline CPU."""
+    if stage is Stage.MSV:
+        stripes = _strips(work.M, 16)
+        row_cycles = costs.cpu_msv_row_fixed + stripes * costs.cpu_msv_vec_cycles
+    else:
+        stripes = _strips(work.M, 8)
+        row_cycles = costs.cpu_vit_row_fixed + stripes * costs.cpu_vit_vec_cycles
+    seq_cycles = stripes * costs.cpu_seq_setup_per_stripe
+    total_cycles = work.rows * row_cycles + work.seqs * seq_cycles
+    effective_hz = (
+        costs.cpu_clock_hz * costs.cpu_cores * costs.cpu_parallel_efficiency
+    )
+    return total_cycles / effective_hz
+
+
+def cpu_forward_time(
+    work: StageWork, costs: CostConstants = DEFAULT_COSTS
+) -> float:
+    """Modelled seconds for the float Forward stage (always on the CPU)."""
+    cells = work.rows * work.M
+    effective_hz = (
+        costs.cpu_clock_hz * costs.cpu_cores * costs.cpu_parallel_efficiency
+    )
+    return cells * costs.cpu_fwd_cell_cycles / effective_hz
+
+
+def _gpu_row_costs(
+    stage: Stage,
+    M: int,
+    config: MemoryConfig,
+    device: DeviceSpec,
+    costs: CostConstants,
+    lazyf_extra_fraction: float | None = None,
+) -> tuple[float, float]:
+    """(issue cycles, latency cycles) one warp spends per DP row."""
+    S = _strips(M, 32)
+    shared = config is MemoryConfig.SHARED
+    if stage is Stage.MSV:
+        strip_issue = costs.msv_strip_issue + (
+            0.0 if shared else costs.msv_strip_issue_global_extra
+        )
+        issue = costs.msv_row_fixed_issue + S * strip_issue
+        strip_lat = (
+            costs.msv_strip_latency_shared
+            if shared
+            else costs.msv_strip_latency_global
+        )
+        latency = costs.msv_row_fixed_latency + S * strip_lat
+    else:
+        lazy = (
+            costs.lazyf_extra_pass_fraction
+            if lazyf_extra_fraction is None
+            else lazyf_extra_fraction
+        )
+        lazy_issue = costs.lazyf_issue_per_strip * (1.0 + lazy)
+        strip_issue = (
+            costs.vit_strip_issue
+            + lazy_issue
+            + (0.0 if shared else costs.vit_strip_issue_global_extra)
+        )
+        issue = costs.vit_row_fixed_issue + S * strip_issue
+        strip_lat = (
+            costs.vit_strip_latency_shared
+            if shared
+            else costs.vit_strip_latency_global
+        )
+        latency = costs.vit_row_fixed_latency + S * strip_lat
+    if not device.has_warp_shuffle:
+        issue += costs.fermi_reduction_extra_issue
+        latency += costs.fermi_reduction_extra_latency
+    return issue, latency
+
+
+def _issue_slots(
+    stage: Stage, device: DeviceSpec, costs: CostConstants
+) -> float:
+    """Warp-instruction issue slots per cycle per SM for this kernel."""
+    kepler = device.architecture == "kepler"
+    if stage is Stage.MSV:
+        return costs.msv_issue_slots_kepler if kepler else costs.msv_issue_slots_fermi
+    return costs.vit_issue_slots_kepler if kepler else costs.vit_issue_slots_fermi
+
+
+def gpu_stage_time(
+    stage: Stage,
+    work: StageWork,
+    device: DeviceSpec,
+    config: MemoryConfig,
+    occ: Occupancy | None = None,
+    costs: CostConstants = DEFAULT_COSTS,
+    lazyf_extra_fraction: float | None = None,
+    extra_row_issue: float = 0.0,
+    extra_row_latency: float = 0.0,
+) -> GpuStageTime | None:
+    """Modelled seconds for a warp-synchronous kernel launch.
+
+    Returns None when the configuration is infeasible on the device
+    (e.g. shared-memory configuration with a model that does not fit).
+    ``extra_row_issue``/``extra_row_latency`` inject additional per-row
+    costs - the ablation benchmarks use them to price design variants
+    such as the synchronized multi-warp kernel (barriers per row) or a
+    prefix-sum Delete evaluation.
+    """
+    if occ is None:
+        occ = stage_occupancy(stage, work.M, config, device)
+    if occ is None or not occ.feasible:
+        return None
+    issue, latency = _gpu_row_costs(
+        stage, work.M, config, device, costs, lazyf_extra_fraction
+    )
+    issue += extra_row_issue
+    latency += extra_row_latency
+    slots = _issue_slots(stage, device, costs)
+    warps = occ.warps_per_sm
+    latency_rows = warps / latency
+    issue_rows = slots / issue
+    rows_per_cycle = min(latency_rows, issue_rows)
+    bound = "latency" if latency_rows < issue_rows else "issue"
+
+    rows_per_sec = rows_per_cycle * device.clock_ghz * 1e9 * device.sm_count
+
+    # global-memory bandwidth cap
+    bytes_per_row = costs.residue_bytes_per_row_packed
+    if config is MemoryConfig.GLOBAL:
+        bytes_per_row += work.M * costs.global_param_miss_rate
+    bw_rows_per_sec = device.mem_bandwidth_gbs * 1e9 / bytes_per_row
+    if bw_rows_per_sec < rows_per_sec:
+        rows_per_sec = bw_rows_per_sec
+        bound = "bandwidth"
+
+    seconds = work.rows / rows_per_sec + costs.kernel_launch_overhead_s
+    return GpuStageTime(
+        seconds=seconds,
+        occupancy=occ.occupancy,
+        config=config,
+        bound=bound,
+        rows_per_second=rows_per_sec,
+    )
+
+
+def best_gpu_stage_time(
+    stage: Stage,
+    work: StageWork,
+    device: DeviceSpec,
+    costs: CostConstants = DEFAULT_COSTS,
+    lazyf_extra_fraction: float | None = None,
+) -> GpuStageTime:
+    """The optimal-strategy time: the faster of shared/global configs.
+
+    This is the paper's cache-aware switching strategy; for MSV on the
+    K40 the crossover emerges near model size ~1000.
+    """
+    candidates = []
+    for config in MemoryConfig:
+        t = gpu_stage_time(
+            stage, work, device, config, costs=costs,
+            lazyf_extra_fraction=lazyf_extra_fraction,
+        )
+        if t is not None:
+            candidates.append(t)
+    if not candidates:
+        raise CalibrationError(
+            f"no feasible configuration for {stage} with M={work.M}"
+        )
+    return min(candidates, key=lambda t: t.seconds)
+
+
+def transfer_time_s(
+    total_residues: int, costs: CostConstants = DEFAULT_COSTS
+) -> float:
+    """Host-to-device transfer of the packed database."""
+    packed_bytes = total_residues * costs.residue_bytes_per_row_packed
+    return packed_bytes / (costs.pcie_bandwidth_gbs * 1e9)

@@ -1,0 +1,88 @@
+"""Heterogeneous CPU+GPU execution (paper conclusion, future work).
+
+The paper closes by noting that heterogeneous platforms are "currently
+being explored".  Because the database sweep is embarrassingly parallel
+across sequences, the natural heterogeneous schedule splits the residue
+workload between the host CPU (running the SSE filters) and the GPU(s),
+sized so both finish together.  With stage throughputs ``R_cpu`` and
+``R_gpu`` (rows/second), the optimal GPU share is
+
+    alpha* = R_gpu / (R_gpu + R_cpu)
+
+and the combined throughput is the sum - a ``1 + R_cpu/R_gpu`` factor
+over the GPU alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CalibrationError
+from ..gpu.device import DeviceSpec, KEPLER_K40
+from ..kernels.memconfig import Stage
+from .calibration import DEFAULT_COSTS, CostConstants
+from .cost_model import StageWork, best_gpu_stage_time, cpu_stage_time
+
+__all__ = ["HybridSplit", "hybrid_stage_split"]
+
+
+@dataclass(frozen=True)
+class HybridSplit:
+    """Optimal CPU+GPU split of one stage's workload."""
+
+    stage: Stage
+    gpu_share: float        # fraction of rows sent to the GPU
+    seconds: float          # combined wall time
+    gpu_only_seconds: float
+    cpu_only_seconds: float
+
+    @property
+    def speedup_vs_cpu(self) -> float:
+        return self.cpu_only_seconds / self.seconds
+
+    @property
+    def gain_over_gpu_only(self) -> float:
+        """How much the idle CPU was worth (>= 1)."""
+        return self.gpu_only_seconds / self.seconds
+
+
+def hybrid_stage_split(
+    stage: Stage,
+    work: StageWork,
+    device: DeviceSpec = KEPLER_K40,
+    costs: CostConstants = DEFAULT_COSTS,
+) -> HybridSplit:
+    """Split a stage between the host CPU and one GPU so both finish
+    together.
+
+    The split is computed from the modelled *throughputs* (launch
+    overheads stay on the GPU side), then both sides are re-timed at
+    their assigned share.
+    """
+    if work.rows == 0:
+        raise CalibrationError("cannot split an empty workload")
+    cpu_only = cpu_stage_time(stage, work, costs)
+    gpu_only = best_gpu_stage_time(stage, work, device, costs).seconds
+    r_cpu = work.rows / cpu_only
+    r_gpu = work.rows / gpu_only
+    alpha = r_gpu / (r_gpu + r_cpu)
+
+    gpu_work = StageWork(
+        rows=int(work.rows * alpha),
+        seqs=max(1, int(work.seqs * alpha)),
+        M=work.M,
+    )
+    cpu_work = StageWork(
+        rows=work.rows - gpu_work.rows,
+        seqs=max(1, work.seqs - gpu_work.seqs),
+        M=work.M,
+    )
+    t_gpu = best_gpu_stage_time(stage, gpu_work, device, costs).seconds
+    t_cpu = cpu_stage_time(stage, cpu_work, costs)
+    return HybridSplit(
+        stage=stage,
+        gpu_share=alpha,
+        seconds=max(t_gpu, t_cpu),
+        gpu_only_seconds=gpu_only,
+        cpu_only_seconds=cpu_only,
+    )

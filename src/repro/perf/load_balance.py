@@ -1,0 +1,68 @@
+"""Warp load balance under warp-per-sequence scheduling.
+
+One warp scores one sequence, and sequence lengths vary by an order of
+magnitude, so the *assignment policy* decides how long the slowest warp
+(and hence the kernel) runs.  The paper's design: "In the event that a
+single warp finished the processing of a sequence, it automatically
+continues working on the next available sequence ... which helps keep
+active threads always busy" - i.e. dynamic (greedy) scheduling, which
+this module quantifies against a static round-robin split and against
+the classic sorted (LPT) refinement.
+
+Work per sequence is its DP row count = its length (the model size is a
+common factor).
+"""
+
+from __future__ import annotations
+
+import heapq
+import enum
+
+import numpy as np
+
+from ..errors import CalibrationError
+
+__all__ = ["SchedulePolicy", "warp_makespan", "imbalance_factor"]
+
+
+class SchedulePolicy(enum.Enum):
+    """How sequences are assigned to warps."""
+
+    STATIC = "static"       # round-robin by database order
+    DYNAMIC = "dynamic"     # paper: next free warp takes the next sequence
+    SORTED_DYNAMIC = "sorted"  # LPT: longest sequences dispatched first
+
+
+def warp_makespan(
+    lengths: np.ndarray, n_warps: int, policy: SchedulePolicy
+) -> float:
+    """Finish time of the slowest warp, in residue-rows."""
+    lengths = np.asarray(lengths, dtype=np.float64)
+    if lengths.ndim != 1 or lengths.size == 0:
+        raise CalibrationError("need a non-empty 1-D length array")
+    if n_warps < 1:
+        raise CalibrationError("n_warps must be positive")
+    if policy is SchedulePolicy.STATIC:
+        loads = np.zeros(n_warps)
+        for i, w in enumerate(lengths):
+            loads[i % n_warps] += w
+        return float(loads.max())
+    order = lengths
+    if policy is SchedulePolicy.SORTED_DYNAMIC:
+        order = np.sort(lengths)[::-1]
+    heap = [0.0] * n_warps
+    heapq.heapify(heap)
+    for w in order:
+        heapq.heappush(heap, heapq.heappop(heap) + float(w))
+    return float(max(heap))
+
+
+def imbalance_factor(
+    lengths: np.ndarray, n_warps: int, policy: SchedulePolicy
+) -> float:
+    """makespan / ideal (= total work / warps); 1.0 means perfect."""
+    lengths = np.asarray(lengths, dtype=np.float64)
+    ideal = lengths.sum() / n_warps
+    if ideal <= 0:
+        raise CalibrationError("degenerate workload")
+    return warp_makespan(lengths, n_warps, policy) / ideal

@@ -1,0 +1,107 @@
+"""Roofline analysis: why the kernels are memory-bandwidth bound.
+
+Paper Section V: "These two core algorithms within HMMERSearch
+application are memory-bandwidth bound, as the innermost loop in both
+the MSV as well as P7Viterbi have low arithmetic intensity due to the
+amount of data read and the number of arithmetic instructions
+performed."
+
+This module derives each kernel's arithmetic intensity (operations per
+byte of on-chip traffic) from the recurrence structure and places it on
+the device's roofline: a kernel whose intensity falls left of the ridge
+point (peak ops/s divided by memory bandwidth) cannot be compute-bound,
+so "any further improvements ... would directly depend on the
+performance of shared memory and global memory" - the paper's
+conclusion, here as arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CalibrationError
+from ..gpu.device import DeviceSpec, KEPLER_K40
+from ..kernels.memconfig import MemoryConfig, Stage
+
+__all__ = ["KernelIntensity", "kernel_intensity", "ridge_point", "roofline_summary"]
+
+
+@dataclass(frozen=True)
+class KernelIntensity:
+    """Per-DP-cell operation and traffic accounting of one kernel."""
+
+    stage: Stage
+    config: MemoryConfig
+    ops_per_cell: float     # integer ALU operations
+    bytes_per_cell: float   # on-chip (shared) + off-chip traffic touched
+
+    @property
+    def intensity(self) -> float:
+        """Operations per byte."""
+        return self.ops_per_cell / self.bytes_per_cell
+
+
+def kernel_intensity(stage: Stage, config: MemoryConfig) -> KernelIntensity:
+    """Operation/traffic counts per DP cell, from the recurrences.
+
+    MSV cell: ``max, adds, subs, max(xE)`` = 4 ALU ops; traffic: one
+    byte DP load + one byte store + one emission byte (shared or global).
+    P7Viterbi cell: 4-way max with 4 adds (M), 2 adds + max (I), add (D
+    partial) + amortized Lazy-F  ~ 13 ops; traffic: 3 x 2-byte loads +
+    3 x 2-byte stores + emission word + ~2 transition words.
+    """
+    if stage is Stage.MSV:
+        ops = 4.0
+        dp_bytes = 2.0                      # one load, one store (u8)
+        param_bytes = 1.0                   # emission byte
+    else:
+        ops = 13.0
+        dp_bytes = 12.0                     # 3 rows x (load + store) x i16
+        param_bytes = 2.0 + 4.0             # emission word + transitions
+    if config is MemoryConfig.GLOBAL:
+        # parameters leave the on-chip domain; traffic unchanged in bytes
+        # but served at global bandwidth - the roofline uses the weaker
+        # (global) roof for the whole stream, a conservative placement
+        pass
+    return KernelIntensity(
+        stage=stage,
+        config=config,
+        ops_per_cell=ops,
+        bytes_per_cell=dp_bytes + param_bytes,
+    )
+
+
+def ridge_point(device: DeviceSpec, ops_per_cycle_per_sm: float = 128.0) -> float:
+    """Intensity (ops/byte) at which compute and bandwidth roofs meet.
+
+    ``ops_per_cycle_per_sm`` defaults to a Kepler-class integer-ALU
+    estimate (192 CUDA cores, not all usable for the 8/16-bit saturating
+    patterns); the qualitative conclusion is insensitive to it within a
+    factor of a few, which is the point of a roofline argument.
+    """
+    if ops_per_cycle_per_sm <= 0:
+        raise CalibrationError("ops_per_cycle_per_sm must be positive")
+    peak_ops = device.sm_count * device.clock_ghz * 1e9 * ops_per_cycle_per_sm
+    bandwidth = device.mem_bandwidth_gbs * 1e9
+    return peak_ops / bandwidth
+
+
+def roofline_summary(device: DeviceSpec = KEPLER_K40) -> list[dict]:
+    """Every (stage, config) placed on the device roofline."""
+    ridge = ridge_point(device)
+    out = []
+    for stage in Stage:
+        for config in MemoryConfig:
+            k = kernel_intensity(stage, config)
+            out.append(
+                {
+                    "stage": stage.value,
+                    "config": config.value,
+                    "ops_per_cell": k.ops_per_cell,
+                    "bytes_per_cell": k.bytes_per_cell,
+                    "intensity": k.intensity,
+                    "ridge": ridge,
+                    "memory_bound": k.intensity < ridge,
+                }
+            )
+    return out

@@ -1,0 +1,206 @@
+"""Figure-level speedup computations (Figures 9, 10 and 11).
+
+Each function turns the measured per-stage workloads
+(:mod:`repro.perf.workloads`) into the quantity one paper figure plots,
+using the cost model for stage times and the occupancy calculator for the
+occupancy curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CalibrationError
+from ..gpu.device import FERMI_GTX580, KEPLER_K40, DeviceSpec
+from ..kernels.memconfig import MemoryConfig, Stage, stage_occupancy
+from .calibration import DEFAULT_COSTS, CostConstants
+from .cost_model import (
+    StageWork,
+    best_gpu_stage_time,
+    cpu_stage_time,
+    gpu_stage_time,
+    transfer_time_s,
+)
+from .workloads import ExperimentWorkload
+
+__all__ = [
+    "StageSpeedupPoint",
+    "OverallSpeedupPoint",
+    "stage_speedup",
+    "optimal_stage_speedup",
+    "overall_speedup",
+    "multi_gpu_speedup",
+]
+
+
+@dataclass(frozen=True)
+class StageSpeedupPoint:
+    """One bar of Figure 9: a stage at one model size / database / config."""
+
+    stage: Stage
+    M: int
+    database: str
+    config: MemoryConfig | None  # None = optimal switching strategy
+    occupancy: float | None      # None when infeasible
+    cpu_seconds: float
+    gpu_seconds: float | None
+    speedup: float | None
+    bound: str | None
+
+
+@dataclass(frozen=True)
+class OverallSpeedupPoint:
+    """One bar of Figures 10/11: combined MSV+P7Viterbi speedup."""
+
+    M: int
+    database: str
+    device_count: int
+    cpu_seconds: float
+    gpu_seconds: float
+    speedup: float
+
+
+def _stage_work(workload: ExperimentWorkload, stage: Stage) -> StageWork:
+    return workload.msv if stage is Stage.MSV else workload.vit
+
+
+def stage_speedup(
+    workload: ExperimentWorkload,
+    stage: Stage,
+    config: MemoryConfig,
+    device: DeviceSpec = KEPLER_K40,
+    costs: CostConstants = DEFAULT_COSTS,
+) -> StageSpeedupPoint:
+    """Speedup of one stage under one fixed memory configuration."""
+    workload = workload.scaled()
+    work = _stage_work(workload, stage)
+    cpu_s = cpu_stage_time(stage, work, costs)
+    occ = stage_occupancy(stage, workload.M, config, device)
+    gpu = gpu_stage_time(stage, work, device, config, occ=occ, costs=costs)
+    return StageSpeedupPoint(
+        stage=stage,
+        M=workload.M,
+        database=workload.database_name,
+        config=config,
+        occupancy=None if occ is None else occ.occupancy,
+        cpu_seconds=cpu_s,
+        gpu_seconds=None if gpu is None else gpu.seconds,
+        speedup=None if gpu is None else cpu_s / gpu.seconds,
+        bound=None if gpu is None else gpu.bound,
+    )
+
+
+def optimal_stage_speedup(
+    workload: ExperimentWorkload,
+    stage: Stage,
+    device: DeviceSpec = KEPLER_K40,
+    costs: CostConstants = DEFAULT_COSTS,
+) -> StageSpeedupPoint:
+    """The paper's optimal strategy: the faster of shared/global."""
+    workload = workload.scaled()
+    work = _stage_work(workload, stage)
+    cpu_s = cpu_stage_time(stage, work, costs)
+    gpu = best_gpu_stage_time(stage, work, device, costs)
+    occ = stage_occupancy(stage, workload.M, gpu.config, device)
+    assert occ is not None  # best_gpu_stage_time picked a feasible config
+    return StageSpeedupPoint(
+        stage=stage,
+        M=workload.M,
+        database=workload.database_name,
+        config=None,
+        occupancy=occ.occupancy,
+        cpu_seconds=cpu_s,
+        gpu_seconds=gpu.seconds,
+        speedup=cpu_s / gpu.seconds,
+        bound=gpu.bound,
+    )
+
+
+def _combined_gpu_seconds(
+    workload: ExperimentWorkload,
+    device: DeviceSpec,
+    costs: CostConstants,
+) -> float:
+    """MSV + P7Viterbi on one device under the optimal strategy, with the
+    host-side pipeline overhead and database transfer included."""
+    t_msv = best_gpu_stage_time(Stage.MSV, workload.msv, device, costs).seconds
+    t_vit = best_gpu_stage_time(Stage.P7VITERBI, workload.vit, device, costs).seconds
+    kernel_s = (t_msv + t_vit) * (1.0 + costs.host_pipeline_overhead)
+    return kernel_s + transfer_time_s(workload.total_residues, costs)
+
+
+def overall_speedup(
+    workload: ExperimentWorkload,
+    device: DeviceSpec = KEPLER_K40,
+    costs: CostConstants = DEFAULT_COSTS,
+) -> OverallSpeedupPoint:
+    """Figure 10: combined MSV+P7Viterbi speedup on a single device."""
+    workload = workload.scaled()
+    cpu_s = cpu_stage_time(Stage.MSV, workload.msv, costs) + cpu_stage_time(
+        Stage.P7VITERBI, workload.vit, costs
+    )
+    gpu_s = _combined_gpu_seconds(workload, device, costs)
+    return OverallSpeedupPoint(
+        M=workload.M,
+        database=workload.database_name,
+        device_count=1,
+        cpu_seconds=cpu_s,
+        gpu_seconds=gpu_s,
+        speedup=cpu_s / gpu_s,
+    )
+
+
+def multi_gpu_speedup(
+    workload: ExperimentWorkload,
+    device: DeviceSpec = FERMI_GTX580,
+    device_count: int = 4,
+    costs: CostConstants = DEFAULT_COSTS,
+) -> OverallSpeedupPoint:
+    """Figure 11: combined speedup across several devices.
+
+    The database is partitioned by residue share (the paper: "processing
+    of the sequence database can be easily parallelized across multiple
+    devices without any dependencies"); each device runs both stages on
+    its share and the wall time is the slowest device plus the per-device
+    dispatch overhead.
+    """
+    if device_count < 1:
+        raise CalibrationError("device_count must be positive")
+    workload = workload.scaled()
+    cpu_s = cpu_stage_time(Stage.MSV, workload.msv, costs) + cpu_stage_time(
+        Stage.P7VITERBI, workload.vit, costs
+    )
+    # residue-balanced partition: each chunk carries its share of both
+    # stages' rows (survivors are distributed uniformly at random)
+    shares = [1.0 / device_count] * device_count
+    worst = 0.0
+    for share in shares:
+        part = ExperimentWorkload(
+            M=workload.M,
+            database_name=workload.database_name,
+            n_seqs=max(1, int(workload.n_seqs * share)),
+            total_residues=int(workload.total_residues * share),
+            mean_length=workload.mean_length,
+            msv=StageWork(
+                rows=int(workload.msv.rows * share),
+                seqs=max(1, int(workload.msv.seqs * share)),
+                M=workload.M,
+            ),
+            vit=StageWork(
+                rows=int(workload.vit.rows * share),
+                seqs=max(1, int(workload.vit.seqs * share)),
+                M=workload.M,
+            ),
+            fwd=workload.fwd,
+            results=workload.results,
+        )
+        worst = max(worst, _combined_gpu_seconds(part, device, costs))
+    gpu_s = worst + device_count * costs.multi_gpu_dispatch_overhead_s
+    return OverallSpeedupPoint(
+        M=workload.M,
+        database=workload.database_name,
+        device_count=device_count,
+        cpu_seconds=cpu_s,
+        gpu_seconds=gpu_s,
+        speedup=cpu_s / gpu_s,
+    )

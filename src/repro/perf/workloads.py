@@ -1,0 +1,163 @@
+"""Standard experiment workloads shared by the figure benchmarks.
+
+Every figure in the paper sweeps the eight Pfam-representative model
+sizes against Swissprot and Env-nr.  This module builds the scaled-down
+surrogate databases, runs the (functional) pipeline once per (model size,
+database) pair to obtain the per-stage workloads - how many sequences and
+residues each stage actually processes - and memoizes the result so the
+benchmarks do not re-score databases repeatedly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hmm.plan7 import Plan7HMM
+from ..hmm.sampler import sample_hmm
+from ..pipeline.pipeline import HmmsearchPipeline
+from ..pipeline.results import SearchResults
+from ..sequence.database import SequenceDatabase
+from ..sequence.synthetic import envnr_like, swissprot_like
+from .cost_model import StageWork
+
+__all__ = ["ExperimentWorkload", "experiment_workload", "paper_hmm", "paper_database"]
+
+#: Default scaled-down database sizes (sequences).
+SWISSPROT_N = 300
+ENVNR_N = 500
+
+#: Residue counts of the paper's real databases (Section IV); workloads
+#: are rescaled to these so fixed overheads (launches, transfers,
+#: dispatch) are amortized exactly as they would be at full scale.
+PAPER_RESIDUES = {
+    "swissprot": 171_731_281,
+    "envnr": 1_290_247_663,
+}
+
+_HMM_SEED = 1234
+_DB_SEED = 5678
+_cache: dict[tuple, "ExperimentWorkload"] = {}
+_hmm_cache: dict[int, Plan7HMM] = {}
+_db_cache: dict[tuple, SequenceDatabase] = {}
+
+
+@dataclass(frozen=True)
+class ExperimentWorkload:
+    """Per-stage workloads of one (model size, database) experiment."""
+
+    M: int
+    database_name: str
+    n_seqs: int
+    total_residues: int
+    mean_length: float
+    msv: StageWork
+    vit: StageWork
+    fwd: StageWork
+    results: SearchResults
+
+    @property
+    def msv_survivor_fraction(self) -> float:
+        return self.results.stage("msv").survivor_fraction
+
+    @property
+    def vit_survivor_fraction(self) -> float:
+        return self.results.stage("p7viterbi").survivor_fraction
+
+    @property
+    def residue_scale(self) -> float:
+        """Multiplier from the surrogate database to paper scale."""
+        paper = PAPER_RESIDUES.get(self.database_name)
+        if paper is None:
+            return 1.0
+        return paper / self.total_residues
+
+    def scaled(self) -> "ExperimentWorkload":
+        """The same experiment extrapolated to the paper's database size.
+
+        Survivor *fractions* are preserved; absolute rows/sequences are
+        multiplied so fixed per-search overheads weigh as they would at
+        full scale.  Benchmarks use this for every timing figure.
+        """
+        f = self.residue_scale
+        scale = lambda w: StageWork(  # noqa: E731
+            rows=int(w.rows * f), seqs=max(1, int(w.seqs * f)), M=w.M
+        )
+        return ExperimentWorkload(
+            M=self.M,
+            database_name=self.database_name,
+            n_seqs=int(self.n_seqs * f),
+            total_residues=int(self.total_residues * f),
+            mean_length=self.mean_length,
+            msv=scale(self.msv),
+            vit=scale(self.vit),
+            fwd=scale(self.fwd),
+            results=self.results,
+        )
+
+
+def paper_hmm(M: int) -> Plan7HMM:
+    """The reproducible query model used for size ``M`` in every figure."""
+    if M not in _hmm_cache:
+        _hmm_cache[M] = sample_hmm(M, np.random.default_rng(_HMM_SEED + M))
+    return _hmm_cache[M]
+
+
+def paper_database(
+    name: str, hmm: Plan7HMM, n_seqs: int | None = None
+) -> SequenceDatabase:
+    """Swissprot-like or Env-nr-like surrogate targeted at ``hmm``."""
+    if name == "swissprot":
+        n = n_seqs or SWISSPROT_N
+        key = ("swissprot", hmm.M, n)
+        if key not in _db_cache:
+            _db_cache[key] = swissprot_like(
+                n, np.random.default_rng(_DB_SEED), hmm=hmm
+            )
+    elif name == "envnr":
+        n = n_seqs or ENVNR_N
+        key = ("envnr", hmm.M, n)
+        if key not in _db_cache:
+            _db_cache[key] = envnr_like(
+                n, np.random.default_rng(_DB_SEED + 1), hmm=hmm
+            )
+    else:
+        raise ValueError(f"unknown paper database {name!r}")
+    return _db_cache[key]
+
+
+def experiment_workload(
+    M: int,
+    database_name: str,
+    n_seqs: int | None = None,
+    calibration_filter_sample: int = 200,
+    calibration_forward_sample: int = 60,
+) -> ExperimentWorkload:
+    """Workloads of one experiment point, memoized across benchmarks."""
+    key = (M, database_name, n_seqs)
+    if key in _cache:
+        return _cache[key]
+    hmm = paper_hmm(M)
+    db = paper_database(database_name, hmm, n_seqs)
+    pipe = HmmsearchPipeline(
+        hmm,
+        L=min(400, max(100, int(db.mean_length))),
+        calibration_filter_sample=calibration_filter_sample,
+        calibration_forward_sample=calibration_forward_sample,
+    )
+    results = pipe.search(db)
+    st1, st2, st3 = (results.stage(s) for s in ("msv", "p7viterbi", "forward"))
+    workload = ExperimentWorkload(
+        M=M,
+        database_name=database_name,
+        n_seqs=len(db),
+        total_residues=db.total_residues,
+        mean_length=db.mean_length,
+        msv=StageWork(rows=st1.rows, seqs=st1.n_in, M=M),
+        vit=StageWork(rows=st2.rows, seqs=st2.n_in, M=M),
+        fwd=StageWork(rows=st3.rows, seqs=st3.n_in, M=M),
+        results=results,
+    )
+    _cache[key] = workload
+    return workload

@@ -1,0 +1,34 @@
+"""The hmmsearch task pipeline: statistics, calibration, stages, results."""
+
+from .calibrate import PipelineCalibration, calibrate_profile
+from .hmmscan import ModelLibrary, ScanHit, ScanResults
+from .pipeline import Engine, HmmsearchPipeline, PipelineThresholds
+from .results import SearchHit, SearchResults, StageStats
+from .stats import (
+    ScoreDistribution,
+    bits_from_nats,
+    exponential_survival,
+    fit_exponential_tau,
+    fit_gumbel_mu,
+    gumbel_survival,
+)
+
+__all__ = [
+    "HmmsearchPipeline",
+    "Engine",
+    "PipelineThresholds",
+    "PipelineCalibration",
+    "calibrate_profile",
+    "ModelLibrary",
+    "ScanHit",
+    "ScanResults",
+    "SearchResults",
+    "SearchHit",
+    "StageStats",
+    "ScoreDistribution",
+    "gumbel_survival",
+    "exponential_survival",
+    "fit_gumbel_mu",
+    "fit_exponential_tau",
+    "bits_from_nats",
+]

@@ -1,0 +1,282 @@
+"""The hmmsearch task pipeline (paper Figure 1).
+
+``MSV filter -> P7Viterbi filter -> Forward``, with P-value thresholds
+between stages (HMMER 3.0 defaults: 0.02, 1e-3, 1e-5).  Two engine
+families implement the two accelerated stages:
+
+* ``Engine.CPU_SSE`` - the striped SSE reference path (scores computed by
+  the vectorized golden reference, which is bit-identical to the striped
+  simulation; the striped code itself is exercised by the test suite);
+* ``Engine.GPU_WARP`` - the paper's warp-synchronous kernels on a chosen
+  (simulated) device and memory configuration.
+
+Both produce *identical* results - the paper's accuracy-preservation
+claim - which the test suite asserts; they differ in the hardware event
+counters and in the stage times the performance model assigns.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cpu.forward_batch import forward_score_batch
+from ..cpu.generic import GenericProfile
+from ..cpu.msv_reference import msv_score_batch
+from ..cpu.viterbi_reference import viterbi_score_batch
+from ..errors import PipelineError
+from ..gpu.counters import KernelCounters
+from ..gpu.device import KEPLER_K40, DeviceSpec
+from ..hmm.background import NullModel
+from ..hmm.plan7 import Plan7HMM
+from ..hmm.profile import SearchProfile
+from ..kernels.memconfig import MemoryConfig
+from ..kernels.msv_warp import msv_warp_kernel
+from ..kernels.viterbi_warp import viterbi_warp_kernel
+from ..scoring.msv_profile import MSVByteProfile
+from ..scoring.vit_profile import ViterbiWordProfile
+from ..sequence.database import SequenceDatabase
+from .calibrate import PipelineCalibration, calibrate_profile
+from .results import SearchHit, SearchResults, StageStats
+from .stats import bits_from_nats
+
+__all__ = ["Engine", "PipelineThresholds", "HmmsearchPipeline"]
+
+
+class Engine(enum.Enum):
+    """Which implementation scores the MSV and P7Viterbi stages."""
+
+    CPU_SSE = "cpu_sse"
+    GPU_WARP = "gpu_warp"
+
+
+@dataclass(frozen=True)
+class PipelineThresholds:
+    """Stage P-value thresholds and the reporting E-value cutoff."""
+
+    f1: float = 0.02    # MSV
+    f2: float = 1e-3    # P7Viterbi
+    f3: float = 1e-5    # Forward
+    report_evalue: float = 10.0
+
+    def __post_init__(self) -> None:
+        for name, v in (("f1", self.f1), ("f2", self.f2), ("f3", self.f3)):
+            if not 0.0 < v <= 1.0:
+                raise PipelineError(f"threshold {name} must be in (0, 1]")
+
+
+class HmmsearchPipeline:
+    """A query model prepared for searching sequence databases.
+
+    Construction configures the search profile, quantizes the filter
+    profiles and calibrates the stage statistics; :meth:`search` can then
+    be run against any number of databases.
+
+    Parameters
+    ----------
+    hmm:
+        The query Plan-7 model.
+    L:
+        Length-model configuration used for scoring and calibration
+        (HMMER reconfigures per target; we use a fixed representative
+        length, which shifts all scores coherently and cancels in the
+        calibrated P-values).
+    seed:
+        Seed of the calibration sample; fixed by default so results are
+        reproducible.
+    """
+
+    def __init__(
+        self,
+        hmm: Plan7HMM,
+        L: int = 400,
+        multihit: bool = True,
+        thresholds: PipelineThresholds | None = None,
+        null: NullModel | None = None,
+        seed: int = 42,
+        calibration_filter_sample: int = 400,
+        calibration_forward_sample: int = 120,
+    ) -> None:
+        self.hmm = hmm
+        self.thresholds = thresholds or PipelineThresholds()
+        self.profile = SearchProfile(hmm, null=null, multihit=multihit, L=L)
+        self.byte_profile = MSVByteProfile.from_profile(self.profile)
+        self.word_profile = ViterbiWordProfile.from_profile(self.profile)
+        self.generic_profile = GenericProfile.from_profile(self.profile)
+        self.calibration: PipelineCalibration = calibrate_profile(
+            self.profile,
+            np.random.default_rng(seed),
+            n_filter=calibration_filter_sample,
+            n_forward=calibration_forward_sample,
+        )
+
+    # -- stage engines ------------------------------------------------------
+
+    def _score_msv(self, db, engine, device, config, counters):
+        if engine is Engine.GPU_WARP:
+            c = counters.setdefault("msv", KernelCounters())
+            return msv_warp_kernel(
+                self.byte_profile, db, config=config, device=device, counters=c
+            )
+        return msv_score_batch(self.byte_profile, db)
+
+    def _score_vit(self, db, engine, device, config, counters):
+        if engine is Engine.GPU_WARP:
+            c = counters.setdefault("p7viterbi", KernelCounters())
+            return viterbi_warp_kernel(
+                self.word_profile, db, config=config, device=device, counters=c
+            )
+        return viterbi_score_batch(self.word_profile, db)
+
+    # -- search ---------------------------------------------------------------
+
+    def search(
+        self,
+        database: SequenceDatabase,
+        engine: Engine = Engine.CPU_SSE,
+        device: DeviceSpec = KEPLER_K40,
+        config: MemoryConfig = MemoryConfig.SHARED,
+        alignments: bool = False,
+    ) -> SearchResults:
+        """Run the three-stage pipeline over a database.
+
+        With ``alignments=True`` every reported hit additionally carries
+        its optimal Viterbi alignment (domains, coordinates, rendering) -
+        the post-pipeline step real hmmsearch output includes.
+        """
+        n = len(database)
+        M = self.profile.M
+        null_len = self.calibration.null_length_nats
+        th = self.thresholds
+        counters: dict[str, KernelCounters] = {}
+
+        # ---- stage 1: MSV filter over everything ----
+        msv_scores = self._score_msv(database, engine, device, config, counters)
+        msv_bits = np.asarray(bits_from_nats(msv_scores.scores, null_len))
+        msv_p = self.calibration.msv.pvalue(msv_bits)
+        pass1 = np.flatnonzero(msv_p < th.f1)
+        stage1 = StageStats(
+            name="msv",
+            n_in=n,
+            n_out=int(pass1.size),
+            rows=database.total_residues,
+            cells=database.total_residues * M,
+        )
+
+        # ---- stage 2: P7Viterbi over MSV survivors ----
+        vit_bits = np.full(n, np.nan)
+        vit_p = np.full(n, np.nan)
+        pass2 = np.array([], dtype=np.int64)
+        rows2 = 0
+        if pass1.size:
+            sub = database.subset(pass1.tolist())
+            rows2 = sub.total_residues
+            vit_scores = self._score_vit(sub, engine, device, config, counters)
+            vb = np.asarray(bits_from_nats(vit_scores.scores, null_len))
+            vit_bits[pass1] = vb
+            vp = self.calibration.vit.pvalue(vb)
+            vit_p[pass1] = vp
+            pass2 = pass1[vp < th.f2]
+        stage2 = StageStats(
+            name="p7viterbi",
+            n_in=int(pass1.size),
+            n_out=int(pass2.size),
+            rows=rows2,
+            cells=rows2 * M,
+        )
+
+        # ---- stage 3: Forward over Viterbi survivors (always CPU) ----
+        fwd_bits = np.full(n, np.nan)
+        fwd_p = np.full(n, np.nan)
+        hits: list[SearchHit] = []
+        rows3 = 0
+        fwd_nats: dict[int, float] = {}
+        if pass2.size:
+            sub3 = database.subset(pass2.tolist())
+            batch_nats = forward_score_batch(self.generic_profile, sub3)
+            fwd_nats = {int(idx): float(v) for idx, v in zip(pass2, batch_nats)}
+        for idx in pass2:
+            seq = database[int(idx)]
+            rows3 += len(seq)
+            nats = fwd_nats[int(idx)]
+            fb = float(bits_from_nats(nats, null_len))
+            fwd_bits[idx] = fb
+            fp = float(self.calibration.fwd.pvalue(fb))
+            fwd_p[idx] = fp
+            if fp < th.f3:
+                evalue = fp * n
+                if evalue <= th.report_evalue:
+                    aln = None
+                    if alignments:
+                        from ..cpu.traceback import viterbi_traceback
+
+                        aln = viterbi_traceback(self.generic_profile, seq.codes)
+                    hits.append(
+                        SearchHit(
+                            name=seq.name,
+                            index=int(idx),
+                            length=len(seq),
+                            msv_bits=float(msv_bits[idx]),
+                            msv_p=float(msv_p[idx]),
+                            vit_bits=float(vit_bits[idx]),
+                            vit_p=float(vit_p[idx]),
+                            fwd_bits=fb,
+                            fwd_p=fp,
+                            evalue=evalue,
+                            alignment=aln,
+                        )
+                    )
+        n_pass3 = sum(1 for idx in pass2 if fwd_p[idx] < th.f3)
+        stage3 = StageStats(
+            name="forward",
+            n_in=int(pass2.size),
+            n_out=int(n_pass3),
+            rows=rows3,
+            cells=rows3 * M,
+        )
+
+        hits.sort(key=lambda h: (h.evalue, h.name))
+        return SearchResults(
+            query_name=self.hmm.name,
+            n_targets=n,
+            hits=hits,
+            stages=[stage1, stage2, stage3],
+            msv_bits=msv_bits,
+            vit_bits=vit_bits,
+            fwd_bits=fwd_bits,
+            counters=counters,
+        )
+
+    def forward_all(self, database: SequenceDatabase) -> np.ndarray:
+        """Forward bit scores of *every* sequence, bypassing the filters.
+
+        The ground truth for filter-sensitivity studies: anything
+        significant here but absent from :meth:`search`'s hits was lost
+        to a filter.  Expensive by design - this is exactly the cost the
+        MSV/Viterbi cascade exists to avoid.
+        """
+        nats = forward_score_batch(self.generic_profile, database)
+        return np.asarray(
+            bits_from_nats(nats, self.calibration.null_length_nats)
+        )
+
+    def filter_loss(
+        self, database: SequenceDatabase, results: SearchResults | None = None
+    ) -> tuple[int, int]:
+        """(lost, total) significant sequences missed by the filter
+        cascade, judged against the unfiltered Forward ground truth."""
+        if results is None:
+            results = self.search(database)
+        fwd_bits = self.forward_all(database)
+        fwd_p = np.asarray(self.calibration.fwd.pvalue(fwd_bits))
+        significant = set(np.flatnonzero(fwd_p < self.thresholds.f3).tolist())
+        found = {h.index for h in results.hits}
+        return len(significant - found), len(significant)
+
+    def __repr__(self) -> str:
+        return (
+            f"HmmsearchPipeline({self.hmm.name!r}, M={self.profile.M}, "
+            f"L={self.profile.L})"
+        )

@@ -1,0 +1,95 @@
+"""Result containers for the hmmsearch pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import PipelineError
+from ..gpu.counters import KernelCounters
+
+__all__ = ["StageStats", "SearchHit", "SearchResults"]
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """Work and survivor accounting of one pipeline stage (paper Fig. 1)."""
+
+    name: str
+    n_in: int
+    n_out: int
+    rows: int    # DP rows processed = residues of the sequences scored
+    cells: int   # rows * model size
+
+    @property
+    def survivor_fraction(self) -> float:
+        return self.n_out / self.n_in if self.n_in else 0.0
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One reported target sequence, with per-stage evidence.
+
+    ``alignment`` is populated when the search was run with
+    ``alignments=True``: the optimal Viterbi alignment with its per-domain
+    coordinates and rendering.
+    """
+
+    name: str
+    index: int
+    length: int
+    msv_bits: float
+    msv_p: float
+    vit_bits: float
+    vit_p: float
+    fwd_bits: float
+    fwd_p: float
+    evalue: float
+    alignment: object | None = None
+
+
+@dataclass
+class SearchResults:
+    """Everything a search produced.
+
+    ``msv_bits``/``vit_bits``/``fwd_bits`` are full-database arrays (NaN
+    where a stage was never reached), so analyses can look at the filter
+    behaviour beyond the reported hits.
+    """
+
+    query_name: str
+    n_targets: int
+    hits: list[SearchHit]
+    stages: list[StageStats]
+    msv_bits: np.ndarray
+    vit_bits: np.ndarray
+    fwd_bits: np.ndarray
+    counters: dict[str, KernelCounters] = field(default_factory=dict)
+
+    def stage(self, name: str) -> StageStats:
+        for st in self.stages:
+            if st.name == name:
+                return st
+        raise PipelineError(f"no stage named {name!r}")
+
+    def hit_names(self) -> list[str]:
+        return [h.name for h in self.hits]
+
+    def summary(self) -> str:
+        lines = [
+            f"query: {self.query_name}  targets: {self.n_targets}  "
+            f"hits: {len(self.hits)}"
+        ]
+        for st in self.stages:
+            lines.append(
+                f"  {st.name:10s} in={st.n_in:7d} out={st.n_out:7d} "
+                f"({100 * st.survivor_fraction:6.2f}%)  rows={st.rows}"
+            )
+        for h in self.hits[:10]:
+            lines.append(
+                f"  hit {h.name}  fwd={h.fwd_bits:7.2f} bits  E={h.evalue:.3g}"
+            )
+        if len(self.hits) > 10:
+            lines.append(f"  ... and {len(self.hits) - 10} more hits")
+        return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""The MSV filter's 8-bit ("byte") scoring system.
+
+HMMER 3.0 quantizes the MSV heuristic model to unsigned bytes in
+*third-bit* units (``scale = 3 / ln 2``) around ``base = 190``.  Emission
+costs are stored *biased*: ``rbv = round(-scale * msc) + bias`` where
+``bias`` is the cost magnitude of the most positive emission score, so all
+stored bytes are non-negative.  In the DP the kernel computes
+``sv = sat_sub(sat_add(sv, bias), rbv)``, i.e. it adds the true emission
+score with unsigned saturation at 0 (which doubles as minus infinity).
+
+The MSV model itself (paper Figure 2) keeps only the Match states:
+uniform entry ``B->Mk`` at cost ``tbm``, free ``M->M`` progression, free
+exit to E, plus the multihit specials ``tec`` (E->C / E->J) and ``tjb``
+(N/J->B move).  Missing NN/CC/JJ contributions are restored by the
+constant -3 nats at score time, exactly as in ``msvfilter.c``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..constants import LOG2, MSV_BASE, MSV_BYTE_MAX, MSV_SCALE
+from ..errors import ProfileError
+from ..hmm.profile import SearchProfile
+
+__all__ = ["MSVByteProfile"]
+
+#: Missing NN/CC/JJ contribution restored at score time (nats),
+#: approximately L*log(L/(L+3)); constant as in HMMER 3.0.
+_NCJ_CORRECTION = 3.0
+
+
+def _unbiased_byteify(scale: float, sc: float) -> int:
+    """Non-negative byte cost of a (non-positive) score, saturated at 255."""
+    cost = round(-scale * sc)
+    return int(min(MSV_BYTE_MAX, max(0, cost)))
+
+
+@dataclass(frozen=True)
+class MSVByteProfile:
+    """Quantized byte profile consumed by every MSV engine.
+
+    Attributes
+    ----------
+    rbv:
+        ``(Kp, M)`` int32 biased emission costs, ``rbv[x, j]`` = cost of
+        emitting digital code ``x`` at node ``j`` (0-based), bias included.
+    tbm, tec, tjb:
+        Byte costs of uniform entry, E->C/J, and N/J->B move.
+    bias, base:
+        The bias added before emission subtraction, and the byte offset of
+        score zero.
+    scale:
+        Bytes per nat.
+    """
+
+    M: int
+    L: int
+    rbv: np.ndarray
+    tbm: int
+    tec: int
+    tjb: int
+    bias: int
+    base: int = MSV_BASE
+    scale: float = MSV_SCALE
+
+    @classmethod
+    def from_profile(cls, profile: SearchProfile) -> "MSVByteProfile":
+        """Quantize a float search profile into the byte system."""
+        scale = MSV_SCALE
+        max_sc = profile.max_match_score()
+        bias = _unbiased_byteify(scale, -max_sc)
+        msc = profile.msc  # (Kp, M) nats, -inf for specials
+        cost = np.full(msc.shape, MSV_BYTE_MAX, dtype=np.int32)
+        finite = np.isfinite(msc)
+        raw = np.rint(-scale * msc[finite]).astype(np.int64) + bias
+        cost[finite] = np.clip(raw, 0, MSV_BYTE_MAX).astype(np.int32)
+        sp = profile.specials
+        if not math.isfinite(sp.E_loop):
+            raise ProfileError("the MSV byte profile requires a multihit profile")
+        return cls(
+            M=profile.M,
+            L=profile.L,
+            rbv=cost,
+            tbm=_unbiased_byteify(scale, profile.tbm),
+            tec=_unbiased_byteify(scale, sp.E_move),
+            tjb=_unbiased_byteify(scale, sp.N_move),
+            bias=bias,
+        )
+
+    # -- score-space helpers --------------------------------------------------
+
+    @property
+    def overflow_threshold(self) -> int:
+        """Row maxima at or above this byte value mean score overflow.
+
+        Overflowed sequences are reported as +inf and always pass the
+        filter, exactly like ``eslERANGE`` handling in HMMER.
+        """
+        return MSV_BYTE_MAX - self.bias
+
+    @property
+    def init_xB(self) -> int:
+        """Initial xB byte value: ``base - tjb`` (saturating at 0)."""
+        return max(0, self.base - self.tjb)
+
+    def final_score_nats(self, xJ: int) -> float:
+        """Convert the final xJ byte value into a score in nats."""
+        return ((xJ - self.tjb) - self.base) / self.scale - _NCJ_CORRECTION
+
+    def bits_from_nats(self, nats: float) -> float:
+        return nats / LOG2
+
+    def emission_row(self, code: int) -> np.ndarray:
+        """Biased emission costs of one digital code across all nodes."""
+        return self.rbv[code]
+
+    def __repr__(self) -> str:
+        return f"MSVByteProfile(M={self.M}, L={self.L}, bias={self.bias})"

@@ -1,0 +1,65 @@
+"""Saturating fixed-point arithmetic shared by every scoring engine.
+
+The accuracy claim of the paper ("preserving the sensitivity and accuracy
+of HMMER 3.0") rests on the GPU kernels computing *exactly* the same
+quantized scores as the CPU filters.  We make that property testable by
+construction: the scalar reference, the striped SSE baseline and the
+simulated warp kernels all call these helpers, so any divergence is a bug
+in an engine, never a rounding discrepancy.
+
+Values are carried in ``int32``/``int64`` NumPy arrays and clipped to the
+semantics of the hardware type they model:
+
+* ``u8``  - unsigned saturating bytes of the MSV filter
+  (``_mm_adds_epu8`` / ``_mm_subs_epu8``),
+* ``i16`` - signed saturating words of the ViterbiFilter
+  (``_mm_adds_epi16``), where -32768 doubles as minus infinity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..constants import MSV_BYTE_MAX, VF_WORD_MAX, VF_WORD_MIN
+
+__all__ = [
+    "sat_add_u8",
+    "sat_sub_u8",
+    "sat_add_i16",
+    "max_i16",
+    "U8_ZERO",
+    "I16_NEG_INF",
+]
+
+#: Floor of the unsigned byte system (acts as minus infinity in MSV).
+U8_ZERO = 0
+
+#: Floor of the signed word system (acts as minus infinity in ViterbiFilter).
+I16_NEG_INF = VF_WORD_MIN
+
+
+def sat_add_u8(a, b):
+    """``_mm_adds_epu8``: unsigned byte addition saturating at 255."""
+    r = np.asarray(a, dtype=np.int32) + np.asarray(b, dtype=np.int32)
+    return np.clip(r, 0, MSV_BYTE_MAX)
+
+
+def sat_sub_u8(a, b):
+    """``_mm_subs_epu8``: unsigned byte subtraction saturating at 0."""
+    r = np.asarray(a, dtype=np.int32) - np.asarray(b, dtype=np.int32)
+    return np.clip(r, 0, MSV_BYTE_MAX)
+
+
+def sat_add_i16(a, b):
+    """``_mm_adds_epi16``: signed word addition saturating at both ends.
+
+    Matches the SSE artifact that HMMER accepts: a value pinned at -32768
+    can be lifted above the floor again by adding a positive score.
+    """
+    r = np.asarray(a, dtype=np.int32) + np.asarray(b, dtype=np.int32)
+    return np.clip(r, VF_WORD_MIN, VF_WORD_MAX)
+
+
+def max_i16(a, b):
+    """``_mm_max_epi16`` (no saturation involved, named for symmetry)."""
+    return np.maximum(np.asarray(a, dtype=np.int32), np.asarray(b, dtype=np.int32))

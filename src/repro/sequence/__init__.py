@@ -1,0 +1,38 @@
+"""Sequences, databases, FASTA I/O and synthetic database generators."""
+
+from .database import PaddedBatch, SequenceDatabase
+from .fasta import parse_fasta_text, read_fasta, write_fasta
+from .sequence import DigitalSequence
+from .stockholm import (
+    StockholmAlignment,
+    parse_stockholm_text,
+    read_stockholm,
+    write_stockholm,
+)
+from .synthetic import (
+    BACKGROUND_FREQUENCIES,
+    envnr_like,
+    homolog_database,
+    random_database,
+    random_sequence_codes,
+    swissprot_like,
+)
+
+__all__ = [
+    "DigitalSequence",
+    "SequenceDatabase",
+    "PaddedBatch",
+    "read_fasta",
+    "write_fasta",
+    "parse_fasta_text",
+    "StockholmAlignment",
+    "read_stockholm",
+    "write_stockholm",
+    "parse_stockholm_text",
+    "BACKGROUND_FREQUENCIES",
+    "random_sequence_codes",
+    "random_database",
+    "homolog_database",
+    "swissprot_like",
+    "envnr_like",
+]

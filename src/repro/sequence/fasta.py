@@ -1,0 +1,81 @@
+"""Minimal, strict FASTA reader/writer for protein sequences."""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from ..errors import FormatError
+from .database import SequenceDatabase
+from .sequence import DigitalSequence
+
+__all__ = ["read_fasta", "write_fasta", "parse_fasta_text"]
+
+
+def _records(handle: TextIO):
+    name: str | None = None
+    desc = ""
+    parts: list[str] = []
+    for lineno, raw in enumerate(handle, start=1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith(">"):
+            if name is not None:
+                yield name, desc, "".join(parts)
+            header = line[1:].strip()
+            if not header:
+                raise FormatError(f"line {lineno}: empty FASTA header")
+            name, _, desc = header.partition(" ")
+            parts = []
+        else:
+            if name is None:
+                raise FormatError(
+                    f"line {lineno}: sequence data before any '>' header"
+                )
+            parts.append(line.strip())
+    if name is not None:
+        yield name, desc, "".join(parts)
+
+
+def parse_fasta_text(text: str, name: str = "fasta") -> SequenceDatabase:
+    """Parse FASTA from an in-memory string."""
+    seqs = [
+        DigitalSequence.from_text(n, s, description=d)
+        for n, d, s in _records(io.StringIO(text))
+    ]
+    if not seqs:
+        raise FormatError("no FASTA records found")
+    return SequenceDatabase(seqs, name=name)
+
+
+def read_fasta(path: str | Path) -> SequenceDatabase:
+    """Read a FASTA file into a :class:`SequenceDatabase`."""
+    path = Path(path)
+    with path.open("r", encoding="ascii") as handle:
+        seqs = [
+            DigitalSequence.from_text(n, s, description=d)
+            for n, d, s in _records(handle)
+        ]
+    if not seqs:
+        raise FormatError(f"{path}: no FASTA records found")
+    return SequenceDatabase(seqs, name=path.stem)
+
+
+def write_fasta(
+    path: str | Path, sequences: Iterable[DigitalSequence], width: int = 60
+) -> None:
+    """Write sequences to ``path`` in FASTA format, wrapped at ``width``."""
+    if width < 1:
+        raise FormatError("line width must be positive")
+    path = Path(path)
+    with path.open("w", encoding="ascii") as handle:
+        for seq in sequences:
+            header = f">{seq.name}"
+            if seq.description:
+                header += f" {seq.description}"
+            handle.write(header + "\n")
+            text = seq.text
+            for start in range(0, len(text), width):
+                handle.write(text[start : start + width] + "\n")

@@ -1,0 +1,63 @@
+"""Digital protein sequences."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..alphabet import AMINO, pack_residues
+from ..errors import SequenceError
+
+__all__ = ["DigitalSequence"]
+
+
+@dataclass(frozen=True)
+class DigitalSequence:
+    """A named protein sequence held in digital (coded) form.
+
+    The residue array is validated on construction: every code must be a
+    residue (canonical or degenerate); gap/terminator symbols are rejected
+    because the search kernels and the 5-bit packer give them no meaning.
+    """
+
+    name: str
+    codes: np.ndarray
+    description: str = ""
+    _packed: np.ndarray | None = field(
+        default=None, repr=False, compare=False, hash=False
+    )
+
+    def __post_init__(self) -> None:
+        arr = np.ascontiguousarray(self.codes, dtype=np.uint8)
+        if arr.ndim != 1:
+            raise SequenceError(f"sequence {self.name!r}: codes must be 1-D")
+        if arr.size == 0:
+            raise SequenceError(f"sequence {self.name!r} is empty")
+        AMINO.validate_sequence(arr)
+        object.__setattr__(self, "codes", arr)
+
+    @classmethod
+    def from_text(
+        cls, name: str, text: str, description: str = ""
+    ) -> "DigitalSequence":
+        """Digitize ``text`` (one-letter amino codes) into a sequence."""
+        return cls(name=name, codes=AMINO.encode(text), description=description)
+
+    def __len__(self) -> int:
+        return int(self.codes.size)
+
+    @property
+    def text(self) -> str:
+        """The sequence rendered back to one-letter symbols."""
+        return AMINO.decode(self.codes)
+
+    def packed(self) -> np.ndarray:
+        """5-bit packed 32-bit words (cached; see paper Figure 6)."""
+        if self._packed is None:
+            object.__setattr__(self, "_packed", pack_residues(self.codes))
+        assert self._packed is not None
+        return self._packed
+
+    def __repr__(self) -> str:
+        return f"DigitalSequence(name={self.name!r}, length={len(self)})"

@@ -1,0 +1,113 @@
+"""Minimal Stockholm 1.0 alignment I/O.
+
+Pfam distributes its seed alignments in Stockholm format; this reader
+covers the subset needed to feed :func:`repro.hmm.build_hmm_from_msa`:
+the header line, ``#=GF``-style annotations (kept as metadata), sequence
+lines (including the multi-block "interleaved" layout), and the ``//``
+terminator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import FormatError
+
+__all__ = ["StockholmAlignment", "read_stockholm", "write_stockholm",
+           "parse_stockholm_text"]
+
+_HEADER = "# STOCKHOLM 1.0"
+
+
+@dataclass
+class StockholmAlignment:
+    """One alignment: ordered names, equal-width rows, GF annotations."""
+
+    names: list[str]
+    rows: list[str]
+    annotations: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.names) != len(self.rows):
+            raise FormatError("names and rows must pair up")
+        if not self.rows:
+            raise FormatError("alignment cannot be empty")
+        widths = {len(r) for r in self.rows}
+        if len(widths) != 1:
+            raise FormatError("alignment rows must have equal width")
+        if len(set(self.names)) != len(self.names):
+            raise FormatError("duplicate sequence names in alignment")
+
+    @property
+    def width(self) -> int:
+        return len(self.rows[0])
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def parse_stockholm_text(text: str) -> StockholmAlignment:
+    """Parse one Stockholm alignment from a string."""
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != _HEADER:
+        raise FormatError(f"missing Stockholm header {_HEADER!r}")
+    annotations: dict[str, str] = {}
+    chunks: dict[str, list[str]] = {}
+    order: list[str] = []
+    terminated = False
+    for lineno, raw in enumerate(lines[1:], start=2):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line == "//":
+            terminated = True
+            break
+        if line.startswith("#=GF"):
+            parts = line.split(None, 2)
+            if len(parts) == 3:
+                key = parts[1]
+                annotations[key] = (
+                    annotations.get(key, "") + (" " if key in annotations else "")
+                    + parts[2]
+                )
+            continue
+        if line.startswith("#"):
+            continue  # other annotation classes are skipped
+        parts = line.split()
+        if len(parts) != 2:
+            raise FormatError(f"line {lineno}: expected 'name alignment'")
+        name, block = parts
+        if name not in chunks:
+            chunks[name] = []
+            order.append(name)
+        chunks[name].append(block)
+    if not terminated:
+        raise FormatError("missing // terminator")
+    if not order:
+        raise FormatError("no sequences in alignment")
+    rows = ["".join(chunks[name]) for name in order]
+    return StockholmAlignment(names=order, rows=rows, annotations=annotations)
+
+
+def read_stockholm(path: str | Path) -> StockholmAlignment:
+    """Read one Stockholm alignment from a file."""
+    return parse_stockholm_text(Path(path).read_text(encoding="ascii"))
+
+
+def write_stockholm(
+    path: str | Path, alignment: StockholmAlignment, block_width: int = 60
+) -> None:
+    """Write an alignment in (interleaved) Stockholm format."""
+    if block_width < 1:
+        raise FormatError("block width must be positive")
+    name_w = max(len(n) for n in alignment.names)
+    lines = [_HEADER]
+    for key, value in alignment.annotations.items():
+        lines.append(f"#=GF {key} {value}")
+    for start in range(0, alignment.width, block_width):
+        lines.append("")
+        for name, row in zip(alignment.names, alignment.rows):
+            lines.append(f"{name.ljust(name_w)} {row[start : start + block_width]}")
+    lines.append("//")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="ascii")

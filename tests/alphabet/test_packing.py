@@ -1,0 +1,126 @@
+"""Unit and property tests for 5-bit residue packing (paper Figure 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alphabet.packing import (
+    pack_residues,
+    packed_length_words,
+    packed_stream_bytes,
+    unpack_residues,
+)
+from repro.constants import PACK_TERMINATOR, RESIDUES_PER_WORD
+from repro.errors import AlphabetError
+
+
+class TestPackedLength:
+    @pytest.mark.parametrize(
+        "n,words", [(0, 0), (1, 1), (5, 1), (6, 1), (7, 2), (12, 2), (13, 3)]
+    )
+    def test_word_count(self, n, words):
+        assert packed_length_words(n) == words
+
+    def test_stream_bytes(self):
+        assert packed_stream_bytes(6) == 4
+        assert packed_stream_bytes(7) == 8
+
+    def test_negative_rejected(self):
+        with pytest.raises(AlphabetError):
+            packed_length_words(-1)
+
+
+class TestPackLayout:
+    def test_first_residue_most_significant(self):
+        # residues [1, 0, 0, 0, 0, 0] -> 1 << 25
+        word = pack_residues(np.array([1, 0, 0, 0, 0, 0]))
+        assert word[0] == 1 << 25
+
+    def test_sixth_residue_least_significant(self):
+        word = pack_residues(np.array([0, 0, 0, 0, 0, 3]))
+        assert word[0] == 3
+
+    def test_padding_slots_carry_terminator(self):
+        word = pack_residues(np.array([2]))
+        # slots 1..5 hold the flag 31
+        for j in range(1, RESIDUES_PER_WORD):
+            shift = (RESIDUES_PER_WORD - 1 - j) * 5
+            assert (int(word[0]) >> shift) & 31 == PACK_TERMINATOR
+
+    def test_exactly_full_word_has_no_terminator(self):
+        word = pack_residues(np.arange(6, dtype=np.uint8))
+        fields = [(int(word[0]) >> ((5 - j) * 5)) & 31 for j in range(6)]
+        assert PACK_TERMINATOR not in fields
+
+    def test_dtype_is_uint32(self):
+        assert pack_residues(np.array([1, 2, 3])).dtype == np.uint32
+
+
+class TestPackValidation:
+    def test_rejects_terminator_code_in_input(self):
+        with pytest.raises(AlphabetError):
+            pack_residues(np.array([31]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(AlphabetError):
+            pack_residues(np.zeros((2, 3), dtype=np.uint8))
+
+    def test_empty_sequence(self):
+        assert pack_residues(np.array([], dtype=np.uint8)).size == 0
+
+
+class TestUnpack:
+    def test_unpack_with_explicit_count(self):
+        codes = np.array([5, 10, 28, 0, 3], dtype=np.uint8)
+        words = pack_residues(codes)
+        assert np.array_equal(unpack_residues(words, 5), codes)
+
+    def test_unpack_stops_at_terminator(self):
+        codes = np.array([5, 10, 28], dtype=np.uint8)
+        words = pack_residues(codes)
+        assert np.array_equal(unpack_residues(words), codes)
+
+    def test_unpack_count_too_large(self):
+        with pytest.raises(AlphabetError):
+            unpack_residues(pack_residues(np.array([1])), 7)
+
+    def test_unpack_rejects_2d(self):
+        with pytest.raises(AlphabetError):
+            unpack_residues(np.zeros((1, 1), dtype=np.uint32))
+
+
+@given(
+    codes=st.lists(st.integers(min_value=0, max_value=30), min_size=0, max_size=200)
+)
+@settings(max_examples=200, deadline=None)
+def test_pack_unpack_roundtrip(codes):
+    """Packing is a pure layout transform: unpack inverts it exactly."""
+    arr = np.array(codes, dtype=np.uint8)
+    words = pack_residues(arr)
+    assert words.size == packed_length_words(arr.size)
+    recovered = unpack_residues(words, arr.size)
+    assert np.array_equal(recovered, arr)
+
+
+@given(
+    codes=st.lists(st.integers(min_value=0, max_value=28), min_size=1, max_size=120)
+)
+@settings(max_examples=100, deadline=None)
+def test_terminator_detection_matches_length(codes):
+    """Auto-detected length equals the real length for residue codes.
+
+    Input codes are capped at 28 (real alphabet codes) so no input value
+    collides with the terminator flag.
+    """
+    arr = np.array(codes, dtype=np.uint8)
+    assert np.array_equal(unpack_residues(pack_residues(arr)), arr)
+
+
+@given(n=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=50, deadline=None)
+def test_packing_compresses_by_six(n):
+    """6 residues per word: the bandwidth saving the paper claims."""
+    assert packed_stream_bytes(n) <= 4 * ((n + 5) // 6)
+    if n:
+        assert packed_stream_bytes(n) / n <= 4 / 6 + 4 / n

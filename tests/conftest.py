@@ -1,0 +1,92 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hmm.profile import SearchProfile
+from repro.hmm.sampler import sample_hmm
+from repro.scoring.msv_profile import MSVByteProfile
+from repro.scoring.vit_profile import ViterbiWordProfile
+from repro.sequence.database import SequenceDatabase
+from repro.sequence.sequence import DigitalSequence
+from repro.sequence.synthetic import random_sequence_codes
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20150525)  # IPDPSW 2015 conference date
+
+
+@pytest.fixture
+def small_hmm(rng):
+    """A 37-node model: prime-ish size exercises partial strips/stripes."""
+    return sample_hmm(37, rng)
+
+
+@pytest.fixture
+def medium_hmm(rng):
+    """A 120-node model: several 32-wide strips."""
+    return sample_hmm(120, rng)
+
+
+@pytest.fixture
+def small_profile(small_hmm):
+    return SearchProfile(small_hmm, L=90)
+
+
+@pytest.fixture
+def medium_profile(medium_hmm):
+    return SearchProfile(medium_hmm, L=220)
+
+
+@pytest.fixture
+def small_byte_profile(small_profile):
+    return MSVByteProfile.from_profile(small_profile)
+
+
+@pytest.fixture
+def small_word_profile(small_profile):
+    return ViterbiWordProfile.from_profile(small_profile)
+
+
+@pytest.fixture
+def medium_byte_profile(medium_profile):
+    return MSVByteProfile.from_profile(medium_profile)
+
+
+@pytest.fixture
+def medium_word_profile(medium_profile):
+    return ViterbiWordProfile.from_profile(medium_profile)
+
+
+def make_mixed_database(hmm, rng, n_random=8, n_homologs=2, name="mixdb"):
+    """Random sequences of varying length plus planted full homologs."""
+    seqs = []
+    lengths = rng.integers(8, 180, size=n_random)
+    for i, L in enumerate(lengths):
+        seqs.append(
+            DigitalSequence(f"{name}/rand{i}", random_sequence_codes(int(L), rng))
+        )
+    for i in range(n_homologs):
+        dom = hmm.sample_sequence(rng)
+        flank = random_sequence_codes(12, rng)
+        seqs.append(
+            DigitalSequence(
+                f"{name}/hom{i}",
+                np.concatenate([flank, dom]).astype(np.uint8),
+                description="homolog",
+            )
+        )
+    return SequenceDatabase(seqs, name=name)
+
+
+@pytest.fixture
+def small_database(small_hmm, rng):
+    return make_mixed_database(small_hmm, rng)
+
+
+@pytest.fixture
+def medium_database(medium_hmm, rng):
+    return make_mixed_database(medium_hmm, rng, n_random=12, n_homologs=3)

@@ -1,0 +1,167 @@
+"""MSV engines: reference semantics, striped equivalence, batch lockstep."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import (
+    msv_score_batch,
+    msv_score_sequence,
+    msv_score_sequence_striped,
+    msv_striped_profile,
+)
+from repro.errors import KernelError
+from repro.hmm import SearchProfile, sample_hmm
+from repro.scoring import MSVByteProfile
+from repro.sequence import DigitalSequence, SequenceDatabase, random_sequence_codes
+
+
+def _profile(M, seed=0, L=100):
+    return MSVByteProfile.from_profile(
+        SearchProfile(sample_hmm(M, np.random.default_rng(seed)), L=L)
+    )
+
+
+class TestReference:
+    def test_deterministic(self, small_byte_profile, rng):
+        codes = random_sequence_codes(50, rng)
+        assert msv_score_sequence(small_byte_profile, codes) == msv_score_sequence(
+            small_byte_profile, codes
+        )
+
+    def test_empty_rejected(self, small_byte_profile):
+        with pytest.raises(KernelError):
+            msv_score_sequence(small_byte_profile, np.array([], dtype=np.uint8))
+
+    def test_random_scores_negative(self, small_byte_profile, rng):
+        """Background sequences must not look like motif hits."""
+        for _ in range(5):
+            codes = random_sequence_codes(80, rng)
+            assert msv_score_sequence(small_byte_profile, codes) < 0
+
+    def test_homolog_scores_higher(self, small_hmm, small_byte_profile, rng):
+        dom = small_hmm.sample_sequence(rng)
+        random = random_sequence_codes(dom.size, rng)
+        assert msv_score_sequence(small_byte_profile, dom) > msv_score_sequence(
+            small_byte_profile, random
+        ) + 3.0
+
+    def test_strong_homolog_overflows_to_inf(self, rng):
+        """Repeated strong domains saturate the byte system: +inf."""
+        hmm = sample_hmm(60, rng, conservation=80.0)
+        prof = MSVByteProfile.from_profile(SearchProfile(hmm, L=600))
+        doms = [hmm.sample_sequence(rng) for _ in range(10)]
+        codes = np.concatenate(doms).astype(np.uint8)
+        assert msv_score_sequence(prof, codes) == float("inf")
+
+    def test_degenerate_residues_scoreable(self, small_byte_profile):
+        codes = np.array([25] * 30, dtype=np.uint8)  # all X
+        score = msv_score_sequence(small_byte_profile, codes)
+        assert np.isfinite(score)
+
+    def test_score_independent_of_flank_content_scale(
+        self, small_hmm, small_byte_profile, rng
+    ):
+        """MSV is a local alignment: extending random flanks should not
+        raise the score of an embedded domain by much."""
+        dom = small_hmm.sample_sequence(rng)
+        short = np.concatenate([random_sequence_codes(5, rng), dom])
+        long = np.concatenate(
+            [random_sequence_codes(150, rng), dom, random_sequence_codes(150, rng)]
+        )
+        s_short = msv_score_sequence(small_byte_profile, short.astype(np.uint8))
+        s_long = msv_score_sequence(small_byte_profile, long.astype(np.uint8))
+        assert s_long <= s_short + 2.0
+
+
+class TestStripedEquivalence:
+    @pytest.mark.parametrize("M", [1, 7, 16, 17, 33, 64, 100])
+    def test_bit_identical_across_sizes(self, M, rng):
+        prof = _profile(M, seed=M)
+        for _ in range(4):
+            codes = random_sequence_codes(int(rng.integers(4, 150)), rng)
+            assert msv_score_sequence(prof, codes) == msv_score_sequence_striped(
+                prof, codes
+            )
+
+    @pytest.mark.parametrize("lanes", [4, 8, 16, 32])
+    def test_any_lane_count(self, lanes, rng):
+        prof = _profile(29)
+        codes = random_sequence_codes(70, rng)
+        assert msv_score_sequence(prof, codes) == msv_score_sequence_striped(
+            prof, codes, lanes=lanes
+        )
+
+    def test_overflow_agrees(self, rng):
+        hmm = sample_hmm(50, rng, conservation=80.0)
+        prof = MSVByteProfile.from_profile(SearchProfile(hmm, L=500))
+        codes = np.concatenate(
+            [hmm.sample_sequence(rng) for _ in range(10)]
+        ).astype(np.uint8)
+        assert msv_score_sequence(prof, codes) == msv_score_sequence_striped(
+            prof, codes
+        )
+
+    def test_prestriped_profile_reuse(self, rng):
+        prof = _profile(20)
+        striped = msv_striped_profile(prof)
+        codes = random_sequence_codes(40, rng)
+        assert msv_score_sequence_striped(
+            prof, codes, striped_rbv=striped
+        ) == msv_score_sequence(prof, codes)
+
+    def test_striped_profile_validation(self):
+        with pytest.raises(KernelError):
+            msv_striped_profile(_profile(10), lanes=1)
+
+
+class TestBatch:
+    def test_matches_sequential(self, small_byte_profile, small_database):
+        batch = msv_score_batch(small_byte_profile, small_database)
+        for i, seq in enumerate(small_database):
+            assert batch.scores[i] == msv_score_sequence(
+                small_byte_profile, seq.codes
+            )
+
+    def test_overflow_flags(self, rng):
+        hmm = sample_hmm(50, rng, conservation=80.0)
+        prof = MSVByteProfile.from_profile(SearchProfile(hmm, L=500))
+        hot = np.concatenate(
+            [hmm.sample_sequence(rng) for _ in range(10)]
+        ).astype(np.uint8)
+        cold = random_sequence_codes(60, rng)
+        db = SequenceDatabase(
+            [DigitalSequence("hot", hot), DigitalSequence("cold", cold)]
+        )
+        batch = msv_score_batch(prof, db)
+        assert batch.overflowed[0] and not batch.overflowed[1]
+        assert batch.scores[0] == float("inf")
+
+    def test_order_independence(self, small_byte_profile, small_database):
+        fwd = msv_score_batch(small_byte_profile, small_database)
+        rev = msv_score_batch(
+            small_byte_profile, small_database.subset(range(len(small_database) - 1, -1, -1))
+        )
+        assert np.array_equal(fwd.scores[::-1], rev.scores)
+
+    def test_bits_conversion(self, small_byte_profile, small_database):
+        batch = msv_score_batch(small_byte_profile, small_database)
+        finite = np.isfinite(batch.scores)
+        assert np.allclose(
+            batch.bits()[finite], batch.scores[finite] / np.log(2)
+        )
+
+
+@given(
+    M=st.integers(min_value=1, max_value=60),
+    length=st.integers(min_value=1, max_value=80),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_striped_equals_reference_property(M, length, seed):
+    """Farrar striping is score-preserving for any model/sequence shape."""
+    gen = np.random.default_rng(seed)
+    prof = _profile(M, seed=seed % 1000)
+    codes = random_sequence_codes(length, gen)
+    assert msv_score_sequence(prof, codes) == msv_score_sequence_striped(prof, codes)

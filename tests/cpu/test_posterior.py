@@ -1,0 +1,122 @@
+"""Posterior decoding: probability invariants and domain calls."""
+
+import numpy as np
+import pytest
+
+from repro.cpu import generic_forward_score
+from repro.cpu.posterior import domain_regions, posterior_decode
+from repro.errors import KernelError
+from repro.hmm import SearchProfile, sample_hmm
+from repro.sequence import random_sequence_codes
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(31)
+    hmm = sample_hmm(40, rng, conservation=40.0)
+    profile = SearchProfile(hmm, L=120)
+    flank_l = random_sequence_codes(30, rng)
+    flank_r = random_sequence_codes(25, rng)
+    domain = hmm.sample_sequence(rng)
+    codes = np.concatenate([flank_l, domain, flank_r]).astype(np.uint8)
+    dom_span = (30, 30 + domain.size)
+    return hmm, profile, codes, dom_span, rng
+
+
+class TestInvariants:
+    def test_score_matches_forward(self, setup):
+        _, profile, codes, _, _ = setup
+        dec = posterior_decode(profile, codes)
+        assert dec.score == pytest.approx(
+            generic_forward_score(profile, codes), abs=1e-8
+        )
+
+    def test_probabilities_in_unit_interval(self, setup):
+        _, profile, codes, _, _ = setup
+        dec = posterior_decode(profile, codes)
+        for arr in (dec.match, dec.insert, dec.homology):
+            assert (arr >= 0).all() and (arr <= 1).all()
+
+    def test_per_residue_total_probability(self, setup):
+        """Each residue is emitted by exactly one state: core posteriors
+        must not exceed 1 and homology = their sum."""
+        _, profile, codes, _, _ = setup
+        dec = posterior_decode(profile, codes)
+        totals = dec.match.sum(axis=1) + dec.insert.sum(axis=1)
+        assert (totals <= 1.0 + 1e-9).all()
+        assert np.allclose(
+            dec.homology, np.clip(totals, 0, 1), atol=1e-12
+        )
+
+    def test_shapes(self, setup):
+        _, profile, codes, _, _ = setup
+        dec = posterior_decode(profile, codes)
+        assert dec.match.shape == (codes.size, 40)
+        assert dec.L == codes.size and dec.M == 40
+
+    def test_random_sequence_low_homology(self, setup):
+        _, profile, _, _, rng = setup
+        dec = posterior_decode(profile, random_sequence_codes(90, rng))
+        assert dec.homology.mean() < 0.5
+        assert dec.expected_aligned_residues() < 60
+
+    def test_empty_rejected(self, setup):
+        _, profile, _, _, _ = setup
+        with pytest.raises(KernelError):
+            posterior_decode(profile, np.array([], dtype=np.uint8))
+
+
+class TestDomainCalls:
+    def test_planted_domain_recovered(self, setup):
+        _, profile, codes, (lo, hi), _ = setup
+        dec = posterior_decode(profile, codes)
+        regions = domain_regions(dec)
+        assert regions, "must call at least one domain"
+        start, end = max(regions, key=lambda r: r[1] - r[0])
+        # the called region overlaps most of the true domain
+        overlap = max(0, min(end, hi) - max(start, lo))
+        assert overlap >= 0.7 * (hi - lo)
+        # and does not swallow the flanks
+        assert start >= lo - 8 and end <= hi + 8
+
+    def test_flanks_below_threshold(self, setup):
+        _, profile, codes, (lo, hi), _ = setup
+        dec = posterior_decode(profile, codes)
+        assert dec.homology[: lo - 5].mean() < 0.3
+        assert dec.homology[hi + 5 :].mean() < 0.3
+
+    def test_two_domains_multihit(self, setup):
+        hmm, profile, _, _, rng = setup
+        d1, d2 = hmm.sample_sequence(rng), hmm.sample_sequence(rng)
+        gap = random_sequence_codes(40, rng)
+        codes = np.concatenate([d1, gap, d2]).astype(np.uint8)
+        dec = posterior_decode(profile, codes)
+        regions = domain_regions(dec)
+        # both true domains are separated by a low-homology gap; regions
+        # may fragment at weakly conserved columns, but each domain must
+        # be well covered and the gap must not be
+        assert len(regions) >= 2
+
+        def coverage(lo, hi):
+            return sum(
+                max(0, min(e, hi) - max(s, lo)) for s, e in regions
+            ) / (hi - lo)
+
+        assert coverage(0, d1.size) > 0.6
+        assert coverage(d1.size + 40, codes.size) > 0.6
+        assert coverage(d1.size + 5, d1.size + 35) < 0.4  # the gap
+
+    def test_threshold_validation(self, setup):
+        _, profile, codes, _, _ = setup
+        dec = posterior_decode(profile, codes)
+        with pytest.raises(KernelError):
+            domain_regions(dec, threshold=0.0)
+
+    def test_min_length_filters_blips(self, setup):
+        _, profile, codes, _, _ = setup
+        dec = posterior_decode(profile, codes)
+        loose = domain_regions(dec, min_length=1)
+        strict = domain_regions(dec, min_length=10)
+        assert len(strict) <= len(loose)
+        for lo, hi in strict:
+            assert hi - lo >= 10

@@ -1,0 +1,94 @@
+"""Chunked database scoring equals whole-database scoring."""
+
+import functools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import msv_score_batch, viterbi_score_batch
+from repro.cpu.streaming import chunk_indices, score_in_chunks
+from repro.errors import KernelError
+from repro.kernels import msv_warp_kernel
+
+
+class TestChunkIndices:
+    def test_cover_exactly(self):
+        assert chunk_indices(10, 3) == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_single_chunk(self):
+        assert chunk_indices(5, 100) == [(0, 5)]
+
+    def test_invalid(self):
+        with pytest.raises(KernelError):
+            chunk_indices(5, 0)
+
+
+class TestChunkedScoring:
+    @pytest.mark.parametrize("chunk_size", [1, 3, 4, 100])
+    def test_msv_chunked_equals_batch(
+        self, small_byte_profile, small_database, chunk_size
+    ):
+        whole = msv_score_batch(small_byte_profile, small_database)
+        chunked = score_in_chunks(
+            msv_score_batch, small_byte_profile, small_database, chunk_size
+        )
+        assert np.array_equal(whole.scores, chunked.scores)
+        assert np.array_equal(whole.overflowed, chunked.overflowed)
+
+    @pytest.mark.parametrize("chunk_size", [2, 5])
+    def test_viterbi_chunked_equals_batch(
+        self, small_word_profile, small_database, chunk_size
+    ):
+        whole = viterbi_score_batch(small_word_profile, small_database)
+        chunked = score_in_chunks(
+            viterbi_score_batch, small_word_profile, small_database, chunk_size
+        )
+        assert np.array_equal(whole.scores, chunked.scores)
+
+    def test_warp_kernel_chunked(self, small_byte_profile, small_database):
+        """The GPU kernel streams chunks exactly like the CPU engines."""
+        engine = functools.partial(msv_warp_kernel)
+        whole = msv_warp_kernel(small_byte_profile, small_database)
+        chunked = score_in_chunks(
+            engine, small_byte_profile, small_database, 3
+        )
+        assert np.array_equal(whole.scores, chunked.scores)
+
+    def test_bad_engine_detected(self, small_byte_profile, small_database):
+        def broken(profile, db):
+            from repro.cpu.results import FilterScores
+
+            return FilterScores(
+                scores=np.zeros(1), overflowed=np.zeros(1, dtype=bool)
+            )
+
+        with pytest.raises(KernelError):
+            score_in_chunks(broken, small_byte_profile, small_database, 4)
+
+
+@given(chunk_size=st.integers(min_value=1, max_value=12))
+@settings(max_examples=12, deadline=None)
+def test_chunk_size_never_changes_scores(chunk_size):
+    from repro.hmm import SearchProfile, sample_hmm
+    from repro.scoring import MSVByteProfile
+    from repro.sequence import (
+        DigitalSequence,
+        SequenceDatabase,
+        random_sequence_codes,
+    )
+
+    rng = np.random.default_rng(chunk_size)
+    prof = MSVByteProfile.from_profile(
+        SearchProfile(sample_hmm(20, rng), L=60)
+    )
+    db = SequenceDatabase(
+        [
+            DigitalSequence(f"s{i}", random_sequence_codes(int(L), rng))
+            for i, L in enumerate(rng.integers(4, 90, size=10))
+        ]
+    )
+    whole = msv_score_batch(prof, db)
+    chunked = score_in_chunks(msv_score_batch, prof, db, chunk_size)
+    assert np.array_equal(whole.scores, chunked.scores)

@@ -1,0 +1,105 @@
+"""Unit and property tests for the striped layout helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.striped import (
+    lane_rightshift,
+    stripe_array,
+    stripe_count,
+    stripe_positions,
+    unstripe_array,
+)
+from repro.errors import KernelError
+
+
+class TestStripeCount:
+    @pytest.mark.parametrize(
+        "M,lanes,Q", [(16, 16, 1), (17, 16, 2), (32, 16, 2), (7, 8, 1), (9, 8, 2)]
+    )
+    def test_counts(self, M, lanes, Q):
+        assert stripe_count(M, lanes) == Q
+
+    def test_invalid(self):
+        with pytest.raises(KernelError):
+            stripe_count(0, 16)
+
+
+class TestStripePositions:
+    def test_farrar_layout(self):
+        """Vector q lane z holds model position z*Q + q."""
+        k = stripe_positions(8, 4)  # Q = 2
+        assert k[0, 0] == 0 and k[1, 0] == 1
+        assert k[0, 1] == 2 and k[1, 3] == 7
+
+    def test_padding_marked(self):
+        k = stripe_positions(5, 4)  # Q = 2, positions 0..4, padding 5..7
+        assert (k == -1).sum() == 3
+
+    def test_every_position_once(self):
+        k = stripe_positions(23, 16)
+        vals = k[k >= 0]
+        assert sorted(vals.tolist()) == list(range(23))
+
+
+class TestStripeRoundtrip:
+    def test_stripe_unstripe(self):
+        values = np.arange(37, dtype=np.int32)
+        striped = stripe_array(values, 8, fill=-1)
+        assert np.array_equal(unstripe_array(striped, 37), values)
+
+    def test_fill_value(self):
+        striped = stripe_array(np.arange(5), 4, fill=99)
+        assert (striped == 99).sum() == 3
+
+    def test_stripe_rejects_2d(self):
+        with pytest.raises(KernelError):
+            stripe_array(np.zeros((2, 2)), 4, fill=0)
+
+    def test_unstripe_rejects_mismatch(self):
+        with pytest.raises(KernelError):
+            unstripe_array(np.zeros((2, 4)), 100)
+
+
+class TestLaneShift:
+    def test_shift_semantics(self):
+        out = lane_rightshift(np.array([10, 20, 30, 40]), fill=-7)
+        assert list(out) == [-7, 10, 20, 30]
+
+    def test_batch_shift(self):
+        arr = np.arange(8).reshape(2, 4)
+        out = lane_rightshift(arr, fill=0)
+        assert list(out[0]) == [0, 0, 1, 2]
+        assert list(out[1]) == [0, 4, 5, 6]
+
+
+@given(
+    M=st.integers(min_value=1, max_value=300),
+    lanes=st.sampled_from([4, 8, 16, 32]),
+)
+@settings(max_examples=100, deadline=None)
+def test_stripe_roundtrip_property(M, lanes):
+    values = np.arange(M, dtype=np.int64) * 3 - 7
+    assert np.array_equal(
+        unstripe_array(stripe_array(values, lanes, fill=0), M), values
+    )
+
+
+@given(M=st.integers(min_value=2, max_value=200), lanes=st.sampled_from([8, 16]))
+@settings(max_examples=100, deadline=None)
+def test_wrap_dependency_is_linear_predecessor(M, lanes):
+    """The striping theorem: lane-shifting vector Q-1 yields position k-1
+    for every position k = z*Q (q=0 wrap), matching the linear layout."""
+    Q = stripe_count(M, lanes)
+    k = stripe_positions(M, lanes)
+    last = k[Q - 1]  # positions in vector Q-1
+    shifted = lane_rightshift(last, fill=-1)
+    first = k[0]  # positions in vector 0
+    for z in range(lanes):
+        if first[z] <= 0 or first[z] == -1:
+            continue
+        # the wrap value for lane z must be position first[z] - 1
+        if shifted[z] >= 0:
+            assert shifted[z] == first[z] - 1

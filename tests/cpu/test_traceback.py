@@ -1,0 +1,183 @@
+"""Viterbi traceback: path validity, score agreement, domain calls."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import generic_viterbi_score
+from repro.cpu.generic import GenericProfile
+from repro.cpu.traceback import viterbi_traceback
+from repro.errors import KernelError
+from repro.hmm import SearchProfile, sample_hmm
+from repro.sequence import random_sequence_codes
+
+
+def rescore_path(gp: GenericProfile, codes: np.ndarray, path) -> float:
+    """Independent path scorer: sums the transition/emission scores the
+    path claims, validating legality as it goes."""
+    score = 0.0
+    consumed = []
+    prev = None
+    for step in path:
+        if step.residue >= 0:
+            consumed.append(step.residue)
+        if prev is None:
+            assert step.state == "N" and step.residue == -1
+            prev = step
+            continue
+        a, b = prev.state, step.state
+        if a == "N" and b == "N":
+            score += gp.N_loop
+        elif a == "N" and b == "B":
+            score += gp.N_move
+        elif a == "B" and b == "M":
+            score += gp.tbm + gp.msc[int(codes[step.residue])][step.node]
+        elif a == "M" and b == "M":
+            score += gp.tmm[prev.node] + gp.msc[int(codes[step.residue])][step.node]
+            assert step.node == prev.node + 1
+        elif a == "M" and b == "I":
+            score += gp.tmi[prev.node]
+            assert step.node == prev.node
+        elif a == "I" and b == "I":
+            score += gp.tii[prev.node]
+            assert step.node == prev.node
+        elif a == "I" and b == "M":
+            score += gp.tim[prev.node] + gp.msc[int(codes[step.residue])][step.node]
+            assert step.node == prev.node + 1
+        elif a == "M" and b == "D":
+            score += gp.tmd[prev.node]
+            assert step.node == prev.node + 1
+        elif a == "D" and b == "D":
+            score += gp.tdd[prev.node]
+            assert step.node == prev.node + 1
+        elif a == "D" and b == "M":
+            score += gp.tdm[prev.node] + gp.msc[int(codes[step.residue])][step.node]
+            assert step.node == prev.node + 1
+        elif a == "M" and b == "E":
+            score += 0.0  # free local exit
+        elif a == "E" and b == "C":
+            score += gp.E_move
+        elif a == "E" and b == "J":
+            score += gp.E_loop
+        elif a == "C" and b == "C":
+            score += gp.C_loop
+        elif a == "J" and b == "J":
+            score += gp.J_loop
+        elif a == "J" and b == "B":
+            score += gp.J_move
+        else:
+            raise AssertionError(f"illegal transition {a} -> {b}")
+        prev = step
+    assert prev.state == "C"
+    score += gp.C_move
+    # every residue consumed exactly once, in order
+    assert consumed == list(range(codes.size))
+    return score
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(21)
+    hmm = sample_hmm(35, rng, conservation=30.0)
+    profile = SearchProfile(hmm, L=100)
+    return hmm, profile, GenericProfile.from_profile(profile), rng
+
+
+class TestPathValidity:
+    def test_path_rescores_to_viterbi(self, setup):
+        hmm, profile, gp, rng = setup
+        dom = hmm.sample_sequence(rng)
+        codes = np.concatenate(
+            [random_sequence_codes(15, rng), dom, random_sequence_codes(10, rng)]
+        ).astype(np.uint8)
+        aln = viterbi_traceback(profile, codes)
+        assert rescore_path(gp, codes, aln.path) == pytest.approx(
+            aln.score, abs=1e-6
+        )
+        assert aln.score == pytest.approx(
+            generic_viterbi_score(profile, codes), abs=1e-6
+        )
+
+    def test_random_sequence_path_valid(self, setup):
+        _, profile, gp, rng = setup
+        codes = random_sequence_codes(60, rng)
+        aln = viterbi_traceback(profile, codes)
+        assert rescore_path(gp, codes, aln.path) == pytest.approx(
+            aln.score, abs=1e-6
+        )
+
+    def test_single_residue_sequence(self, setup):
+        _, profile, gp, rng = setup
+        codes = random_sequence_codes(1, rng)
+        aln = viterbi_traceback(profile, codes)
+        assert rescore_path(gp, codes, aln.path) == pytest.approx(
+            aln.score, abs=1e-6
+        )
+
+    def test_empty_rejected(self, setup):
+        _, profile, _, _ = setup
+        with pytest.raises(KernelError):
+            viterbi_traceback(profile, np.array([], dtype=np.uint8))
+
+
+class TestDomains:
+    def test_planted_domain_located(self, setup):
+        hmm, profile, _, rng = setup
+        dom = hmm.sample_sequence(rng)
+        lo = 20
+        codes = np.concatenate(
+            [random_sequence_codes(lo, rng), dom, random_sequence_codes(12, rng)]
+        ).astype(np.uint8)
+        aln = viterbi_traceback(profile, codes)
+        assert len(aln.domains) >= 1
+        d = max(aln.domains, key=lambda d: d.seq_end - d.seq_start)
+        overlap = max(0, min(d.seq_end, lo + dom.size) - max(d.seq_start, lo))
+        assert overlap > 0.7 * dom.size
+
+    def test_multihit_gives_two_domains(self, setup):
+        hmm, profile, _, rng = setup
+        d1, d2 = hmm.sample_sequence(rng), hmm.sample_sequence(rng)
+        codes = np.concatenate(
+            [d1, random_sequence_codes(30, rng), d2]
+        ).astype(np.uint8)
+        aln = viterbi_traceback(profile, codes)
+        assert len(aln.domains) == 2
+        assert aln.domains[0].seq_end <= aln.domains[1].seq_start
+
+    def test_domain_render(self, setup):
+        hmm, profile, _, rng = setup
+        dom = hmm.sample_sequence(rng)
+        aln = viterbi_traceback(profile, dom)
+        text = aln.domains[0].render(hmm.consensus, dom)
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert len(lines[0]) == len(lines[1]) == len(lines[2])
+        # a sampled domain matches its own consensus at many positions
+        assert lines[1].count("|") > len(lines[1]) * 0.3
+
+    def test_aligned_residue_count(self, setup):
+        hmm, profile, _, rng = setup
+        dom = hmm.sample_sequence(rng)
+        aln = viterbi_traceback(profile, dom)
+        assert 0 < aln.aligned_residues() <= dom.size
+
+
+@given(
+    M=st.integers(min_value=1, max_value=30),
+    L=st.integers(min_value=1, max_value=50),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=30, deadline=None)
+def test_traceback_property(M, L, seed):
+    """For any model/sequence: the path is legal, consumes every residue
+    exactly once, and rescores to the Viterbi optimum."""
+    rng = np.random.default_rng(seed)
+    profile = SearchProfile(sample_hmm(M, rng), L=L)
+    gp = GenericProfile.from_profile(profile)
+    codes = random_sequence_codes(L, rng)
+    aln = viterbi_traceback(profile, codes)
+    assert rescore_path(gp, codes, aln.path) == pytest.approx(aln.score, abs=1e-6)
+    assert aln.score == pytest.approx(
+        generic_viterbi_score(profile, codes), abs=1e-6
+    )

@@ -1,0 +1,191 @@
+"""ViterbiFilter engines: reference semantics, Lazy-F equivalence, batch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import VF_WORD_MIN
+from repro.cpu import (
+    exact_d_chain,
+    viterbi_score_batch,
+    viterbi_score_sequence,
+    viterbi_score_sequence_striped,
+)
+from repro.cpu.viterbi_striped import StripedViterbiProfile
+from repro.errors import KernelError
+from repro.hmm import SearchProfile, sample_hmm
+from repro.scoring import ViterbiWordProfile
+from repro.scoring.quantized import sat_add_i16
+from repro.sequence import DigitalSequence, SequenceDatabase, random_sequence_codes
+
+
+def _profile(M, seed=0, L=100):
+    return ViterbiWordProfile.from_profile(
+        SearchProfile(sample_hmm(M, np.random.default_rng(seed)), L=L)
+    )
+
+
+class TestExactDChain:
+    def _serial(self, m_row, tmd, tdd):
+        """The executable definition: serial saturating recurrence."""
+        M = m_row.shape[0]
+        D = np.full(M, VF_WORD_MIN, dtype=np.int64)
+        for j in range(1, M):
+            start = int(sat_add_i16(m_row[j - 1], tmd[j - 1]))
+            chain = int(sat_add_i16(D[j - 1], tdd[j - 1]))
+            D[j] = max(start, chain)
+        return D
+
+    @given(
+        M=st.integers(min_value=1, max_value=70),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_scan_equals_serial(self, M, seed):
+        gen = np.random.default_rng(seed)
+        m_row = gen.integers(-32768, 2000, size=M).astype(np.int32)
+        tmd = gen.integers(-3000, 0, size=M).astype(np.int32)
+        tdd = gen.integers(-3000, 0, size=M).astype(np.int32)
+        scan = exact_d_chain(m_row, tmd, tdd)
+        assert np.array_equal(scan, self._serial(m_row, tmd, tdd))
+
+    def test_neg_inf_transitions(self):
+        m_row = np.array([100, 200, 300], dtype=np.int32)
+        tmd = np.array([-50, VF_WORD_MIN, -50], dtype=np.int32)
+        tdd = np.array([VF_WORD_MIN, -10, VF_WORD_MIN], dtype=np.int32)
+        assert np.array_equal(
+            exact_d_chain(m_row, tmd, tdd), self._serial(m_row, tmd, tdd)
+        )
+
+    def test_batch_axis(self):
+        gen = np.random.default_rng(5)
+        rows = gen.integers(-32768, 1000, size=(4, 20)).astype(np.int32)
+        tmd = gen.integers(-2000, 0, size=20).astype(np.int32)
+        tdd = gen.integers(-2000, 0, size=20).astype(np.int32)
+        batched = exact_d_chain(rows, tmd, tdd)
+        for i in range(4):
+            assert np.array_equal(batched[i], exact_d_chain(rows[i], tmd, tdd))
+
+    def test_shape_validation(self):
+        with pytest.raises(KernelError):
+            exact_d_chain(np.zeros(5, np.int32), np.zeros(4, np.int32), np.zeros(5, np.int32))
+
+
+class TestReference:
+    def test_homolog_scores_higher(self, small_hmm, small_word_profile, rng):
+        dom = small_hmm.sample_sequence(rng)
+        random = random_sequence_codes(dom.size, rng)
+        assert viterbi_score_sequence(
+            small_word_profile, dom
+        ) > viterbi_score_sequence(small_word_profile, random) + 3.0
+
+    def test_random_scores_negative(self, small_word_profile, rng):
+        for _ in range(5):
+            assert (
+                viterbi_score_sequence(
+                    small_word_profile, random_sequence_codes(70, rng)
+                )
+                < 0
+            )
+
+    def test_empty_rejected(self, small_word_profile):
+        with pytest.raises(KernelError):
+            viterbi_score_sequence(small_word_profile, np.array([], dtype=np.uint8))
+
+    def test_vf_tracks_generic_viterbi(self, small_profile, small_word_profile, rng):
+        """Word quantization error is bounded: VF ~ generic Viterbi within
+        the filter's documented tolerance (loop approximations < ~1 nat
+        plus quantization)."""
+        from repro.cpu import generic_viterbi_score
+
+        for _ in range(5):
+            codes = random_sequence_codes(90, rng)
+            vf = viterbi_score_sequence(small_word_profile, codes)
+            gv = generic_viterbi_score(small_profile, codes)
+            assert abs(vf - gv) < 1.5
+
+    def test_msv_leq_viterbi_like_scores(self, small_byte_profile,
+                                         small_word_profile, small_hmm, rng):
+        """On a true domain, the full model finds at least the ungapped
+        MSV alignment (scores agree within the models' approximations)."""
+        from repro.cpu import msv_score_sequence
+
+        dom = small_hmm.sample_sequence(rng)
+        m = msv_score_sequence(small_byte_profile, dom)
+        v = viterbi_score_sequence(small_word_profile, dom)
+        if np.isfinite(m) and np.isfinite(v):
+            assert v >= m - 3.0
+
+
+class TestStripedEquivalence:
+    @pytest.mark.parametrize("M", [1, 5, 8, 9, 16, 33, 64])
+    def test_bit_identical_across_sizes(self, M, rng):
+        prof = _profile(M, seed=M)
+        for _ in range(3):
+            codes = random_sequence_codes(int(rng.integers(4, 120)), rng)
+            assert viterbi_score_sequence(
+                prof, codes
+            ) == viterbi_score_sequence_striped(prof, codes)
+
+    @pytest.mark.parametrize("lanes", [4, 8, 16])
+    def test_any_lane_count(self, lanes, rng):
+        prof = _profile(21)
+        codes = random_sequence_codes(60, rng)
+        assert viterbi_score_sequence(prof, codes) == viterbi_score_sequence_striped(
+            prof, codes, lanes=lanes
+        )
+
+    def test_prestriped_profile(self, rng):
+        prof = _profile(30)
+        sp = StripedViterbiProfile.from_profile(prof)
+        codes = random_sequence_codes(50, rng)
+        assert viterbi_score_sequence_striped(sp, codes) == viterbi_score_sequence(
+            prof, codes
+        )
+
+    def test_homolog_equivalence(self, rng):
+        """The D-D paths of real alignments exercise Lazy-F passes."""
+        hmm = sample_hmm(45, rng)
+        prof = ViterbiWordProfile.from_profile(SearchProfile(hmm, L=100))
+        for _ in range(5):
+            dom = hmm.sample_sequence(rng)
+            assert viterbi_score_sequence(
+                prof, dom
+            ) == viterbi_score_sequence_striped(prof, dom)
+
+
+class TestBatch:
+    def test_matches_sequential(self, small_word_profile, small_database):
+        batch = viterbi_score_batch(small_word_profile, small_database)
+        for i, seq in enumerate(small_database):
+            assert batch.scores[i] == viterbi_score_sequence(
+                small_word_profile, seq.codes
+            )
+
+    def test_mixed_lengths(self, rng):
+        prof = _profile(25)
+        seqs = [
+            DigitalSequence(f"s{i}", random_sequence_codes(int(L), rng))
+            for i, L in enumerate([1, 3, 200, 50, 17])
+        ]
+        db = SequenceDatabase(seqs)
+        batch = viterbi_score_batch(prof, db)
+        for i, seq in enumerate(seqs):
+            assert batch.scores[i] == viterbi_score_sequence(prof, seq.codes)
+
+
+@given(
+    M=st.integers(min_value=1, max_value=40),
+    length=st.integers(min_value=1, max_value=60),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=25, deadline=None)
+def test_striped_equals_reference_property(M, length, seed):
+    """Serial Lazy-F is score-preserving for any model/sequence shape."""
+    gen = np.random.default_rng(seed)
+    prof = _profile(M, seed=seed % 1000)
+    codes = random_sequence_codes(length, gen)
+    assert viterbi_score_sequence(prof, codes) == viterbi_score_sequence_striped(
+        prof, codes
+    )

@@ -1,0 +1,34 @@
+"""Unit tests for the kernel event counters."""
+
+from repro.gpu import KernelCounters
+
+
+class TestCounters:
+    def test_starts_at_zero(self):
+        c = KernelCounters()
+        assert all(v == 0 for v in c.as_dict().values())
+
+    def test_merge_accumulates(self):
+        a = KernelCounters(rows=5, shuffles=10)
+        b = KernelCounters(rows=3, votes=7)
+        out = a.merge(b)
+        assert out is a
+        assert a.rows == 8 and a.shuffles == 10 and a.votes == 7
+
+    def test_merge_covers_every_field(self):
+        a = KernelCounters()
+        b = KernelCounters(**{k: 1 for k in KernelCounters().as_dict()})
+        a.merge(b)
+        assert all(v == 1 for v in a.as_dict().values())
+
+    def test_as_dict_round_trip(self):
+        c = KernelCounters(rows=2, cells=10)
+        d = c.as_dict()
+        assert d["rows"] == 2 and d["cells"] == 10
+        assert KernelCounters(**d).as_dict() == d
+
+    def test_repr_shows_only_nonzero(self):
+        c = KernelCounters(rows=4)
+        text = repr(c)
+        assert "rows=4" in text
+        assert "shuffles" not in text

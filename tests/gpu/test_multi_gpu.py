@@ -1,0 +1,88 @@
+"""Functional multi-GPU execution."""
+
+import numpy as np
+import pytest
+
+from repro.cpu import msv_score_batch, viterbi_score_batch
+from repro.errors import LaunchError
+from repro.gpu import FERMI_GTX580, KEPLER_K40
+from repro.gpu.multi_gpu import run_multi_gpu
+from repro.hmm import SearchProfile, sample_hmm
+from repro.kernels import msv_warp_kernel, viterbi_warp_kernel
+from repro.scoring import MSVByteProfile, ViterbiWordProfile
+from repro.sequence import DigitalSequence, SequenceDatabase, random_sequence_codes
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(40)
+    hmm = sample_hmm(40, rng)
+    profile = SearchProfile(hmm, L=90)
+    seqs = [
+        DigitalSequence(f"s{i}", random_sequence_codes(int(L), rng))
+        for i, L in enumerate(rng.integers(10, 200, size=24))
+    ]
+    seqs.append(DigitalSequence("hom", hmm.sample_sequence(rng)))
+    db = SequenceDatabase(seqs)
+    return (
+        MSVByteProfile.from_profile(profile),
+        ViterbiWordProfile.from_profile(profile),
+        db,
+    )
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("n_dev", [1, 2, 4])
+    def test_msv_matches_reference(self, setup, n_dev):
+        bp, _, db = setup
+        run = run_multi_gpu(msv_warp_kernel, bp, db, device_count=n_dev)
+        assert np.array_equal(
+            run.scores.scores, msv_score_batch(bp, db).scores
+        )
+
+    def test_viterbi_matches_reference(self, setup):
+        _, wp, db = setup
+        run = run_multi_gpu(
+            viterbi_warp_kernel, wp, db, device=KEPLER_K40, device_count=3
+        )
+        assert np.array_equal(
+            run.scores.scores, viterbi_score_batch(wp, db).scores
+        )
+
+    def test_device_count_independent(self, setup):
+        bp, _, db = setup
+        one = run_multi_gpu(msv_warp_kernel, bp, db, device_count=1)
+        four = run_multi_gpu(msv_warp_kernel, bp, db, device_count=4)
+        assert np.array_equal(one.scores.scores, four.scores.scores)
+
+
+class TestAccounting:
+    def test_per_device_counters(self, setup):
+        bp, _, db = setup
+        run = run_multi_gpu(msv_warp_kernel, bp, db, device_count=4)
+        assert run.device_count == 4
+        total_rows = sum(c.rows for c in run.device_counters)
+        # overflowed sequences stop scoring early
+        assert 0.9 * db.total_residues <= total_rows <= db.total_residues
+        assert all(c.syncthreads == 0 for c in run.device_counters)
+
+    def test_residue_balance(self, setup):
+        bp, _, db = setup
+        run = run_multi_gpu(msv_warp_kernel, bp, db, device_count=4)
+        assert sum(run.chunk_residues) == db.total_residues
+        assert run.residue_balance() < 1.5  # ~even shares
+
+    def test_fermi_devices(self, setup):
+        bp, _, db = setup
+        run = run_multi_gpu(
+            msv_warp_kernel, bp, db, device=FERMI_GTX580, device_count=2
+        )
+        # Fermi path: no shuffles, shared-memory reductions instead
+        assert all(c.shuffles == 0 for c in run.device_counters)
+
+    def test_validation(self, setup):
+        bp, _, db = setup
+        with pytest.raises(LaunchError):
+            run_multi_gpu(msv_warp_kernel, bp, db, device_count=0)
+        with pytest.raises(LaunchError):
+            run_multi_gpu(msv_warp_kernel, bp, db, device_count=1000)

@@ -1,0 +1,118 @@
+"""Unit and property tests for the CUDA occupancy calculator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LaunchError
+from repro.gpu import FERMI_GTX580, KEPLER_K40, KernelResources, best_occupancy, occupancy
+
+
+def res(regs=32, smem=0, warps=8):
+    return KernelResources(
+        registers_per_thread=regs, shared_mem_per_block=smem, warps_per_block=warps
+    )
+
+
+class TestLimits:
+    def test_warp_limited(self):
+        occ = occupancy(KEPLER_K40, res(regs=16, smem=0, warps=8))
+        assert occ.limiting_factor == "warps"
+        assert occ.blocks_per_sm == 8
+        assert occ.occupancy == 1.0
+
+    def test_register_limited(self):
+        # 64 regs * 1024 threads = 65536 = whole file for one block
+        occ = occupancy(KEPLER_K40, res(regs=64, smem=0, warps=32))
+        assert occ.limiting_factor == "registers"
+        assert occ.blocks_per_sm == 1
+        assert occ.occupancy == 0.5
+
+    def test_smem_limited(self):
+        occ = occupancy(KEPLER_K40, res(regs=16, smem=20 * 1024, warps=4))
+        assert occ.limiting_factor == "shared_mem"
+        assert occ.blocks_per_sm == 2
+
+    def test_block_limited(self):
+        occ = occupancy(KEPLER_K40, res(regs=16, smem=0, warps=2))
+        assert occ.limiting_factor == "blocks"
+        assert occ.blocks_per_sm == 16
+        assert occ.occupancy == 0.5
+
+    def test_infeasible_smem(self):
+        occ = occupancy(KEPLER_K40, res(smem=49 * 1024))
+        assert not occ.feasible
+        assert occ.limiting_factor == "infeasible"
+        assert occ.occupancy == 0.0
+
+    def test_infeasible_threads(self):
+        occ = occupancy(KEPLER_K40, res(warps=33))
+        assert not occ.feasible
+
+    def test_infeasible_registers_per_thread(self):
+        occ = occupancy(FERMI_GTX580, res(regs=64))
+        assert not occ.feasible  # Fermi caps at 63
+
+
+class TestResourceValidation:
+    def test_bad_resources(self):
+        with pytest.raises(LaunchError):
+            KernelResources(0, 0, 8)
+        with pytest.raises(LaunchError):
+            KernelResources(32, -1, 8)
+        with pytest.raises(LaunchError):
+            KernelResources(32, 0, 0)
+
+    def test_threads_per_block(self):
+        assert res(warps=4).threads_per_block == 128
+
+
+class TestBestOccupancy:
+    def test_picks_feasible_maximum(self):
+        # smem grows with warps; small blocks win
+        occ = best_occupancy(KEPLER_K40, 32, lambda w: w * 10000)
+        assert occ is not None
+        assert occ.resources.warps_per_block == 2
+
+    def test_none_when_nothing_fits(self):
+        occ = best_occupancy(KEPLER_K40, 32, lambda w: 100 * 1024)
+        assert occ is None
+
+    def test_zero_smem_full_occupancy(self):
+        occ = best_occupancy(KEPLER_K40, 16, lambda w: 0)
+        assert occ is not None
+        assert occ.occupancy == 1.0
+
+
+@given(
+    regs=st.integers(min_value=1, max_value=255),
+    smem=st.integers(min_value=0, max_value=48 * 1024),
+    warps=st.integers(min_value=1, max_value=32),
+)
+@settings(max_examples=200, deadline=None)
+def test_occupancy_invariants(regs, smem, warps):
+    occ = occupancy(KEPLER_K40, res(regs=regs, smem=smem, warps=warps))
+    assert 0.0 <= occ.occupancy <= 1.0
+    if occ.feasible:
+        assert occ.warps_per_sm <= KEPLER_K40.max_warps_per_sm
+        assert occ.blocks_per_sm <= KEPLER_K40.max_blocks_per_sm
+        if smem > 0:
+            assert occ.blocks_per_sm * smem <= KEPLER_K40.shared_mem_per_sm
+        assert (
+            occ.blocks_per_sm
+            * -(-regs * warps * 32 // 256)
+            * 256
+            <= KEPLER_K40.registers_per_sm
+        )
+
+
+@given(
+    smem1=st.integers(min_value=1, max_value=48 * 1024),
+    smem2=st.integers(min_value=1, max_value=48 * 1024),
+)
+@settings(max_examples=100, deadline=None)
+def test_more_shared_memory_never_helps(smem1, smem2):
+    lo, hi = sorted((smem1, smem2))
+    occ_lo = occupancy(KEPLER_K40, res(smem=lo))
+    occ_hi = occupancy(KEPLER_K40, res(smem=hi))
+    assert occ_lo.occupancy >= occ_hi.occupancy

@@ -1,0 +1,56 @@
+"""Unit tests for the null model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.hmm import NullModel
+
+
+class TestConstruction:
+    def test_default(self):
+        null = NullModel()
+        assert abs(null.frequencies.sum() - 1.0) < 1e-12
+
+    def test_custom_frequencies_normalized(self):
+        f = np.full(20, 2.0)
+        with pytest.raises(ModelError):
+            NullModel(f)  # must sum to 1
+
+    def test_wrong_shape(self):
+        with pytest.raises(ModelError):
+            NullModel(np.full(19, 1 / 19))
+
+    def test_zero_frequency_rejected(self):
+        f = np.full(20, 1 / 19)
+        f[0] = 0.0
+        f = f / f.sum()
+        with pytest.raises(ModelError):
+            NullModel(f)
+
+
+class TestLengthModel:
+    def test_loop_probability(self):
+        null = NullModel()
+        assert null.loop_probability(100) == pytest.approx(100 / 101)
+
+    def test_loop_probability_invalid(self):
+        with pytest.raises(ModelError):
+            NullModel().loop_probability(0)
+
+    def test_length_log_likelihood_formula(self):
+        null = NullModel()
+        L = 50
+        p1 = L / (L + 1)
+        expected = L * math.log(p1) + math.log(1 - p1)
+        assert null.length_log_likelihood(L) == pytest.approx(expected)
+
+    def test_longer_sequences_less_likely(self):
+        null = NullModel()
+        assert null.length_log_likelihood(400) < null.length_log_likelihood(100)
+
+    def test_log_frequencies(self):
+        null = NullModel()
+        assert np.allclose(np.exp(null.log_frequencies()), null.frequencies)

@@ -1,0 +1,131 @@
+"""Unit tests for hmmbuild-style model construction from MSAs."""
+
+import numpy as np
+import pytest
+
+from repro.alphabet import AMINO
+from repro.errors import ModelError
+from repro.hmm import build_hmm_from_msa, consensus_columns, henikoff_weights
+
+MSA = [
+    "ACD-EF",
+    "ACD-EF",
+    "ACDKEF",
+    "AC-LEF",
+]
+
+
+class TestConsensusColumns:
+    def test_high_occupancy_columns_selected(self):
+        cols = consensus_columns(MSA, symfrac=0.5)
+        # column 3 has occupancy 0.5 (two residues of four): included
+        assert list(cols) == [0, 1, 2, 3, 4, 5]
+
+    def test_strict_symfrac_drops_gappy_column(self):
+        cols = consensus_columns(MSA, symfrac=0.75)
+        assert list(cols) == [0, 1, 2, 4, 5]
+
+    def test_bad_symfrac(self):
+        with pytest.raises(ModelError):
+            consensus_columns(MSA, symfrac=0.0)
+
+    def test_unequal_rows_rejected(self):
+        with pytest.raises(ModelError):
+            consensus_columns(["AC", "ACD"])
+
+    def test_all_gap_alignment_rejected(self):
+        with pytest.raises(ModelError):
+            consensus_columns(["--", "--"])
+
+    def test_empty_msa_rejected(self):
+        with pytest.raises(ModelError):
+            consensus_columns([])
+
+
+class TestHenikoffWeights:
+    def test_mean_is_one(self):
+        w = henikoff_weights(MSA)
+        assert w.mean() == pytest.approx(1.0)
+
+    def test_identical_sequences_get_equal_weight(self):
+        w = henikoff_weights(["ACDE", "ACDE", "ACDE"])
+        assert np.allclose(w, 1.0)
+
+    def test_divergent_sequence_weighs_more(self):
+        w = henikoff_weights(["AAAA", "AAAA", "AAAA", "WYWY"])
+        assert w[3] > w[0]
+
+    def test_positive(self):
+        assert (henikoff_weights(MSA) > 0).all()
+
+
+class TestBuild:
+    def test_model_length_matches_consensus(self):
+        hmm = build_hmm_from_msa(MSA, symfrac=0.75)
+        assert hmm.M == 5
+
+    def test_consensus_recovered(self):
+        hmm = build_hmm_from_msa(MSA, symfrac=0.75, pseudocount=0.1)
+        assert hmm.consensus == "ACDEF"
+
+    def test_conserved_columns_concentrated(self):
+        hmm = build_hmm_from_msa(MSA, symfrac=0.75, pseudocount=0.5)
+        a = AMINO.code("A")
+        assert hmm.match_emissions[0, a] > 0.5
+
+    def test_probabilities_valid(self):
+        hmm = build_hmm_from_msa(MSA)
+        # the Plan7HMM constructor validates; reaching here is the test
+        assert hmm.M >= 1
+
+    def test_insert_column_counts_transitions(self):
+        # column 3 is an insert state under symfrac=0.75; sequences with a
+        # residue there must register M->I and I->M transitions at node 3
+        hmm = build_hmm_from_msa(MSA, symfrac=0.75, pseudocount=0.1)
+        node = 2  # 0-based: third consensus column (D)
+        assert hmm.transitions[node, 1] > 0.05  # MI observed
+
+    def test_deletion_counts_transitions(self):
+        msa = ["ACDEF", "A-DEF", "A-DEF", "ACDEF"]
+        hmm = build_hmm_from_msa(msa, pseudocount=0.1)
+        # node 1 (A) -> node 2 (C) deletion observed for half the rows
+        assert hmm.transitions[0, 2] > 0.2  # MD
+
+    def test_degenerate_residues_count_fractionally(self):
+        msa = ["B", "B", "B", "B"]
+        hmm = build_hmm_from_msa(msa, pseudocount=0.01)
+        d, n = AMINO.code("D"), AMINO.code("N")
+        assert hmm.match_emissions[0, d] == pytest.approx(
+            hmm.match_emissions[0, n], rel=0.01
+        )
+
+    def test_weighting_flag(self):
+        h1 = build_hmm_from_msa(MSA, weighting=True)
+        h2 = build_hmm_from_msa(MSA, weighting=False)
+        assert h1.M == h2.M
+
+    def test_single_sequence_msa(self):
+        hmm = build_hmm_from_msa(["ACDEFGHIKL"])
+        assert hmm.M == 10
+        assert hmm.consensus == "ACDEFGHIKL"
+
+
+def test_built_model_scores_members_highly():
+    """A model built from a family should recognize its own members."""
+    rng = np.random.default_rng(17)
+    from repro.hmm import SearchProfile, sample_hmm
+    from repro.cpu import generic_viterbi_score
+
+    true_model = sample_hmm(30, rng, conservation=60.0)
+    members = ["".join(AMINO.symbols[c] for c in true_model.sample_sequence(rng))
+               for _ in range(20)]
+    width = max(len(m) for m in members)
+    msa = [m + "-" * (width - len(m)) for m in members]
+    built = build_hmm_from_msa(msa, symfrac=0.5)
+    prof = SearchProfile(built, L=40)
+
+    member_codes = AMINO.encode(members[0])
+    random_codes = rng.choice(20, size=len(members[0])).astype(np.uint8)
+    assert generic_viterbi_score(prof, member_codes) > generic_viterbi_score(
+        prof, random_codes
+    )

@@ -1,0 +1,96 @@
+"""Unit tests for model flat-file save/load."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.hmm import dumps_hmm, load_hmm, loads_hmm, sample_hmm, save_hmm
+
+
+@pytest.fixture
+def hmm():
+    return sample_hmm(15, np.random.default_rng(3), name="roundtrip")
+
+
+class TestRoundtrip:
+    def test_in_memory(self, hmm):
+        restored = loads_hmm(dumps_hmm(hmm))
+        assert restored.name == hmm.name
+        assert restored.M == hmm.M
+        assert np.allclose(restored.match_emissions, hmm.match_emissions, atol=1e-8)
+        assert np.allclose(restored.transitions, hmm.transitions, atol=1e-8)
+
+    def test_on_disk(self, hmm, tmp_path):
+        path = tmp_path / "model.hmm"
+        save_hmm(path, hmm)
+        restored = load_hmm(path)
+        assert restored.M == hmm.M
+        assert np.allclose(
+            restored.insert_emissions, hmm.insert_emissions, atol=1e-8
+        )
+
+    def test_description_preserved(self, hmm):
+        restored = loads_hmm(dumps_hmm(hmm))
+        assert restored.description == hmm.description
+
+    def test_scores_unchanged_after_roundtrip(self, hmm):
+        """Round-tripping must not perturb search scores measurably."""
+        from repro.cpu import generic_viterbi_score
+        from repro.hmm import SearchProfile
+        from repro.sequence import random_sequence_codes
+
+        rng = np.random.default_rng(0)
+        codes = random_sequence_codes(40, rng)
+        s1 = generic_viterbi_score(SearchProfile(hmm, L=40), codes)
+        s2 = generic_viterbi_score(SearchProfile(loads_hmm(dumps_hmm(hmm)), L=40), codes)
+        assert s1 == pytest.approx(s2, abs=1e-6)
+
+
+class TestFormatErrors:
+    def test_missing_magic(self):
+        with pytest.raises(FormatError):
+            loads_hmm("NOT-A-MODEL\n")
+
+    def test_missing_name(self, hmm):
+        text = dumps_hmm(hmm).replace("NAME  roundtrip\n", "")
+        with pytest.raises(FormatError):
+            loads_hmm(text)
+
+    def test_wrong_alphabet(self, hmm):
+        text = dumps_hmm(hmm).replace("ALPH  amino", "ALPH  dna")
+        with pytest.raises(FormatError):
+            loads_hmm(text)
+
+    def test_bad_leng(self, hmm):
+        text = dumps_hmm(hmm).replace("LENG  15", "LENG  abc")
+        with pytest.raises(FormatError):
+            loads_hmm(text)
+
+    def test_truncated_body(self, hmm):
+        lines = dumps_hmm(hmm).splitlines()
+        text = "\n".join(lines[:-4] + ["//"])
+        with pytest.raises(FormatError):
+            loads_hmm(text)
+
+    def test_missing_terminator(self, hmm):
+        text = dumps_hmm(hmm).replace("//", "")
+        with pytest.raises(FormatError):
+            loads_hmm(text)
+
+    def test_non_numeric_value(self, hmm):
+        text = dumps_hmm(hmm)
+        lines = text.splitlines()
+        lines[6] = lines[6].replace(lines[6].split()[0], "oops", 1)
+        with pytest.raises(FormatError):
+            loads_hmm("\n".join(lines))
+
+    def test_wrong_column_count(self, hmm):
+        lines = dumps_hmm(hmm).splitlines()
+        lines[6] = lines[6] + " 0.5"
+        with pytest.raises(FormatError):
+            loads_hmm("\n".join(lines))
+
+    def test_unexpected_header_line(self, hmm):
+        text = dumps_hmm(hmm).replace("ALPH  amino", "BOGUS x\nALPH  amino")
+        with pytest.raises(FormatError):
+            loads_hmm(text)

@@ -1,0 +1,78 @@
+"""Model diagnostics (hmmstat-style)."""
+
+import numpy as np
+import pytest
+
+from repro.hmm import sample_hmm
+from repro.hmm.info import (
+    expected_domain_length,
+    match_occupancy,
+    mean_relative_entropy,
+    relative_entropy,
+)
+from repro.errors import ModelError
+from repro.hmm.plan7 import Plan7HMM
+from repro.sequence import BACKGROUND_FREQUENCIES
+
+
+@pytest.fixture
+def hmm():
+    return sample_hmm(50, np.random.default_rng(2), conservation=20.0)
+
+
+class TestRelativeEntropy:
+    def test_nonnegative(self, hmm):
+        assert (relative_entropy(hmm) >= -1e-12).all()
+
+    def test_background_model_has_zero_information(self):
+        match = np.tile(BACKGROUND_FREQUENCIES, (5, 1))
+        t = np.tile([0.9, 0.05, 0.05, 0.6, 0.4, 0.7, 0.3], (5, 1))
+        t[-1] = [1, 0, 0, 1, 0, 1, 0]
+        hmm = Plan7HMM("flat", match, match.copy(), t)
+        assert mean_relative_entropy(hmm) == pytest.approx(0.0, abs=1e-9)
+
+    def test_conservation_raises_information(self):
+        rng = np.random.default_rng(0)
+        weak = sample_hmm(40, rng, conservation=2.0)
+        strong = sample_hmm(40, rng, conservation=100.0)
+        assert mean_relative_entropy(strong) > mean_relative_entropy(weak)
+
+    def test_upper_bound(self, hmm):
+        """Information is at most -log2(min background frequency)."""
+        bound = -np.log2(BACKGROUND_FREQUENCIES.min())
+        assert relative_entropy(hmm).max() <= bound + 1e-9
+
+
+class TestOccupancy:
+    def test_entry_node_always_matched(self, hmm):
+        assert match_occupancy(hmm)[0] == 1.0
+
+    def test_in_unit_interval(self, hmm):
+        occ = match_occupancy(hmm)
+        assert (occ > 0).all() and (occ <= 1).all()
+
+    def test_high_when_deletions_rare(self, hmm):
+        assert match_occupancy(hmm).min() > 0.85  # sampler: tMD <= 3%
+
+    def test_deletion_heavy_model(self):
+        match = np.tile(BACKGROUND_FREQUENCIES, (10, 1))
+        t = np.tile([0.5, 0.05, 0.45, 0.6, 0.4, 0.3, 0.7], (10, 1))
+        t[-1] = [1, 0, 0, 1, 0, 1, 0]
+        hmm = Plan7HMM("delly", match, match.copy(), t)
+        occ = match_occupancy(hmm)
+        assert occ[5] < 0.7  # deletions accumulate
+
+
+class TestExpectedLength:
+    def test_analytic_matches_monte_carlo(self, hmm):
+        rng = np.random.default_rng(9)
+        analytic = expected_domain_length(hmm)
+        sampled = expected_domain_length(hmm, n_samples=400, rng=rng)
+        assert analytic == pytest.approx(sampled, rel=0.06)
+
+    def test_roughly_model_length(self, hmm):
+        assert 0.9 * hmm.M < expected_domain_length(hmm) < 1.2 * hmm.M
+
+    def test_sampling_needs_rng(self, hmm):
+        with pytest.raises(ModelError):
+            expected_domain_length(hmm, n_samples=10)

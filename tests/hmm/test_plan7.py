@@ -1,0 +1,135 @@
+"""Unit tests for the Plan-7 core model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.hmm import Plan7HMM, TRANSITION_NAMES, sample_hmm
+from repro.sequence import BACKGROUND_FREQUENCIES
+
+
+def tiny_model(M=3):
+    match = np.tile(BACKGROUND_FREQUENCIES, (M, 1))
+    insert = match.copy()
+    t = np.tile([0.9, 0.05, 0.05, 0.6, 0.4, 0.7, 0.3], (M, 1))
+    t[M - 1] = [1, 0, 0, 1, 0, 1, 0]
+    return Plan7HMM("tiny", match, insert, t)
+
+
+class TestValidation:
+    def test_valid_model(self):
+        hmm = tiny_model()
+        assert hmm.M == 3
+
+    def test_bad_match_shape(self):
+        with pytest.raises(ModelError):
+            Plan7HMM(
+                "bad",
+                np.ones((3, 19)) / 19,
+                np.tile(BACKGROUND_FREQUENCIES, (3, 1)),
+                np.tile([1, 0, 0, 1, 0, 1, 0], (3, 1)),
+            )
+
+    def test_emissions_must_normalize(self):
+        hmm = tiny_model()
+        bad = hmm.match_emissions.copy()
+        bad[0] *= 2
+        with pytest.raises(ModelError):
+            Plan7HMM("bad", bad, hmm.insert_emissions, hmm.transitions)
+
+    def test_transition_groups_must_normalize(self):
+        hmm = tiny_model()
+        bad = hmm.transitions.copy()
+        bad[0, 0] = 0.5  # MM+MI+MD != 1
+        with pytest.raises(ModelError):
+            Plan7HMM("bad", hmm.match_emissions, hmm.insert_emissions, bad)
+
+    def test_negative_probabilities_rejected(self):
+        hmm = tiny_model()
+        bad = hmm.match_emissions.copy()
+        bad[0, 0] = -0.1
+        bad[0, 1] += 0.1
+        with pytest.raises(ModelError):
+            Plan7HMM("bad", bad, hmm.insert_emissions, hmm.transitions)
+
+    def test_node_m_boundary_enforced(self):
+        hmm = tiny_model()
+        bad = hmm.transitions.copy()
+        bad[-1] = [0.9, 0.05, 0.05, 0.6, 0.4, 0.7, 0.3]
+        with pytest.raises(ModelError):
+            Plan7HMM("bad", hmm.match_emissions, hmm.insert_emissions, bad)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ModelError):
+            Plan7HMM(
+                "bad",
+                np.empty((0, 20)),
+                np.empty((0, 20)),
+                np.empty((0, 7)),
+            )
+
+
+class TestIntrospection:
+    def test_transition_columns(self):
+        hmm = tiny_model()
+        for i, name in enumerate(TRANSITION_NAMES):
+            assert np.array_equal(hmm.transition(name), hmm.transitions[:, i])
+
+    def test_unknown_transition(self):
+        with pytest.raises(ModelError):
+            tiny_model().transition("XX")
+
+    def test_consensus_length(self):
+        rng = np.random.default_rng(0)
+        hmm = sample_hmm(25, rng)
+        assert len(hmm.consensus) == 25
+
+    def test_consensus_is_argmax(self):
+        rng = np.random.default_rng(0)
+        hmm = sample_hmm(10, rng)
+        from repro.alphabet import AMINO
+
+        for k in range(10):
+            best = int(np.argmax(hmm.match_emissions[k]))
+            assert hmm.consensus[k] == AMINO.symbols[best]
+
+    def test_entropy_bounds(self):
+        hmm = tiny_model()
+        # background emissions: entropy close to background entropy (~4.19)
+        assert 4.0 < hmm.mean_match_entropy() < 4.3
+        rng = np.random.default_rng(0)
+        conserved = sample_hmm(50, rng, conservation=100.0)
+        assert conserved.mean_match_entropy() < 1.0
+
+
+class TestSampling:
+    def test_emitted_length_close_to_model(self):
+        rng = np.random.default_rng(1)
+        hmm = sample_hmm(60, rng)
+        lengths = [hmm.sample_sequence(rng).size for _ in range(50)]
+        assert 40 < np.mean(lengths) < 85
+
+    def test_emitted_codes_are_canonical(self):
+        rng = np.random.default_rng(2)
+        hmm = sample_hmm(30, rng)
+        for _ in range(10):
+            codes = hmm.sample_sequence(rng)
+            assert codes.max() < 20
+
+    def test_conserved_model_emits_near_consensus(self):
+        rng = np.random.default_rng(3)
+        hmm = sample_hmm(40, rng, conservation=500.0)
+        consensus = np.argmax(hmm.match_emissions, axis=1)
+        codes = hmm.sample_sequence(rng)
+        # insertions/deletions shift positions, so compare via the longest
+        # common subsequence with the consensus string
+        n, m = len(codes), len(consensus)
+        lcs = np.zeros((n + 1, m + 1), dtype=int)
+        for i in range(n):
+            for j in range(m):
+                lcs[i + 1, j + 1] = (
+                    lcs[i, j] + 1
+                    if codes[i] == consensus[j]
+                    else max(lcs[i, j + 1], lcs[i + 1, j])
+                )
+        assert lcs[n, m] > 0.6 * m

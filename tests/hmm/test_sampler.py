@@ -1,0 +1,74 @@
+"""Unit tests for model sampling and the Pfam size distribution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.hmm import (
+    PAPER_MODEL_SIZES,
+    pfam_band_fractions,
+    sample_hmm,
+    sample_pfam_size,
+)
+
+
+class TestSampleHMM:
+    def test_reproducible(self):
+        a = sample_hmm(20, np.random.default_rng(1))
+        b = sample_hmm(20, np.random.default_rng(1))
+        assert np.array_equal(a.match_emissions, b.match_emissions)
+        assert np.array_equal(a.transitions, b.transitions)
+
+    def test_different_seeds_differ(self):
+        a = sample_hmm(20, np.random.default_rng(1))
+        b = sample_hmm(20, np.random.default_rng(2))
+        assert not np.array_equal(a.match_emissions, b.match_emissions)
+
+    @pytest.mark.parametrize("M", PAPER_MODEL_SIZES[:4])
+    def test_paper_sizes_construct(self, M):
+        assert sample_hmm(M, np.random.default_rng(0)).M == M
+
+    def test_invalid_size(self):
+        with pytest.raises(ModelError):
+            sample_hmm(0, np.random.default_rng(0))
+
+    def test_invalid_conservation(self):
+        with pytest.raises(ModelError):
+            sample_hmm(10, np.random.default_rng(0), conservation=0.0)
+
+    def test_conservation_controls_entropy(self):
+        rng = np.random.default_rng(0)
+        weak = sample_hmm(80, rng, conservation=1.0)
+        strong = sample_hmm(80, rng, conservation=60.0)
+        assert strong.mean_match_entropy() < weak.mean_match_entropy()
+
+    def test_custom_name(self):
+        assert sample_hmm(5, np.random.default_rng(0), name="pf1").name == "pf1"
+
+
+class TestPfamSizes:
+    def test_paper_sizes_constant(self):
+        assert PAPER_MODEL_SIZES == (48, 100, 200, 400, 800, 1002, 1528, 2405)
+
+    def test_band_fractions_match_paper(self):
+        """84.5% <= 400, 14.4% in 401..1000, 1.1% > 1000 (paper IV)."""
+        rng = np.random.default_rng(7)
+        sizes = np.array([sample_pfam_size(rng) for _ in range(20000)])
+        bands = pfam_band_fractions(sizes)
+        assert abs(bands["<=400"] - 0.845) < 0.02
+        assert abs(bands["401-1000"] - 0.144) < 0.02
+        assert abs(bands[">1000"] - 0.011) < 0.01
+
+    def test_sizes_positive_and_bounded(self):
+        rng = np.random.default_rng(8)
+        sizes = [sample_pfam_size(rng) for _ in range(500)]
+        assert min(sizes) >= 8
+        assert max(sizes) <= 2500
+
+    def test_band_fractions_empty(self):
+        with pytest.raises(ModelError):
+            pfam_band_fractions(np.array([]))
+
+    def test_band_fractions_sum_to_one(self):
+        bands = pfam_band_fractions(np.array([100, 500, 1500]))
+        assert sum(bands.values()) == pytest.approx(1.0)

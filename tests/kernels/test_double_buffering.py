@@ -1,0 +1,227 @@
+"""The strip-boundary race is real: removing the double buffer corrupts
+scores.
+
+The paper's Figure 5 double-buffers the 32 dependency values of the next
+strip in registers *before* the current strip's store, because the store
+overwrites cell ``p0+32`` - the next strip's lane-0 dependency.  These
+tests re-implement the MSV row sweep twice - once with the correct
+load-before-store order and once with the naive store-first order - and
+show that (a) the correct order reproduces the reference exactly, and
+(b) the naive order genuinely diverges.  This proves the simulated
+in-place shared memory is faithful enough that the paper's optimization
+is load-bearing rather than decorative.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cpu import msv_score_sequence
+from repro.hmm import SearchProfile, sample_hmm
+from repro.scoring import MSVByteProfile
+from repro.scoring.quantized import sat_add_u8, sat_sub_u8
+from repro.sequence import random_sequence_codes
+
+WARP = 32
+
+
+def _row_sweep(profile, row, rbv, xBv, double_buffered: bool):
+    """One in-place DP row sweep; returns xE of the row."""
+    M = profile.M
+    strips = [(p0, min(p0 + WARP, M)) for p0 in range(0, M, WARP)]
+    xE = 0
+    # Load(mmx): first strip's dependencies
+    mmx = row[0 : min(WARP, M)].copy()
+    for s, (p0, p1) in enumerate(strips):
+        w = p1 - p0
+        temp = np.maximum(mmx[:w], xBv)
+        temp = sat_add_u8(temp, profile.bias)
+        temp = sat_sub_u8(temp, rbv[p0:p1])
+        xE = max(xE, int(temp.max()))
+        if double_buffered:
+            # Figure 5: load the next dependencies BEFORE the store
+            if s + 1 < len(strips):
+                q0, q1 = strips[s + 1]
+                mmx = row[q0:q1].copy()
+            row[p0 + 1 : p1 + 1] = temp
+        else:
+            # naive order: store first, then read the (clobbered) cells
+            row[p0 + 1 : p1 + 1] = temp
+            if s + 1 < len(strips):
+                q0, q1 = strips[s + 1]
+                mmx = row[q0:q1].copy()
+    return xE
+
+
+def _score(profile, codes, double_buffered: bool) -> float:
+    M = profile.M
+    row = np.zeros(M + 1, dtype=np.int32)
+    xJ, xB = 0, profile.init_xB
+    for x in codes:
+        xBv = max(0, xB - profile.tbm)
+        xE = _row_sweep(profile, row, profile.rbv[int(x)], xBv, double_buffered)
+        if xE >= profile.overflow_threshold:
+            return float("inf")
+        xJ = max(xJ, max(0, xE - profile.tec))
+        xB = max(0, max(profile.base, xJ) - profile.tjb)
+    return profile.final_score_nats(xJ)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(123)
+    hmm = sample_hmm(100, rng)  # several strips: boundaries exist
+    profile = MSVByteProfile.from_profile(SearchProfile(hmm, L=150))
+    return profile, rng
+
+
+def test_double_buffered_sweep_is_exact(setup):
+    profile, rng = setup
+    for _ in range(5):
+        codes = random_sequence_codes(120, rng)
+        assert _score(profile, codes, double_buffered=True) == msv_score_sequence(
+            profile, codes
+        )
+
+
+def test_naive_order_corrupts_scores(setup):
+    """Without the double buffer some sequence's score must diverge -
+    the race the paper engineers around is real in this simulation."""
+    profile, rng = setup
+    diverged = 0
+    for _ in range(25):
+        codes = random_sequence_codes(150, rng)
+        good = msv_score_sequence(profile, codes)
+        bad = _score(profile, codes, double_buffered=False)
+        if bad != good:
+            diverged += 1
+    assert diverged > 0, (
+        "store-before-load never diverged; the shared-memory model is "
+        "not actually in-place"
+    )
+
+
+def test_single_strip_models_have_no_boundary(setup):
+    """With M <= 32 there is no second strip, hence no race: both orders
+    agree - the hazard is specifically the strip boundary."""
+    rng = np.random.default_rng(5)
+    hmm = sample_hmm(30, rng)
+    profile = MSVByteProfile.from_profile(SearchProfile(hmm, L=80))
+    for _ in range(5):
+        codes = random_sequence_codes(60, rng)
+        assert _score(profile, codes, False) == _score(profile, codes, True)
+
+
+class TestViterbiSamePositionHazard:
+    """P7Viterbi has a second hazard: the I update reads the previous
+    row's M/I values at the *same* positions the strip is about to
+    overwrite (Algorithm 2 loads mmx/imx before the store).  Reordering
+    that load after the store corrupts scores."""
+
+    @staticmethod
+    def _vit_score(profile, codes, load_before_store: bool) -> float:
+        import numpy as _np
+
+        from repro.constants import VF_WORD_MIN
+        from repro.cpu.viterbi_reference import exact_d_chain
+        from repro.scoring.quantized import sat_add_i16
+
+        M = profile.M
+        strips = [(p0, min(p0 + WARP, M)) for p0 in range(0, M, WARP)]
+        mmx = _np.full(M + 1, VF_WORD_MIN, dtype=_np.int32)
+        imx = mmx.copy()
+        dmx = _np.full(M, VF_WORD_MIN, dtype=_np.int32)
+        xJ = xC = VF_WORD_MIN
+        xB = profile.init_xB
+        for x in codes:
+            rwv = profile.rwv[int(x)]
+            xBv = int(sat_add_i16(xB, profile.tbm))
+            new_m = _np.empty(M, dtype=_np.int32)
+            first = min(WARP, M)
+            mpv = mmx[0:first].copy()
+            ipv = imx[0:first].copy()
+            dpv = _np.concatenate(([VF_WORD_MIN], dmx[: first - 1])).astype(
+                _np.int32
+            )
+            for s, (p0, p1) in enumerate(strips):
+                w = p1 - p0
+                if load_before_store:
+                    m_same = mmx[p0 + 1 : p1 + 1].copy()
+                    i_same = imx[p0 + 1 : p1 + 1].copy()
+                sv = _np.maximum(
+                    xBv, sat_add_i16(mpv[:w], profile.enter_mm[p0:p1])
+                )
+                sv = _np.maximum(sv, sat_add_i16(ipv[:w], profile.enter_im[p0:p1]))
+                sv = _np.maximum(sv, sat_add_i16(dpv[:w], profile.enter_dm[p0:p1]))
+                temp_m = sat_add_i16(sv, rwv[p0:p1]).astype(_np.int32)
+                if s + 1 < len(strips):
+                    q0, q1 = strips[s + 1]
+                    mpv = mmx[q0:q1].copy()
+                    ipv = imx[q0:q1].copy()
+                    dpv = dmx[q0 - 1 : q1 - 1].copy()
+                mmx[p0 + 1 : p1 + 1] = temp_m
+                if not load_before_store:
+                    # naive order: the store above already clobbered the
+                    # same-position previous-row values
+                    m_same = mmx[p0 + 1 : p1 + 1].copy()
+                    i_same = imx[p0 + 1 : p1 + 1].copy()
+                temp_i = _np.maximum(
+                    sat_add_i16(m_same, profile.tmi[p0:p1]),
+                    sat_add_i16(i_same, profile.tii[p0:p1]),
+                ).astype(_np.int32)
+                imx[p0 + 1 : p1 + 1] = temp_i
+                new_m[p0:p1] = temp_m
+            dmx = exact_d_chain(new_m, profile.tmd, profile.tdd)
+            xE = int(new_m.max())
+            if xE >= profile.overflow_threshold:
+                return float("inf")
+            xC = max(xC, xE + profile.xE_move)
+            xJ = max(xJ, xE + profile.xE_loop)
+            xB = max(profile.base + profile.xNJ_move, xJ + profile.xNJ_move)
+        from repro.constants import VF_WORD_MIN as _MIN
+
+        if xC == _MIN:
+            return float("-inf")
+        return profile.final_score_nats(xC)
+
+    def test_correct_order_is_exact(self):
+        from repro.cpu import viterbi_score_sequence
+        from repro.scoring import ViterbiWordProfile
+
+        rng = np.random.default_rng(17)
+        hmm = sample_hmm(80, rng)
+        profile = ViterbiWordProfile.from_profile(SearchProfile(hmm, L=100))
+        for _ in range(3):
+            codes = random_sequence_codes(90, rng)
+            assert self._vit_score(
+                profile, codes, load_before_store=True
+            ) == viterbi_score_sequence(profile, codes)
+
+    def test_naive_order_diverges(self):
+        """Optimal paths must actually use Insert states for the hazard
+        to bite, so the test model makes inserts common and scores
+        emitted members (which carry insert runs)."""
+        import numpy as _np
+
+        from repro.cpu import viterbi_score_sequence
+        from repro.hmm import Plan7HMM
+        from repro.scoring import ViterbiWordProfile
+        from repro.sequence import BACKGROUND_FREQUENCIES
+
+        rng = np.random.default_rng(18)
+        M = 80
+        match = rng.dirichlet(BACKGROUND_FREQUENCIES * 2.0, size=M)
+        insert = _np.tile(BACKGROUND_FREQUENCIES, (M, 1))
+        t = _np.tile([0.65, 0.30, 0.05, 0.35, 0.65, 0.7, 0.3], (M, 1))
+        t[M - 1] = [1, 0, 0, 1, 0, 1, 0]
+        hmm = Plan7HMM("inserty", match, insert, t)
+        profile = ViterbiWordProfile.from_profile(SearchProfile(hmm, L=150))
+        diverged = 0
+        for _ in range(20):
+            codes = hmm.sample_sequence(rng)
+            good = viterbi_score_sequence(profile, codes)
+            bad = self._vit_score(profile, codes, load_before_store=False)
+            if bad != good:
+                diverged += 1
+        assert diverged > 0, (
+            "store-before-load never diverged for insert-rich paths"
+        )

@@ -1,0 +1,101 @@
+"""Unit and property tests for the parallel (warp-vote) Lazy-F."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import VF_WORD_MIN
+from repro.cpu import exact_d_chain
+from repro.errors import KernelError
+from repro.gpu import KernelCounters
+from repro.kernels import parallel_lazy_f
+from repro.scoring.quantized import sat_add_i16
+
+
+def _partial_and_exact(M, seed, chain_strength=-50):
+    """Random partial-D rows plus the exact resolved chain."""
+    gen = np.random.default_rng(seed)
+    m_row = gen.integers(-32768, 1500, size=(3, M)).astype(np.int32)
+    tmd = gen.integers(-2000, 0, size=M).astype(np.int32)
+    tdd = gen.integers(chain_strength, 0, size=M).astype(np.int32)
+    partial = np.concatenate(
+        [
+            np.full((3, 1), VF_WORD_MIN, dtype=np.int32),
+            sat_add_i16(m_row[:, :-1], tmd[:-1]).astype(np.int32),
+        ],
+        axis=1,
+    )
+    exact = exact_d_chain(m_row, tmd, tdd)
+    tdd_enter = np.concatenate(([VF_WORD_MIN], tdd[:-1])).astype(np.int32)
+    return partial, exact, tdd_enter
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("M", [1, 2, 31, 32, 33, 64, 100])
+    def test_matches_exact_chain(self, M):
+        partial, exact, tdd_enter = _partial_and_exact(M, seed=M)
+        resolved = parallel_lazy_f(partial.copy(), tdd_enter)
+        assert np.array_equal(resolved, exact)
+
+    def test_cheap_chains_converge(self):
+        """Near-free D-D transitions create long chains; still exact."""
+        partial, exact, tdd_enter = _partial_and_exact(96, 7, chain_strength=-2)
+        resolved = parallel_lazy_f(partial.copy(), tdd_enter)
+        assert np.array_equal(resolved, exact)
+
+    def test_all_neg_inf_row_is_stable(self):
+        M = 40
+        partial = np.full((2, M), VF_WORD_MIN, dtype=np.int32)
+        tdd_enter = np.full(M, -10, dtype=np.int32)
+        tdd_enter[0] = VF_WORD_MIN
+        c = KernelCounters()
+        resolved = parallel_lazy_f(partial.copy(), tdd_enter, c)
+        assert (resolved == VF_WORD_MIN).all()
+        # every window converges on its first vote
+        assert c.lazyf_extra_passes == 0
+
+    def test_in_place(self):
+        partial, exact, tdd_enter = _partial_and_exact(20, 3)
+        out = parallel_lazy_f(partial, tdd_enter)
+        assert out is partial
+
+    def test_shape_validation(self):
+        with pytest.raises(KernelError):
+            parallel_lazy_f(np.zeros(10, np.int32), np.zeros(10, np.int32))
+        with pytest.raises(KernelError):
+            parallel_lazy_f(np.zeros((2, 10), np.int32), np.zeros(9, np.int32))
+
+
+class TestCounters:
+    def test_votes_counted(self):
+        partial, _, tdd_enter = _partial_and_exact(64, 11)
+        c = KernelCounters()
+        parallel_lazy_f(partial, tdd_enter, c)
+        assert c.votes >= 2  # at least one vote per 32-wide window
+        assert c.lazyf_rows_checked == 3
+        assert c.lazyf_passes >= 2
+
+    def test_no_dd_work_means_no_extra_passes(self):
+        """With -inf D-D costs no candidate can improve: one vote per
+        window, zero extra passes - Lazy-F's best case."""
+        M = 64
+        gen = np.random.default_rng(1)
+        partial = gen.integers(-30000, 0, size=(4, M)).astype(np.int32)
+        tdd_enter = np.full(M, VF_WORD_MIN, dtype=np.int32)
+        c = KernelCounters()
+        out = parallel_lazy_f(partial.copy(), tdd_enter, c)
+        assert np.array_equal(out, partial)
+        assert c.lazyf_extra_passes == 0
+
+
+@given(
+    M=st.integers(min_value=1, max_value=120),
+    seed=st.integers(min_value=0, max_value=2**31),
+    strength=st.sampled_from([-1, -20, -400]),
+)
+@settings(max_examples=60, deadline=None)
+def test_lazy_f_equals_exact_property(M, seed, strength):
+    """The warp-vote fixed point always equals the exact Delete chain."""
+    partial, exact, tdd_enter = _partial_and_exact(M, seed, strength)
+    assert np.array_equal(parallel_lazy_f(partial.copy(), tdd_enter), exact)

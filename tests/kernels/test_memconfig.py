@@ -1,0 +1,138 @@
+"""Memory configurations and the occupancy shapes behind Figure 9."""
+
+import pytest
+
+from repro.errors import LaunchError
+from repro.gpu import FERMI_GTX580, KEPLER_K40
+from repro.hmm import PAPER_MODEL_SIZES
+from repro.kernels import (
+    MemoryConfig,
+    Stage,
+    dp_row_bytes_per_warp,
+    param_table_bytes,
+    registers_per_thread,
+    smem_per_block,
+    stage_occupancy,
+)
+
+
+def occ(stage, M, config, device=KEPLER_K40):
+    o = stage_occupancy(stage, M, config, device)
+    return None if o is None else o.occupancy
+
+
+class TestResourceModels:
+    def test_msv_dp_is_one_byte_per_cell(self):
+        assert dp_row_bytes_per_warp(Stage.MSV, 100) == 101
+
+    def test_vit_dp_is_three_word_rows(self):
+        assert dp_row_bytes_per_warp(Stage.P7VITERBI, 100) == 6 * 101
+
+    def test_bad_model_size(self):
+        with pytest.raises(LaunchError):
+            dp_row_bytes_per_warp(Stage.MSV, 0)
+
+    def test_param_tables_grow_linearly(self):
+        assert param_table_bytes(Stage.MSV, 200) > param_table_bytes(Stage.MSV, 100)
+        assert param_table_bytes(Stage.P7VITERBI, 100) > param_table_bytes(
+            Stage.MSV, 100
+        )
+
+    def test_viterbi_uses_more_registers(self):
+        assert registers_per_thread(Stage.P7VITERBI, KEPLER_K40) > (
+            registers_per_thread(Stage.MSV, KEPLER_K40)
+        )
+
+    def test_fermi_register_cap(self):
+        assert registers_per_thread(Stage.P7VITERBI, FERMI_GTX580) <= 63
+
+    def test_shared_config_needs_more_smem(self):
+        s = smem_per_block(Stage.MSV, 400, 8, MemoryConfig.SHARED, KEPLER_K40)
+        g = smem_per_block(Stage.MSV, 400, 8, MemoryConfig.GLOBAL, KEPLER_K40)
+        assert s > g
+
+    def test_fermi_charges_reduction_scratch(self):
+        f = smem_per_block(Stage.MSV, 100, 8, MemoryConfig.GLOBAL, FERMI_GTX580)
+        k = smem_per_block(Stage.MSV, 100, 8, MemoryConfig.GLOBAL, KEPLER_K40)
+        assert f == k + 8 * 32 * 4
+
+
+class TestPaperOccupancyShapes:
+    """The occupancy statements of Section IV, checked mechanistically."""
+
+    def test_msv_shared_full_occupancy_up_to_400(self):
+        """'The device occupancy is 100% for models of size less than 400'."""
+        for M in (48, 100, 200, 400):
+            assert occ(Stage.MSV, M, MemoryConfig.SHARED) == 1.0
+
+    def test_msv_shared_occupancy_collapses_for_large_models(self):
+        """'due to increased shared memory usage for larger models, the
+        device occupancy drastically decreases'."""
+        assert occ(Stage.MSV, 800, MemoryConfig.SHARED) <= 0.5
+        assert occ(Stage.MSV, 2405, MemoryConfig.SHARED) <= 0.10
+
+    def test_msv_global_occupancy_higher_for_large_models(self):
+        """'The device occupancy can be increased for large models by
+        storing the model parameters in the global memory'."""
+        for M in (1002, 1528, 2405):
+            s = occ(Stage.MSV, M, MemoryConfig.SHARED)
+            g = occ(Stage.MSV, M, MemoryConfig.GLOBAL)
+            assert g is not None and (s is None or g > s)
+
+    def test_vit_peak_occupancy_is_50_percent(self):
+        """'the device peak occupancy is limited to 50%' - by registers."""
+        for M in (48, 100, 200):
+            o = stage_occupancy(Stage.P7VITERBI, M, MemoryConfig.SHARED, KEPLER_K40)
+            assert o is not None
+            assert o.occupancy == 0.5
+        # with one full-size block the register file is the binding limit
+        from repro.gpu import KernelResources, occupancy as occ_fn
+        from repro.kernels import registers_per_thread, smem_per_block
+
+        big = occ_fn(
+            KEPLER_K40,
+            KernelResources(
+                registers_per_thread(Stage.P7VITERBI, KEPLER_K40),
+                smem_per_block(Stage.P7VITERBI, 48, 32, MemoryConfig.SHARED, KEPLER_K40),
+                32,
+            ),
+        )
+        assert big.limiting_factor == "registers"
+        assert big.occupancy == 0.5
+
+    def test_vit_occupancy_decreases_rapidly_after_200(self):
+        """'decreases rapidly for models of size greater than 200'."""
+        assert occ(Stage.P7VITERBI, 400, MemoryConfig.SHARED) < 0.25
+
+    def test_vit_shared_infeasible_for_largest_models(self):
+        for M in (1528, 2405):
+            assert occ(Stage.P7VITERBI, M, MemoryConfig.SHARED) is None
+
+    def test_msv_shared_feasible_up_to_1528(self):
+        """'MSV models ... of size 1528 could be accommodated within the
+        shared memory' (and 2405 barely, at trivial occupancy)."""
+        assert occ(Stage.MSV, 1528, MemoryConfig.SHARED) is not None
+
+    def test_global_always_feasible(self):
+        for stage in Stage:
+            for M in PAPER_MODEL_SIZES:
+                assert occ(stage, M, MemoryConfig.GLOBAL) is not None
+
+    def test_occupancy_monotone_nonincreasing_in_model_size(self):
+        for stage in Stage:
+            for config in MemoryConfig:
+                values = [occ(stage, M, config) for M in PAPER_MODEL_SIZES]
+                previous = None
+                for v in values:
+                    if v is None:
+                        continue
+                    if previous is not None:
+                        assert v <= previous + 1e-9
+                    previous = v
+
+    def test_fermi_occupancy_lower_than_kepler(self):
+        """Fermi has fewer registers and warp slots (paper Section IV.A)."""
+        for M in (48, 400):
+            k = occ(Stage.MSV, M, MemoryConfig.SHARED, KEPLER_K40)
+            f = occ(Stage.MSV, M, MemoryConfig.SHARED, FERMI_GTX580)
+            assert f < k

@@ -1,0 +1,195 @@
+"""The warp-synchronous MSV kernel: accuracy and structural claims."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import msv_score_batch, msv_score_sequence
+from repro.gpu import FERMI_GTX580, KEPLER_K40, KernelCounters
+from repro.hmm import SearchProfile, sample_hmm
+from repro.kernels import MemoryConfig, msv_warp_kernel
+from repro.scoring import MSVByteProfile
+from repro.sequence import DigitalSequence, SequenceDatabase, random_sequence_codes
+
+
+def _profile(M, seed=0, L=100):
+    return MSVByteProfile.from_profile(
+        SearchProfile(sample_hmm(M, np.random.default_rng(seed)), L=L)
+    )
+
+
+def _db(rng, n=6, max_len=120):
+    seqs = [
+        DigitalSequence(f"s{i}", random_sequence_codes(int(L), rng))
+        for i, L in enumerate(rng.integers(3, max_len, size=n))
+    ]
+    return SequenceDatabase(seqs)
+
+
+class TestAccuracy:
+    """Paper: 'while preserving the sensitivity and accuracy of HMMER 3.0'
+    - the kernel must be bit-identical to the quantized CPU reference."""
+
+    @pytest.mark.parametrize("M", [1, 16, 31, 32, 33, 65, 128])
+    def test_bit_identical_small_models(self, M, rng):
+        prof = _profile(M, seed=M)
+        db = _db(rng)
+        ref = msv_score_batch(prof, db)
+        gpu = msv_warp_kernel(prof, db)
+        assert np.array_equal(ref.scores, gpu.scores)
+        assert np.array_equal(ref.overflowed, gpu.overflowed)
+
+    @pytest.mark.parametrize("config", list(MemoryConfig))
+    def test_config_does_not_change_scores(self, config, rng):
+        prof = _profile(40)
+        db = _db(rng)
+        assert np.array_equal(
+            msv_warp_kernel(prof, db, config=config).scores,
+            msv_score_batch(prof, db).scores,
+        )
+
+    @pytest.mark.parametrize("device", [KEPLER_K40, FERMI_GTX580])
+    def test_device_does_not_change_scores(self, device, rng):
+        """Fermi uses the shared-memory reduction; same scores."""
+        prof = _profile(50)
+        db = _db(rng)
+        assert np.array_equal(
+            msv_warp_kernel(prof, db, device=device).scores,
+            msv_score_batch(prof, db).scores,
+        )
+
+    def test_overflow_handling(self, rng):
+        hmm = sample_hmm(50, rng, conservation=80.0)
+        prof = MSVByteProfile.from_profile(SearchProfile(hmm, L=500))
+        hot = np.concatenate(
+            [hmm.sample_sequence(rng) for _ in range(10)]
+        ).astype(np.uint8)
+        db = SequenceDatabase(
+            [
+                DigitalSequence("hot", hot),
+                DigitalSequence("cold", random_sequence_codes(80, rng)),
+            ]
+        )
+        out = msv_warp_kernel(prof, db)
+        assert out.scores[0] == float("inf") and out.overflowed[0]
+        assert np.isfinite(out.scores[1])
+
+    def test_single_sequence_database(self, rng):
+        prof = _profile(37)
+        db = SequenceDatabase([DigitalSequence("only", random_sequence_codes(33, rng))])
+        assert msv_warp_kernel(prof, db).scores[0] == msv_score_sequence(
+            prof, db[0].codes
+        )
+
+
+class TestStructuralClaims:
+    def test_zero_synchronization(self, rng):
+        """The headline claim: warp-synchronous execution never issues a
+        block barrier."""
+        c = KernelCounters()
+        msv_warp_kernel(_profile(64), _db(rng), counters=c)
+        assert c.syncthreads == 0
+
+    def test_kepler_uses_shuffles_fermi_does_not(self, rng):
+        prof, db = _profile(40), _db(rng)
+        ck = KernelCounters()
+        msv_warp_kernel(prof, db, device=KEPLER_K40, counters=ck)
+        cf = KernelCounters()
+        msv_warp_kernel(prof, db, device=FERMI_GTX580, counters=cf)
+        assert ck.shuffles > 0
+        assert cf.shuffles == 0
+        assert cf.shared_loads > ck.shared_loads  # smem reduction traffic
+
+    def test_rows_equal_total_residues(self, rng):
+        db = _db(rng)
+        c = KernelCounters()
+        msv_warp_kernel(_profile(20), db, counters=c)
+        assert c.rows == db.total_residues
+        assert c.sequences == len(db)
+
+    def test_cells_equal_rows_times_model(self, rng):
+        db = _db(rng)
+        M = 48
+        c = KernelCounters()
+        msv_warp_kernel(_profile(M), db, counters=c)
+        assert c.cells == db.total_residues * M
+
+    def test_strips_per_row(self, rng):
+        db = _db(rng)
+        M = 70  # 3 strips
+        c = KernelCounters()
+        msv_warp_kernel(_profile(M), db, counters=c)
+        assert c.strips == db.total_residues * 3
+
+    def test_global_config_charges_emission_traffic(self, rng):
+        prof, db = _profile(64), _db(rng)
+        cs = KernelCounters()
+        msv_warp_kernel(prof, db, config=MemoryConfig.SHARED, counters=cs)
+        cg = KernelCounters()
+        msv_warp_kernel(prof, db, config=MemoryConfig.GLOBAL, counters=cg)
+        assert cg.global_bytes > cs.global_bytes
+        assert cs.shared_loads > cg.shared_loads
+
+    def test_residues_charged_at_packed_rate(self, rng):
+        """Global residue traffic reflects the 5-bit packing (Fig. 6)."""
+        db = _db(rng)
+        c = KernelCounters()
+        msv_warp_kernel(_profile(16), db, config=MemoryConfig.SHARED, counters=c)
+        packed_bytes = sum(4 * ((len(s) + 5) // 6) for s in db)
+        assert c.global_bytes == packed_bytes
+        assert c.global_bytes < db.total_residues  # < 1 byte per residue
+
+
+@given(
+    M=st.integers(min_value=1, max_value=80),
+    n=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=25, deadline=None)
+def test_warp_kernel_equals_reference_property(M, n, seed):
+    gen = np.random.default_rng(seed)
+    prof = _profile(M, seed=seed % 997)
+    db = _db(gen, n=n, max_len=90)
+    assert np.array_equal(
+        msv_warp_kernel(prof, db).scores, msv_score_batch(prof, db).scores
+    )
+
+
+class TestPackedResidueDecode:
+    """The Figure 6 packed stream consumed by the kernel itself."""
+
+    def test_packed_equals_unpacked(self, rng):
+        prof = _profile(50)
+        db = _db(rng, n=8)
+        a = msv_warp_kernel(prof, db, packed_residues=False).scores
+        b = msv_warp_kernel(prof, db, packed_residues=True).scores
+        assert np.array_equal(a, b)
+
+    def test_exact_multiple_of_six_lengths(self, rng):
+        """Sequences ending exactly on a word boundary have no in-word
+        terminator; the decode must still stop correctly."""
+        prof = _profile(20)
+        seqs = [
+            DigitalSequence(f"s{i}", random_sequence_codes(L, rng))
+            for i, L in enumerate((6, 12, 18, 24, 5, 7))
+        ]
+        db = SequenceDatabase(seqs)
+        a = msv_warp_kernel(prof, db, packed_residues=True).scores
+        b = msv_score_batch(prof, db).scores
+        assert np.array_equal(a, b)
+
+    def test_degenerate_codes_survive_packing(self, rng):
+        prof = _profile(25)
+        codes = np.array([20, 21, 22, 23, 24, 25, 0, 5] * 3, dtype=np.uint8)
+        db = SequenceDatabase([DigitalSequence("deg", codes)])
+        a = msv_warp_kernel(prof, db, packed_residues=True).scores
+        assert a[0] == msv_score_batch(prof, db).scores[0]
+
+    def test_padded_batch_input_packs_on_the_fly(self, rng):
+        prof = _profile(30)
+        db = _db(rng, n=5)
+        batch = db.padded_batch()
+        a = msv_warp_kernel(prof, batch, packed_residues=True).scores
+        b = msv_warp_kernel(prof, db, packed_residues=True).scores
+        assert np.array_equal(a, b)

@@ -1,0 +1,76 @@
+"""Unit and property tests for the warp reductions."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import KernelCounters
+from repro.kernels import SHUFFLE_STEPS, warp_max_shared, warp_max_shuffle
+
+lanes32 = st.lists(
+    st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    min_size=32,
+    max_size=32,
+)
+
+
+class TestShuffleReduction:
+    def test_max_and_broadcast(self):
+        v = np.arange(32)
+        out = warp_max_shuffle(v)
+        assert (out == 31).all()  # broadcast to all lanes
+
+    def test_batched(self):
+        v = np.stack([np.arange(32), np.arange(32)[::-1] * 2])
+        out = warp_max_shuffle(v)
+        assert (out[0] == 31).all() and (out[1] == 62).all()
+
+    def test_counts_five_steps(self):
+        c = KernelCounters()
+        warp_max_shuffle(np.arange(32), c)
+        assert c.shuffles == SHUFFLE_STEPS
+        assert c.shared_loads == 0
+        assert c.syncthreads == 0
+
+    def test_counts_scale_with_warps(self):
+        c = KernelCounters()
+        warp_max_shuffle(np.zeros((7, 32)), c)
+        assert c.shuffles == 7 * SHUFFLE_STEPS
+
+    @given(vals=lanes32)
+    @settings(max_examples=100, deadline=None)
+    def test_equals_numpy_max(self, vals):
+        v = np.array(vals)
+        assert (warp_max_shuffle(v) == v.max()).all()
+
+
+class TestSharedReduction:
+    def test_same_result_as_shuffle(self):
+        rng = np.random.default_rng(0)
+        v = rng.integers(-1000, 1000, size=(5, 32))
+        assert np.array_equal(warp_max_shared(v), warp_max_shuffle(v))
+
+    def test_charges_shared_memory(self):
+        c = KernelCounters()
+        warp_max_shared(np.arange(32), c)
+        assert c.shared_loads > 0 and c.shared_stores > 0
+        assert c.shuffles == 0
+        assert c.syncthreads == 0  # warp-scope reductions are barrier-free
+
+    def test_block_scope_charges_barriers(self):
+        """The pre-warp-synchronous design pays one barrier per step."""
+        c = KernelCounters()
+        warp_max_shared(np.arange(32), c, block_scope=True)
+        assert c.syncthreads == 5
+
+    @given(vals=lanes32)
+    @settings(max_examples=100, deadline=None)
+    def test_equals_numpy_max(self, vals):
+        v = np.array(vals)
+        assert (warp_max_shared(v) == v.max()).all()
+
+    def test_input_not_mutated(self):
+        v = np.arange(32)
+        before = v.copy()
+        warp_max_shared(v)
+        assert np.array_equal(v, before)

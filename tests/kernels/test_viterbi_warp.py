@@ -1,0 +1,230 @@
+"""The warp-synchronous P7Viterbi kernel: accuracy and Lazy-F behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import viterbi_score_batch, viterbi_score_sequence
+from repro.gpu import FERMI_GTX580, KEPLER_K40, KernelCounters
+from repro.hmm import SearchProfile, sample_hmm
+from repro.kernels import MemoryConfig, viterbi_warp_kernel
+from repro.scoring import ViterbiWordProfile
+from repro.sequence import DigitalSequence, SequenceDatabase, random_sequence_codes
+
+
+def _profile(M, seed=0, L=100):
+    return ViterbiWordProfile.from_profile(
+        SearchProfile(sample_hmm(M, np.random.default_rng(seed)), L=L)
+    )
+
+
+def _db(rng, hmm=None, n=6, max_len=110):
+    seqs = [
+        DigitalSequence(f"s{i}", random_sequence_codes(int(L), rng))
+        for i, L in enumerate(rng.integers(3, max_len, size=n))
+    ]
+    if hmm is not None:
+        seqs.append(DigitalSequence("hom", hmm.sample_sequence(rng)))
+    return SequenceDatabase(seqs)
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("M", [1, 16, 31, 32, 33, 65, 96])
+    def test_bit_identical(self, M, rng):
+        prof = _profile(M, seed=M)
+        db = _db(rng)
+        ref = viterbi_score_batch(prof, db)
+        gpu = viterbi_warp_kernel(prof, db)
+        assert np.array_equal(ref.scores, gpu.scores)
+
+    def test_homologs_exercise_lazy_f(self, rng):
+        """Real alignments take D-D paths; scores must stay identical."""
+        hmm = sample_hmm(70, rng)
+        prof = ViterbiWordProfile.from_profile(SearchProfile(hmm, L=100))
+        db = _db(rng, hmm=hmm)
+        c = KernelCounters()
+        gpu = viterbi_warp_kernel(prof, db, counters=c)
+        ref = viterbi_score_batch(prof, db)
+        assert np.array_equal(ref.scores, gpu.scores)
+        assert c.lazyf_rows_checked > 0
+
+    @pytest.mark.parametrize("config", list(MemoryConfig))
+    def test_config_does_not_change_scores(self, config, rng):
+        prof = _profile(40)
+        db = _db(rng)
+        assert np.array_equal(
+            viterbi_warp_kernel(prof, db, config=config).scores,
+            viterbi_score_batch(prof, db).scores,
+        )
+
+    @pytest.mark.parametrize("device", [KEPLER_K40, FERMI_GTX580])
+    def test_device_does_not_change_scores(self, device, rng):
+        prof = _profile(45)
+        db = _db(rng)
+        assert np.array_equal(
+            viterbi_warp_kernel(prof, db, device=device).scores,
+            viterbi_score_batch(prof, db).scores,
+        )
+
+    def test_single_sequence(self, rng):
+        prof = _profile(37)
+        codes = random_sequence_codes(40, rng)
+        db = SequenceDatabase([DigitalSequence("only", codes)])
+        assert viterbi_warp_kernel(prof, db).scores[0] == viterbi_score_sequence(
+            prof, codes
+        )
+
+    def test_overflow_latched(self, rng):
+        hmm = sample_hmm(60, rng, conservation=90.0)
+        prof = ViterbiWordProfile.from_profile(SearchProfile(hmm, L=2000))
+        hot = np.concatenate(
+            [hmm.sample_sequence(rng) for _ in range(40)]
+        ).astype(np.uint8)
+        db = SequenceDatabase([DigitalSequence("hot", hot)])
+        ref = viterbi_score_batch(prof, db)
+        gpu = viterbi_warp_kernel(prof, db)
+        assert np.array_equal(ref.scores, gpu.scores)
+        assert np.array_equal(ref.overflowed, gpu.overflowed)
+
+
+class TestStructuralClaims:
+    def test_zero_synchronization(self, rng):
+        c = KernelCounters()
+        viterbi_warp_kernel(_profile(64), _db(rng), counters=c)
+        assert c.syncthreads == 0
+
+    def test_two_reductions_per_row(self, rng):
+        """xE and Dmax both reduce via shuffle: 10 shuffles per live row."""
+        db = _db(rng)
+        c = KernelCounters()
+        viterbi_warp_kernel(_profile(20), db, counters=c)
+        assert c.shuffles == 10 * db.total_residues
+
+    def test_lazy_f_skipped_when_no_md_contribution(self):
+        """Rows whose Dmax is minus infinity never enter Lazy-F.
+
+        With a length-1 model there are no D states at all, so the Dmax
+        check skips every row."""
+        rng = np.random.default_rng(0)
+        prof = _profile(1)
+        db = _db(rng, n=3)
+        c = KernelCounters()
+        viterbi_warp_kernel(prof, db, counters=c)
+        assert c.lazyf_rows_checked == 0
+
+    def test_lazyf_beats_serial_evaluation(self, rng):
+        """The warp fixed point resolves a 32-position window in far fewer
+        iterations than evaluating the 32 positions sequentially - the
+        resource argument of paper Section III.B."""
+        hmm = sample_hmm(64, rng)
+        prof = ViterbiWordProfile.from_profile(SearchProfile(hmm, L=100))
+        db = _db(rng, hmm=hmm, n=10)
+        c = KernelCounters()
+        viterbi_warp_kernel(prof, db, counters=c)
+        windows = c.lazyf_passes - c.lazyf_extra_passes  # one vote each
+        mean_iters_per_window = c.lazyf_passes / windows
+        assert mean_iters_per_window < 16  # serial would be 32
+
+    def test_lazyf_converges_faster_when_deletions_rare(self, rng):
+        """'Since a large number of positions do not require the D-D
+        transition, this update can be ignored' - models with expensive
+        D-D chains need almost no extra passes."""
+        from repro.hmm import Plan7HMM
+        from repro.sequence import BACKGROUND_FREQUENCIES
+
+        def model(tmd, tdd):
+            M = 64
+            gen = np.random.default_rng(4)
+            match = gen.dirichlet(BACKGROUND_FREQUENCIES * 30, size=M)
+            insert = np.tile(BACKGROUND_FREQUENCIES, (M, 1))
+            t = np.tile(
+                [1 - 0.01 - tmd, 0.01, tmd, 0.6, 0.4, 1 - tdd, tdd], (M, 1)
+            )
+            t[M - 1] = [1, 0, 0, 1, 0, 1, 0]
+            return Plan7HMM("d", match, insert, t)
+
+        db = _db(rng, n=8)
+
+        def extra_ratio(hmm):
+            prof = ViterbiWordProfile.from_profile(SearchProfile(hmm, L=100))
+            c = KernelCounters()
+            viterbi_warp_kernel(prof, db, counters=c)
+            base = c.lazyf_passes - c.lazyf_extra_passes
+            return c.lazyf_extra_passes / max(base, 1)
+
+        rare = extra_ratio(model(tmd=0.002, tdd=0.01))
+        common = extra_ratio(model(tmd=0.2, tdd=0.9))
+        assert rare < common
+        assert rare < 1.0  # mostly single-vote windows
+
+    def test_viterbi_charges_more_smem_than_msv(self, rng):
+        from repro.kernels import msv_warp_kernel
+        from repro.scoring import MSVByteProfile
+
+        hmm = sample_hmm(40, rng)
+        sp = SearchProfile(hmm, L=100)
+        db = _db(rng)
+        cm, cv = KernelCounters(), KernelCounters()
+        msv_warp_kernel(MSVByteProfile.from_profile(sp), db, counters=cm)
+        viterbi_warp_kernel(ViterbiWordProfile.from_profile(sp), db, counters=cv)
+        assert cv.shared_loads > cm.shared_loads
+        assert cv.shared_stores > cm.shared_stores
+
+
+@given(
+    M=st.integers(min_value=1, max_value=70),
+    n=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=20, deadline=None)
+def test_warp_kernel_equals_reference_property(M, n, seed):
+    gen = np.random.default_rng(seed)
+    prof = _profile(M, seed=seed % 997)
+    db = _db(gen, n=n, max_len=70)
+    assert np.array_equal(
+        viterbi_warp_kernel(prof, db).scores,
+        viterbi_score_batch(prof, db).scores,
+    )
+
+
+class TestWorkAccounting:
+    def test_cells_and_strips(self, rng):
+        M = 70  # 3 strips
+        prof = _profile(M)
+        db = _db(rng, n=4)
+        c = KernelCounters()
+        viterbi_warp_kernel(prof, db, counters=c)
+        assert c.rows <= db.total_residues
+        assert c.strips == c.rows * 3
+        assert c.cells == c.rows * M
+        assert c.sequences == len(db)
+
+    def test_global_config_charges_transition_and_emission_traffic(self, rng):
+        prof = _profile(40)
+        db = _db(rng)
+        cs, cg = KernelCounters(), KernelCounters()
+        viterbi_warp_kernel(prof, db, config=MemoryConfig.SHARED, counters=cs)
+        viterbi_warp_kernel(prof, db, config=MemoryConfig.GLOBAL, counters=cg)
+        assert cg.global_bytes > cs.global_bytes
+        assert cs.shared_loads > cg.shared_loads
+
+
+class TestPackedResidueDecode:
+    def test_packed_equals_unpacked(self, rng):
+        prof = _profile(45)
+        db = _db(rng, n=6)
+        a = viterbi_warp_kernel(prof, db, packed_residues=False).scores
+        b = viterbi_warp_kernel(prof, db, packed_residues=True).scores
+        assert np.array_equal(a, b)
+
+    def test_word_boundary_lengths(self, rng):
+        prof = _profile(20)
+        seqs = [
+            DigitalSequence(f"s{i}", random_sequence_codes(L, rng))
+            for i, L in enumerate((6, 12, 18, 5, 13))
+        ]
+        db = SequenceDatabase(seqs)
+        a = viterbi_warp_kernel(prof, db, packed_residues=True).scores
+        b = viterbi_score_batch(prof, db).scores
+        assert np.array_equal(a, b)

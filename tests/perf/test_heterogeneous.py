@@ -1,0 +1,49 @@
+"""Heterogeneous CPU+GPU workload splitting."""
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.gpu import FERMI_GTX580, KEPLER_K40
+from repro.kernels import Stage
+from repro.perf import StageWork, hybrid_stage_split
+
+WORK = StageWork(rows=500_000_000, seqs=2_000_000, M=400)
+
+
+class TestHybridSplit:
+    def test_beats_both_single_platforms(self):
+        split = hybrid_stage_split(Stage.MSV, WORK)
+        assert split.seconds < split.gpu_only_seconds
+        assert split.seconds < split.cpu_only_seconds
+        assert split.gain_over_gpu_only > 1.0
+        assert split.speedup_vs_cpu > 1.0
+
+    def test_gpu_gets_the_larger_share_on_k40(self):
+        """The K40 out-runs the quad-core i5 on MSV, so it takes most of
+        the database."""
+        split = hybrid_stage_split(Stage.MSV, WORK, KEPLER_K40)
+        assert 0.5 < split.gpu_share < 1.0
+
+    def test_share_reflects_relative_speed(self):
+        """Viterbi's GPU advantage is smaller, so the CPU's share grows."""
+        msv = hybrid_stage_split(Stage.MSV, WORK, KEPLER_K40)
+        vit = hybrid_stage_split(Stage.P7VITERBI, WORK, KEPLER_K40)
+        assert vit.gpu_share < msv.gpu_share
+
+    def test_fermi_gets_smaller_share_than_kepler(self):
+        kepler = hybrid_stage_split(Stage.MSV, WORK, KEPLER_K40)
+        fermi = hybrid_stage_split(Stage.MSV, WORK, FERMI_GTX580)
+        assert fermi.gpu_share < kepler.gpu_share
+
+    def test_both_sides_finish_near_together(self):
+        """The point of the split: neither platform idles long."""
+        split = hybrid_stage_split(Stage.MSV, WORK)
+        combined_rate = WORK.rows / split.seconds
+        gpu_rate = WORK.rows / split.gpu_only_seconds
+        cpu_rate = WORK.rows / split.cpu_only_seconds
+        # combined throughput approaches the sum of the parts
+        assert combined_rate > 0.95 * (gpu_rate + cpu_rate)
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(CalibrationError):
+            hybrid_stage_split(Stage.MSV, StageWork(rows=0, seqs=1, M=10))

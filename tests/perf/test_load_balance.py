@@ -1,0 +1,93 @@
+"""Warp load-balance policies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CalibrationError
+from repro.perf.load_balance import (
+    SchedulePolicy,
+    imbalance_factor,
+    warp_makespan,
+)
+
+
+class TestMakespan:
+    def test_single_warp_is_total(self):
+        lengths = np.array([5, 7, 3])
+        for policy in SchedulePolicy:
+            assert warp_makespan(lengths, 1, policy) == 15
+
+    def test_equal_lengths_perfectly_balanced(self):
+        lengths = np.full(64, 100)
+        for policy in SchedulePolicy:
+            assert imbalance_factor(lengths, 8, policy) == pytest.approx(1.0)
+
+    def test_dynamic_beats_static_on_skewed_input(self):
+        rng = np.random.default_rng(0)
+        # adversarial static case: long sequences land on the same warp
+        lengths = np.tile([1000, 10, 10, 10], 50).astype(float)
+        static = imbalance_factor(lengths, 4, SchedulePolicy.STATIC)
+        dynamic = imbalance_factor(lengths, 4, SchedulePolicy.DYNAMIC)
+        assert dynamic <= static
+
+    def test_sorted_beats_or_ties_dynamic(self):
+        rng = np.random.default_rng(1)
+        lengths = rng.gamma(2.2, 170, size=300)
+        dyn = imbalance_factor(lengths, 60, SchedulePolicy.DYNAMIC)
+        srt = imbalance_factor(lengths, 60, SchedulePolicy.SORTED_DYNAMIC)
+        assert srt <= dyn + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(CalibrationError):
+            warp_makespan(np.array([]), 4, SchedulePolicy.STATIC)
+        with pytest.raises(CalibrationError):
+            warp_makespan(np.array([1.0]), 0, SchedulePolicy.STATIC)
+
+
+class TestPaperScenario:
+    def test_dynamic_near_optimal_at_database_scale(self):
+        """With thousands of sequences per warp slot, the paper's dynamic
+        scheme keeps warps busy: imbalance within a few percent."""
+        rng = np.random.default_rng(2)
+        lengths = np.clip(rng.gamma(2.2, 170, size=20000), 25, 2000)
+        resident_warps = 15 * 64  # K40 at full occupancy
+        dynamic = imbalance_factor(
+            lengths, resident_warps, SchedulePolicy.DYNAMIC
+        )
+        assert dynamic < 1.25  # a late long sequence costs a tail
+        # dispatching long sequences first removes the tail entirely
+        srt = imbalance_factor(
+            lengths, resident_warps, SchedulePolicy.SORTED_DYNAMIC
+        )
+        assert srt < 1.05
+
+    def test_static_worse_with_few_sequences_per_warp(self):
+        rng = np.random.default_rng(3)
+        lengths = np.clip(rng.gamma(2.2, 170, size=2000), 25, 2000)
+        warps = 960
+        static = imbalance_factor(lengths, warps, SchedulePolicy.STATIC)
+        dynamic = imbalance_factor(lengths, warps, SchedulePolicy.DYNAMIC)
+        assert dynamic < static
+
+
+@given(
+    n=st.integers(min_value=1, max_value=200),
+    warps=st.integers(min_value=1, max_value=64),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=60, deadline=None)
+def test_makespan_bounds_property(n, warps, seed):
+    """Any policy: ideal <= makespan <= total; list scheduling is within
+    2x of ideal (Graham's bound)."""
+    rng = np.random.default_rng(seed)
+    lengths = rng.integers(1, 1000, size=n).astype(float)
+    total = lengths.sum()
+    ideal = total / warps
+    for policy in SchedulePolicy:
+        ms = warp_makespan(lengths, warps, policy)
+        assert ms >= max(ideal, lengths.max()) - 1e-9
+        assert ms <= total + 1e-9
+        if policy is not SchedulePolicy.STATIC:
+            assert ms <= 2 * max(ideal, lengths.max()) + 1e-9

@@ -1,0 +1,50 @@
+"""The programmatic evaluation report."""
+
+import pytest
+
+from repro.perf.report import FigureTable, full_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    # tiny sweep keeps the test fast; workloads are memoized with the
+    # other perf tests
+    return full_report(
+        sizes=(48, 200),
+        calibration_filter_sample=100,
+        calibration_forward_sample=30,
+    )
+
+
+class TestReport:
+    def test_all_figures_present(self, report):
+        figures = [t.figure for t in report.tables]
+        assert sum("Figure 9 (msv" in f for f in figures) == 2
+        assert sum("Figure 9 (p7viterbi" in f for f in figures) == 2
+        assert any("Figure 10" in f for f in figures)
+        assert any("Figure 11" in f for f in figures)
+
+    def test_headlines_pair_paper_and_measured(self, report):
+        assert len(report.headlines) == 6
+        for paper, measured in report.headlines.values():
+            assert paper > 0 and measured > 0
+
+    def test_render_is_complete_text(self, report):
+        text = report.render()
+        assert "Figure 10" in text
+        assert "headline numbers" in text
+        assert "vs" in text
+
+    def test_rows_cover_sizes(self, report):
+        for table in report.tables:
+            assert [int(r[0]) for r in table.rows] == [48, 200]
+
+
+def test_figure_table_render_alignment():
+    t = FigureTable(
+        figure="demo", header=["a", "bb"], rows=[["1", "2"], ["10", "20"]]
+    )
+    lines = t.render().splitlines()
+    assert lines[0] == "demo"
+    assert len(lines) == 5  # title, header, separator, two rows
+    assert len(set(len(l) for l in lines[1:])) == 1

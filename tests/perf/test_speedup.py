@@ -1,0 +1,127 @@
+"""Integration tests for the figure-level speedup harness.
+
+These run the full workload machinery on one representative model size
+(the per-size sweep itself lives in the benchmarks, where every figure is
+regenerated); here we pin the structural properties.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu import FERMI_GTX580, KEPLER_K40
+from repro.kernels import MemoryConfig, Stage
+from repro.perf import (
+    experiment_workload,
+    multi_gpu_speedup,
+    optimal_stage_speedup,
+    overall_speedup,
+    paper_database,
+    paper_hmm,
+    stage_speedup,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return experiment_workload(
+        200, "envnr", n_seqs=150,
+        calibration_filter_sample=120, calibration_forward_sample=30,
+    )
+
+
+class TestWorkloads:
+    def test_memoized(self, workload):
+        again = experiment_workload(200, "envnr", n_seqs=150)
+        assert again is workload
+
+    def test_funnel(self, workload):
+        assert workload.msv.rows == workload.total_residues
+        assert workload.vit.rows <= workload.msv.rows
+        assert workload.fwd.rows <= workload.vit.rows
+
+    def test_scaling_to_paper_size(self, workload):
+        scaled = workload.scaled()
+        assert scaled.total_residues == pytest.approx(1_290_247_663, rel=0.01)
+        factor = scaled.msv.rows / workload.msv.rows
+        assert factor == pytest.approx(workload.residue_scale, rel=0.01)
+        if workload.vit.rows:
+            assert scaled.vit.rows / workload.vit.rows == pytest.approx(
+                factor, rel=0.05
+            )
+
+    def test_paper_hmm_reproducible(self):
+        assert np.array_equal(
+            paper_hmm(48).match_emissions, paper_hmm(48).match_emissions
+        )
+
+    def test_paper_database_dispatch(self):
+        hmm = paper_hmm(48)
+        assert paper_database("swissprot", hmm, 40).mean_length > paper_database(
+            "envnr", hmm, 40
+        ).mean_length
+        with pytest.raises(ValueError):
+            paper_database("uniprot", hmm)
+
+
+class TestStageSpeedups:
+    def test_fixed_config_point(self, workload):
+        p = stage_speedup(workload, Stage.MSV, MemoryConfig.SHARED)
+        assert p.speedup is not None and p.speedup > 1.0
+        assert p.occupancy == 1.0  # M=200 shared on K40
+        assert p.M == 200 and p.database == "envnr"
+
+    def test_infeasible_config_point(self):
+        wl = experiment_workload(
+            1528, "envnr", n_seqs=60,
+            calibration_filter_sample=60, calibration_forward_sample=25,
+        )
+        p = stage_speedup(wl, Stage.P7VITERBI, MemoryConfig.SHARED)
+        assert p.speedup is None and p.occupancy is None
+
+    def test_optimal_at_least_as_fast(self, workload):
+        opt = optimal_stage_speedup(workload, Stage.MSV)
+        for config in MemoryConfig:
+            p = stage_speedup(workload, Stage.MSV, config)
+            if p.speedup is not None:
+                assert opt.speedup >= p.speedup - 1e-9
+
+    def test_msv_speedup_exceeds_viterbi(self, workload):
+        """The paper's structural result: 5.4x vs 2.9x."""
+        msv = optimal_stage_speedup(workload, Stage.MSV).speedup
+        vit = optimal_stage_speedup(workload, Stage.P7VITERBI).speedup
+        assert msv > vit
+
+
+class TestOverallSpeedups:
+    def test_between_stage_speedups(self, workload):
+        msv = optimal_stage_speedup(workload, Stage.MSV).speedup
+        vit = optimal_stage_speedup(workload, Stage.P7VITERBI).speedup
+        overall = overall_speedup(workload).speedup
+        assert overall < msv
+        assert overall > 1.0
+        assert vit * 0.5 < overall  # not dragged below the slow stage
+
+    def test_multi_gpu_near_linear(self, workload):
+        singles = multi_gpu_speedup(workload, device_count=1).speedup
+        quad = multi_gpu_speedup(workload, device_count=4).speedup
+        assert 3.3 < quad / singles <= 4.01
+
+    def test_multi_gpu_monotone(self, workload):
+        values = [
+            multi_gpu_speedup(workload, device_count=n).speedup
+            for n in (1, 2, 3, 4)
+        ]
+        assert values == sorted(values)
+
+    def test_fermi_single_slower_than_k40(self, workload):
+        k40 = overall_speedup(workload, device=KEPLER_K40).speedup
+        fermi = multi_gpu_speedup(
+            workload, device=FERMI_GTX580, device_count=1
+        ).speedup
+        assert fermi < k40
+
+    def test_device_count_validation(self, workload):
+        from repro.errors import CalibrationError
+
+        with pytest.raises(CalibrationError):
+            multi_gpu_speedup(workload, device_count=0)

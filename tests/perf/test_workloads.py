@@ -1,0 +1,89 @@
+"""The workload machinery behind the figure benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.perf.workloads import (
+    ENVNR_N,
+    PAPER_RESIDUES,
+    SWISSPROT_N,
+    ExperimentWorkload,
+    experiment_workload,
+    paper_database,
+    paper_hmm,
+)
+from repro.perf.cost_model import StageWork
+
+
+class TestPaperConstants:
+    def test_database_residue_counts_match_paper(self):
+        assert PAPER_RESIDUES["swissprot"] == 171_731_281
+        assert PAPER_RESIDUES["envnr"] == 1_290_247_663
+
+    def test_default_surrogate_sizes(self):
+        assert SWISSPROT_N == 300
+        assert ENVNR_N == 500
+
+
+class TestPaperModels:
+    def test_cached_identity(self):
+        assert paper_hmm(48) is paper_hmm(48)
+
+    def test_different_sizes_different_models(self):
+        assert paper_hmm(48).M != paper_hmm(100).M
+
+    def test_databases_cached_per_model(self):
+        hmm = paper_hmm(48)
+        assert paper_database("envnr", hmm, 30) is paper_database(
+            "envnr", hmm, 30
+        )
+
+
+class TestWorkload:
+    @pytest.fixture(scope="class")
+    def wl(self):
+        return experiment_workload(
+            48, "swissprot", n_seqs=60,
+            calibration_filter_sample=80, calibration_forward_sample=25,
+        )
+
+    def test_metadata(self, wl):
+        assert wl.M == 48
+        assert wl.database_name == "swissprot"
+        assert wl.n_seqs == 60
+        assert wl.total_residues > 0
+
+    def test_stage_funnel(self, wl):
+        assert wl.msv.seqs == 60
+        assert wl.vit.seqs <= 60
+        assert wl.fwd.rows <= wl.vit.rows <= wl.msv.rows
+
+    def test_survivor_fractions(self, wl):
+        assert 0.0 <= wl.vit_survivor_fraction <= 1.0
+        assert 0.0 <= wl.msv_survivor_fraction <= 0.5
+
+    def test_scaled_preserves_model_and_fractions(self, wl):
+        scaled = wl.scaled()
+        assert scaled.M == wl.M
+        assert scaled.mean_length == wl.mean_length
+        assert scaled.residue_scale == pytest.approx(1.0, abs=1e-9)
+        # scaling twice is idempotent up to rounding
+        again = scaled.scaled()
+        assert again.total_residues == pytest.approx(
+            scaled.total_residues, rel=1e-6
+        )
+
+    def test_unknown_database_scale_is_identity(self):
+        wl = ExperimentWorkload(
+            M=10,
+            database_name="custom",
+            n_seqs=5,
+            total_residues=500,
+            mean_length=100.0,
+            msv=StageWork(rows=500, seqs=5, M=10),
+            vit=StageWork(rows=0, seqs=0, M=10),
+            fwd=StageWork(rows=0, seqs=0, M=10),
+            results=None,
+        )
+        assert wl.residue_scale == 1.0
+        assert wl.scaled().total_residues == 500

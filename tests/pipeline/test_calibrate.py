@@ -1,0 +1,92 @@
+"""Per-model statistical calibration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CalibrationError
+from repro.hmm import SearchProfile, sample_hmm
+from repro.pipeline import calibrate_profile
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return SearchProfile(sample_hmm(45, np.random.default_rng(8)), L=120)
+
+
+@pytest.fixture(scope="module")
+def calibration(profile):
+    return calibrate_profile(
+        profile, np.random.default_rng(0), n_filter=200, n_forward=50
+    )
+
+
+class TestCalibration:
+    def test_kinds(self, calibration):
+        assert calibration.msv.kind == "gumbel"
+        assert calibration.vit.kind == "gumbel"
+        assert calibration.fwd.kind == "exponential"
+
+    def test_metadata(self, calibration, profile):
+        assert calibration.L == profile.L
+        assert calibration.sample_size == 200
+        assert calibration.null_length_nats == pytest.approx(
+            profile.null_length_correction(profile.L)
+        )
+
+    def test_reproducible(self, profile):
+        a = calibrate_profile(
+            profile, np.random.default_rng(0), n_filter=80, n_forward=25
+        )
+        b = calibrate_profile(
+            profile, np.random.default_rng(0), n_filter=80, n_forward=25
+        )
+        assert a.msv.location == b.msv.location
+        assert a.fwd.location == b.fwd.location
+
+    def test_random_scores_get_large_pvalues(self, calibration):
+        """A median random score must not look significant."""
+        assert calibration.msv.pvalue(calibration.msv.location) > 0.2
+
+    def test_high_scores_get_small_pvalues(self, calibration):
+        assert calibration.msv.pvalue(calibration.msv.location + 30) < 1e-8
+        assert calibration.fwd.pvalue(calibration.fwd.location + 30) < 1e-8
+
+    def test_locations_are_negative_bits(self, calibration):
+        """Random sequences score below zero bits against any real model."""
+        assert calibration.msv.location < 0
+        assert calibration.vit.location < 0
+
+    def test_sample_size_validation(self, profile):
+        with pytest.raises(CalibrationError):
+            calibrate_profile(profile, np.random.default_rng(0), n_filter=5)
+        with pytest.raises(CalibrationError):
+            calibrate_profile(profile, np.random.default_rng(0), n_forward=5)
+
+    def test_false_positive_rate_matches_threshold(self, profile):
+        """Fresh random sequences pass the MSV gate at ~ the F1 rate -
+        the property Figure 1's 2.2% rests on."""
+        from repro.cpu import msv_score_batch
+        from repro.pipeline.stats import bits_from_nats
+        from repro.scoring import MSVByteProfile
+        from repro.sequence import (
+            DigitalSequence,
+            SequenceDatabase,
+            random_sequence_codes,
+        )
+
+        cal = calibrate_profile(
+            profile, np.random.default_rng(0), n_filter=300, n_forward=50
+        )
+        rng = np.random.default_rng(999)  # disjoint from calibration
+        db = SequenceDatabase(
+            [
+                DigitalSequence(f"r{i}", random_sequence_codes(profile.L, rng))
+                for i in range(1500)
+            ]
+        )
+        bp = MSVByteProfile.from_profile(profile)
+        bits = bits_from_nats(
+            msv_score_batch(bp, db).scores, cal.null_length_nats
+        )
+        rate = float((np.asarray(cal.msv.pvalue(bits)) < 0.02).mean())
+        assert 0.005 < rate < 0.05

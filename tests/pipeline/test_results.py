@@ -1,0 +1,82 @@
+"""Result containers: StageStats, SearchHit, SearchResults."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError
+from repro.gpu import KernelCounters
+from repro.pipeline import SearchHit, SearchResults, StageStats
+
+
+def _hit(name="h", index=0, evalue=1e-6):
+    return SearchHit(
+        name=name,
+        index=index,
+        length=100,
+        msv_bits=12.0,
+        msv_p=1e-4,
+        vit_bits=15.0,
+        vit_p=1e-5,
+        fwd_bits=20.0,
+        fwd_p=1e-8,
+        evalue=evalue,
+    )
+
+
+def _results(n=10, hits=None):
+    return SearchResults(
+        query_name="q",
+        n_targets=n,
+        hits=hits or [],
+        stages=[
+            StageStats("msv", n, 3, rows=1000, cells=100000),
+            StageStats("p7viterbi", 3, 1, rows=300, cells=30000),
+            StageStats("forward", 1, 1, rows=100, cells=10000),
+        ],
+        msv_bits=np.zeros(n),
+        vit_bits=np.full(n, np.nan),
+        fwd_bits=np.full(n, np.nan),
+    )
+
+
+class TestStageStats:
+    def test_survivor_fraction(self):
+        assert StageStats("msv", 200, 5, 0, 0).survivor_fraction == 0.025
+
+    def test_zero_input(self):
+        assert StageStats("msv", 0, 0, 0, 0).survivor_fraction == 0.0
+
+
+class TestSearchResults:
+    def test_stage_lookup(self):
+        r = _results()
+        assert r.stage("p7viterbi").n_out == 1
+        with pytest.raises(PipelineError):
+            r.stage("missing")
+
+    def test_hit_names(self):
+        r = _results(hits=[_hit("a"), _hit("b", 1)])
+        assert r.hit_names() == ["a", "b"]
+
+    def test_summary_mentions_everything(self):
+        r = _results(hits=[_hit("special-hit")])
+        text = r.summary()
+        assert "special-hit" in text
+        assert "msv" in text and "forward" in text
+        assert "targets: 10" in text
+
+    def test_summary_truncates_long_hit_lists(self):
+        hits = [_hit(f"h{i}", i, evalue=1e-6 * (i + 1)) for i in range(15)]
+        text = _results(n=20, hits=hits).summary()
+        assert "and 5 more hits" in text
+
+    def test_default_alignment_is_none(self):
+        assert _hit().alignment is None
+
+    def test_counters_default_empty(self):
+        assert _results().counters == {}
+
+    def test_counters_attachable(self):
+        r = _results()
+        r.counters["msv"] = KernelCounters(rows=7)
+        assert r.counters["msv"].rows == 7

@@ -1,0 +1,129 @@
+"""Score statistics: Gumbel/exponential fits and P-values."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import GUMBEL_LAMBDA
+from repro.errors import CalibrationError
+from repro.pipeline import (
+    ScoreDistribution,
+    bits_from_nats,
+    exponential_survival,
+    fit_exponential_tau,
+    fit_gumbel_mu,
+    gumbel_survival,
+)
+
+
+class TestGumbel:
+    def test_survival_at_mu(self):
+        # P(S > mu) = 1 - exp(-1) for a Gumbel
+        assert gumbel_survival(0.0, mu=0.0) == pytest.approx(1 - math.exp(-1))
+
+    def test_survival_monotone_decreasing(self):
+        p = gumbel_survival(np.array([-5.0, 0.0, 5.0, 20.0]), mu=0.0)
+        assert (np.diff(p) < 0).all()
+
+    def test_survival_bounds(self):
+        p = gumbel_survival(np.linspace(-50, 50, 101), mu=0.0)
+        assert (p >= 0).all() and (p <= 1).all()
+
+    def test_high_score_tail_is_exponential(self):
+        """For s >> mu, P ~ exp(-lambda (s - mu)): the tail agreement
+        between Viterbi and Forward statistics the pipeline exploits."""
+        s = 25.0
+        p = gumbel_survival(s, mu=0.0)
+        assert p == pytest.approx(math.exp(-GUMBEL_LAMBDA * s), rel=1e-4)
+
+    @given(mu=st.floats(min_value=-20, max_value=20), seed=st.integers(0, 2**31))
+    @settings(max_examples=20, deadline=None)
+    def test_ml_fit_recovers_mu(self, mu, seed):
+        rng = np.random.default_rng(seed)
+        sample = rng.gumbel(loc=mu, scale=1.0 / GUMBEL_LAMBDA, size=4000)
+        assert fit_gumbel_mu(sample) == pytest.approx(mu, abs=0.15)
+
+    def test_fit_rejects_tiny_sample(self):
+        with pytest.raises(CalibrationError):
+            fit_gumbel_mu(np.array([1.0]))
+
+    def test_fit_ignores_non_finite(self):
+        rng = np.random.default_rng(0)
+        sample = rng.gumbel(loc=3.0, scale=1 / GUMBEL_LAMBDA, size=2000)
+        spiked = np.concatenate([sample, [np.inf, -np.inf, np.nan]])
+        assert fit_gumbel_mu(spiked) == pytest.approx(fit_gumbel_mu(sample))
+
+
+class TestExponential:
+    def test_survival_below_tau_capped(self):
+        assert exponential_survival(-100.0, tau=0.0) == 1.0
+
+    def test_survival_above_tau(self):
+        assert exponential_survival(10.0, tau=0.0) == pytest.approx(
+            math.exp(-GUMBEL_LAMBDA * 10.0)
+        )
+
+    def test_fit_recovers_tail(self):
+        rng = np.random.default_rng(1)
+        tau = 2.5
+        sample = tau + rng.exponential(1.0 / GUMBEL_LAMBDA, size=8000)
+        fitted = fit_exponential_tau(sample)
+        assert fitted == pytest.approx(tau, abs=0.2)
+
+    def test_fit_validation(self):
+        with pytest.raises(CalibrationError):
+            fit_exponential_tau(np.arange(5.0))
+        with pytest.raises(CalibrationError):
+            fit_exponential_tau(np.arange(100.0), tail_p=0.9)
+
+
+class TestScoreDistribution:
+    def test_gumbel_kind(self):
+        d = ScoreDistribution("gumbel", location=1.0)
+        assert d.pvalue(1.0) == pytest.approx(1 - math.exp(-1))
+
+    def test_exponential_kind(self):
+        d = ScoreDistribution("exponential", location=0.0)
+        assert d.pvalue(-5.0) == 1.0
+
+    def test_unknown_kind(self):
+        with pytest.raises(CalibrationError):
+            ScoreDistribution("cauchy", 0.0).pvalue(1.0)
+
+    def test_evalue_scales_with_database(self):
+        d = ScoreDistribution("gumbel", location=0.0)
+        assert d.evalue(10.0, 1000) == pytest.approx(d.pvalue(10.0) * 1000)
+
+    def test_evalue_validation(self):
+        with pytest.raises(CalibrationError):
+            ScoreDistribution("gumbel", 0.0).evalue(1.0, 0)
+
+    def test_fit_dispatch(self):
+        rng = np.random.default_rng(2)
+        sample = rng.gumbel(0, 1 / GUMBEL_LAMBDA, size=500)
+        d = ScoreDistribution.fit("gumbel", sample)
+        assert d.kind == "gumbel"
+        d = ScoreDistribution.fit("exponential", sample)
+        assert d.kind == "exponential"
+        with pytest.raises(CalibrationError):
+            ScoreDistribution.fit("nope", sample)
+
+
+class TestBits:
+    def test_conversion(self):
+        assert bits_from_nats(math.log(2), 0.0) == pytest.approx(1.0)
+
+    def test_length_correction_applied(self):
+        assert bits_from_nats(0.0, -math.log(2)) == pytest.approx(1.0)
+
+    def test_false_positive_rate_calibration(self):
+        """Scoring the calibration sample against its own fit yields
+        uniform P-values: the threshold passes ~ the expected fraction."""
+        rng = np.random.default_rng(3)
+        sample = rng.gumbel(loc=-7.0, scale=1 / GUMBEL_LAMBDA, size=5000)
+        d = ScoreDistribution.fit("gumbel", sample)
+        frac = float((np.asarray(d.pvalue(sample)) < 0.02).mean())
+        assert 0.01 < frac < 0.035

@@ -1,0 +1,91 @@
+"""Unit tests for the MSV byte scoring system."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import MSV_BASE, MSV_SCALE
+from repro.errors import ProfileError
+from repro.hmm import SearchProfile, sample_hmm
+from repro.scoring import MSVByteProfile
+
+
+@pytest.fixture
+def profile():
+    return SearchProfile(sample_hmm(33, np.random.default_rng(11)), L=120)
+
+
+@pytest.fixture
+def byte_profile(profile):
+    return MSVByteProfile.from_profile(profile)
+
+
+class TestQuantization:
+    def test_scale_is_third_bits(self, byte_profile):
+        assert byte_profile.scale == pytest.approx(3.0 / math.log(2.0))
+
+    def test_base_is_190(self, byte_profile):
+        assert byte_profile.base == MSV_BASE
+
+    def test_bias_covers_best_emission(self, profile, byte_profile):
+        expected = round(MSV_SCALE * profile.max_match_score())
+        assert byte_profile.bias == min(255, max(0, expected))
+
+    def test_emission_costs_nonnegative_bytes(self, byte_profile):
+        assert byte_profile.rbv.min() >= 0
+        assert byte_profile.rbv.max() <= 255
+
+    def test_best_emission_cost_is_zero(self, byte_profile):
+        """The most positive score maps to cost 0 (full bias spent)."""
+        assert byte_profile.rbv.min() == 0
+
+    def test_special_codes_max_cost(self, byte_profile):
+        for code in range(26, 29):
+            assert np.all(byte_profile.rbv[code] == 255)
+
+    def test_quantization_error_bounded(self, profile, byte_profile):
+        """Each stored cost is within one byte unit of the exact value."""
+        msc = profile.msc
+        finite = np.isfinite(msc)
+        exact = -MSV_SCALE * msc[finite] + byte_profile.bias
+        stored = byte_profile.rbv[finite]
+        clipped = np.clip(exact, 0, 255)
+        assert np.abs(stored - clipped).max() <= 0.5 + 1e-9
+
+    def test_transition_costs(self, profile, byte_profile):
+        assert byte_profile.tbm == round(-MSV_SCALE * profile.tbm)
+        assert byte_profile.tec == round(-MSV_SCALE * math.log(0.5))
+
+    def test_unihit_rejected(self):
+        prof = SearchProfile(
+            sample_hmm(10, np.random.default_rng(0)), L=50, multihit=False
+        )
+        with pytest.raises(ProfileError):
+            MSVByteProfile.from_profile(prof)
+
+
+class TestScoreSpace:
+    def test_overflow_threshold(self, byte_profile):
+        assert byte_profile.overflow_threshold == 255 - byte_profile.bias
+
+    def test_init_xb(self, byte_profile):
+        assert byte_profile.init_xB == max(0, 190 - byte_profile.tjb)
+
+    def test_final_score_monotone_in_xj(self, byte_profile):
+        assert byte_profile.final_score_nats(100) < byte_profile.final_score_nats(
+            150
+        )
+
+    def test_final_score_at_base(self, byte_profile):
+        """xJ == base + tjb corresponds to raw score 0 minus correction."""
+        xj = byte_profile.base + byte_profile.tjb
+        assert byte_profile.final_score_nats(xj) == pytest.approx(-3.0)
+
+    def test_bits_conversion(self, byte_profile):
+        assert byte_profile.bits_from_nats(math.log(2.0)) == pytest.approx(1.0)
+
+    def test_emission_row_view(self, byte_profile):
+        row = byte_profile.emission_row(4)
+        assert row.shape == (33,)
+        assert np.array_equal(row, byte_profile.rbv[4])

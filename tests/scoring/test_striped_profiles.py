@@ -1,0 +1,75 @@
+"""Pre-striped profile containers used by the SSE baselines."""
+
+import numpy as np
+import pytest
+
+from repro.constants import VF_WORD_MIN
+from repro.cpu import stripe_positions
+from repro.cpu.msv_striped import msv_striped_profile
+from repro.cpu.viterbi_striped import StripedViterbiProfile
+from repro.hmm import SearchProfile, sample_hmm
+from repro.scoring import MSVByteProfile, ViterbiWordProfile
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    profile = SearchProfile(sample_hmm(21, np.random.default_rng(4)), L=60)
+    return (
+        MSVByteProfile.from_profile(profile),
+        ViterbiWordProfile.from_profile(profile),
+    )
+
+
+class TestStripedMSV:
+    def test_shape(self, profiles):
+        bp, _ = profiles
+        striped = msv_striped_profile(bp, lanes=16)
+        assert striped.shape == (29, 2, 16)  # Q = ceil(21/16) = 2
+
+    def test_values_permuted_not_changed(self, profiles):
+        bp, _ = profiles
+        striped = msv_striped_profile(bp, lanes=16)
+        k = stripe_positions(21, 16)
+        for x in (0, 7, 25):
+            for q in range(2):
+                for z in range(16):
+                    if k[q, z] >= 0:
+                        assert striped[x, q, z] == bp.rbv[x, k[q, z]]
+
+    def test_padding_is_max_cost(self, profiles):
+        bp, _ = profiles
+        striped = msv_striped_profile(bp, lanes=16)
+        k = stripe_positions(21, 16)
+        assert (striped[:, k < 0] == 255).all()
+
+
+class TestStripedViterbi:
+    def test_all_arrays_striped(self, profiles):
+        _, wp = profiles
+        sp = StripedViterbiProfile.from_profile(wp, lanes=8)
+        assert sp.Q == 3  # ceil(21/8)
+        for arr in (sp.enter_mm, sp.enter_im, sp.enter_dm, sp.tmi, sp.tii,
+                    sp.tmd, sp.tdd):
+            assert arr.shape == (3, 8)
+        assert sp.rwv.shape == (29, 3, 8)
+
+    def test_padding_is_neg_inf(self, profiles):
+        _, wp = profiles
+        sp = StripedViterbiProfile.from_profile(wp, lanes=8)
+        k = stripe_positions(21, 8)
+        assert (sp.rwv[:, k < 0] == VF_WORD_MIN).all()
+        assert (sp.tdd[k < 0] == VF_WORD_MIN).all()
+
+    def test_destination_indexing_preserved(self, profiles):
+        _, wp = profiles
+        sp = StripedViterbiProfile.from_profile(wp, lanes=8)
+        k = stripe_positions(21, 8)
+        for q in range(3):
+            for z in range(8):
+                if k[q, z] >= 0:
+                    assert sp.enter_mm[q, z] == wp.enter_mm[k[q, z]]
+
+    def test_base_reference_kept(self, profiles):
+        _, wp = profiles
+        sp = StripedViterbiProfile.from_profile(wp)
+        assert sp.base is wp

@@ -1,0 +1,92 @@
+"""Unit tests for the ViterbiFilter word scoring system."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import VF_BASE, VF_SCALE, VF_WORD_MIN
+from repro.hmm import SearchProfile, sample_hmm
+from repro.scoring import ViterbiWordProfile
+
+
+@pytest.fixture
+def profile():
+    return SearchProfile(sample_hmm(33, np.random.default_rng(13)), L=150)
+
+
+@pytest.fixture
+def word_profile(profile):
+    return ViterbiWordProfile.from_profile(profile)
+
+
+class TestQuantization:
+    def test_scale_is_five_hundredths_bits(self, word_profile):
+        assert word_profile.scale == pytest.approx(500.0 / math.log(2.0))
+
+    def test_base(self, word_profile):
+        assert word_profile.base == VF_BASE
+
+    def test_emissions_within_word_range(self, word_profile):
+        assert word_profile.rwv.min() >= VF_WORD_MIN
+        assert word_profile.rwv.max() <= 32767
+
+    def test_special_codes_neg_inf(self, word_profile):
+        for code in range(26, 29):
+            assert np.all(word_profile.rwv[code] == VF_WORD_MIN)
+
+    def test_emission_quantization_exact(self, profile, word_profile):
+        msc = profile.msc
+        finite = np.isfinite(msc)
+        exact = np.rint(VF_SCALE * msc[finite])
+        stored = word_profile.rwv[finite]
+        assert np.array_equal(stored, np.clip(exact, VF_WORD_MIN, 32767))
+
+    def test_enter_arrays_shifted(self, profile, word_profile):
+        """enter_mm[j] quantizes tmm[j-1]; node 0 is unreachable."""
+        assert word_profile.enter_mm[0] == VF_WORD_MIN
+        assert word_profile.enter_mm[5] == round(VF_SCALE * profile.tmm[4])
+        assert word_profile.enter_dm[1] == round(VF_SCALE * profile.tdm[0])
+
+    def test_source_indexed_arrays(self, profile, word_profile):
+        assert word_profile.tmd[2] == round(VF_SCALE * profile.tmd[2])
+        assert word_profile.tdd[-1] == VF_WORD_MIN  # node M has no D->D
+
+    def test_transition_costs_nonpositive(self, word_profile):
+        """Log-probabilities quantize to non-positive words - the property
+        the Lazy-F early-exit correctness proof rests on."""
+        for arr in (
+            word_profile.enter_mm,
+            word_profile.enter_im,
+            word_profile.enter_dm,
+            word_profile.tmi,
+            word_profile.tii,
+            word_profile.tmd,
+            word_profile.tdd,
+        ):
+            assert arr.max() <= 0
+
+    def test_specials(self, word_profile):
+        assert word_profile.xE_move == round(VF_SCALE * math.log(0.5))
+        assert word_profile.xE_loop == word_profile.xE_move
+        assert word_profile.xNJ_move == round(VF_SCALE * math.log(3 / 153))
+
+
+class TestScoreSpace:
+    def test_init_xb(self, word_profile):
+        assert word_profile.init_xB == VF_BASE + word_profile.xNJ_move
+
+    def test_overflow_threshold(self, word_profile):
+        assert word_profile.overflow_threshold == 32767
+
+    def test_final_score_monotone(self, word_profile):
+        assert word_profile.final_score_nats(1000) < word_profile.final_score_nats(
+            2000
+        )
+
+    def test_final_score_at_base(self, word_profile):
+        xc = word_profile.base - word_profile.xNJ_move
+        assert word_profile.final_score_nats(xc) == pytest.approx(-2.0)
+
+    def test_emission_row_view(self, word_profile):
+        assert word_profile.emission_row(7).shape == (33,)

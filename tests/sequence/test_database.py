@@ -1,0 +1,132 @@
+"""Unit tests for SequenceDatabase."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SequenceError
+from repro.sequence import DigitalSequence, SequenceDatabase
+
+
+def _db(lengths, name="db"):
+    seqs = [
+        DigitalSequence(f"{name}/{i}", np.full(L, i % 20, dtype=np.uint8))
+        for i, L in enumerate(lengths)
+    ]
+    return SequenceDatabase(seqs, name=name)
+
+
+class TestContainer:
+    def test_len_and_iter(self):
+        db = _db([3, 5, 7])
+        assert len(db) == 3
+        assert [len(s) for s in db] == [3, 5, 7]
+
+    def test_getitem_and_slice(self):
+        db = _db([3, 5, 7])
+        assert len(db[1]) == 5
+        sliced = db[1:]
+        assert isinstance(sliced, SequenceDatabase)
+        assert len(sliced) == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(SequenceError):
+            SequenceDatabase([])
+
+    def test_duplicate_names_rejected(self):
+        seq = DigitalSequence("same", np.array([1], dtype=np.uint8))
+        with pytest.raises(SequenceError):
+            SequenceDatabase([seq, seq])
+
+
+class TestStatistics:
+    def test_totals(self):
+        db = _db([3, 5, 7])
+        assert db.total_residues == 15
+        assert db.mean_length == 5.0
+        assert db.max_length == 7
+
+    def test_describe_keys(self):
+        d = _db([4, 4]).describe()
+        assert d["n_seqs"] == 2
+        assert d["median_length"] == 4
+
+    def test_lengths_read_only(self):
+        db = _db([3, 5])
+        with pytest.raises(ValueError):
+            db.lengths[0] = 9
+
+
+class TestPaddedBatch:
+    def test_shapes_and_padding(self):
+        db = _db([2, 4])
+        batch = db.padded_batch()
+        assert batch.codes.shape == (2, 4)
+        assert batch.codes[0, 2] == batch.pad_code
+        assert np.array_equal(batch.lengths, [2, 4])
+
+    def test_mask_at(self):
+        batch = _db([2, 4]).padded_batch()
+        assert list(batch.mask_at(1)) == [True, True]
+        assert list(batch.mask_at(2)) == [False, True]
+        assert list(batch.mask_at(3)) == [False, True]
+
+
+class TestSorting:
+    def test_sorted_descending(self):
+        db = _db([3, 7, 5]).sorted_by_length()
+        assert [len(s) for s in db] == [7, 5, 3]
+
+    def test_sorted_ascending(self):
+        db = _db([3, 7, 5]).sorted_by_length(descending=False)
+        assert [len(s) for s in db] == [3, 5, 7]
+
+    def test_sort_preserves_content(self):
+        db = _db([3, 7, 5])
+        names = {s.name for s in db}
+        assert {s.name for s in db.sorted_by_length()} == names
+
+
+class TestSubset:
+    def test_subset_order(self):
+        db = _db([3, 5, 7, 9])
+        sub = db.subset([2, 0])
+        assert [len(s) for s in sub] == [7, 3]
+
+
+class TestChunking:
+    def test_chunks_partition_everything(self):
+        db = _db([10, 20, 30, 40, 50, 5, 5])
+        chunks = db.chunk_by_residues(3)
+        assert len(chunks) == 3
+        assert sum(len(c) for c in chunks) == len(db)
+        assert sum(c.total_residues for c in chunks) == db.total_residues
+
+    def test_chunks_are_contiguous_and_ordered(self):
+        db = _db([10] * 9)
+        names = [s.name for s in db]
+        chunks = db.chunk_by_residues(3)
+        flattened = [s.name for c in chunks for s in c]
+        assert flattened == names
+
+    def test_chunks_roughly_balanced(self):
+        db = _db([100] * 20)
+        chunks = db.chunk_by_residues(4)
+        sizes = [c.total_residues for c in chunks]
+        assert max(sizes) - min(sizes) <= 100  # within one sequence
+
+    def test_single_chunk(self):
+        db = _db([3, 5])
+        assert len(db.chunk_by_residues(1)) == 1
+
+    def test_too_many_chunks_rejected(self):
+        with pytest.raises(SequenceError):
+            _db([3, 5]).chunk_by_residues(3)
+
+    def test_zero_chunks_rejected(self):
+        with pytest.raises(SequenceError):
+            _db([3, 5]).chunk_by_residues(0)
+
+    def test_chunk_count_equals_sequences(self):
+        db = _db([7, 9, 11])
+        chunks = db.chunk_by_residues(3)
+        assert [len(c) for c in chunks] == [1, 1, 1]

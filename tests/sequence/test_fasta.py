@@ -1,0 +1,94 @@
+"""Unit tests for FASTA I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.sequence import (
+    DigitalSequence,
+    parse_fasta_text,
+    read_fasta,
+    write_fasta,
+)
+
+SAMPLE = """>seq1 first sequence
+ACDEFGHIKL
+MNPQRSTVWY
+>seq2
+ACACAC
+"""
+
+
+class TestParse:
+    def test_basic(self):
+        db = parse_fasta_text(SAMPLE)
+        assert len(db) == 2
+        assert db[0].name == "seq1"
+        assert db[0].description == "first sequence"
+        assert db[0].text == "ACDEFGHIKLMNPQRSTVWY"
+        assert db[1].text == "ACACAC"
+
+    def test_blank_lines_skipped(self):
+        db = parse_fasta_text(">a\nAC\n\n\nDE\n")
+        assert db[0].text == "ACDE"
+
+    def test_lowercase_sequences(self):
+        db = parse_fasta_text(">a\nacgh\n")
+        assert db[0].text == "ACGH"
+
+    def test_no_records(self):
+        with pytest.raises(FormatError):
+            parse_fasta_text("just text\n" if False else "")
+
+    def test_data_before_header(self):
+        with pytest.raises(FormatError):
+            parse_fasta_text("ACDE\n>a\nAC\n")
+
+    def test_empty_header(self):
+        with pytest.raises(FormatError):
+            parse_fasta_text(">\nAC\n")
+
+
+class TestRoundtrip:
+    def test_write_read(self, tmp_path):
+        seqs = [
+            DigitalSequence.from_text("alpha", "ACDEFGHIKLMNPQRSTVWY" * 5, "d1"),
+            DigitalSequence.from_text("beta", "WYWYWY"),
+        ]
+        path = tmp_path / "out.fasta"
+        write_fasta(path, seqs, width=30)
+        db = read_fasta(path)
+        assert [s.name for s in db] == ["alpha", "beta"]
+        assert db[0].text == seqs[0].text
+        assert db[0].description == "d1"
+        assert db[1].text == seqs[1].text
+
+    def test_wrapping(self, tmp_path):
+        path = tmp_path / "w.fasta"
+        write_fasta(path, [DigitalSequence.from_text("a", "A" * 100)], width=10)
+        body_lines = [
+            ln for ln in path.read_text().splitlines() if not ln.startswith(">")
+        ]
+        assert all(len(ln) <= 10 for ln in body_lines)
+        assert len(body_lines) == 10
+
+    def test_bad_width(self, tmp_path):
+        with pytest.raises(FormatError):
+            write_fasta(tmp_path / "x", [], width=0)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(OSError):
+            read_fasta(tmp_path / "nope.fasta")
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.fasta"
+        path.write_text("")
+        with pytest.raises(FormatError):
+            read_fasta(path)
+
+
+def test_degenerate_codes_survive_roundtrip(tmp_path):
+    seq = DigitalSequence.from_text("deg", "AXBZJOU")
+    path = tmp_path / "deg.fasta"
+    write_fasta(path, [seq])
+    assert np.array_equal(read_fasta(path)[0].codes, seq.codes)

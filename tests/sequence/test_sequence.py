@@ -1,0 +1,56 @@
+"""Unit tests for DigitalSequence."""
+
+import numpy as np
+import pytest
+
+from repro.alphabet import unpack_residues
+from repro.errors import SequenceError
+from repro.sequence import DigitalSequence
+
+
+class TestConstruction:
+    def test_from_text(self):
+        seq = DigitalSequence.from_text("s1", "ACDEF", description="demo")
+        assert len(seq) == 5
+        assert seq.text == "ACDEF"
+        assert seq.description == "demo"
+
+    def test_from_codes(self):
+        seq = DigitalSequence("s1", np.array([0, 1, 2], dtype=np.uint8))
+        assert seq.text == "ACD"
+
+    def test_codes_are_uint8(self):
+        seq = DigitalSequence("s1", np.array([0, 1, 2], dtype=np.int64))
+        assert seq.codes.dtype == np.uint8
+
+    def test_degenerate_residues_allowed(self):
+        seq = DigitalSequence.from_text("s1", "AXB")
+        assert len(seq) == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(SequenceError):
+            DigitalSequence("s1", np.array([], dtype=np.uint8))
+
+    def test_gap_codes_rejected(self):
+        with pytest.raises(Exception):
+            DigitalSequence.from_text("s1", "AC-")
+
+    def test_2d_rejected(self):
+        with pytest.raises(SequenceError):
+            DigitalSequence("s1", np.zeros((2, 2), dtype=np.uint8))
+
+
+class TestPacking:
+    def test_packed_roundtrip(self):
+        seq = DigitalSequence.from_text("s1", "ACDEFGHIKLMNPQRSTVWY")
+        assert np.array_equal(unpack_residues(seq.packed(), len(seq)), seq.codes)
+
+    def test_packed_is_cached(self):
+        seq = DigitalSequence.from_text("s1", "ACDEFG")
+        assert seq.packed() is seq.packed()
+
+
+def test_repr_contains_name_and_length():
+    seq = DigitalSequence.from_text("myseq", "ACD")
+    assert "myseq" in repr(seq)
+    assert "3" in repr(seq)

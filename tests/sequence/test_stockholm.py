@@ -1,0 +1,103 @@
+"""Stockholm alignment I/O."""
+
+import pytest
+
+from repro.errors import FormatError
+from repro.sequence.stockholm import (
+    StockholmAlignment,
+    parse_stockholm_text,
+    read_stockholm,
+    write_stockholm,
+)
+
+SAMPLE = """# STOCKHOLM 1.0
+#=GF ID toyfam
+#=GF DE A toy family
+
+seq1 ACDE-F
+seq2 ACDEGF
+
+seq1 GHIK
+seq2 GH-K
+//
+"""
+
+
+class TestParse:
+    def test_interleaved_blocks_concatenate(self):
+        aln = parse_stockholm_text(SAMPLE)
+        assert aln.names == ["seq1", "seq2"]
+        assert aln.rows == ["ACDE-FGHIK", "ACDEGFGH-K"]
+        assert aln.width == 10
+
+    def test_gf_annotations(self):
+        aln = parse_stockholm_text(SAMPLE)
+        assert aln.annotations["ID"] == "toyfam"
+        assert aln.annotations["DE"] == "A toy family"
+
+    def test_missing_header(self):
+        with pytest.raises(FormatError):
+            parse_stockholm_text("seq1 ACDE\n//\n")
+
+    def test_missing_terminator(self):
+        with pytest.raises(FormatError):
+            parse_stockholm_text("# STOCKHOLM 1.0\nseq1 ACDE\n")
+
+    def test_no_sequences(self):
+        with pytest.raises(FormatError):
+            parse_stockholm_text("# STOCKHOLM 1.0\n//\n")
+
+    def test_malformed_sequence_line(self):
+        with pytest.raises(FormatError):
+            parse_stockholm_text("# STOCKHOLM 1.0\nseq1 AC DE\n//\n")
+
+    def test_unequal_rows_rejected(self):
+        text = "# STOCKHOLM 1.0\nseq1 ACDE\nseq2 ACD\n//\n"
+        with pytest.raises(FormatError):
+            parse_stockholm_text(text)
+
+    def test_other_annotations_skipped(self):
+        text = (
+            "# STOCKHOLM 1.0\n#=GC SS_cons xxxx\nseq1 ACDE\n//\n"
+        )
+        aln = parse_stockholm_text(text)
+        assert aln.rows == ["ACDE"]
+
+
+class TestContainer:
+    def test_validation(self):
+        with pytest.raises(FormatError):
+            StockholmAlignment(names=["a"], rows=[])
+        with pytest.raises(FormatError):
+            StockholmAlignment(names=["a", "a"], rows=["AC", "AC"])
+        with pytest.raises(FormatError):
+            StockholmAlignment(names=["a", "b"], rows=["AC", "A"])
+
+    def test_len(self):
+        assert len(parse_stockholm_text(SAMPLE)) == 2
+
+
+class TestRoundtrip:
+    def test_write_read(self, tmp_path):
+        aln = parse_stockholm_text(SAMPLE)
+        path = tmp_path / "fam.sto"
+        write_stockholm(path, aln, block_width=4)
+        back = read_stockholm(path)
+        assert back.names == aln.names
+        assert back.rows == aln.rows
+        assert back.annotations["ID"] == "toyfam"
+
+    def test_bad_block_width(self, tmp_path):
+        aln = parse_stockholm_text(SAMPLE)
+        with pytest.raises(FormatError):
+            write_stockholm(tmp_path / "x.sto", aln, block_width=0)
+
+
+def test_feeds_the_model_builder():
+    """A Stockholm seed alignment drives hmmbuild end to end."""
+    from repro.hmm import build_hmm_from_msa
+
+    aln = parse_stockholm_text(SAMPLE)
+    hmm = build_hmm_from_msa(aln.rows, name=aln.annotations.get("ID", "fam"))
+    assert hmm.name == "toyfam"
+    assert hmm.M >= 8

@@ -1,0 +1,110 @@
+"""Unit tests for the synthetic database generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SequenceError
+from repro.hmm import sample_hmm
+from repro.sequence import (
+    BACKGROUND_FREQUENCIES,
+    envnr_like,
+    homolog_database,
+    random_database,
+    random_sequence_codes,
+    swissprot_like,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+class TestBackground:
+    def test_frequencies_normalized(self):
+        assert BACKGROUND_FREQUENCIES.shape == (20,)
+        assert abs(BACKGROUND_FREQUENCIES.sum() - 1.0) < 1e-12
+
+    def test_random_codes_distribution(self, rng):
+        codes = random_sequence_codes(60000, rng)
+        freqs = np.bincount(codes, minlength=20) / codes.size
+        assert np.abs(freqs - BACKGROUND_FREQUENCIES).max() < 0.01
+
+    def test_random_codes_rejects_zero_length(self, rng):
+        with pytest.raises(SequenceError):
+            random_sequence_codes(0, rng)
+
+
+class TestRandomDatabase:
+    def test_counts_and_names(self, rng):
+        db = random_database(20, 100.0, rng, name="testdb")
+        assert len(db) == 20
+        assert db.name == "testdb"
+        assert len({s.name for s in db}) == 20
+
+    def test_mean_length_approximate(self, rng):
+        db = random_database(800, 200.0, rng)
+        assert 170 < db.mean_length < 230
+
+    def test_max_length_respected(self, rng):
+        db = random_database(200, 500.0, rng, max_length=600)
+        assert db.max_length <= 600
+
+    def test_rejects_zero_sequences(self, rng):
+        with pytest.raises(SequenceError):
+            random_database(0, 100.0, rng)
+
+
+class TestHomologDatabase:
+    def test_fraction_zero_needs_no_hmm(self, rng):
+        db = homolog_database(10, 100.0, rng)
+        assert all(s.description == "decoy" for s in db)
+
+    def test_fraction_requires_hmm(self, rng):
+        with pytest.raises(SequenceError):
+            homolog_database(10, 100.0, rng, homolog_fraction=0.5)
+
+    def test_bad_fraction(self, rng):
+        with pytest.raises(SequenceError):
+            homolog_database(10, 100.0, rng, homolog_fraction=1.5)
+
+    def test_homologs_are_tagged(self, rng):
+        hmm = sample_hmm(30, rng)
+        db = homolog_database(200, 100.0, rng, hmm=hmm, homolog_fraction=0.5)
+        tags = {s.description for s in db}
+        assert tags == {"homolog", "decoy"}
+        n_hom = sum(1 for s in db if s.description == "homolog")
+        assert 60 < n_hom < 140
+
+    def test_long_model_domains_truncated(self, rng):
+        """Planting a big-model homolog must not lengthen sequences."""
+        hmm = sample_hmm(500, rng)
+        db = homolog_database(
+            40, 80.0, rng, hmm=hmm, homolog_fraction=1.0, max_length=150
+        )
+        assert db.max_length <= 150
+
+
+class TestPaperSurrogates:
+    def test_swissprot_lengths(self, rng):
+        db = swissprot_like(500, rng)
+        assert 330 < db.mean_length < 420
+        assert db.name == "swissprot_like"
+
+    def test_envnr_lengths(self, rng):
+        db = envnr_like(500, rng)
+        assert 170 < db.mean_length < 230
+        assert db.name == "envnr_like"
+
+    def test_swissprot_more_homologous_than_envnr(self, rng):
+        """The knob behind the paper's Section V database effect."""
+        hmm = sample_hmm(40, rng)
+        sw = swissprot_like(2000, rng, hmm=hmm)
+        env = envnr_like(2000, rng, hmm=hmm)
+        n_sw = sum(1 for s in sw if s.description == "homolog")
+        n_env = sum(1 for s in env if s.description == "homolog")
+        assert n_sw > n_env
+
+    def test_no_hmm_means_no_homologs(self, rng):
+        db = swissprot_like(50, rng)
+        assert all(s.description == "decoy" for s in db)

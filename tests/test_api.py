@@ -1,0 +1,87 @@
+"""Public API surface: everything advertised in __all__ exists and the
+README quickstart works as written."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_version():
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(p.isdigit() for p in parts)
+
+
+def test_readme_quickstart():
+    rng = np.random.default_rng(0)
+    hmm = repro.sample_hmm(50, rng)
+    db = repro.swissprot_like(60, rng, hmm=hmm)
+    pipeline = repro.HmmsearchPipeline(
+        hmm, calibration_filter_sample=80, calibration_forward_sample=25
+    )
+    results = pipeline.search(db)
+    assert results.n_targets == 60
+    assert "msv" in results.summary()
+
+
+def test_readme_gpu_snippet():
+    rng = np.random.default_rng(1)
+    hmm = repro.sample_hmm(40, rng)
+    db = repro.envnr_like(50, rng, hmm=hmm)
+    pipeline = repro.HmmsearchPipeline(
+        hmm, calibration_filter_sample=80, calibration_forward_sample=25
+    )
+    cpu = pipeline.search(db)
+    gpu = pipeline.search(
+        db,
+        engine=repro.Engine.GPU_WARP,
+        device=repro.KEPLER_K40,
+        config=repro.MemoryConfig.SHARED,
+    )
+    assert gpu.hit_names() == cpu.hit_names()
+    assert gpu.counters["msv"].syncthreads == 0
+
+
+def test_error_hierarchy():
+    from repro.errors import (
+        AlphabetError,
+        CalibrationError,
+        FormatError,
+        KernelError,
+        LaunchError,
+        ModelError,
+        PipelineError,
+        ProfileError,
+        SequenceError,
+    )
+
+    for exc in (
+        AlphabetError,
+        SequenceError,
+        ModelError,
+        ProfileError,
+        FormatError,
+        KernelError,
+        LaunchError,
+        PipelineError,
+        CalibrationError,
+    ):
+        assert issubclass(exc, repro.ReproError)
+        assert issubclass(exc, Exception)
+
+
+def test_constants_are_consistent():
+    from repro import constants as c
+
+    assert c.MSV_SCALE == pytest.approx(3.0 / c.LOG2)
+    assert c.VF_SCALE == pytest.approx(500.0 / c.LOG2)
+    assert c.GUMBEL_LAMBDA == c.EXP_LAMBDA == c.LOG2
+    assert c.RESIDUE_BITS * c.RESIDUES_PER_WORD <= 32
+    assert c.PACK_TERMINATOR < (1 << c.RESIDUE_BITS)
+    assert c.DEFAULT_F1 > c.DEFAULT_F2 > c.DEFAULT_F3

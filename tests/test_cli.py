@@ -1,0 +1,187 @@
+"""End-to-end tests of the repro-hmmsearch CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.hmm import sample_hmm, save_hmm
+from repro.sequence import DigitalSequence, write_fasta, random_sequence_codes
+
+
+@pytest.fixture
+def model_file(tmp_path):
+    hmm = sample_hmm(40, np.random.default_rng(3), name="clitest")
+    path = tmp_path / "model.hmm"
+    save_hmm(path, hmm)
+    return path, hmm
+
+
+@pytest.fixture
+def fasta_file(tmp_path, model_file):
+    _, hmm = model_file
+    rng = np.random.default_rng(4)
+    seqs = [
+        DigitalSequence(f"t{i}", random_sequence_codes(int(L), rng))
+        for i, L in enumerate(rng.integers(40, 160, size=30))
+    ]
+    seqs.append(DigitalSequence("planted", hmm.sample_sequence(rng)))
+    path = tmp_path / "targets.fasta"
+    write_fasta(path, seqs)
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.model_size == 200
+        assert args.engine == "gpu"
+
+
+class TestSearch:
+    def test_search_finds_planted_hit(self, model_file, fasta_file, capsys):
+        path, _ = model_file
+        rc = main(["search", str(path), str(fasta_file), "--length", "120"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "planted" in out
+        assert "msv" in out
+
+    def test_search_gpu_engine(self, model_file, fasta_file, capsys):
+        path, _ = model_file
+        rc = main(
+            ["search", str(path), str(fasta_file), "--engine", "gpu",
+             "--length", "120"]
+        )
+        assert rc == 0
+        assert "planted" in capsys.readouterr().out
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        rc = main(
+            ["demo", "--model-size", "40", "--n-seqs", "60",
+             "--engine", "gpu", "--seed", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "counters[msv]" in out
+        assert "syncthreads=0" in out
+
+    def test_demo_cpu_engine(self, capsys):
+        rc = main(
+            ["demo", "--model-size", "30", "--n-seqs", "50",
+             "--engine", "cpu", "--database", "swissprot"]
+        )
+        assert rc == 0
+        assert "hits" in capsys.readouterr().out
+
+
+class TestOccupancy:
+    def test_msv_table(self, capsys):
+        rc = main(["occupancy", "--stage", "msv"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "shared" in out and "global" in out
+        assert "2405" in out
+
+    def test_viterbi_table_marks_infeasible(self, capsys):
+        rc = main(["occupancy", "--stage", "p7viterbi", "--device", "k40"])
+        assert rc == 0
+        assert "--" in capsys.readouterr().out
+
+    def test_fermi_device(self, capsys):
+        rc = main(["occupancy", "--device", "gtx580"])
+        assert rc == 0
+        assert "GTX 580" in capsys.readouterr().out
+
+
+class TestBuildAlignScan:
+    @pytest.fixture
+    def seed_sto(self, tmp_path):
+        from repro.sequence import StockholmAlignment, write_stockholm
+
+        rng = np.random.default_rng(5)
+        truth = sample_hmm(25, rng, name="clifam", conservation=40.0)
+        from repro.alphabet import AMINO
+
+        members = [truth.sample_sequence(rng) for _ in range(8)]
+        width = max(m.size for m in members)
+        rows = [
+            "".join(AMINO.symbols[c] for c in m) + "-" * (width - m.size)
+            for m in members
+        ]
+        path = tmp_path / "seed.sto"
+        write_stockholm(
+            path,
+            StockholmAlignment(
+                names=[f"m{i}" for i in range(len(rows))],
+                rows=rows,
+                annotations={"ID": "clifam"},
+            ),
+        )
+        return path, truth
+
+    def test_build_from_stockholm(self, seed_sto, tmp_path, capsys):
+        sto, _ = seed_sto
+        out = tmp_path / "built.hmm"
+        rc = main(["build", str(sto), str(out)])
+        assert rc == 0
+        assert out.exists()
+        assert "clifam" in capsys.readouterr().out
+        from repro.hmm import load_hmm
+
+        assert load_hmm(out).name == "clifam"
+
+    def test_align_members(self, seed_sto, tmp_path, capsys):
+        sto, truth = seed_sto
+        model_path = tmp_path / "m.hmm"
+        main(["build", str(sto), str(model_path)])
+        rng = np.random.default_rng(6)
+        members = [
+            DigitalSequence(f"x{i}", truth.sample_sequence(rng))
+            for i in range(4)
+        ]
+        fasta = tmp_path / "members.fasta"
+        write_fasta(fasta, members)
+        out = tmp_path / "aligned.sto"
+        rc = main(["align", str(model_path), str(fasta), str(out)])
+        assert rc == 0
+        from repro.sequence import read_stockholm
+
+        aln = read_stockholm(out)
+        assert len(aln) == 4
+
+    def test_scan_directory(self, seed_sto, tmp_path, capsys):
+        sto, truth = seed_sto
+        models = tmp_path / "models"
+        models.mkdir()
+        main(["build", str(sto), str(models / "fam.hmm")])
+        from repro.hmm import save_hmm as _save
+
+        _save(models / "other.hmm", sample_hmm(30, np.random.default_rng(9), name="other"))
+        rng = np.random.default_rng(7)
+        query = tmp_path / "query.fasta"
+        write_fasta(query, [DigitalSequence("probe", truth.sample_sequence(rng))])
+        rc = main(
+            ["scan", str(models), str(query), "--length", "60",
+             "--calibration-sample", "100"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "clifam" in out
+
+    def test_scan_empty_directory(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        fasta = tmp_path / "q.fasta"
+        write_fasta(fasta, [DigitalSequence("q", np.array([1, 2, 3], dtype=np.uint8))])
+        rc = main(["scan", str(empty), str(fasta)])
+        assert rc == 1

@@ -1,0 +1,52 @@
+"""Every example script runs to completion and prints what it promises.
+
+Examples are documentation that executes; these tests keep them honest.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "consensus" in out
+        assert "recovered" in out
+        assert "false positives: 0" in out
+
+    def test_gpu_acceleration_study(self):
+        out = run_example("gpu_acceleration_study.py")
+        assert "agree exactly" in out
+        assert "syncthreads=0" in out
+        assert "occupancy" in out
+
+    def test_pfam_family_scan(self):
+        out = run_example("pfam_family_scan.py")
+        assert "100%" in out  # full sensitivity on planted members
+
+    def test_multigpu_scaling(self):
+        out = run_example("multigpu_scaling.py")
+        assert "devices" in out
+        assert "residue shares" in out
+
+    def test_domain_annotation(self):
+        out = run_example("domain_annotation.py")
+        assert "domain calls" in out
+        assert "mean posterior" in out

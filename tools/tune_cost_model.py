@@ -1,0 +1,158 @@
+"""Reproducible tuner for the performance-model constants.
+
+The constants in :mod:`repro.perf.calibration` were fixed by hand against
+the paper's headline numbers; this script documents and automates that
+process so the calibration is auditable and repeatable.  It evaluates the
+current constants against the paper targets, prints the residuals, and
+can run a simple coordinate-descent refinement over a chosen subset of
+constants.
+
+Usage::
+
+    python tools/tune_cost_model.py            # evaluate current constants
+    python tools/tune_cost_model.py --refine   # coordinate-descent pass
+
+The refinement only ever *proposes* constants; applying them means
+editing ``repro/perf/calibration.py`` and re-running the benchmark suite,
+which asserts every curve shape - the tuner optimizes peak magnitudes,
+the benchmarks guard the shapes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+
+from repro.gpu.device import FERMI_GTX580
+from repro.hmm.sampler import PAPER_MODEL_SIZES
+from repro.kernels.memconfig import Stage
+from repro.perf.calibration import DEFAULT_COSTS, CostConstants
+from repro.perf.speedup import (
+    multi_gpu_speedup,
+    optimal_stage_speedup,
+    overall_speedup,
+)
+from repro.perf.workloads import experiment_workload
+
+#: (description, paper value, extractor) - the headline targets.
+TARGETS = [
+    ("MSV peak, Env-nr", 5.4, ("msv_peak", "envnr")),
+    ("MSV peak, Swissprot", 5.0, ("msv_peak", "swissprot")),
+    ("P7Viterbi peak", 2.9, ("vit_peak", "envnr")),
+    ("overall K40, Env-nr", 3.8, ("overall", "envnr")),
+    ("overall K40, Swissprot", 3.0, ("overall", "swissprot")),
+    ("4x GTX580, Env-nr", 7.8, ("multigpu", "envnr")),
+    ("4x GTX580, Swissprot", 5.6, ("multigpu", "swissprot")),
+]
+
+#: Constants the --refine pass may adjust, with multiplicative step.
+TUNABLE = [
+    "msv_strip_issue",
+    "msv_strip_latency_shared",
+    "vit_strip_issue",
+    "vit_strip_latency_shared",
+    "msv_issue_slots_fermi",
+    "vit_issue_slots_fermi",
+    "host_pipeline_overhead",
+]
+
+
+def build_workloads(sizes=PAPER_MODEL_SIZES):
+    return {
+        (M, db): experiment_workload(
+            M, db, calibration_filter_sample=150, calibration_forward_sample=40
+        )
+        for db in ("swissprot", "envnr")
+        for M in sizes
+    }
+
+
+def measure(costs: CostConstants, workloads) -> dict[tuple[str, str], float]:
+    out: dict[tuple[str, str], float] = {}
+    for db in ("swissprot", "envnr"):
+        msv = max(
+            optimal_stage_speedup(workloads[(M, db)], Stage.MSV, costs=costs).speedup
+            for M in PAPER_MODEL_SIZES
+        )
+        vit = max(
+            optimal_stage_speedup(
+                workloads[(M, db)], Stage.P7VITERBI, costs=costs
+            ).speedup
+            for M in PAPER_MODEL_SIZES
+        )
+        overall = max(
+            overall_speedup(workloads[(M, db)], costs=costs).speedup
+            for M in PAPER_MODEL_SIZES
+        )
+        multi = max(
+            multi_gpu_speedup(
+                workloads[(M, db)], device=FERMI_GTX580, device_count=4,
+                costs=costs,
+            ).speedup
+            for M in PAPER_MODEL_SIZES
+        )
+        out[("msv_peak", db)] = msv
+        out[("vit_peak", db)] = vit
+        out[("overall", db)] = overall
+        out[("multigpu", db)] = multi
+    return out
+
+
+def loss(measured) -> float:
+    return sum(
+        ((measured[key] - paper) / paper) ** 2 for _, paper, key in TARGETS
+    )
+
+
+def report(costs: CostConstants, workloads) -> float:
+    measured = measure(costs, workloads)
+    print(f"{'target':26s} {'paper':>6s} {'model':>7s} {'error':>7s}")
+    for label, paper, key in TARGETS:
+        m = measured[key]
+        print(f"{label:26s} {paper:6.1f} {m:7.2f} {100 * (m - paper) / paper:+6.1f}%")
+    total = loss(measured)
+    print(f"\nsquared relative error: {total:.4f}")
+    return total
+
+
+def refine(workloads, rounds: int = 2, step: float = 0.08) -> CostConstants:
+    costs = DEFAULT_COSTS
+    best = loss(measure(costs, workloads))
+    for _ in range(rounds):
+        for name in TUNABLE:
+            for factor in (1.0 - step, 1.0 + step):
+                candidate = dataclasses.replace(
+                    costs, **{name: getattr(costs, name) * factor}
+                )
+                value = loss(measure(candidate, workloads))
+                if value < best:
+                    best, costs = value, candidate
+                    print(f"  accept {name} x{factor:.2f} -> loss {best:.4f}")
+    return costs
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--refine", action="store_true")
+    parser.add_argument("--rounds", type=int, default=2)
+    args = parser.parse_args()
+
+    print("building workloads (scores the surrogate databases once)...")
+    workloads = build_workloads()
+    print("\n== current constants ==")
+    report(DEFAULT_COSTS, workloads)
+    if args.refine:
+        print("\n== coordinate descent ==")
+        tuned = refine(workloads, rounds=args.rounds)
+        print("\n== tuned constants ==")
+        report(tuned, workloads)
+        print("\nproposed changes:")
+        for name in TUNABLE:
+            before = getattr(DEFAULT_COSTS, name)
+            after = getattr(tuned, name)
+            if before != after:
+                print(f"  {name}: {before} -> {after:.4g}")
+
+
+if __name__ == "__main__":
+    main()
