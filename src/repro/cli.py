@@ -19,6 +19,11 @@ Generate a demo model + database and search them on the simulated GPU::
 
     repro-hmmsearch demo --model-size 200 --n-seqs 500 --engine gpu
 
+Run a whole manifest of jobs through the batch search service on a
+mixed simulated device pool and print the service metrics report::
+
+    repro-hmmsearch batch jobs.json --devices k40=2,gtx580=2
+
 Print the occupancy table behind Figure 9::
 
     repro-hmmsearch occupancy --stage msv
@@ -142,6 +147,52 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_pool(spec: str):
+    """Parse ``k40=2,gtx580=2`` into a DevicePool."""
+    from .service import DevicePool
+
+    specs = []
+    for part in spec.split(","):
+        name, _, count = part.partition("=")
+        device = {"k40": KEPLER_K40, "gtx580": FERMI_GTX580}.get(
+            name.strip().lower()
+        )
+        if device is None:
+            raise SystemExit(
+                f"unknown device {name!r} in --devices (use k40/gtx580)"
+            )
+        specs.extend([device] * int(count or 1))
+    pool = DevicePool(specs, name=spec)
+    return pool
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .service import BatchSearchService, submit_manifest
+
+    service = BatchSearchService(
+        pool=_parse_pool(args.devices),
+        cache_size=args.cache_size,
+    )
+    jobs = submit_manifest(
+        service,
+        args.manifest,
+        default_length=args.length,
+        calibration_filter_sample=args.calibration_sample,
+        calibration_forward_sample=max(25, args.calibration_sample // 4),
+    )
+    print(f"submitted {len(jobs)} jobs from {args.manifest}")
+    service.run()
+    print()
+    print(service.metrics.render())
+    failed = service.metrics.jobs_failed
+    if args.show_hits:
+        print()
+        for job in jobs:
+            if job.results is not None and job.results.hits:
+                print(job.results.summary())
+    return 1 if failed else 0
+
+
 def _cmd_occupancy(args: argparse.Namespace) -> int:
     stage = Stage.MSV if args.stage == "msv" else Stage.P7VITERBI
     device = KEPLER_K40 if args.device == "k40" else FERMI_GTX580
@@ -198,6 +249,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--length", type=int, default=350)
     p.add_argument("--calibration-sample", type=int, default=150)
     p.set_defaults(func=_cmd_scan)
+
+    p = sub.add_parser(
+        "batch",
+        help="run a manifest of search jobs through the batch service",
+    )
+    p.add_argument("manifest", help="JSON manifest of model/database jobs")
+    p.add_argument(
+        "--devices", default="k40=2,gtx580=2",
+        help="device pool, e.g. 'k40=2,gtx580=2' (default: mixed 2+2)",
+    )
+    p.add_argument("--cache-size", type=int, default=8,
+                   help="pipeline cache entries (default 8)")
+    p.add_argument("--length", type=int, default=400, help="length-model L")
+    p.add_argument("--calibration-sample", type=int, default=400)
+    p.add_argument("--show-hits", action="store_true",
+                   help="print per-job hit summaries after the report")
+    p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser("occupancy", help="print the Figure 9 occupancy table")
     p.add_argument("--stage", choices=("msv", "p7viterbi"), default="msv")

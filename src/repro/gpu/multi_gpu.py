@@ -8,12 +8,23 @@ runs a kernel per (simulated) device on its chunk, merges the scores
 back into database order, and keeps per-device event counters - so the
 equivalence "multi-GPU == single-GPU == CPU reference" is testable, and
 the per-device work split is observable.
+
+Two serving-oriented capabilities layer on top of the basic split:
+
+* **Heterogeneous pools** - pass ``devices=[spec, spec, ...]`` to run
+  each chunk on its own :class:`~repro.gpu.device.DeviceSpec` (e.g. a
+  mixed Kepler + Fermi pool); scores are engine-invariant, only the
+  event counters differ per architecture.
+* **Graceful degradation** - when the pool is larger than the database,
+  only ``len(database)`` devices receive work and the rest are recorded
+  as idle (:attr:`MultiGpuRun.idle_devices`) instead of failing the
+  launch; a fixed service pool must survive tiny databases.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -33,13 +44,16 @@ class MultiGpuRun:
     scores: FilterScores
     device_counters: list[KernelCounters] = field(default_factory=list)
     chunk_residues: list[int] = field(default_factory=list)
+    chunk_sequences: list[int] = field(default_factory=list)
+    idle_devices: int = 0
 
     @property
     def device_count(self) -> int:
+        """Devices that actually received work."""
         return len(self.device_counters)
 
     def residue_balance(self) -> float:
-        """max/mean residue share across devices (1.0 = perfect)."""
+        """max/mean residue share across active devices (1.0 = perfect)."""
         shares = np.asarray(self.chunk_residues, dtype=float)
         return float(shares.max() / shares.mean())
 
@@ -50,6 +64,8 @@ def run_multi_gpu(
     database: SequenceDatabase,
     device: DeviceSpec = FERMI_GTX580,
     device_count: int = 4,
+    devices: Sequence[DeviceSpec] | None = None,
+    sort_chunks: bool = False,
     **kernel_kwargs,
 ) -> MultiGpuRun:
     """Score a database across several simulated devices.
@@ -61,34 +77,62 @@ def run_multi_gpu(
         :func:`~repro.kernels.viterbi_warp_kernel`); it receives each
         device's chunk plus ``device=`` and a fresh ``counters=``.
     device_count:
-        How many identical devices share the database.
+        How many identical ``device`` instances share the database.
+    devices:
+        Explicit per-device specs (a possibly heterogeneous pool);
+        overrides ``device``/``device_count``.
+    sort_chunks:
+        Length-sort each chunk (descending) before scoring - the warp
+        load-balance heuristic - and scatter the scores back to chunk
+        order, so merged results stay in database order.
+
+    When the pool is larger than the database, only ``len(database)``
+    devices receive chunks; the surplus is reported via
+    :attr:`MultiGpuRun.idle_devices` rather than raised as an error.
     """
-    if device_count < 1:
-        raise LaunchError("device_count must be positive")
-    if device_count > len(database):
-        raise LaunchError(
-            f"cannot spread {len(database)} sequences over "
-            f"{device_count} devices"
-        )
-    chunks = database.chunk_by_residues(device_count)
+    if devices is None:
+        if device_count < 1:
+            raise LaunchError("device_count must be positive")
+        devices = [device] * device_count
+    elif len(devices) < 1:
+        raise LaunchError("device pool must contain at least one device")
+    n_active = min(len(devices), len(database))
+    idle = len(devices) - n_active
+    chunks = database.chunk_by_residues(n_active)
     scores = np.empty(len(database), dtype=np.float64)
     overflowed = np.empty(len(database), dtype=bool)
     counters: list[KernelCounters] = []
     offset = 0
     residues = []
-    for chunk in chunks:
+    sequences = []
+    for chunk, spec in zip(chunks, devices):
         c = KernelCounters()
-        part = kernel(
-            profile, chunk, device=device, counters=c, **kernel_kwargs
-        )
         n = len(chunk)
-        scores[offset : offset + n] = part.scores
-        overflowed[offset : offset + n] = part.overflowed
+        if sort_chunks:
+            order = np.argsort(np.asarray(chunk.lengths), kind="stable")[::-1]
+            part = kernel(
+                profile,
+                chunk.subset(order.tolist()),
+                device=spec,
+                counters=c,
+                **kernel_kwargs,
+            )
+            scores[offset : offset + n][order] = part.scores
+            overflowed[offset : offset + n][order] = part.overflowed
+        else:
+            part = kernel(
+                profile, chunk, device=spec, counters=c, **kernel_kwargs
+            )
+            scores[offset : offset + n] = part.scores
+            overflowed[offset : offset + n] = part.overflowed
         offset += n
         counters.append(c)
         residues.append(chunk.total_residues)
+        sequences.append(n)
     return MultiGpuRun(
         scores=FilterScores(scores=scores, overflowed=overflowed),
         device_counters=counters,
         chunk_residues=residues,
+        chunk_sequences=sequences,
+        idle_devices=idle,
     )

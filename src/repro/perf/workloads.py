@@ -22,7 +22,13 @@ from ..sequence.database import SequenceDatabase
 from ..sequence.synthetic import envnr_like, swissprot_like
 from .cost_model import StageWork
 
-__all__ = ["ExperimentWorkload", "experiment_workload", "paper_hmm", "paper_database"]
+__all__ = [
+    "BoundedCache",
+    "ExperimentWorkload",
+    "experiment_workload",
+    "paper_hmm",
+    "paper_database",
+]
 
 #: Default scaled-down database sizes (sequences).
 SWISSPROT_N = 300
@@ -38,9 +44,40 @@ PAPER_RESIDUES = {
 
 _HMM_SEED = 1234
 _DB_SEED = 5678
-_cache: dict[tuple, "ExperimentWorkload"] = {}
-_hmm_cache: dict[int, Plan7HMM] = {}
-_db_cache: dict[tuple, SequenceDatabase] = {}
+
+
+class BoundedCache(dict):
+    """A dict capped at ``max_entries`` with least-recently-*inserted*
+    eviction.
+
+    Long service or benchmark runs sweep many (model size, database)
+    pairs; an unbounded memo grows without limit, and each entry here can
+    hold a whole surrogate database.  Eviction order is insertion order,
+    which matches the sweep access pattern (figures iterate each pair
+    once, then possibly revisit the most recent ones).
+    """
+
+    def __init__(self, max_entries: int):
+        super().__init__()
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.evictions = 0
+
+    def __setitem__(self, key, value):
+        if key not in self and len(self) >= self.max_entries:
+            oldest = next(iter(self))
+            del self[oldest]
+            self.evictions += 1
+        super().__setitem__(key, value)
+
+
+#: The paper sweeps 8 model sizes x 2 databases = 16 experiment points;
+#: the bounds leave headroom for custom sweeps without letting a long
+#: service run hold every database it ever built.
+_cache: BoundedCache = BoundedCache(max_entries=32)
+_hmm_cache: BoundedCache = BoundedCache(max_entries=32)
+_db_cache: BoundedCache = BoundedCache(max_entries=32)
 
 
 @dataclass(frozen=True)

@@ -114,17 +114,27 @@ class HmmsearchPipeline:
 
     # -- stage engines ------------------------------------------------------
 
-    def _score_msv(self, db, engine, device, config, counters):
+    def _score_msv(self, db, engine, device, config, counters, executor=None):
         if engine is Engine.GPU_WARP:
             c = counters.setdefault("msv", KernelCounters())
+            if executor is not None:
+                return executor.score_stage(
+                    "msv", msv_warp_kernel, self.byte_profile, db,
+                    config=config, counters=c,
+                )
             return msv_warp_kernel(
                 self.byte_profile, db, config=config, device=device, counters=c
             )
         return msv_score_batch(self.byte_profile, db)
 
-    def _score_vit(self, db, engine, device, config, counters):
+    def _score_vit(self, db, engine, device, config, counters, executor=None):
         if engine is Engine.GPU_WARP:
             c = counters.setdefault("p7viterbi", KernelCounters())
+            if executor is not None:
+                return executor.score_stage(
+                    "p7viterbi", viterbi_warp_kernel, self.word_profile, db,
+                    config=config, counters=c,
+                )
             return viterbi_warp_kernel(
                 self.word_profile, db, config=config, device=device, counters=c
             )
@@ -139,12 +149,20 @@ class HmmsearchPipeline:
         device: DeviceSpec = KEPLER_K40,
         config: MemoryConfig = MemoryConfig.SHARED,
         alignments: bool = False,
+        executor: object | None = None,
     ) -> SearchResults:
         """Run the three-stage pipeline over a database.
 
         With ``alignments=True`` every reported hit additionally carries
         its optimal Viterbi alignment (domains, coordinates, rendering) -
         the post-pipeline step real hmmsearch output includes.
+
+        ``executor`` replaces the single-device GPU dispatch: any object
+        with ``score_stage(name, kernel, profile, database, *, config,
+        counters) -> FilterScores`` (the batch search service passes a
+        device-pool executor here to spread each stage across several
+        simulated devices).  Scores - and therefore hits - are identical
+        either way; only the per-device accounting differs.
         """
         n = len(database)
         M = self.profile.M
@@ -153,7 +171,9 @@ class HmmsearchPipeline:
         counters: dict[str, KernelCounters] = {}
 
         # ---- stage 1: MSV filter over everything ----
-        msv_scores = self._score_msv(database, engine, device, config, counters)
+        msv_scores = self._score_msv(
+            database, engine, device, config, counters, executor
+        )
         msv_bits = np.asarray(bits_from_nats(msv_scores.scores, null_len))
         msv_p = self.calibration.msv.pvalue(msv_bits)
         pass1 = np.flatnonzero(msv_p < th.f1)
@@ -173,7 +193,9 @@ class HmmsearchPipeline:
         if pass1.size:
             sub = database.subset(pass1.tolist())
             rows2 = sub.total_residues
-            vit_scores = self._score_vit(sub, engine, device, config, counters)
+            vit_scores = self._score_vit(
+                sub, engine, device, config, counters, executor
+            )
             vb = np.asarray(bits_from_nats(vit_scores.scores, null_len))
             vit_bits[pass1] = vb
             vp = self.calibration.vit.pvalue(vb)

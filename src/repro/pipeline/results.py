@@ -1,7 +1,15 @@
-"""Result containers for the hmmsearch pipeline."""
+"""Result containers for the hmmsearch pipeline.
+
+Besides the in-memory dataclasses, every container serializes to
+JSON-safe dictionaries (``to_dict``/``from_dict``): plain ints, floats,
+strings and lists only, with NaN score slots encoded as ``None`` so the
+output survives strict JSON encoders.  This is the wire format of the
+batch search service's job responses.
+"""
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -10,6 +18,33 @@ from ..errors import PipelineError
 from ..gpu.counters import KernelCounters
 
 __all__ = ["StageStats", "SearchHit", "SearchResults"]
+
+
+def _float_or_none(value: float) -> float | str | None:
+    """NaN (stage never reached) -> None; +/-inf (quantized overflow,
+    which unconditionally passes a filter) -> "Infinity"/"-Infinity"."""
+    v = float(value)
+    if math.isnan(v):
+        return None
+    if math.isinf(v):
+        return "Infinity" if v > 0 else "-Infinity"
+    return v
+
+
+def _float_back(value: float | str | None) -> float:
+    if value is None:
+        return float("nan")
+    if isinstance(value, str):
+        return float(value.replace("Infinity", "inf"))
+    return float(value)
+
+
+def _bits_to_list(bits: np.ndarray) -> list:
+    return [_float_or_none(v) for v in np.asarray(bits, dtype=float)]
+
+
+def _bits_from_list(values: list) -> np.ndarray:
+    return np.array([_float_back(v) for v in values], dtype=np.float64)
 
 
 @dataclass(frozen=True)
@@ -25,6 +60,25 @@ class StageStats:
     @property
     def survivor_fraction(self) -> float:
         return self.n_out / self.n_in if self.n_in else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "n_in": int(self.n_in),
+            "n_out": int(self.n_out),
+            "rows": int(self.rows),
+            "cells": int(self.cells),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StageStats":
+        return cls(
+            name=data["name"],
+            n_in=int(data["n_in"]),
+            n_out=int(data["n_out"]),
+            rows=int(data["rows"]),
+            cells=int(data["cells"]),
+        )
 
 
 @dataclass(frozen=True)
@@ -47,6 +101,40 @@ class SearchHit:
     fwd_p: float
     evalue: float
     alignment: object | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (the alignment object, when present,
+        is reduced to its rendered text)."""
+        return {
+            "name": self.name,
+            "index": int(self.index),
+            "length": int(self.length),
+            "msv_bits": _float_or_none(self.msv_bits),
+            "msv_p": _float_or_none(self.msv_p),
+            "vit_bits": _float_or_none(self.vit_bits),
+            "vit_p": _float_or_none(self.vit_p),
+            "fwd_bits": _float_or_none(self.fwd_bits),
+            "fwd_p": _float_or_none(self.fwd_p),
+            "evalue": _float_or_none(self.evalue),
+            "alignment": str(self.alignment) if self.alignment else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SearchHit":
+        num = lambda key: _float_back(data[key])  # noqa: E731
+        return cls(
+            name=data["name"],
+            index=int(data["index"]),
+            length=int(data["length"]),
+            msv_bits=num("msv_bits"),
+            msv_p=num("msv_p"),
+            vit_bits=num("vit_bits"),
+            vit_p=num("vit_p"),
+            fwd_bits=num("fwd_bits"),
+            fwd_p=num("fwd_p"),
+            evalue=num("evalue"),
+            alignment=data.get("alignment"),
+        )
 
 
 @dataclass
@@ -93,3 +181,50 @@ class SearchResults:
         if len(self.hits) > 10:
             lines.append(f"  ... and {len(self.hits) - 10} more hits")
         return "\n".join(lines)
+
+    def to_dict(self, include_scores: bool = True) -> dict:
+        """JSON-safe representation of the whole result set.
+
+        ``include_scores=False`` drops the three full-database bit-score
+        arrays, which dominate the payload for large databases and are
+        rarely needed by service clients.
+        """
+        data = {
+            "query_name": self.query_name,
+            "n_targets": int(self.n_targets),
+            "hits": [h.to_dict() for h in self.hits],
+            "stages": [st.to_dict() for st in self.stages],
+            "counters": {
+                name: c.as_dict() for name, c in self.counters.items()
+            },
+        }
+        if include_scores:
+            data["msv_bits"] = _bits_to_list(self.msv_bits)
+            data["vit_bits"] = _bits_to_list(self.vit_bits)
+            data["fwd_bits"] = _bits_to_list(self.fwd_bits)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SearchResults":
+        n = int(data["n_targets"])
+        empty = np.full(n, np.nan)
+
+        def bits(key: str) -> np.ndarray:
+            return _bits_from_list(data[key]) if key in data else empty.copy()
+
+        counters = {}
+        for name, values in data.get("counters", {}).items():
+            c = KernelCounters()
+            for k, v in values.items():
+                setattr(c, k, int(v))
+            counters[name] = c
+        return cls(
+            query_name=data["query_name"],
+            n_targets=n,
+            hits=[SearchHit.from_dict(h) for h in data["hits"]],
+            stages=[StageStats.from_dict(st) for st in data["stages"]],
+            msv_bits=bits("msv_bits"),
+            vit_bits=bits("vit_bits"),
+            fwd_bits=bits("fwd_bits"),
+            counters=counters,
+        )

@@ -1,0 +1,136 @@
+"""Batch search service: queue, scheduler, pipeline cache, metrics.
+
+This subsystem turns the one-shot
+:class:`~repro.pipeline.pipeline.HmmsearchPipeline` into a serving
+layer, the regime where the paper's throughput numbers actually arise:
+many concurrent queries saturating a pool of devices, calibration
+amortized across repeats, every stage observable.
+
+* :mod:`~repro.service.job` - :class:`SearchJob` / :class:`JobQueue`:
+  priority queue with deterministic job ids.
+* :mod:`~repro.service.devices` - :class:`DevicePool`: a configurable
+  (possibly heterogeneous Kepler+Fermi) set of simulated devices with
+  per-slot dispatch accounting and fault injection.
+* :mod:`~repro.service.cache` - :class:`PipelineCache`: bounded LRU of
+  calibrated pipelines keyed by model content, so repeat queries skip
+  quantization + calibration.
+* :mod:`~repro.service.scheduler` - :class:`Scheduler` /
+  :class:`PoolExecutor`: residue-balanced dispatch of each stage across
+  the pool, with retry-on-``LaunchError`` degrading to the CPU engine.
+* :mod:`~repro.service.metrics` - :class:`MetricsRegistry`: per-job and
+  aggregate observability; ``service.metrics.render()`` is the report.
+
+Quickstart::
+
+    import numpy as np
+    from repro import sample_hmm, swissprot_like
+    from repro.service import BatchSearchService
+
+    rng = np.random.default_rng(0)
+    hmm = sample_hmm(120, rng)
+    db = swissprot_like(300, rng, hmm=hmm)
+
+    service = BatchSearchService()
+    service.submit(hmm, db)             # GPU pool job
+    service.submit(hmm, db)             # repeat: pipeline-cache hit
+    jobs = service.run()
+    print(service.metrics.render())
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from ..hmm.plan7 import Plan7HMM
+from ..kernels.memconfig import MemoryConfig
+from ..pipeline.pipeline import Engine, PipelineThresholds
+from ..sequence.database import SequenceDatabase
+from .cache import PipelineCache, PipelineSettings, hmm_fingerprint
+from .devices import DevicePool, DeviceSlot
+from .job import JobQueue, JobState, SearchJob
+from .manifest import load_manifest, submit_manifest
+from .metrics import JobRecord, MetricsRegistry
+from .scheduler import PoolExecutor, Scheduler
+
+__all__ = [
+    "BatchSearchService",
+    "JobQueue",
+    "JobState",
+    "SearchJob",
+    "DevicePool",
+    "DeviceSlot",
+    "PipelineCache",
+    "PipelineSettings",
+    "hmm_fingerprint",
+    "PoolExecutor",
+    "Scheduler",
+    "JobRecord",
+    "MetricsRegistry",
+    "load_manifest",
+    "submit_manifest",
+]
+
+
+class BatchSearchService:
+    """Facade tying queue, pool, cache, scheduler and metrics together.
+
+    Synchronous core: ``submit`` enqueues, ``run`` drains.  All the
+    moving parts are injectable, so tests (and future async workers)
+    can swap pools, clocks or caches without touching job semantics.
+    """
+
+    def __init__(
+        self,
+        pool: DevicePool | None = None,
+        cache: PipelineCache | None = None,
+        cache_size: int = 8,
+        config: MemoryConfig = MemoryConfig.SHARED,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.queue = JobQueue()
+        # explicit None checks: an empty PipelineCache is falsy (__len__)
+        self.pool = pool if pool is not None else DevicePool.heterogeneous()
+        self.cache = (
+            cache if cache is not None else PipelineCache(max_entries=cache_size)
+        )
+        self.metrics = MetricsRegistry()
+        self.scheduler = Scheduler(
+            pool=self.pool,
+            cache=self.cache,
+            metrics=self.metrics,
+            config=config,
+            clock=clock,
+        )
+        self._clock = clock
+
+    def submit(
+        self,
+        hmm: Plan7HMM,
+        database: SequenceDatabase,
+        engine: Engine = Engine.GPU_WARP,
+        priority: int = 0,
+        thresholds: PipelineThresholds | None = None,
+        settings: PipelineSettings | None = None,
+    ) -> SearchJob:
+        """Enqueue one search request; returns the pending job."""
+        return self.queue.submit(
+            hmm,
+            database,
+            engine=engine,
+            priority=priority,
+            thresholds=thresholds,
+            settings=settings,
+            clock=self._clock(),
+        )
+
+    def run(self) -> list[SearchJob]:
+        """Drain the queue; returns the jobs in execution order."""
+        return self.scheduler.run(self.queue)
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchSearchService(pool={self.pool.name!r}, "
+            f"pending={len(self.queue)}, "
+            f"recorded={len(self.metrics.records)})"
+        )

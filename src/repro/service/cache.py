@@ -1,0 +1,146 @@
+"""Memoization of prepared search pipelines, keyed by model identity.
+
+Constructing an :class:`~repro.pipeline.pipeline.HmmsearchPipeline` is
+the expensive part of serving a query: it quantizes the MSV/Viterbi
+profiles and - dominating everything - calibrates the stage null
+distributions by scoring hundreds of background sequences.  Repeat
+queries against the same model (the common case for a search service:
+popular Pfam families get hit constantly) should pay that cost once.
+
+The cache key is the **content** of the model plus the pipeline
+settings, not object identity: two `Plan7HMM` instances loaded from the
+same file hit the same entry.  Eviction is LRU with a configurable
+bound, and hit/miss/eviction counters feed the service metrics report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PipelineError
+from ..hmm.plan7 import Plan7HMM
+from ..pipeline.pipeline import HmmsearchPipeline, PipelineThresholds
+
+__all__ = ["hmm_fingerprint", "PipelineSettings", "PipelineCache"]
+
+
+def hmm_fingerprint(hmm: Plan7HMM) -> str:
+    """Stable content hash of a model (name, size and all tables).
+
+    Probabilities are quantized to 1e-6 before hashing so a model
+    survives a save/load round trip through the flat text format (which
+    stores ~10 significant digits) with its fingerprint intact.
+    """
+    h = hashlib.sha256()
+    h.update(hmm.name.encode())
+    h.update(str(hmm.M).encode())
+    for table in (hmm.match_emissions, hmm.insert_emissions, hmm.transitions):
+        h.update(np.round(table * 1e6).astype(np.int64).tobytes())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class PipelineSettings:
+    """Hashable pipeline-construction parameters (part of the cache key)."""
+
+    L: int = 400
+    multihit: bool = True
+    seed: int = 42
+    calibration_filter_sample: int = 400
+    calibration_forward_sample: int = 120
+
+    def build(
+        self, hmm: Plan7HMM, thresholds: PipelineThresholds | None = None
+    ) -> HmmsearchPipeline:
+        return HmmsearchPipeline(
+            hmm,
+            L=self.L,
+            multihit=self.multihit,
+            thresholds=thresholds,
+            seed=self.seed,
+            calibration_filter_sample=self.calibration_filter_sample,
+            calibration_forward_sample=self.calibration_forward_sample,
+        )
+
+
+class PipelineCache:
+    """Bounded LRU of calibrated pipelines with hit/miss accounting.
+
+    The key is (model content, pipeline settings, thresholds): anything
+    that changes quantization, calibration or stage filtering gets its
+    own entry, so a cached pipeline is always safe to reuse verbatim.
+    """
+
+    def __init__(self, max_entries: int = 8) -> None:
+        if max_entries < 1:
+            raise PipelineError("cache must hold at least one pipeline")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[tuple, HmmsearchPipeline] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def _key(
+        hmm: Plan7HMM,
+        settings: PipelineSettings,
+        thresholds: PipelineThresholds | None,
+    ) -> tuple:
+        th = (
+            None
+            if thresholds is None
+            else (thresholds.f1, thresholds.f2, thresholds.f3,
+                  thresholds.report_evalue)
+        )
+        return (hmm_fingerprint(hmm), settings, th)
+
+    def get(
+        self,
+        hmm: Plan7HMM,
+        settings: PipelineSettings | None = None,
+        thresholds: PipelineThresholds | None = None,
+    ) -> HmmsearchPipeline:
+        """The calibrated pipeline for this model, building it on miss."""
+        settings = settings or PipelineSettings()
+        key = self._key(hmm, settings, thresholds)
+        pipeline = self._entries.get(key)
+        if pipeline is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return pipeline
+        self.misses += 1
+        pipeline = settings.build(hmm, thresholds)
+        self._entries[key] = pipeline
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return pipeline
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, hmm: Plan7HMM) -> bool:
+        fp = hmm_fingerprint(hmm)
+        return any(key[0] == fp for key in self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    def clear(self) -> None:
+        self._entries.clear()

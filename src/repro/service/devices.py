@@ -1,0 +1,122 @@
+"""The simulated device pool the scheduler dispatches onto.
+
+A :class:`DevicePool` is an ordered set of :class:`DeviceSlot`, each
+wrapping one :class:`~repro.gpu.device.DeviceSpec` plus cumulative
+dispatch accounting (stage launches, sequences, residues, merged kernel
+counters).  Pools may be heterogeneous - the paper's two platforms, a
+Kepler K40 and Fermi GTX 580s, can serve side by side exactly as the
+multi-GPU experiment and :mod:`repro.perf.heterogeneous` anticipate.
+
+Slots also carry a **fault-injection hook**: tests (and chaos drills)
+arm a slot with ``inject_fault()`` so its next checkout raises
+:class:`~repro.errors.LaunchError`, exercising the scheduler's
+retry-with-CPU-fallback path without touching kernel code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import LaunchError
+from ..gpu.counters import KernelCounters
+from ..gpu.device import DeviceSpec, FERMI_GTX580, KEPLER_K40
+
+__all__ = ["DeviceSlot", "DevicePool"]
+
+
+@dataclass
+class DeviceSlot:
+    """One pool member: a device spec plus lifetime dispatch accounting."""
+
+    spec: DeviceSpec
+    index: int
+    dispatches: int = 0          # stage launches routed to this device
+    sequences: int = 0           # sequences scored across all launches
+    residues: int = 0            # residues (DP rows) assigned
+    counters: KernelCounters = field(default_factory=KernelCounters)
+    _pending_faults: int = 0
+
+    def inject_fault(self, count: int = 1) -> None:
+        """Arm this slot to fail its next ``count`` checkouts."""
+        if count < 1:
+            raise LaunchError("fault count must be positive")
+        self._pending_faults += count
+
+    def checkout(self) -> DeviceSpec:
+        """Claim the device for a launch; raises an armed injected fault."""
+        if self._pending_faults > 0:
+            self._pending_faults -= 1
+            raise LaunchError(
+                f"injected fault on device {self.index} ({self.spec.name})"
+            )
+        return self.spec
+
+    def record(self, sequences: int, residues: int, counters: KernelCounters) -> None:
+        self.dispatches += 1
+        self.sequences += sequences
+        self.residues += residues
+        self.counters.merge(counters)
+
+    def __repr__(self) -> str:
+        return (
+            f"DeviceSlot({self.index}: {self.spec.name}, "
+            f"dispatches={self.dispatches}, residues={self.residues})"
+        )
+
+
+class DevicePool:
+    """Ordered collection of device slots shared by all jobs."""
+
+    def __init__(self, specs: list[DeviceSpec], name: str = "pool") -> None:
+        if not specs:
+            raise LaunchError("a device pool cannot be empty")
+        self.name = name
+        self.slots = [DeviceSlot(spec=s, index=i) for i, s in enumerate(specs)]
+
+    @classmethod
+    def homogeneous(
+        cls, spec: DeviceSpec = KEPLER_K40, count: int = 4
+    ) -> "DevicePool":
+        """``count`` identical devices (the paper's 4x GTX 580 setup
+        with ``spec=FERMI_GTX580``)."""
+        if count < 1:
+            raise LaunchError("pool size must be positive")
+        return cls([spec] * count, name=f"{count}x {spec.name}")
+
+    @classmethod
+    def heterogeneous(cls, kepler: int = 2, fermi: int = 2) -> "DevicePool":
+        """A mixed Kepler + Fermi pool (see :mod:`repro.perf.heterogeneous`)."""
+        if kepler < 0 or fermi < 0 or kepler + fermi < 1:
+            raise LaunchError("pool must contain at least one device")
+        specs = [KEPLER_K40] * kepler + [FERMI_GTX580] * fermi
+        return cls(specs, name=f"{kepler}x K40 + {fermi}x GTX 580")
+
+    @property
+    def size(self) -> int:
+        return len(self.slots)
+
+    @property
+    def specs(self) -> list[DeviceSpec]:
+        return [slot.spec for slot in self.slots]
+
+    def active_slots(self, n_sequences: int) -> list[DeviceSlot]:
+        """The slots a database of ``n_sequences`` can actually occupy."""
+        return self.slots[: max(1, min(self.size, n_sequences))]
+
+    def dispatch_table(self) -> list[dict[str, object]]:
+        """Per-device accounting rows for the metrics report."""
+        return [
+            {
+                "device": f"dev{slot.index}",
+                "spec": slot.spec.name,
+                "dispatches": slot.dispatches,
+                "sequences": slot.sequences,
+                "residues": slot.residues,
+                "shuffles": slot.counters.shuffles,
+                "syncthreads": slot.counters.syncthreads,
+            }
+            for slot in self.slots
+        ]
+
+    def __repr__(self) -> str:
+        return f"DevicePool({self.name!r}, size={self.size})"

@@ -1,0 +1,180 @@
+"""Search jobs and the priority queue that feeds the scheduler.
+
+A :class:`SearchJob` is one (query HMM, target database) request with an
+engine choice, stage thresholds and pipeline settings.  Jobs are minted
+by :class:`JobQueue.submit` with **deterministic ids**: a monotonically
+increasing submission number combined with a content fingerprint of the
+query/database/engine, so re-running the same manifest yields the same
+ids (and logs/metrics are diffable across runs).
+
+The queue orders by ``(-priority, submission order)``: higher priority
+first, FIFO among equals.  It is a synchronous core - ``pop`` never
+blocks - which the scheduler drains in a simple loop today and an async
+worker pool can drain concurrently later without changing job semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import heapq
+from dataclasses import dataclass, field
+
+from ..errors import PipelineError
+from ..hmm.plan7 import Plan7HMM
+from ..pipeline.pipeline import Engine, PipelineThresholds
+from ..pipeline.results import SearchResults
+from ..sequence.database import SequenceDatabase
+from .cache import PipelineSettings, hmm_fingerprint
+
+__all__ = ["JobState", "SearchJob", "JobQueue"]
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a job: PENDING -> RUNNING -> DONE | FAILED."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class SearchJob:
+    """One queued hmmsearch request plus its mutable execution record."""
+
+    job_id: str
+    hmm: Plan7HMM
+    database: SequenceDatabase
+    engine: Engine = Engine.GPU_WARP
+    priority: int = 0
+    thresholds: PipelineThresholds | None = None
+    settings: PipelineSettings = field(default_factory=PipelineSettings)
+
+    # -- filled in by the scheduler --
+    state: JobState = JobState.PENDING
+    results: SearchResults | None = None
+    error: str | None = None
+    attempts: int = 0
+    fallback_engine: Engine | None = None    # set when a retry degraded
+    submitted_at: float | None = None
+    started_at: float | None = None
+    finished_at: float | None = None
+
+    @property
+    def queue_latency(self) -> float | None:
+        """Seconds between submission and the scheduler picking it up."""
+        if self.submitted_at is None or self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+    @property
+    def run_seconds(self) -> float | None:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    @property
+    def effective_engine(self) -> Engine:
+        """The engine that actually produced the results."""
+        return self.fallback_engine or self.engine
+
+    def response(self) -> dict:
+        """JSON-safe job response (the service wire format)."""
+        data = {
+            "job_id": self.job_id,
+            "query": self.hmm.name,
+            "database": self.database.name,
+            "engine": self.engine.value,
+            "effective_engine": self.effective_engine.value,
+            "state": self.state.value,
+            "priority": self.priority,
+            "attempts": self.attempts,
+            "error": self.error,
+        }
+        if self.results is not None:
+            data["results"] = self.results.to_dict(include_scores=False)
+        return data
+
+    def __repr__(self) -> str:
+        return (
+            f"SearchJob({self.job_id!r}, query={self.hmm.name!r}, "
+            f"db={self.database.name!r}, engine={self.engine.value}, "
+            f"state={self.state.value})"
+        )
+
+
+def _job_fingerprint(
+    hmm: Plan7HMM, database: SequenceDatabase, engine: Engine
+) -> str:
+    h = hashlib.sha256()
+    h.update(hmm_fingerprint(hmm).encode())
+    h.update(database.name.encode())
+    h.update(str(len(database)).encode())
+    h.update(str(database.total_residues).encode())
+    h.update(engine.value.encode())
+    return h.hexdigest()
+
+
+class JobQueue:
+    """Priority queue of :class:`SearchJob` with deterministic ids."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, SearchJob]] = []
+        self._serial = 0
+        self.submitted = 0
+
+    def submit(
+        self,
+        hmm: Plan7HMM,
+        database: SequenceDatabase,
+        engine: Engine = Engine.GPU_WARP,
+        priority: int = 0,
+        thresholds: PipelineThresholds | None = None,
+        settings: PipelineSettings | None = None,
+        clock: float | None = None,
+    ) -> SearchJob:
+        """Mint a job and enqueue it; returns the job (with its id)."""
+        serial = self._serial
+        self._serial += 1
+        self.submitted += 1
+        job = SearchJob(
+            job_id=(
+                f"job-{serial:04d}-"
+                f"{_job_fingerprint(hmm, database, engine)[:8]}"
+            ),
+            hmm=hmm,
+            database=database,
+            engine=engine,
+            priority=priority,
+            thresholds=thresholds,
+            settings=settings or PipelineSettings(),
+            submitted_at=clock,
+        )
+        heapq.heappush(self._heap, (-priority, serial, job))
+        return job
+
+    def pop(self) -> SearchJob | None:
+        """Highest-priority pending job (FIFO among equals), or None."""
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def requeue(self, job: SearchJob) -> None:
+        """Put a job back (e.g. after a transient scheduling failure)."""
+        if job.state is JobState.DONE:
+            raise PipelineError(f"cannot requeue finished job {job.job_id}")
+        serial = self._serial
+        self._serial += 1
+        job.state = JobState.PENDING
+        heapq.heappush(self._heap, (-job.priority, serial, job))
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def pending(self) -> list[SearchJob]:
+        """Pending jobs in pop order (non-destructive)."""
+        return [item[2] for item in sorted(self._heap)]

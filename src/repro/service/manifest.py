@@ -1,0 +1,117 @@
+"""Manifest files: how the CLI feeds job batches to the service.
+
+A manifest is a JSON file describing many (query model, target
+database) jobs::
+
+    {
+      "jobs": [
+        {"model": "globins.hmm", "database": "targets.fasta"},
+        {"model": "globins.hmm", "database": "targets.fasta",
+         "engine": "cpu", "priority": 5, "length": 250}
+      ]
+    }
+
+A bare top-level list is accepted too.  Paths are resolved relative to
+the manifest's directory.  Repeated ``model`` entries are the point:
+they exercise the pipeline cache exactly like repeat queries against a
+live service.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import FormatError
+from ..hmm.hmmfile import load_hmm
+from ..pipeline.pipeline import Engine
+from ..sequence.fasta import read_fasta
+from .cache import PipelineSettings
+from .job import SearchJob
+
+__all__ = ["load_manifest", "submit_manifest"]
+
+_ENGINES = {"cpu": Engine.CPU_SSE, "gpu": Engine.GPU_WARP}
+
+
+def load_manifest(path: str | Path) -> list[dict]:
+    """Parse and validate a manifest into normalized job dicts."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise FormatError(f"manifest {path}: invalid JSON ({exc})") from exc
+    jobs = data.get("jobs") if isinstance(data, dict) else data
+    if not isinstance(jobs, list) or not jobs:
+        raise FormatError(
+            f"manifest {path}: expected a non-empty job list "
+            "(top-level or under 'jobs')"
+        )
+    normalized = []
+    for i, entry in enumerate(jobs):
+        if not isinstance(entry, dict):
+            raise FormatError(f"manifest {path}: job {i} is not an object")
+        for key in ("model", "database"):
+            if key not in entry:
+                raise FormatError(
+                    f"manifest {path}: job {i} is missing {key!r}"
+                )
+        engine = entry.get("engine", "gpu")
+        if engine not in _ENGINES:
+            raise FormatError(
+                f"manifest {path}: job {i} has unknown engine {engine!r} "
+                "(expected 'cpu' or 'gpu')"
+            )
+        normalized.append(
+            {
+                "model": entry["model"],
+                "database": entry["database"],
+                "engine": engine,
+                "priority": int(entry.get("priority", 0)),
+                "length": entry.get("length"),
+            }
+        )
+    return normalized
+
+
+def submit_manifest(
+    service,
+    manifest_path: str | Path,
+    default_length: int = 400,
+    calibration_filter_sample: int = 400,
+    calibration_forward_sample: int = 120,
+) -> list[SearchJob]:
+    """Submit every manifest job to a :class:`BatchSearchService`.
+
+    Each model/database file is read once per distinct path; the
+    pipeline cache then dedupes by *content*, so a model repeated under
+    two paths still calibrates once.
+    """
+    manifest_path = Path(manifest_path)
+    entries = load_manifest(manifest_path)
+    base = manifest_path.parent
+    models: dict[Path, object] = {}
+    databases: dict[Path, object] = {}
+    submitted = []
+    for entry in entries:
+        model_path = (base / entry["model"]).resolve()
+        db_path = (base / entry["database"]).resolve()
+        if model_path not in models:
+            models[model_path] = load_hmm(model_path)
+        if db_path not in databases:
+            databases[db_path] = read_fasta(db_path)
+        settings = PipelineSettings(
+            L=int(entry["length"] or default_length),
+            calibration_filter_sample=calibration_filter_sample,
+            calibration_forward_sample=calibration_forward_sample,
+        )
+        submitted.append(
+            service.submit(
+                models[model_path],
+                databases[db_path],
+                engine=_ENGINES[entry["engine"]],
+                priority=entry["priority"],
+                settings=settings,
+            )
+        )
+    return submitted

@@ -1,0 +1,220 @@
+"""Aggregated observability for the batch search service.
+
+Every finished job deposits a :class:`JobRecord`; the registry rolls
+them up into the numbers an operator actually watches: throughput
+(jobs, sequences, residues), queue latency, per-stage survivor funnels
+summed across jobs, merged kernel event counters, retry/fallback counts,
+plus - via the attached pool and cache - per-device dispatch shares and
+pipeline-cache hit rates.  ``render()`` produces the plain-text report
+the ``repro-hmmsearch batch`` command prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..gpu.counters import KernelCounters
+from ..pipeline.results import StageStats
+from .cache import PipelineCache
+from .devices import DevicePool
+
+__all__ = ["JobRecord", "MetricsRegistry"]
+
+_STAGE_ORDER = ("msv", "p7viterbi", "forward")
+
+
+@dataclass
+class JobRecord:
+    """Flat, serializable record of one completed (or failed) job."""
+
+    job_id: str
+    query: str
+    database: str
+    engine: str                  # requested engine
+    effective_engine: str        # engine that produced the results
+    state: str
+    n_targets: int = 0
+    n_hits: int = 0
+    attempts: int = 1
+    fell_back: bool = False
+    cache_hit: bool = False
+    queue_latency: float = 0.0
+    run_seconds: float = 0.0
+    stages: list[StageStats] = field(default_factory=list)
+    counters: dict[str, KernelCounters] = field(default_factory=dict)
+    error: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "query": self.query,
+            "database": self.database,
+            "engine": self.engine,
+            "effective_engine": self.effective_engine,
+            "state": self.state,
+            "n_targets": self.n_targets,
+            "n_hits": self.n_hits,
+            "attempts": self.attempts,
+            "fell_back": self.fell_back,
+            "cache_hit": self.cache_hit,
+            "queue_latency": self.queue_latency,
+            "run_seconds": self.run_seconds,
+            "stages": [st.to_dict() for st in self.stages],
+            "counters": {k: c.as_dict() for k, c in self.counters.items()},
+            "error": self.error,
+        }
+
+
+class MetricsRegistry:
+    """Rolls individual job records up into a service-level report."""
+
+    def __init__(
+        self,
+        pool: DevicePool | None = None,
+        cache: PipelineCache | None = None,
+    ) -> None:
+        self.records: list[JobRecord] = []
+        self.pool = pool
+        self.cache = cache
+
+    def attach(self, pool: DevicePool, cache: PipelineCache) -> None:
+        self.pool = pool
+        self.cache = cache
+
+    def record_job(self, record: JobRecord) -> None:
+        self.records.append(record)
+
+    # -- aggregates ---------------------------------------------------------
+
+    @property
+    def jobs_done(self) -> int:
+        return sum(1 for r in self.records if r.state == "done")
+
+    @property
+    def jobs_failed(self) -> int:
+        return sum(1 for r in self.records if r.state == "failed")
+
+    @property
+    def fallbacks(self) -> int:
+        return sum(1 for r in self.records if r.fell_back)
+
+    @property
+    def total_hits(self) -> int:
+        return sum(r.n_hits for r in self.records)
+
+    @property
+    def total_targets(self) -> int:
+        return sum(r.n_targets for r in self.records)
+
+    def stage_totals(self) -> dict[str, StageStats]:
+        """Per-stage funnels summed over every recorded job."""
+        totals: dict[str, list[int]] = {}
+        for record in self.records:
+            for st in record.stages:
+                acc = totals.setdefault(st.name, [0, 0, 0, 0])
+                acc[0] += st.n_in
+                acc[1] += st.n_out
+                acc[2] += st.rows
+                acc[3] += st.cells
+        return {
+            name: StageStats(name, *vals) for name, vals in totals.items()
+        }
+
+    def counter_totals(self) -> dict[str, KernelCounters]:
+        """Kernel event counters merged across all jobs, per stage."""
+        totals: dict[str, KernelCounters] = {}
+        for record in self.records:
+            for name, c in record.counters.items():
+                totals.setdefault(name, KernelCounters()).merge(c)
+        return totals
+
+    def mean_queue_latency(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.queue_latency for r in self.records) / len(self.records)
+
+    def total_run_seconds(self) -> float:
+        return sum(r.run_seconds for r in self.records)
+
+    def to_dict(self) -> dict:
+        data = {
+            "jobs": [r.to_dict() for r in self.records],
+            "jobs_done": self.jobs_done,
+            "jobs_failed": self.jobs_failed,
+            "fallbacks": self.fallbacks,
+            "total_targets": self.total_targets,
+            "total_hits": self.total_hits,
+            "mean_queue_latency": self.mean_queue_latency(),
+            "total_run_seconds": self.total_run_seconds(),
+            "stage_totals": {
+                k: v.to_dict() for k, v in self.stage_totals().items()
+            },
+        }
+        if self.cache is not None:
+            data["cache"] = self.cache.stats()
+        if self.pool is not None:
+            data["devices"] = self.pool.dispatch_table()
+        return data
+
+    # -- report -------------------------------------------------------------
+
+    def render(self) -> str:
+        """The plain-text service report."""
+        lines = ["batch search service report", "=" * 27, ""]
+        lines.append(
+            f"jobs: {len(self.records)} total, {self.jobs_done} done, "
+            f"{self.jobs_failed} failed, {self.fallbacks} degraded to CPU"
+        )
+        lines.append(
+            f"targets scored: {self.total_targets}   "
+            f"hits reported: {self.total_hits}"
+        )
+        lines.append(
+            f"mean queue latency: {1e3 * self.mean_queue_latency():.2f} ms   "
+            f"total run time: {self.total_run_seconds():.3f} s"
+        )
+
+        totals = self.stage_totals()
+        if totals:
+            lines.append("")
+            lines.append("stage funnel (all jobs)")
+            for name in _STAGE_ORDER:
+                st = totals.get(name)
+                if st is None:
+                    continue
+                lines.append(
+                    f"  {st.name:10s} in={st.n_in:8d} out={st.n_out:8d} "
+                    f"({100 * st.survivor_fraction:6.2f}%)  rows={st.rows}"
+                )
+
+        counters = self.counter_totals()
+        if counters:
+            lines.append("")
+            lines.append("kernel counters (all jobs)")
+            for name, c in sorted(counters.items()):
+                lines.append(
+                    f"  {name:10s} rows={c.rows} strips={c.strips} "
+                    f"shuffles={c.shuffles} syncthreads={c.syncthreads}"
+                )
+
+        if self.pool is not None:
+            lines.append("")
+            lines.append(f"device pool: {self.pool.name}")
+            for row in self.pool.dispatch_table():
+                lines.append(
+                    f"  {row['device']:6s} {row['spec']:12s} "
+                    f"dispatches={row['dispatches']:5d} "
+                    f"sequences={row['sequences']:7d} "
+                    f"residues={row['residues']:9d}"
+                )
+
+        if self.cache is not None:
+            s = self.cache.stats()
+            lines.append("")
+            lines.append(
+                f"pipeline cache: {s['entries']}/{s['max_entries']} entries, "
+                f"{s['hits']} hits, {s['misses']} misses, "
+                f"{s['evictions']} evictions "
+                f"(hit rate {100 * s['hit_rate']:.1f}%)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""The scheduler: drains the job queue onto the device pool.
+
+For every job the scheduler (1) fetches a calibrated pipeline from the
+:class:`~repro.service.cache.PipelineCache`, (2) runs the three-stage
+search - GPU jobs have their MSV and P7Viterbi stages dispatched through
+a :class:`PoolExecutor`, which residue-balances each stage's database
+across the pool via
+:func:`~repro.gpu.multi_gpu.run_multi_gpu` (length-sorting within each
+shard, the warp load-balance heuristic) - and (3) deposits a
+:class:`~repro.service.metrics.JobRecord`.
+
+Scores are engine- and shard-count-invariant, so a job scheduled over
+any pool produces the *same hits* as a direct
+:meth:`HmmsearchPipeline.search` call - the property the test suite
+pins down.
+
+Fault handling: if a device launch raises
+:class:`~repro.errors.LaunchError` (injected or real), the job is
+retried once on ``Engine.CPU_SSE``.  Accuracy preservation makes the
+degraded result identical to the fault-free one; only throughput
+accounting changes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from ..errors import LaunchError, ReproError
+from ..gpu.multi_gpu import run_multi_gpu
+from ..kernels.memconfig import MemoryConfig
+from ..pipeline.pipeline import Engine
+from .cache import PipelineCache
+from .devices import DevicePool
+from .job import JobQueue, JobState, SearchJob
+from .metrics import JobRecord, MetricsRegistry
+
+__all__ = ["PoolExecutor", "Scheduler"]
+
+
+class PoolExecutor:
+    """Stage executor that spreads kernel launches over a device pool.
+
+    Plugs into :meth:`HmmsearchPipeline.search` via its ``executor``
+    hook: each accelerated stage's database is residue-balanced across
+    the pool's (at most ``len(database)``) devices, each shard is
+    length-sorted before scoring, and scores are merged back into
+    database order.  Per-device work lands on the pool's slots; merged
+    kernel counters land in the pipeline's per-stage counter.
+    """
+
+    def __init__(self, pool: DevicePool, sort_chunks: bool = True) -> None:
+        self.pool = pool
+        self.sort_chunks = sort_chunks
+        self.stage_dispatches = 0
+
+    def score_stage(
+        self, name, kernel, profile, database, *, config, counters=None
+    ):
+        slots = self.pool.active_slots(len(database))
+        # checkout claims every device up front; an armed fault aborts
+        # the whole stage launch before any chunk is scored
+        specs = [slot.checkout() for slot in slots]
+        run = run_multi_gpu(
+            kernel,
+            profile,
+            database,
+            devices=specs,
+            sort_chunks=self.sort_chunks,
+            config=config,
+        )
+        for slot, c, n_res, n_seq in zip(
+            slots, run.device_counters, run.chunk_residues,
+            run.chunk_sequences,
+        ):
+            slot.record(n_seq, n_res, c)
+            if counters is not None:
+                counters.merge(c)
+        self.stage_dispatches += 1
+        return run.scores
+
+
+class Scheduler:
+    """Synchronous scheduling core: pop, execute, record, repeat."""
+
+    def __init__(
+        self,
+        pool: DevicePool | None = None,
+        cache: PipelineCache | None = None,
+        metrics: MetricsRegistry | None = None,
+        config: MemoryConfig = MemoryConfig.SHARED,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        # explicit None checks: an empty PipelineCache is falsy (__len__)
+        self.pool = pool if pool is not None else DevicePool.heterogeneous()
+        self.cache = cache if cache is not None else PipelineCache()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.metrics.attach(self.pool, self.cache)
+        self.config = config
+        self.clock = clock
+
+    def run(self, queue: JobQueue) -> list[SearchJob]:
+        """Drain the queue; returns the jobs in execution order."""
+        executed: list[SearchJob] = []
+        while (job := queue.pop()) is not None:
+            self.execute(job)
+            executed.append(job)
+        return executed
+
+    def execute(self, job: SearchJob) -> SearchJob:
+        """Run one job to completion (or failure), recording metrics."""
+        job.state = JobState.RUNNING
+        job.started_at = self.clock()
+        misses_before = self.cache.misses
+        error: str | None = None
+        try:
+            pipeline = self.cache.get(job.hmm, job.settings, job.thresholds)
+            cache_hit = self.cache.misses == misses_before
+            try:
+                job.attempts += 1
+                if job.engine is Engine.GPU_WARP:
+                    results = pipeline.search(
+                        job.database,
+                        engine=Engine.GPU_WARP,
+                        config=self.config,
+                        executor=PoolExecutor(self.pool),
+                    )
+                else:
+                    results = pipeline.search(
+                        job.database, engine=Engine.CPU_SSE
+                    )
+            except LaunchError as exc:
+                # device failed to launch: degrade to the CPU engine,
+                # which is bit-identical in scores
+                error = str(exc)
+                job.attempts += 1
+                job.fallback_engine = Engine.CPU_SSE
+                results = pipeline.search(job.database, engine=Engine.CPU_SSE)
+            job.results = results
+            job.state = JobState.DONE
+        except ReproError as exc:
+            cache_hit = self.cache.misses == misses_before
+            error = str(exc)
+            job.state = JobState.FAILED
+        job.error = error
+        job.finished_at = self.clock()
+        self.metrics.record_job(self._record(job, cache_hit))
+        return job
+
+    def _record(self, job: SearchJob, cache_hit: bool) -> JobRecord:
+        results = job.results
+        return JobRecord(
+            job_id=job.job_id,
+            query=job.hmm.name,
+            database=job.database.name,
+            engine=job.engine.value,
+            effective_engine=job.effective_engine.value,
+            state=job.state.value,
+            n_targets=results.n_targets if results else 0,
+            n_hits=len(results.hits) if results else 0,
+            attempts=job.attempts,
+            fell_back=job.fallback_engine is not None,
+            cache_hit=cache_hit,
+            queue_latency=job.queue_latency or 0.0,
+            run_seconds=job.run_seconds or 0.0,
+            stages=list(results.stages) if results else [],
+            counters=dict(results.counters) if results else {},
+            error=job.error,
+        )

@@ -85,4 +85,68 @@ class TestAccounting:
         with pytest.raises(LaunchError):
             run_multi_gpu(msv_warp_kernel, bp, db, device_count=0)
         with pytest.raises(LaunchError):
-            run_multi_gpu(msv_warp_kernel, bp, db, device_count=1000)
+            run_multi_gpu(msv_warp_kernel, bp, db, devices=[])
+
+
+class TestOversizedPool:
+    def test_degrades_to_database_size(self, setup):
+        """A pool larger than the database uses len(db) devices and
+        reports the surplus as idle instead of failing the launch."""
+        bp, _, db = setup
+        run = run_multi_gpu(msv_warp_kernel, bp, db, device_count=1000)
+        assert run.device_count == len(db)
+        assert run.idle_devices == 1000 - len(db)
+        assert np.array_equal(
+            run.scores.scores, msv_score_batch(bp, db).scores
+        )
+
+    def test_exact_fit_has_no_idle_devices(self, setup):
+        bp, _, db = setup
+        run = run_multi_gpu(msv_warp_kernel, bp, db, device_count=4)
+        assert run.idle_devices == 0
+
+    def test_single_sequence_database(self, setup):
+        bp, _, _ = setup
+        from repro.sequence import DigitalSequence, random_sequence_codes
+
+        tiny = SequenceDatabase(
+            [DigitalSequence("only", random_sequence_codes(60, np.random.default_rng(2)))]
+        )
+        run = run_multi_gpu(msv_warp_kernel, bp, tiny, device_count=4)
+        assert run.device_count == 1
+        assert run.idle_devices == 3
+
+
+class TestDevicePools:
+    def test_heterogeneous_pool_matches_reference(self, setup):
+        bp, _, db = setup
+        run = run_multi_gpu(
+            msv_warp_kernel, bp, db,
+            devices=[KEPLER_K40, FERMI_GTX580, KEPLER_K40],
+        )
+        assert run.device_count == 3
+        assert np.array_equal(
+            run.scores.scores, msv_score_batch(bp, db).scores
+        )
+        # architecture is visible in the counters: Kepler shuffles, Fermi not
+        assert run.device_counters[0].shuffles > 0
+        assert run.device_counters[1].shuffles == 0
+
+    def test_sorted_chunks_preserve_database_order(self, setup):
+        bp, _, db = setup
+        plain = run_multi_gpu(msv_warp_kernel, bp, db, device_count=3)
+        sorted_run = run_multi_gpu(
+            msv_warp_kernel, bp, db, device_count=3, sort_chunks=True
+        )
+        assert np.array_equal(
+            plain.scores.scores, sorted_run.scores.scores
+        )
+        assert np.array_equal(
+            plain.scores.overflowed, sorted_run.scores.overflowed
+        )
+
+    def test_chunk_sequences_accounting(self, setup):
+        bp, _, db = setup
+        run = run_multi_gpu(msv_warp_kernel, bp, db, device_count=4)
+        assert sum(run.chunk_sequences) == len(db)
+        assert all(n > 0 for n in run.chunk_sequences)

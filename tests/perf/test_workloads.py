@@ -7,11 +7,13 @@ from repro.perf.workloads import (
     ENVNR_N,
     PAPER_RESIDUES,
     SWISSPROT_N,
+    BoundedCache,
     ExperimentWorkload,
     experiment_workload,
     paper_database,
     paper_hmm,
 )
+from repro.perf import workloads as workloads_mod
 from repro.perf.cost_model import StageWork
 
 
@@ -87,3 +89,49 @@ class TestWorkload:
         )
         assert wl.residue_scale == 1.0
         assert wl.scaled().total_residues == 500
+
+
+class TestBoundedCache:
+    def test_evicts_oldest_at_capacity(self):
+        cache = BoundedCache(max_entries=3)
+        for i in range(5):
+            cache[i] = i * 10
+        assert len(cache) == 3
+        assert 0 not in cache and 1 not in cache
+        assert cache[4] == 40
+        assert cache.evictions == 2
+
+    def test_overwrite_does_not_evict(self):
+        cache = BoundedCache(max_entries=2)
+        cache["a"] = 1
+        cache["b"] = 2
+        cache["a"] = 3
+        assert len(cache) == 2 and cache.evictions == 0
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            BoundedCache(max_entries=0)
+
+    def test_module_caches_are_bounded(self):
+        """The figure-benchmark memos cannot grow without limit."""
+        for cache in (
+            workloads_mod._cache,
+            workloads_mod._hmm_cache,
+            workloads_mod._db_cache,
+        ):
+            assert isinstance(cache, BoundedCache)
+            assert cache.max_entries <= 64
+
+    def test_hmm_cache_evicts_under_sustained_load(self):
+        before = dict(workloads_mod._hmm_cache)
+        try:
+            workloads_mod._hmm_cache.clear()
+            for m in range(10, 10 + workloads_mod._hmm_cache.max_entries + 4):
+                paper_hmm(m)
+            assert (
+                len(workloads_mod._hmm_cache)
+                == workloads_mod._hmm_cache.max_entries
+            )
+        finally:
+            workloads_mod._hmm_cache.clear()
+            workloads_mod._hmm_cache.update(before)

@@ -1,5 +1,7 @@
 """Result containers: StageStats, SearchHit, SearchResults."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -80,3 +82,69 @@ class TestSearchResults:
         r = _results()
         r.counters["msv"] = KernelCounters(rows=7)
         assert r.counters["msv"].rows == 7
+
+
+class TestSerialization:
+    def test_hit_round_trip(self):
+        hit = _hit("roundtrip", index=3, evalue=2.5e-4)
+        back = SearchHit.from_dict(
+            json.loads(json.dumps(hit.to_dict()))
+        )
+        assert back == hit
+
+    def test_hit_nan_fields_become_none(self):
+        hit = SearchHit(
+            name="nan-hit", index=0, length=10,
+            msv_bits=5.0, msv_p=1e-3,
+            vit_bits=float("nan"), vit_p=float("nan"),
+            fwd_bits=float("nan"), fwd_p=float("nan"),
+            evalue=float("nan"),
+        )
+        data = hit.to_dict()
+        assert data["vit_bits"] is None and data["evalue"] is None
+        json.dumps(data, allow_nan=False)  # strictly JSON-safe
+        back = SearchHit.from_dict(data)
+        assert np.isnan(back.vit_p) and back.msv_bits == 5.0
+
+    def test_results_round_trip(self):
+        r = _results(hits=[_hit("a"), _hit("b", 1)])
+        r.counters["msv"] = KernelCounters(rows=11, shuffles=4)
+        payload = json.dumps(r.to_dict(), allow_nan=False)
+        back = SearchResults.from_dict(json.loads(payload))
+        assert back.query_name == r.query_name
+        assert back.n_targets == r.n_targets
+        assert back.hits == r.hits
+        assert back.stages == r.stages
+        assert back.counters["msv"].rows == 11
+        assert np.array_equal(back.msv_bits, r.msv_bits)
+        assert np.array_equal(
+            np.isnan(back.vit_bits), np.isnan(r.vit_bits)
+        )
+
+    def test_results_without_scores(self):
+        data = _results().to_dict(include_scores=False)
+        assert "msv_bits" not in data
+        back = SearchResults.from_dict(data)
+        assert back.msv_bits.shape == (10,)
+        assert np.all(np.isnan(back.msv_bits))
+
+    def test_live_search_serializes(self):
+        """A real pipeline result (alignments on) survives strict JSON."""
+        from repro.hmm import sample_hmm
+        from repro.pipeline import HmmsearchPipeline
+        from repro.sequence import DigitalSequence, SequenceDatabase, random_sequence_codes
+
+        rng = np.random.default_rng(12)
+        hmm = sample_hmm(30, rng, name="serde")
+        seqs = [
+            DigitalSequence(f"s{i}", random_sequence_codes(80, rng))
+            for i in range(10)
+        ]
+        seqs.append(DigitalSequence("hom", hmm.sample_sequence(rng)))
+        pipe = HmmsearchPipeline(hmm, L=80)
+        results = pipe.search(SequenceDatabase(seqs), alignments=True)
+        assert results.hits
+        payload = json.dumps(results.to_dict(), allow_nan=False)
+        back = SearchResults.from_dict(json.loads(payload))
+        assert back.hit_names() == results.hit_names()
+        assert back.hits[0].alignment  # rendered text survived

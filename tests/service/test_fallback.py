@@ -1,0 +1,167 @@
+"""Fault injection: device failures degrade to the CPU engine.
+
+When a simulated device raises :class:`LaunchError` the scheduler
+retries the job on ``Engine.CPU_SSE``.  Accuracy preservation makes the
+degraded results identical to the fault-free run - the property these
+tests pin down, along with the metrics trail the incident leaves.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Engine, sample_hmm
+from repro.errors import LaunchError
+from repro.service import (
+    BatchSearchService,
+    DevicePool,
+    JobState,
+    PipelineSettings,
+    PoolExecutor,
+)
+from repro.sequence import (
+    DigitalSequence,
+    SequenceDatabase,
+    random_sequence_codes,
+)
+
+SETTINGS = PipelineSettings(
+    L=90, calibration_filter_sample=80, calibration_forward_sample=25
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(21)
+    hmm = sample_hmm(30, rng, name="faultfam")
+    seqs = [
+        DigitalSequence(f"t{i}", random_sequence_codes(int(L), rng))
+        for i, L in enumerate(rng.integers(40, 150, size=25))
+    ]
+    seqs.append(DigitalSequence("hom", hmm.sample_sequence(rng)))
+    return hmm, SequenceDatabase(seqs)
+
+
+class TestSlotFaults:
+    def test_checkout_raises_armed_fault_once(self):
+        pool = DevicePool.homogeneous(count=2)
+        pool.slots[0].inject_fault()
+        with pytest.raises(LaunchError, match="injected fault on device 0"):
+            pool.slots[0].checkout()
+        # disarmed after firing
+        assert pool.slots[0].checkout() is pool.slots[0].spec
+
+    def test_fault_count_must_be_positive(self):
+        pool = DevicePool.homogeneous(count=1)
+        with pytest.raises(LaunchError):
+            pool.slots[0].inject_fault(0)
+
+
+class TestRetryFallback:
+    def test_faulted_job_matches_fault_free_run(self, workload):
+        """The acceptance drill: LaunchError -> CPU retry, identical
+        results to the run without the fault."""
+        hmm, db = workload
+
+        clean_service = BatchSearchService(pool=DevicePool.homogeneous(count=2))
+        clean = clean_service.submit(hmm, db, settings=SETTINGS)
+        clean_service.run()
+        assert clean.fallback_engine is None
+
+        faulty_service = BatchSearchService(pool=DevicePool.homogeneous(count=2))
+        faulty_service.pool.slots[1].inject_fault()
+        faulty = faulty_service.submit(hmm, db, settings=SETTINGS)
+        faulty_service.run()
+
+        assert faulty.state is JobState.DONE
+        assert faulty.fallback_engine is Engine.CPU_SSE
+        assert faulty.effective_engine is Engine.CPU_SSE
+        assert faulty.attempts == 2
+        assert faulty.error and "injected fault" in faulty.error
+        assert faulty.results.hit_names() == clean.results.hit_names()
+        assert [h.evalue for h in faulty.results.hits] == [
+            h.evalue for h in clean.results.hits
+        ]
+
+    def test_fault_only_affects_its_job(self, workload):
+        hmm, db = workload
+        service = BatchSearchService(pool=DevicePool.homogeneous(count=2))
+        service.pool.slots[0].inject_fault()
+        first = service.submit(hmm, db, settings=SETTINGS)
+        second = service.submit(hmm, db, settings=SETTINGS)
+        service.run()
+        assert first.fallback_engine is Engine.CPU_SSE
+        assert second.fallback_engine is None
+        assert first.results.hit_names() == second.results.hit_names()
+
+    def test_cpu_jobs_never_touch_the_pool(self, workload):
+        hmm, db = workload
+        service = BatchSearchService(pool=DevicePool.homogeneous(count=2))
+        for slot in service.pool.slots:
+            slot.inject_fault(5)
+        job = service.submit(
+            hmm, db, engine=Engine.CPU_SSE, settings=SETTINGS
+        )
+        service.run()
+        assert job.state is JobState.DONE
+        assert job.fallback_engine is None
+
+    def test_metrics_record_the_degradation(self, workload):
+        hmm, db = workload
+        service = BatchSearchService(pool=DevicePool.homogeneous(count=1))
+        service.pool.slots[0].inject_fault()
+        service.submit(hmm, db, settings=SETTINGS)
+        service.run()
+        assert service.metrics.fallbacks == 1
+        record = service.metrics.records[0]
+        assert record.fell_back
+        assert record.engine == "gpu_warp"
+        assert record.effective_engine == "cpu_sse"
+        assert "degraded to CPU" in service.metrics.render()
+
+    def test_invalid_search_fails_the_job(self, workload):
+        """Non-launch errors are terminal: FAILED state, error recorded,
+        scheduler keeps serving later jobs."""
+        hmm, db = workload
+        from repro.pipeline import PipelineThresholds
+
+        service = BatchSearchService(pool=DevicePool.homogeneous(count=1))
+        bad = service.submit(hmm, db, settings=SETTINGS)
+        bad.thresholds = None
+        bad.settings = PipelineSettings(L=-5)  # invalid length model
+        good = service.submit(hmm, db, settings=SETTINGS)
+        service.run()
+        assert bad.state is JobState.FAILED
+        assert bad.error
+        assert good.state is JobState.DONE
+        assert service.metrics.jobs_failed == 1
+        assert service.metrics.jobs_done == 1
+
+
+class TestPoolExecutor:
+    def test_executor_skips_idle_devices(self, workload):
+        hmm, _ = workload
+        rng = np.random.default_rng(3)
+        pair = SequenceDatabase(
+            [
+                DigitalSequence("a", random_sequence_codes(60, rng)),
+                DigitalSequence("b", random_sequence_codes(70, rng)),
+            ]
+        )
+        pool = DevicePool.homogeneous(count=5)
+        # idle slots never check out, so a fault on them never fires
+        pool.slots[4].inject_fault()
+        service = BatchSearchService(pool=pool)
+        job = service.submit(hmm, pair, settings=SETTINGS)
+        service.run()
+        assert job.fallback_engine is None
+        assert pool.slots[4].dispatches == 0
+
+    def test_stage_dispatch_counter(self, workload):
+        hmm, db = workload
+        pool = DevicePool.homogeneous(count=2)
+        executor = PoolExecutor(pool)
+        pipeline = SETTINGS.build(hmm)
+        pipeline.search(db, engine=Engine.GPU_WARP, executor=executor)
+        # MSV always dispatches; Viterbi only if anything survived
+        assert executor.stage_dispatches >= 1
+        assert pool.slots[0].dispatches == executor.stage_dispatches

@@ -1,0 +1,140 @@
+"""Metrics registry: aggregation and the rendered service report."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import sample_hmm
+from repro.gpu import KernelCounters
+from repro.pipeline.results import StageStats
+from repro.service import (
+    BatchSearchService,
+    DevicePool,
+    JobRecord,
+    MetricsRegistry,
+    PipelineCache,
+    PipelineSettings,
+)
+from repro.sequence import (
+    DigitalSequence,
+    SequenceDatabase,
+    random_sequence_codes,
+)
+
+
+def _record(job_id="job-0", state="done", n_hits=2, fell_back=False,
+            cache_hit=False, latency=0.5, run=1.0):
+    return JobRecord(
+        job_id=job_id,
+        query="q",
+        database="db",
+        engine="gpu_warp",
+        effective_engine="cpu_sse" if fell_back else "gpu_warp",
+        state=state,
+        n_targets=100,
+        n_hits=n_hits,
+        attempts=2 if fell_back else 1,
+        fell_back=fell_back,
+        cache_hit=cache_hit,
+        queue_latency=latency,
+        run_seconds=run,
+        stages=[
+            StageStats("msv", 100, 10, rows=5000, cells=100000),
+            StageStats("p7viterbi", 10, 2, rows=500, cells=10000),
+        ],
+        counters={"msv": KernelCounters(rows=5000, shuffles=100)},
+    )
+
+
+class TestAggregation:
+    def test_job_counts(self):
+        m = MetricsRegistry()
+        m.record_job(_record("a"))
+        m.record_job(_record("b", state="failed", n_hits=0))
+        m.record_job(_record("c", fell_back=True))
+        assert m.jobs_done == 2
+        assert m.jobs_failed == 1
+        assert m.fallbacks == 1
+        assert m.total_hits == 4
+        assert m.total_targets == 300
+
+    def test_stage_totals_sum_across_jobs(self):
+        m = MetricsRegistry()
+        m.record_job(_record("a"))
+        m.record_job(_record("b"))
+        totals = m.stage_totals()
+        assert totals["msv"].n_in == 200
+        assert totals["msv"].n_out == 20
+        assert totals["msv"].rows == 10000
+        assert totals["p7viterbi"].survivor_fraction == pytest.approx(0.2)
+
+    def test_counter_totals_merge(self):
+        m = MetricsRegistry()
+        m.record_job(_record("a"))
+        m.record_job(_record("b"))
+        assert m.counter_totals()["msv"].rows == 10000
+        assert m.counter_totals()["msv"].shuffles == 200
+
+    def test_latency_and_runtime(self):
+        m = MetricsRegistry()
+        m.record_job(_record("a", latency=0.2, run=1.0))
+        m.record_job(_record("b", latency=0.4, run=2.0))
+        assert m.mean_queue_latency() == pytest.approx(0.3)
+        assert m.total_run_seconds() == pytest.approx(3.0)
+
+    def test_empty_registry(self):
+        m = MetricsRegistry()
+        assert m.mean_queue_latency() == 0.0
+        assert m.stage_totals() == {}
+        assert m.counter_totals() == {}
+
+
+class TestSerialization:
+    def test_to_dict_is_json_safe(self):
+        m = MetricsRegistry(cache=PipelineCache(),
+                            pool=DevicePool.homogeneous(count=2))
+        m.record_job(_record())
+        payload = json.loads(json.dumps(m.to_dict(), allow_nan=False))
+        assert payload["jobs_done"] == 1
+        assert payload["cache"]["entries"] == 0
+        assert len(payload["devices"]) == 2
+        assert payload["jobs"][0]["counters"]["msv"]["rows"] == 5000
+
+
+class TestRender:
+    def test_report_sections(self):
+        m = MetricsRegistry(cache=PipelineCache(),
+                            pool=DevicePool.heterogeneous(1, 1))
+        m.record_job(_record(cache_hit=True))
+        text = m.render()
+        assert "batch search service report" in text
+        assert "stage funnel" in text
+        assert "msv" in text and "p7viterbi" in text
+        assert "kernel counters" in text
+        assert "device pool: 1x K40 + 1x GTX 580" in text
+        assert "pipeline cache" in text
+
+    def test_live_report_shows_cache_hits_and_dispatch(self):
+        """End-to-end: repeated queries show up as cache hits > 0 and
+        per-device dispatch counts > 0 in the rendered report."""
+        rng = np.random.default_rng(31)
+        hmm = sample_hmm(25, rng, name="metfam")
+        db = SequenceDatabase(
+            [
+                DigitalSequence(f"t{i}", random_sequence_codes(60, rng))
+                for i in range(12)
+            ]
+        )
+        settings = PipelineSettings(
+            L=60, calibration_filter_sample=60, calibration_forward_sample=25
+        )
+        service = BatchSearchService(pool=DevicePool.heterogeneous(1, 1))
+        for _ in range(3):
+            service.submit(hmm, db, settings=settings)
+        service.run()
+        text = service.metrics.render()
+        assert service.cache.hits == 2
+        assert "2 hits" in text
+        assert "dispatches=" in text
+        assert "jobs: 3 total, 3 done" in text

@@ -103,6 +103,48 @@ class TestOccupancy:
         assert "GTX 580" in capsys.readouterr().out
 
 
+class TestBatch:
+    @pytest.fixture
+    def manifest(self, tmp_path, model_file, fasta_file):
+        import json
+
+        model_path, _ = model_file
+        jobs = [
+            {"model": str(model_path), "database": str(fasta_file)},
+            {"model": str(model_path), "database": str(fasta_file)},
+            {"model": str(model_path), "database": str(fasta_file),
+             "engine": "cpu", "priority": 3},
+        ]
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps({"jobs": jobs}))
+        return path
+
+    def test_batch_runs_manifest(self, manifest, capsys):
+        rc = main(
+            ["batch", str(manifest), "--length", "120",
+             "--calibration-sample", "100", "--devices", "k40=1,gtx580=1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "submitted 3 jobs" in out
+        assert "jobs: 3 total, 3 done" in out
+        assert "2 hits" in out          # repeated query hit the cache
+        assert "device pool" in out and "dispatches=" in out
+        assert "stage funnel" in out
+
+    def test_batch_rejects_unknown_device(self, manifest):
+        with pytest.raises(SystemExit):
+            main(["batch", str(manifest), "--devices", "tpu=4"])
+
+    def test_batch_show_hits(self, manifest, capsys):
+        rc = main(
+            ["batch", str(manifest), "--length", "120",
+             "--calibration-sample", "100", "--show-hits"]
+        )
+        assert rc == 0
+        assert "planted" in capsys.readouterr().out
+
+
 class TestBuildAlignScan:
     @pytest.fixture
     def seed_sto(self, tmp_path):

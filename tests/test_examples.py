@@ -50,3 +50,10 @@ class TestExamples:
         out = run_example("domain_annotation.py")
         assert "domain calls" in out
         assert "mean posterior" in out
+
+    def test_batch_service(self):
+        out = run_example("batch_service.py")
+        assert "10 completed" in out
+        assert "priority 10" in out
+        assert "pipeline cache" in out and "8 hits" in out
+        assert "hits identical to the fault-free run" in out
