@@ -11,12 +11,28 @@ funnels aggregated over every job, per-device dispatch shares, and the
 pipeline-cache hit rate that shows repeat queries skipping calibration.
 Finally a fault drill: a device is armed to fail its next launch, and
 the job transparently degrades to the CPU engine with identical hits.
+
+Then two resilience drills: a *chaos drill* arms a seeded deterministic
+fault plan (launch failures, kernel faults, hangs, corrupted shards)
+and shows the shard-level degradation ladder absorbing every fault with
+bit-identical hits; a *checkpoint/resume drill* kills a batch run
+mid-way and resumes it from its journal without recomputing the
+finished job.
 """
+
+import tempfile
+from pathlib import Path
 
 import numpy as np
 
 from repro import Engine, sample_hmm, swissprot_like
-from repro.service import BatchSearchService, DevicePool, PipelineSettings
+from repro.service import (
+    BatchSearchService,
+    DevicePool,
+    FaultPlan,
+    PipelineSettings,
+    RunJournal,
+)
 
 
 def main() -> None:
@@ -71,6 +87,61 @@ def main() -> None:
           f"{job.effective_engine.value}, {job.attempts} attempts, "
           f"hits identical to the fault-free run "
           f"({len(job.results.hits)} hits)")
+
+    # --- chaos drill: seeded fault plan, shard-level recovery ---
+    print("\nchaos drill")
+    print("-" * 11)
+    plan = FaultPlan.seeded(2026, n_faults=4, n_devices=4)
+    print(plan.describe())
+    chaos = BatchSearchService(
+        pool=DevicePool.heterogeneous(2, 2), fault_plan=plan
+    )
+    chaos_jobs = [
+        chaos.submit(hmm, db, settings=settings) for _ in range(8)
+    ]
+    chaos.run()
+    stats = chaos.metrics.resilience
+    for cjob in chaos_jobs:
+        assert cjob.results.hit_names() == clean.hit_names()
+    assert stats.total_faults == plan.fired_count
+    assert stats.fault_responses == stats.total_faults
+    print(f"fired {plan.fired_count} fault(s); responses: "
+          f"{stats.total_retries} retried on-device, "
+          f"{stats.repartitions} repartitioned, "
+          f"{stats.cpu_shard_fallbacks} shard CPU fallbacks; "
+          f"quarantines: {stats.quarantines}")
+    print(f"all {len(chaos_jobs)} chaos jobs: hits identical to the "
+          f"fault-free baseline")
+
+    # --- checkpoint/resume drill: kill a batch mid-way, resume it ---
+    print("\ncheckpoint/resume drill")
+    print("-" * 23)
+    with tempfile.TemporaryDirectory() as tmp:
+        jpath = Path(tmp) / "run.jsonl"
+        first = BatchSearchService(
+            pool=DevicePool.heterogeneous(2, 2),
+            journal=RunJournal(jpath, resume=False),
+        )
+        for name, fam in families.items():
+            first.submit(fam, databases[name], settings=settings,
+                         job_id=f"demo-{name}")
+        # simulate a crash: execute one job, abandon the rest
+        done_job = first.scheduler.execute(first.queue.pop())
+        print(f"'crash' after {done_job.job_id}: journal holds "
+              f"{len(first.journal)} of 2 jobs")
+        second = BatchSearchService(
+            pool=DevicePool.heterogeneous(2, 2),
+            journal=RunJournal(jpath, resume=True),
+        )
+        for name, fam in families.items():
+            second.submit(fam, databases[name], settings=settings,
+                          job_id=f"demo-{name}")
+        second.run()
+        assert second.metrics.resumed_jobs == 1
+        assert second.metrics.recomputed_jobs == 1
+        print(f"resumed run: {second.metrics.resumed_jobs} job restored "
+              f"from the journal, {second.metrics.recomputed_jobs} "
+              f"recomputed; journal now holds {len(second.journal)} jobs")
 
 
 if __name__ == "__main__":

@@ -24,6 +24,13 @@ mixed simulated device pool and print the service metrics report::
 
     repro-hmmsearch batch jobs.json --devices k40=2,gtx580=2
 
+Checkpoint a batch run to a journal (and later resume it, skipping the
+jobs already done), or soak it in deterministic injected faults::
+
+    repro-hmmsearch batch jobs.json --journal run.jsonl
+    repro-hmmsearch batch jobs.json --journal run.jsonl --resume
+    repro-hmmsearch batch jobs.json --fault-seed 42 --fault-count 4
+
 Print the occupancy table behind Figure 9::
 
     repro-hmmsearch occupancy --stage msv
@@ -167,11 +174,32 @@ def _parse_pool(spec: str):
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    from .service import BatchSearchService, submit_manifest
+    from .service import (
+        BatchSearchService,
+        FaultPlan,
+        RunJournal,
+        submit_manifest,
+    )
 
+    if args.resume and not args.journal:
+        raise SystemExit("--resume requires --journal <path>")
+    pool = _parse_pool(args.devices)
+    plan = None
+    if args.fault_seed is not None:
+        plan = FaultPlan.seeded(
+            args.fault_seed, n_faults=args.fault_count, n_devices=pool.size
+        )
+        print(plan.describe())
+    journal = (
+        RunJournal(args.journal, resume=args.resume)
+        if args.journal
+        else None
+    )
     service = BatchSearchService(
-        pool=_parse_pool(args.devices),
+        pool=pool,
         cache_size=args.cache_size,
+        fault_plan=plan,
+        journal=journal,
     )
     jobs = submit_manifest(
         service,
@@ -184,6 +212,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     service.run()
     print()
     print(service.metrics.render())
+    if journal is not None:
+        print()
+        print(
+            f"journal {journal.path}: {len(journal)} job(s) checkpointed "
+            f"({service.metrics.resumed_jobs} resumed this run)"
+        )
     failed = service.metrics.jobs_failed
     if args.show_hits:
         print()
@@ -265,6 +299,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--calibration-sample", type=int, default=400)
     p.add_argument("--show-hits", action="store_true",
                    help="print per-job hit summaries after the report")
+    p.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="checkpoint completed jobs to a JSONL journal at PATH",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="skip jobs already checkpointed in --journal "
+             "(requires --journal)",
+    )
+    p.add_argument(
+        "--fault-seed", type=int, default=None, metavar="SEED",
+        help="arm a deterministic seeded fault plan (chaos drill); "
+             "injected faults never change reported hits",
+    )
+    p.add_argument(
+        "--fault-count", type=int, default=4, metavar="N",
+        help="number of faults in the seeded plan (default 4)",
+    )
     p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser("occupancy", help="print the Figure 9 occupancy table")

@@ -18,6 +18,8 @@ __all__ = [
     "LaunchError",
     "PipelineError",
     "CalibrationError",
+    "DeadlineError",
+    "ShardIntegrityError",
 ]
 
 
@@ -59,3 +61,11 @@ class PipelineError(ReproError):
 
 class CalibrationError(ReproError):
     """Statistical calibration failed (e.g. degenerate score sample)."""
+
+
+class DeadlineError(ReproError):
+    """A dispatched stage exceeded its watchdog deadline (a hang)."""
+
+
+class ShardIntegrityError(ReproError):
+    """A scored shard failed its checksum re-verification (corruption)."""

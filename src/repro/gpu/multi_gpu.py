@@ -28,13 +28,13 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..errors import LaunchError
+from ..errors import LaunchError, SequenceError
 from ..sequence.database import SequenceDatabase
 from ..cpu.results import FilterScores
 from .counters import KernelCounters
 from .device import DeviceSpec, FERMI_GTX580
 
-__all__ = ["MultiGpuRun", "run_multi_gpu"]
+__all__ = ["MultiGpuRun", "run_multi_gpu", "score_chunk"]
 
 
 @dataclass
@@ -53,9 +53,53 @@ class MultiGpuRun:
         return len(self.device_counters)
 
     def residue_balance(self) -> float:
-        """max/mean residue share across active devices (1.0 = perfect)."""
+        """max/mean residue share across active devices (1.0 = perfect).
+
+        Degenerate runs - no active devices, or chunks of all-empty
+        sequences - report perfect balance (1.0) rather than dividing
+        by an empty or zero mean.
+        """
         shares = np.asarray(self.chunk_residues, dtype=float)
+        if shares.size == 0 or shares.sum() == 0.0:
+            return 1.0
         return float(shares.max() / shares.mean())
+
+
+def score_chunk(
+    kernel: Callable[..., FilterScores],
+    profile,
+    chunk: SequenceDatabase,
+    spec: DeviceSpec,
+    *,
+    sort: bool = False,
+    counters: KernelCounters | None = None,
+    **kernel_kwargs,
+) -> FilterScores:
+    """Score one device's chunk, returning scores in chunk order.
+
+    The single-shard primitive shared by :func:`run_multi_gpu` and the
+    service's resilient dispatcher: with ``sort=True`` the chunk is
+    length-sorted (descending, the warp load-balance heuristic) before
+    the kernel runs, and the scores are scattered back so the caller
+    always sees chunk order.
+    """
+    c = counters if counters is not None else KernelCounters()
+    n = len(chunk)
+    if sort:
+        order = np.argsort(np.asarray(chunk.lengths), kind="stable")[::-1]
+        part = kernel(
+            profile,
+            chunk.subset(order.tolist()),
+            device=spec,
+            counters=c,
+            **kernel_kwargs,
+        )
+        scores = np.empty(n, dtype=np.float64)
+        overflowed = np.empty(n, dtype=bool)
+        scores[order] = part.scores
+        overflowed[order] = part.overflowed
+        return FilterScores(scores=scores, overflowed=overflowed)
+    return kernel(profile, chunk, device=spec, counters=c, **kernel_kwargs)
 
 
 def run_multi_gpu(
@@ -90,6 +134,11 @@ def run_multi_gpu(
     devices receive chunks; the surplus is reported via
     :attr:`MultiGpuRun.idle_devices` rather than raised as an error.
     """
+    if len(database) == 0:
+        raise SequenceError(
+            "cannot dispatch an empty database across devices: "
+            "at least one sequence is required"
+        )
     if devices is None:
         if device_count < 1:
             raise LaunchError("device_count must be positive")
@@ -108,23 +157,12 @@ def run_multi_gpu(
     for chunk, spec in zip(chunks, devices):
         c = KernelCounters()
         n = len(chunk)
-        if sort_chunks:
-            order = np.argsort(np.asarray(chunk.lengths), kind="stable")[::-1]
-            part = kernel(
-                profile,
-                chunk.subset(order.tolist()),
-                device=spec,
-                counters=c,
-                **kernel_kwargs,
-            )
-            scores[offset : offset + n][order] = part.scores
-            overflowed[offset : offset + n][order] = part.overflowed
-        else:
-            part = kernel(
-                profile, chunk, device=spec, counters=c, **kernel_kwargs
-            )
-            scores[offset : offset + n] = part.scores
-            overflowed[offset : offset + n] = part.overflowed
+        part = score_chunk(
+            kernel, profile, chunk, spec,
+            sort=sort_chunks, counters=c, **kernel_kwargs,
+        )
+        scores[offset : offset + n] = part.scores
+        overflowed[offset : offset + n] = part.overflowed
         offset += n
         counters.append(c)
         residues.append(chunk.total_residues)

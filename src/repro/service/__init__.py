@@ -17,6 +17,13 @@ amortized across repeats, every stage observable.
 * :mod:`~repro.service.scheduler` - :class:`Scheduler` /
   :class:`PoolExecutor`: residue-balanced dispatch of each stage across
   the pool, with retry-on-``LaunchError`` degrading to the CPU engine.
+* :mod:`~repro.service.faults` - :class:`FaultPlan`: deterministic,
+  seedable fault injection (launch/kernel/hang/corruption) armed per
+  device and dispatch tick.
+* :mod:`~repro.service.resilience` - :class:`ResilientExecutor` /
+  :class:`RetryPolicy` / :class:`RunJournal`: shard-level retry with
+  backoff, repartitioning onto surviving devices, residual-shard CPU
+  fallback, device quarantine, and batch checkpoint/resume.
 * :mod:`~repro.service.metrics` - :class:`MetricsRegistry`: per-job and
   aggregate observability; ``service.metrics.render()`` is the report.
 
@@ -47,10 +54,17 @@ from ..kernels.memconfig import MemoryConfig
 from ..pipeline.pipeline import Engine, PipelineThresholds
 from ..sequence.database import SequenceDatabase
 from .cache import PipelineCache, PipelineSettings, hmm_fingerprint
-from .devices import DevicePool, DeviceSlot
+from .devices import DeviceHealth, DevicePool, DeviceSlot
+from .faults import FaultKind, FaultPlan, FaultSpec, ResilienceEvent
 from .job import JobQueue, JobState, SearchJob
-from .manifest import load_manifest, submit_manifest
-from .metrics import JobRecord, MetricsRegistry
+from .manifest import load_manifest, submit_manifest, validate_manifest_paths
+from .metrics import JobRecord, MetricsRegistry, ResilienceStats
+from .resilience import (
+    ResilientExecutor,
+    RetryPolicy,
+    RunJournal,
+    result_digest,
+)
 from .scheduler import PoolExecutor, Scheduler
 
 __all__ = [
@@ -58,17 +72,28 @@ __all__ = [
     "JobQueue",
     "JobState",
     "SearchJob",
+    "DeviceHealth",
     "DevicePool",
     "DeviceSlot",
     "PipelineCache",
     "PipelineSettings",
     "hmm_fingerprint",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "ResilienceEvent",
+    "ResilienceStats",
+    "ResilientExecutor",
+    "RetryPolicy",
+    "RunJournal",
+    "result_digest",
     "PoolExecutor",
     "Scheduler",
     "JobRecord",
     "MetricsRegistry",
     "load_manifest",
     "submit_manifest",
+    "validate_manifest_paths",
 ]
 
 
@@ -87,6 +112,9 @@ class BatchSearchService:
         cache_size: int = 8,
         config: MemoryConfig = MemoryConfig.SHARED,
         clock: Callable[[], float] = time.perf_counter,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+        journal: RunJournal | None = None,
     ) -> None:
         self.queue = JobQueue()
         # explicit None checks: an empty PipelineCache is falsy (__len__)
@@ -101,8 +129,15 @@ class BatchSearchService:
             metrics=self.metrics,
             config=config,
             clock=clock,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
+            journal=journal,
         )
         self._clock = clock
+
+    @property
+    def journal(self) -> RunJournal | None:
+        return self.scheduler.journal
 
     def submit(
         self,
@@ -112,6 +147,7 @@ class BatchSearchService:
         priority: int = 0,
         thresholds: PipelineThresholds | None = None,
         settings: PipelineSettings | None = None,
+        job_id: str | None = None,
     ) -> SearchJob:
         """Enqueue one search request; returns the pending job."""
         return self.queue.submit(
@@ -122,6 +158,7 @@ class BatchSearchService:
             thresholds=thresholds,
             settings=settings,
             clock=self._clock(),
+            job_id=job_id,
         )
 
     def run(self) -> list[SearchJob]:

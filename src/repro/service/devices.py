@@ -11,17 +11,39 @@ Slots also carry a **fault-injection hook**: tests (and chaos drills)
 arm a slot with ``inject_fault()`` so its next checkout raises
 :class:`~repro.errors.LaunchError`, exercising the scheduler's
 retry-with-CPU-fallback path without touching kernel code.
+
+Each slot additionally runs a **health state machine** for the
+resilient dispatcher (:mod:`repro.service.resilience`)::
+
+    HEALTHY --failure--> DEGRADED --strikes--> QUARANTINED
+       ^                    |                      |
+       +----success---------+      cooldown elapses: reintegration
+       +<------- probe succeeds -------------------+
+
+Quarantined slots are skipped by :meth:`DevicePool.serviceable_slots`
+until their cooldown (measured in pool dispatch ticks) elapses; the
+next shard they receive is a reintegration probe.  A failed probe
+re-quarantines the device with a doubled cooldown.
 """
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 
 from ..errors import LaunchError
 from ..gpu.counters import KernelCounters
 from ..gpu.device import DeviceSpec, FERMI_GTX580, KEPLER_K40
 
-__all__ = ["DeviceSlot", "DevicePool"]
+__all__ = ["DeviceHealth", "DeviceSlot", "DevicePool"]
+
+
+class DeviceHealth(enum.Enum):
+    """Lifecycle of a pool member under faults."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    QUARANTINED = "quarantined"
 
 
 @dataclass
@@ -34,6 +56,13 @@ class DeviceSlot:
     sequences: int = 0           # sequences scored across all launches
     residues: int = 0            # residues (DP rows) assigned
     counters: KernelCounters = field(default_factory=KernelCounters)
+    # -- health state machine (driven by the resilient dispatcher) --
+    health: DeviceHealth = DeviceHealth.HEALTHY
+    strikes: int = 0             # consecutive failures since last success
+    failures: int = 0            # lifetime failure count
+    quarantines: int = 0         # times this device entered quarantine
+    cooldown_until: int = 0      # pool tick when a probe becomes allowed
+    inflight: bool = False       # checked out for a launch right now
     _pending_faults: int = 0
 
     def inject_fault(self, count: int = 1) -> None:
@@ -49,18 +78,74 @@ class DeviceSlot:
             raise LaunchError(
                 f"injected fault on device {self.index} ({self.spec.name})"
             )
+        self.inflight = True
         return self.spec
+
+    def release(self) -> None:
+        """Return the device after a launch attempt (success or failure)."""
+        self.inflight = False
 
     def record(self, sequences: int, residues: int, counters: KernelCounters) -> None:
         self.dispatches += 1
         self.sequences += sequences
         self.residues += residues
         self.counters.merge(counters)
+        self.inflight = False
+
+    # -- health transitions --------------------------------------------------
+
+    def mark_failure(
+        self,
+        now: int,
+        quarantine_after: int = 3,
+        cooldown: int = 4,
+        cooldown_multiplier: float = 2.0,
+    ) -> bool:
+        """Register one failed shard attempt at pool tick ``now``.
+
+        Returns ``True`` when the failure pushed the device into (or
+        back into) quarantine.  A failure while QUARANTINED is a failed
+        reintegration probe: the device is re-quarantined with its
+        cooldown doubled (then quadrupled, ...), so a flapping device
+        backs off exponentially.
+        """
+        self.failures += 1
+        if self.health is DeviceHealth.QUARANTINED:
+            self.quarantines += 1
+            self.cooldown_until = now + int(
+                cooldown * cooldown_multiplier ** (self.quarantines - 1)
+            )
+            return True
+        self.strikes += 1
+        if self.strikes >= quarantine_after:
+            self.health = DeviceHealth.QUARANTINED
+            self.quarantines += 1
+            self.strikes = 0
+            self.cooldown_until = now + int(
+                cooldown * cooldown_multiplier ** (self.quarantines - 1)
+            )
+            return True
+        self.health = DeviceHealth.DEGRADED
+        return False
+
+    def mark_success(self) -> bool:
+        """Register one successful shard; returns True on reintegration."""
+        was = self.health
+        self.health = DeviceHealth.HEALTHY
+        self.strikes = 0
+        return was is DeviceHealth.QUARANTINED
+
+    def available(self, now: int) -> bool:
+        """Eligible for work at pool tick ``now`` (or due for a probe)."""
+        if self.health is not DeviceHealth.QUARANTINED:
+            return True
+        return now >= self.cooldown_until
 
     def __repr__(self) -> str:
         return (
             f"DeviceSlot({self.index}: {self.spec.name}, "
-            f"dispatches={self.dispatches}, residues={self.residues})"
+            f"dispatches={self.dispatches}, residues={self.residues}, "
+            f"health={self.health.value})"
         )
 
 
@@ -72,6 +157,7 @@ class DevicePool:
             raise LaunchError("a device pool cannot be empty")
         self.name = name
         self.slots = [DeviceSlot(spec=s, index=i) for i, s in enumerate(specs)]
+        self.tick = 0            # logical time: one tick per stage dispatch
 
     @classmethod
     def homogeneous(
@@ -103,6 +189,25 @@ class DevicePool:
         """The slots a database of ``n_sequences`` can actually occupy."""
         return self.slots[: max(1, min(self.size, n_sequences))]
 
+    def advance(self) -> int:
+        """Advance logical time by one stage dispatch; the new tick."""
+        self.tick += 1
+        return self.tick
+
+    def serviceable_slots(self, n_sequences: int) -> list[DeviceSlot]:
+        """Non-quarantined slots (plus probe-due ones) a database can occupy.
+
+        Empty when every device is quarantined and still cooling down -
+        the resilient dispatcher then scores the whole stage on the CPU.
+        """
+        avail = [s for s in self.slots if s.available(self.tick)]
+        return avail[: min(len(avail), max(1, n_sequences))]
+
+    def quarantined(self) -> list[DeviceSlot]:
+        return [
+            s for s in self.slots if s.health is DeviceHealth.QUARANTINED
+        ]
+
     def dispatch_table(self) -> list[dict[str, object]]:
         """Per-device accounting rows for the metrics report."""
         return [
@@ -114,6 +219,8 @@ class DevicePool:
                 "residues": slot.residues,
                 "shuffles": slot.counters.shuffles,
                 "syncthreads": slot.counters.syncthreads,
+                "health": slot.health.value,
+                "failures": slot.failures,
             }
             for slot in self.slots
         ]

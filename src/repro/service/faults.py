@@ -1,0 +1,255 @@
+"""Deterministic, seedable fault injection for the batch service.
+
+A :class:`FaultPlan` arms per-device, per-dispatch faults so every
+failure mode the resilient dispatcher must survive is *reproducible*:
+the same seed produces the same faults at the same dispatch ticks, and
+therefore (because retry backoff is also deterministically jittered)
+the same recovery event log, run after run.
+
+Four fault kinds model the ways a real device pool degrades:
+
+* :attr:`FaultKind.LAUNCH` - the kernel launch itself fails
+  (:class:`~repro.errors.LaunchError`), e.g. an allocation error.
+* :attr:`FaultKind.KERNEL` - a transient mid-kernel fault
+  (:class:`~repro.errors.KernelError`), e.g. an ECC event.
+* :attr:`FaultKind.HANG` - the device stops responding; the stage
+  watchdog trips its deadline (:class:`~repro.errors.DeadlineError`).
+* :attr:`FaultKind.CORRUPT` - the kernel "completes" but the returned
+  shard scores are corrupted; detected by the dispatcher's cheap shard
+  checksum re-verification (:class:`~repro.errors.ShardIntegrityError`).
+
+Faults are drawn by slot index and a per-device *dispatch tick* that
+advances every time the resilient dispatcher attempts a shard on that
+device - retries consume ticks too, so a plan can model back-to-back
+failures that exhaust a device's retry budget.
+
+A **global plan** can be armed from the environment
+(``REPRO_FAULT_SEED``, optional ``REPRO_FAULT_COUNT``); the CI chaos
+job runs the whole test suite that way, pinning the invariant that
+injected faults never change reported hits.
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..errors import LaunchError
+
+__all__ = ["FaultKind", "FaultSpec", "FaultPlan", "ResilienceEvent"]
+
+ENV_FAULT_SEED = "REPRO_FAULT_SEED"
+ENV_FAULT_COUNT = "REPRO_FAULT_COUNT"
+
+
+class FaultKind(enum.Enum):
+    """The failure modes the resilient dispatcher must survive."""
+
+    LAUNCH = "launch"
+    KERNEL = "kernel"
+    HANG = "hang"
+    CORRUPT = "corrupt"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault: fire ``kind`` on ``device``'s ``dispatch``-th attempt."""
+
+    device: int
+    dispatch: int
+    kind: FaultKind
+
+    def to_dict(self) -> dict:
+        return {
+            "device": self.device,
+            "dispatch": self.dispatch,
+            "kind": self.kind.value,
+        }
+
+
+@dataclass
+class ResilienceEvent:
+    """One entry in the deterministic fault/recovery event log.
+
+    ``kind`` is one of ``fault``, ``retry``, ``repartition``,
+    ``cpu_fallback``, ``cpu_stage``, ``quarantine``, ``probe``,
+    ``reintegrate``, ``resume``.  Events carry no wall-clock state, so
+    the log for a given :class:`FaultPlan` seed is bit-identical across
+    runs - the property the determinism tests pin.
+    """
+
+    kind: str
+    stage: str = ""
+    device: int | None = None
+    job_id: str | None = None
+    attempt: int = 0
+    fault: str | None = None
+    backoff: float = 0.0
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "stage": self.stage,
+            "device": self.device,
+            "job_id": self.job_id,
+            "attempt": self.attempt,
+            "fault": self.fault,
+            "backoff": self.backoff,
+            "detail": self.detail,
+        }
+
+    def __str__(self) -> str:
+        parts = [self.kind]
+        if self.stage:
+            parts.append(f"stage={self.stage}")
+        if self.device is not None:
+            parts.append(f"dev{self.device}")
+        if self.fault:
+            parts.append(f"fault={self.fault}")
+        if self.attempt:
+            parts.append(f"attempt={self.attempt}")
+        if self.backoff:
+            parts.append(f"backoff={self.backoff:.4f}s")
+        if self.detail:
+            parts.append(self.detail)
+        return " ".join(parts)
+
+
+class FaultPlan:
+    """An armed, replayable schedule of device faults.
+
+    Parameters
+    ----------
+    faults:
+        The :class:`FaultSpec` entries to arm.  At most one fault per
+        (device, dispatch tick) - duplicates are a plan bug and are
+        rejected up front.
+    seed:
+        Recorded provenance when the plan came from :meth:`seeded`.
+
+    The plan is consumed through :meth:`draw`: every call advances the
+    named device's dispatch cursor by one tick and returns the armed
+    :class:`FaultKind` for that tick, or ``None``.  Fired faults are
+    kept on :attr:`fired` in firing order.
+    """
+
+    def __init__(
+        self, faults: Iterable[FaultSpec], seed: int | None = None
+    ) -> None:
+        self.seed = seed
+        self.faults = sorted(faults, key=lambda f: (f.device, f.dispatch))
+        self._by_device: dict[int, dict[int, FaultKind]] = {}
+        for f in self.faults:
+            slots = self._by_device.setdefault(f.device, {})
+            if f.dispatch in slots:
+                raise LaunchError(
+                    f"fault plan arms device {f.device} dispatch "
+                    f"{f.dispatch} twice"
+                )
+            slots[f.dispatch] = f.kind
+        self._cursor: defaultdict[int, int] = defaultdict(int)
+        self.fired: list[FaultSpec] = []
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        n_faults: int = 4,
+        n_devices: int = 4,
+        kinds: Iterable[FaultKind] | None = None,
+        min_spacing: int = 3,
+    ) -> "FaultPlan":
+        """A reproducible random plan of ``n_faults`` transient faults.
+
+        Per-device fault ticks are kept at least ``min_spacing`` apart,
+        so a default :class:`~repro.service.resilience.RetryPolicy`
+        (two same-device retries) always recovers on-device - the shape
+        the global CI chaos plan needs so that accounting-sensitive
+        tests still see every device doing work.  Explicit plans (the
+        constructor) can pack consecutive ticks to force repartition,
+        CPU fallback and quarantine.
+        """
+        if n_faults < 0:
+            raise LaunchError("n_faults must be >= 0")
+        if n_devices < 1:
+            raise LaunchError("n_devices must be >= 1")
+        rng = np.random.default_rng(seed)
+        kind_pool = tuple(kinds) if kinds is not None else tuple(FaultKind)
+        cursors: dict[int, int] = {}
+        faults: list[FaultSpec] = []
+        for _ in range(n_faults):
+            device = int(rng.integers(n_devices))
+            prev = cursors.get(device)
+            if prev is None:
+                tick = int(rng.integers(min_spacing))
+            else:
+                tick = prev + min_spacing + int(rng.integers(min_spacing))
+            cursors[device] = tick
+            kind = kind_pool[int(rng.integers(len(kind_pool)))]
+            faults.append(FaultSpec(device, tick, kind))
+        return cls(faults, seed=seed)
+
+    @classmethod
+    def from_env(
+        cls, environ: Mapping[str, str] | None = None
+    ) -> "FaultPlan | None":
+        """The global chaos plan, or ``None`` when the env is unset.
+
+        ``REPRO_FAULT_SEED=<int>`` arms a :meth:`seeded` plan (size
+        ``REPRO_FAULT_COUNT``, default 3) on every scheduler that is not
+        given an explicit plan - how the CI chaos job soaks the whole
+        test suite in deterministic faults.
+        """
+        env = environ if environ is not None else os.environ
+        raw = env.get(ENV_FAULT_SEED)
+        if raw is None or raw == "":
+            return None
+        count = int(env.get(ENV_FAULT_COUNT, "3"))
+        return cls.seeded(int(raw), n_faults=count)
+
+    def draw(self, device: int) -> FaultKind | None:
+        """Consume ``device``'s next dispatch tick; the armed fault, if any."""
+        tick = self._cursor[device]
+        self._cursor[device] = tick + 1
+        kind = self._by_device.get(device, {}).get(tick)
+        if kind is not None:
+            self.fired.append(FaultSpec(device, tick, kind))
+        return kind
+
+    @property
+    def fired_count(self) -> int:
+        return len(self.fired)
+
+    @property
+    def remaining(self) -> int:
+        """Armed faults not yet fired (their ticks may never be reached)."""
+        return len(self.faults) - len(self.fired)
+
+    def reset(self) -> None:
+        """Rewind cursors and the fired log so the plan replays from tick 0."""
+        self._cursor.clear()
+        self.fired.clear()
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def describe(self) -> str:
+        """One line per armed fault, for logs and demos."""
+        head = f"fault plan (seed={self.seed}, {len(self.faults)} faults)"
+        rows = [
+            f"  dev{f.device} dispatch {f.dispatch}: {f.kind.value}"
+            for f in self.faults
+        ]
+        return "\n".join([head, *rows]) if rows else head + ": empty"
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan(seed={self.seed}, armed={len(self.faults)}, "
+            f"fired={len(self.fired)})"
+        )

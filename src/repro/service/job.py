@@ -57,6 +57,7 @@ class SearchJob:
     error: str | None = None
     attempts: int = 0
     fallback_engine: Engine | None = None    # set when a retry degraded
+    resumed: bool = False                    # restored from a run journal
     submitted_at: float | None = None
     started_at: float | None = None
     finished_at: float | None = None
@@ -90,6 +91,7 @@ class SearchJob:
             "state": self.state.value,
             "priority": self.priority,
             "attempts": self.attempts,
+            "resumed": self.resumed,
             "error": self.error,
         }
         if self.results is not None:
@@ -133,13 +135,20 @@ class JobQueue:
         thresholds: PipelineThresholds | None = None,
         settings: PipelineSettings | None = None,
         clock: float | None = None,
+        job_id: str | None = None,
     ) -> SearchJob:
-        """Mint a job and enqueue it; returns the job (with its id)."""
+        """Mint a job and enqueue it; returns the job (with its id).
+
+        Ids default to ``job-<serial>-<content fingerprint>`` - stable
+        across reruns of the same submission sequence.  An explicit
+        ``job_id`` (e.g. a manifest's ``id`` field) is used verbatim,
+        which makes checkpoint journals robust to manifest edits.
+        """
         serial = self._serial
         self._serial += 1
         self.submitted += 1
         job = SearchJob(
-            job_id=(
+            job_id=job_id if job_id is not None else (
                 f"job-{serial:04d}-"
                 f"{_job_fingerprint(hmm, database, engine)[:8]}"
             ),

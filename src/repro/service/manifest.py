@@ -6,7 +6,8 @@ database) jobs::
     {
       "jobs": [
         {"model": "globins.hmm", "database": "targets.fasta"},
-        {"model": "globins.hmm", "database": "targets.fasta",
+        {"id": "globins-cpu", "model": "globins.hmm",
+         "database": "targets.fasta",
          "engine": "cpu", "priority": 5, "length": 250}
       ]
     }
@@ -15,6 +16,16 @@ A bare top-level list is accepted too.  Paths are resolved relative to
 the manifest's directory.  Repeated ``model`` entries are the point:
 they exercise the pipeline cache exactly like repeat queries against a
 live service.
+
+An optional ``id`` per job names it explicitly (must be unique across
+the manifest); explicit ids make checkpoint journals
+(``repro-hmmsearch batch --journal ... --resume``) robust to manifest
+edits, because the default ids embed the submission serial.
+
+Validation is strict and *up front*: duplicate ids and model/database
+paths that do not exist are rejected with a
+:class:`~repro.errors.FormatError` naming the offending job index and
+path before any job is loaded or submitted.
 """
 
 from __future__ import annotations
@@ -29,7 +40,7 @@ from ..sequence.fasta import read_fasta
 from .cache import PipelineSettings
 from .job import SearchJob
 
-__all__ = ["load_manifest", "submit_manifest"]
+__all__ = ["load_manifest", "submit_manifest", "validate_manifest_paths"]
 
 _ENGINES = {"cpu": Engine.CPU_SSE, "gpu": Engine.GPU_WARP}
 
@@ -48,6 +59,7 @@ def load_manifest(path: str | Path) -> list[dict]:
             "(top-level or under 'jobs')"
         )
     normalized = []
+    seen_ids: dict[str, int] = {}
     for i, entry in enumerate(jobs):
         if not isinstance(entry, dict):
             raise FormatError(f"manifest {path}: job {i} is not an object")
@@ -62,8 +74,22 @@ def load_manifest(path: str | Path) -> list[dict]:
                 f"manifest {path}: job {i} has unknown engine {engine!r} "
                 "(expected 'cpu' or 'gpu')"
             )
+        job_id = entry.get("id")
+        if job_id is not None:
+            if not isinstance(job_id, str) or not job_id.strip():
+                raise FormatError(
+                    f"manifest {path}: job {i} has an invalid id "
+                    f"{job_id!r} (expected a non-empty string)"
+                )
+            if job_id in seen_ids:
+                raise FormatError(
+                    f"manifest {path}: job {i} reuses id {job_id!r} "
+                    f"(first used by job {seen_ids[job_id]})"
+                )
+            seen_ids[job_id] = i
         normalized.append(
             {
+                "id": job_id,
                 "model": entry["model"],
                 "database": entry["database"],
                 "engine": engine,
@@ -72,6 +98,24 @@ def load_manifest(path: str | Path) -> list[dict]:
             }
         )
     return normalized
+
+
+def validate_manifest_paths(
+    entries: list[dict], base: Path, manifest_path: Path
+) -> None:
+    """Reject nonexistent model/database paths before anything loads.
+
+    Failing fast - naming the job index and the resolved path - beats a
+    mid-batch crash after hours of completed jobs.
+    """
+    for i, entry in enumerate(entries):
+        for key in ("model", "database"):
+            resolved = (base / entry[key]).resolve()
+            if not resolved.exists():
+                raise FormatError(
+                    f"manifest {manifest_path}: job {i} references a "
+                    f"nonexistent {key} path {resolved}"
+                )
 
 
 def submit_manifest(
@@ -90,6 +134,7 @@ def submit_manifest(
     manifest_path = Path(manifest_path)
     entries = load_manifest(manifest_path)
     base = manifest_path.parent
+    validate_manifest_paths(entries, base, manifest_path)
     models: dict[Path, object] = {}
     databases: dict[Path, object] = {}
     submitted = []
@@ -112,6 +157,7 @@ def submit_manifest(
                 engine=_ENGINES[entry["engine"]],
                 priority=entry["priority"],
                 settings=settings,
+                job_id=entry["id"],
             )
         )
     return submitted

@@ -7,6 +7,12 @@ summed across jobs, merged kernel event counters, retry/fallback counts,
 plus - via the attached pool and cache - per-device dispatch shares and
 pipeline-cache hit rates.  ``render()`` produces the plain-text report
 the ``repro-hmmsearch batch`` command prints.
+
+The registry also owns a :class:`ResilienceStats`: the resilient
+dispatcher deposits every fault/recovery event there, giving the report
+fault counts by kind, a retry-attempt histogram, repartition and CPU
+shard-fallback counts, quarantine/reintegration totals, and the number
+of jobs resumed from a checkpoint journal versus recomputed.
 """
 
 from __future__ import annotations
@@ -17,8 +23,9 @@ from ..gpu.counters import KernelCounters
 from ..pipeline.results import StageStats
 from .cache import PipelineCache
 from .devices import DevicePool
+from .faults import ResilienceEvent
 
-__all__ = ["JobRecord", "MetricsRegistry"]
+__all__ = ["JobRecord", "MetricsRegistry", "ResilienceStats"]
 
 _STAGE_ORDER = ("msv", "p7viterbi", "forward")
 
@@ -37,6 +44,7 @@ class JobRecord:
     n_hits: int = 0
     attempts: int = 1
     fell_back: bool = False
+    resumed: bool = False        # restored from a checkpoint journal
     cache_hit: bool = False
     queue_latency: float = 0.0
     run_seconds: float = 0.0
@@ -56,6 +64,7 @@ class JobRecord:
             "n_hits": self.n_hits,
             "attempts": self.attempts,
             "fell_back": self.fell_back,
+            "resumed": self.resumed,
             "cache_hit": self.cache_hit,
             "queue_latency": self.queue_latency,
             "run_seconds": self.run_seconds,
@@ -63,6 +72,109 @@ class JobRecord:
             "counters": {k: c.as_dict() for k, c in self.counters.items()},
             "error": self.error,
         }
+
+
+class ResilienceStats:
+    """Rolled-up fault/recovery accounting fed by the resilient dispatcher.
+
+    Counters obey one invariant the chaos tests pin: every injected
+    fault is answered by exactly one of a retry, a repartition, or a
+    shard CPU fallback, so::
+
+        total_faults == total_retries + repartitions + cpu_shard_fallbacks
+
+    (Quarantine, probe and reintegration events are health bookkeeping
+    on top of those responses; stage-level CPU fallbacks happen when a
+    stage *starts* with every device quarantined, not in answer to a
+    fault.)
+    """
+
+    def __init__(self) -> None:
+        self.events: list[ResilienceEvent] = []
+        self.fault_counts: dict[str, int] = {}
+        self.retry_histogram: dict[int, int] = {}
+        self.repartitions = 0
+        self.cpu_shard_fallbacks = 0
+        self.cpu_stage_fallbacks = 0
+        self.quarantines = 0
+        self.probes = 0
+        self.reintegrations = 0
+        self.resumes = 0
+
+    def record(self, event: ResilienceEvent) -> None:
+        self.events.append(event)
+        if event.kind == "fault":
+            key = event.fault or "unknown"
+            self.fault_counts[key] = self.fault_counts.get(key, 0) + 1
+        elif event.kind == "retry":
+            self.retry_histogram[event.attempt] = (
+                self.retry_histogram.get(event.attempt, 0) + 1
+            )
+        elif event.kind == "repartition":
+            self.repartitions += 1
+        elif event.kind == "cpu_fallback":
+            self.cpu_shard_fallbacks += 1
+        elif event.kind == "cpu_stage":
+            self.cpu_stage_fallbacks += 1
+        elif event.kind == "quarantine":
+            self.quarantines += 1
+        elif event.kind == "probe":
+            self.probes += 1
+        elif event.kind == "reintegrate":
+            self.reintegrations += 1
+        elif event.kind == "resume":
+            self.resumes += 1
+
+    @property
+    def total_faults(self) -> int:
+        return sum(self.fault_counts.values())
+
+    @property
+    def total_retries(self) -> int:
+        return sum(self.retry_histogram.values())
+
+    @property
+    def fault_responses(self) -> int:
+        """Retries + repartitions + shard CPU fallbacks (== total_faults)."""
+        return self.total_retries + self.repartitions + self.cpu_shard_fallbacks
+
+    def to_dict(self) -> dict:
+        return {
+            "fault_counts": dict(self.fault_counts),
+            "total_faults": self.total_faults,
+            "retry_histogram": {
+                str(k): v for k, v in sorted(self.retry_histogram.items())
+            },
+            "total_retries": self.total_retries,
+            "repartitions": self.repartitions,
+            "cpu_shard_fallbacks": self.cpu_shard_fallbacks,
+            "cpu_stage_fallbacks": self.cpu_stage_fallbacks,
+            "quarantines": self.quarantines,
+            "probes": self.probes,
+            "reintegrations": self.reintegrations,
+            "resumes": self.resumes,
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    def render_lines(self) -> list[str]:
+        kinds = ", ".join(
+            f"{k}={v}" for k, v in sorted(self.fault_counts.items())
+        )
+        hist = " ".join(
+            f"attempt{k}:{v}" for k, v in sorted(self.retry_histogram.items())
+        )
+        lines = [
+            "resilience",
+            f"  faults injected: {self.total_faults}"
+            + (f" ({kinds})" if kinds else ""),
+            f"  retries: {self.total_retries}" + (f" ({hist})" if hist else ""),
+            f"  repartitions: {self.repartitions}   "
+            f"shard CPU fallbacks: {self.cpu_shard_fallbacks}   "
+            f"stage CPU fallbacks: {self.cpu_stage_fallbacks}",
+            f"  quarantines: {self.quarantines}   probes: {self.probes}   "
+            f"reintegrations: {self.reintegrations}",
+        ]
+        return lines
 
 
 class MetricsRegistry:
@@ -76,6 +188,7 @@ class MetricsRegistry:
         self.records: list[JobRecord] = []
         self.pool = pool
         self.cache = cache
+        self.resilience = ResilienceStats()
 
     def attach(self, pool: DevicePool, cache: PipelineCache) -> None:
         self.pool = pool
@@ -97,6 +210,16 @@ class MetricsRegistry:
     @property
     def fallbacks(self) -> int:
         return sum(1 for r in self.records if r.fell_back)
+
+    @property
+    def resumed_jobs(self) -> int:
+        """Jobs restored from a checkpoint journal instead of recomputed."""
+        return sum(1 for r in self.records if r.resumed)
+
+    @property
+    def recomputed_jobs(self) -> int:
+        """Jobs that actually executed (done or failed, not resumed)."""
+        return sum(1 for r in self.records if not r.resumed)
 
     @property
     def total_hits(self) -> int:
@@ -149,6 +272,9 @@ class MetricsRegistry:
             "stage_totals": {
                 k: v.to_dict() for k, v in self.stage_totals().items()
             },
+            "resumed_jobs": self.resumed_jobs,
+            "recomputed_jobs": self.recomputed_jobs,
+            "resilience": self.resilience.to_dict(),
         }
         if self.cache is not None:
             data["cache"] = self.cache.stats()
@@ -161,10 +287,16 @@ class MetricsRegistry:
     def render(self) -> str:
         """The plain-text service report."""
         lines = ["batch search service report", "=" * 27, ""]
-        lines.append(
+        jobs_line = (
             f"jobs: {len(self.records)} total, {self.jobs_done} done, "
             f"{self.jobs_failed} failed, {self.fallbacks} degraded to CPU"
         )
+        if self.resumed_jobs:
+            jobs_line += (
+                f", {self.resumed_jobs} resumed from journal "
+                f"({self.recomputed_jobs} recomputed)"
+            )
+        lines.append(jobs_line)
         lines.append(
             f"targets scored: {self.total_targets}   "
             f"hits reported: {self.total_hits}"
@@ -217,4 +349,8 @@ class MetricsRegistry:
                 f"{s['evictions']} evictions "
                 f"(hit rate {100 * s['hit_rate']:.1f}%)"
             )
+
+        if self.resilience.events:
+            lines.append("")
+            lines.extend(self.resilience.render_lines())
         return "\n".join(lines)

@@ -1,0 +1,475 @@
+"""Resilient shard dispatch: retry, re-partition, degrade, checkpoint.
+
+PR 1's scheduler knew one trick: catch a :class:`LaunchError` around the
+*whole* job and rerun it once on the CPU, discarding every completed GPU
+shard.  This module replaces that with a shard-level degradation ladder
+driven by a :class:`RetryPolicy`:
+
+1. **Retry same device** - up to ``max_device_retries`` times with
+   exponential backoff and deterministic jitter, under a per-job
+   ``retry_budget``.
+2. **Re-partition** - the failed chunk alone is residue-split across the
+   surviving devices; completed shards are never recomputed.
+3. **CPU fallback for the residual shard only** - the reference batch
+   scorer finishes what no device could (scores are bit-identical by
+   the paper's accuracy-preservation property).
+
+Failures feed the :class:`~repro.service.devices.DeviceSlot` health
+state machine (healthy -> degraded -> quarantined with exponentially
+growing cooldowns and reintegration probes), every recovery step lands
+in a deterministic :class:`~repro.service.faults.ResilienceEvent` log,
+and a :class:`RunJournal` checkpoints completed jobs so a killed batch
+run resumes without recomputing finished work.
+
+The invariant all of this preserves: faults may change throughput
+accounting, device health and the event log - they never change the
+reported hits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..cpu.msv_reference import msv_score_batch
+from ..cpu.results import FilterScores
+from ..cpu.viterbi_reference import viterbi_score_batch
+from ..errors import (
+    DeadlineError,
+    KernelError,
+    LaunchError,
+    PipelineError,
+    ShardIntegrityError,
+)
+from ..gpu.counters import KernelCounters
+from ..gpu.multi_gpu import score_chunk
+from ..sequence.database import SequenceDatabase
+from .devices import DeviceHealth, DevicePool, DeviceSlot
+from .faults import FaultKind, FaultPlan, ResilienceEvent
+
+__all__ = ["RetryPolicy", "ResilientExecutor", "RunJournal", "result_digest"]
+
+# Transient shard failures the degradation ladder absorbs.  Anything
+# else (a programming error, an invalid profile) propagates unchanged.
+TRANSIENT_FAULTS = (LaunchError, KernelError, DeadlineError, ShardIntegrityError)
+
+# Deterministic score perturbation applied by an injected CORRUPT fault:
+# every score is biased and every overflow flag flipped, so the shard
+# checksum probe detects the corruption no matter which rows it samples.
+_CORRUPTION_BIAS = 3.25
+
+_FAULT_BY_ERROR = {
+    LaunchError: FaultKind.LAUNCH.value,
+    KernelError: FaultKind.KERNEL.value,
+    DeadlineError: FaultKind.HANG.value,
+    ShardIntegrityError: FaultKind.CORRUPT.value,
+}
+
+# Reference scorers used for shard- and stage-level CPU fallback; the
+# stage name is the executor-hook contract with HmmsearchPipeline.
+_CPU_STAGE_SCORERS: dict[str, Callable[..., FilterScores]] = {
+    "msv": msv_score_batch,
+    "p7viterbi": viterbi_score_batch,
+}
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Knobs of the degradation ladder and the device health machine.
+
+    Backoff for retry ``k`` (1-based) is
+    ``backoff_base * backoff_multiplier**(k-1)`` scaled by a
+    deterministic jitter in ``[1, 1 + backoff_jitter)`` derived from
+    ``(seed, key, attempt)`` - no wall clock, no shared RNG state, so
+    identical runs log identical backoffs.
+    """
+
+    max_device_retries: int = 2      # same-device retries per shard
+    retry_budget: int = 8            # total retries per job (all stages)
+    backoff_base: float = 0.05       # seconds before the first retry
+    backoff_multiplier: float = 2.0
+    backoff_jitter: float = 0.25     # max fractional jitter on top
+    stage_deadline: float = 30.0     # watchdog deadline (simulated seconds)
+    quarantine_after: int = 3        # consecutive strikes -> quarantine
+    cooldown: int = 4                # quarantine cooldown, in pool ticks
+    cooldown_multiplier: float = 2.0
+    verify_shards: bool = True       # checksum-probe every GPU shard
+    seed: int = 0                    # jitter seed
+
+    def __post_init__(self) -> None:
+        if self.max_device_retries < 0:
+            raise PipelineError("max_device_retries must be >= 0")
+        if self.retry_budget < 0:
+            raise PipelineError("retry_budget must be >= 0")
+        if self.backoff_base < 0 or self.backoff_jitter < 0:
+            raise PipelineError("backoff parameters must be non-negative")
+        if self.quarantine_after < 1:
+            raise PipelineError("quarantine_after must be >= 1")
+
+    def backoff_seconds(self, attempt: int, key: str) -> float:
+        """Deterministically jittered exponential backoff for a retry."""
+        base = self.backoff_base * self.backoff_multiplier ** max(
+            0, attempt - 1
+        )
+        digest = hashlib.sha256(
+            f"{self.seed}:{key}:{attempt}".encode()
+        ).digest()
+        frac = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return base * (1.0 + self.backoff_jitter * frac)
+
+
+class ResilientExecutor:
+    """Stage executor with per-shard fault recovery.
+
+    Drop-in for :class:`~repro.service.scheduler.PoolExecutor` via the
+    pipeline's ``executor`` hook, but each device's shard is attempted,
+    verified and - on transient failure - retried, re-partitioned or
+    CPU-degraded *independently*, so one bad device no longer discards
+    the whole stage.  Injected faults come from an optional
+    :class:`~repro.service.faults.FaultPlan`; armed slot faults
+    (:meth:`DeviceSlot.inject_fault`) are absorbed by the same ladder.
+
+    ``sleep`` is the backoff actuator; it defaults to ``None`` (record
+    the computed backoff in the event log without sleeping) so tests and
+    the simulated service stay fast and deterministic.
+    """
+
+    def __init__(
+        self,
+        pool: DevicePool,
+        plan: FaultPlan | None = None,
+        policy: RetryPolicy | None = None,
+        stats=None,
+        job_id: str | None = None,
+        sort_chunks: bool = True,
+        sleep: Callable[[float], None] | None = None,
+    ) -> None:
+        self.pool = pool
+        self.plan = plan
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.stats = stats
+        self.job_id = job_id
+        self.sort_chunks = sort_chunks
+        self.sleep = sleep
+        self.stage_dispatches = 0
+        self.failed_dispatches = 0
+        self.retries_left = self.policy.retry_budget
+
+    # -- event log -----------------------------------------------------------
+
+    def _emit(self, kind: str, **kw) -> ResilienceEvent:
+        event = ResilienceEvent(kind=kind, job_id=self.job_id, **kw)
+        if self.stats is not None:
+            self.stats.record(event)
+        return event
+
+    # -- the executor hook ---------------------------------------------------
+
+    def score_stage(
+        self, name, kernel, profile, database, *, config, counters=None
+    ):
+        self.pool.advance()
+        slots = self.pool.serviceable_slots(len(database))
+        n = len(database)
+        scores = np.empty(n, dtype=np.float64)
+        overflowed = np.empty(n, dtype=bool)
+        if not slots:
+            # every device quarantined and cooling down: the stage
+            # itself degrades to the reference scorer
+            self._emit(
+                "cpu_stage", stage=name,
+                detail=f"all {self.pool.size} devices quarantined",
+            )
+            part = self._cpu_scores(name, profile, database)
+            scores[:] = part.scores
+            overflowed[:] = part.overflowed
+            self.stage_dispatches += 1
+            return FilterScores(scores=scores, overflowed=overflowed)
+        chunks = database.chunk_by_residues(len(slots))
+        offset = 0
+        for chunk, slot in zip(chunks, slots):
+            part = self._score_shard(
+                name, kernel, profile, chunk, slot, config, counters,
+                peers=slots,
+            )
+            m = len(chunk)
+            scores[offset : offset + m] = part.scores
+            overflowed[offset : offset + m] = part.overflowed
+            offset += m
+        self.stage_dispatches += 1
+        return FilterScores(scores=scores, overflowed=overflowed)
+
+    # -- the degradation ladder ----------------------------------------------
+
+    def _score_shard(
+        self, name, kernel, profile, chunk, slot, config, counters,
+        peers, allow_repartition: bool = True,
+    ) -> FilterScores:
+        if slot.health is DeviceHealth.QUARANTINED:
+            self._emit(
+                "probe", stage=name, device=slot.index,
+                detail=f"reintegration probe after quarantine "
+                       f"#{slot.quarantines}",
+            )
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                part = self._attempt(
+                    name, kernel, profile, chunk, slot, config, counters
+                )
+            except TRANSIENT_FAULTS as exc:
+                fault = _FAULT_BY_ERROR.get(type(exc), "launch")
+                self._emit(
+                    "fault", stage=name, device=slot.index,
+                    attempt=attempt, fault=fault, detail=str(exc),
+                )
+                quarantined = slot.mark_failure(
+                    self.pool.tick,
+                    quarantine_after=self.policy.quarantine_after,
+                    cooldown=self.policy.cooldown,
+                    cooldown_multiplier=self.policy.cooldown_multiplier,
+                )
+                if quarantined:
+                    self._emit(
+                        "quarantine", stage=name, device=slot.index,
+                        detail=f"cooldown until tick {slot.cooldown_until}",
+                    )
+                if (
+                    not quarantined
+                    and attempt <= self.policy.max_device_retries
+                    and self.retries_left > 0
+                ):
+                    self.retries_left -= 1
+                    delay = self.policy.backoff_seconds(
+                        attempt, key=f"{self.job_id}:{name}:{slot.index}"
+                    )
+                    self._emit(
+                        "retry", stage=name, device=slot.index,
+                        attempt=attempt, backoff=delay,
+                    )
+                    if self.sleep is not None:
+                        self.sleep(delay)
+                    continue
+                return self._escalate(
+                    name, kernel, profile, chunk, slot, config, counters,
+                    peers, allow_repartition,
+                )
+            if slot.mark_success():
+                self._emit(
+                    "reintegrate", stage=name, device=slot.index,
+                    detail="probe succeeded, device healthy again",
+                )
+            return part
+
+    def _attempt(
+        self, name, kernel, profile, chunk, slot, config, counters
+    ) -> FilterScores:
+        spec = slot.checkout()
+        try:
+            fault = self.plan.draw(slot.index) if self.plan is not None else None
+            if fault is FaultKind.LAUNCH:
+                raise LaunchError(
+                    f"injected launch failure on device {slot.index} "
+                    f"({spec.name})"
+                )
+            if fault is FaultKind.HANG:
+                # the simulated device stopped responding; the stage
+                # watchdog trips its deadline
+                raise DeadlineError(
+                    f"device {slot.index} ({spec.name}) exceeded the "
+                    f"{self.policy.stage_deadline:g}s stage deadline "
+                    "(simulated hang)"
+                )
+            if fault is FaultKind.KERNEL:
+                raise KernelError(
+                    f"transient kernel fault injected on device {slot.index}"
+                )
+            c = KernelCounters()
+            part = score_chunk(
+                kernel, profile, chunk, spec,
+                sort=self.sort_chunks, counters=c, config=config,
+            )
+            if fault is FaultKind.CORRUPT:
+                part = FilterScores(
+                    scores=part.scores + _CORRUPTION_BIAS,
+                    overflowed=~part.overflowed,
+                )
+            if self.policy.verify_shards:
+                self._verify_shard(
+                    name, kernel, profile, chunk, part, slot, spec, config
+                )
+            slot.record(len(chunk), chunk.total_residues, c)
+            if counters is not None:
+                counters.merge(c)
+            return part
+        finally:
+            slot.release()
+
+    def _verify_shard(
+        self, name, kernel, profile, chunk, part, slot, spec, config
+    ) -> None:
+        """Cheap shard checksum: re-score a 3-row probe and compare.
+
+        Kernels are deterministic and score sequences independently, so
+        any honest shard reproduces its probe rows exactly; a corrupted
+        shard (scores biased, overflow flags flipped) cannot.  Probe
+        counters are deliberately not merged - verification overhead is
+        not device work.
+        """
+        n = len(chunk)
+        idx = sorted({0, n // 2, n - 1})
+        probe = kernel(
+            profile, chunk.subset(idx), device=spec,
+            counters=KernelCounters(), config=config,
+        )
+        if not np.array_equal(probe.scores, part.scores[idx]) or not (
+            np.array_equal(probe.overflowed, part.overflowed[idx])
+        ):
+            raise ShardIntegrityError(
+                f"shard checksum mismatch on device {slot.index}: "
+                f"recomputed probe rows {idx} disagree with the "
+                "returned scores"
+            )
+
+    def _escalate(
+        self, name, kernel, profile, chunk, slot, config, counters,
+        peers, allow_repartition,
+    ) -> FilterScores:
+        if allow_repartition:
+            survivors = [
+                s for s in peers
+                if s is not slot and s.available(self.pool.tick)
+            ]
+            if survivors:
+                k = min(len(survivors), len(chunk))
+                self._emit(
+                    "repartition", stage=name, device=slot.index,
+                    detail=(
+                        f"chunk of {len(chunk)} re-split across "
+                        f"{k} surviving device(s)"
+                    ),
+                )
+                parts = [
+                    self._score_shard(
+                        name, kernel, profile, sub, peer, config, counters,
+                        peers, allow_repartition=False,
+                    )
+                    for sub, peer in zip(
+                        chunk.chunk_by_residues(k), survivors
+                    )
+                ]
+                return FilterScores(
+                    scores=np.concatenate([p.scores for p in parts]),
+                    overflowed=np.concatenate([p.overflowed for p in parts]),
+                )
+        self._emit(
+            "cpu_fallback", stage=name, device=slot.index,
+            detail=f"residual shard of {len(chunk)} scored on the CPU",
+        )
+        return self._cpu_scores(name, profile, chunk)
+
+    def _cpu_scores(
+        self, name: str, profile, database: SequenceDatabase
+    ) -> FilterScores:
+        scorer = _CPU_STAGE_SCORERS.get(name)
+        if scorer is None:
+            raise PipelineError(
+                f"no CPU fallback scorer for stage {name!r}"
+            )
+        return scorer(profile, database)
+
+
+# -- checkpoint / resume -----------------------------------------------------
+
+
+def result_digest(results) -> str:
+    """Stable digest of a job's reported hits (names, E-values, targets).
+
+    Two runs that report the same hits - the resilience invariant -
+    produce the same digest, making journals diffable across chaos and
+    fault-free runs.
+    """
+    h = hashlib.sha256()
+    h.update(str(results.n_targets).encode())
+    for hit in results.hits:
+        h.update(hit.name.encode())
+        h.update(np.float64(hit.evalue).tobytes())
+    return h.hexdigest()
+
+
+class RunJournal:
+    """Append-only JSONL checkpoint of completed batch jobs.
+
+    One line per finished job::
+
+        {"job_id": ..., "state": "done", "digest": ..., "n_targets": ...,
+         "n_hits": ..., "effective_engine": ..., "query": ..., "database": ...}
+
+    Lines are flushed as they are written, so a crash loses at most the
+    in-flight job.  On load, a truncated trailing line (the crash
+    artifact) is tolerated and dropped.  ``resume=True`` loads existing
+    entries so the scheduler can skip jobs already marked done;
+    ``resume=False`` truncates and starts a fresh run.
+    """
+
+    def __init__(self, path: str | Path, resume: bool = True) -> None:
+        self.path = Path(path)
+        self._entries: dict[str, dict] = {}
+        if resume and self.path.exists():
+            self._load()
+        elif self.path.exists():
+            self.path.unlink()
+
+    def _load(self) -> None:
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # truncated trailing line from a crash
+            job_id = entry.get("job_id")
+            if isinstance(job_id, str):
+                self._entries[job_id] = entry
+
+    def completed(self, job_id: str) -> dict | None:
+        """The journal entry for a finished job, or None."""
+        entry = self._entries.get(job_id)
+        if entry is not None and entry.get("state") == "done":
+            return entry
+        return None
+
+    def record(self, job) -> dict:
+        """Checkpoint one finished job (call after state becomes DONE)."""
+        results = job.results
+        entry = {
+            "job_id": job.job_id,
+            "state": job.state.value,
+            "digest": result_digest(results) if results is not None else "",
+            "n_targets": results.n_targets if results is not None else 0,
+            "n_hits": len(results.hits) if results is not None else 0,
+            "effective_engine": job.effective_engine.value,
+            "query": job.hmm.name,
+            "database": job.database.name,
+        }
+        self._entries[job.job_id] = entry
+        with self.path.open("a") as fh:
+            fh.write(json.dumps(entry) + "\n")
+            fh.flush()
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._entries
+
+    def __repr__(self) -> str:
+        return f"RunJournal({str(self.path)!r}, entries={len(self._entries)})"

@@ -3,8 +3,8 @@
 For every job the scheduler (1) fetches a calibrated pipeline from the
 :class:`~repro.service.cache.PipelineCache`, (2) runs the three-stage
 search - GPU jobs have their MSV and P7Viterbi stages dispatched through
-a :class:`PoolExecutor`, which residue-balances each stage's database
-across the pool via
+a stage executor, which residue-balances each stage's database across
+the pool via
 :func:`~repro.gpu.multi_gpu.run_multi_gpu` (length-sorting within each
 shard, the warp load-balance heuristic) - and (3) deposits a
 :class:`~repro.service.metrics.JobRecord`.
@@ -14,11 +14,23 @@ any pool produces the *same hits* as a direct
 :meth:`HmmsearchPipeline.search` call - the property the test suite
 pins down.
 
-Fault handling: if a device launch raises
-:class:`~repro.errors.LaunchError` (injected or real), the job is
-retried once on ``Engine.CPU_SSE``.  Accuracy preservation makes the
-degraded result identical to the fault-free one; only throughput
-accounting changes.
+Fault handling comes in two tiers:
+
+* **Legacy (default)**: if a device launch raises
+  :class:`~repro.errors.LaunchError` (injected or real), the whole job
+  is retried once on ``Engine.CPU_SSE``.  Accuracy preservation makes
+  the degraded result identical to the fault-free one; only throughput
+  accounting changes.
+* **Resilient**: given a ``fault_plan`` and/or ``retry_policy`` (or a
+  global plan from ``REPRO_FAULT_SEED``), GPU stages run through a
+  :class:`~repro.service.resilience.ResilientExecutor`: shard-level
+  retry with backoff, re-partitioning onto surviving devices, CPU
+  fallback for the residual shard only, and device quarantine - so one
+  bad device no longer discards completed shard work.
+
+A :class:`~repro.service.resilience.RunJournal` checkpoints completed
+jobs; on a rerun, journaled jobs are *resumed* (skipped, with metrics
+marking them resumed rather than recomputed).
 """
 
 from __future__ import annotations
@@ -32,8 +44,10 @@ from ..kernels.memconfig import MemoryConfig
 from ..pipeline.pipeline import Engine
 from .cache import PipelineCache
 from .devices import DevicePool
+from .faults import FaultPlan, ResilienceEvent
 from .job import JobQueue, JobState, SearchJob
 from .metrics import JobRecord, MetricsRegistry
+from .resilience import ResilientExecutor, RetryPolicy, RunJournal
 
 __all__ = ["PoolExecutor", "Scheduler"]
 
@@ -47,37 +61,49 @@ class PoolExecutor:
     length-sorted before scoring, and scores are merged back into
     database order.  Per-device work lands on the pool's slots; merged
     kernel counters land in the pipeline's per-stage counter.
+
+    Slot accounting stays coherent even when a launch aborts mid-stage:
+    every checked-out slot is released on the way out, and failed stage
+    launches are counted separately from completed ones.
     """
 
     def __init__(self, pool: DevicePool, sort_chunks: bool = True) -> None:
         self.pool = pool
         self.sort_chunks = sort_chunks
         self.stage_dispatches = 0
+        self.failed_dispatches = 0
 
     def score_stage(
         self, name, kernel, profile, database, *, config, counters=None
     ):
         slots = self.pool.active_slots(len(database))
-        # checkout claims every device up front; an armed fault aborts
-        # the whole stage launch before any chunk is scored
-        specs = [slot.checkout() for slot in slots]
-        run = run_multi_gpu(
-            kernel,
-            profile,
-            database,
-            devices=specs,
-            sort_chunks=self.sort_chunks,
-            config=config,
-        )
-        for slot, c, n_res, n_seq in zip(
-            slots, run.device_counters, run.chunk_residues,
-            run.chunk_sequences,
-        ):
-            slot.record(n_seq, n_res, c)
-            if counters is not None:
-                counters.merge(c)
-        self.stage_dispatches += 1
-        return run.scores
+        try:
+            # checkout claims every device up front; an armed fault
+            # aborts the whole stage launch before any chunk is scored
+            specs = [slot.checkout() for slot in slots]
+            run = run_multi_gpu(
+                kernel,
+                profile,
+                database,
+                devices=specs,
+                sort_chunks=self.sort_chunks,
+                config=config,
+            )
+            for slot, c, n_res, n_seq in zip(
+                slots, run.device_counters, run.chunk_residues,
+                run.chunk_sequences,
+            ):
+                slot.record(n_seq, n_res, c)
+                if counters is not None:
+                    counters.merge(c)
+            self.stage_dispatches += 1
+            return run.scores
+        except Exception:
+            self.failed_dispatches += 1
+            raise
+        finally:
+            for slot in slots:
+                slot.release()
 
 
 class Scheduler:
@@ -90,6 +116,9 @@ class Scheduler:
         metrics: MetricsRegistry | None = None,
         config: MemoryConfig = MemoryConfig.SHARED,
         clock: Callable[[], float] = time.perf_counter,
+        fault_plan: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+        journal: RunJournal | None = None,
     ) -> None:
         # explicit None checks: an empty PipelineCache is falsy (__len__)
         self.pool = pool if pool is not None else DevicePool.heterogeneous()
@@ -98,12 +127,47 @@ class Scheduler:
         self.metrics.attach(self.pool, self.cache)
         self.config = config
         self.clock = clock
+        # an explicit plan wins; otherwise REPRO_FAULT_SEED may arm a
+        # global chaos plan (the CI chaos job's hook)
+        self.fault_plan = (
+            fault_plan if fault_plan is not None else FaultPlan.from_env()
+        )
+        self.retry_policy = retry_policy
+        self.journal = journal
+
+    @property
+    def resilient(self) -> bool:
+        """Whether GPU stages dispatch through the resilient executor."""
+        return self.fault_plan is not None or self.retry_policy is not None
+
+    def _executor(self, job: SearchJob):
+        if self.resilient:
+            return ResilientExecutor(
+                self.pool,
+                plan=self.fault_plan,
+                policy=self.retry_policy or RetryPolicy(),
+                stats=self.metrics.resilience,
+                job_id=job.job_id,
+            )
+        return PoolExecutor(self.pool)
 
     def run(self, queue: JobQueue) -> list[SearchJob]:
-        """Drain the queue; returns the jobs in execution order."""
+        """Drain the queue; returns the jobs in execution order.
+
+        With a journal attached, jobs already checkpointed as done are
+        resumed - marked DONE and recorded as resumed, never recomputed.
+        """
         executed: list[SearchJob] = []
         while (job := queue.pop()) is not None:
-            self.execute(job)
+            entry = (
+                self.journal.completed(job.job_id)
+                if self.journal is not None
+                else None
+            )
+            if entry is not None:
+                self._resume(job, entry)
+            else:
+                self.execute(job)
             executed.append(job)
         return executed
 
@@ -123,7 +187,7 @@ class Scheduler:
                         job.database,
                         engine=Engine.GPU_WARP,
                         config=self.config,
-                        executor=PoolExecutor(self.pool),
+                        executor=self._executor(job),
                     )
                 else:
                     results = pipeline.search(
@@ -131,7 +195,9 @@ class Scheduler:
                     )
             except LaunchError as exc:
                 # device failed to launch: degrade to the CPU engine,
-                # which is bit-identical in scores
+                # which is bit-identical in scores (the resilient
+                # executor absorbs shard faults itself, so this is the
+                # legacy whole-job path)
                 error = str(exc)
                 job.attempts += 1
                 job.fallback_engine = Engine.CPU_SSE
@@ -145,6 +211,40 @@ class Scheduler:
         job.error = error
         job.finished_at = self.clock()
         self.metrics.record_job(self._record(job, cache_hit))
+        if self.journal is not None and job.state is JobState.DONE:
+            self.journal.record(job)
+        return job
+
+    def _resume(self, job: SearchJob, entry: dict) -> SearchJob:
+        """Restore a journaled job without recomputing it."""
+        job.state = JobState.DONE
+        job.resumed = True
+        job.started_at = self.clock()
+        job.finished_at = job.started_at
+        self.metrics.resilience.record(
+            ResilienceEvent(
+                kind="resume",
+                stage="job",
+                job_id=job.job_id,
+                detail=f"digest {entry.get('digest', '')[:12]}",
+            )
+        )
+        self.metrics.record_job(
+            JobRecord(
+                job_id=job.job_id,
+                query=job.hmm.name,
+                database=job.database.name,
+                engine=job.engine.value,
+                effective_engine=entry.get(
+                    "effective_engine", job.engine.value
+                ),
+                state=JobState.DONE.value,
+                n_targets=int(entry.get("n_targets", 0)),
+                n_hits=int(entry.get("n_hits", 0)),
+                attempts=0,
+                resumed=True,
+            )
+        )
         return job
 
     def _record(self, job: SearchJob, cache_hit: bool) -> JobRecord:
@@ -160,6 +260,7 @@ class Scheduler:
             n_hits=len(results.hits) if results else 0,
             attempts=job.attempts,
             fell_back=job.fallback_engine is not None,
+            resumed=job.resumed,
             cache_hit=cache_hit,
             queue_latency=job.queue_latency or 0.0,
             run_seconds=job.run_seconds or 0.0,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cpu import msv_score_batch, viterbi_score_batch
-from repro.errors import LaunchError
+from repro.errors import LaunchError, SequenceError
 from repro.gpu import FERMI_GTX580, KEPLER_K40
 from repro.gpu.multi_gpu import run_multi_gpu
 from repro.hmm import SearchProfile, sample_hmm
@@ -86,6 +86,34 @@ class TestAccounting:
             run_multi_gpu(msv_warp_kernel, bp, db, device_count=0)
         with pytest.raises(LaunchError):
             run_multi_gpu(msv_warp_kernel, bp, db, devices=[])
+
+    def test_empty_database_raises_sequence_error(self, setup):
+        """An empty database is rejected with a clear SequenceError,
+        not an opaque chunking crash."""
+        bp, _, _ = setup
+
+        class Empty:
+            def __len__(self):
+                return 0
+
+        with pytest.raises(SequenceError, match="empty database"):
+            run_multi_gpu(msv_warp_kernel, bp, Empty(), device_count=2)
+
+    def test_residue_balance_degenerate_runs(self, setup):
+        """No chunks, or all-zero residue shares, report perfect
+        balance instead of dividing by an empty/zero mean."""
+        from repro.gpu.multi_gpu import MultiGpuRun
+
+        empty = MultiGpuRun(
+            scores=None, device_counters=[], chunk_residues=[],
+            chunk_sequences=[], idle_devices=4,
+        )
+        assert empty.residue_balance() == 1.0
+        zero = MultiGpuRun(
+            scores=None, device_counters=[], chunk_residues=[0, 0],
+            chunk_sequences=[1, 1], idle_devices=0,
+        )
+        assert zero.residue_balance() == 1.0
 
 
 class TestOversizedPool:

@@ -69,6 +69,35 @@ class TestLoadManifest:
                 )
             )
 
+    def test_duplicate_job_ids_rejected(self, tmp_path):
+        entry = {"id": "same", "model": "a.hmm", "database": "b.fasta"}
+        with pytest.raises(
+            FormatError, match=r"job 1 reuses id 'same' \(first used by job 0\)"
+        ):
+            load_manifest(_write(tmp_path, [entry, dict(entry)]))
+
+    def test_blank_job_id_rejected(self, tmp_path):
+        with pytest.raises(FormatError, match="job 0 has an invalid id"):
+            load_manifest(
+                _write(
+                    tmp_path,
+                    [{"id": "  ", "model": "a.hmm", "database": "b.fasta"}],
+                )
+            )
+
+    def test_distinct_ids_accepted(self, tmp_path):
+        entries = load_manifest(
+            _write(
+                tmp_path,
+                [
+                    {"id": "one", "model": "a.hmm", "database": "b.fasta"},
+                    {"model": "a.hmm", "database": "b.fasta"},
+                ],
+            )
+        )
+        assert entries[0]["id"] == "one"
+        assert entries[1]["id"] is None
+
 
 class TestSubmitManifest:
     def test_submits_all_jobs_with_settings(self, fixture_dir):
@@ -109,3 +138,63 @@ class TestSubmitManifest:
         assert executed[0] is jobs[2]       # priority 7 first
         assert all(j.results is not None for j in jobs)
         assert service.cache.hits >= 1      # the repeated famA query
+
+    def test_nonexistent_model_path_rejected_up_front(self, fixture_dir):
+        manifest = _write(
+            fixture_dir,
+            {
+                "jobs": [
+                    {"model": "famA.hmm", "database": "famA.fasta"},
+                    {"model": "missing.hmm", "database": "famA.fasta"},
+                ]
+            },
+        )
+        service = BatchSearchService(pool=DevicePool.homogeneous(count=2))
+        with pytest.raises(
+            FormatError, match="job 1 references a nonexistent model path"
+        ):
+            submit_manifest(service, manifest)
+        # validation happens before anything loads or enqueues
+        assert len(service.queue) == 0
+
+    def test_nonexistent_database_path_rejected_up_front(self, fixture_dir):
+        manifest = _write(
+            fixture_dir,
+            {
+                "jobs": [
+                    {"model": "famA.hmm", "database": "gone.fasta"},
+                ]
+            },
+        )
+        service = BatchSearchService(pool=DevicePool.homogeneous(count=2))
+        with pytest.raises(
+            FormatError,
+            match="job 0 references a nonexistent database path",
+        ) as excinfo:
+            submit_manifest(service, manifest)
+        assert "gone.fasta" in str(excinfo.value)
+
+    def test_manifest_ids_become_job_ids(self, fixture_dir):
+        manifest = _write(
+            fixture_dir,
+            {
+                "jobs": [
+                    {
+                        "id": "famA-main",
+                        "model": "famA.hmm",
+                        "database": "famA.fasta",
+                    },
+                    {"model": "famA.hmm", "database": "famA.fasta"},
+                ]
+            },
+        )
+        service = BatchSearchService(pool=DevicePool.homogeneous(count=2))
+        jobs = submit_manifest(
+            service,
+            manifest,
+            default_length=60,
+            calibration_filter_sample=60,
+            calibration_forward_sample=25,
+        )
+        assert jobs[0].job_id == "famA-main"
+        assert jobs[1].job_id.startswith("job-0001-")

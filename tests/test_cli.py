@@ -144,6 +144,41 @@ class TestBatch:
         assert rc == 0
         assert "planted" in capsys.readouterr().out
 
+    def test_batch_journal_then_resume(self, manifest, tmp_path, capsys):
+        journal = tmp_path / "run.jsonl"
+        rc = main(
+            ["batch", str(manifest), "--length", "120",
+             "--calibration-sample", "100", "--journal", str(journal)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3 job(s) checkpointed (0 resumed this run)" in out
+        # identical manifest + deterministic job ids: everything resumes
+        rc = main(
+            ["batch", str(manifest), "--length", "120",
+             "--calibration-sample", "100",
+             "--journal", str(journal), "--resume"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "3 resumed from journal (0 recomputed)" in out
+        assert "3 job(s) checkpointed (3 resumed this run)" in out
+
+    def test_batch_resume_requires_journal(self, manifest):
+        with pytest.raises(SystemExit, match="requires --journal"):
+            main(["batch", str(manifest), "--resume"])
+
+    def test_batch_fault_seed_chaos_run(self, manifest, capsys):
+        rc = main(
+            ["batch", str(manifest), "--length", "120",
+             "--calibration-sample", "100",
+             "--fault-seed", "11", "--fault-count", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fault plan (seed=11, 3 faults)" in out
+        assert "jobs: 3 total, 3 done" in out
+
 
 class TestBuildAlignScan:
     @pytest.fixture

@@ -51,9 +51,14 @@ class TestExamples:
         assert "domain calls" in out
         assert "mean posterior" in out
 
+    # fault_accounting: the example subprocess inherits REPRO_FAULT_SEED,
+    # and its legacy fault drill pins whole-job fallback accounting
+    @pytest.mark.fault_accounting
     def test_batch_service(self):
         out = run_example("batch_service.py")
         assert "10 completed" in out
         assert "priority 10" in out
         assert "pipeline cache" in out and "8 hits" in out
         assert "hits identical to the fault-free run" in out
+        assert "hits identical to the fault-free baseline" in out
+        assert "restored from the journal" in out
