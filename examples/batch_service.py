@@ -2,7 +2,7 @@
 
 Run with::
 
-    python examples/batch_service.py
+    python examples/batch_service.py [--selfcheck N]
 
 Submits ten hmmsearch jobs - repeat queries, mixed engines, mixed
 priorities - to the batch service on a heterogeneous Kepler + Fermi
@@ -18,14 +18,23 @@ and shows the shard-level degradation ladder absorbing every fault with
 bit-identical hits; a *checkpoint/resume drill* kills a batch run
 mid-way and resumes it from its journal without recomputing the
 finished job.
+
+``--selfcheck N`` arms the runtime differential oracle on every job:
+N sequences per search are shadow-scored through the scalar reference
+engines and any divergence is reported (the CI smoke job runs this
+under a seeded fault plan).  A final *salvage drill* feeds a corrupted
+FASTA through salvage-mode ingestion and shows the quarantine report.
 """
 
+import argparse
 import tempfile
 from pathlib import Path
 
 import numpy as np
 
-from repro import Engine, sample_hmm, swissprot_like
+from repro import Engine, SALVAGE, sample_hmm, swissprot_like
+from repro.sequence.fasta import read_fasta, write_fasta
+from repro.hardening import RecordQuarantine
 from repro.service import (
     BatchSearchService,
     DevicePool,
@@ -35,7 +44,11 @@ from repro.service import (
 )
 
 
-def main() -> None:
+def main(selfcheck: int = 0) -> None:
+    # a global REPRO_FAULT_SEED plan (the CI smoke job) reroutes fault
+    # handling through the resilient executor, which absorbs the legacy
+    # whole-job drill's launch fault at shard level instead
+    env_plan = FaultPlan.from_env()
     rng = np.random.default_rng(7)
     families = {
         name: sample_hmm(M, rng, name=name)
@@ -49,9 +62,12 @@ def main() -> None:
         L=150, calibration_filter_sample=120, calibration_forward_sample=40
     )
 
-    service = BatchSearchService(pool=DevicePool.heterogeneous(2, 2))
+    service = BatchSearchService(
+        pool=DevicePool.heterogeneous(2, 2), selfcheck=selfcheck
+    )
     print(f"service: {service.pool.name}, cache for "
-          f"{service.cache.max_entries} pipelines\n")
+          f"{service.cache.max_entries} pipelines"
+          + (f", selfcheck={selfcheck}" if selfcheck else "") + "\n")
 
     # 10 jobs: every family queried repeatedly, plus CPU and urgent jobs
     for round_no in range(3):
@@ -81,10 +97,12 @@ def main() -> None:
     drill.pool.slots[0].inject_fault()
     job = drill.submit(hmm, db, settings=settings)
     drill.run()
-    assert job.fallback_engine is Engine.CPU_SSE
+    if env_plan is None:
+        # legacy path: the whole job degrades to the CPU engine
+        assert job.fallback_engine is Engine.CPU_SSE
     assert job.results.hit_names() == clean.hit_names()
-    print(f"{job.job_id}: LaunchError on dev0 -> retried on "
-          f"{job.effective_engine.value}, {job.attempts} attempts, "
+    print(f"{job.job_id}: LaunchError on dev0 -> recovered on "
+          f"{job.effective_engine.value}, {job.attempts} attempt(s), "
           f"hits identical to the fault-free run "
           f"({len(job.results.hits)} hits)")
 
@@ -143,6 +161,35 @@ def main() -> None:
               f"from the journal, {second.metrics.recomputed_jobs} "
               f"recomputed; journal now holds {len(second.journal)} jobs")
 
+    if selfcheck:
+        assert service.metrics.total_selfchecked > 0
+        assert service.metrics.total_divergences == 0
+        print(f"\nselfcheck: {service.metrics.total_selfchecked} "
+              f"sequence(s) shadow-scored against the scalar reference, "
+              f"0 divergences")
+
+    # --- salvage drill: corrupted FASTA -> quarantine, not an abort ---
+    print("\nsalvage drill")
+    print("-" * 13)
+    with tempfile.TemporaryDirectory() as tmp:
+        dirty = Path(tmp) / "dirty.fasta"
+        write_fasta(dirty, databases["globin-like"])
+        with dirty.open("a") as fh:
+            fh.write(">corrupt-1\nAC1DEF\n>\nGHIKL\n")
+        quarantine = RecordQuarantine()
+        salvaged = read_fasta(dirty, policy=SALVAGE, quarantine=quarantine)
+        assert len(salvaged) == len(databases["globin-like"])
+        assert len(quarantine) == 2
+        print(f"salvaged {len(salvaged)} of {len(salvaged) + 2} records")
+        for line in quarantine.render_lines():
+            print(line)
+
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--selfcheck", type=int, default=0, metavar="N",
+        help="shadow-score N sequences per job through the scalar "
+             "reference engines (differential oracle)",
+    )
+    main(selfcheck=parser.parse_args().selfcheck)

@@ -32,8 +32,16 @@ from .cpu import (
     viterbi_score_batch,
     viterbi_score_sequence,
 )
-from .errors import ReproError
+from .errors import DivergenceError, QuarantineError, ReproError
 from .gpu import FERMI_GTX580, KEPLER_K40, DeviceSpec, KernelCounters
+from .hardening import (
+    SALVAGE,
+    STRICT,
+    IngestPolicy,
+    PolicyMode,
+    QuarantinedRecord,
+    RecordQuarantine,
+)
 from .hmm import (
     NullModel,
     PAPER_MODEL_SIZES,
@@ -55,13 +63,15 @@ from .cpu.hmmalign import align_to_profile
 from .cpu.posterior import PosteriorDecoding, domain_regions, posterior_decode
 from .cpu.traceback import ViterbiAlignment, viterbi_traceback
 from .pipeline import (
+    Divergence,
     Engine,
     HmmsearchPipeline,
     ModelLibrary,
+    OracleReport,
     PipelineThresholds,
     SearchResults,
 )
-from .scoring import MSVByteProfile, ViterbiWordProfile
+from .scoring import GuardrailCounters, MSVByteProfile, ViterbiWordProfile
 from .sequence import (
     DigitalSequence,
     SequenceDatabase,
@@ -121,12 +131,24 @@ __all__ = [
     "PipelineThresholds",
     "SearchResults",
     "ModelLibrary",
+    "OracleReport",
+    "Divergence",
+    "GuardrailCounters",
     "PosteriorDecoding",
     "posterior_decode",
     "domain_regions",
     "viterbi_traceback",
     "ViterbiAlignment",
     "align_to_profile",
+    # data-plane hardening
+    "IngestPolicy",
+    "PolicyMode",
+    "STRICT",
+    "SALVAGE",
+    "RecordQuarantine",
+    "QuarantinedRecord",
     # errors
     "ReproError",
+    "QuarantineError",
+    "DivergenceError",
 ]

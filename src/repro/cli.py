@@ -44,7 +44,9 @@ from pathlib import Path
 
 import numpy as np
 
+from .errors import DivergenceError, QuarantineError
 from .gpu.device import FERMI_GTX580, KEPLER_K40
+from .hardening import RecordQuarantine, IngestPolicy, STRICT, SALVAGE
 from .hmm.builder import build_hmm_from_msa
 from .hmm.hmmfile import load_hmm, save_hmm
 from .hmm.info import mean_relative_entropy
@@ -67,13 +69,64 @@ def _engine(name: str) -> Engine:
     return Engine.GPU_WARP if name == "gpu" else Engine.CPU_SSE
 
 
+def _policy(args: argparse.Namespace) -> IngestPolicy:
+    return SALVAGE if args.salvage else STRICT
+
+
+def _add_hardening_flags(p: argparse.ArgumentParser) -> None:
+    mode = p.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--strict", action="store_false", dest="salvage", default=False,
+        help="fail fast on any malformed record or divergence (default)",
+    )
+    mode.add_argument(
+        "--salvage", action="store_true", dest="salvage",
+        help="skip-and-quarantine malformed records and diverged hits "
+             "instead of aborting",
+    )
+    p.add_argument(
+        "--selfcheck", type=int, default=0, metavar="N",
+        help="shadow-score N sampled sequences per search through the "
+             "scalar reference engine (differential oracle; default off)",
+    )
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
-    hmm = load_hmm(args.model)
-    db = read_fasta(args.database)
+    policy = _policy(args)
+    quarantine = RecordQuarantine()
+    hmm = load_hmm(args.model, policy=policy, quarantine=quarantine)
+    if hmm is None:
+        print(f"model {args.model} was quarantined:", file=sys.stderr)
+        for line in quarantine.render_lines():
+            print(line, file=sys.stderr)
+        return 2
+    try:
+        db = read_fasta(args.database, policy=policy, quarantine=quarantine)
+    except QuarantineError as exc:
+        print(f"database {args.database} unusable: {exc}", file=sys.stderr)
+        for line in quarantine.render_lines():
+            print(line, file=sys.stderr)
+        return 2
     pipe = HmmsearchPipeline(hmm, L=args.length)
-    results = pipe.search(db, engine=_engine(args.engine))
+    try:
+        results = pipe.search(
+            db,
+            engine=_engine(args.engine),
+            selfcheck=args.selfcheck,
+            policy=policy,
+            quarantine=quarantine,
+        )
+    except DivergenceError as exc:
+        print(f"selfcheck FAILED: {exc}", file=sys.stderr)
+        return 3
     print(results.summary())
-    return 0
+    if quarantine:
+        print()
+        for line in quarantine.render_lines():
+            print(line)
+    if results.oracle is not None and results.oracle.divergences:
+        return 3
+    return 2 if quarantine else 0
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -195,11 +248,14 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         if args.journal
         else None
     )
+    policy = _policy(args)
     service = BatchSearchService(
         pool=pool,
         cache_size=args.cache_size,
         fault_plan=plan,
         journal=journal,
+        selfcheck=args.selfcheck,
+        policy=policy,
     )
     jobs = submit_manifest(
         service,
@@ -207,6 +263,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         default_length=args.length,
         calibration_filter_sample=args.calibration_sample,
         calibration_forward_sample=max(25, args.calibration_sample // 4),
+        policy=policy,
     )
     print(f"submitted {len(jobs)} jobs from {args.manifest}")
     service.run()
@@ -218,13 +275,21 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"journal {journal.path}: {len(journal)} job(s) checkpointed "
             f"({service.metrics.resumed_jobs} resumed this run)"
         )
-    failed = service.metrics.jobs_failed
     if args.show_hits:
         print()
         for job in jobs:
             if job.results is not None and job.results.hits:
                 print(job.results.summary())
-    return 1 if failed else 0
+    # exit codes, worst first: 3 = engines diverged from the scalar
+    # reference, 1 = jobs failed, 2 = completed but records were
+    # quarantined, 0 = clean
+    if service.metrics.total_divergences:
+        return 3
+    if service.metrics.jobs_failed:
+        return 1
+    if service.quarantine:
+        return 2
+    return 0
 
 
 def _cmd_occupancy(args: argparse.Namespace) -> int:
@@ -254,6 +319,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("database", help="FASTA file of target sequences")
     p.add_argument("--engine", choices=("cpu", "gpu"), default="cpu")
     p.add_argument("--length", type=int, default=400, help="length-model L")
+    _add_hardening_flags(p)
     p.set_defaults(func=_cmd_search)
 
     p = sub.add_parser("demo", help="generate a synthetic search and run it")
@@ -317,6 +383,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-count", type=int, default=4, metavar="N",
         help="number of faults in the seeded plan (default 4)",
     )
+    _add_hardening_flags(p)
     p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser("occupancy", help="print the Figure 9 occupancy table")

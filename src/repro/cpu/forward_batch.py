@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..hmm.profile import SearchProfile
+from ..scoring.guardrails import GuardrailCounters
 from ..sequence.database import PaddedBatch, SequenceDatabase
 from .generic import GenericProfile, _forward_segments
 
@@ -44,8 +45,14 @@ def _lse_d_chain_batch(start: np.ndarray, tdd: np.ndarray) -> np.ndarray:
 def forward_score_batch(
     profile: SearchProfile | GenericProfile,
     batch: PaddedBatch | SequenceDatabase,
+    guard: GuardrailCounters | None = None,
 ) -> np.ndarray:
-    """Forward log-odds scores (nats) for a whole database."""
+    """Forward log-odds scores (nats) for a whole database.
+
+    ``guard.nonfinite`` counts sequences whose final score is NaN or
+    infinite - floating-point Forward has no saturating floor, so a
+    non-finite score here means numerical trouble, not a valid result.
+    """
     gp = (
         GenericProfile.from_profile(profile)
         if isinstance(profile, SearchProfile)
@@ -106,4 +113,7 @@ def forward_score_batch(
             xB = np.where(upd, xB_new, xB)
             ending = active & (batch.lengths == i + 1)
             final_xC[ending] = xC[ending]
-    return final_xC + gp.C_move
+    nats = final_xC + gp.C_move
+    if guard is not None:
+        guard.nonfinite += int(np.count_nonzero(~np.isfinite(nats)))
+    return nats

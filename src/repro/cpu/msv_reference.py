@@ -20,7 +20,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..constants import MSV_BYTE_MAX
 from ..errors import KernelError
+from ..scoring.guardrails import GuardrailCounters
 from ..scoring.msv_profile import MSVByteProfile
 from ..scoring.quantized import sat_add_u8, sat_sub_u8
 from ..sequence.database import PaddedBatch, SequenceDatabase
@@ -29,8 +31,16 @@ from .results import FilterScores
 __all__ = ["msv_score_sequence", "msv_score_batch"]
 
 
-def msv_score_sequence(profile: MSVByteProfile, codes: np.ndarray) -> float:
-    """MSV score (nats) of one digital sequence; +inf on byte overflow."""
+def msv_score_sequence(
+    profile: MSVByteProfile,
+    codes: np.ndarray,
+    guard: GuardrailCounters | None = None,
+) -> float:
+    """MSV score (nats) of one digital sequence; +inf on byte overflow.
+
+    ``guard`` tallies DP cells at the u8 ceiling after the biased
+    emission add (``saturations``); counting never changes scores.
+    """
     codes = np.asarray(codes)
     if codes.ndim != 1 or codes.size == 0:
         raise KernelError("codes must be a non-empty 1-D array")
@@ -43,6 +53,8 @@ def msv_score_sequence(profile: MSVByteProfile, codes: np.ndarray) -> float:
         xBv = max(0, xB - profile.tbm)
         sv = np.maximum(row[:M], xBv)
         sv = sat_add_u8(sv, profile.bias)
+        if guard is not None:
+            guard.saturations += int(np.count_nonzero(sv == MSV_BYTE_MAX))
         sv = sat_sub_u8(sv, rbv)
         row[1:] = sv
         xE = int(sv.max())
@@ -54,13 +66,18 @@ def msv_score_sequence(profile: MSVByteProfile, codes: np.ndarray) -> float:
 
 
 def msv_score_batch(
-    profile: MSVByteProfile, batch: PaddedBatch | SequenceDatabase
+    profile: MSVByteProfile,
+    batch: PaddedBatch | SequenceDatabase,
+    guard: GuardrailCounters | None = None,
 ) -> FilterScores:
     """MSV scores for a whole database, lockstep-vectorized across rows.
 
     Semantics are identical to calling :func:`msv_score_sequence` on every
     sequence: rows beyond a sequence's length leave its state untouched,
     and overflow is latched per sequence at the row where it occurs.
+    ``guard.saturations`` counts DP cells at the u8 ceiling after the
+    biased emission add, over lanes still live - the same tally the warp
+    kernel keeps in ``KernelCounters.saturations``.
     """
     if isinstance(batch, SequenceDatabase):
         batch = batch.padded_batch()
@@ -81,11 +98,16 @@ def msv_score_batch(
         codes = np.where(active, codes, 0)
         rbv = profile.rbv[codes]  # (n, M)
         xBv = np.maximum(0, xB - profile.tbm)[:, None]
+        live = active & ~overflowed
         sv = np.maximum(rows[:, :M], xBv)
         sv = sat_add_u8(sv, profile.bias)
+        if guard is not None:
+            guard.saturations += int(
+                np.count_nonzero(sv[live] == MSV_BYTE_MAX)
+            )
         sv = sat_sub_u8(sv, rbv)
         xE = sv.max(axis=1)
-        update = active & ~overflowed
+        update = live.copy()  # `&=` below must not alias the guard mask
         rows[update, 1:] = sv[update]
         overflow_now = update & (xE >= profile.overflow_threshold)
         overflowed |= overflow_now

@@ -28,6 +28,7 @@ import numpy as np
 
 from ..constants import VF_WORD_MIN
 from ..errors import KernelError
+from ..scoring.guardrails import GuardrailCounters
 from ..scoring.quantized import sat_add_i16
 from ..scoring.vit_profile import ViterbiWordProfile
 from ..sequence.database import PaddedBatch, SequenceDatabase
@@ -85,8 +86,16 @@ def _row_update(profile, codes, Mp, Ip, Dp, xB):
     return Mv.astype(np.int32), Iv, Dv, xE
 
 
-def viterbi_score_sequence(profile: ViterbiWordProfile, codes: np.ndarray) -> float:
-    """ViterbiFilter score (nats) of one sequence; +inf on word overflow."""
+def viterbi_score_sequence(
+    profile: ViterbiWordProfile,
+    codes: np.ndarray,
+    guard: GuardrailCounters | None = None,
+) -> float:
+    """ViterbiFilter score (nats) of one sequence; +inf on word overflow.
+
+    ``guard.saturations`` counts M-row cells pinned at the i16 floor
+    (-32768, the filter's minus infinity); counting never changes scores.
+    """
     codes = np.asarray(codes)
     if codes.ndim != 1 or codes.size == 0:
         raise KernelError("codes must be a non-empty 1-D array")
@@ -99,6 +108,8 @@ def viterbi_score_sequence(profile: ViterbiWordProfile, codes: np.ndarray) -> fl
     xB = profile.init_xB
     for x in codes:
         Mp, Ip, Dp, xE = _row_update(profile, int(x), Mp, Ip, Dp, xB)
+        if guard is not None:
+            guard.saturations += int(np.count_nonzero(Mp == VF_WORD_MIN))
         xE = int(xE)
         if xE >= profile.overflow_threshold:
             return float("inf")
@@ -111,12 +122,16 @@ def viterbi_score_sequence(profile: ViterbiWordProfile, codes: np.ndarray) -> fl
 
 
 def viterbi_score_batch(
-    profile: ViterbiWordProfile, batch: PaddedBatch | SequenceDatabase
+    profile: ViterbiWordProfile,
+    batch: PaddedBatch | SequenceDatabase,
+    guard: GuardrailCounters | None = None,
 ) -> FilterScores:
     """ViterbiFilter scores for a whole database, lockstep across rows.
 
     Exactly equivalent to per-sequence scoring; inactive and overflowed
-    sequences stop updating their state.
+    sequences stop updating their state.  ``guard.saturations`` counts
+    M-row cells pinned at the i16 floor over live lanes - the same tally
+    the warp kernel keeps in ``KernelCounters.saturations``.
     """
     if isinstance(batch, SequenceDatabase):
         batch = batch.padded_batch()
@@ -137,6 +152,10 @@ def viterbi_score_batch(
         codes = np.where(active, batch.codes[:, i], 0).astype(np.intp)
         Mv, Iv, Dv, xE = _row_update(profile, codes, Mp, Ip, Dp, xB)
         update = active & ~overflowed
+        if guard is not None:
+            guard.saturations += int(
+                np.count_nonzero(Mv[update] == VF_WORD_MIN)
+            )
         Mp[update], Ip[update], Dp[update] = Mv[update], Iv[update], Dv[update]
         overflow_now = update & (xE >= profile.overflow_threshold)
         overflowed |= overflow_now

@@ -20,6 +20,8 @@ __all__ = [
     "CalibrationError",
     "DeadlineError",
     "ShardIntegrityError",
+    "QuarantineError",
+    "DivergenceError",
 ]
 
 
@@ -69,3 +71,14 @@ class DeadlineError(ReproError):
 
 class ShardIntegrityError(ReproError):
     """A scored shard failed its checksum re-verification (corruption)."""
+
+
+class QuarantineError(ReproError):
+    """Salvage-mode ingestion could not produce anything usable: every
+    record of an input was quarantined, or the quarantine budget of the
+    active :class:`~repro.hardening.IngestPolicy` was exceeded."""
+
+
+class DivergenceError(ReproError):
+    """The runtime differential oracle caught two engines disagreeing on
+    a quantized score - the accuracy-preservation invariant is broken."""

@@ -32,6 +32,7 @@ class KernelCounters:
     lazyf_passes: int = 0         # total Lazy-F sweep passes executed
     lazyf_extra_passes: int = 0   # passes beyond the first, i.e. real D-D work
     sequences: int = 0            # sequences scored
+    saturations: int = 0          # DP cells clipped by a saturating add
 
     def merge(self, other: "KernelCounters") -> "KernelCounters":
         """Accumulate another counter set into this one (returns self)."""

@@ -1,0 +1,225 @@
+"""Data-plane hardening: the strict/salvage ingest policy and quarantine.
+
+The device plane (:mod:`repro.service.resilience`) survives bad
+*hardware*; this module is the matching contract for bad *data*.  Every
+parser (:func:`repro.sequence.fasta.read_fasta`,
+:func:`repro.sequence.stockholm.parse_stockholm_text`,
+:func:`repro.hmm.hmmfile.load_hmm`) and the pipeline's differential
+oracle accept an :class:`IngestPolicy`:
+
+* **strict** (the default, and exactly the pre-hardening behaviour):
+  the first malformed record raises
+  :class:`~repro.errors.FormatError` / :class:`~repro.errors.DivergenceError`
+  and the run aborts;
+* **salvage**: malformed records are *skipped and quarantined* - each
+  one recorded as a :class:`QuarantinedRecord` carrying its source file,
+  line number, record name and reason - and the run continues over the
+  surviving records.
+
+Quarantines accumulate in a :class:`RecordQuarantine`, which the batch
+service's :class:`~repro.service.metrics.MetricsRegistry` owns and
+renders in its report.  Salvage is never silent: an input whose records
+were *all* quarantined, or whose quarantined fraction exceeds the
+policy's ``max_quarantine_fraction``, raises
+:class:`~repro.errors.QuarantineError` - a half-empty batch completing
+quietly is its own kind of corruption.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .errors import QuarantineError
+
+__all__ = [
+    "PolicyMode",
+    "IngestPolicy",
+    "STRICT",
+    "SALVAGE",
+    "QuarantinedRecord",
+    "RecordQuarantine",
+]
+
+
+class PolicyMode(enum.Enum):
+    """How the data plane reacts to a malformed record."""
+
+    STRICT = "strict"
+    SALVAGE = "salvage"
+
+
+@dataclass(frozen=True)
+class IngestPolicy:
+    """Strict/salvage knob shared by every parser and the oracle.
+
+    ``max_quarantine_fraction`` bounds how much of an input salvage mode
+    may silently drop: quarantining strictly more than that fraction of
+    a file's records raises :class:`~repro.errors.QuarantineError`
+    (1.0 = any number of records may be dropped, but never all of them).
+    """
+
+    mode: PolicyMode = PolicyMode.STRICT
+    max_quarantine_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.max_quarantine_fraction <= 1.0:
+            raise QuarantineError(
+                "max_quarantine_fraction must be in (0, 1], got "
+                f"{self.max_quarantine_fraction}"
+            )
+
+    @property
+    def salvage(self) -> bool:
+        return self.mode is PolicyMode.SALVAGE
+
+    @classmethod
+    def strict(cls) -> "IngestPolicy":
+        return cls(mode=PolicyMode.STRICT)
+
+    @classmethod
+    def from_name(cls, name: str, **kw) -> "IngestPolicy":
+        """``"strict"`` / ``"salvage"`` -> policy (the CLI entry point)."""
+        return cls(mode=PolicyMode(name), **kw)
+
+    def __repr__(self) -> str:
+        return f"IngestPolicy({self.mode.value})"
+
+
+#: The two singleton policies almost every caller wants.
+STRICT = IngestPolicy(mode=PolicyMode.STRICT)
+SALVAGE = IngestPolicy(mode=PolicyMode.SALVAGE)
+
+
+@dataclass(frozen=True)
+class QuarantinedRecord:
+    """One skipped record, with enough context to find it in the input.
+
+    ``kind`` names the data plane that rejected it: ``fasta``,
+    ``stockholm``, ``hmm`` (parsers), ``manifest`` (a whole job whose
+    inputs could not be loaded) or ``divergence`` (a sequence the
+    runtime oracle pulled because two engines disagreed on its score).
+    """
+
+    source: str          # file path or database/query name
+    line: int            # 1-based line number; 0 when not line-addressable
+    record: str          # record/sequence/model name ("" if unknown)
+    reason: str
+    kind: str = "fasta"
+
+    def describe(self) -> str:
+        where = f"{self.source}:{self.line}" if self.line else self.source
+        name = f" [{self.record}]" if self.record else ""
+        return f"{where}{name} ({self.kind}): {self.reason}"
+
+    def to_dict(self) -> dict:
+        return {
+            "source": self.source,
+            "line": int(self.line),
+            "record": self.record,
+            "reason": self.reason,
+            "kind": self.kind,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QuarantinedRecord":
+        return cls(
+            source=data["source"],
+            line=int(data["line"]),
+            record=data.get("record", ""),
+            reason=data["reason"],
+            kind=data.get("kind", "fasta"),
+        )
+
+
+@dataclass
+class RecordQuarantine:
+    """Accumulating report of everything salvage mode skipped."""
+
+    records: list[QuarantinedRecord] = field(default_factory=list)
+
+    def add(
+        self,
+        source: str,
+        line: int,
+        record: str,
+        reason: str,
+        kind: str = "fasta",
+    ) -> QuarantinedRecord:
+        entry = QuarantinedRecord(
+            source=source, line=line, record=record, reason=reason, kind=kind
+        )
+        self.records.append(entry)
+        return entry
+
+    def merge(self, other: "RecordQuarantine") -> "RecordQuarantine":
+        self.records.extend(other.records)
+        return self
+
+    def by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for r in self.records:
+            counts[r.kind] = counts.get(r.kind, 0) + 1
+        return counts
+
+    def names(self) -> list[str]:
+        """Record names in quarantine order (the acceptance-test handle)."""
+        return [r.record for r in self.records]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __bool__(self) -> bool:
+        return bool(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def to_dict(self) -> dict:
+        return {
+            "n_quarantined": len(self.records),
+            "by_kind": self.by_kind(),
+            "records": [r.to_dict() for r in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RecordQuarantine":
+        return cls(
+            records=[
+                QuarantinedRecord.from_dict(r) for r in data.get("records", [])
+            ]
+        )
+
+    def render_lines(self, limit: int = 10) -> list[str]:
+        kinds = ", ".join(f"{k}={v}" for k, v in sorted(self.by_kind().items()))
+        lines = [f"quarantined records: {len(self.records)}"
+                 + (f" ({kinds})" if kinds else "")]
+        for r in self.records[:limit]:
+            lines.append(f"  {r.describe()}")
+        if len(self.records) > limit:
+            lines.append(f"  ... and {len(self.records) - limit} more")
+        return lines
+
+    def check_budget(
+        self, policy: IngestPolicy, source: str, total: int, survivors: int
+    ) -> None:
+        """Enforce the salvage budget for one input file.
+
+        ``total`` counts records seen (survivors + quarantined from this
+        source); zero survivors, or a quarantined fraction above the
+        policy's budget, raises :class:`~repro.errors.QuarantineError`.
+        """
+        if total == 0:
+            return
+        dropped = total - survivors
+        if survivors == 0:
+            raise QuarantineError(
+                f"{source}: salvage quarantined all {total} record(s) - "
+                "nothing usable survives"
+            )
+        if dropped / total > policy.max_quarantine_fraction:
+            raise QuarantineError(
+                f"{source}: salvage quarantined {dropped}/{total} records, "
+                f"over the policy budget of "
+                f"{policy.max_quarantine_fraction:.0%}"
+            )

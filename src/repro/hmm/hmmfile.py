@@ -16,16 +16,25 @@ The format is a simplified cousin of HMMER3's ``.hmm`` files::
 
 Values are written with 9 significant digits, which round-trips every
 probability to well below the model validator's tolerance.
+
+Every structural error is a :class:`~repro.errors.FormatError` carrying
+the source name and the 1-based line number where parsing gave up; the
+node count is validated against ``LENG`` *before* any float parsing, so
+a truncated download fails at the reader with a clear message instead of
+deep inside :class:`~repro.hmm.plan7.Plan7HMM` validation.  In salvage
+mode (:data:`repro.hardening.SALVAGE`) a model is all-or-nothing: a
+broken file is quarantined whole (kind ``hmm``) and ``None`` returned,
+because there is no meaningful "partial HMM" to search with.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import TextIO
 
 import numpy as np
 
 from ..errors import FormatError
+from ..hardening import IngestPolicy, RecordQuarantine, STRICT
 from .plan7 import Plan7HMM
 
 __all__ = ["save_hmm", "load_hmm", "loads_hmm", "dumps_hmm"]
@@ -56,9 +65,9 @@ def save_hmm(path: str | Path, hmm: Plan7HMM) -> None:
     Path(path).write_text(dumps_hmm(hmm), encoding="ascii")
 
 
-def _read_header(lines: list[str]) -> tuple[dict[str, str], int]:
+def _read_header(lines: list[str], source: str) -> tuple[dict[str, str], int]:
     if not lines or lines[0].strip() != _MAGIC:
-        raise FormatError(f"missing magic line {_MAGIC!r}")
+        raise FormatError(f"{source}: line 1: missing magic line {_MAGIC!r}")
     fields: dict[str, str] = {}
     i = 1
     while i < len(lines):
@@ -67,51 +76,78 @@ def _read_header(lines: list[str]) -> tuple[dict[str, str], int]:
             return fields, i + 1
         key, _, value = line.partition(" ")
         if key not in {"NAME", "DESC", "LENG", "ALPH"}:
-            raise FormatError(f"unexpected header line {line!r}")
+            raise FormatError(
+                f"{source}: line {i + 1}: unexpected header line {line!r}"
+            )
         fields[key] = value.strip()
         i += 1
-    raise FormatError("missing HMM section")
+    raise FormatError(f"{source}: missing HMM section")
 
 
-def loads_hmm(text: str) -> Plan7HMM:
-    """Parse a model from flat text."""
-    lines = text.splitlines()
-    fields, body_start = _read_header(lines)
+def _parse_model(lines: list[str], source: str) -> Plan7HMM:
+    fields, body_start = _read_header(lines, source)
     for required in ("NAME", "LENG", "ALPH"):
         if required not in fields:
-            raise FormatError(f"missing required header field {required}")
+            raise FormatError(
+                f"{source}: missing required header field {required}"
+            )
     if fields["ALPH"] != "amino":
-        raise FormatError(f"unsupported alphabet {fields['ALPH']!r}")
+        raise FormatError(
+            f"{source}: unsupported alphabet {fields['ALPH']!r}"
+        )
     try:
         M = int(fields["LENG"])
     except ValueError:
-        raise FormatError(f"bad LENG value {fields['LENG']!r}") from None
+        raise FormatError(
+            f"{source}: bad LENG value {fields['LENG']!r}"
+        ) from None
+    if M < 1:
+        raise FormatError(f"{source}: LENG must be positive, got {M}")
 
-    body = [ln for ln in lines[body_start:] if ln.strip()]
-    if not body or body[-1].strip() != "//":
-        raise FormatError("model must end with a // terminator line")
+    body = [
+        (i + 1, ln.strip())
+        for i, ln in enumerate(lines)
+        if i >= body_start and ln.strip()
+    ]
+    last_line = body[-1][0] if body else len(lines)
+    if not body or body[-1][1] != "//":
+        raise FormatError(
+            f"{source}: line {last_line}: truncated model - file must end "
+            "with a // terminator line"
+        )
     rows = body[:-1]
+    # validate the node count against LENG up front so a truncated body
+    # is reported here, with a line number, rather than surfacing as a
+    # shape mismatch inside Plan7HMM construction
     if len(rows) != 3 * M:
-        raise FormatError(f"expected {3 * M} data rows for LENG {M}, got {len(rows)}")
+        raise FormatError(
+            f"{source}: line {last_line}: expected {3 * M} data rows "
+            f"(3 per node) for LENG {M}, got {len(rows)} - "
+            "model body is truncated or LENG is wrong"
+        )
 
-    def parse(row: str, n: int, what: str, node: int) -> np.ndarray:
+    def parse(lineno: int, row: str, n: int, what: str, node: int) -> np.ndarray:
         parts = row.split()
         if len(parts) != n:
             raise FormatError(
-                f"node {node}: {what} row has {len(parts)} values, expected {n}"
+                f"{source}: line {lineno}: node {node}: {what} row has "
+                f"{len(parts)} values, expected {n}"
             )
         try:
             return np.array([float(p) for p in parts], dtype=np.float64)
         except ValueError:
-            raise FormatError(f"node {node}: non-numeric value in {what} row") from None
+            raise FormatError(
+                f"{source}: line {lineno}: node {node}: non-numeric value "
+                f"in {what} row"
+            ) from None
 
     match = np.empty((M, 20))
     insert = np.empty((M, 20))
     transitions = np.empty((M, 7))
     for k in range(M):
-        match[k] = parse(rows[3 * k], 20, "match emission", k + 1)
-        insert[k] = parse(rows[3 * k + 1], 20, "insert emission", k + 1)
-        transitions[k] = parse(rows[3 * k + 2], 7, "transition", k + 1)
+        match[k] = parse(*rows[3 * k], 20, "match emission", k + 1)
+        insert[k] = parse(*rows[3 * k + 1], 20, "insert emission", k + 1)
+        transitions[k] = parse(*rows[3 * k + 2], 7, "transition", k + 1)
 
     return Plan7HMM(
         name=fields["NAME"],
@@ -122,6 +158,38 @@ def loads_hmm(text: str) -> Plan7HMM:
     )
 
 
-def load_hmm(path: str | Path) -> Plan7HMM:
-    """Read a model from ``path``."""
-    return loads_hmm(Path(path).read_text(encoding="ascii"))
+def loads_hmm(
+    text: str,
+    source: str = "hmm",
+    policy: IngestPolicy = STRICT,
+    quarantine: RecordQuarantine | None = None,
+) -> Plan7HMM | None:
+    """Parse a model from flat text.
+
+    Strict mode raises :class:`FormatError` on any structural problem.
+    Salvage mode quarantines the whole model instead and returns
+    ``None`` - a partially-parsed HMM is never usable for scoring.
+    """
+    try:
+        return _parse_model(text.splitlines(), source)
+    except FormatError as exc:
+        if not policy.salvage:
+            raise
+        q = quarantine if quarantine is not None else RecordQuarantine()
+        q.add(source, 0, source, str(exc), kind="hmm")
+        return None
+
+
+def load_hmm(
+    path: str | Path,
+    policy: IngestPolicy = STRICT,
+    quarantine: RecordQuarantine | None = None,
+) -> Plan7HMM | None:
+    """Read a model from ``path`` (``None`` if salvaged away)."""
+    path = Path(path)
+    return loads_hmm(
+        path.read_text(encoding="ascii"),
+        source=str(path),
+        policy=policy,
+        quarantine=quarantine,
+    )

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..constants import WARP_SIZE
+from ..constants import MSV_BYTE_MAX, WARP_SIZE
 from ..errors import KernelError
 from ..gpu.counters import KernelCounters
 from ..gpu.device import KEPLER_K40, DeviceSpec
@@ -125,6 +125,12 @@ def msv_warp_kernel(
             w = p1 - p0
             temp = np.maximum(mmx[:, :w], xBv[:, None])
             temp = sat_add_u8(temp, profile.bias)
+            if counters is not None:
+                # guardrail: cells at the u8 ceiling after the biased
+                # add - matches the reference engine's guard tally
+                counters.saturations += int(
+                    np.count_nonzero(temp[live] == MSV_BYTE_MAX)
+                )
             temp = sat_sub_u8(temp, rbv[:, p0:p1])
             xE_lanes[:, :w] = np.maximum(xE_lanes[:, :w], temp)
             # Load(mmx) for the NEXT strip *before* the store below

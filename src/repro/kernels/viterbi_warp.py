@@ -128,6 +128,12 @@ def viterbi_warp_kernel(
             sv = np.maximum(sv, sat_add_i16(ipv[:, :w], profile.enter_im[p0:p1]))
             sv = np.maximum(sv, sat_add_i16(dpv[:, :w], profile.enter_dm[p0:p1]))
             temp_m = sat_add_i16(sv, rwv[:, p0:p1]).astype(np.int32)
+            if counters is not None:
+                # guardrail: M cells pinned at the i16 floor (-inf) -
+                # matches the reference engine's guard tally
+                counters.saturations += int(
+                    np.count_nonzero(temp_m[live] == VF_WORD_MIN)
+                )
             temp_i = np.maximum(
                 sat_add_i16(m_same, profile.tmi[p0:p1]),
                 sat_add_i16(i_same, profile.tii[p0:p1]),

@@ -2,6 +2,7 @@
 
 from .calibrate import PipelineCalibration, calibrate_profile
 from .hmmscan import ModelLibrary, ScanHit, ScanResults
+from .oracle import Divergence, OracleReport, sample_indices
 from .pipeline import Engine, HmmsearchPipeline, PipelineThresholds
 from .results import SearchHit, SearchResults, StageStats
 from .stats import (
@@ -25,6 +26,9 @@ __all__ = [
     "SearchResults",
     "SearchHit",
     "StageStats",
+    "Divergence",
+    "OracleReport",
+    "sample_indices",
     "ScoreDistribution",
     "gumbel_survival",
     "exponential_survival",

@@ -1,0 +1,173 @@
+"""Runtime differential oracle: shadow-score a sample, catch divergence.
+
+The paper's accuracy claim - every engine computes *exactly* the same
+quantized filter scores - is asserted by the test suite, but a production
+run can still diverge at runtime: a corrupted device, a bad shard merge,
+a miscompiled kernel.  The oracle turns the claim into a continuous
+runtime check.  For each searched chunk a small deterministic sample of
+sequences is re-scored through the scalar reference engines
+(:func:`~repro.cpu.msv_reference.msv_score_sequence`,
+:func:`~repro.cpu.viterbi_reference.viterbi_score_sequence`) and the
+batched Forward value is re-derived per sequence; any mismatch is a
+:class:`Divergence`.
+
+Comparison rules mirror the engines' numerical contracts:
+
+* MSV and P7Viterbi are **quantized** - the reference must match the
+  pipeline score *bit for bit* (infinities included: an overflowed
+  sequence must overflow in both engines).
+* Forward is floating point and the batched engine is only guaranteed to
+  match the per-sequence recurrence to tiny rounding slack, so it is
+  compared with an absolute tolerance (:data:`FORWARD_ABS_TOL`).
+
+Sampling is deterministic: the indices depend only on the query name,
+the database name and size, and the sample budget - never on wall-clock
+or global RNG state - so a failing run can be replayed exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "FORWARD_ABS_TOL",
+    "Divergence",
+    "OracleReport",
+    "sample_indices",
+    "scores_match",
+]
+
+#: Absolute tolerance for Forward scores (nats).  The batched engine is
+#: validated against the per-sequence recurrence to ~1e-9; 1e-6 leaves
+#: three orders of magnitude of slack while still catching any real
+#: corruption (the smallest injected bias anywhere in the codebase is
+#: ~3 nats).
+FORWARD_ABS_TOL = 1e-6
+
+
+def sample_indices(query: str, database: str, n: int, k: int) -> list[int]:
+    """``k`` deterministic sample indices out of ``n`` (without
+    replacement), sorted, seeded from the query/database identity only."""
+    if n <= 0 or k <= 0:
+        return []
+    k = min(k, n)
+    digest = hashlib.sha256(
+        f"{query}|{database}|{n}|{k}".encode()
+    ).digest()
+    seed = int.from_bytes(digest[:8], "little")
+    rng = np.random.Generator(np.random.PCG64(seed))
+    return sorted(int(i) for i in rng.choice(n, size=k, replace=False))
+
+
+def scores_match(expected: float, observed: float, abs_tol: float = 0.0) -> bool:
+    """Compare two scores under the oracle's rules.
+
+    Exact (``abs_tol=0``) comparison treats equal infinities as a match
+    - quantized overflow (+inf) and the ViterbiFilter's -inf floor are
+    legitimate score values, not errors.
+    """
+    if math.isnan(expected) or math.isnan(observed):
+        return False
+    if math.isinf(expected) or math.isinf(observed):
+        return expected == observed
+    return abs(expected - observed) <= abs_tol
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One sequence where the pipeline engine and the scalar reference
+    disagreed, with everything needed to replay the comparison."""
+
+    sequence: str     # target sequence name
+    index: int        # its index in the searched database
+    stage: str        # "msv" | "p7viterbi" | "forward"
+    expected: float   # scalar reference score (nats)
+    observed: float   # pipeline engine score (nats)
+
+    def describe(self) -> str:
+        return (
+            f"{self.stage}: sequence {self.sequence!r} (index "
+            f"{self.index}): reference {self.expected!r} != engine "
+            f"{self.observed!r}"
+        )
+
+    def to_dict(self) -> dict:
+        enc = lambda v: None if math.isnan(v) else (  # noqa: E731
+            str(v) if math.isinf(v) else float(v)
+        )
+        return {
+            "sequence": self.sequence,
+            "index": int(self.index),
+            "stage": self.stage,
+            "expected": enc(self.expected),
+            "observed": enc(self.observed),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Divergence":
+        dec = lambda v: float("nan") if v is None else float(v)  # noqa: E731
+        return cls(
+            sequence=data["sequence"],
+            index=int(data["index"]),
+            stage=data["stage"],
+            expected=dec(data["expected"]),
+            observed=dec(data["observed"]),
+        )
+
+
+@dataclass
+class OracleReport:
+    """Outcome of the differential oracle over one search."""
+
+    checked: int = 0                      # sequences shadow-scored
+    comparisons: int = 0                  # stage-level score comparisons
+    divergences: list[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def merge(self, other: "OracleReport") -> "OracleReport":
+        self.checked += other.checked
+        self.comparisons += other.comparisons
+        self.divergences.extend(other.divergences)
+        return self
+
+    def __bool__(self) -> bool:
+        return self.checked > 0
+
+    def render_lines(self, limit: int = 10) -> list[str]:
+        lines = [
+            f"selfcheck: {self.checked} sequence(s) shadow-scored, "
+            f"{self.comparisons} comparison(s), "
+            f"{len(self.divergences)} divergence(s)"
+        ]
+        for d in self.divergences[:limit]:
+            lines.append(f"  DIVERGED {d.describe()}")
+        if len(self.divergences) > limit:
+            lines.append(
+                f"  ... and {len(self.divergences) - limit} more"
+            )
+        return lines
+
+    def to_dict(self) -> dict:
+        return {
+            "checked": int(self.checked),
+            "comparisons": int(self.comparisons),
+            "divergences": [d.to_dict() for d in self.divergences],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OracleReport":
+        return cls(
+            checked=int(data.get("checked", 0)),
+            comparisons=int(data.get("comparisons", 0)),
+            divergences=[
+                Divergence.from_dict(d)
+                for d in data.get("divergences", [])
+            ],
+        )

@@ -23,22 +23,25 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..cpu.forward_batch import forward_score_batch
-from ..cpu.generic import GenericProfile
-from ..cpu.msv_reference import msv_score_batch
-from ..cpu.viterbi_reference import viterbi_score_batch
-from ..errors import PipelineError
+from ..cpu.generic import GenericProfile, generic_forward_score
+from ..cpu.msv_reference import msv_score_batch, msv_score_sequence
+from ..cpu.viterbi_reference import viterbi_score_batch, viterbi_score_sequence
+from ..errors import DivergenceError, PipelineError
 from ..gpu.counters import KernelCounters
 from ..gpu.device import KEPLER_K40, DeviceSpec
+from ..hardening import STRICT, IngestPolicy, RecordQuarantine
 from ..hmm.background import NullModel
 from ..hmm.plan7 import Plan7HMM
 from ..hmm.profile import SearchProfile
 from ..kernels.memconfig import MemoryConfig
 from ..kernels.msv_warp import msv_warp_kernel
 from ..kernels.viterbi_warp import viterbi_warp_kernel
+from ..scoring.guardrails import GuardrailCounters
 from ..scoring.msv_profile import MSVByteProfile
 from ..scoring.vit_profile import ViterbiWordProfile
 from ..sequence.database import SequenceDatabase
 from .calibrate import PipelineCalibration, calibrate_profile
+from .oracle import FORWARD_ABS_TOL, Divergence, OracleReport, sample_indices, scores_match
 from .results import SearchHit, SearchResults, StageStats
 from .stats import bits_from_nats
 
@@ -114,31 +117,47 @@ class HmmsearchPipeline:
 
     # -- stage engines ------------------------------------------------------
 
-    def _score_msv(self, db, engine, device, config, counters, executor=None):
+    def _score_msv(
+        self, db, engine, device, config, counters, executor=None, guard=None
+    ):
         if engine is Engine.GPU_WARP:
             c = counters.setdefault("msv", KernelCounters())
+            before = c.saturations
             if executor is not None:
-                return executor.score_stage(
+                scores = executor.score_stage(
                     "msv", msv_warp_kernel, self.byte_profile, db,
                     config=config, counters=c,
                 )
-            return msv_warp_kernel(
-                self.byte_profile, db, config=config, device=device, counters=c
-            )
-        return msv_score_batch(self.byte_profile, db)
+            else:
+                scores = msv_warp_kernel(
+                    self.byte_profile, db, config=config, device=device,
+                    counters=c,
+                )
+            if guard is not None:
+                guard.saturations += c.saturations - before
+            return scores
+        return msv_score_batch(self.byte_profile, db, guard=guard)
 
-    def _score_vit(self, db, engine, device, config, counters, executor=None):
+    def _score_vit(
+        self, db, engine, device, config, counters, executor=None, guard=None
+    ):
         if engine is Engine.GPU_WARP:
             c = counters.setdefault("p7viterbi", KernelCounters())
+            before = c.saturations
             if executor is not None:
-                return executor.score_stage(
+                scores = executor.score_stage(
                     "p7viterbi", viterbi_warp_kernel, self.word_profile, db,
                     config=config, counters=c,
                 )
-            return viterbi_warp_kernel(
-                self.word_profile, db, config=config, device=device, counters=c
-            )
-        return viterbi_score_batch(self.word_profile, db)
+            else:
+                scores = viterbi_warp_kernel(
+                    self.word_profile, db, config=config, device=device,
+                    counters=c,
+                )
+            if guard is not None:
+                guard.saturations += c.saturations - before
+            return scores
+        return viterbi_score_batch(self.word_profile, db, guard=guard)
 
     # -- search ---------------------------------------------------------------
 
@@ -150,6 +169,9 @@ class HmmsearchPipeline:
         config: MemoryConfig = MemoryConfig.SHARED,
         alignments: bool = False,
         executor: object | None = None,
+        selfcheck: int = 0,
+        policy: IngestPolicy = STRICT,
+        quarantine: RecordQuarantine | None = None,
     ) -> SearchResults:
         """Run the three-stage pipeline over a database.
 
@@ -163,6 +185,17 @@ class HmmsearchPipeline:
         device-pool executor here to spread each stage across several
         simulated devices).  Scores - and therefore hits - are identical
         either way; only the per-device accounting differs.
+
+        ``selfcheck=N`` arms the runtime differential oracle: a
+        deterministic sample of up to ``N`` sequences is shadow-scored
+        through the scalar reference engines and compared against the
+        pipeline's scores (bit-exact for the quantized filters, tiny
+        absolute tolerance for Forward).  On divergence a strict
+        ``policy`` raises :class:`~repro.errors.DivergenceError` naming
+        the sequence and stage; a salvage policy drops the diverged
+        sequences from the hit list and records them into ``quarantine``
+        (kind ``divergence``).  The full outcome is returned as
+        ``SearchResults.oracle`` either way.
         """
         n = len(database)
         M = self.profile.M
@@ -171,9 +204,11 @@ class HmmsearchPipeline:
         counters: dict[str, KernelCounters] = {}
 
         # ---- stage 1: MSV filter over everything ----
+        guard1 = GuardrailCounters()
         msv_scores = self._score_msv(
-            database, engine, device, config, counters, executor
+            database, engine, device, config, counters, executor, guard1
         )
+        guard1.overflows += int(np.count_nonzero(msv_scores.overflowed))
         msv_bits = np.asarray(bits_from_nats(msv_scores.scores, null_len))
         msv_p = self.calibration.msv.pvalue(msv_bits)
         pass1 = np.flatnonzero(msv_p < th.f1)
@@ -183,6 +218,7 @@ class HmmsearchPipeline:
             n_out=int(pass1.size),
             rows=database.total_residues,
             cells=database.total_residues * M,
+            guard=guard1,
         )
 
         # ---- stage 2: P7Viterbi over MSV survivors ----
@@ -190,12 +226,21 @@ class HmmsearchPipeline:
         vit_p = np.full(n, np.nan)
         pass2 = np.array([], dtype=np.int64)
         rows2 = 0
+        guard2 = GuardrailCounters()
+        vit_nats: dict[int, float] = {}
         if pass1.size:
             sub = database.subset(pass1.tolist())
             rows2 = sub.total_residues
             vit_scores = self._score_vit(
-                sub, engine, device, config, counters, executor
+                sub, engine, device, config, counters, executor, guard2
             )
+            guard2.overflows += int(np.count_nonzero(vit_scores.overflowed))
+            guard2.underflows += int(
+                np.count_nonzero(np.isneginf(vit_scores.scores))
+            )
+            vit_nats = {
+                int(i): float(s) for i, s in zip(pass1, vit_scores.scores)
+            }
             vb = np.asarray(bits_from_nats(vit_scores.scores, null_len))
             vit_bits[pass1] = vb
             vp = self.calibration.vit.pvalue(vb)
@@ -207,6 +252,7 @@ class HmmsearchPipeline:
             n_out=int(pass2.size),
             rows=rows2,
             cells=rows2 * M,
+            guard=guard2,
         )
 
         # ---- stage 3: Forward over Viterbi survivors (always CPU) ----
@@ -214,10 +260,13 @@ class HmmsearchPipeline:
         fwd_p = np.full(n, np.nan)
         hits: list[SearchHit] = []
         rows3 = 0
+        guard3 = GuardrailCounters()
         fwd_nats: dict[int, float] = {}
         if pass2.size:
             sub3 = database.subset(pass2.tolist())
-            batch_nats = forward_score_batch(self.generic_profile, sub3)
+            batch_nats = forward_score_batch(
+                self.generic_profile, sub3, guard=guard3
+            )
             fwd_nats = {int(idx): float(v) for idx, v in zip(pass2, batch_nats)}
         for idx in pass2:
             seq = database[int(idx)]
@@ -257,7 +306,33 @@ class HmmsearchPipeline:
             n_out=int(n_pass3),
             rows=rows3,
             cells=rows3 * M,
+            guard=guard3,
         )
+
+        # ---- differential oracle over a deterministic sample ----
+        oracle = None
+        if selfcheck > 0:
+            oracle = self._run_oracle(
+                database, selfcheck, msv_scores.scores, vit_nats, fwd_nats
+            )
+            if not oracle.ok:
+                if not policy.salvage:
+                    raise DivergenceError(
+                        f"query {self.hmm.name!r} vs database "
+                        f"{database.name!r}: engine scores diverged from "
+                        "the scalar reference - "
+                        + "; ".join(
+                            d.describe() for d in oracle.divergences[:3]
+                        )
+                    )
+                q = quarantine if quarantine is not None else RecordQuarantine()
+                diverged = {d.index for d in oracle.divergences}
+                for d in oracle.divergences:
+                    q.add(
+                        database.name, 0, d.sequence, d.describe(),
+                        kind="divergence",
+                    )
+                hits = [h for h in hits if h.index not in diverged]
 
         hits.sort(key=lambda h: (h.evalue, h.name))
         return SearchResults(
@@ -269,7 +344,56 @@ class HmmsearchPipeline:
             vit_bits=vit_bits,
             fwd_bits=fwd_bits,
             counters=counters,
+            oracle=oracle,
         )
+
+    def _run_oracle(
+        self,
+        database: SequenceDatabase,
+        selfcheck: int,
+        msv_nats: np.ndarray,
+        vit_nats: dict[int, float],
+        fwd_nats: dict[int, float],
+    ) -> OracleReport:
+        """Shadow-score a deterministic sample through the scalar
+        reference engines and compare against the pipeline's scores."""
+        report = OracleReport()
+        for idx in sample_indices(
+            self.hmm.name, database.name, len(database), selfcheck
+        ):
+            idx = int(idx)
+            seq = database[idx]
+            report.checked += 1
+            checks = [
+                ("msv",
+                 msv_score_sequence(self.byte_profile, seq.codes),
+                 float(msv_nats[idx]), 0.0),
+            ]
+            if idx in vit_nats:
+                checks.append(
+                    ("p7viterbi",
+                     viterbi_score_sequence(self.word_profile, seq.codes),
+                     vit_nats[idx], 0.0)
+                )
+            if idx in fwd_nats:
+                checks.append(
+                    ("forward",
+                     generic_forward_score(self.generic_profile, seq.codes),
+                     fwd_nats[idx], FORWARD_ABS_TOL)
+                )
+            for stage, expected, observed, tol in checks:
+                report.comparisons += 1
+                if not scores_match(expected, observed, tol):
+                    report.divergences.append(
+                        Divergence(
+                            sequence=seq.name,
+                            index=idx,
+                            stage=stage,
+                            expected=expected,
+                            observed=observed,
+                        )
+                    )
+        return report
 
     def forward_all(self, database: SequenceDatabase) -> np.ndarray:
         """Forward bit scores of *every* sequence, bypassing the filters.

@@ -16,6 +16,8 @@ import numpy as np
 
 from ..errors import PipelineError
 from ..gpu.counters import KernelCounters
+from ..scoring.guardrails import GuardrailCounters
+from .oracle import OracleReport
 
 __all__ = ["StageStats", "SearchHit", "SearchResults"]
 
@@ -56,28 +58,34 @@ class StageStats:
     n_out: int
     rows: int    # DP rows processed = residues of the sequences scored
     cells: int   # rows * model size
+    guard: GuardrailCounters | None = None  # numerical guardrail tallies
 
     @property
     def survivor_fraction(self) -> float:
         return self.n_out / self.n_in if self.n_in else 0.0
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "name": self.name,
             "n_in": int(self.n_in),
             "n_out": int(self.n_out),
             "rows": int(self.rows),
             "cells": int(self.cells),
         }
+        if self.guard is not None:
+            data["guard"] = self.guard.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "StageStats":
+        guard = data.get("guard")
         return cls(
             name=data["name"],
             n_in=int(data["n_in"]),
             n_out=int(data["n_out"]),
             rows=int(data["rows"]),
             cells=int(data["cells"]),
+            guard=GuardrailCounters.from_dict(guard) if guard else None,
         )
 
 
@@ -154,6 +162,7 @@ class SearchResults:
     vit_bits: np.ndarray
     fwd_bits: np.ndarray
     counters: dict[str, KernelCounters] = field(default_factory=dict)
+    oracle: OracleReport | None = None  # differential selfcheck outcome
 
     def stage(self, name: str) -> StageStats:
         for st in self.stages:
@@ -180,6 +189,8 @@ class SearchResults:
             )
         if len(self.hits) > 10:
             lines.append(f"  ... and {len(self.hits) - 10} more hits")
+        if self.oracle is not None and self.oracle:
+            lines.extend("  " + ln for ln in self.oracle.render_lines())
         return "\n".join(lines)
 
     def to_dict(self, include_scores: bool = True) -> dict:
@@ -198,6 +209,8 @@ class SearchResults:
                 name: c.as_dict() for name, c in self.counters.items()
             },
         }
+        if self.oracle is not None:
+            data["oracle"] = self.oracle.to_dict()
         if include_scores:
             data["msv_bits"] = _bits_to_list(self.msv_bits)
             data["vit_bits"] = _bits_to_list(self.vit_bits)
@@ -227,4 +240,8 @@ class SearchResults:
             vit_bits=bits("vit_bits"),
             fwd_bits=bits("fwd_bits"),
             counters=counters,
+            oracle=(
+                OracleReport.from_dict(data["oracle"])
+                if "oracle" in data else None
+            ),
         )

@@ -1,5 +1,6 @@
 """Quantized scoring systems derived from float search profiles."""
 
+from .guardrails import GuardrailCounters
 from .msv_profile import MSVByteProfile
 from .quantized import (
     I16_NEG_INF,
@@ -12,6 +13,7 @@ from .quantized import (
 from .vit_profile import ViterbiWordProfile
 
 __all__ = [
+    "GuardrailCounters",
     "MSVByteProfile",
     "ViterbiWordProfile",
     "sat_add_u8",

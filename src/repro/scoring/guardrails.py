@@ -1,0 +1,72 @@
+"""Saturation/overflow observability for the quantized scoring systems.
+
+The quantized filters are *supposed* to saturate - HMMER's u8/i16
+systems trade range for speed and treat overflow as "unconditionally
+pass the stage".  What was previously invisible is *how much* precision
+pressure a given model/database pair puts on those systems.  A
+:class:`GuardrailCounters` makes it observable per stage:
+
+* ``saturations`` - DP cells clipped by a saturating add: u8 cells
+  pinned at 255 by the biased emission add in MSV, i16 cells pinned at
+  the -32768 minus-infinity floor in ViterbiFilter.
+* ``overflows`` - sequences whose row maximum crossed the overflow
+  threshold and were latched to +inf (they bypass the stage threshold).
+* ``underflows`` - ViterbiFilter sequences that never reached C and
+  scored -inf (certain rejection; fine, but worth counting).
+* ``nonfinite`` - NaN/inf scores out of the float Forward engine, which
+  has *no* saturation excuse: anything here is a numerical bug.
+
+The CPU reference engines fill one directly (``guard=`` parameter); the
+warp kernels tally their clip events into
+:class:`~repro.gpu.counters.KernelCounters.saturations`, which the
+pipeline folds into the per-stage guard.  Counts never influence a
+score - they are pure observation, surfaced through
+:class:`~repro.pipeline.results.StageStats` and the service metrics
+report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GuardrailCounters"]
+
+
+@dataclass
+class GuardrailCounters:
+    """Mutable per-stage tally of quantization/precision events."""
+
+    saturations: int = 0   # DP cells clipped at the type ceiling/floor
+    overflows: int = 0     # sequences latched to +inf (bypass the filter)
+    underflows: int = 0    # sequences pinned at -inf (certain rejection)
+    nonfinite: int = 0     # NaN/inf out of a float engine (a bug if > 0)
+
+    def merge(self, other: "GuardrailCounters") -> "GuardrailCounters":
+        for name in self.__dataclass_fields__:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
+
+    @property
+    def total_events(self) -> int:
+        return self.saturations + self.overflows + self.underflows + self.nonfinite
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            name: int(getattr(self, name))
+            for name in self.__dataclass_fields__
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GuardrailCounters":
+        return cls(**{
+            name: int(data.get(name, 0)) for name in cls.__dataclass_fields__
+        })
+
+    def describe(self) -> str:
+        return (
+            f"saturations={self.saturations} overflows={self.overflows} "
+            f"underflows={self.underflows} nonfinite={self.nonfinite}"
+        )
+
+    def __repr__(self) -> str:
+        return f"GuardrailCounters({self.describe()})"

@@ -38,9 +38,17 @@ U8_ZERO = 0
 I16_NEG_INF = VF_WORD_MIN
 
 
-def sat_add_u8(a, b):
-    """``_mm_adds_epu8``: unsigned byte addition saturating at 255."""
+def sat_add_u8(a, b, guard=None):
+    """``_mm_adds_epu8``: unsigned byte addition saturating at 255.
+
+    ``guard`` is an optional
+    :class:`~repro.scoring.guardrails.GuardrailCounters`: elements
+    clipped at the 255 ceiling are tallied as ``saturations``.  Counting
+    never changes the returned values.
+    """
     r = np.asarray(a, dtype=np.int32) + np.asarray(b, dtype=np.int32)
+    if guard is not None:
+        guard.saturations += int(np.count_nonzero(r > MSV_BYTE_MAX))
     return np.clip(r, 0, MSV_BYTE_MAX)
 
 
@@ -50,13 +58,18 @@ def sat_sub_u8(a, b):
     return np.clip(r, 0, MSV_BYTE_MAX)
 
 
-def sat_add_i16(a, b):
+def sat_add_i16(a, b, guard=None):
     """``_mm_adds_epi16``: signed word addition saturating at both ends.
 
     Matches the SSE artifact that HMMER accepts: a value pinned at -32768
     can be lifted above the floor again by adding a positive score.
+    ``guard`` tallies elements clipped at either end as ``saturations``.
     """
     r = np.asarray(a, dtype=np.int32) + np.asarray(b, dtype=np.int32)
+    if guard is not None:
+        guard.saturations += int(
+            np.count_nonzero((r < VF_WORD_MIN) | (r > VF_WORD_MAX))
+        )
     return np.clip(r, VF_WORD_MIN, VF_WORD_MAX)
 
 

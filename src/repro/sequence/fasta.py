@@ -1,4 +1,16 @@
-"""Minimal, strict FASTA reader/writer for protein sequences."""
+"""FASTA reader/writer for protein sequences, strict or salvage mode.
+
+Strict mode (the default) aborts on the first malformed record with a
+:class:`~repro.errors.FormatError` carrying the line number.  Salvage
+mode (:data:`repro.hardening.SALVAGE`) skips-and-quarantines malformed
+records - bad residues, empty headers, empty sequences, duplicate names,
+data before any header - recording each into a
+:class:`~repro.hardening.RecordQuarantine` with file/line/record
+context, and returns a database of the surviving records.
+
+Line endings: ``\\n``, ``\\r\\n`` and bare ``\\r`` artifacts are all
+stripped, so Windows-authored files parse identically to Unix ones.
+"""
 
 from __future__ import annotations
 
@@ -6,61 +18,149 @@ import io
 from pathlib import Path
 from typing import Iterable, TextIO
 
-from ..errors import FormatError
+from ..errors import AlphabetError, FormatError, SequenceError
+from ..hardening import IngestPolicy, RecordQuarantine, STRICT
 from .database import SequenceDatabase
 from .sequence import DigitalSequence
 
 __all__ = ["read_fasta", "write_fasta", "parse_fasta_text"]
 
 
-def _records(handle: TextIO):
+def _records(
+    handle: TextIO,
+    source: str,
+    policy: IngestPolicy,
+    quarantine: RecordQuarantine,
+):
+    """Yield ``(header_lineno, name, description, residue_text)`` tuples.
+
+    Structural problems (empty header, residue data before any header)
+    raise in strict mode; in salvage mode the offending record is
+    quarantined and the residue lines that belong to it are skipped.
+    """
     name: str | None = None
     desc = ""
+    lineno0 = 0
     parts: list[str] = []
+    skipping = False  # inside a record whose header was quarantined
     for lineno, raw in enumerate(handle, start=1):
-        line = raw.rstrip("\n")
+        line = raw.rstrip("\r\n")
         if not line.strip():
             continue
         if line.startswith(">"):
             if name is not None:
-                yield name, desc, "".join(parts)
+                yield lineno0, name, desc, "".join(parts)
+            name, parts, skipping = None, [], False
             header = line[1:].strip()
             if not header:
-                raise FormatError(f"line {lineno}: empty FASTA header")
+                if not policy.salvage:
+                    raise FormatError(
+                        f"{source}: line {lineno}: empty FASTA header"
+                    )
+                quarantine.add(
+                    source, lineno, "", "empty FASTA header", kind="fasta"
+                )
+                skipping = True
+                continue
             name, _, desc = header.partition(" ")
-            parts = []
+            lineno0 = lineno
         else:
             if name is None:
-                raise FormatError(
-                    f"line {lineno}: sequence data before any '>' header"
+                if skipping:
+                    continue  # body of an already-quarantined record
+                if not policy.salvage:
+                    raise FormatError(
+                        f"{source}: line {lineno}: sequence data before "
+                        "any '>' header"
+                    )
+                quarantine.add(
+                    source, lineno, "",
+                    "sequence data before any '>' header", kind="fasta",
                 )
+                skipping = True
+                continue
             parts.append(line.strip())
     if name is not None:
-        yield name, desc, "".join(parts)
+        yield lineno0, name, desc, "".join(parts)
 
 
-def parse_fasta_text(text: str, name: str = "fasta") -> SequenceDatabase:
+def _digitize(
+    records,
+    source: str,
+    policy: IngestPolicy,
+    quarantine: RecordQuarantine,
+) -> list[DigitalSequence]:
+    """Digitize parsed records, deduplicating names; salvage quarantines."""
+    seqs: list[DigitalSequence] = []
+    seen: dict[str, int] = {}
+    for lineno, name, desc, text in records:
+        if name in seen:
+            reason = (
+                f"duplicate record name (first seen at line {seen[name]})"
+            )
+            if not policy.salvage:
+                raise FormatError(f"{source}: line {lineno}: {reason}")
+            quarantine.add(source, lineno, name, reason, kind="fasta")
+            continue
+        try:
+            seq = DigitalSequence.from_text(name, text, description=desc)
+        except (AlphabetError, SequenceError) as exc:
+            if not policy.salvage:
+                raise FormatError(
+                    f"{source}: line {lineno}: record {name!r}: {exc}"
+                ) from exc
+            quarantine.add(source, lineno, name, str(exc), kind="fasta")
+            continue
+        seen[name] = lineno
+        seqs.append(seq)
+    return seqs
+
+
+def _parse(
+    handle: TextIO,
+    source: str,
+    db_name: str,
+    policy: IngestPolicy,
+    quarantine: RecordQuarantine | None,
+) -> SequenceDatabase:
+    q = quarantine if quarantine is not None else RecordQuarantine()
+    before = len(q)
+    seqs = _digitize(_records(handle, source, policy, q), source, policy, q)
+    dropped = len(q) - before
+    if not seqs and not dropped:
+        raise FormatError(f"{source}: no FASTA records found")
+    if policy.salvage:
+        q.check_budget(policy, source, len(seqs) + dropped, len(seqs))
+    return SequenceDatabase(seqs, name=db_name)
+
+
+def parse_fasta_text(
+    text: str,
+    name: str = "fasta",
+    policy: IngestPolicy = STRICT,
+    quarantine: RecordQuarantine | None = None,
+) -> SequenceDatabase:
     """Parse FASTA from an in-memory string."""
-    seqs = [
-        DigitalSequence.from_text(n, s, description=d)
-        for n, d, s in _records(io.StringIO(text))
-    ]
-    if not seqs:
-        raise FormatError("no FASTA records found")
-    return SequenceDatabase(seqs, name=name)
+    return _parse(io.StringIO(text), name, name, policy, quarantine)
 
 
-def read_fasta(path: str | Path) -> SequenceDatabase:
-    """Read a FASTA file into a :class:`SequenceDatabase`."""
+def read_fasta(
+    path: str | Path,
+    policy: IngestPolicy = STRICT,
+    quarantine: RecordQuarantine | None = None,
+) -> SequenceDatabase:
+    """Read a FASTA file into a :class:`SequenceDatabase`.
+
+    ``policy`` selects strict (raise on the first malformed record) or
+    salvage (skip-and-quarantine) ingestion; ``quarantine`` collects the
+    skipped records when salvaging.
+    """
     path = Path(path)
-    with path.open("r", encoding="ascii") as handle:
-        seqs = [
-            DigitalSequence.from_text(n, s, description=d)
-            for n, d, s in _records(handle)
-        ]
-    if not seqs:
-        raise FormatError(f"{path}: no FASTA records found")
-    return SequenceDatabase(seqs, name=path.stem)
+    # newline="" preserves \r so the CRLF stripping is exercised (and
+    # tested) on every platform rather than hidden by text-mode
+    # translation of whatever OS the reader happens to run on
+    with path.open("r", encoding="ascii", newline="") as handle:
+        return _parse(handle, str(path), path.stem, policy, quarantine)
 
 
 def write_fasta(

@@ -1,18 +1,27 @@
-"""Minimal Stockholm 1.0 alignment I/O.
+"""Minimal Stockholm 1.0 alignment I/O, strict or salvage mode.
 
 Pfam distributes its seed alignments in Stockholm format; this reader
 covers the subset needed to feed :func:`repro.hmm.build_hmm_from_msa`:
 the header line, ``#=GF``-style annotations (kept as metadata), sequence
 lines (including the multi-block "interleaved" layout), and the ``//``
 terminator.
+
+Strict mode (default) raises :class:`~repro.errors.FormatError` on the
+first malformed line.  Salvage mode
+(:data:`repro.hardening.SALVAGE`) quarantines malformed sequence lines,
+rows whose final width disagrees with the alignment majority, and a
+missing ``//`` terminator, keeping whatever aligns cleanly.  Mixed
+``\\r\\n`` line endings are tolerated in both modes.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..errors import FormatError
+from ..hardening import IngestPolicy, RecordQuarantine, STRICT
 
 __all__ = ["StockholmAlignment", "read_stockholm", "write_stockholm",
            "parse_stockholm_text"]
@@ -47,13 +56,20 @@ class StockholmAlignment:
         return len(self.rows)
 
 
-def parse_stockholm_text(text: str) -> StockholmAlignment:
+def parse_stockholm_text(
+    text: str,
+    policy: IngestPolicy = STRICT,
+    quarantine: RecordQuarantine | None = None,
+    source: str = "stockholm",
+) -> StockholmAlignment:
     """Parse one Stockholm alignment from a string."""
+    q = quarantine if quarantine is not None else RecordQuarantine()
     lines = text.splitlines()
     if not lines or lines[0].strip() != _HEADER:
         raise FormatError(f"missing Stockholm header {_HEADER!r}")
     annotations: dict[str, str] = {}
     chunks: dict[str, list[str]] = {}
+    first_line: dict[str, int] = {}
     order: list[str] = []
     terminated = False
     for lineno, raw in enumerate(lines[1:], start=2):
@@ -76,23 +92,70 @@ def parse_stockholm_text(text: str) -> StockholmAlignment:
             continue  # other annotation classes are skipped
         parts = line.split()
         if len(parts) != 2:
-            raise FormatError(f"line {lineno}: expected 'name alignment'")
+            if not policy.salvage:
+                raise FormatError(
+                    f"{source}: line {lineno}: expected 'name alignment'"
+                )
+            q.add(
+                source, lineno, parts[0] if parts else "",
+                "expected 'name alignment'", kind="stockholm",
+            )
+            continue
         name, block = parts
         if name not in chunks:
             chunks[name] = []
             order.append(name)
+            first_line[name] = lineno
         chunks[name].append(block)
     if not terminated:
-        raise FormatError("missing // terminator")
+        if not policy.salvage:
+            raise FormatError(f"{source}: missing // terminator")
+        q.add(
+            source, len(lines), "",
+            "missing // terminator (accepting the rows parsed so far)",
+            kind="stockholm",
+        )
     if not order:
-        raise FormatError("no sequences in alignment")
-    rows = ["".join(chunks[name]) for name in order]
-    return StockholmAlignment(names=order, rows=rows, annotations=annotations)
+        raise FormatError(f"{source}: no sequences in alignment")
+
+    rows = {name: "".join(chunks[name]) for name in order}
+    if policy.salvage:
+        # rows whose width disagrees with the majority are quarantined
+        # (ragged rows are the signature of a truncated/garbled block)
+        width_votes = Counter(len(r) for r in rows.values())
+        majority = width_votes.most_common(1)[0][0]
+        survivors = []
+        for name in order:
+            if len(rows[name]) != majority:
+                q.add(
+                    source, first_line[name], name,
+                    f"row width {len(rows[name])} != alignment width "
+                    f"{majority}", kind="stockholm",
+                )
+            else:
+                survivors.append(name)
+        q.check_budget(policy, source, len(order), len(survivors))
+        order = survivors
+    return StockholmAlignment(
+        names=order,
+        rows=[rows[name] for name in order],
+        annotations=annotations,
+    )
 
 
-def read_stockholm(path: str | Path) -> StockholmAlignment:
+def read_stockholm(
+    path: str | Path,
+    policy: IngestPolicy = STRICT,
+    quarantine: RecordQuarantine | None = None,
+) -> StockholmAlignment:
     """Read one Stockholm alignment from a file."""
-    return parse_stockholm_text(Path(path).read_text(encoding="ascii"))
+    path = Path(path)
+    return parse_stockholm_text(
+        path.read_text(encoding="ascii"),
+        policy=policy,
+        quarantine=quarantine,
+        source=str(path),
+    )
 
 
 def write_stockholm(

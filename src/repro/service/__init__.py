@@ -49,6 +49,7 @@ from __future__ import annotations
 import time
 from typing import Callable
 
+from ..hardening import STRICT, IngestPolicy
 from ..hmm.plan7 import Plan7HMM
 from ..kernels.memconfig import MemoryConfig
 from ..pipeline.pipeline import Engine, PipelineThresholds
@@ -115,6 +116,8 @@ class BatchSearchService:
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
         journal: RunJournal | None = None,
+        selfcheck: int = 0,
+        policy: IngestPolicy = STRICT,
     ) -> None:
         self.queue = JobQueue()
         # explicit None checks: an empty PipelineCache is falsy (__len__)
@@ -132,8 +135,19 @@ class BatchSearchService:
             fault_plan=fault_plan,
             retry_policy=retry_policy,
             journal=journal,
+            selfcheck=selfcheck,
+            policy=policy,
         )
         self._clock = clock
+
+    @property
+    def policy(self) -> IngestPolicy:
+        return self.scheduler.policy
+
+    @property
+    def quarantine(self):
+        """The service-wide record quarantine (owned by the metrics)."""
+        return self.metrics.quarantine
 
     @property
     def journal(self) -> RunJournal | None:

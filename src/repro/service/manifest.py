@@ -33,7 +33,8 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from ..errors import FormatError
+from ..errors import FormatError, QuarantineError
+from ..hardening import STRICT, IngestPolicy, RecordQuarantine
 from ..hmm.hmmfile import load_hmm
 from ..pipeline.pipeline import Engine
 from ..sequence.fasta import read_fasta
@@ -118,33 +119,74 @@ def validate_manifest_paths(
                 )
 
 
+def _salvage_load(loader, path: Path, policy: IngestPolicy, quarantine):
+    """Load one input file; salvage turns load failures into quarantine
+    entries (and ``None``) instead of exceptions."""
+    try:
+        return loader(path, policy=policy, quarantine=quarantine)
+    except (FormatError, QuarantineError, OSError) as exc:
+        if not policy.salvage:
+            raise
+        quarantine.add(str(path), 0, "", str(exc), kind="manifest")
+        return None
+
+
 def submit_manifest(
     service,
     manifest_path: str | Path,
     default_length: int = 400,
     calibration_filter_sample: int = 400,
     calibration_forward_sample: int = 120,
+    policy: IngestPolicy = STRICT,
+    quarantine: RecordQuarantine | None = None,
 ) -> list[SearchJob]:
     """Submit every manifest job to a :class:`BatchSearchService`.
 
     Each model/database file is read once per distinct path; the
     pipeline cache then dedupes by *content*, so a model repeated under
     two paths still calibrates once.
+
+    Under a salvage ``policy``, malformed records inside each input are
+    skipped-and-quarantined by the parsers, and a job whose model or
+    database is unusable (missing path, unparseable model, no surviving
+    records) is itself quarantined (kind ``manifest``) and skipped
+    instead of aborting the whole batch.  ``quarantine`` defaults to the
+    service's own (``service.metrics.quarantine``).
     """
     manifest_path = Path(manifest_path)
     entries = load_manifest(manifest_path)
     base = manifest_path.parent
-    validate_manifest_paths(entries, base, manifest_path)
+    if quarantine is None:
+        metrics = getattr(service, "metrics", None)
+        quarantine = (
+            metrics.quarantine if metrics is not None else RecordQuarantine()
+        )
+    if not policy.salvage:
+        validate_manifest_paths(entries, base, manifest_path)
     models: dict[Path, object] = {}
     databases: dict[Path, object] = {}
     submitted = []
-    for entry in entries:
+    for i, entry in enumerate(entries):
         model_path = (base / entry["model"]).resolve()
         db_path = (base / entry["database"]).resolve()
         if model_path not in models:
-            models[model_path] = load_hmm(model_path)
+            models[model_path] = _salvage_load(
+                load_hmm, model_path, policy, quarantine
+            )
         if db_path not in databases:
-            databases[db_path] = read_fasta(db_path)
+            databases[db_path] = _salvage_load(
+                read_fasta, db_path, policy, quarantine
+            )
+        if models[model_path] is None or databases[db_path] is None:
+            # the parser already quarantined the broken input itself;
+            # record which job it takes down with it
+            quarantine.add(
+                str(manifest_path), 0, entry["id"] or f"job {i}",
+                f"skipped: unusable input "
+                f"{model_path if models[model_path] is None else db_path}",
+                kind="manifest",
+            )
+            continue
         settings = PipelineSettings(
             L=int(entry["length"] or default_length),
             calibration_filter_sample=calibration_filter_sample,

@@ -20,7 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..gpu.counters import KernelCounters
+from ..hardening import RecordQuarantine
 from ..pipeline.results import StageStats
+from ..scoring.guardrails import GuardrailCounters
 from .cache import PipelineCache
 from .devices import DevicePool
 from .faults import ResilienceEvent
@@ -50,6 +52,9 @@ class JobRecord:
     run_seconds: float = 0.0
     stages: list[StageStats] = field(default_factory=list)
     counters: dict[str, KernelCounters] = field(default_factory=dict)
+    selfchecked: int = 0         # sequences shadow-scored by the oracle
+    divergences: int = 0         # oracle divergences caught
+    quarantined: int = 0         # records quarantined while running this job
     error: str | None = None
 
     def to_dict(self) -> dict:
@@ -70,6 +75,9 @@ class JobRecord:
             "run_seconds": self.run_seconds,
             "stages": [st.to_dict() for st in self.stages],
             "counters": {k: c.as_dict() for k, c in self.counters.items()},
+            "selfchecked": self.selfchecked,
+            "divergences": self.divergences,
+            "quarantined": self.quarantined,
             "error": self.error,
         }
 
@@ -189,6 +197,7 @@ class MetricsRegistry:
         self.pool = pool
         self.cache = cache
         self.resilience = ResilienceStats()
+        self.quarantine = RecordQuarantine()
 
     def attach(self, pool: DevicePool, cache: PipelineCache) -> None:
         self.pool = pool
@@ -229,9 +238,26 @@ class MetricsRegistry:
     def total_targets(self) -> int:
         return sum(r.n_targets for r in self.records)
 
+    @property
+    def total_selfchecked(self) -> int:
+        """Sequences shadow-scored by the differential oracle."""
+        return sum(r.selfchecked for r in self.records)
+
+    @property
+    def total_divergences(self) -> int:
+        """Engine-vs-reference score divergences caught by the oracle."""
+        return sum(r.divergences for r in self.records)
+
+    @property
+    def quarantined_records(self) -> int:
+        """Records salvage mode skipped across every input."""
+        return len(self.quarantine)
+
     def stage_totals(self) -> dict[str, StageStats]:
-        """Per-stage funnels summed over every recorded job."""
+        """Per-stage funnels summed over every recorded job (guardrail
+        counters merged alongside)."""
         totals: dict[str, list[int]] = {}
+        guards: dict[str, GuardrailCounters] = {}
         for record in self.records:
             for st in record.stages:
                 acc = totals.setdefault(st.name, [0, 0, 0, 0])
@@ -239,8 +265,13 @@ class MetricsRegistry:
                 acc[1] += st.n_out
                 acc[2] += st.rows
                 acc[3] += st.cells
+                if st.guard is not None:
+                    guards.setdefault(
+                        st.name, GuardrailCounters()
+                    ).merge(st.guard)
         return {
-            name: StageStats(name, *vals) for name, vals in totals.items()
+            name: StageStats(name, *vals, guard=guards.get(name))
+            for name, vals in totals.items()
         }
 
     def counter_totals(self) -> dict[str, KernelCounters]:
@@ -275,6 +306,9 @@ class MetricsRegistry:
             "resumed_jobs": self.resumed_jobs,
             "recomputed_jobs": self.recomputed_jobs,
             "resilience": self.resilience.to_dict(),
+            "quarantine": self.quarantine.to_dict(),
+            "selfchecked": self.total_selfchecked,
+            "divergences": self.total_divergences,
         }
         if self.cache is not None:
             data["cache"] = self.cache.stats()
@@ -318,6 +352,31 @@ class MetricsRegistry:
                     f"  {st.name:10s} in={st.n_in:8d} out={st.n_out:8d} "
                     f"({100 * st.survivor_fraction:6.2f}%)  rows={st.rows}"
                 )
+
+        guards = {
+            name: st.guard
+            for name, st in totals.items()
+            if st.guard is not None and st.guard.total_events
+        }
+        if guards:
+            lines.append("")
+            lines.append("numerical guardrails (all jobs)")
+            for name in _STAGE_ORDER:
+                g = guards.get(name)
+                if g is None:
+                    continue
+                lines.append(f"  {name:10s} {g.describe()}")
+
+        if self.total_selfchecked:
+            lines.append("")
+            lines.append(
+                f"selfcheck: {self.total_selfchecked} sequence(s) "
+                f"shadow-scored, {self.total_divergences} divergence(s)"
+            )
+
+        if self.quarantine:
+            lines.append("")
+            lines.extend(self.quarantine.render_lines())
 
         counters = self.counter_totals()
         if counters:

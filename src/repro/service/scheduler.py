@@ -38,8 +38,9 @@ from __future__ import annotations
 import time
 from typing import Callable
 
-from ..errors import LaunchError, ReproError
+from ..errors import DivergenceError, LaunchError, ReproError
 from ..gpu.multi_gpu import run_multi_gpu
+from ..hardening import STRICT, IngestPolicy
 from ..kernels.memconfig import MemoryConfig
 from ..pipeline.pipeline import Engine
 from .cache import PipelineCache
@@ -119,6 +120,8 @@ class Scheduler:
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
         journal: RunJournal | None = None,
+        selfcheck: int = 0,
+        policy: IngestPolicy = STRICT,
     ) -> None:
         # explicit None checks: an empty PipelineCache is falsy (__len__)
         self.pool = pool if pool is not None else DevicePool.heterogeneous()
@@ -134,6 +137,11 @@ class Scheduler:
         )
         self.retry_policy = retry_policy
         self.journal = journal
+        # data-plane hardening: shadow-score up to `selfcheck` sequences
+        # per job through the scalar reference; strict policy fails a
+        # diverged job, salvage policy quarantines the diverged hits
+        self.selfcheck = selfcheck
+        self.policy = policy
 
     @property
     def resilient(self) -> bool:
@@ -176,7 +184,14 @@ class Scheduler:
         job.state = JobState.RUNNING
         job.started_at = self.clock()
         misses_before = self.cache.misses
+        q_before = len(self.metrics.quarantine)
         error: str | None = None
+        diverged = 0
+        hardening = dict(
+            selfcheck=self.selfcheck,
+            policy=self.policy,
+            quarantine=self.metrics.quarantine,
+        )
         try:
             pipeline = self.cache.get(job.hmm, job.settings, job.thresholds)
             cache_hit = self.cache.misses == misses_before
@@ -188,10 +203,11 @@ class Scheduler:
                         engine=Engine.GPU_WARP,
                         config=self.config,
                         executor=self._executor(job),
+                        **hardening,
                     )
                 else:
                     results = pipeline.search(
-                        job.database, engine=Engine.CPU_SSE
+                        job.database, engine=Engine.CPU_SSE, **hardening
                     )
             except LaunchError as exc:
                 # device failed to launch: degrade to the CPU engine,
@@ -201,16 +217,29 @@ class Scheduler:
                 error = str(exc)
                 job.attempts += 1
                 job.fallback_engine = Engine.CPU_SSE
-                results = pipeline.search(job.database, engine=Engine.CPU_SSE)
+                results = pipeline.search(
+                    job.database, engine=Engine.CPU_SSE, **hardening
+                )
             job.results = results
             job.state = JobState.DONE
+        except DivergenceError as exc:
+            # strict-policy oracle failure: the engines disagreed; fail
+            # fast and count the divergence so the exit code can tell
+            # "wrong results" apart from ordinary job failures
+            cache_hit = self.cache.misses == misses_before
+            error = str(exc)
+            diverged = 1
+            job.state = JobState.FAILED
         except ReproError as exc:
             cache_hit = self.cache.misses == misses_before
             error = str(exc)
             job.state = JobState.FAILED
         job.error = error
         job.finished_at = self.clock()
-        self.metrics.record_job(self._record(job, cache_hit))
+        record = self._record(job, cache_hit)
+        record.quarantined = len(self.metrics.quarantine) - q_before
+        record.divergences += diverged
+        self.metrics.record_job(record)
         if self.journal is not None and job.state is JobState.DONE:
             self.journal.record(job)
         return job
@@ -249,6 +278,7 @@ class Scheduler:
 
     def _record(self, job: SearchJob, cache_hit: bool) -> JobRecord:
         results = job.results
+        oracle = results.oracle if results is not None else None
         return JobRecord(
             job_id=job.job_id,
             query=job.hmm.name,
@@ -266,5 +296,7 @@ class Scheduler:
             run_seconds=job.run_seconds or 0.0,
             stages=list(results.stages) if results else [],
             counters=dict(results.counters) if results else {},
+            selfchecked=oracle.checked if oracle is not None else 0,
+            divergences=len(oracle.divergences) if oracle is not None else 0,
             error=job.error,
         )

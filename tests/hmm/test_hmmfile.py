@@ -94,3 +94,65 @@ class TestFormatErrors:
         text = dumps_hmm(hmm).replace("ALPH  amino", "BOGUS x\nALPH  amino")
         with pytest.raises(FormatError):
             loads_hmm(text)
+
+
+class TestTruncationDiagnostics:
+    """Truncated/mis-sized model files must name the line and the count."""
+
+    def test_missing_terminator_names_line(self, hmm):
+        text = dumps_hmm(hmm).replace("//", "")
+        with pytest.raises(FormatError, match=r"line \d+.*//"):
+            loads_hmm(text)
+
+    def test_truncated_body_reports_row_arithmetic(self, hmm):
+        lines = dumps_hmm(hmm).splitlines()
+        text = "\n".join(lines[:-4] + ["//"])
+        # 3 rows per node: the message does the arithmetic for the user
+        with pytest.raises(FormatError, match=r"expected 45 data rows"):
+            loads_hmm(text)
+
+    def test_leng_mismatch_detected_before_parsing(self, hmm):
+        # LENG says 16 but the body has 15 nodes of rows
+        text = dumps_hmm(hmm).replace("LENG  15", "LENG  16")
+        with pytest.raises(FormatError, match=r"expected 48 data rows.*got 45"):
+            loads_hmm(text)
+
+    def test_nonpositive_leng_rejected(self, hmm):
+        text = dumps_hmm(hmm).replace("LENG  15", "LENG  0")
+        with pytest.raises(FormatError, match="LENG"):
+            loads_hmm(text)
+
+    def test_row_parse_error_names_line(self, hmm):
+        lines = dumps_hmm(hmm).splitlines()
+        lines[6] = lines[6].replace(lines[6].split()[0], "oops", 1)
+        with pytest.raises(FormatError, match=r"line 7"):
+            loads_hmm("\n".join(lines))
+
+
+class TestHmmSalvage:
+    def test_salvage_returns_none_and_quarantines(self, hmm):
+        from repro.hardening import SALVAGE, RecordQuarantine
+
+        text = dumps_hmm(hmm).replace("//", "")
+        q = RecordQuarantine()
+        assert loads_hmm(text, policy=SALVAGE, quarantine=q) is None
+        (rec,) = list(q)
+        assert rec.kind == "hmm"
+        assert "//" in rec.reason
+
+    def test_salvage_clean_model_loads(self, hmm):
+        from repro.hardening import SALVAGE, RecordQuarantine
+
+        q = RecordQuarantine()
+        restored = loads_hmm(dumps_hmm(hmm), policy=SALVAGE, quarantine=q)
+        assert restored is not None and restored.M == hmm.M
+        assert not q
+
+    def test_load_hmm_salvage_on_disk(self, hmm, tmp_path):
+        from repro.hardening import SALVAGE, RecordQuarantine
+
+        path = tmp_path / "trunc.hmm"
+        path.write_text(dumps_hmm(hmm).replace("//", ""))
+        q = RecordQuarantine()
+        assert load_hmm(path, policy=SALVAGE, quarantine=q) is None
+        assert list(q)[0].source == str(path)

@@ -92,3 +92,24 @@ def test_degenerate_codes_survive_roundtrip(tmp_path):
     path = tmp_path / "deg.fasta"
     write_fasta(path, [seq])
     assert np.array_equal(read_fasta(path)[0].codes, seq.codes)
+
+
+class TestCrlfRegression:
+    """Windows-authored FASTA must parse byte-identically to Unix FASTA."""
+
+    def test_crlf_file_matches_lf_file(self, tmp_path):
+        body = ">a one\nACDEF\n>b two\nGHIKL\n"
+        lf, crlf = tmp_path / "lf.fasta", tmp_path / "crlf.fasta"
+        lf.write_bytes(body.encode("ascii"))
+        crlf.write_bytes(body.replace("\n", "\r\n").encode("ascii"))
+        a, b = read_fasta(lf), read_fasta(crlf)
+        assert [s.name for s in a] == [s.name for s in b]
+        assert [s.text for s in a] == [s.text for s in b]
+        assert [s.description for s in a] == [s.description for s in b]
+
+    def test_stray_cr_never_reaches_residues(self, tmp_path):
+        path = tmp_path / "cr.fasta"
+        path.write_bytes(b">x\r\nACDEF\r\n")
+        (seq,) = list(read_fasta(path))
+        assert seq.text == "ACDEF"
+        assert "\r" not in seq.name

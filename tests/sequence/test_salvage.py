@@ -1,0 +1,176 @@
+"""Salvage-mode ingestion: skip-and-quarantine with file/line context."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FormatError, QuarantineError
+from repro.hardening import (
+    SALVAGE,
+    STRICT,
+    IngestPolicy,
+    PolicyMode,
+    RecordQuarantine,
+)
+from repro.sequence.fasta import parse_fasta_text
+from repro.sequence.stockholm import parse_stockholm_text
+
+GOOD = ">a one\nACDEF\n>b two\nGHIKL\n"
+
+
+class TestPolicy:
+    def test_singletons(self):
+        assert not STRICT.salvage
+        assert SALVAGE.salvage
+        assert IngestPolicy.from_name("strict") == STRICT
+        assert IngestPolicy.from_name("salvage").salvage
+
+    def test_from_name_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            IngestPolicy.from_name("lenient")
+
+    def test_fraction_validated(self):
+        with pytest.raises(QuarantineError):
+            IngestPolicy(PolicyMode.SALVAGE, max_quarantine_fraction=0.0)
+        with pytest.raises(QuarantineError):
+            IngestPolicy(PolicyMode.SALVAGE, max_quarantine_fraction=1.5)
+
+
+class TestFastaSalvage:
+    def test_clean_input_quarantines_nothing(self):
+        q = RecordQuarantine()
+        db = parse_fasta_text(GOOD, policy=SALVAGE, quarantine=q)
+        assert len(db) == 2
+        assert not q
+
+    def test_bad_residues_skipped_with_context(self):
+        text = ">a\nACDEF\n>bad\nAC1EF\n>c\nGHIKL\n"
+        q = RecordQuarantine()
+        db = parse_fasta_text(text, name="f.fa", policy=SALVAGE, quarantine=q)
+        assert [s.name for s in db] == ["a", "c"]
+        (rec,) = list(q)
+        assert rec.source == "f.fa"
+        assert rec.line == 3  # the record's header line
+        assert rec.record == "bad"
+        assert rec.kind == "fasta"
+        # strict mode refuses the same input outright
+        with pytest.raises(FormatError, match="line 3"):
+            parse_fasta_text(text, name="f.fa")
+
+    def test_duplicate_names_quarantined(self):
+        text = ">a\nACDEF\n>a\nGHIKL\n"
+        q = RecordQuarantine()
+        db = parse_fasta_text(text, policy=SALVAGE, quarantine=q)
+        assert len(db) == 1
+        assert "duplicate record name" in list(q)[0].reason
+        with pytest.raises(FormatError, match="duplicate record name"):
+            parse_fasta_text(text)
+
+    def test_empty_header_and_orphan_data(self):
+        text = "ACDEF\n>\nGHIKL\n>ok\nMNPQR\n"
+        q = RecordQuarantine()
+        db = parse_fasta_text(text, policy=SALVAGE, quarantine=q)
+        assert [s.name for s in db] == ["ok"]
+        reasons = [rec.reason for rec in q]
+        assert any("before any '>' header" in r for r in reasons)
+        assert any("empty FASTA header" in r for r in reasons)
+
+    def test_quarantine_budget_enforced(self):
+        # every record bad -> zero survivors -> QuarantineError
+        text = ">a\nAC1EF\n>b\nXX00\n"
+        with pytest.raises(QuarantineError):
+            parse_fasta_text(text, policy=SALVAGE, quarantine=RecordQuarantine())
+
+    def test_fraction_budget(self):
+        tight = IngestPolicy(PolicyMode.SALVAGE, max_quarantine_fraction=0.1)
+        text = ">a\nACDEF\n>bad\nAC1EF\n"  # 50% quarantined > 10% budget
+        with pytest.raises(QuarantineError):
+            parse_fasta_text(text, policy=tight, quarantine=RecordQuarantine())
+
+
+class TestFastaLineEndings:
+    def test_crlf_equals_lf(self):
+        lf = parse_fasta_text(GOOD)
+        crlf = parse_fasta_text(GOOD.replace("\n", "\r\n"))
+        assert [s.name for s in crlf] == [s.name for s in lf]
+        assert [s.text for s in crlf] == [s.text for s in lf]
+        assert crlf[0].description == "one"
+
+    def test_mixed_line_endings(self):
+        mixed = ">a one\r\nACDEF\n>b two\nGHIKL\r\n"
+        db = parse_fasta_text(mixed)
+        assert [s.text for s in db] == ["ACDEF", "GHIKL"]
+
+    def test_crlf_file_roundtrip(self, tmp_path):
+        from repro.sequence.fasta import read_fasta
+
+        p = tmp_path / "win.fasta"
+        p.write_bytes(GOOD.replace("\n", "\r\n").encode("ascii"))
+        db = read_fasta(p)
+        assert [s.text for s in db] == ["ACDEF", "GHIKL"]
+        # no \r smuggled into names or descriptions
+        assert all("\r" not in s.name + s.description for s in db)
+
+
+STO = (
+    "# STOCKHOLM 1.0\n"
+    "#=GF ID test\n"
+    "seq1 ACDE-\n"
+    "seq2 ACDEF\n"
+    "//\n"
+)
+
+
+class TestStockholmSalvage:
+    def test_clean(self):
+        q = RecordQuarantine()
+        aln = parse_stockholm_text(STO, policy=SALVAGE, quarantine=q)
+        assert aln.names == ["seq1", "seq2"]
+        assert not q
+
+    def test_bad_alignment_line_quarantined(self):
+        text = STO.replace("seq2 ACDEF\n", "seq2 ACDEF\njunkline\n")
+        with pytest.raises(FormatError):
+            parse_stockholm_text(text)
+        q = RecordQuarantine()
+        aln = parse_stockholm_text(text, policy=SALVAGE, quarantine=q)
+        assert aln.names == ["seq1", "seq2"]
+        assert len(q) == 1
+        assert list(q)[0].kind == "stockholm"
+
+    def test_missing_terminator(self):
+        text = STO.replace("//\n", "")
+        with pytest.raises(FormatError, match="//"):
+            parse_stockholm_text(text)
+        q = RecordQuarantine()
+        aln = parse_stockholm_text(text, policy=SALVAGE, quarantine=q)
+        assert aln.names == ["seq1", "seq2"]
+        assert any("//" in rec.reason for rec in q)
+
+    def test_ragged_row_quarantined_by_majority_width(self):
+        text = STO.replace("seq2 ACDEF\n", "seq2 ACDEF\nseq3 AC\n")
+        with pytest.raises(FormatError):
+            parse_stockholm_text(text)
+        q = RecordQuarantine()
+        aln = parse_stockholm_text(text, policy=SALVAGE, quarantine=q)
+        assert aln.names == ["seq1", "seq2"]
+        (rec,) = list(q)
+        assert rec.record == "seq3"
+
+
+class TestQuarantineReport:
+    def test_describe_and_render(self):
+        q = RecordQuarantine()
+        q.add("f.fa", 7, "recX", "bad residue", kind="fasta")
+        assert "f.fa:7" in q.render_lines()[1]
+        assert "recX" in list(q)[0].describe()
+
+    def test_merge_and_roundtrip(self):
+        a, b = RecordQuarantine(), RecordQuarantine()
+        a.add("x", 1, "r1", "bad", kind="fasta")
+        b.add("y", 2, "r2", "worse", kind="hmm")
+        a.merge(b)
+        assert len(a) == 2
+        assert a.by_kind() == {"fasta": 1, "hmm": 1}
+        restored = RecordQuarantine.from_dict(a.to_dict())
+        assert restored.to_dict() == a.to_dict()
