@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""Perf-trajectory harness: run the pinned synthetic workload traced,
+emit ``BENCH_pipeline.json``, and optionally gate against a baseline.
+
+The workload is fixed (seeded model + databases, fixed job mix over the
+batch service's default heterogeneous pool) so the emitted stage shares
+are comparable across commits; CI runs::
+
+    python benchmarks/bench_trajectory.py --out BENCH_pipeline.json \\
+        --check BENCH_pipeline.json --normalize
+
+and fails when any stage's share of total wall time regressed more than
+the tolerance against the committed baseline.  Shares (not absolute
+seconds) are the gated quantity, so the check is robust to runner speed.
+
+The harness also measures the tracing overhead: the same direct search
+is run tracer-on and tracer-off and the ratio lands in ``meta`` -
+pinning the "tracing off costs <2%, tracing on stays cheap" claim.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.hmm.sampler import sample_hmm
+from repro.obs import Tracer, compare_bench, load_bench, write_bench_json
+from repro.options import SearchOptions
+from repro.pipeline.pipeline import HmmsearchPipeline
+from repro.sequence.synthetic import envnr_like, swissprot_like
+from repro.service import BatchSearchService
+
+#: The pinned workload: (model size, database maker, database size, engine).
+WORKLOAD_SEED = 2015  # the paper's year; never change, or shares shift
+FULL_JOBS = (
+    (120, "swissprot", 400, "gpu_warp"),
+    (200, "swissprot", 400, "gpu_warp"),
+    (200, "envnr", 300, "gpu_warp"),
+    (120, "swissprot", 400, "cpu_sse"),
+)
+QUICK_JOBS = ((60, "swissprot", 120, "gpu_warp"),)
+
+_MAKERS = {"swissprot": swissprot_like, "envnr": envnr_like}
+
+
+def build_jobs(quick: bool):
+    """Materialize the pinned (hmm, database, engine) job list."""
+    jobs = []
+    for M, db_kind, n_seqs, engine in QUICK_JOBS if quick else FULL_JOBS:
+        rng = np.random.default_rng(WORKLOAD_SEED + M + n_seqs)
+        hmm = sample_hmm(M, rng)
+        db = _MAKERS[db_kind](n_seqs, rng, hmm=hmm)
+        jobs.append((hmm, db, engine))
+    return jobs
+
+
+def run_workload(quick: bool = False) -> Tracer:
+    """Run the pinned job mix through the batch service, traced."""
+    tracer = Tracer()
+    service = BatchSearchService(options=SearchOptions(tracer=tracer))
+    for hmm, db, engine in build_jobs(quick):
+        service.submit(hmm, db, engine=engine)
+    service.run()
+    return tracer
+
+
+def tracing_overhead(quick: bool = False, repeats: int = 3) -> dict:
+    """Wall-time ratio of a traced vs untraced direct search.
+
+    Interleaves the two variants and takes the per-variant minimum over
+    ``repeats`` rounds, so a background-noise spike in one round cannot
+    masquerade as tracing overhead.
+    """
+    M, db_kind, n_seqs, _ = (QUICK_JOBS if quick else FULL_JOBS)[0]
+    rng = np.random.default_rng(WORKLOAD_SEED + M + n_seqs)
+    hmm = sample_hmm(M, rng)
+    db = _MAKERS[db_kind](n_seqs, rng, hmm=hmm)
+    pipeline = HmmsearchPipeline(hmm)
+    pipeline.search(db)  # warm-up: touch every code path once
+    offs, ons = [], []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        untraced = pipeline.search(db)
+        t1 = time.perf_counter()
+        traced = pipeline.search(db, SearchOptions(tracer=Tracer()))
+        t2 = time.perf_counter()
+        assert len(traced.hits) == len(untraced.hits)
+        offs.append(t1 - t0)
+        ons.append(t2 - t1)
+    off, on = min(offs), min(ons)
+    return {
+        "untraced_seconds": off,
+        "traced_seconds": on,
+        "overhead_fraction": (on - off) / off if off > 0 else 0.0,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default="BENCH_pipeline.json", metavar="FILE",
+        help="where to write the perf-trajectory JSON",
+    )
+    parser.add_argument(
+        "--check", default=None, metavar="BASELINE",
+        help="compare the fresh run against this committed baseline and "
+             "exit 1 on regression",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="fractional regression tolerance for --check (default 0.25)",
+    )
+    parser.add_argument(
+        "--normalize", action="store_true",
+        help="gate on each stage's share of total wall time instead of "
+             "absolute seconds (machine-independent; what CI uses)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="one small job instead of the full mix (for tests)",
+    )
+    parser.add_argument(
+        "--skip-overhead", action="store_true",
+        help="skip the traced-vs-untraced overhead measurement",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_bench(args.check) if args.check else None
+
+    tracer = run_workload(quick=args.quick)
+    meta = {"quick": args.quick, "seed": WORKLOAD_SEED}
+    if not args.skip_overhead:
+        meta["tracing_overhead"] = tracing_overhead(quick=args.quick)
+    jobs = QUICK_JOBS if args.quick else FULL_JOBS
+    workload = {
+        "name": "bench-trajectory",
+        "seed": WORKLOAD_SEED,
+        "jobs": [
+            {"M": M, "database": db, "n_seqs": n, "engine": e}
+            for M, db, n, e in jobs
+        ],
+    }
+    path = write_bench_json(args.out, tracer.roots, workload, meta)
+    doc = load_bench(path)
+    print(f"wrote {path}: {doc['spans']['total']} spans, "
+          f"{doc['totals']['wall_seconds']:.3f}s staged wall time")
+    for name, st in doc["stages"].items():
+        print(f"  {name:10s} {st['wall_seconds']:8.4f}s "
+              f"share={st['share']:.3f} "
+              f"residues/s={st['residues_per_s']:,.0f} "
+              f"survival={st['survival']:.4f}")
+    overhead = meta.get("tracing_overhead")
+    if overhead is not None:
+        print(f"tracing overhead: {100 * overhead['overhead_fraction']:+.2f}%"
+              f" ({overhead['untraced_seconds']:.3f}s -> "
+              f"{overhead['traced_seconds']:.3f}s)")
+
+    if baseline is not None:
+        problems = compare_bench(
+            baseline, doc,
+            tolerance=args.tolerance, normalize=args.normalize,
+        )
+        if problems:
+            print(f"\nBENCH REGRESSION vs {args.check}:", file=sys.stderr)
+            for p in problems:
+                print(f"  {p}", file=sys.stderr)
+            return 1
+        kind = "shares" if args.normalize else "wall times"
+        print(f"bench check vs {args.check}: stage {kind} within "
+              f"{100 * args.tolerance:.0f}% - OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

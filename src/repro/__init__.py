@@ -10,145 +10,127 @@ SIMT GPU substrate on which the paper's warp-synchronous kernels run
 with bit-identical scores, and a mechanistic performance model that
 regenerates every figure of the paper's evaluation.
 
-Quickstart::
+The supported import surface is the :mod:`repro.api` facade::
 
-    import numpy as np
-    from repro import sample_hmm, swissprot_like, HmmsearchPipeline
+    import repro
 
-    rng = np.random.default_rng(0)
-    hmm = sample_hmm(120, rng)
-    db = swissprot_like(500, rng, hmm=hmm)
-    results = HmmsearchPipeline(hmm).search(db)
+    hmm = repro.load_hmm("globin.hmm")
+    db = repro.load_fasta("swissprot.fa")
+    results = repro.search(hmm, db, repro.SearchOptions(engine="gpu"))
     print(results.summary())
+
+Every pre-facade name (``HmmsearchPipeline``, ``sample_hmm``,
+``msv_warp_kernel``, ...) keeps importing from :mod:`repro` through a
+lazy compatibility layer, but new code should import such internals
+from their defining submodule.
 """
 
-from .alphabet import AMINO, AminoAlphabet, pack_residues, unpack_residues
-from .cpu import (
-    generic_backward_score,
-    generic_forward_score,
-    generic_viterbi_score,
-    msv_score_batch,
-    msv_score_sequence,
-    viterbi_score_batch,
-    viterbi_score_sequence,
-)
-from .errors import DivergenceError, QuarantineError, ReproError
-from .gpu import FERMI_GTX580, KEPLER_K40, DeviceSpec, KernelCounters
-from .hardening import (
-    SALVAGE,
-    STRICT,
-    IngestPolicy,
-    PolicyMode,
-    QuarantinedRecord,
-    RecordQuarantine,
-)
-from .hmm import (
-    NullModel,
-    PAPER_MODEL_SIZES,
-    Plan7HMM,
-    SearchProfile,
-    build_hmm_from_msa,
-    load_hmm,
-    sample_hmm,
-    save_hmm,
-)
-from .kernels import (
-    MemoryConfig,
-    Stage,
-    msv_warp_kernel,
-    stage_occupancy,
-    viterbi_warp_kernel,
-)
-from .cpu.hmmalign import align_to_profile
-from .cpu.posterior import PosteriorDecoding, domain_regions, posterior_decode
-from .cpu.traceback import ViterbiAlignment, viterbi_traceback
-from .pipeline import (
-    Divergence,
-    Engine,
-    HmmsearchPipeline,
-    ModelLibrary,
-    OracleReport,
-    PipelineThresholds,
+from __future__ import annotations
+
+from importlib import import_module
+
+from .api import (
+    SearchOptions,
     SearchResults,
-)
-from .scoring import GuardrailCounters, MSVByteProfile, ViterbiWordProfile
-from .sequence import (
-    DigitalSequence,
-    SequenceDatabase,
-    envnr_like,
-    read_fasta,
-    swissprot_like,
-    write_fasta,
+    batch_search,
+    load_fasta,
+    load_hmm,
+    search,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
-    # alphabet & sequences
-    "AMINO",
-    "AminoAlphabet",
-    "pack_residues",
-    "unpack_residues",
-    "DigitalSequence",
-    "SequenceDatabase",
-    "read_fasta",
-    "write_fasta",
-    "swissprot_like",
-    "envnr_like",
-    # models & profiles
-    "Plan7HMM",
-    "NullModel",
-    "SearchProfile",
-    "build_hmm_from_msa",
-    "sample_hmm",
-    "save_hmm",
     "load_hmm",
-    "PAPER_MODEL_SIZES",
-    "MSVByteProfile",
-    "ViterbiWordProfile",
-    # engines
-    "msv_score_sequence",
-    "msv_score_batch",
-    "viterbi_score_sequence",
-    "viterbi_score_batch",
-    "generic_viterbi_score",
-    "generic_forward_score",
-    "generic_backward_score",
-    # GPU substrate & kernels
-    "DeviceSpec",
-    "KEPLER_K40",
-    "FERMI_GTX580",
-    "KernelCounters",
-    "MemoryConfig",
-    "Stage",
-    "msv_warp_kernel",
-    "viterbi_warp_kernel",
-    "stage_occupancy",
-    # pipeline
-    "HmmsearchPipeline",
-    "Engine",
-    "PipelineThresholds",
+    "load_fasta",
+    "search",
+    "batch_search",
+    "SearchOptions",
     "SearchResults",
-    "ModelLibrary",
-    "OracleReport",
-    "Divergence",
-    "GuardrailCounters",
-    "PosteriorDecoding",
-    "posterior_decode",
-    "domain_regions",
-    "viterbi_traceback",
-    "ViterbiAlignment",
-    "align_to_profile",
-    # data-plane hardening
-    "IngestPolicy",
-    "PolicyMode",
-    "STRICT",
-    "SALVAGE",
-    "RecordQuarantine",
-    "QuarantinedRecord",
-    # errors
-    "ReproError",
-    "QuarantineError",
-    "DivergenceError",
 ]
+
+# -- legacy compatibility (PEP 562) ------------------------------------------
+# Everything `from repro import X` resolved before the facade keeps
+# working: names resolve lazily to their defining submodule on first
+# attribute access.  __all__ above intentionally lists only the facade.
+
+_LEGACY = {
+    # alphabet & sequences
+    "AMINO": "repro.alphabet",
+    "AminoAlphabet": "repro.alphabet",
+    "pack_residues": "repro.alphabet",
+    "unpack_residues": "repro.alphabet",
+    "DigitalSequence": "repro.sequence",
+    "SequenceDatabase": "repro.sequence",
+    "read_fasta": "repro.sequence",
+    "write_fasta": "repro.sequence",
+    "swissprot_like": "repro.sequence",
+    "envnr_like": "repro.sequence",
+    # models & profiles
+    "Plan7HMM": "repro.hmm",
+    "NullModel": "repro.hmm",
+    "SearchProfile": "repro.hmm",
+    "build_hmm_from_msa": "repro.hmm",
+    "sample_hmm": "repro.hmm",
+    "save_hmm": "repro.hmm",
+    "PAPER_MODEL_SIZES": "repro.hmm",
+    "MSVByteProfile": "repro.scoring",
+    "ViterbiWordProfile": "repro.scoring",
+    # engines
+    "msv_score_sequence": "repro.cpu",
+    "msv_score_batch": "repro.cpu",
+    "viterbi_score_sequence": "repro.cpu",
+    "viterbi_score_batch": "repro.cpu",
+    "generic_viterbi_score": "repro.cpu",
+    "generic_forward_score": "repro.cpu",
+    "generic_backward_score": "repro.cpu",
+    # GPU substrate & kernels
+    "DeviceSpec": "repro.gpu",
+    "KEPLER_K40": "repro.gpu",
+    "FERMI_GTX580": "repro.gpu",
+    "KernelCounters": "repro.gpu",
+    "MemoryConfig": "repro.kernels",
+    "Stage": "repro.kernels",
+    "msv_warp_kernel": "repro.kernels",
+    "viterbi_warp_kernel": "repro.kernels",
+    "stage_occupancy": "repro.kernels",
+    # pipeline
+    "HmmsearchPipeline": "repro.pipeline",
+    "Engine": "repro.pipeline",
+    "PipelineThresholds": "repro.pipeline",
+    "ModelLibrary": "repro.pipeline",
+    "OracleReport": "repro.pipeline",
+    "Divergence": "repro.pipeline",
+    "GuardrailCounters": "repro.scoring",
+    "PosteriorDecoding": "repro.cpu.posterior",
+    "posterior_decode": "repro.cpu.posterior",
+    "domain_regions": "repro.cpu.posterior",
+    "viterbi_traceback": "repro.cpu.traceback",
+    "ViterbiAlignment": "repro.cpu.traceback",
+    "align_to_profile": "repro.cpu.hmmalign",
+    # data-plane hardening
+    "IngestPolicy": "repro.hardening",
+    "PolicyMode": "repro.hardening",
+    "STRICT": "repro.hardening",
+    "SALVAGE": "repro.hardening",
+    "RecordQuarantine": "repro.hardening",
+    "QuarantinedRecord": "repro.hardening",
+    # errors
+    "ReproError": "repro.errors",
+    "QuarantineError": "repro.errors",
+    "DivergenceError": "repro.errors",
+}
+
+
+def __getattr__(name: str):
+    module = _LEGACY.get(name)
+    if module is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    value = getattr(import_module(module), name)
+    globals()[name] = value  # cache: resolve each legacy name once
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(__all__) | set(_LEGACY))

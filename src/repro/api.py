@@ -1,0 +1,115 @@
+"""The supported public API of :mod:`repro` in one small facade.
+
+Four years of stacked PRs grew ~60 public names; almost every consumer
+needs six of them.  This module is that six: load a model, load a
+database, run one search or a batch of them, and the two types those
+calls exchange.  ``from repro import ...`` re-exports exactly this
+facade; everything else remains importable from its defining submodule
+(and lazily via ``repro.<legacy name>`` for compatibility).
+
+Quickstart::
+
+    import repro
+
+    hmm = repro.load_hmm("globin.hmm")
+    db = repro.load_fasta("swissprot.fa")
+    results = repro.search(hmm, db)
+    print(results.summary())
+
+    opts = repro.SearchOptions(engine="gpu", selfcheck=4)
+    jobs, report = repro.batch_search([(hmm, db), (hmm, db)], options=opts)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from .hmm.hmmfile import load_hmm as _load_hmm
+from .hmm.plan7 import Plan7HMM
+from .options import SearchOptions
+from .pipeline.pipeline import HmmsearchPipeline
+from .pipeline.results import SearchResults
+from .sequence.database import SequenceDatabase
+from .sequence.fasta import read_fasta
+
+__all__ = [
+    "load_hmm",
+    "load_fasta",
+    "search",
+    "batch_search",
+    "SearchOptions",
+    "SearchResults",
+]
+
+
+def load_hmm(path: str | Path, options: SearchOptions | None = None):
+    """Read a Plan-7 model from an HMMER3 ASCII file.
+
+    ``options`` supplies the ingestion policy and quarantine (strict by
+    default).  Returns ``None`` if salvage mode quarantined the model.
+    """
+    opts = options if options is not None else SearchOptions()
+    return _load_hmm(path, policy=opts.policy, quarantine=opts.quarantine)
+
+
+def load_fasta(
+    path: str | Path, options: SearchOptions | None = None
+) -> SequenceDatabase:
+    """Read a FASTA file into a :class:`SequenceDatabase`.
+
+    ``options`` supplies the ingestion policy and quarantine (strict by
+    default); salvage mode skips malformed records instead of raising.
+    """
+    opts = options if options is not None else SearchOptions()
+    return read_fasta(path, policy=opts.policy, quarantine=opts.quarantine)
+
+
+def search(
+    hmm: Plan7HMM,
+    database: SequenceDatabase,
+    options: SearchOptions | None = None,
+) -> SearchResults:
+    """Run one hmmsearch: the three-stage filter pipeline, configured
+    entirely by ``options`` (engine, thresholds, selfcheck, tracing).
+
+    Builds a freshly calibrated :class:`HmmsearchPipeline` per call; for
+    many searches against the same model, use :func:`batch_search`,
+    whose pipeline cache amortizes calibration across jobs.
+    """
+    opts = options if options is not None else SearchOptions()
+    pipeline = HmmsearchPipeline(hmm, thresholds=opts.thresholds)
+    return pipeline.search(database, opts)
+
+
+def batch_search(
+    requests: Iterable[
+        tuple[Plan7HMM, SequenceDatabase]
+        | tuple[Plan7HMM, SequenceDatabase, SearchOptions]
+    ],
+    options: SearchOptions | None = None,
+):
+    """Run many searches through the batch service; returns
+    ``(jobs, report)``.
+
+    Each request is ``(hmm, database)`` or ``(hmm, database, options)``
+    - a per-request :class:`SearchOptions` overrides the batch-wide
+    ``options`` for that job only.  Jobs run on the service's simulated
+    device pool with the pipeline cache, resilient accounting and (if
+    ``options.tracer`` is set) full span tracing; ``report`` is the
+    service metrics report text.
+    """
+    from .service import BatchSearchService
+
+    opts = options if options is not None else SearchOptions()
+    service = BatchSearchService(options=opts)
+    for request in requests:
+        if len(request) == 2:
+            hmm, database = request
+            job_opts = None
+        else:
+            hmm, database, job_opts = request
+        engine = (job_opts or opts).engine
+        service.submit(hmm, database, engine=engine, options=job_opts)
+    jobs = service.run()
+    return jobs, service.metrics.render()

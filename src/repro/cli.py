@@ -52,6 +52,9 @@ from .hmm.hmmfile import load_hmm, save_hmm
 from .hmm.info import mean_relative_entropy
 from .hmm.sampler import PAPER_MODEL_SIZES, sample_hmm
 from .kernels.memconfig import MemoryConfig, Stage, stage_occupancy
+from .obs.exporters import write_bench_json
+from .obs.span import Tracer
+from .options import SearchOptions, field_doc
 from .pipeline.hmmscan import ModelLibrary
 from .pipeline.pipeline import Engine, HmmsearchPipeline
 from .sequence.fasta import read_fasta
@@ -73,22 +76,54 @@ def _policy(args: argparse.Namespace) -> IngestPolicy:
     return SALVAGE if args.salvage else STRICT
 
 
-def _add_hardening_flags(p: argparse.ArgumentParser) -> None:
+def _add_search_flags(p: argparse.ArgumentParser) -> None:
+    """The uniform search-behaviour flags shared by ``search`` and
+    ``batch``; help text comes from the SearchOptions field docs, so
+    the flags and the API cannot drift apart."""
     mode = p.add_mutually_exclusive_group()
     mode.add_argument(
         "--strict", action="store_false", dest="salvage", default=False,
-        help="fail fast on any malformed record or divergence (default)",
+        help=f"{field_doc('policy')} (this selects strict, the default)",
     )
     mode.add_argument(
         "--salvage", action="store_true", dest="salvage",
-        help="skip-and-quarantine malformed records and diverged hits "
-             "instead of aborting",
+        help=f"{field_doc('policy')} (this selects salvage)",
     )
     p.add_argument(
         "--selfcheck", type=int, default=0, metavar="N",
-        help="shadow-score N sampled sequences per search through the "
-             "scalar reference engine (differential oracle; default off)",
+        help=field_doc("selfcheck"),
     )
+    p.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help=f"{field_doc('tracer')}; the span tree is dumped to FILE "
+             "as JSON-lines",
+    )
+    p.add_argument(
+        "--bench-out", default=None, metavar="FILE",
+        help="roll the trace's stage spans up into a perf-trajectory "
+             "JSON (wall times, residues/s, survival) written to FILE",
+    )
+
+
+def _tracer(args: argparse.Namespace) -> Tracer | None:
+    """A tracer when any observability output was requested."""
+    if args.trace or args.bench_out:
+        return Tracer()
+    return None
+
+
+def _write_observability(
+    args: argparse.Namespace, tracer: Tracer | None, workload: dict
+) -> None:
+    """Dump the requested --trace / --bench-out artifacts."""
+    if tracer is None:
+        return
+    if args.trace:
+        path = tracer.write_jsonl(args.trace)
+        print(f"trace: {len(tracer)} spans -> {path}")
+    if args.bench_out:
+        path = write_bench_json(args.bench_out, tracer.roots, workload)
+        print(f"bench: stage roll-up -> {path}")
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
@@ -108,18 +143,25 @@ def _cmd_search(args: argparse.Namespace) -> int:
             print(line, file=sys.stderr)
         return 2
     pipe = HmmsearchPipeline(hmm, L=args.length)
+    tracer = _tracer(args)
+    options = SearchOptions(
+        engine=_engine(args.engine),
+        selfcheck=args.selfcheck,
+        policy=policy,
+        quarantine=quarantine,
+        tracer=tracer,
+    )
     try:
-        results = pipe.search(
-            db,
-            engine=_engine(args.engine),
-            selfcheck=args.selfcheck,
-            policy=policy,
-            quarantine=quarantine,
-        )
+        results = pipe.search(db, options)
     except DivergenceError as exc:
         print(f"selfcheck FAILED: {exc}", file=sys.stderr)
         return 3
     print(results.summary())
+    _write_observability(
+        args, tracer,
+        {"command": "search", "model": str(args.model),
+         "database": str(args.database), "targets": len(db)},
+    )
     if quarantine:
         print()
         for line in quarantine.render_lines():
@@ -136,7 +178,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     db = maker(args.n_seqs, rng, hmm=hmm)
     print(f"model: {hmm}   database: {db}")
     pipe = HmmsearchPipeline(hmm, L=int(db.mean_length))
-    results = pipe.search(db, engine=_engine(args.engine))
+    results = pipe.search(db, SearchOptions(engine=_engine(args.engine)))
     print(results.summary())
     if results.counters:
         for stage_name, c in results.counters.items():
@@ -249,13 +291,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         else None
     )
     policy = _policy(args)
+    tracer = _tracer(args)
     service = BatchSearchService(
         pool=pool,
         cache_size=args.cache_size,
         fault_plan=plan,
         journal=journal,
-        selfcheck=args.selfcheck,
-        policy=policy,
+        options=SearchOptions(
+            selfcheck=args.selfcheck, policy=policy, tracer=tracer
+        ),
     )
     jobs = submit_manifest(
         service,
@@ -269,6 +313,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     service.run()
     print()
     print(service.metrics.render())
+    _write_observability(
+        args, tracer,
+        {"command": "batch", "manifest": str(args.manifest),
+         "jobs": len(jobs), "devices": args.devices},
+    )
     if journal is not None:
         print()
         print(
@@ -317,9 +366,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("search", help="search a FASTA database with a model file")
     p.add_argument("model", help="model file (repro flat format)")
     p.add_argument("database", help="FASTA file of target sequences")
-    p.add_argument("--engine", choices=("cpu", "gpu"), default="cpu")
+    p.add_argument(
+        "--engine", choices=("cpu", "gpu"), default="cpu",
+        help=field_doc("engine"),
+    )
     p.add_argument("--length", type=int, default=400, help="length-model L")
-    _add_hardening_flags(p)
+    _add_search_flags(p)
     p.set_defaults(func=_cmd_search)
 
     p = sub.add_parser("demo", help="generate a synthetic search and run it")
@@ -383,7 +435,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-count", type=int, default=4, metavar="N",
         help="number of faults in the seeded plan (default 4)",
     )
-    _add_hardening_flags(p)
+    _add_search_flags(p)
     p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser("occupancy", help="print the Figure 9 occupancy table")

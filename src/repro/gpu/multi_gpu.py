@@ -29,6 +29,8 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..errors import LaunchError, SequenceError
+from ..obs.profiling import kernel_tags, record_kernel_counters
+from ..obs.span import span
 from ..sequence.database import SequenceDatabase
 from ..cpu.results import FilterScores
 from .counters import KernelCounters
@@ -110,6 +112,8 @@ def run_multi_gpu(
     device_count: int = 4,
     devices: Sequence[DeviceSpec] | None = None,
     sort_chunks: bool = False,
+    tracer=None,
+    stage: str | None = None,
     **kernel_kwargs,
 ) -> MultiGpuRun:
     """Score a database across several simulated devices.
@@ -129,6 +133,13 @@ def run_multi_gpu(
         Length-sort each chunk (descending) before scoring - the warp
         load-balance heuristic - and scatter the scores back to chunk
         order, so merged results stay in database order.
+    tracer:
+        Optional :class:`~repro.obs.span.Tracer`: each device's chunk
+        records a ``shard`` span containing a ``kernel`` span stamped
+        with the launch's counters, occupancy and memory config.
+    stage:
+        Pipeline stage name (``msv``/``p7viterbi``) for the kernel
+        span's occupancy tag; inferred spans are unnamed without it.
 
     When the pool is larger than the database, only ``len(database)``
     devices receive chunks; the surplus is reported via
@@ -154,13 +165,28 @@ def run_multi_gpu(
     offset = 0
     residues = []
     sequences = []
-    for chunk, spec in zip(chunks, devices):
+    stage_name = stage or getattr(kernel, "__name__", "kernel")
+    for shard_no, (chunk, spec) in enumerate(zip(chunks, devices)):
         c = KernelCounters()
         n = len(chunk)
-        part = score_chunk(
-            kernel, profile, chunk, spec,
-            sort=sort_chunks, counters=c, **kernel_kwargs,
-        )
+        with span(
+            tracer, f"shard{shard_no}", "shard",
+            device=spec.name, stage=stage,
+        ) as sh:
+            with span(
+                tracer, f"{stage_name}@{spec.name}", "kernel",
+                **kernel_tags(
+                    stage_name, getattr(profile, "M", 0),
+                    kernel_kwargs.get("config"), spec,
+                ),
+            ) as ks:
+                part = score_chunk(
+                    kernel, profile, chunk, spec,
+                    sort=sort_chunks, counters=c, **kernel_kwargs,
+                )
+                record_kernel_counters(ks, c)
+            if sh is not None:
+                sh.count(sequences=n, residues=chunk.total_residues)
         scores[offset : offset + n] = part.scores
         overflowed[offset : offset + n] = part.overflowed
         offset += n

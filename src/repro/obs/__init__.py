@@ -1,0 +1,50 @@
+"""Observability layer: tracing spans, histograms, kernel profiling.
+
+The instrumentation substrate the perf work is steered by (the paper's
+whole argument is a performance profile - Figure 1's stage split and
+the Figures 9-11 speedup curves):
+
+* :mod:`~repro.obs.span` - :class:`Tracer` producing nested spans
+  (job -> schedule -> search -> stage -> shard -> kernel) with
+  monotonic timings, tags and counters; JSON-lines export and parse.
+* :mod:`~repro.obs.histogram` - exact :class:`Histogram` with
+  interpolated percentiles and :class:`ThroughputGauge` rates, folded
+  into the service :class:`~repro.service.metrics.MetricsRegistry`.
+* :mod:`~repro.obs.profiling` - per-kernel-launch tags: device,
+  memory-config choice, achievable occupancy.
+* :mod:`~repro.obs.exporters` - stage roll-ups, the
+  ``BENCH_pipeline.json`` perf-trajectory writer and the regression
+  gate :func:`compare_bench`.
+
+Tracing is off unless a :class:`Tracer` is threaded in through
+:class:`~repro.options.SearchOptions`; the untraced path costs one
+``is None`` check per instrumented block.
+"""
+
+from .exporters import (
+    bench_payload,
+    compare_bench,
+    load_bench,
+    stage_rollup,
+    write_bench_json,
+)
+from .histogram import Histogram, ThroughputGauge
+from .profiling import kernel_tags, record_kernel_counters
+from .span import Span, Tracer, read_spans_jsonl, span, write_spans_jsonl
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "span",
+    "read_spans_jsonl",
+    "write_spans_jsonl",
+    "Histogram",
+    "ThroughputGauge",
+    "kernel_tags",
+    "record_kernel_counters",
+    "stage_rollup",
+    "bench_payload",
+    "write_bench_json",
+    "load_bench",
+    "compare_bench",
+]

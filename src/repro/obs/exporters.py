@@ -1,0 +1,179 @@
+"""Span-dump exporters: stage roll-ups and the perf-trajectory file.
+
+Two consumers read a trace:
+
+* humans - ``Tracer.report()`` renders the indented span tree;
+* the perf trajectory - :func:`write_bench_json` rolls the stage spans
+  up into ``BENCH_pipeline.json``: per-stage wall times, residues/s,
+  sequences/s and filter survival rates, the repo-root artifact CI
+  tracks across PRs (paper Figure 1's 80.6%/14.5%/4.9% stage split is
+  exactly this file's ``share`` column).
+
+:func:`compare_bench` is the regression gate: given a committed
+baseline and a fresh run it reports every stage whose wall time (or,
+with ``normalize=True``, whose share of total wall time - the
+machine-independent comparison CI uses) regressed beyond the tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .span import Span
+
+__all__ = [
+    "stage_rollup",
+    "bench_payload",
+    "write_bench_json",
+    "load_bench",
+    "compare_bench",
+]
+
+BENCH_SCHEMA = "repro-bench-v1"
+
+_STAGE_ORDER = ("msv", "p7viterbi", "forward")
+
+
+def _stage_key(sp: Span) -> str:
+    return str(sp.tags.get("stage", sp.name))
+
+
+def stage_rollup(roots: list[Span]) -> dict[str, dict]:
+    """Aggregate every ``stage`` span in a forest, keyed by stage name.
+
+    Per stage: span count, total wall seconds, DP rows (residues
+    scored), survivor funnel (n_in/n_out summed), and the derived
+    residues/s, sequences/s and survival fraction.
+    """
+    acc: dict[str, dict] = {}
+    for root in roots:
+        for sp in root.walk():
+            if sp.kind != "stage":
+                continue
+            entry = acc.setdefault(
+                _stage_key(sp),
+                {"spans": 0, "wall_seconds": 0.0, "rows": 0,
+                 "n_in": 0, "n_out": 0},
+            )
+            entry["spans"] += 1
+            entry["wall_seconds"] += sp.seconds
+            entry["rows"] += int(sp.counters.get("rows", 0))
+            entry["n_in"] += int(sp.counters.get("n_in", 0))
+            entry["n_out"] += int(sp.counters.get("n_out", 0))
+    total_wall = sum(e["wall_seconds"] for e in acc.values())
+    for entry in acc.values():
+        secs = entry["wall_seconds"]
+        entry["residues_per_s"] = entry["rows"] / secs if secs > 0 else 0.0
+        entry["sequences_per_s"] = entry["n_in"] / secs if secs > 0 else 0.0
+        entry["survival"] = (
+            entry["n_out"] / entry["n_in"] if entry["n_in"] else 0.0
+        )
+        entry["share"] = secs / total_wall if total_wall > 0 else 0.0
+    return acc
+
+
+def _ordered_stages(rollup: dict[str, dict]) -> dict[str, dict]:
+    ordered = {k: rollup[k] for k in _STAGE_ORDER if k in rollup}
+    ordered.update(
+        {k: v for k, v in sorted(rollup.items()) if k not in ordered}
+    )
+    return ordered
+
+
+def bench_payload(
+    roots: list[Span],
+    workload: dict | None = None,
+    meta: dict | None = None,
+) -> dict:
+    """The ``BENCH_pipeline.json`` document for one traced run."""
+    rollup = _ordered_stages(stage_rollup(roots))
+    by_kind: dict[str, int] = {}
+    total_spans = 0
+    for root in roots:
+        for sp in root.walk():
+            total_spans += 1
+            by_kind[sp.kind] = by_kind.get(sp.kind, 0) + 1
+    total_wall = sum(e["wall_seconds"] for e in rollup.values())
+    total_rows = sum(e["rows"] for e in rollup.values())
+    targets = max((e["n_in"] for e in rollup.values()), default=0)
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "workload": dict(workload or {}),
+        "stages": rollup,
+        "totals": {
+            "wall_seconds": total_wall,
+            "rows": total_rows,
+            "residues_per_s": total_rows / total_wall if total_wall else 0.0,
+            "targets": targets,
+        },
+        "spans": {"total": total_spans, "by_kind": by_kind},
+    }
+    if meta:
+        payload["meta"] = dict(meta)
+    return payload
+
+
+def write_bench_json(
+    path: str | Path,
+    roots: list[Span],
+    workload: dict | None = None,
+    meta: dict | None = None,
+) -> Path:
+    """Write the perf-trajectory document; returns the path."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(bench_payload(roots, workload=workload, meta=meta),
+                   indent=2, sort_keys=False) + "\n"
+    )
+    return path
+
+
+def load_bench(path: str | Path) -> dict:
+    data = json.loads(Path(path).read_text())
+    if data.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: not a {BENCH_SCHEMA} document "
+            f"(schema={data.get('schema')!r})"
+        )
+    return data
+
+
+def compare_bench(
+    baseline: dict,
+    current: dict,
+    tolerance: float = 0.25,
+    normalize: bool = False,
+) -> list[str]:
+    """Stage wall-time regressions of ``current`` against ``baseline``.
+
+    A stage regresses when its wall time exceeds the baseline's by more
+    than ``tolerance`` (fractional).  ``normalize=True`` compares each
+    stage's *share* of total wall time instead of absolute seconds -
+    robust to the whole run being on a faster or slower machine, which
+    is how CI gates against the committed baseline.  A stage present in
+    the baseline but missing from the current run is also reported.
+    Returns human-readable regression messages (empty = pass).
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    key = "share" if normalize else "wall_seconds"
+    unit = "share" if normalize else "s"
+    problems: list[str] = []
+    base_stages = baseline.get("stages", {})
+    cur_stages = current.get("stages", {})
+    for name, base in base_stages.items():
+        cur = cur_stages.get(name)
+        if cur is None:
+            problems.append(f"stage {name!r}: present in baseline, "
+                            "missing from current run")
+            continue
+        b, c = float(base.get(key, 0.0)), float(cur.get(key, 0.0))
+        if b > 0.0 and c > b * (1.0 + tolerance):
+            problems.append(
+                f"stage {name!r}: {key} regressed "
+                f"{b:.6g}{unit} -> {c:.6g}{unit} "
+                f"(+{100.0 * (c / b - 1.0):.1f}%, "
+                f"tolerance {100.0 * tolerance:.0f}%)"
+            )
+    return problems

@@ -1,0 +1,125 @@
+"""Value histograms and throughput gauges for the metrics registry.
+
+:class:`Histogram` is an exact reservoir (the service records at most a
+few thousand stage timings per run, so keeping the raw values beats a
+bucketed sketch in both accuracy and code) with linear-interpolation
+percentiles - the same convention as ``numpy.percentile(...,
+interpolation='linear')``, pinned by the test suite against known
+inputs.  :class:`ThroughputGauge` folds (units, seconds) observations
+into a rate such as residues/s or sequences/s.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Histogram", "ThroughputGauge"]
+
+
+class Histogram:
+    """Exact histogram with percentile, mean and merge support."""
+
+    def __init__(self, values=()) -> None:
+        self._values: list[float] = [float(v) for v in values]
+        self._sorted = not self._values
+
+    def add(self, value: float) -> None:
+        self._values.append(float(value))
+        self._sorted = False
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        self._values.extend(other._values)
+        self._sorted = False
+        return self
+
+    def _ordered(self) -> list[float]:
+        if not self._sorted:
+            self._values.sort()
+            self._sorted = True
+        return self._values
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def total(self) -> float:
+        return sum(self._values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self._values) if self._values else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._ordered()[0] if self._values else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._ordered()[-1] if self._values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The p-th percentile (0..100), linearly interpolated.
+
+        Empty histograms report 0.0 rather than raising - a stage that
+        never ran renders as zeros in the report.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        values = self._ordered()
+        if not values:
+            return 0.0
+        if len(values) == 1:
+            return values[0]
+        rank = (p / 100.0) * (len(values) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(values) - 1)
+        frac = rank - lo
+        return values[lo] * (1.0 - frac) + values[hi] * frac
+
+    def summary(self) -> dict:
+        """JSON-safe roll-up of the distribution."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "p50": self.percentile(50.0),
+            "p90": self.percentile(90.0),
+            "p99": self.percentile(99.0),
+            "max": self.max,
+        }
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram(count={self.count}, mean={self.mean:.6g}, "
+            f"max={self.max:.6g})"
+        )
+
+
+class ThroughputGauge:
+    """Accumulated (units, seconds) pairs exposed as a rate."""
+
+    def __init__(self) -> None:
+        self.units = 0.0
+        self.seconds = 0.0
+
+    def observe(self, units: float, seconds: float) -> None:
+        self.units += float(units)
+        self.seconds += float(seconds)
+
+    @property
+    def rate(self) -> float:
+        """units/second over everything observed (0.0 before any data)."""
+        return self.units / self.seconds if self.seconds > 0.0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "units": self.units,
+            "seconds": self.seconds,
+            "rate": self.rate,
+        }
+
+    def __repr__(self) -> str:
+        return f"ThroughputGauge(rate={self.rate:.6g}/s)"

@@ -1,0 +1,54 @@
+"""Kernel-launch profiling tags: occupancy, memory config, device.
+
+The bridge between the tracing layer and the GPU substrate: every
+kernel-level span is stamped with the launch's device, architecture,
+memory-configuration choice and - for the two accelerated stages - the
+achievable occupancy the tuned launcher would reach
+(:func:`~repro.kernels.memconfig.stage_occupancy`, the paper's Figure 9
+machinery), so a span dump carries the same per-kernel telemetry
+CUDAMPF++ motivates its resource-exhaustion scheme from.
+"""
+
+from __future__ import annotations
+
+from ..kernels.memconfig import MemoryConfig, Stage, stage_occupancy
+
+__all__ = ["kernel_tags", "record_kernel_counters"]
+
+#: Pipeline stage names -> occupancy-model stages (Forward has no warp
+#: kernel, so it carries no occupancy tag).
+STAGE_BY_NAME = {"msv": Stage.MSV, "p7viterbi": Stage.P7VITERBI}
+
+
+def kernel_tags(stage_name, M, config, device) -> dict:
+    """Tags for one kernel launch span.
+
+    Always includes the device and architecture; adds the memory config
+    and model size when known, and the achievable occupancy when the
+    stage has an occupancy model and the configuration is feasible.
+    """
+    tags = {
+        "stage": stage_name,
+        "device": device.name,
+        "architecture": device.architecture,
+        "M": int(M),
+    }
+    if isinstance(config, MemoryConfig):
+        tags["config"] = config.value
+    stage = STAGE_BY_NAME.get(stage_name)
+    if stage is not None and isinstance(config, MemoryConfig):
+        occ = stage_occupancy(stage, int(M), config, device)
+        if occ is not None:
+            tags["occupancy"] = round(float(occ.occupancy), 4)
+            tags["occupancy_limit"] = occ.limiting_factor
+    return tags
+
+
+def record_kernel_counters(span_obj, counters) -> None:
+    """Fold a :class:`~repro.gpu.counters.KernelCounters` tally onto a
+    span (no-op when tracing is off and the span is ``None``)."""
+    if span_obj is None or counters is None:
+        return
+    span_obj.count(
+        **{k: v for k, v in counters.as_dict().items() if v}
+    )

@@ -1,0 +1,278 @@
+"""Nested tracing spans with monotonic timings, tags and counters.
+
+A :class:`Tracer` records a forest of :class:`Span` objects.  Spans nest
+through an explicit context-manager stack, mirroring the runtime
+hierarchy of a batch search::
+
+    job -> schedule -> search -> stage -> shard -> kernel
+
+Each span carries a monotonic ``start``/``end`` pair (relative to the
+tracer's epoch, so dumps are human-readable), free-form string ``tags``
+set at entry, and integer/float ``counters`` accumulated while the span
+is open.  Timing uses an injectable clock - tests pass a fake counter
+and get exact durations.
+
+Tracing is strictly opt-in: every instrumented call site goes through
+the module-level :func:`span` helper, which short-circuits to a shared
+no-op context manager when the tracer is ``None``, so the untraced hot
+path pays one ``is None`` check per instrumented block and nothing else.
+
+Spans serialize to JSON-lines (one flat object per span, children
+linked by ``parent_id``) and parse back into the same tree with
+:func:`read_spans_jsonl` - the round trip the test suite pins.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "span",
+    "read_spans_jsonl",
+    "write_spans_jsonl",
+]
+
+#: The span levels the instrumented call sites use, outermost first.
+SPAN_KINDS = ("job", "schedule", "search", "stage", "shard", "kernel")
+
+
+@dataclass
+class Span:
+    """One timed region: name, level, tags set at entry, counters."""
+
+    name: str
+    kind: str
+    span_id: int
+    parent_id: int | None = None
+    start: float = 0.0
+    end: float | None = None
+    tags: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def seconds(self) -> float:
+        """Wall time of the span (0.0 while it is still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def count(self, **increments: float) -> None:
+        """Accumulate numeric counters onto this span."""
+        for key, value in increments.items():
+            self.counters[key] = self.counters.get(key, 0) + value
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, kind: str) -> list["Span"]:
+        """All descendant spans (including self) of the given kind."""
+        return [s for s in self.walk() if s.kind == kind]
+
+    def to_dict(self) -> dict:
+        """Flat JSON-safe form; the tree is encoded via ``parent_id``."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "kind": self.kind,
+            "start": round(self.start, 9),
+            "end": None if self.end is None else round(self.end, 9),
+            "seconds": round(self.seconds, 9),
+            "tags": dict(self.tags),
+            "counters": dict(self.counters),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        return cls(
+            name=data["name"],
+            kind=data["kind"],
+            span_id=int(data["span_id"]),
+            parent_id=(
+                None if data.get("parent_id") is None
+                else int(data["parent_id"])
+            ),
+            start=float(data.get("start", 0.0)),
+            end=(
+                None if data.get("end") is None else float(data["end"])
+            ),
+            tags=dict(data.get("tags", {})),
+            counters=dict(data.get("counters", {})),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, kind={self.kind!r}, "
+            f"seconds={self.seconds:.6f}, children={len(self.children)})"
+        )
+
+
+class Tracer:
+    """Collects a forest of nested spans with monotonic timings.
+
+    Synchronous, single-stack: ``span()`` pushes, exit pops, and any
+    span opened while another is open becomes its child.  The tracer is
+    reusable across any number of jobs/searches - each top-level span
+    lands in :attr:`roots`.
+    """
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._epoch = clock()
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+        self._next_id = 1
+
+    @property
+    def active(self) -> Span | None:
+        """The innermost open span, or None outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    @contextlib.contextmanager
+    def span(self, name: str, kind: str = "span", **tags):
+        """Open a nested span; yields the :class:`Span` object."""
+        parent = self.active
+        sp = Span(
+            name=name,
+            kind=kind,
+            span_id=self._next_id,
+            parent_id=None if parent is None else parent.span_id,
+            start=self._clock() - self._epoch,
+            tags={k: v for k, v in tags.items() if v is not None},
+        )
+        self._next_id += 1
+        if parent is None:
+            self.roots.append(sp)
+        else:
+            parent.children.append(sp)
+        self._stack.append(sp)
+        try:
+            yield sp
+        except BaseException as exc:
+            sp.tags.setdefault("error", type(exc).__name__)
+            raise
+        finally:
+            sp.end = self._clock() - self._epoch
+            self._stack.pop()
+
+    def count(self, **increments: float) -> None:
+        """Accumulate counters onto the innermost open span (no-op
+        outside any span)."""
+        sp = self.active
+        if sp is not None:
+            sp.count(**increments)
+
+    # -- queries -------------------------------------------------------------
+
+    def walk(self) -> Iterator[Span]:
+        for root in self.roots:
+            yield from root.walk()
+
+    def spans(self, kind: str | None = None) -> list[Span]:
+        """All recorded spans (optionally filtered by kind), depth-first."""
+        if kind is None:
+            return list(self.walk())
+        return [s for s in self.walk() if s.kind == kind]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    # -- export --------------------------------------------------------------
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """Dump every span as JSON-lines; see :func:`read_spans_jsonl`."""
+        return write_spans_jsonl(path, self.roots)
+
+    def report(self, max_depth: int | None = None) -> str:
+        """Human-readable indented span tree with durations."""
+        lines = ["trace report", "-" * 12]
+        if not self.roots:
+            lines.append("(no spans recorded)")
+
+        def visit(sp: Span, depth: int) -> None:
+            if max_depth is not None and depth > max_depth:
+                return
+            extras = []
+            for key in ("device", "engine", "config", "occupancy"):
+                if key in sp.tags:
+                    extras.append(f"{key}={sp.tags[key]}")
+            for key in ("rows", "n_in", "n_out"):
+                if key in sp.counters:
+                    extras.append(f"{key}={sp.counters[key]}")
+            suffix = f"  [{', '.join(extras)}]" if extras else ""
+            lines.append(
+                f"{'  ' * depth}{sp.kind:8s} {sp.name:28s} "
+                f"{1e3 * sp.seconds:9.3f} ms{suffix}"
+            )
+            for child in sp.children:
+                visit(child, depth + 1)
+
+        for root in self.roots:
+            visit(root, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"Tracer(spans={len(self)}, open={len(self._stack)})"
+
+
+#: Shared do-nothing context manager used when tracing is off.
+_NULL = contextlib.nullcontext()
+
+
+def span(tracer: Tracer | None, name: str, kind: str = "span", **tags):
+    """``tracer.span(...)`` when tracing is armed, else a shared no-op.
+
+    The single instrumentation entry point: call sites never branch on
+    the tracer themselves, and the untraced path allocates nothing.
+    The yielded value is the :class:`Span` (or ``None`` when off), so
+    guard counter updates with ``if sp is not None``.
+    """
+    if tracer is None:
+        return _NULL
+    return tracer.span(name, kind, **tags)
+
+
+def write_spans_jsonl(path: str | Path, roots: list[Span]) -> Path:
+    """Write a span forest as one flat JSON object per line."""
+    path = Path(path)
+    with path.open("w") as fh:
+        for root in roots:
+            for sp in root.walk():
+                fh.write(json.dumps(sp.to_dict()) + "\n")
+    return path
+
+
+def read_spans_jsonl(path: str | Path) -> list[Span]:
+    """Parse a JSON-lines span dump back into its tree; returns roots.
+
+    Orphans (a parent_id never seen - e.g. the dump was truncated) are
+    promoted to roots rather than dropped.
+    """
+    by_id: dict[int, Span] = {}
+    order: list[Span] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        sp = Span.from_dict(json.loads(line))
+        by_id[sp.span_id] = sp
+        order.append(sp)
+    roots: list[Span] = []
+    for sp in order:
+        parent = by_id.get(sp.parent_id) if sp.parent_id is not None else None
+        if parent is None:
+            roots.append(sp)
+        else:
+            parent.children.append(sp)
+    return roots

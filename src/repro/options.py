@@ -1,0 +1,202 @@
+"""Consolidated search configuration: :class:`SearchOptions`.
+
+PRs 1-3 accreted search behaviour onto keyword arguments
+(``selfcheck=``, ``guard=``, ``policy=``, fault/journal kwargs); this
+module replaces that with one frozen options object accepted by
+:meth:`HmmsearchPipeline.search`, :class:`~repro.service.Scheduler` and
+:class:`~repro.service.BatchSearchService`.  Legacy keyword arguments
+keep working through a single shim, :func:`resolve_search_options`,
+which folds them into a :class:`SearchOptions` and emits one
+``DeprecationWarning`` per call.
+
+:class:`Engine` and :class:`PipelineThresholds` are *defined* here (and
+re-exported from :mod:`repro.pipeline.pipeline`, their historical home)
+so that the options object, the pipeline and the service can all share
+them without an import cycle.
+
+Every field carries a ``doc`` metadata string; :func:`field_doc` feeds
+the CLI, whose ``--selfcheck``/``--strict|--salvage``/``--trace`` help
+text is generated from these docs so the flags and the API cannot
+drift apart.
+"""
+
+from __future__ import annotations
+
+import enum
+import warnings
+from dataclasses import dataclass, field, replace
+
+from .errors import PipelineError
+from .gpu.device import KEPLER_K40, DeviceSpec
+from .hardening import STRICT, IngestPolicy, RecordQuarantine
+from .kernels.memconfig import MemoryConfig
+from .obs.span import Tracer
+
+__all__ = [
+    "Engine",
+    "PipelineThresholds",
+    "SearchOptions",
+    "field_doc",
+    "resolve_search_options",
+    "UNSET",
+]
+
+
+class Engine(enum.Enum):
+    """Which implementation scores the MSV and P7Viterbi stages."""
+
+    CPU_SSE = "cpu_sse"
+    GPU_WARP = "gpu_warp"
+
+    @classmethod
+    def coerce(cls, value: "Engine | str") -> "Engine":
+        """Accept an Engine, its value, or the CLI aliases cpu/gpu."""
+        if isinstance(value, cls):
+            return value
+        alias = {"cpu": cls.CPU_SSE, "gpu": cls.GPU_WARP}
+        name = str(value).lower()
+        if name in alias:
+            return alias[name]
+        try:
+            return cls(name)
+        except ValueError:
+            raise PipelineError(
+                f"unknown engine {value!r} (use cpu_sse/gpu_warp)"
+            ) from None
+
+
+@dataclass(frozen=True)
+class PipelineThresholds:
+    """Stage P-value thresholds and the reporting E-value cutoff."""
+
+    f1: float = 0.02    # MSV
+    f2: float = 1e-3    # P7Viterbi
+    f3: float = 1e-5    # Forward
+    report_evalue: float = 10.0
+
+    def __post_init__(self) -> None:
+        for name, v in (("f1", self.f1), ("f2", self.f2), ("f3", self.f3)):
+            if not 0.0 < v <= 1.0:
+                raise PipelineError(f"threshold {name} must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class SearchOptions:
+    """Everything configurable about running one search.
+
+    Frozen so it can be shared across jobs, used as a default, and
+    varied with :func:`dataclasses.replace`.  The contained tracer and
+    quarantine are mutable collectors by design - the options object
+    only decides *whether* they are fed.
+    """
+
+    engine: Engine = field(
+        default=Engine.CPU_SSE,
+        metadata={"doc": "scoring engine for the MSV and P7Viterbi "
+                         "stages: cpu (striped SSE reference) or gpu "
+                         "(warp-synchronous simulated kernels)"},
+    )
+    device: DeviceSpec = field(
+        default=KEPLER_K40,
+        metadata={"doc": "simulated device for single-device GPU "
+                         "dispatch (service jobs use the pool instead)"},
+    )
+    config: MemoryConfig = field(
+        default=MemoryConfig.SHARED,
+        metadata={"doc": "where kernel emission scores notionally live "
+                         "(shared/global); results are identical, only "
+                         "the charged memory traffic differs"},
+    )
+    thresholds: PipelineThresholds | None = field(
+        default=None,
+        metadata={"doc": "per-search stage P-value thresholds; None "
+                         "uses the pipeline's calibrated defaults"},
+    )
+    alignments: bool = field(
+        default=False,
+        metadata={"doc": "attach the optimal Viterbi alignment to every "
+                         "reported hit"},
+    )
+    selfcheck: int = field(
+        default=0,
+        metadata={"doc": "shadow-score N sampled sequences per search "
+                         "through the scalar reference engines "
+                         "(differential oracle; 0 = off)"},
+    )
+    guard: bool = field(
+        default=True,
+        metadata={"doc": "tally numerical guardrail events (u8/i16 "
+                         "saturations, overflows, non-finite scores) "
+                         "per stage"},
+    )
+    policy: IngestPolicy = field(
+        default=STRICT,
+        metadata={"doc": "strict fails fast on malformed records or "
+                         "divergences; salvage skips-and-quarantines "
+                         "them instead of aborting"},
+    )
+    quarantine: RecordQuarantine | None = field(
+        default=None,
+        metadata={"doc": "where salvage mode deposits skipped records "
+                         "(the service wires its metrics-owned "
+                         "quarantine here)"},
+    )
+    tracer: Tracer | None = field(
+        default=None,
+        metadata={"doc": "record nested job/stage/kernel spans with "
+                         "timings and counters into this tracer "
+                         "(None = tracing off, zero overhead)"},
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "engine", Engine.coerce(self.engine))
+        if self.selfcheck < 0:
+            raise PipelineError("selfcheck must be >= 0")
+
+    def with_(self, **changes) -> "SearchOptions":
+        """A copy with the given fields replaced (ergonomic alias)."""
+        return replace(self, **changes)
+
+
+def field_doc(name: str) -> str:
+    """The documented meaning of one :class:`SearchOptions` field.
+
+    The CLI builds its flag help text from these strings.
+    """
+    try:
+        f = SearchOptions.__dataclass_fields__[name]
+    except KeyError:
+        raise PipelineError(
+            f"SearchOptions has no field {name!r}"
+        ) from None
+    return f.metadata["doc"]
+
+
+#: Sentinel distinguishing "not passed" from an explicit None/False.
+UNSET = object()
+
+
+def resolve_search_options(
+    options: SearchOptions | None,
+    where: str,
+    stacklevel: int = 3,
+    **legacy,
+) -> SearchOptions:
+    """The one deprecation shim for legacy per-kwarg call sites.
+
+    ``legacy`` maps field names to values or :data:`UNSET`.  Supplied
+    legacy kwargs emit a single ``DeprecationWarning`` naming the call
+    site and every offending argument, then override the corresponding
+    fields of ``options`` (or of a default :class:`SearchOptions`).
+    """
+    supplied = {k: v for k, v in legacy.items() if v is not UNSET}
+    if supplied:
+        names = ", ".join(sorted(supplied))
+        warnings.warn(
+            f"passing {names} to {where} as keyword argument(s) is "
+            f"deprecated; pass options=SearchOptions({names}=...) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+    base = options if options is not None else SearchOptions()
+    return replace(base, **supplied) if supplied else base

@@ -13,12 +13,19 @@ families implement the two accelerated stages:
 Both produce *identical* results - the paper's accuracy-preservation
 claim - which the test suite asserts; they differ in the hardware event
 counters and in the stage times the performance model assigns.
+
+:meth:`HmmsearchPipeline.search` takes a
+:class:`~repro.options.SearchOptions`; the historical per-kwarg calling
+convention (``engine=``, ``selfcheck=``, ``policy=``, ...) still works
+through the deprecation shim.  When ``options.tracer`` is armed, the
+search records a span tree (search -> stage -> kernel, with schedule
+and shard levels added by the service executors) carrying stage
+funnels, kernel counters, occupancy and memory-config choices; with the
+tracer off, results are bit-identical and the instrumentation reduces
+to one ``is None`` check per block.
 """
 
 from __future__ import annotations
-
-import enum
-from dataclasses import dataclass
 
 import numpy as np
 
@@ -28,14 +35,21 @@ from ..cpu.msv_reference import msv_score_batch, msv_score_sequence
 from ..cpu.viterbi_reference import viterbi_score_batch, viterbi_score_sequence
 from ..errors import DivergenceError, PipelineError
 from ..gpu.counters import KernelCounters
-from ..gpu.device import KEPLER_K40, DeviceSpec
-from ..hardening import STRICT, IngestPolicy, RecordQuarantine
+from ..hardening import RecordQuarantine
 from ..hmm.background import NullModel
 from ..hmm.plan7 import Plan7HMM
 from ..hmm.profile import SearchProfile
-from ..kernels.memconfig import MemoryConfig
 from ..kernels.msv_warp import msv_warp_kernel
 from ..kernels.viterbi_warp import viterbi_warp_kernel
+from ..obs.profiling import kernel_tags, record_kernel_counters
+from ..obs.span import span
+from ..options import (
+    UNSET,
+    Engine,
+    PipelineThresholds,
+    SearchOptions,
+    resolve_search_options,
+)
 from ..scoring.guardrails import GuardrailCounters
 from ..scoring.msv_profile import MSVByteProfile
 from ..scoring.vit_profile import ViterbiWordProfile
@@ -47,27 +61,7 @@ from .stats import bits_from_nats
 
 __all__ = ["Engine", "PipelineThresholds", "HmmsearchPipeline"]
 
-
-class Engine(enum.Enum):
-    """Which implementation scores the MSV and P7Viterbi stages."""
-
-    CPU_SSE = "cpu_sse"
-    GPU_WARP = "gpu_warp"
-
-
-@dataclass(frozen=True)
-class PipelineThresholds:
-    """Stage P-value thresholds and the reporting E-value cutoff."""
-
-    f1: float = 0.02    # MSV
-    f2: float = 1e-3    # P7Viterbi
-    f3: float = 1e-5    # Forward
-    report_evalue: float = 10.0
-
-    def __post_init__(self) -> None:
-        for name, v in (("f1", self.f1), ("f2", self.f2), ("f3", self.f3)):
-            if not 0.0 < v <= 1.0:
-                raise PipelineError(f"threshold {name} must be in (0, 1]")
+_WARP_KERNELS = {"msv": msv_warp_kernel, "p7viterbi": viterbi_warp_kernel}
 
 
 class HmmsearchPipeline:
@@ -117,67 +111,75 @@ class HmmsearchPipeline:
 
     # -- stage engines ------------------------------------------------------
 
-    def _score_msv(
-        self, db, engine, device, config, counters, executor=None, guard=None
+    def _score_filter(
+        self, stage_name, profile, reference, db, opts, counters,
+        executor=None, guard=None,
     ):
-        if engine is Engine.GPU_WARP:
-            c = counters.setdefault("msv", KernelCounters())
+        """Score one accelerated filter stage (MSV or P7Viterbi)."""
+        tracer = opts.tracer
+        if opts.engine is Engine.GPU_WARP:
+            c = counters.setdefault(stage_name, KernelCounters())
             before = c.saturations
             if executor is not None:
                 scores = executor.score_stage(
-                    "msv", msv_warp_kernel, self.byte_profile, db,
-                    config=config, counters=c,
+                    stage_name, _WARP_KERNELS[stage_name], profile, db,
+                    config=opts.config, counters=c,
                 )
             else:
-                scores = msv_warp_kernel(
-                    self.byte_profile, db, config=config, device=device,
-                    counters=c,
-                )
+                with span(
+                    tracer,
+                    _WARP_KERNELS[stage_name].__name__,
+                    "kernel",
+                    engine=opts.engine.value,
+                    **kernel_tags(
+                        stage_name, self.profile.M, opts.config, opts.device
+                    ),
+                ) as ks:
+                    scores = _WARP_KERNELS[stage_name](
+                        profile, db, config=opts.config, device=opts.device,
+                        counters=c,
+                    )
+                    record_kernel_counters(ks, c)
             if guard is not None:
                 guard.saturations += c.saturations - before
             return scores
-        return msv_score_batch(self.byte_profile, db, guard=guard)
-
-    def _score_vit(
-        self, db, engine, device, config, counters, executor=None, guard=None
-    ):
-        if engine is Engine.GPU_WARP:
-            c = counters.setdefault("p7viterbi", KernelCounters())
-            before = c.saturations
-            if executor is not None:
-                scores = executor.score_stage(
-                    "p7viterbi", viterbi_warp_kernel, self.word_profile, db,
-                    config=config, counters=c,
-                )
-            else:
-                scores = viterbi_warp_kernel(
-                    self.word_profile, db, config=config, device=device,
-                    counters=c,
-                )
-            if guard is not None:
-                guard.saturations += c.saturations - before
-            return scores
-        return viterbi_score_batch(self.word_profile, db, guard=guard)
+        with span(
+            tracer, f"{stage_name}_batch", "kernel",
+            stage=stage_name, engine=opts.engine.value,
+        ) as ks:
+            scores = reference(profile, db, guard=guard)
+            if ks is not None:
+                ks.count(rows=db.total_residues, sequences=len(db))
+        return scores
 
     # -- search ---------------------------------------------------------------
 
     def search(
         self,
         database: SequenceDatabase,
-        engine: Engine = Engine.CPU_SSE,
-        device: DeviceSpec = KEPLER_K40,
-        config: MemoryConfig = MemoryConfig.SHARED,
-        alignments: bool = False,
+        options: SearchOptions | None = None,
+        *,
         executor: object | None = None,
-        selfcheck: int = 0,
-        policy: IngestPolicy = STRICT,
-        quarantine: RecordQuarantine | None = None,
+        engine=UNSET,
+        device=UNSET,
+        config=UNSET,
+        alignments=UNSET,
+        selfcheck=UNSET,
+        policy=UNSET,
+        quarantine=UNSET,
     ) -> SearchResults:
         """Run the three-stage pipeline over a database.
 
-        With ``alignments=True`` every reported hit additionally carries
-        its optimal Viterbi alignment (domains, coordinates, rendering) -
-        the post-pipeline step real hmmsearch output includes.
+        All behaviour is configured by ``options``
+        (:class:`~repro.options.SearchOptions`); the trailing keyword
+        arguments are the deprecated pre-options calling convention and
+        fold into ``options`` via the shim, emitting a
+        ``DeprecationWarning``.
+
+        With ``options.alignments`` every reported hit additionally
+        carries its optimal Viterbi alignment (domains, coordinates,
+        rendering) - the post-pipeline step real hmmsearch output
+        includes.
 
         ``executor`` replaces the single-device GPU dispatch: any object
         with ``score_stage(name, kernel, profile, database, *, config,
@@ -186,155 +188,225 @@ class HmmsearchPipeline:
         simulated devices).  Scores - and therefore hits - are identical
         either way; only the per-device accounting differs.
 
-        ``selfcheck=N`` arms the runtime differential oracle: a
-        deterministic sample of up to ``N`` sequences is shadow-scored
+        ``options.selfcheck = N`` arms the runtime differential oracle:
+        a deterministic sample of up to ``N`` sequences is shadow-scored
         through the scalar reference engines and compared against the
         pipeline's scores (bit-exact for the quantized filters, tiny
         absolute tolerance for Forward).  On divergence a strict
-        ``policy`` raises :class:`~repro.errors.DivergenceError` naming
-        the sequence and stage; a salvage policy drops the diverged
-        sequences from the hit list and records them into ``quarantine``
-        (kind ``divergence``).  The full outcome is returned as
+        ``options.policy`` raises
+        :class:`~repro.errors.DivergenceError` naming the sequence and
+        stage; a salvage policy drops the diverged sequences from the
+        hit list and records them into ``options.quarantine`` (kind
+        ``divergence``).  The full outcome is returned as
         ``SearchResults.oracle`` either way.
+
+        ``options.tracer`` records a ``search`` span wrapping one
+        ``stage`` span per pipeline stage (funnel counters attached) and
+        a ``kernel`` span per kernel launch; tracing never changes
+        scores, hits or stats - the invariant the test suite pins.
         """
+        opts = resolve_search_options(
+            options, "HmmsearchPipeline.search",
+            engine=engine, device=device, config=config,
+            alignments=alignments, selfcheck=selfcheck, policy=policy,
+            quarantine=quarantine,
+        )
+        tracer = opts.tracer
         n = len(database)
         M = self.profile.M
         null_len = self.calibration.null_length_nats
-        th = self.thresholds
+        th = opts.thresholds or self.thresholds
         counters: dict[str, KernelCounters] = {}
 
-        # ---- stage 1: MSV filter over everything ----
-        guard1 = GuardrailCounters()
-        msv_scores = self._score_msv(
-            database, engine, device, config, counters, executor, guard1
-        )
-        guard1.overflows += int(np.count_nonzero(msv_scores.overflowed))
-        msv_bits = np.asarray(bits_from_nats(msv_scores.scores, null_len))
-        msv_p = self.calibration.msv.pvalue(msv_bits)
-        pass1 = np.flatnonzero(msv_p < th.f1)
-        stage1 = StageStats(
-            name="msv",
-            n_in=n,
-            n_out=int(pass1.size),
-            rows=database.total_residues,
-            cells=database.total_residues * M,
-            guard=guard1,
-        )
+        with span(
+            tracer, f"search:{self.hmm.name}", "search",
+            query=self.hmm.name, database=database.name,
+            engine=opts.engine.value, M=M,
+        ) as search_span:
+            if search_span is not None:
+                search_span.count(targets=n, residues=database.total_residues)
 
-        # ---- stage 2: P7Viterbi over MSV survivors ----
-        vit_bits = np.full(n, np.nan)
-        vit_p = np.full(n, np.nan)
-        pass2 = np.array([], dtype=np.int64)
-        rows2 = 0
-        guard2 = GuardrailCounters()
-        vit_nats: dict[int, float] = {}
-        if pass1.size:
-            sub = database.subset(pass1.tolist())
-            rows2 = sub.total_residues
-            vit_scores = self._score_vit(
-                sub, engine, device, config, counters, executor, guard2
-            )
-            guard2.overflows += int(np.count_nonzero(vit_scores.overflowed))
-            guard2.underflows += int(
-                np.count_nonzero(np.isneginf(vit_scores.scores))
-            )
-            vit_nats = {
-                int(i): float(s) for i, s in zip(pass1, vit_scores.scores)
-            }
-            vb = np.asarray(bits_from_nats(vit_scores.scores, null_len))
-            vit_bits[pass1] = vb
-            vp = self.calibration.vit.pvalue(vb)
-            vit_p[pass1] = vp
-            pass2 = pass1[vp < th.f2]
-        stage2 = StageStats(
-            name="p7viterbi",
-            n_in=int(pass1.size),
-            n_out=int(pass2.size),
-            rows=rows2,
-            cells=rows2 * M,
-            guard=guard2,
-        )
+            # ---- stage 1: MSV filter over everything ----
+            guard1 = GuardrailCounters() if opts.guard else None
+            with span(tracer, "msv", "stage", stage="msv") as st_span:
+                msv_scores = self._score_filter(
+                    "msv", self.byte_profile, msv_score_batch,
+                    database, opts, counters, executor, guard1,
+                )
+                if guard1 is not None:
+                    guard1.overflows += int(
+                        np.count_nonzero(msv_scores.overflowed)
+                    )
+                msv_bits = np.asarray(
+                    bits_from_nats(msv_scores.scores, null_len)
+                )
+                msv_p = self.calibration.msv.pvalue(msv_bits)
+                pass1 = np.flatnonzero(msv_p < th.f1)
+                stage1 = StageStats(
+                    name="msv",
+                    n_in=n,
+                    n_out=int(pass1.size),
+                    rows=database.total_residues,
+                    cells=database.total_residues * M,
+                    guard=guard1,
+                )
+                if st_span is not None:
+                    st_span.count(
+                        n_in=stage1.n_in, n_out=stage1.n_out,
+                        rows=stage1.rows, cells=stage1.cells,
+                    )
 
-        # ---- stage 3: Forward over Viterbi survivors (always CPU) ----
-        fwd_bits = np.full(n, np.nan)
-        fwd_p = np.full(n, np.nan)
-        hits: list[SearchHit] = []
-        rows3 = 0
-        guard3 = GuardrailCounters()
-        fwd_nats: dict[int, float] = {}
-        if pass2.size:
-            sub3 = database.subset(pass2.tolist())
-            batch_nats = forward_score_batch(
-                self.generic_profile, sub3, guard=guard3
-            )
-            fwd_nats = {int(idx): float(v) for idx, v in zip(pass2, batch_nats)}
-        for idx in pass2:
-            seq = database[int(idx)]
-            rows3 += len(seq)
-            nats = fwd_nats[int(idx)]
-            fb = float(bits_from_nats(nats, null_len))
-            fwd_bits[idx] = fb
-            fp = float(self.calibration.fwd.pvalue(fb))
-            fwd_p[idx] = fp
-            if fp < th.f3:
-                evalue = fp * n
-                if evalue <= th.report_evalue:
-                    aln = None
-                    if alignments:
-                        from ..cpu.traceback import viterbi_traceback
-
-                        aln = viterbi_traceback(self.generic_profile, seq.codes)
-                    hits.append(
-                        SearchHit(
-                            name=seq.name,
-                            index=int(idx),
-                            length=len(seq),
-                            msv_bits=float(msv_bits[idx]),
-                            msv_p=float(msv_p[idx]),
-                            vit_bits=float(vit_bits[idx]),
-                            vit_p=float(vit_p[idx]),
-                            fwd_bits=fb,
-                            fwd_p=fp,
-                            evalue=evalue,
-                            alignment=aln,
+            # ---- stage 2: P7Viterbi over MSV survivors ----
+            vit_bits = np.full(n, np.nan)
+            vit_p = np.full(n, np.nan)
+            pass2 = np.array([], dtype=np.int64)
+            rows2 = 0
+            guard2 = GuardrailCounters() if opts.guard else None
+            vit_nats: dict[int, float] = {}
+            with span(tracer, "p7viterbi", "stage", stage="p7viterbi") as st_span:
+                if pass1.size:
+                    sub = database.subset(pass1.tolist())
+                    rows2 = sub.total_residues
+                    vit_scores = self._score_filter(
+                        "p7viterbi", self.word_profile, viterbi_score_batch,
+                        sub, opts, counters, executor, guard2,
+                    )
+                    if guard2 is not None:
+                        guard2.overflows += int(
+                            np.count_nonzero(vit_scores.overflowed)
                         )
-                    )
-        n_pass3 = sum(1 for idx in pass2 if fwd_p[idx] < th.f3)
-        stage3 = StageStats(
-            name="forward",
-            n_in=int(pass2.size),
-            n_out=int(n_pass3),
-            rows=rows3,
-            cells=rows3 * M,
-            guard=guard3,
-        )
-
-        # ---- differential oracle over a deterministic sample ----
-        oracle = None
-        if selfcheck > 0:
-            oracle = self._run_oracle(
-                database, selfcheck, msv_scores.scores, vit_nats, fwd_nats
-            )
-            if not oracle.ok:
-                if not policy.salvage:
-                    raise DivergenceError(
-                        f"query {self.hmm.name!r} vs database "
-                        f"{database.name!r}: engine scores diverged from "
-                        "the scalar reference - "
-                        + "; ".join(
-                            d.describe() for d in oracle.divergences[:3]
+                        guard2.underflows += int(
+                            np.count_nonzero(np.isneginf(vit_scores.scores))
                         )
+                    vit_nats = {
+                        int(i): float(s)
+                        for i, s in zip(pass1, vit_scores.scores)
+                    }
+                    vb = np.asarray(bits_from_nats(vit_scores.scores, null_len))
+                    vit_bits[pass1] = vb
+                    vp = self.calibration.vit.pvalue(vb)
+                    vit_p[pass1] = vp
+                    pass2 = pass1[vp < th.f2]
+                stage2 = StageStats(
+                    name="p7viterbi",
+                    n_in=int(pass1.size),
+                    n_out=int(pass2.size),
+                    rows=rows2,
+                    cells=rows2 * M,
+                    guard=guard2,
+                )
+                if st_span is not None:
+                    st_span.count(
+                        n_in=stage2.n_in, n_out=stage2.n_out,
+                        rows=stage2.rows, cells=stage2.cells,
                     )
-                q = quarantine if quarantine is not None else RecordQuarantine()
-                diverged = {d.index for d in oracle.divergences}
-                for d in oracle.divergences:
-                    q.add(
-                        database.name, 0, d.sequence, d.describe(),
-                        kind="divergence",
-                    )
-                hits = [h for h in hits if h.index not in diverged]
 
-        hits.sort(key=lambda h: (h.evalue, h.name))
+            # ---- stage 3: Forward over Viterbi survivors (always CPU) ----
+            fwd_bits = np.full(n, np.nan)
+            fwd_p = np.full(n, np.nan)
+            hits: list[SearchHit] = []
+            rows3 = 0
+            guard3 = GuardrailCounters() if opts.guard else None
+            fwd_nats: dict[int, float] = {}
+            with span(tracer, "forward", "stage", stage="forward") as st_span:
+                if pass2.size:
+                    sub3 = database.subset(pass2.tolist())
+                    with span(
+                        tracer, "forward_batch", "kernel",
+                        stage="forward", engine="cpu_generic",
+                    ) as ks:
+                        batch_nats = forward_score_batch(
+                            self.generic_profile, sub3, guard=guard3
+                        )
+                        if ks is not None:
+                            ks.count(
+                                rows=sub3.total_residues, sequences=len(sub3)
+                            )
+                    fwd_nats = {
+                        int(idx): float(v)
+                        for idx, v in zip(pass2, batch_nats)
+                    }
+                for idx in pass2:
+                    seq = database[int(idx)]
+                    rows3 += len(seq)
+                    nats = fwd_nats[int(idx)]
+                    fb = float(bits_from_nats(nats, null_len))
+                    fwd_bits[idx] = fb
+                    fp = float(self.calibration.fwd.pvalue(fb))
+                    fwd_p[idx] = fp
+                    if fp < th.f3:
+                        evalue = fp * n
+                        if evalue <= th.report_evalue:
+                            aln = None
+                            if opts.alignments:
+                                from ..cpu.traceback import viterbi_traceback
+
+                                aln = viterbi_traceback(
+                                    self.generic_profile, seq.codes
+                                )
+                            hits.append(
+                                SearchHit(
+                                    name=seq.name,
+                                    index=int(idx),
+                                    length=len(seq),
+                                    msv_bits=float(msv_bits[idx]),
+                                    msv_p=float(msv_p[idx]),
+                                    vit_bits=float(vit_bits[idx]),
+                                    vit_p=float(vit_p[idx]),
+                                    fwd_bits=fb,
+                                    fwd_p=fp,
+                                    evalue=evalue,
+                                    alignment=aln,
+                                )
+                            )
+                n_pass3 = sum(1 for idx in pass2 if fwd_p[idx] < th.f3)
+                stage3 = StageStats(
+                    name="forward",
+                    n_in=int(pass2.size),
+                    n_out=int(n_pass3),
+                    rows=rows3,
+                    cells=rows3 * M,
+                    guard=guard3,
+                )
+                if st_span is not None:
+                    st_span.count(
+                        n_in=stage3.n_in, n_out=stage3.n_out,
+                        rows=stage3.rows, cells=stage3.cells,
+                    )
+
+            # ---- differential oracle over a deterministic sample ----
+            oracle = None
+            if opts.selfcheck > 0:
+                oracle = self._run_oracle(
+                    database, opts.selfcheck, msv_scores.scores,
+                    vit_nats, fwd_nats,
+                )
+                if not oracle.ok:
+                    if not opts.policy.salvage:
+                        raise DivergenceError(
+                            f"query {self.hmm.name!r} vs database "
+                            f"{database.name!r}: engine scores diverged from "
+                            "the scalar reference - "
+                            + "; ".join(
+                                d.describe() for d in oracle.divergences[:3]
+                            )
+                        )
+                    q = (
+                        opts.quarantine
+                        if opts.quarantine is not None
+                        else RecordQuarantine()
+                    )
+                    diverged = {d.index for d in oracle.divergences}
+                    for d in oracle.divergences:
+                        q.add(
+                            database.name, 0, d.sequence, d.describe(),
+                            kind="divergence",
+                        )
+                    hits = [h for h in hits if h.index not in diverged]
+
+            hits.sort(key=lambda h: (h.evalue, h.name))
+            if search_span is not None:
+                search_span.count(hits=len(hits))
         return SearchResults(
             query_name=self.hmm.name,
             n_targets=n,

@@ -49,10 +49,14 @@ from __future__ import annotations
 import time
 from typing import Callable
 
-from ..hardening import STRICT, IngestPolicy
 from ..hmm.plan7 import Plan7HMM
-from ..kernels.memconfig import MemoryConfig
-from ..pipeline.pipeline import Engine, PipelineThresholds
+from ..options import (
+    UNSET,
+    Engine,
+    PipelineThresholds,
+    SearchOptions,
+    resolve_search_options,
+)
 from ..sequence.database import SequenceDatabase
 from .cache import PipelineCache, PipelineSettings, hmm_fingerprint
 from .devices import DeviceHealth, DevicePool, DeviceSlot
@@ -90,6 +94,7 @@ __all__ = [
     "result_digest",
     "PoolExecutor",
     "Scheduler",
+    "SearchOptions",
     "JobRecord",
     "MetricsRegistry",
     "load_manifest",
@@ -111,13 +116,14 @@ class BatchSearchService:
         pool: DevicePool | None = None,
         cache: PipelineCache | None = None,
         cache_size: int = 8,
-        config: MemoryConfig = MemoryConfig.SHARED,
+        options: SearchOptions | None = None,
         clock: Callable[[], float] = time.perf_counter,
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
         journal: RunJournal | None = None,
-        selfcheck: int = 0,
-        policy: IngestPolicy = STRICT,
+        config=UNSET,
+        selfcheck=UNSET,
+        policy=UNSET,
     ) -> None:
         self.queue = JobQueue()
         # explicit None checks: an empty PipelineCache is falsy (__len__)
@@ -126,23 +132,32 @@ class BatchSearchService:
             cache if cache is not None else PipelineCache(max_entries=cache_size)
         )
         self.metrics = MetricsRegistry()
+        # config/selfcheck/policy are the deprecated pre-SearchOptions
+        # kwargs; the shim folds them in with a DeprecationWarning
+        self.options = resolve_search_options(
+            options, "BatchSearchService",
+            config=config, selfcheck=selfcheck, policy=policy,
+        )
         self.scheduler = Scheduler(
             pool=self.pool,
             cache=self.cache,
             metrics=self.metrics,
-            config=config,
+            options=self.options,
             clock=clock,
             fault_plan=fault_plan,
             retry_policy=retry_policy,
             journal=journal,
-            selfcheck=selfcheck,
-            policy=policy,
         )
         self._clock = clock
 
     @property
-    def policy(self) -> IngestPolicy:
+    def policy(self):
         return self.scheduler.policy
+
+    @property
+    def tracer(self):
+        """The tracer every job records into (None = tracing off)."""
+        return self.options.tracer
 
     @property
     def quarantine(self):
@@ -162,8 +177,14 @@ class BatchSearchService:
         thresholds: PipelineThresholds | None = None,
         settings: PipelineSettings | None = None,
         job_id: str | None = None,
+        options: SearchOptions | None = None,
     ) -> SearchJob:
-        """Enqueue one search request; returns the pending job."""
+        """Enqueue one search request; returns the pending job.
+
+        ``options`` overrides the service-wide :class:`SearchOptions`
+        for this job only (the engine still comes from ``engine=`` and
+        the quarantine/tracer stay service-owned).
+        """
         return self.queue.submit(
             hmm,
             database,
@@ -173,6 +194,7 @@ class BatchSearchService:
             settings=settings,
             clock=self._clock(),
             job_id=job_id,
+            options=options,
         )
 
     def run(self) -> list[SearchJob]:

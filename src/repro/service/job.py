@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 
 from ..errors import PipelineError
 from ..hmm.plan7 import Plan7HMM
-from ..pipeline.pipeline import Engine, PipelineThresholds
+from ..options import Engine, PipelineThresholds, SearchOptions
 from ..pipeline.results import SearchResults
 from ..sequence.database import SequenceDatabase
 from .cache import PipelineSettings, hmm_fingerprint
@@ -50,6 +50,8 @@ class SearchJob:
     priority: int = 0
     thresholds: PipelineThresholds | None = None
     settings: PipelineSettings = field(default_factory=PipelineSettings)
+    options: SearchOptions | None = None     # per-job override of the
+                                             # scheduler's SearchOptions
 
     # -- filled in by the scheduler --
     state: JobState = JobState.PENDING
@@ -136,6 +138,7 @@ class JobQueue:
         settings: PipelineSettings | None = None,
         clock: float | None = None,
         job_id: str | None = None,
+        options: SearchOptions | None = None,
     ) -> SearchJob:
         """Mint a job and enqueue it; returns the job (with its id).
 
@@ -144,6 +147,7 @@ class JobQueue:
         ``job_id`` (e.g. a manifest's ``id`` field) is used verbatim,
         which makes checkpoint journals robust to manifest edits.
         """
+        engine = Engine.coerce(engine)
         serial = self._serial
         self._serial += 1
         self.submitted += 1
@@ -158,6 +162,7 @@ class JobQueue:
             priority=priority,
             thresholds=thresholds,
             settings=settings or PipelineSettings(),
+            options=options,
             submitted_at=clock,
         )
         heapq.heappush(self._heap, (-priority, serial, job))

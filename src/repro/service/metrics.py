@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 
 from ..gpu.counters import KernelCounters
 from ..hardening import RecordQuarantine
+from ..obs.histogram import Histogram, ThroughputGauge
+from ..obs.span import Span
 from ..pipeline.results import StageStats
 from ..scoring.guardrails import GuardrailCounters
 from .cache import PipelineCache
@@ -198,6 +200,12 @@ class MetricsRegistry:
         self.cache = cache
         self.resilience = ResilienceStats()
         self.quarantine = RecordQuarantine()
+        # fed by observe_job_span() when the scheduler runs with a tracer
+        self.stage_seconds: dict[str, Histogram] = {}
+        self.job_seconds = Histogram()
+        self.residue_rate = ThroughputGauge()
+        self.sequence_rate = ThroughputGauge()
+        self.survival: dict[str, ThroughputGauge] = {}
 
     def attach(self, pool: DevicePool, cache: PipelineCache) -> None:
         self.pool = pool
@@ -205,6 +213,28 @@ class MetricsRegistry:
 
     def record_job(self, record: JobRecord) -> None:
         self.records.append(record)
+
+    def observe_job_span(self, job_span: Span) -> None:
+        """Fold one finished job's span tree into the timing aggregates.
+
+        Walks the tree for ``stage`` spans: wall-times land in per-stage
+        histograms, residue/sequence counters feed the throughput
+        gauges, and each stage's in/out counts feed its survival gauge.
+        """
+        self.job_seconds.add(job_span.seconds)
+        for st in job_span.find("stage"):
+            name = st.tags.get("stage", st.name)
+            self.stage_seconds.setdefault(name, Histogram()).add(st.seconds)
+            # stage "rows" == residues actually processed by that stage
+            residues = st.counters.get("rows", 0)
+            if residues:
+                self.residue_rate.observe(residues, st.seconds)
+            sequences = st.counters.get("n_in", 0)
+            if sequences:
+                self.sequence_rate.observe(sequences, st.seconds)
+                self.survival.setdefault(name, ThroughputGauge()).observe(
+                    st.counters.get("n_out", 0), sequences
+                )
 
     # -- aggregates ---------------------------------------------------------
 
@@ -310,6 +340,18 @@ class MetricsRegistry:
             "selfchecked": self.total_selfchecked,
             "divergences": self.total_divergences,
         }
+        if self.stage_seconds:
+            data["timings"] = {
+                "job_seconds": self.job_seconds.summary(),
+                "stage_seconds": {
+                    k: v.summary() for k, v in self.stage_seconds.items()
+                },
+                "residues_per_s": self.residue_rate.to_dict(),
+                "sequences_per_s": self.sequence_rate.to_dict(),
+                "survival": {
+                    k: v.rate for k, v in self.survival.items()
+                },
+            }
         if self.cache is not None:
             data["cache"] = self.cache.stats()
         if self.pool is not None:
@@ -407,6 +449,30 @@ class MetricsRegistry:
                 f"{s['hits']} hits, {s['misses']} misses, "
                 f"{s['evictions']} evictions "
                 f"(hit rate {100 * s['hit_rate']:.1f}%)"
+            )
+
+        if self.stage_seconds:
+            lines.append("")
+            lines.append("stage timings (traced jobs)")
+            for name in _STAGE_ORDER:
+                h = self.stage_seconds.get(name)
+                if h is None:
+                    continue
+                surv = self.survival.get(name)
+                lines.append(
+                    f"  {name:10s} n={h.count:4d} "
+                    f"p50={1e3 * h.percentile(50.0):8.3f} ms "
+                    f"p90={1e3 * h.percentile(90.0):8.3f} ms "
+                    f"total={h.total:8.4f} s"
+                    + (
+                        f"  survival={100 * surv.rate:6.2f}%"
+                        if surv is not None
+                        else ""
+                    )
+                )
+            lines.append(
+                f"  throughput: {self.residue_rate.rate:,.0f} residues/s   "
+                f"{self.sequence_rate.rate:,.0f} sequences/s"
             )
 
         if self.resilience.events:

@@ -48,6 +48,8 @@ from ..errors import (
 )
 from ..gpu.counters import KernelCounters
 from ..gpu.multi_gpu import score_chunk
+from ..obs.profiling import kernel_tags, record_kernel_counters
+from ..obs.span import span
 from ..sequence.database import SequenceDatabase
 from .devices import DeviceHealth, DevicePool, DeviceSlot
 from .faults import FaultKind, FaultPlan, ResilienceEvent
@@ -148,6 +150,7 @@ class ResilientExecutor:
         job_id: str | None = None,
         sort_chunks: bool = True,
         sleep: Callable[[float], None] | None = None,
+        tracer=None,
     ) -> None:
         self.pool = pool
         self.plan = plan
@@ -156,6 +159,7 @@ class ResilientExecutor:
         self.job_id = job_id
         self.sort_chunks = sort_chunks
         self.sleep = sleep
+        self.tracer = tracer
         self.stage_dispatches = 0
         self.failed_dispatches = 0
         self.retries_left = self.policy.retry_budget
@@ -178,30 +182,43 @@ class ResilientExecutor:
         n = len(database)
         scores = np.empty(n, dtype=np.float64)
         overflowed = np.empty(n, dtype=bool)
-        if not slots:
-            # every device quarantined and cooling down: the stage
-            # itself degrades to the reference scorer
-            self._emit(
-                "cpu_stage", stage=name,
-                detail=f"all {self.pool.size} devices quarantined",
-            )
-            part = self._cpu_scores(name, profile, database)
-            scores[:] = part.scores
-            overflowed[:] = part.overflowed
+        with span(
+            self.tracer, f"dispatch:{name}", "schedule",
+            stage=name, devices=len(slots), pool=self.pool.name,
+        ):
+            if not slots:
+                # every device quarantined and cooling down: the stage
+                # itself degrades to the reference scorer
+                self._emit(
+                    "cpu_stage", stage=name,
+                    detail=f"all {self.pool.size} devices quarantined",
+                )
+                part = self._cpu_scores(name, profile, database)
+                scores[:] = part.scores
+                overflowed[:] = part.overflowed
+                self.stage_dispatches += 1
+                return FilterScores(scores=scores, overflowed=overflowed)
+            chunks = database.chunk_by_residues(len(slots))
+            offset = 0
+            for shard_no, (chunk, slot) in enumerate(zip(chunks, slots)):
+                with span(
+                    self.tracer, f"shard{shard_no}", "shard",
+                    device=slot.spec.name, stage=name,
+                ) as sh:
+                    part = self._score_shard(
+                        name, kernel, profile, chunk, slot, config, counters,
+                        peers=slots,
+                    )
+                    if sh is not None:
+                        sh.count(
+                            sequences=len(chunk),
+                            residues=chunk.total_residues,
+                        )
+                m = len(chunk)
+                scores[offset : offset + m] = part.scores
+                overflowed[offset : offset + m] = part.overflowed
+                offset += m
             self.stage_dispatches += 1
-            return FilterScores(scores=scores, overflowed=overflowed)
-        chunks = database.chunk_by_residues(len(slots))
-        offset = 0
-        for chunk, slot in zip(chunks, slots):
-            part = self._score_shard(
-                name, kernel, profile, chunk, slot, config, counters,
-                peers=slots,
-            )
-            m = len(chunk)
-            scores[offset : offset + m] = part.scores
-            overflowed[offset : offset + m] = part.overflowed
-            offset += m
-        self.stage_dispatches += 1
         return FilterScores(scores=scores, overflowed=overflowed)
 
     # -- the degradation ladder ----------------------------------------------
@@ -291,10 +308,17 @@ class ResilientExecutor:
                     f"transient kernel fault injected on device {slot.index}"
                 )
             c = KernelCounters()
-            part = score_chunk(
-                kernel, profile, chunk, spec,
-                sort=self.sort_chunks, counters=c, config=config,
-            )
+            with span(
+                self.tracer, f"{name}@{spec.name}", "kernel",
+                **kernel_tags(
+                    name, getattr(profile, "M", 0), config, spec
+                ),
+            ) as ks:
+                part = score_chunk(
+                    kernel, profile, chunk, spec,
+                    sort=self.sort_chunks, counters=c, config=config,
+                )
+                record_kernel_counters(ks, c)
             if fault is FaultKind.CORRUPT:
                 part = FilterScores(
                     scores=part.scores + _CORRUPTION_BIAS,
@@ -382,7 +406,16 @@ class ResilientExecutor:
             raise PipelineError(
                 f"no CPU fallback scorer for stage {name!r}"
             )
-        return scorer(profile, database)
+        with span(
+            self.tracer, f"{name}@cpu_fallback", "kernel",
+            stage=name, engine="cpu_sse",
+        ) as ks:
+            part = scorer(profile, database)
+            if ks is not None:
+                ks.count(
+                    rows=database.total_residues, sequences=len(database)
+                )
+        return part
 
 
 # -- checkpoint / resume -----------------------------------------------------

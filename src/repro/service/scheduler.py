@@ -14,6 +14,15 @@ any pool produces the *same hits* as a direct
 :meth:`HmmsearchPipeline.search` call - the property the test suite
 pins down.
 
+Search behaviour (engine defaults, selfcheck, policy, tracing) is
+configured by one :class:`~repro.options.SearchOptions`; the historical
+``selfcheck=``/``policy=`` keyword arguments still work through the
+deprecation shim.  When ``options.tracer`` is armed, every executed job
+records a ``job`` span (wrapping a ``schedule`` span for pipeline
+preparation and the pipeline's own search/stage/kernel spans), and each
+finished job's stage timings are folded into the metrics registry's
+histograms and throughput gauges.
+
 Fault handling comes in two tiers:
 
 * **Legacy (default)**: if a device launch raises
@@ -36,13 +45,14 @@ marking them resumed rather than recomputed).
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from typing import Callable
 
 from ..errors import DivergenceError, LaunchError, ReproError
 from ..gpu.multi_gpu import run_multi_gpu
-from ..hardening import STRICT, IngestPolicy
 from ..kernels.memconfig import MemoryConfig
-from ..pipeline.pipeline import Engine
+from ..obs.span import span
+from ..options import UNSET, Engine, SearchOptions, resolve_search_options
 from .cache import PipelineCache
 from .devices import DevicePool
 from .faults import FaultPlan, ResilienceEvent
@@ -63,14 +73,21 @@ class PoolExecutor:
     database order.  Per-device work lands on the pool's slots; merged
     kernel counters land in the pipeline's per-stage counter.
 
+    With a ``tracer``, every dispatch records a ``schedule`` span and
+    :func:`run_multi_gpu` adds the per-device ``shard`` and ``kernel``
+    spans beneath it.
+
     Slot accounting stays coherent even when a launch aborts mid-stage:
     every checked-out slot is released on the way out, and failed stage
     launches are counted separately from completed ones.
     """
 
-    def __init__(self, pool: DevicePool, sort_chunks: bool = True) -> None:
+    def __init__(
+        self, pool: DevicePool, sort_chunks: bool = True, tracer=None
+    ) -> None:
         self.pool = pool
         self.sort_chunks = sort_chunks
+        self.tracer = tracer
         self.stage_dispatches = 0
         self.failed_dispatches = 0
 
@@ -78,33 +95,39 @@ class PoolExecutor:
         self, name, kernel, profile, database, *, config, counters=None
     ):
         slots = self.pool.active_slots(len(database))
-        try:
-            # checkout claims every device up front; an armed fault
-            # aborts the whole stage launch before any chunk is scored
-            specs = [slot.checkout() for slot in slots]
-            run = run_multi_gpu(
-                kernel,
-                profile,
-                database,
-                devices=specs,
-                sort_chunks=self.sort_chunks,
-                config=config,
-            )
-            for slot, c, n_res, n_seq in zip(
-                slots, run.device_counters, run.chunk_residues,
-                run.chunk_sequences,
-            ):
-                slot.record(n_seq, n_res, c)
-                if counters is not None:
-                    counters.merge(c)
-            self.stage_dispatches += 1
-            return run.scores
-        except Exception:
-            self.failed_dispatches += 1
-            raise
-        finally:
-            for slot in slots:
-                slot.release()
+        with span(
+            self.tracer, f"dispatch:{name}", "schedule",
+            stage=name, devices=len(slots), pool=self.pool.name,
+        ):
+            try:
+                # checkout claims every device up front; an armed fault
+                # aborts the whole stage launch before any chunk is scored
+                specs = [slot.checkout() for slot in slots]
+                run = run_multi_gpu(
+                    kernel,
+                    profile,
+                    database,
+                    devices=specs,
+                    sort_chunks=self.sort_chunks,
+                    config=config,
+                    tracer=self.tracer,
+                    stage=name,
+                )
+                for slot, c, n_res, n_seq in zip(
+                    slots, run.device_counters, run.chunk_residues,
+                    run.chunk_sequences,
+                ):
+                    slot.record(n_seq, n_res, c)
+                    if counters is not None:
+                        counters.merge(c)
+                self.stage_dispatches += 1
+                return run.scores
+            except Exception:
+                self.failed_dispatches += 1
+                raise
+            finally:
+                for slot in slots:
+                    slot.release()
 
 
 class Scheduler:
@@ -115,20 +138,26 @@ class Scheduler:
         pool: DevicePool | None = None,
         cache: PipelineCache | None = None,
         metrics: MetricsRegistry | None = None,
-        config: MemoryConfig = MemoryConfig.SHARED,
+        options: SearchOptions | None = None,
         clock: Callable[[], float] = time.perf_counter,
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
         journal: RunJournal | None = None,
-        selfcheck: int = 0,
-        policy: IngestPolicy = STRICT,
+        config=UNSET,
+        selfcheck=UNSET,
+        policy=UNSET,
     ) -> None:
         # explicit None checks: an empty PipelineCache is falsy (__len__)
         self.pool = pool if pool is not None else DevicePool.heterogeneous()
         self.cache = cache if cache is not None else PipelineCache()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.metrics.attach(self.pool, self.cache)
-        self.config = config
+        # one options object configures every job this scheduler runs;
+        # config/selfcheck/policy are the deprecated pre-options kwargs
+        self.options = resolve_search_options(
+            options, "Scheduler",
+            config=config, selfcheck=selfcheck, policy=policy,
+        )
         self.clock = clock
         # an explicit plan wins; otherwise REPRO_FAULT_SEED may arm a
         # global chaos plan (the CI chaos job's hook)
@@ -137,11 +166,18 @@ class Scheduler:
         )
         self.retry_policy = retry_policy
         self.journal = journal
-        # data-plane hardening: shadow-score up to `selfcheck` sequences
-        # per job through the scalar reference; strict policy fails a
-        # diverged job, salvage policy quarantines the diverged hits
-        self.selfcheck = selfcheck
-        self.policy = policy
+
+    @property
+    def config(self) -> MemoryConfig:
+        return self.options.config
+
+    @property
+    def selfcheck(self) -> int:
+        return self.options.selfcheck
+
+    @property
+    def policy(self):
+        return self.options.policy
 
     @property
     def resilient(self) -> bool:
@@ -156,8 +192,9 @@ class Scheduler:
                 policy=self.retry_policy or RetryPolicy(),
                 stats=self.metrics.resilience,
                 job_id=job.job_id,
+                tracer=self.options.tracer,
             )
-        return PoolExecutor(self.pool)
+        return PoolExecutor(self.pool, tracer=self.options.tracer)
 
     def run(self, queue: JobQueue) -> list[SearchJob]:
         """Drain the queue; returns the jobs in execution order.
@@ -179,6 +216,18 @@ class Scheduler:
             executed.append(job)
         return executed
 
+    def _job_options(self, job: SearchJob) -> SearchOptions:
+        """The effective options for one job: the job's own options (if
+        submitted with any) override the scheduler's, while the engine
+        comes from the job and the quarantine/tracer stay service-owned."""
+        base = job.options if job.options is not None else self.options
+        return replace(
+            base,
+            engine=job.engine,
+            quarantine=self.metrics.quarantine,
+            tracer=self.options.tracer,
+        )
+
     def execute(self, job: SearchJob) -> SearchJob:
         """Run one job to completion (or failure), recording metrics."""
         job.state = JobState.RUNNING
@@ -187,59 +236,68 @@ class Scheduler:
         q_before = len(self.metrics.quarantine)
         error: str | None = None
         diverged = 0
-        hardening = dict(
-            selfcheck=self.selfcheck,
-            policy=self.policy,
-            quarantine=self.metrics.quarantine,
-        )
-        try:
-            pipeline = self.cache.get(job.hmm, job.settings, job.thresholds)
-            cache_hit = self.cache.misses == misses_before
+        opts = self._job_options(job)
+        tracer = opts.tracer
+        with span(
+            tracer, f"job:{job.job_id}", "job",
+            job_id=job.job_id, query=job.hmm.name,
+            database=job.database.name, engine=job.engine.value,
+        ) as job_span:
             try:
-                job.attempts += 1
-                if job.engine is Engine.GPU_WARP:
-                    results = pipeline.search(
-                        job.database,
-                        engine=Engine.GPU_WARP,
-                        config=self.config,
-                        executor=self._executor(job),
-                        **hardening,
+                with span(tracer, "prepare", "schedule") as prep:
+                    pipeline = self.cache.get(
+                        job.hmm, job.settings, job.thresholds
                     )
-                else:
+                    cache_hit = self.cache.misses == misses_before
+                    if prep is not None:
+                        prep.tags["cache"] = "hit" if cache_hit else "miss"
+                try:
+                    job.attempts += 1
+                    if job.engine is Engine.GPU_WARP:
+                        results = pipeline.search(
+                            job.database,
+                            opts,
+                            executor=self._executor(job),
+                        )
+                    else:
+                        results = pipeline.search(
+                            job.database, replace(opts, engine=Engine.CPU_SSE)
+                        )
+                except LaunchError as exc:
+                    # device failed to launch: degrade to the CPU engine,
+                    # which is bit-identical in scores (the resilient
+                    # executor absorbs shard faults itself, so this is the
+                    # legacy whole-job path)
+                    error = str(exc)
+                    job.attempts += 1
+                    job.fallback_engine = Engine.CPU_SSE
                     results = pipeline.search(
-                        job.database, engine=Engine.CPU_SSE, **hardening
+                        job.database, replace(opts, engine=Engine.CPU_SSE)
                     )
-            except LaunchError as exc:
-                # device failed to launch: degrade to the CPU engine,
-                # which is bit-identical in scores (the resilient
-                # executor absorbs shard faults itself, so this is the
-                # legacy whole-job path)
+                job.results = results
+                job.state = JobState.DONE
+            except DivergenceError as exc:
+                # strict-policy oracle failure: the engines disagreed; fail
+                # fast and count the divergence so the exit code can tell
+                # "wrong results" apart from ordinary job failures
+                cache_hit = self.cache.misses == misses_before
                 error = str(exc)
-                job.attempts += 1
-                job.fallback_engine = Engine.CPU_SSE
-                results = pipeline.search(
-                    job.database, engine=Engine.CPU_SSE, **hardening
-                )
-            job.results = results
-            job.state = JobState.DONE
-        except DivergenceError as exc:
-            # strict-policy oracle failure: the engines disagreed; fail
-            # fast and count the divergence so the exit code can tell
-            # "wrong results" apart from ordinary job failures
-            cache_hit = self.cache.misses == misses_before
-            error = str(exc)
-            diverged = 1
-            job.state = JobState.FAILED
-        except ReproError as exc:
-            cache_hit = self.cache.misses == misses_before
-            error = str(exc)
-            job.state = JobState.FAILED
+                diverged = 1
+                job.state = JobState.FAILED
+            except ReproError as exc:
+                cache_hit = self.cache.misses == misses_before
+                error = str(exc)
+                job.state = JobState.FAILED
+            if job_span is not None:
+                job_span.tags["state"] = job.state.value
         job.error = error
         job.finished_at = self.clock()
         record = self._record(job, cache_hit)
         record.quarantined = len(self.metrics.quarantine) - q_before
         record.divergences += diverged
         self.metrics.record_job(record)
+        if job_span is not None:
+            self.metrics.observe_job_span(job_span)
         if self.journal is not None and job.state is JobState.DONE:
             self.journal.record(job)
         return job

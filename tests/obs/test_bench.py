@@ -1,0 +1,174 @@
+"""Exporters: stage roll-ups, BENCH json, the regression gate, and the
+bench_trajectory harness itself (quick mode)."""
+
+from __future__ import annotations
+
+import copy
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.exporters import (
+    BENCH_SCHEMA,
+    bench_payload,
+    compare_bench,
+    load_bench,
+    stage_rollup,
+    write_bench_json,
+)
+from repro.obs.span import Tracer
+
+
+def make_trace() -> Tracer:
+    """Two jobs with known stage timings via a fake clock."""
+    times = iter(range(100))
+    tr = Tracer(clock=lambda: float(next(times)))
+    for _ in range(2):
+        with tr.span("job", "job"):
+            with tr.span("msv", "stage", stage="msv") as st:
+                st.count(n_in=100, n_out=10, rows=5000)
+            with tr.span("forward", "stage", stage="forward") as st:
+                st.count(n_in=10, n_out=2, rows=400)
+    return tr
+
+
+class TestStageRollup:
+    def test_aggregates_across_jobs(self):
+        rollup = stage_rollup(make_trace().roots)
+        assert set(rollup) == {"msv", "forward"}
+        msv = rollup["msv"]
+        assert msv["spans"] == 2
+        assert msv["rows"] == 10000
+        assert msv["n_in"] == 200 and msv["n_out"] == 20
+        assert msv["survival"] == pytest.approx(0.1)
+        # each fake-clock stage span lasts exactly 1 tick
+        assert msv["wall_seconds"] == pytest.approx(2.0)
+        assert msv["residues_per_s"] == pytest.approx(5000.0)
+        total = sum(e["wall_seconds"] for e in rollup.values())
+        assert sum(e["share"] for e in rollup.values()) == pytest.approx(1.0)
+        assert msv["share"] == pytest.approx(msv["wall_seconds"] / total)
+
+    def test_empty_forest(self):
+        assert stage_rollup([]) == {}
+
+
+class TestBenchPayload:
+    def test_schema_and_totals(self, tmp_path):
+        tr = make_trace()
+        path = write_bench_json(
+            tmp_path / "bench.json", tr.roots,
+            workload={"name": "unit"}, meta={"note": "x"},
+        )
+        doc = load_bench(path)
+        assert doc["schema"] == BENCH_SCHEMA
+        assert doc["workload"] == {"name": "unit"}
+        assert doc["meta"] == {"note": "x"}
+        assert list(doc["stages"]) == ["msv", "forward"]  # pipeline order
+        assert doc["totals"]["rows"] == 10800
+        assert doc["totals"]["targets"] == 200
+        assert doc["spans"]["by_kind"] == {"job": 2, "stage": 4}
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({"schema": "other", "stages": {}}))
+        with pytest.raises(ValueError, match="repro-bench-v1"):
+            load_bench(p)
+
+
+class TestCompareBench:
+    def _doc(self):
+        return bench_payload(make_trace().roots)
+
+    def test_identical_passes(self):
+        doc = self._doc()
+        assert compare_bench(doc, doc) == []
+        assert compare_bench(doc, doc, normalize=True) == []
+
+    def test_regression_beyond_tolerance_reported(self):
+        base = self._doc()
+        cur = copy.deepcopy(base)
+        cur["stages"]["msv"]["wall_seconds"] *= 1.5
+        problems = compare_bench(base, cur, tolerance=0.25)
+        assert len(problems) == 1
+        assert "msv" in problems[0] and "+50.0%" in problems[0]
+        # within tolerance: silent
+        assert compare_bench(base, cur, tolerance=0.6) == []
+
+    def test_normalize_compares_shares_not_seconds(self):
+        base = self._doc()
+        cur = copy.deepcopy(base)
+        # uniformly 3x slower: absolute regresses, shares identical
+        for st in cur["stages"].values():
+            st["wall_seconds"] *= 3.0
+        assert compare_bench(base, cur, tolerance=0.25)
+        assert compare_bench(base, cur, tolerance=0.25, normalize=True) == []
+
+    def test_missing_stage_reported(self):
+        base = self._doc()
+        cur = copy.deepcopy(base)
+        del cur["stages"]["forward"]
+        problems = compare_bench(base, cur)
+        assert any("missing" in p for p in problems)
+
+    def test_negative_tolerance_raises(self):
+        doc = self._doc()
+        with pytest.raises(ValueError):
+            compare_bench(doc, doc, tolerance=-0.1)
+
+
+class TestBenchTrajectoryHarness:
+    @pytest.fixture(scope="class")
+    def harness(self):
+        root = Path(__file__).resolve().parents[2]
+        sys.path.insert(0, str(root / "benchmarks"))
+        try:
+            import bench_trajectory
+        finally:
+            sys.path.pop(0)
+        return bench_trajectory
+
+    def test_quick_run_emits_valid_bench(self, harness, tmp_path):
+        out = tmp_path / "BENCH_pipeline.json"
+        rc = harness.main(
+            ["--quick", "--skip-overhead", "--out", str(out)]
+        )
+        assert rc == 0
+        doc = load_bench(out)
+        assert doc["schema"] == BENCH_SCHEMA
+        assert set(doc["stages"]) == {"msv", "p7viterbi", "forward"}
+        for st in doc["stages"].values():
+            assert st["wall_seconds"] > 0
+        assert doc["workload"]["name"] == "bench-trajectory"
+        assert doc["spans"]["by_kind"]["kernel"] > 0
+
+    def test_check_gate_passes_against_own_output(self, harness, tmp_path):
+        out = tmp_path / "b.json"
+        assert harness.main(
+            ["--quick", "--skip-overhead", "--out", str(out)]
+        ) == 0
+        rc = harness.main(
+            ["--quick", "--skip-overhead", "--out", str(tmp_path / "c.json"),
+             "--check", str(out), "--normalize", "--tolerance", "2.0"]
+        )
+        assert rc == 0
+
+    def test_check_gate_fails_on_fabricated_regression(
+        self, harness, tmp_path, capsys
+    ):
+        out = tmp_path / "b.json"
+        assert harness.main(
+            ["--quick", "--skip-overhead", "--out", str(out)]
+        ) == 0
+        doc = load_bench(out)
+        # fabricate a baseline whose msv share is far below reality
+        doc["stages"]["msv"]["share"] /= 10.0
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(doc))
+        rc = harness.main(
+            ["--quick", "--skip-overhead", "--out", str(tmp_path / "c.json"),
+             "--check", str(base), "--normalize", "--tolerance", "0.25"]
+        )
+        assert rc == 1
+        assert "BENCH REGRESSION" in capsys.readouterr().err

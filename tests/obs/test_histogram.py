@@ -1,0 +1,91 @@
+"""Histogram percentile math (pinned against numpy) and gauges."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs.histogram import Histogram, ThroughputGauge
+
+
+class TestHistogram:
+    def test_empty_is_all_zeros(self):
+        h = Histogram()
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.min == 0.0 and h.max == 0.0
+        assert h.percentile(50.0) == 0.0
+
+    def test_single_value(self):
+        h = Histogram([7.5])
+        for p in (0, 50, 100):
+            assert h.percentile(p) == 7.5
+
+    def test_known_percentiles(self):
+        # 1..5: p50 = 3, p25 = 2, p90 interpolates between 4 and 5
+        h = Histogram([5, 1, 4, 2, 3])
+        assert h.percentile(0) == 1.0
+        assert h.percentile(25) == 2.0
+        assert h.percentile(50) == 3.0
+        assert h.percentile(90) == pytest.approx(4.6)
+        assert h.percentile(100) == 5.0
+
+    @pytest.mark.parametrize("p", [0.0, 10.0, 33.3, 50.0, 90.0, 99.0, 100.0])
+    def test_matches_numpy_linear_interpolation(self, p):
+        rng = np.random.default_rng(7)
+        values = rng.exponential(3.0, size=101)
+        h = Histogram(values)
+        assert h.percentile(p) == pytest.approx(
+            float(np.percentile(values, p))
+        )
+
+    def test_out_of_range_percentile_raises(self):
+        h = Histogram([1.0])
+        with pytest.raises(ValueError):
+            h.percentile(-0.1)
+        with pytest.raises(ValueError):
+            h.percentile(100.1)
+
+    def test_add_and_stats(self):
+        h = Histogram()
+        for v in (2.0, 4.0, 6.0):
+            h.add(v)
+        assert h.count == len(h) == 3
+        assert h.total == 12.0
+        assert h.mean == 4.0
+        assert h.min == 2.0 and h.max == 6.0
+
+    def test_merge(self):
+        a = Histogram([1.0, 2.0])
+        b = Histogram([3.0])
+        a.merge(b)
+        assert a.count == 3
+        assert a.max == 3.0
+        assert b.count == 1  # merge does not consume the source
+
+    def test_summary_keys(self):
+        s = Histogram([1.0, 2.0, 3.0]).summary()
+        assert set(s) == {
+            "count", "total", "mean", "min", "p50", "p90", "p99", "max"
+        }
+        assert s["count"] == 3
+        assert s["p50"] == 2.0
+
+
+class TestThroughputGauge:
+    def test_rate_accumulates(self):
+        g = ThroughputGauge()
+        assert g.rate == 0.0
+        g.observe(100, 2.0)
+        g.observe(300, 2.0)
+        assert g.rate == pytest.approx(100.0)
+
+    def test_zero_seconds_is_safe(self):
+        g = ThroughputGauge()
+        g.observe(50, 0.0)
+        assert g.rate == 0.0
+
+    def test_to_dict(self):
+        g = ThroughputGauge()
+        g.observe(10, 5.0)
+        assert g.to_dict() == {"units": 10.0, "seconds": 5.0, "rate": 2.0}

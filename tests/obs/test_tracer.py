@@ -1,0 +1,210 @@
+"""Tracer core: nesting, timings with a fake clock, JSONL round trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.span import (
+    Span,
+    Tracer,
+    read_spans_jsonl,
+    span,
+    write_spans_jsonl,
+)
+
+
+class FakeClock:
+    """Deterministic clock: each call advances by a fixed step."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        t = self.now
+        self.now += self.step
+        return t
+
+
+class TestNesting:
+    def test_children_nest_under_open_parent(self):
+        tr = Tracer()
+        with tr.span("job", "job"):
+            with tr.span("stage-a", "stage"):
+                with tr.span("kernel-a", "kernel"):
+                    pass
+            with tr.span("stage-b", "stage"):
+                pass
+        assert len(tr.roots) == 1
+        job = tr.roots[0]
+        assert [c.name for c in job.children] == ["stage-a", "stage-b"]
+        assert job.children[0].children[0].name == "kernel-a"
+
+    def test_sequential_roots(self):
+        tr = Tracer()
+        for i in range(3):
+            with tr.span(f"job{i}", "job"):
+                pass
+        assert [r.name for r in tr.roots] == ["job0", "job1", "job2"]
+        assert all(r.parent_id is None for r in tr.roots)
+
+    def test_span_ids_unique_and_parent_links_consistent(self):
+        tr = Tracer()
+        with tr.span("a"):
+            with tr.span("b"):
+                pass
+            with tr.span("c"):
+                pass
+        ids = [s.span_id for s in tr.walk()]
+        assert len(ids) == len(set(ids))
+        a = tr.roots[0]
+        assert all(c.parent_id == a.span_id for c in a.children)
+
+    def test_active_tracks_stack(self):
+        tr = Tracer()
+        assert tr.active is None
+        with tr.span("outer") as outer:
+            assert tr.active is outer
+            with tr.span("inner") as inner:
+                assert tr.active is inner
+            assert tr.active is outer
+        assert tr.active is None
+
+    def test_exception_tags_error_and_pops(self):
+        tr = Tracer()
+        with pytest.raises(ValueError):
+            with tr.span("boom"):
+                raise ValueError("x")
+        assert tr.active is None
+        assert tr.roots[0].tags["error"] == "ValueError"
+        assert tr.roots[0].end is not None
+
+
+class TestTimings:
+    def test_fake_clock_gives_exact_durations(self):
+        clock = FakeClock(step=1.0)
+        tr = Tracer(clock=clock)  # epoch consumes tick 0
+        with tr.span("outer"):          # start=tick1
+            with tr.span("inner"):      # start=tick2, end=tick3
+                pass
+        outer, inner = tr.roots[0], tr.roots[0].children[0]
+        assert inner.seconds == pytest.approx(1.0)
+        assert outer.seconds == pytest.approx(3.0)
+        assert outer.start < inner.start <= inner.end <= outer.end
+
+    def test_open_span_reports_zero_seconds(self):
+        sp = Span("x", "stage", span_id=1, start=5.0)
+        assert sp.end is None
+        assert sp.seconds == 0.0
+
+    def test_counters_accumulate(self):
+        tr = Tracer()
+        with tr.span("s") as sp:
+            sp.count(rows=10, hits=1)
+            sp.count(rows=5)
+            tr.count(hits=2)  # routes to innermost open span
+        assert sp.counters == {"rows": 15, "hits": 3}
+
+    def test_count_outside_any_span_is_noop(self):
+        tr = Tracer()
+        tr.count(rows=1)
+        assert len(tr) == 0
+
+
+class TestQueries:
+    def _forest(self):
+        tr = Tracer()
+        with tr.span("job", "job"):
+            with tr.span("msv", "stage", stage="msv"):
+                with tr.span("k", "kernel"):
+                    pass
+            with tr.span("fwd", "stage", stage="forward"):
+                pass
+        return tr
+
+    def test_spans_filter_by_kind(self):
+        tr = self._forest()
+        assert [s.name for s in tr.spans("stage")] == ["msv", "fwd"]
+        assert len(tr.spans()) == len(tr) == 4
+
+    def test_find_on_span(self):
+        job = self._forest().roots[0]
+        assert [s.name for s in job.find("kernel")] == ["k"]
+
+    def test_report_renders_every_span(self):
+        tr = self._forest()
+        text = tr.report()
+        for name in ("job", "msv", "fwd", "k"):
+            assert name in text
+
+    def test_report_max_depth(self):
+        tr = self._forest()
+        text = tr.report(max_depth=1)
+        assert "msv" in text
+        assert "k" not in text
+
+    def test_empty_report(self):
+        assert "(no spans recorded)" in Tracer().report()
+
+
+class TestJsonlRoundTrip:
+    def _traced(self) -> Tracer:
+        clock = FakeClock(step=0.5)
+        tr = Tracer(clock=clock)
+        with tr.span("job:j1", "job", engine="gpu_warp") as j:
+            j.count(targets=100)
+            with tr.span("msv", "stage", stage="msv") as st:
+                st.count(n_in=100, n_out=7, rows=31415)
+        with tr.span("job:j2", "job"):
+            pass
+        return tr
+
+    def test_round_trip_preserves_tree_and_payloads(self, tmp_path):
+        tr = self._traced()
+        path = tr.write_jsonl(tmp_path / "trace.jsonl")
+        roots = read_spans_jsonl(path)
+        assert [r.name for r in roots] == ["job:j1", "job:j2"]
+        j1 = roots[0]
+        assert j1.kind == "job"
+        assert j1.tags == {"engine": "gpu_warp"}
+        assert j1.counters == {"targets": 100}
+        (msv,) = j1.children
+        assert msv.tags["stage"] == "msv"
+        assert msv.counters == {"n_in": 100, "n_out": 7, "rows": 31415}
+        assert msv.seconds == pytest.approx(0.5)
+        originals = {s.span_id: s for s in tr.walk()}
+        for sp in roots[0].walk():
+            orig = originals[sp.span_id]
+            assert sp.start == pytest.approx(orig.start)
+            assert sp.seconds == pytest.approx(orig.seconds)
+
+    def test_truncated_dump_promotes_orphans(self, tmp_path):
+        tr = self._traced()
+        path = tmp_path / "trace.jsonl"
+        write_spans_jsonl(path, tr.roots)
+        # drop the first line (the j1 root): its child becomes an orphan
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[1:]) + "\n")
+        roots = read_spans_jsonl(path)
+        assert sorted(r.name for r in roots) == ["job:j2", "msv"]
+
+    def test_blank_lines_ignored(self, tmp_path):
+        tr = self._traced()
+        path = tmp_path / "trace.jsonl"
+        path.write_text("\n" + path.read_text() if path.exists() else "")
+        write_spans_jsonl(path, tr.roots)
+        text = path.read_text()
+        path.write_text("\n" + text + "\n\n")
+        assert len(read_spans_jsonl(path)) == 2
+
+
+class TestNullPath:
+    def test_none_tracer_yields_none_and_shares_context(self):
+        with span(None, "anything", "stage", device="d0") as sp:
+            assert sp is None
+
+    def test_armed_tracer_yields_span(self):
+        tr = Tracer()
+        with span(tr, "x", "stage", device="d0", skipme=None) as sp:
+            assert sp is not None
+        assert sp.tags == {"device": "d0"}  # None-valued tags dropped

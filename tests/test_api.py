@@ -1,21 +1,119 @@
-"""Public API surface: everything advertised in __all__ exists and the
-README quickstart works as written."""
+"""Public API surface: the repro.api facade, the lazy legacy layer,
+and the README snippets."""
+
+import warnings
 
 import numpy as np
 import pytest
 
 import repro
+import repro.api
 
 
-def test_all_names_resolve():
+FACADE = [
+    "load_hmm",
+    "load_fasta",
+    "search",
+    "batch_search",
+    "SearchOptions",
+    "SearchResults",
+]
+
+
+def test_all_is_the_facade():
+    assert repro.__all__ == ["__version__"] + FACADE
+    assert repro.api.__all__ == FACADE
     for name in repro.__all__:
         assert hasattr(repro, name), name
+
+
+def test_facade_names_are_the_api_objects():
+    for name in FACADE:
+        assert getattr(repro, name) is getattr(repro.api, name)
+
+
+LEGACY_NAMES = [
+    # one representative per historical export group
+    "AMINO", "pack_residues", "DigitalSequence", "SequenceDatabase",
+    "read_fasta", "write_fasta", "swissprot_like", "envnr_like",
+    "Plan7HMM", "NullModel", "SearchProfile", "build_hmm_from_msa",
+    "sample_hmm", "save_hmm", "PAPER_MODEL_SIZES", "MSVByteProfile",
+    "ViterbiWordProfile", "msv_score_batch", "viterbi_score_batch",
+    "generic_forward_score", "DeviceSpec", "KEPLER_K40", "FERMI_GTX580",
+    "KernelCounters", "MemoryConfig", "Stage", "msv_warp_kernel",
+    "viterbi_warp_kernel", "stage_occupancy", "HmmsearchPipeline",
+    "Engine", "PipelineThresholds", "ModelLibrary", "OracleReport",
+    "Divergence", "GuardrailCounters", "posterior_decode",
+    "viterbi_traceback", "align_to_profile", "IngestPolicy", "STRICT",
+    "SALVAGE", "RecordQuarantine", "ReproError", "DivergenceError",
+    "QuarantineError",
+]
+
+
+def test_legacy_names_still_resolve():
+    for name in LEGACY_NAMES:
+        assert getattr(repro, name) is not None, name
+        assert name in dir(repro)
+
+
+def test_legacy_names_are_the_defining_objects():
+    from repro.pipeline.pipeline import HmmsearchPipeline
+    from repro.options import Engine
+
+    assert repro.HmmsearchPipeline is HmmsearchPipeline
+    assert repro.Engine is Engine
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError, match="warp_speed"):
+        repro.warp_speed
 
 
 def test_version():
     parts = repro.__version__.split(".")
     assert len(parts) == 3
     assert all(p.isdigit() for p in parts)
+
+
+def test_facade_file_round_trip(tmp_path):
+    rng = np.random.default_rng(3)
+    hmm = repro.sample_hmm(40, rng)
+    db = repro.swissprot_like(50, rng, hmm=hmm)
+    hmm_path, fa_path = tmp_path / "m.hmm", tmp_path / "db.fa"
+    repro.save_hmm(hmm_path, hmm)
+    repro.write_fasta(fa_path, db)
+    loaded_hmm = repro.load_hmm(hmm_path)
+    loaded_db = repro.load_fasta(fa_path)
+    assert loaded_hmm.name == hmm.name
+    assert len(loaded_db) == len(db)
+    results = repro.search(loaded_hmm, loaded_db)
+    assert isinstance(results, repro.SearchResults)
+    assert results.n_targets == 50
+
+
+def test_facade_search_matches_pipeline():
+    rng = np.random.default_rng(0)
+    hmm = repro.sample_hmm(50, rng)
+    db = repro.swissprot_like(60, rng, hmm=hmm)
+    direct = repro.HmmsearchPipeline(hmm).search(db)
+    via_facade = repro.search(hmm, db)
+    assert via_facade.hit_names() == direct.hit_names()
+
+
+def test_facade_batch_search():
+    rng = np.random.default_rng(2)
+    hmm = repro.sample_hmm(40, rng)
+    db = repro.envnr_like(50, rng, hmm=hmm)
+    opts = repro.SearchOptions(engine="gpu")
+    jobs, report = repro.batch_search(
+        [(hmm, db), (hmm, db, repro.SearchOptions(engine="cpu"))],
+        options=opts,
+    )
+    assert [j.state.value for j in jobs] == ["done", "done"]
+    assert jobs[0].engine is repro.Engine.GPU_WARP
+    assert jobs[1].engine is repro.Engine.CPU_SSE
+    assert jobs[0].results.hit_names() == jobs[1].results.hit_names()
+    assert "batch search service report" in report
 
 
 def test_readme_quickstart():
@@ -37,13 +135,17 @@ def test_readme_gpu_snippet():
     pipeline = repro.HmmsearchPipeline(
         hmm, calibration_filter_sample=80, calibration_forward_sample=25
     )
-    cpu = pipeline.search(db)
-    gpu = pipeline.search(
-        db,
-        engine=repro.Engine.GPU_WARP,
-        device=repro.KEPLER_K40,
-        config=repro.MemoryConfig.SHARED,
-    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        cpu = pipeline.search(db)
+        gpu = pipeline.search(
+            db,
+            repro.SearchOptions(
+                engine=repro.Engine.GPU_WARP,
+                device=repro.KEPLER_K40,
+                config=repro.MemoryConfig.SHARED,
+            ),
+        )
     assert gpu.hit_names() == cpu.hit_names()
     assert gpu.counters["msv"].syncthreads == 0
 
