@@ -29,12 +29,18 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np
 
-from repro.hmm.sampler import sample_hmm
-from repro.obs import Tracer, compare_bench, load_bench, write_bench_json
-from repro.options import SearchOptions
-from repro.pipeline.pipeline import HmmsearchPipeline
-from repro.sequence.synthetic import envnr_like, swissprot_like
-from repro.service import BatchSearchService
+from repro import (
+    BatchSearchService,
+    HmmsearchPipeline,
+    SearchOptions,
+    Tracer,
+    compare_bench,
+    envnr_like,
+    load_bench,
+    sample_hmm,
+    swissprot_like,
+    write_bench_json,
+)
 
 #: The pinned workload: (model size, database maker, database size, engine).
 WORKLOAD_SEED = 2015  # the paper's year; never change, or shares shift

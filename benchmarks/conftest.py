@@ -12,8 +12,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.hmm.sampler import PAPER_MODEL_SIZES
-from repro.perf.workloads import experiment_workload
+from repro import PAPER_MODEL_SIZES, experiment_workload
 
 RESULTS_DIR = Path(__file__).parent / "results"
 

@@ -11,10 +11,14 @@ cliff.
 
 import dataclasses
 
-from repro.gpu import KEPLER_K40
-from repro.hmm.sampler import PAPER_MODEL_SIZES
-from repro.kernels import MemoryConfig, Stage, stage_occupancy
-from repro.perf import gpu_stage_time
+from repro import (
+    KEPLER_K40,
+    MemoryConfig,
+    PAPER_MODEL_SIZES,
+    Stage,
+    gpu_stage_time,
+    stage_occupancy,
+)
 
 from conftest import write_table
 

@@ -15,13 +15,18 @@ import math
 
 import numpy as np
 
-from repro.gpu import KEPLER_K40, KernelCounters
-from repro.hmm import SearchProfile
-from repro.kernels import MemoryConfig, Stage, viterbi_warp_kernel
-from repro.perf import gpu_stage_time
-from repro.perf.workloads import paper_hmm
-from repro.scoring import ViterbiWordProfile
-from repro.sequence import homolog_database
+from repro import (
+    KEPLER_K40,
+    KernelCounters,
+    MemoryConfig,
+    SearchProfile,
+    Stage,
+    ViterbiWordProfile,
+    gpu_stage_time,
+    homolog_database,
+    paper_hmm,
+    viterbi_warp_kernel,
+)
 
 from conftest import write_table
 

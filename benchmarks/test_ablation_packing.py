@@ -10,9 +10,14 @@ import dataclasses
 
 import numpy as np
 
-from repro.alphabet import packed_stream_bytes
-from repro.perf import DEFAULT_COSTS, transfer_time_s
-from repro.perf.workloads import PAPER_RESIDUES, paper_database, paper_hmm
+from repro import (
+    DEFAULT_COSTS,
+    PAPER_RESIDUES,
+    packed_stream_bytes,
+    paper_database,
+    paper_hmm,
+    transfer_time_s,
+)
 
 from conftest import write_table
 
@@ -67,7 +72,7 @@ def test_ablation_packing_transfer_time(results_dir):
 
 def test_packing_is_lossless_on_database():
     """The bandwidth saving costs nothing: every sequence round-trips."""
-    from repro.alphabet import unpack_residues
+    from repro import unpack_residues
 
     hmm = paper_hmm(48)
     db = paper_database("envnr", hmm, 60)

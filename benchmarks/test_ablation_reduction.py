@@ -10,12 +10,19 @@ import dataclasses
 
 import numpy as np
 
-from repro.gpu import FERMI_GTX580, KEPLER_K40, KernelCounters
-from repro.hmm import SearchProfile
-from repro.kernels import MemoryConfig, Stage, msv_warp_kernel
-from repro.perf import gpu_stage_time
-from repro.perf.workloads import paper_database, paper_hmm
-from repro.scoring import MSVByteProfile
+from repro import (
+    FERMI_GTX580,
+    KEPLER_K40,
+    KernelCounters,
+    MSVByteProfile,
+    MemoryConfig,
+    SearchProfile,
+    Stage,
+    gpu_stage_time,
+    msv_warp_kernel,
+    paper_database,
+    paper_hmm,
+)
 
 from conftest import write_table
 

@@ -10,18 +10,21 @@ the whole block).
 
 import numpy as np
 
-from repro.gpu import KEPLER_K40, KernelCounters
-from repro.hmm import SearchProfile
-from repro.kernels import (
+from repro import (
+    DEFAULT_COSTS,
+    KEPLER_K40,
+    KernelCounters,
+    MSVByteProfile,
     MemoryConfig,
     SYNCS_PER_ROW,
+    SearchProfile,
     Stage,
+    gpu_stage_time,
     msv_multiwarp_sync_kernel,
     msv_warp_kernel,
+    paper_database,
+    paper_hmm,
 )
-from repro.perf import DEFAULT_COSTS, gpu_stage_time
-from repro.perf.workloads import paper_database, paper_hmm
-from repro.scoring import MSVByteProfile
 
 from conftest import write_table
 

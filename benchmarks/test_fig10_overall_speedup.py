@@ -5,8 +5,7 @@ Env-nr exceeds Swissprot at every size because its lower homology keeps
 the MSV:Viterbi execution-time ratio high (Section V).
 """
 
-from repro.hmm.sampler import PAPER_MODEL_SIZES
-from repro.perf import overall_speedup
+from repro import PAPER_MODEL_SIZES, overall_speedup
 
 from conftest import write_table
 

@@ -7,9 +7,7 @@ through shared memory) and has half of Kepler's registers, both of which
 the device model charges.
 """
 
-from repro.gpu import FERMI_GTX580
-from repro.hmm.sampler import PAPER_MODEL_SIZES
-from repro.perf import multi_gpu_speedup
+from repro import FERMI_GTX580, PAPER_MODEL_SIZES, multi_gpu_speedup
 
 from conftest import write_table
 

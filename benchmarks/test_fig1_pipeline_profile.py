@@ -10,8 +10,7 @@ functional pipeline and the CPU cost model.
 
 import pytest
 
-from repro.kernels import Stage
-from repro.perf import cpu_forward_time, cpu_stage_time
+from repro import Stage, cpu_forward_time, cpu_stage_time
 
 from conftest import write_table
 

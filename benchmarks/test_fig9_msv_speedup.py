@@ -9,9 +9,13 @@ useful occupancy.
 
 import pytest
 
-from repro.hmm.sampler import PAPER_MODEL_SIZES
-from repro.kernels import MemoryConfig, Stage
-from repro.perf import optimal_stage_speedup, stage_speedup
+from repro import (
+    MemoryConfig,
+    PAPER_MODEL_SIZES,
+    Stage,
+    optimal_stage_speedup,
+    stage_speedup,
+)
 
 from conftest import write_table
 

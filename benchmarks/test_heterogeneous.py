@@ -5,9 +5,7 @@ finish together, quantifying what the otherwise-idle CPU is worth on top
 of the GPU-only speedups of Figures 9/10.
 """
 
-from repro.gpu import KEPLER_K40
-from repro.kernels import Stage
-from repro.perf import hybrid_stage_split
+from repro import KEPLER_K40, Stage, hybrid_stage_split
 
 from conftest import write_table
 

@@ -9,15 +9,18 @@ implementations.
 import numpy as np
 import pytest
 
-from repro.cpu import (
+from repro import (
+    MSVByteProfile,
+    SearchProfile,
+    ViterbiWordProfile,
     generic_forward_score,
     msv_score_batch,
+    msv_warp_kernel,
+    paper_database,
+    paper_hmm,
     viterbi_score_batch,
+    viterbi_warp_kernel,
 )
-from repro.hmm import SearchProfile
-from repro.kernels import msv_warp_kernel, viterbi_warp_kernel
-from repro.perf.workloads import paper_database, paper_hmm
-from repro.scoring import MSVByteProfile, ViterbiWordProfile
 
 
 @pytest.fixture(scope="module")

@@ -10,7 +10,7 @@ sorted (longest-first) refinement, on both database length profiles.
 
 import numpy as np
 
-from repro.perf.load_balance import SchedulePolicy, imbalance_factor
+from repro import SchedulePolicy, imbalance_factor
 
 from conftest import write_table
 

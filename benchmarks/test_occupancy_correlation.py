@@ -11,9 +11,7 @@ speedup peaks at mid sizes.
 
 import numpy as np
 
-from repro.hmm.sampler import PAPER_MODEL_SIZES
-from repro.kernels import MemoryConfig, Stage
-from repro.perf import stage_speedup
+from repro import MemoryConfig, PAPER_MODEL_SIZES, Stage, stage_speedup
 
 from conftest import write_table
 

@@ -9,9 +9,14 @@ benefits to [the] vast majority of common use cases").
 
 import numpy as np
 
-from repro.gpu import KEPLER_K40
-from repro.hmm import pfam_band_fractions, sample_pfam_size
-from repro.kernels import MemoryConfig, Stage, stage_occupancy
+from repro import (
+    KEPLER_K40,
+    MemoryConfig,
+    Stage,
+    pfam_band_fractions,
+    sample_pfam_size,
+    stage_occupancy,
+)
 
 from conftest import write_table
 

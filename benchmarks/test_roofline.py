@@ -1,8 +1,14 @@
 """Section V: the kernels are memory-bandwidth bound (roofline check)."""
 
-from repro.gpu import FERMI_GTX580, KEPLER_K40
-from repro.perf.roofline import kernel_intensity, ridge_point, roofline_summary
-from repro.kernels import MemoryConfig, Stage
+from repro import (
+    FERMI_GTX580,
+    KEPLER_K40,
+    MemoryConfig,
+    Stage,
+    kernel_intensity,
+    ridge_point,
+    roofline_summary,
+)
 
 from conftest import write_table
 

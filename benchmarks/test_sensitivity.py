@@ -11,9 +11,7 @@ databases with planted homologs of every benchmarked size.
 
 import numpy as np
 
-from repro.pipeline import Engine, HmmsearchPipeline
-from repro.perf.workloads import paper_hmm
-from repro.sequence import homolog_database
+from repro import Engine, HmmsearchPipeline, homolog_database, paper_hmm
 
 from conftest import write_table
 

@@ -32,15 +32,19 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import Engine, SALVAGE, sample_hmm, swissprot_like
-from repro.sequence.fasta import read_fasta, write_fasta
-from repro.hardening import RecordQuarantine
-from repro.service import (
+from repro import (
     BatchSearchService,
     DevicePool,
+    Engine,
     FaultPlan,
     PipelineSettings,
+    RecordQuarantine,
     RunJournal,
+    SALVAGE,
+    read_fasta,
+    sample_hmm,
+    swissprot_like,
+    write_fasta,
 )
 
 

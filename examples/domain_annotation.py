@@ -12,10 +12,13 @@ posterior with exact Forward/Backward, and renders the domain calls.
 
 import numpy as np
 
-from repro import sample_hmm
-from repro.cpu import domain_regions, posterior_decode
-from repro.hmm import SearchProfile
-from repro.sequence import random_sequence_codes
+from repro import (
+    SearchProfile,
+    domain_regions,
+    posterior_decode,
+    random_sequence_codes,
+    sample_hmm,
+)
 
 
 def render_track(homology: np.ndarray, width: int = 100) -> str:

@@ -14,16 +14,18 @@ and prints the modelled per-stage speedups for a Tesla K40.
 import numpy as np
 
 from repro import (
-    KEPLER_K40,
     Engine,
     HmmsearchPipeline,
+    KEPLER_K40,
     MemoryConfig,
     Stage,
+    StageWork,
+    best_gpu_stage_time,
+    cpu_stage_time,
+    envnr_like,
     sample_hmm,
     stage_occupancy,
 )
-from repro.perf import StageWork, best_gpu_stage_time, cpu_stage_time
-from repro.sequence import envnr_like
 
 
 def main() -> None:

@@ -12,10 +12,15 @@ no inter-device dependencies.
 
 import numpy as np
 
-from repro import FERMI_GTX580, sample_hmm
-from repro.perf import StageWork, best_gpu_stage_time, cpu_stage_time
-from repro.kernels import Stage
-from repro.sequence import swissprot_like
+from repro import (
+    FERMI_GTX580,
+    Stage,
+    StageWork,
+    best_gpu_stage_time,
+    cpu_stage_time,
+    sample_hmm,
+    swissprot_like,
+)
 
 
 def main() -> None:

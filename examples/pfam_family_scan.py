@@ -15,11 +15,14 @@ homologs at these score margins.
 
 import numpy as np
 
-from repro import AMINO, HmmsearchPipeline, build_hmm_from_msa, sample_hmm
-from repro.sequence import (
+from repro import (
+    AMINO,
     DigitalSequence,
+    HmmsearchPipeline,
     SequenceDatabase,
+    build_hmm_from_msa,
     random_sequence_codes,
+    sample_hmm,
 )
 
 FAMILY_SIZES = (48, 100, 200)

@@ -15,8 +15,13 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import HmmsearchPipeline, build_hmm_from_msa, load_hmm, save_hmm
-from repro.sequence import homolog_database
+from repro import (
+    HmmsearchPipeline,
+    build_hmm_from_msa,
+    homolog_database,
+    load_hmm,
+    save_hmm,
+)
 
 # A toy seed alignment of a short, well-conserved motif family.
 SEED_ALIGNMENT = [

@@ -120,6 +120,56 @@ _LEGACY = {
     "ReproError": "repro.errors",
     "QuarantineError": "repro.errors",
     "DivergenceError": "repro.errors",
+    # -- tooling surface ------------------------------------------------
+    # Names sanctioned for code *outside* src/repro (examples, the
+    # benchmark suite, tools): the repro-lint facade rule (R002) allows
+    # external code to import only repro / repro.api top-level names, so
+    # everything the figure benchmarks and study scripts legitimately
+    # need is re-exported here instead of deep-imported.
+    "packed_stream_bytes": "repro.alphabet",
+    "pfam_band_fractions": "repro.hmm",
+    "sample_pfam_size": "repro.hmm",
+    "SYNCS_PER_ROW": "repro.kernels",
+    "msv_multiwarp_sync_kernel": "repro.kernels",
+    "Tracer": "repro.obs",
+    "compare_bench": "repro.obs",
+    "load_bench": "repro.obs",
+    "write_bench_json": "repro.obs",
+    "DEFAULT_COSTS": "repro.perf",
+    "CostConstants": "repro.perf",
+    "StageWork": "repro.perf",
+    "gpu_stage_time": "repro.perf",
+    "cpu_stage_time": "repro.perf",
+    "cpu_forward_time": "repro.perf",
+    "best_gpu_stage_time": "repro.perf",
+    "transfer_time_s": "repro.perf",
+    "stage_speedup": "repro.perf",
+    "optimal_stage_speedup": "repro.perf",
+    "overall_speedup": "repro.perf",
+    "multi_gpu_speedup": "repro.perf",
+    "hybrid_stage_split": "repro.perf",
+    "SchedulePolicy": "repro.perf",
+    "imbalance_factor": "repro.perf",
+    "kernel_intensity": "repro.perf",
+    "ridge_point": "repro.perf",
+    "roofline_summary": "repro.perf",
+    "paper_hmm": "repro.perf",
+    "paper_database": "repro.perf",
+    "experiment_workload": "repro.perf",
+    "PAPER_RESIDUES": "repro.perf.workloads",
+    "homolog_database": "repro.sequence",
+    "random_sequence_codes": "repro.sequence",
+    "BatchSearchService": "repro.service",
+    "DevicePool": "repro.service",
+    "FaultPlan": "repro.service",
+    "PipelineSettings": "repro.service",
+    "RunJournal": "repro.service",
+    "Scheduler": "repro.service",
+    "JobQueue": "repro.service",
+    "submit_manifest": "repro.service",
+    # correctness tooling
+    "SanitizerReport": "repro.analysis",
+    "WarpSanitizer": "repro.analysis",
 }
 
 

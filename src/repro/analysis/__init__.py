@@ -1,0 +1,36 @@
+"""Correctness tooling: the repro-lint static analyzer and the
+warp-model sanitizer.
+
+Static side — ``repro-lint`` / ``python -m repro.analysis`` — checks
+project invariants (determinism, facade discipline, overflow
+guardrails, lock protocols, frozen contracts) on every commit; see
+:mod:`repro.analysis.rules` for the catalog.
+
+Runtime side — :class:`WarpSanitizer` — instruments the simulated
+shared-memory traffic of the warp kernels when ``REPRO_SANITIZE=1``;
+see :mod:`repro.analysis.sanitizer`.
+"""
+
+from .baseline import Baseline
+from .engine import LintResult, lint_file, run
+from .rules import ALL_RULES, RULES_BY_ID, Finding
+from .sanitizer import (
+    SanitizerReport,
+    WarpSanitizer,
+    env_enabled,
+    resolve_sanitizer,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_ID",
+    "Baseline",
+    "Finding",
+    "LintResult",
+    "SanitizerReport",
+    "WarpSanitizer",
+    "env_enabled",
+    "lint_file",
+    "resolve_sanitizer",
+    "run",
+]

@@ -1,0 +1,84 @@
+"""Grandfathered-finding baseline.
+
+The baseline is a committed JSON document mapping stable finding keys
+(``rule::path::symbol``) to a human-written justification.  A finding
+whose key appears here is reported as *baselined* instead of failing
+the run; a baseline entry that no longer matches anything is reported
+as stale so the file shrinks over time instead of rotting.
+
+Keys are line-independent on purpose: unrelated edits that shift code
+around do not invalidate a justified entry, but moving the offending
+code to a new file or symbol does.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from .rules import Finding
+
+FORMAT_VERSION = 1
+
+DEFAULT_BASELINE = "src/repro/analysis/baseline.json"
+
+
+@dataclass
+class Baseline:
+    """In-memory view of baseline.json."""
+
+    entries: Dict[str, str] = field(default_factory=dict)
+
+    def contains(self, key: str) -> bool:
+        return key in self.entries
+
+    def keys(self) -> List[str]:
+        return list(self.entries)
+
+    def justification(self, key: str) -> str:
+        return self.entries.get(key, "")
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        if not os.path.exists(path):
+            return cls()
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if doc.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported baseline version {doc.get('version')!r} "
+                f"in {path} (expected {FORMAT_VERSION})"
+            )
+        entries = {
+            e["key"]: e.get("justification", "")
+            for e in doc.get("entries", [])
+        }
+        return cls(entries=entries)
+
+    def save(self, path: str) -> None:
+        doc = {
+            "version": FORMAT_VERSION,
+            "entries": [
+                {"key": key, "justification": self.entries[key]}
+                for key in sorted(self.entries)
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+
+    @classmethod
+    def from_findings(
+        cls,
+        findings: Iterable[Finding],
+        justification: str = "TODO: justify or fix",
+    ) -> "Baseline":
+        return cls(entries={f.key: justification for f in findings})
+
+    def merged_with(self, other: "Baseline") -> "Baseline":
+        """Existing justifications win over placeholder text."""
+        merged = dict(other.entries)
+        merged.update(self.entries)
+        return Baseline(entries=merged)

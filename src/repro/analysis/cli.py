@@ -1,0 +1,142 @@
+"""Command-line front-end: ``repro-lint`` / ``python -m repro.analysis``.
+
+Exit codes: 0 clean (baselined findings do not fail), 1 new findings
+or parse errors, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from . import baseline as baseline_mod
+from . import engine, report
+from .rules import ALL_RULES
+
+
+def _find_root(start: str) -> str:
+    """Walk up from *start* to the repo root (pyproject.toml marker)."""
+    cur = os.path.abspath(start)
+    while True:
+        if os.path.exists(os.path.join(cur, "pyproject.toml")):
+            return cur
+        parent = os.path.dirname(cur)
+        if parent == cur:
+            return os.path.abspath(start)
+        cur = parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Project-invariant static analyzer for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--root", default=None,
+        help="repository root (default: nearest ancestor with pyproject.toml)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--baseline", default=baseline_mod.DEFAULT_BASELINE, metavar="FILE",
+        help="baseline file, repo-root relative "
+             f"(default: {baseline_mod.DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline: report every finding as new",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to cover all current findings "
+             "(keeps existing justifications)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="also list baselined findings in text output",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in ALL_RULES:
+        lines.append(f"{rule.id}  {rule.title}")
+        lines.append(f"      {rule.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    root = args.root or _find_root(os.getcwd())
+    baseline_path = (
+        args.baseline
+        if os.path.isabs(args.baseline)
+        else os.path.join(root, args.baseline)
+    )
+
+    try:
+        baseline = (
+            baseline_mod.Baseline()
+            if args.no_baseline
+            else baseline_mod.Baseline.load(baseline_path)
+        )
+    except (ValueError, OSError) as exc:
+        print(f"repro-lint: bad baseline: {exc}", file=sys.stderr)
+        return 2
+
+    paths: List[str] = list(args.paths) or ["src"]
+    result = engine.run(paths, root, baseline=baseline)
+
+    if args.update_baseline:
+        fresh = baseline_mod.Baseline.from_findings(
+            result.findings + result.baselined
+        )
+        merged = baseline.merged_with(fresh)
+        # drop stale keys that no longer match anything
+        live = {f.key for f in result.findings + result.baselined}
+        merged.entries = {k: v for k, v in merged.entries.items() if k in live}
+        merged.save(baseline_path)
+        print(
+            f"repro-lint: baseline updated: {len(merged.entries)} entries "
+            f"-> {os.path.relpath(baseline_path, root)}"
+        )
+        return 0
+
+    rendered = (
+        report.render_json(result)
+        if args.format == "json"
+        else report.render_text(result, verbose=args.verbose)
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(rendered if rendered.endswith("\n") else rendered + "\n")
+    else:
+        print(rendered)
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

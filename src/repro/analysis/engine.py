@@ -1,0 +1,140 @@
+"""Lint engine: file discovery, pragma handling, baseline matching.
+
+The engine walks the requested paths, parses each ``.py`` file once,
+runs every applicable rule, then filters the raw findings through two
+suppression layers:
+
+* **pragmas** — a ``# repro-lint: disable=R001`` (comma-separated ids,
+  or ``all``) comment on the offending line suppresses findings on
+  that line only;
+* **baseline** — findings whose stable key appears in the committed
+  ``baseline.json`` are reported separately as grandfathered, never as
+  failures.  See :mod:`repro.analysis.baseline`.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .baseline import Baseline
+from .rules import ALL_RULES, Finding, Rule
+
+_PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9, ]+)")
+
+_SKIP_DIRS = {
+    ".git", "__pycache__", ".pytest_cache", ".mypy_cache", ".ruff_cache",
+    "node_modules", ".venv", "venv", ".eggs", "build", "dist",
+}
+
+
+@dataclass
+class LintResult:
+    """Outcome of one engine run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    unused_baseline: List[str] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def all_keys(self) -> Set[str]:
+        return {f.key for f in self.findings} | {f.key for f in self.baselined}
+
+
+def parse_pragmas(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """Map 1-based line number -> set of disabled rule ids ('all' wildcard)."""
+    pragmas: Dict[int, Set[str]] = {}
+    for i, line in enumerate(lines, start=1):
+        m = _PRAGMA_RE.search(line)
+        if not m:
+            continue
+        ids = {tok.strip().upper() for tok in m.group(1).split(",") if tok.strip()}
+        pragmas[i] = {("ALL" if t == "ALL" else t) for t in ids}
+    return pragmas
+
+
+def iter_python_files(paths: Iterable[str], root: str) -> List[str]:
+    """Expand files/directories into sorted repo-relative .py paths."""
+    out: Set[str] = set()
+    for p in paths:
+        absolute = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isfile(absolute):
+            if absolute.endswith(".py"):
+                out.add(os.path.relpath(absolute, root))
+            continue
+        for dirpath, dirnames, filenames in os.walk(absolute):
+            dirnames[:] = [d for d in dirnames if d not in _SKIP_DIRS]
+            for fn in filenames:
+                if fn.endswith(".py"):
+                    out.add(os.path.relpath(os.path.join(dirpath, fn), root))
+    return sorted(o.replace(os.sep, "/") for o in out)
+
+
+def lint_file(
+    relpath: str,
+    source: str,
+    rules: Sequence[Rule] = ALL_RULES,
+) -> Tuple[List[Finding], int, Optional[str]]:
+    """Lint one file; returns (kept findings, n suppressed, parse error)."""
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        return [], 0, f"{relpath}:{exc.lineno}: syntax error: {exc.msg}"
+    lines = source.splitlines()
+    pragmas = parse_pragmas(lines)
+    kept: List[Finding] = []
+    suppressed = 0
+    for rule in rules:
+        if not rule.applies_to(relpath):
+            continue
+        for finding in rule.check(tree, lines, relpath):
+            disabled = pragmas.get(finding.line, set())
+            if "ALL" in disabled or finding.rule in disabled:
+                suppressed += 1
+            else:
+                kept.append(finding)
+    return kept, suppressed, None
+
+
+def run(
+    paths: Iterable[str],
+    root: str,
+    baseline: Optional[Baseline] = None,
+    rules: Sequence[Rule] = ALL_RULES,
+) -> LintResult:
+    """Lint all python files under *paths* (relative to *root*)."""
+    result = LintResult()
+    baseline = baseline or Baseline()
+    matched_keys: Set[str] = set()
+    for relpath in iter_python_files(paths, root):
+        try:
+            with open(os.path.join(root, relpath), "r", encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            result.parse_errors.append(f"{relpath}: unreadable: {exc}")
+            continue
+        findings, suppressed, err = lint_file(relpath, source, rules)
+        result.files_checked += 1
+        result.suppressed += suppressed
+        if err:
+            result.parse_errors.append(err)
+            continue
+        for finding in findings:
+            if baseline.contains(finding.key):
+                matched_keys.add(finding.key)
+                result.baselined.append(finding)
+            else:
+                result.findings.append(finding)
+    result.unused_baseline = sorted(set(baseline.keys()) - matched_keys)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    result.baselined.sort(key=lambda f: (f.path, f.line, f.rule))
+    return result

@@ -1,0 +1,65 @@
+"""Text and JSON reporters for lint results."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .engine import LintResult
+from .rules import RULES_BY_ID
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """Human-readable report, one finding per line, gcc-style."""
+    out: List[str] = []
+    for f in result.findings:
+        out.append(f"{f.path}:{f.line}: {f.rule} [{f.symbol}] {f.message}")
+    if verbose and result.baselined:
+        out.append("")
+        out.append(f"baselined ({len(result.baselined)} grandfathered):")
+        for f in result.baselined:
+            out.append(f"  {f.path}:{f.line}: {f.rule} [{f.symbol}]")
+    for stale in result.unused_baseline:
+        out.append(f"warning: stale baseline entry (no longer matches): {stale}")
+    for err in result.parse_errors:
+        out.append(f"error: {err}")
+    out.append("")
+    rules = ", ".join(sorted(RULES_BY_ID))
+    status = "OK" if result.ok else "FAIL"
+    out.append(
+        f"repro-lint: {status} — {result.files_checked} files, "
+        f"{len(result.findings)} finding(s), "
+        f"{len(result.baselined)} baselined, "
+        f"{result.suppressed} pragma-suppressed  [rules: {rules}]"
+    )
+    return "\n".join(out)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report for the CI artifact."""
+
+    def encode(f) -> Dict[str, object]:
+        return {
+            "rule": f.rule,
+            "path": f.path,
+            "line": f.line,
+            "symbol": f.symbol,
+            "key": f.key,
+            "message": f.message,
+        }
+
+    doc = {
+        "tool": "repro-lint",
+        "ok": result.ok,
+        "files_checked": result.files_checked,
+        "suppressed": result.suppressed,
+        "findings": [encode(f) for f in result.findings],
+        "baselined": [encode(f) for f in result.baselined],
+        "unused_baseline": result.unused_baseline,
+        "parse_errors": result.parse_errors,
+        "rules": {
+            rid: {"title": rule.title, "rationale": rule.rationale}
+            for rid, rule in sorted(RULES_BY_ID.items())
+        },
+    }
+    return json.dumps(doc, indent=2) + "\n"

@@ -103,6 +103,10 @@ def _add_search_flags(p: argparse.ArgumentParser) -> None:
         help="roll the trace's stage spans up into a perf-trajectory "
              "JSON (wall times, residues/s, survival) written to FILE",
     )
+    p.add_argument(
+        "--sanitize", action="store_true", default=False,
+        help=field_doc("sanitize"),
+    )
 
 
 def _tracer(args: argparse.Namespace) -> Tracer | None:
@@ -150,6 +154,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         policy=policy,
         quarantine=quarantine,
         tracer=tracer,
+        sanitize=args.sanitize,
     )
     try:
         results = pipe.search(db, options)
@@ -298,7 +303,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         fault_plan=plan,
         journal=journal,
         options=SearchOptions(
-            selfcheck=args.selfcheck, policy=policy, tracer=tracer
+            selfcheck=args.selfcheck, policy=policy, tracer=tracer,
+            sanitize=args.sanitize,
         ),
     )
     jobs = submit_manifest(

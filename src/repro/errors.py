@@ -22,6 +22,7 @@ __all__ = [
     "ShardIntegrityError",
     "QuarantineError",
     "DivergenceError",
+    "SanitizerError",
 ]
 
 
@@ -82,3 +83,9 @@ class QuarantineError(ReproError):
 class DivergenceError(ReproError):
     """The runtime differential oracle caught two engines disagreeing on
     a quantized score - the accuracy-preservation invariant is broken."""
+
+
+class SanitizerError(KernelError):
+    """The warp-model sanitizer (REPRO_SANITIZE=strict) caught a shared
+    memory bank conflict, a read-before-write hazard across the double
+    buffered strip boundary, or inactive-lane garbage in a reduction."""

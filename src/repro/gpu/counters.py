@@ -9,7 +9,11 @@ ablation benchmarks with measured event counts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # avoid a runtime cycle with repro.analysis.sanitizer
+    from ..analysis.sanitizer import SanitizerReport
 
 __all__ = ["KernelCounters"]
 
@@ -33,16 +37,40 @@ class KernelCounters:
     lazyf_extra_passes: int = 0   # passes beyond the first, i.e. real D-D work
     sequences: int = 0            # sequences scored
     saturations: int = 0          # DP cells clipped by a saturating add
+    # attached by kernels running under REPRO_SANITIZE / sanitize=True;
+    # not an event tally, so excluded from as_dict() and the int merge
+    sanitizer: Optional["SanitizerReport"] = None
 
     def merge(self, other: "KernelCounters") -> "KernelCounters":
         """Accumulate another counter set into this one (returns self)."""
         for name in self.__dataclass_fields__:
+            if name == "sanitizer":
+                continue
             setattr(self, name, getattr(self, name) + getattr(other, name))
+        if other.sanitizer is not None:
+            self.sanitizer = (
+                other.sanitizer
+                if self.sanitizer is None
+                else self.sanitizer.merge(other.sanitizer)
+            )
         return self
 
     def as_dict(self) -> dict[str, int]:
-        return {name: getattr(self, name) for name in self.__dataclass_fields__}
+        return {
+            name: getattr(self, name)
+            for name in self.__dataclass_fields__
+            if name != "sanitizer"
+        }
+
+    def attach_sanitizer(self, report: "SanitizerReport") -> None:
+        """Attach (or merge in) one kernel launch's sanitizer report."""
+        self.sanitizer = (
+            report if self.sanitizer is None else self.sanitizer.merge(report)
+        )
 
     def __repr__(self) -> str:
         parts = ", ".join(f"{k}={v}" for k, v in self.as_dict().items() if v)
+        if self.sanitizer is not None:
+            status = "clean" if self.sanitizer.clean else "VIOLATIONS"
+            parts = f"{parts}, sanitizer={status}" if parts else f"sanitizer={status}"
         return f"KernelCounters({parts})"

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.sanitizer import resolve_sanitizer
 from ..constants import MSV_BYTE_MAX, WARP_SIZE
 from ..errors import KernelError
 from ..gpu.counters import KernelCounters
@@ -53,6 +54,7 @@ def msv_warp_kernel(
     device: DeviceSpec = KEPLER_K40,
     counters: KernelCounters | None = None,
     packed_residues: bool = False,
+    sanitize: bool | None = None,
 ) -> FilterScores:
     """Score a database with the warp-synchronous MSV kernel.
 
@@ -73,6 +75,11 @@ def msv_warp_kernel(
         (paper Figure 6) instead of the padded byte matrix.  Scores are
         identical (tested); this exercises the packed layout end to end,
         including the terminator-flag handling.
+    sanitize:
+        Arm the warp-model sanitizer for this launch; ``None`` (default)
+        defers to the ``REPRO_SANITIZE`` environment variable.  The
+        resulting :class:`~repro.analysis.sanitizer.SanitizerReport` is
+        attached to ``counters.sanitizer``.
     """
     if isinstance(database, SequenceDatabase):
         lengths = np.asarray(database.lengths)
@@ -85,6 +92,11 @@ def msv_warp_kernel(
     n = batch.n_seqs
     M = profile.M
     strips = _strip_bounds(M)
+    # the access pattern is identical for every warp, so the sanitizer
+    # records each simulated warp-wide access once per row sweep; the
+    # MSV row is one byte per cell (u8 scores), so cell j lives at
+    # shared-memory byte offset j
+    san = resolve_sanitizer(sanitize)
 
     stream = None
     if packed_residues:
@@ -121,6 +133,12 @@ def msv_warp_kernel(
 
         # Load(mmx): first 32 dependency values from shared memory
         mmx = share_mem[:, 0 : min(WARP_SIZE, M)].copy()
+        if san is not None:
+            san.begin_row(f"msv:row{i}")
+            san.shared_load(
+                range(0, min(WARP_SIZE, M)), "msv:dep-load:strip0",
+                dependency=True,
+            )
         for s, (p0, p1) in enumerate(strips):
             w = p1 - p0
             temp = np.maximum(mmx[:, :w], xBv[:, None])
@@ -139,9 +157,16 @@ def msv_warp_kernel(
             if s + 1 < len(strips):
                 q0, q1 = strips[s + 1]
                 mmx = share_mem[:, q0:q1].copy()
+                if san is not None:
+                    san.shared_load(
+                        range(q0, q1), f"msv:dep-load:strip{s + 1}",
+                        dependency=True,
+                    )
             share_mem[:, p0 + 1 : p1 + 1] = np.where(
                 live[:, None], temp, share_mem[:, p0 + 1 : p1 + 1]
             )
+            if san is not None:
+                san.shared_store(range(p0 + 1, p1 + 1), f"msv:store:strip{s}")
             if counters is not None:
                 n_live = int(live.sum())
                 counters.strips += n_live
@@ -157,6 +182,12 @@ def msv_warp_kernel(
         # charged per *live* warp (finished warps are not executing)
         n_live = int(live.sum())
         live_counters = KernelCounters() if counters is not None else None
+        if san is not None:
+            # lanes past the model edge must hold the max-neutral 0, or
+            # the butterfly shuffle would mix garbage into xE
+            san.check_reduction(
+                xE_lanes, min(M, WARP_SIZE), 0, "msv:xE-reduce"
+            )
         if device.has_warp_shuffle:
             xE = warp_max_shuffle(xE_lanes, None)[:, 0]
             if live_counters is not None:
@@ -178,6 +209,11 @@ def msv_warp_kernel(
         xB[update] = np.maximum(
             0, np.maximum(profile.base, xJ[update]) - profile.tjb
         )
+
+    if san is not None and counters is not None:
+        report = san.report()
+        counters.attach_sanitizer(report)
+        counters.bank_conflict_extra += report.conflict_extra
 
     scores = ((xJ - profile.tjb) - profile.base) / profile.scale - 3.0
     scores = scores.astype(np.float64)

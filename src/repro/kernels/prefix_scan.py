@@ -38,6 +38,7 @@ from ..constants import VF_WORD_MIN, WARP_SIZE
 from ..errors import KernelError
 from ..gpu.counters import KernelCounters
 from ..gpu.warp import shfl_up
+from ..scoring.quantized import floor_i16
 
 __all__ = ["prefix_scan_d_chain", "SCAN_STEPS"]
 
@@ -76,7 +77,7 @@ def _window_scan(
             counters.shuffles += 2 * n
     # fold in the exact carry from the left of the window
     out = np.maximum(b, carry[:, None].astype(np.int64) + c)
-    return np.clip(out[:, :w], VF_WORD_MIN, None).astype(np.int32)
+    return floor_i16(out[:, :w])
 
 
 def prefix_scan_d_chain(

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.sanitizer import resolve_sanitizer
 from ..constants import VF_WORD_MIN, WARP_SIZE
 from ..gpu.counters import KernelCounters
 from ..gpu.device import KEPLER_K40, DeviceSpec
@@ -50,11 +51,15 @@ def viterbi_warp_kernel(
     device: DeviceSpec = KEPLER_K40,
     counters: KernelCounters | None = None,
     packed_residues: bool = False,
+    sanitize: bool | None = None,
 ) -> FilterScores:
     """Score a database with the warp-synchronous P7Viterbi kernel.
 
     ``packed_residues=True`` decodes residues from the 5-bit packed word
     stream (Figure 6), exactly like the MSV kernel; scores are identical.
+    ``sanitize`` arms the warp-model sanitizer (``None`` defers to the
+    ``REPRO_SANITIZE`` environment variable); the report is attached to
+    ``counters.sanitizer``.
     """
     source_db = database if isinstance(database, SequenceDatabase) else None
     if isinstance(database, SequenceDatabase):
@@ -71,6 +76,18 @@ def viterbi_warp_kernel(
     n = batch.n_seqs
     M = profile.M
     strips = [(p0, min(p0 + WARP_SIZE, M)) for p0 in range(0, M, WARP_SIZE)]
+
+    # warp-model sanitizer: the Viterbi rows are i16 (2 bytes per cell);
+    # the three DP buffers occupy disjoint shared-memory ranges so the
+    # hazard tracker sees them as distinct cells.  cell c of mmx lives at
+    # byte 2c, imx at _IMX_BASE + 2c, dmx at _DMX_BASE + 2c.
+    san = resolve_sanitizer(sanitize)
+    row_bytes = 2 * (M + 1)
+    _IMX_BASE = row_bytes
+    _DMX_BASE = 2 * row_bytes
+
+    def _bytes(base: int, lo: int, hi: int) -> range:
+        return range(base + 2 * lo, base + 2 * hi, 2)
 
     # tDD cost entering node j, for the Lazy-F chain
     tdd_enter = np.concatenate(([VF_WORD_MIN], profile.tdd[:-1])).astype(np.int32)
@@ -114,6 +131,14 @@ def viterbi_warp_kernel(
         mpv = mmx[:, 0:first].copy()
         ipv = imx[:, 0:first].copy()
         dpv = np.concatenate([neg_col, dmx[:, : first - 1]], axis=1)
+        if san is not None:
+            san.begin_row(f"vit:row{i}")
+            san.shared_load(_bytes(0, 0, first), "vit:mpv:strip0",
+                            dependency=True)
+            san.shared_load(_bytes(_IMX_BASE, 0, first), "vit:ipv:strip0",
+                            dependency=True)
+            san.shared_load(_bytes(_DMX_BASE, 0, first - 1),
+                            "vit:dpv:strip0", dependency=True)
 
         for s, (p0, p1) in enumerate(strips):
             w = p1 - p0
@@ -121,6 +146,11 @@ def viterbi_warp_kernel(
             # this strip's store overwrites them (double buffering)
             m_same = mmx[:, p0 + 1 : p1 + 1].copy()
             i_same = imx[:, p0 + 1 : p1 + 1].copy()
+            if san is not None:
+                san.shared_load(_bytes(0, p0 + 1, p1 + 1),
+                                f"vit:m-same:strip{s}", dependency=True)
+                san.shared_load(_bytes(_IMX_BASE, p0 + 1, p1 + 1),
+                                f"vit:i-same:strip{s}", dependency=True)
 
             sv = np.maximum(
                 xBv[:, None], sat_add_i16(mpv[:, :w], profile.enter_mm[p0:p1])
@@ -150,10 +180,22 @@ def viterbi_warp_kernel(
                 mpv = mmx[:, q0:q1].copy()
                 ipv = imx[:, q0:q1].copy()
                 dpv = dmx[:, q0 - 1 : q1 - 1].copy()
+                if san is not None:
+                    san.shared_load(_bytes(0, q0, q1),
+                                    f"vit:mpv:strip{s + 1}", dependency=True)
+                    san.shared_load(_bytes(_IMX_BASE, q0, q1),
+                                    f"vit:ipv:strip{s + 1}", dependency=True)
+                    san.shared_load(_bytes(_DMX_BASE, q0 - 1, q1 - 1),
+                                    f"vit:dpv:strip{s + 1}", dependency=True)
 
             upd = live[:, None]
             mmx[:, p0 + 1 : p1 + 1] = np.where(upd, temp_m, mmx[:, p0 + 1 : p1 + 1])
             imx[:, p0 + 1 : p1 + 1] = np.where(upd, temp_i, imx[:, p0 + 1 : p1 + 1])
+            if san is not None:
+                san.shared_store(_bytes(0, p0 + 1, p1 + 1),
+                                 f"vit:m-store:strip{s}")
+                san.shared_store(_bytes(_IMX_BASE, p0 + 1, p1 + 1),
+                                 f"vit:i-store:strip{s}")
             new_m[:, p0:p1] = temp_m
             if counters is not None:
                 n_live = int(live.sum())
@@ -170,6 +212,15 @@ def viterbi_warp_kernel(
         # events charged per *live* warp (finished warps are not executing)
         n_live = int(live.sum())
         live_counters = KernelCounters() if counters is not None else None
+        if san is not None:
+            # lanes past the model edge must hold the Viterbi -inf word,
+            # the neutral of the max reduction
+            san.check_reduction(
+                xE_lanes, min(M, WARP_SIZE), VF_WORD_MIN, "vit:xE-reduce"
+            )
+            san.check_reduction(
+                dmax_lanes, min(M, WARP_SIZE), VF_WORD_MIN, "vit:dmax-reduce"
+            )
         if device.has_warp_shuffle:
             xE = warp_max_shuffle(xE_lanes, None)[:, 0]
             dmax = warp_max_shuffle(dmax_lanes, None)[:, 0]
@@ -201,6 +252,11 @@ def viterbi_warp_kernel(
             parallel_lazy_f(resolved, tdd_enter, counters)
             d_partial[needs_lazyf] = resolved
         dmx = np.where(live[:, None], d_partial, dmx)
+        if san is not None:
+            # the D row writes back strip by strip, like the M/I stores
+            for s, (p0, p1) in enumerate(strips):
+                san.shared_store(_bytes(_DMX_BASE, p0, p1),
+                                 f"vit:d-store:strip{s}")
 
         overflow_now = live & (xE >= profile.overflow_threshold)
         overflowed |= overflow_now
@@ -210,6 +266,11 @@ def viterbi_warp_kernel(
         xB[update] = np.maximum(
             profile.base + profile.xNJ_move, xJ[update] + profile.xNJ_move
         )
+
+    if san is not None and counters is not None:
+        report = san.report()
+        counters.attach_sanitizer(report)
+        counters.bank_conflict_extra += report.conflict_extra
 
     scores = np.where(
         xC == VF_WORD_MIN,

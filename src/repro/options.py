@@ -147,6 +147,14 @@ class SearchOptions:
                          "timings and counters into this tracer "
                          "(None = tracing off, zero overhead)"},
     )
+    sanitize: bool = field(
+        default=False,
+        metadata={"doc": "arm the warp-model sanitizer for GPU kernel "
+                         "launches (bank conflicts, read-before-write "
+                         "hazards, inactive-lane garbage); the report "
+                         "lands on each stage's KernelCounters; the "
+                         "REPRO_SANITIZE env var arms it globally"},
+    )
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "engine", Engine.coerce(self.engine))

@@ -27,6 +27,8 @@ to one ``is None`` check per block.
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
 from ..cpu.forward_batch import forward_score_batch
@@ -120,9 +122,15 @@ class HmmsearchPipeline:
         if opts.engine is Engine.GPU_WARP:
             c = counters.setdefault(stage_name, KernelCounters())
             before = c.saturations
+            kernel = _WARP_KERNELS[stage_name]
+            if opts.sanitize:
+                # bind the flag so executor-dispatched launches (which own
+                # their kernel calls) are sanitized too; sanitize=None
+                # would only defer to REPRO_SANITIZE
+                kernel = functools.partial(kernel, sanitize=True)
             if executor is not None:
                 scores = executor.score_stage(
-                    stage_name, _WARP_KERNELS[stage_name], profile, db,
+                    stage_name, kernel, profile, db,
                     config=opts.config, counters=c,
                 )
             else:
@@ -135,7 +143,7 @@ class HmmsearchPipeline:
                         stage_name, self.profile.M, opts.config, opts.device
                     ),
                 ) as ks:
-                    scores = _WARP_KERNELS[stage_name](
+                    scores = kernel(
                         profile, db, config=opts.config, device=opts.device,
                         counters=c,
                     )

@@ -27,6 +27,7 @@ __all__ = [
     "sat_sub_u8",
     "sat_add_i16",
     "max_i16",
+    "floor_i16",
     "U8_ZERO",
     "I16_NEG_INF",
 ]
@@ -76,3 +77,14 @@ def sat_add_i16(a, b, guard=None):
 def max_i16(a, b):
     """``_mm_max_epi16`` (no saturation involved, named for symmetry)."""
     return np.maximum(np.asarray(a, dtype=np.int32), np.asarray(b, dtype=np.int32))
+
+
+def floor_i16(a):
+    """Clamp from below to the i16 minus-infinity floor, then narrow.
+
+    For wide accumulators (e.g. the int64 prefix-scan carries, whose
+    padding sentinel sits far below -32768): the clamp happens in the
+    input's own dtype *before* narrowing to the int32 carrier, so
+    sentinel values land exactly on ``VF_WORD_MIN`` instead of wrapping.
+    """
+    return np.maximum(np.asarray(a), VF_WORD_MIN).astype(np.int32)

@@ -16,6 +16,7 @@ bound, and hit/miss/eviction counters feed the service metrics report.
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -79,10 +80,11 @@ class PipelineCache:
         if max_entries < 1:
             raise PipelineError("cache must hold at least one pipeline")
         self.max_entries = max_entries
-        self._entries: OrderedDict[tuple, HmmsearchPipeline] = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        self._lock = threading.RLock()
+        self._entries: OrderedDict[tuple, HmmsearchPipeline] = OrderedDict()  # guarded-by: _lock
+        self.hits = 0        # guarded-by: _lock
+        self.misses = 0      # guarded-by: _lock
+        self.evictions = 0   # guarded-by: _lock
 
     @staticmethod
     def _key(
@@ -107,40 +109,50 @@ class PipelineCache:
         """The calibrated pipeline for this model, building it on miss."""
         settings = settings or PipelineSettings()
         key = self._key(hmm, settings, thresholds)
-        pipeline = self._entries.get(key)
-        if pipeline is not None:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return pipeline
-        self.misses += 1
+        with self._lock:
+            pipeline = self._entries.get(key)
+            if pipeline is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return pipeline
+            self.misses += 1
+        # build outside the lock: calibration takes seconds, and two
+        # concurrent misses on the same key just race to insert the
+        # same (deterministically built) pipeline
         pipeline = settings.build(hmm, thresholds)
-        self._entries[key] = pipeline
-        if len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[key] = pipeline
+            if len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
         return pipeline
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, hmm: Plan7HMM) -> bool:
         fp = hmm_fingerprint(hmm)
-        return any(key[0] == fp for key in self._entries)
+        with self._lock:
+            return any(key[0] == fp for key in self._entries)
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def stats(self) -> dict[str, float]:
-        return {
-            "entries": len(self._entries),
-            "max_entries": self.max_entries,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": self.hit_rate,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": self.hit_rate,
+            }
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()

@@ -29,6 +29,7 @@ re-quarantines the device with a doubled cooldown.
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
 
 from ..errors import LaunchError
@@ -62,35 +63,42 @@ class DeviceSlot:
     failures: int = 0            # lifetime failure count
     quarantines: int = 0         # times this device entered quarantine
     cooldown_until: int = 0      # pool tick when a probe becomes allowed
-    inflight: bool = False       # checked out for a launch right now
-    _pending_faults: int = 0
+    inflight: bool = False       # guarded-by: _lock
+    _pending_faults: int = 0     # guarded-by: _lock
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def inject_fault(self, count: int = 1) -> None:
         """Arm this slot to fail its next ``count`` checkouts."""
         if count < 1:
             raise LaunchError("fault count must be positive")
-        self._pending_faults += count
+        with self._lock:
+            self._pending_faults += count
 
     def checkout(self) -> DeviceSpec:
         """Claim the device for a launch; raises an armed injected fault."""
-        if self._pending_faults > 0:
-            self._pending_faults -= 1
-            raise LaunchError(
-                f"injected fault on device {self.index} ({self.spec.name})"
-            )
-        self.inflight = True
+        with self._lock:
+            if self._pending_faults > 0:
+                self._pending_faults -= 1
+                raise LaunchError(
+                    f"injected fault on device {self.index} ({self.spec.name})"
+                )
+            self.inflight = True
         return self.spec
 
     def release(self) -> None:
         """Return the device after a launch attempt (success or failure)."""
-        self.inflight = False
+        with self._lock:
+            self.inflight = False
 
     def record(self, sequences: int, residues: int, counters: KernelCounters) -> None:
         self.dispatches += 1
         self.sequences += sequences
         self.residues += residues
         self.counters.merge(counters)
-        self.inflight = False
+        with self._lock:
+            self.inflight = False
 
     # -- health transitions --------------------------------------------------
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 import enum
 import hashlib
 import heapq
+import threading
 from dataclasses import dataclass, field
 
 from ..errors import PipelineError
@@ -124,9 +125,10 @@ class JobQueue:
     """Priority queue of :class:`SearchJob` with deterministic ids."""
 
     def __init__(self) -> None:
-        self._heap: list[tuple[int, int, SearchJob]] = []
-        self._serial = 0
-        self.submitted = 0
+        self._lock = threading.RLock()
+        self._heap: list[tuple[int, int, SearchJob]] = []  # guarded-by: _lock
+        self._serial = 0    # guarded-by: _lock
+        self.submitted = 0  # guarded-by: _lock
 
     def submit(
         self,
@@ -148,47 +150,53 @@ class JobQueue:
         which makes checkpoint journals robust to manifest edits.
         """
         engine = Engine.coerce(engine)
-        serial = self._serial
-        self._serial += 1
-        self.submitted += 1
-        job = SearchJob(
-            job_id=job_id if job_id is not None else (
-                f"job-{serial:04d}-"
-                f"{_job_fingerprint(hmm, database, engine)[:8]}"
-            ),
-            hmm=hmm,
-            database=database,
-            engine=engine,
-            priority=priority,
-            thresholds=thresholds,
-            settings=settings or PipelineSettings(),
-            options=options,
-            submitted_at=clock,
-        )
-        heapq.heappush(self._heap, (-priority, serial, job))
-        return job
+        with self._lock:
+            serial = self._serial
+            self._serial += 1
+            self.submitted += 1
+            job = SearchJob(
+                job_id=job_id if job_id is not None else (
+                    f"job-{serial:04d}-"
+                    f"{_job_fingerprint(hmm, database, engine)[:8]}"
+                ),
+                hmm=hmm,
+                database=database,
+                engine=engine,
+                priority=priority,
+                thresholds=thresholds,
+                settings=settings or PipelineSettings(),
+                options=options,
+                submitted_at=clock,
+            )
+            heapq.heappush(self._heap, (-priority, serial, job))
+            return job
 
     def pop(self) -> SearchJob | None:
         """Highest-priority pending job (FIFO among equals), or None."""
-        if not self._heap:
-            return None
-        return heapq.heappop(self._heap)[2]
+        with self._lock:
+            if not self._heap:
+                return None
+            return heapq.heappop(self._heap)[2]
 
     def requeue(self, job: SearchJob) -> None:
         """Put a job back (e.g. after a transient scheduling failure)."""
         if job.state is JobState.DONE:
             raise PipelineError(f"cannot requeue finished job {job.job_id}")
-        serial = self._serial
-        self._serial += 1
-        job.state = JobState.PENDING
-        heapq.heappush(self._heap, (-job.priority, serial, job))
+        with self._lock:
+            serial = self._serial
+            self._serial += 1
+            job.state = JobState.PENDING
+            heapq.heappush(self._heap, (-job.priority, serial, job))
 
     def __len__(self) -> int:
-        return len(self._heap)
+        with self._lock:
+            return len(self._heap)
 
     def __bool__(self) -> bool:
-        return bool(self._heap)
+        with self._lock:
+            return bool(self._heap)
 
     def pending(self) -> list[SearchJob]:
         """Pending jobs in pop order (non-destructive)."""
-        return [item[2] for item in sorted(self._heap)]
+        with self._lock:
+            return [item[2] for item in sorted(self._heap)]

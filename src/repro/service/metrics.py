@@ -429,6 +429,8 @@ class MetricsRegistry:
                     f"  {name:10s} rows={c.rows} strips={c.strips} "
                     f"shuffles={c.shuffles} syncthreads={c.syncthreads}"
                 )
+                if c.sanitizer is not None:
+                    lines.append(f"  {'':10s} {c.sanitizer.summary()}")
 
         if self.pool is not None:
             lines.append("")

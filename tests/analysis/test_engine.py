@@ -1,0 +1,186 @@
+"""Engine plumbing: pragmas, baseline round-trip, CLI exit codes, and
+the acceptance pin that the repository itself lints clean."""
+
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.analysis import Baseline, lint_file, run
+from repro.analysis.cli import main as lint_main
+from repro.analysis.engine import iter_python_files, parse_pragmas
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+_VIOLATION = textwrap.dedent(
+    """
+    import numpy as np
+
+    def jitter(x):
+        return x + np.random.rand(3)
+    """
+)
+
+
+def _write_tree(tmp_path, files):
+    for rel, source in files.items():
+        p = tmp_path / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(textwrap.dedent(source))
+    # mark the root so the CLI's pyproject.toml discovery stays local
+    (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+    return str(tmp_path)
+
+
+class TestPragmas:
+    def test_pragma_suppresses_matching_rule(self):
+        src = _VIOLATION.replace(
+            "np.random.rand(3)",
+            "np.random.rand(3)  # repro-lint: disable=R001",
+        )
+        findings, suppressed, err = lint_file("src/repro/kernels/fake.py", src)
+        assert err is None
+        assert suppressed == 1
+        assert not [f for f in findings if f.rule == "R001"]
+
+    def test_pragma_all_wildcard(self):
+        src = _VIOLATION.replace(
+            "np.random.rand(3)",
+            "np.random.rand(3)  # repro-lint: disable=all",
+        )
+        findings, suppressed, _ = lint_file("src/repro/kernels/fake.py", src)
+        assert suppressed == 1
+
+    def test_pragma_on_other_line_does_not_suppress(self):
+        src = "# repro-lint: disable=R001\n" + _VIOLATION
+        findings, suppressed, _ = lint_file("src/repro/kernels/fake.py", src)
+        assert suppressed == 0
+        assert [f for f in findings if f.rule == "R001"]
+
+    def test_parse_pragmas_comma_list(self):
+        pragmas = parse_pragmas(["x = 1  # repro-lint: disable=R001, R003"])
+        assert pragmas == {1: {"R001", "R003"}}
+
+
+class TestEngineRun:
+    def test_clean_tree(self, tmp_path):
+        root = _write_tree(
+            tmp_path,
+            {"src/repro/kernels/good.py": "def f(rng):\n    return rng.normal()\n"},
+        )
+        result = run(["src"], root)
+        assert result.ok
+        assert result.files_checked == 1
+
+    def test_violation_fails_and_baseline_grandfathers(self, tmp_path):
+        root = _write_tree(tmp_path, {"src/repro/kernels/bad.py": _VIOLATION})
+        dirty = run(["src"], root)
+        assert not dirty.ok and len(dirty.findings) == 1
+        key = dirty.findings[0].key
+
+        baseline = Baseline(entries={key: "known, tracked elsewhere"})
+        grandfathered = run(["src"], root, baseline=baseline)
+        assert grandfathered.ok
+        assert [f.key for f in grandfathered.baselined] == [key]
+        assert grandfathered.unused_baseline == []
+
+    def test_stale_baseline_entry_reported(self, tmp_path):
+        root = _write_tree(
+            tmp_path, {"src/repro/kernels/good.py": "x = 1\n"}
+        )
+        baseline = Baseline(entries={"R001::src/repro/kernels/gone.py::np.random.rand": "old"})
+        result = run(["src"], root, baseline=baseline)
+        assert result.ok  # stale entries warn, they do not fail
+        assert result.unused_baseline == list(baseline.entries)
+
+    def test_syntax_error_is_a_failure(self, tmp_path):
+        root = _write_tree(tmp_path, {"src/repro/kernels/broken.py": "def f(:\n"})
+        result = run(["src"], root)
+        assert not result.ok
+        assert result.parse_errors
+
+    def test_iter_python_files_skips_caches(self, tmp_path):
+        root = _write_tree(
+            tmp_path,
+            {
+                "src/repro/a.py": "x = 1\n",
+                "src/repro/__pycache__/a.cpython-311.py": "x = 1\n",
+                "src/repro/notes.txt": "not python\n",
+            },
+        )
+        assert iter_python_files(["src"], root) == ["src/repro/a.py"]
+
+
+class TestBaselineRoundTrip:
+    def test_save_load_identity(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        original = Baseline(entries={"R003::src/x.py::np.clip": "because"})
+        original.save(path)
+        assert Baseline.load(path).entries == original.entries
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert Baseline.load(str(tmp_path / "nope.json")).entries == {}
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError):
+            Baseline.load(str(path))
+
+    def test_merged_with_keeps_existing_justifications(self):
+        old = Baseline(entries={"k": "real reason"})
+        fresh = Baseline.from_findings([], justification="TODO")
+        fresh.entries["k"] = "TODO: justify or fix"
+        assert old.merged_with(fresh).entries["k"] == "real reason"
+
+
+class TestCli:
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        root = _write_tree(tmp_path, {"src/repro/kernels/bad.py": _VIOLATION})
+        assert lint_main(["src", "--root", root]) == 1
+        out = capsys.readouterr().out
+        assert "R001" in out and "FAIL" in out
+
+    def test_update_baseline_then_clean(self, tmp_path, capsys):
+        root = _write_tree(tmp_path, {"src/repro/kernels/bad.py": _VIOLATION})
+        baseline = str(tmp_path / "baseline.json")
+        assert lint_main(["src", "--root", root, "--baseline", baseline,
+                          "--update-baseline"]) == 0
+        assert lint_main(["src", "--root", root, "--baseline", baseline]) == 0
+        doc = json.loads(open(baseline).read())
+        assert len(doc["entries"]) == 1
+
+    def test_no_baseline_flag_resurfaces_findings(self, tmp_path, capsys):
+        root = _write_tree(tmp_path, {"src/repro/kernels/bad.py": _VIOLATION})
+        baseline = str(tmp_path / "baseline.json")
+        lint_main(["src", "--root", root, "--baseline", baseline,
+                   "--update-baseline"])
+        assert lint_main(["src", "--root", root, "--baseline", baseline,
+                          "--no-baseline"]) == 1
+
+    def test_json_report_shape(self, tmp_path, capsys):
+        root = _write_tree(tmp_path, {"src/repro/kernels/bad.py": _VIOLATION})
+        assert lint_main(["src", "--root", root, "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tool"] == "repro-lint"
+        assert doc["ok"] is False
+        assert doc["findings"][0]["rule"] == "R001"
+        assert {"R001", "R002", "R003", "R004", "R005"} <= set(doc["rules"])
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("R001", "R002", "R003", "R004", "R005"):
+            assert rule_id in out
+
+
+class TestRepositoryIsClean:
+    def test_whole_repo_lints_clean(self, capsys):
+        """The ISSUE acceptance criterion: repro-lint over the full tree
+        exits 0 against the committed baseline."""
+        code = lint_main(
+            ["src", "tests", "examples", "benchmarks", "tools",
+             "--root", REPO_ROOT]
+        )
+        assert code == 0, capsys.readouterr().out

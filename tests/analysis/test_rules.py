@@ -1,0 +1,426 @@
+"""Per-rule fixtures: every rule must fire on its positive fixture and
+stay silent on the matching negative one."""
+
+import textwrap
+
+from repro.analysis import RULES_BY_ID, lint_file
+
+
+def _lint(path, source, rule_id=None):
+    findings, suppressed, err = lint_file(path, textwrap.dedent(source))
+    assert err is None
+    if rule_id is not None:
+        findings = [f for f in findings if f.rule == rule_id]
+    return findings
+
+
+class TestR001Determinism:
+    def test_global_sampler_flagged(self):
+        found = _lint(
+            "src/repro/kernels/fake.py",
+            """
+            import numpy as np
+
+            def jitter(x):
+                return x + np.random.rand(3)
+            """,
+            "R001",
+        )
+        assert len(found) == 1
+        assert found[0].symbol == "np.random.rand"
+        assert found[0].line == 5
+
+    def test_unseeded_default_rng_flagged(self):
+        found = _lint(
+            "src/repro/scoring/fake.py",
+            """
+            import numpy as np
+
+            def noise():
+                return np.random.default_rng().normal()
+            """,
+            "R001",
+        )
+        assert len(found) == 1
+        assert "without a seed" in found[0].message
+
+    def test_wall_clock_flagged(self):
+        found = _lint(
+            "src/repro/pipeline/fake.py",
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            "R001",
+        )
+        assert len(found) == 1
+        assert found[0].symbol == "time.time"
+
+    def test_seeded_rng_ok(self):
+        assert not _lint(
+            "src/repro/kernels/fake.py",
+            """
+            import numpy as np
+
+            def sample(seed):
+                rng = np.random.default_rng(seed)
+                return rng.normal()
+            """,
+            "R001",
+        )
+
+    def test_rule_scoped_to_deterministic_dirs(self):
+        # sequence/ generators take explicit Generators; the rule does
+        # not police them, and obs/ may read clocks freely
+        assert not _lint(
+            "src/repro/obs/fake.py",
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            "R001",
+        )
+
+
+class TestR002Facade:
+    def test_deep_from_import_flagged(self):
+        found = _lint(
+            "examples/fake.py",
+            """
+            from repro.kernels import msv_warp_kernel
+            """,
+            "R002",
+        )
+        assert len(found) == 1
+        assert found[0].symbol == "repro.kernels"
+
+    def test_deep_module_import_flagged(self):
+        found = _lint(
+            "benchmarks/fake.py",
+            """
+            import repro.service.scheduler
+            """,
+            "R002",
+        )
+        assert len(found) == 1
+
+    def test_facade_imports_ok(self):
+        assert not _lint(
+            "tools/fake.py",
+            """
+            import repro
+            from repro import search, SearchOptions
+            from repro.api import search as api_search
+            import numpy as np
+            """,
+            "R002",
+        )
+
+    def test_internal_code_unrestricted(self):
+        # the rule only binds code OUTSIDE src/repro and tests
+        assert not _lint(
+            "src/repro/pipeline/fake.py",
+            """
+            from repro.kernels import msv_warp_kernel
+            """,
+            "R002",
+        )
+
+
+class TestR003Overflow:
+    def test_clip_with_sat_bounds_flagged(self):
+        found = _lint(
+            "src/repro/kernels/fake.py",
+            """
+            import numpy as np
+            from ..constants import MSV_BYTE_MAX
+
+            def score(r):
+                return np.clip(r, 0, MSV_BYTE_MAX)
+            """,
+            "R003",
+        )
+        assert len(found) == 1
+        assert found[0].symbol == "np.clip"
+
+    def test_clip_with_literal_bounds_flagged(self):
+        found = _lint(
+            "src/repro/scoring/fake.py",
+            """
+            import numpy as np
+
+            def score(r):
+                return np.clip(r, -32768, 32767)
+            """,
+            "R003",
+        )
+        assert len(found) == 1
+
+    def test_raw_arithmetic_on_narrow_dtype_flagged(self):
+        found = _lint(
+            "src/repro/kernels/fake.py",
+            """
+            import numpy as np
+
+            def bump(scores):
+                row = np.zeros(32, dtype=np.uint8)
+                row = row + scores
+                return row
+            """,
+            "R003",
+        )
+        assert len(found) == 1
+        assert found[0].symbol == "bump:row"
+
+    def test_augassign_on_narrow_dtype_flagged(self):
+        found = _lint(
+            "src/repro/kernels/fake.py",
+            """
+            import numpy as np
+
+            def bump(scores):
+                row = scores.astype(np.int16)
+                row += 7
+                return row
+            """,
+            "R003",
+        )
+        assert len(found) == 1
+
+    def test_quantized_module_exempt(self):
+        # quantized.py IS the guardrail layer; clipping there is its job
+        assert not _lint(
+            "src/repro/scoring/quantized.py",
+            """
+            import numpy as np
+
+            def sat(r):
+                return np.clip(r, 0, 255)
+            """,
+            "R003",
+        )
+
+    def test_wide_arithmetic_ok(self):
+        assert not _lint(
+            "src/repro/kernels/fake.py",
+            """
+            import numpy as np
+
+            def bump(scores):
+                acc = scores.astype(np.int32)
+                acc = acc + 7
+                return np.clip(acc, lo, hi)
+            """,
+            "R003",
+        )
+
+
+class TestR004Locks:
+    def test_unlocked_touch_flagged(self):
+        found = _lint(
+            "src/repro/service/fake.py",
+            """
+            import threading
+
+            class Pool:
+                def __init__(self):
+                    self._lock = threading.RLock()
+                    self._slots = []  # guarded-by: _lock
+
+                def size(self):
+                    return len(self._slots)
+                """,
+            "R004",
+        )
+        assert len(found) == 1
+        assert found[0].symbol == "Pool.size:_slots"
+
+    def test_class_level_guard_comment_recognised(self):
+        found = _lint(
+            "src/repro/service/fake.py",
+            """
+            from dataclasses import dataclass, field
+            import threading
+
+            @dataclass
+            class Slot:
+                inflight: bool = False  # guarded-by: _lock
+                _lock: threading.RLock = field(default_factory=threading.RLock)
+
+                def busy(self):
+                    return self.inflight
+            """,
+            "R004",
+        )
+        assert len(found) == 1
+        assert found[0].symbol == "Slot.busy:inflight"
+
+    def test_locked_touch_ok(self):
+        assert not _lint(
+            "src/repro/service/fake.py",
+            """
+            import threading
+
+            class Pool:
+                def __init__(self):
+                    self._lock = threading.RLock()
+                    self._slots = []  # guarded-by: _lock
+
+                def size(self):
+                    with self._lock:
+                        return len(self._slots)
+            """,
+            "R004",
+        )
+
+    def test_init_and_unguarded_attrs_exempt(self):
+        assert not _lint(
+            "src/repro/service/fake.py",
+            """
+            import threading
+
+            class Pool:
+                def __init__(self):
+                    self._lock = threading.RLock()
+                    self._slots = []  # guarded-by: _lock
+                    self.name = "pool"
+
+                def label(self):
+                    return self.name
+            """,
+            "R004",
+        )
+
+
+class TestR005FrozenAndSwallow:
+    def test_bare_except_flagged(self):
+        found = _lint(
+            "src/repro/service/fake.py",
+            """
+            def risky():
+                try:
+                    work()
+                except:
+                    raise RuntimeError("boom")
+            """,
+            "R005",
+        )
+        assert len(found) == 1
+        assert found[0].symbol == "bare-except"
+
+    def test_swallowed_except_flagged(self):
+        found = _lint(
+            "src/repro/gpu/fake.py",
+            """
+            def risky():
+                try:
+                    work()
+                except ValueError:
+                    pass
+            """,
+            "R005",
+        )
+        assert len(found) == 1
+        assert found[0].symbol == "swallowed-except"
+
+    def test_handled_except_ok(self):
+        assert not _lint(
+            "src/repro/gpu/fake.py",
+            """
+            def risky(log):
+                try:
+                    work()
+                except ValueError as exc:
+                    log.append(exc)
+            """,
+            "R005",
+        )
+
+    def test_frozen_mutation_flagged(self):
+        found = _lint(
+            "src/repro/options_fake.py",
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Opts:
+                n: int = 0
+
+                def bump(self):
+                    self.n = self.n + 1
+            """,
+            "R005",
+        )
+        assert len(found) == 1
+        assert found[0].symbol == "Opts.bump:self.n"
+
+    def test_setattr_outside_init_flagged(self):
+        found = _lint(
+            "src/repro/hmm/fake.py",
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Model:
+                def rename(self, name):
+                    object.__setattr__(self, "name", name)
+            """,
+            "R005",
+        )
+        assert len(found) == 1
+        assert found[0].symbol == "rename:object.__setattr__"
+
+    def test_setattr_in_post_init_ok(self):
+        assert not _lint(
+            "src/repro/hmm/fake.py",
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Model:
+                def __post_init__(self):
+                    object.__setattr__(self, "name", "m")
+            """,
+            "R005",
+        )
+
+    def test_unfrozen_mutation_ok(self):
+        assert not _lint(
+            "src/repro/gpu/fake.py",
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Tally:
+                n: int = 0
+
+                def bump(self):
+                    self.n += 1
+            """,
+            "R005",
+        )
+
+
+class TestFindingIdentity:
+    def test_key_is_line_independent(self):
+        src = """
+        import numpy as np
+
+        def jitter(x):
+            return x + np.random.rand(3)
+        """
+        shifted = "# a comment\n# another\n" + textwrap.dedent(src)
+        a = _lint("src/repro/kernels/fake.py", src, "R001")[0]
+        b, _, _ = lint_file("src/repro/kernels/fake.py", shifted)
+        b = [f for f in b if f.rule == "R001"][0]
+        assert a.line != b.line
+        assert a.key == b.key == "R001::src/repro/kernels/fake.py::np.random.rand"
+
+    def test_rule_catalog_complete(self):
+        assert sorted(RULES_BY_ID) == ["R001", "R002", "R003", "R004", "R005"]
+        for rule in RULES_BY_ID.values():
+            assert rule.title and rule.rationale

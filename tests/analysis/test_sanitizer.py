@@ -1,0 +1,228 @@
+"""Warp-model sanitizer: the real kernels must be certified clean, and
+deliberately broken access patterns must be caught."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import SanitizerReport, WarpSanitizer, env_enabled, resolve_sanitizer
+from repro.constants import VF_WORD_MIN, WARP_SIZE
+from repro.errors import SanitizerError
+from repro.gpu import KernelCounters
+from repro.hmm import SearchProfile, sample_hmm
+from repro.kernels import msv_warp_kernel, viterbi_warp_kernel
+from repro.scoring import MSVByteProfile, ViterbiWordProfile
+from repro.sequence import DigitalSequence, SequenceDatabase, random_sequence_codes
+
+
+def _profiles(M, seed=0, L=100):
+    sp = SearchProfile(sample_hmm(M, np.random.default_rng(seed)), L=L)
+    return MSVByteProfile.from_profile(sp), ViterbiWordProfile.from_profile(sp)
+
+
+def _db(rng, n=5, max_len=90):
+    seqs = [
+        DigitalSequence(f"s{i}", random_sequence_codes(int(L), rng))
+        for i, L in enumerate(rng.integers(3, max_len, size=n))
+    ]
+    return SequenceDatabase(seqs)
+
+
+class TestRealKernelsAreClean:
+    """Paper section III.B/III.C: the row layout serves every strip in
+    one transaction and the double-buffer ordering has no hazards."""
+
+    @pytest.mark.parametrize("M", [1, 20, 32, 33, 75, 120])
+    def test_msv_certified_conflict_free(self, M, rng):
+        byte_prof, _ = _profiles(M, seed=M)
+        c = KernelCounters()
+        msv_warp_kernel(byte_prof, _db(rng), counters=c, sanitize=True)
+        rep = c.sanitizer
+        assert rep is not None and rep.accesses > 0
+        assert rep.clean, rep.events
+        assert rep.bank_conflicts == 0
+        assert rep.hazards == 0
+        assert rep.lane_garbage == 0
+        assert rep.reduction_checks > 0
+
+    @pytest.mark.parametrize("M", [1, 20, 32, 33, 75, 120])
+    def test_viterbi_certified_conflict_free(self, M, rng):
+        _, word_prof = _profiles(M, seed=M)
+        c = KernelCounters()
+        viterbi_warp_kernel(word_prof, _db(rng), counters=c, sanitize=True)
+        rep = c.sanitizer
+        assert rep is not None and rep.accesses > 0
+        assert rep.clean, rep.events
+
+    def test_sanitize_off_is_bit_identical(self, rng):
+        byte_prof, word_prof = _profiles(50)
+        db = _db(rng)
+        assert np.array_equal(
+            msv_warp_kernel(byte_prof, db, sanitize=True).scores,
+            msv_warp_kernel(byte_prof, db, sanitize=False).scores,
+        )
+        assert np.array_equal(
+            viterbi_warp_kernel(word_prof, db, sanitize=True).scores,
+            viterbi_warp_kernel(word_prof, db, sanitize=False).scores,
+        )
+
+    def test_counters_without_sanitize_have_no_report(self, rng):
+        byte_prof, _ = _profiles(40)
+        c = KernelCounters()
+        msv_warp_kernel(byte_prof, _db(rng), counters=c, sanitize=False)
+        assert c.sanitizer is None
+
+
+class TestInjectedViolations:
+    def test_skewed_layout_is_a_bank_conflict(self):
+        """A stride of 128 bytes lands every lane in bank 0 — the
+        classic 32-way conflict the paper's layout avoids."""
+        san = WarpSanitizer()
+        san.begin_row("skewed")
+        san.shared_load([lane * 128 for lane in range(WARP_SIZE)], "skew-load")
+        rep = san.report()
+        assert rep.bank_conflicts == 1
+        assert rep.conflict_extra == WARP_SIZE - 1
+        assert not rep.clean
+        assert "bank conflict" in rep.events[0]
+
+    def test_two_way_conflict_counts_extra(self):
+        # 64-byte stride: 32 distinct words pile onto banks 0 and 16,
+        # so 32 serialized word transactions where 2 would do
+        san = WarpSanitizer()
+        san.shared_store([lane * 64 for lane in range(WARP_SIZE)], "pairs")
+        rep = san.report()
+        assert rep.bank_conflicts == 1
+        assert rep.conflict_extra == 30
+
+    def test_unit_stride_rows_are_clean(self):
+        san = WarpSanitizer()
+        san.shared_load(range(WARP_SIZE), "u8-row")          # MSV byte row
+        san.shared_load(range(0, 2 * WARP_SIZE, 2), "i16-row")  # Viterbi row
+        rep = san.report()
+        assert rep.clean and rep.accesses == 2
+
+    def test_store_before_dependency_load_is_a_hazard(self):
+        """Swapping the double-buffer order — store the strip, then load
+        the next strip's dependency cells — must be flagged."""
+        san = WarpSanitizer()
+        san.begin_row("row0")
+        san.shared_store(range(WARP_SIZE), "strip0-store")
+        san.shared_load(range(WARP_SIZE), "strip1-dep", dependency=True)
+        rep = san.report()
+        assert rep.hazards == 1
+        assert "read-before-write hazard" in rep.events[0]
+
+    def test_correct_order_has_no_hazard(self):
+        san = WarpSanitizer()
+        san.begin_row("row0")
+        san.shared_load(range(WARP_SIZE), "strip1-dep", dependency=True)
+        san.shared_store(range(WARP_SIZE), "strip0-store")
+        assert san.report().hazards == 0
+
+    def test_begin_row_resets_hazard_tracking(self):
+        san = WarpSanitizer()
+        san.begin_row("row0")
+        san.shared_store(range(WARP_SIZE), "store")
+        san.begin_row("row1")  # new residue: last row's stores are history
+        san.shared_load(range(WARP_SIZE), "dep", dependency=True)
+        assert san.report().hazards == 0
+
+    def test_non_dependency_load_of_written_cells_ok(self):
+        # reading back the freshly stored strip is the normal data flow
+        san = WarpSanitizer()
+        san.begin_row("row0")
+        san.shared_store(range(WARP_SIZE), "store")
+        san.shared_load(range(WARP_SIZE), "reread")
+        assert san.report().hazards == 0
+
+    def test_inactive_lane_garbage_caught(self):
+        san = WarpSanitizer()
+        lanes = np.zeros((3, WARP_SIZE), dtype=np.int32)
+        lanes[:, 20:] = 7  # garbage where the neutral (0) should be
+        san.check_reduction(lanes, 20, 0, "msv:xE-reduce")
+        rep = san.report()
+        assert rep.lane_garbage == 1
+        assert "inactive-lane garbage" in rep.events[0]
+
+    def test_neutral_tail_passes(self):
+        san = WarpSanitizer()
+        lanes = np.full((3, WARP_SIZE), VF_WORD_MIN, dtype=np.int32)
+        lanes[:, :20] = 5
+        san.check_reduction(lanes, 20, VF_WORD_MIN, "vit:xE-reduce")
+        rep = san.report()
+        assert rep.reduction_checks == 1 and rep.lane_garbage == 0
+
+    def test_full_warp_reduction_needs_no_neutral(self):
+        san = WarpSanitizer()
+        lanes = np.arange(WARP_SIZE)[None, :]
+        san.check_reduction(lanes, WARP_SIZE, 0, "full")
+        assert san.report().lane_garbage == 0
+
+    def test_strict_mode_raises(self):
+        san = WarpSanitizer(strict=True)
+        with pytest.raises(SanitizerError):
+            san.shared_load([lane * 128 for lane in range(WARP_SIZE)], "skew")
+
+
+class TestReportPlumbing:
+    def test_merge_accumulates(self):
+        a = SanitizerReport(accesses=2, transactions=4, hazards=1, events=("x",))
+        b = SanitizerReport(accesses=3, transactions=3, bank_conflicts=1,
+                            conflict_extra=5, events=("y",))
+        m = a.merge(b)
+        assert (m.accesses, m.transactions) == (5, 7)
+        assert (m.hazards, m.bank_conflicts, m.conflict_extra) == (1, 1, 5)
+        assert m.events == ("x", "y")
+        assert not m.clean
+
+    def test_summary_strings(self):
+        assert "clean" in SanitizerReport().summary()
+        assert "VIOLATIONS" in SanitizerReport(hazards=1).summary()
+
+    def test_as_dict_round_trip(self):
+        rep = SanitizerReport(accesses=1, transactions=2, events=("e",))
+        d = rep.as_dict()
+        assert d["accesses"] == 1 and d["events"] == ["e"]
+
+    def test_kernel_counters_merge_combines_reports(self):
+        a = KernelCounters(rows=1)
+        a.attach_sanitizer(SanitizerReport(accesses=2))
+        b = KernelCounters(rows=2)
+        b.attach_sanitizer(SanitizerReport(accesses=3, hazards=1))
+        a.merge(b)
+        assert a.rows == 3
+        assert a.sanitizer.accesses == 5 and a.sanitizer.hazards == 1
+        # the report stays out of the integer-event dict
+        assert "sanitizer" not in a.as_dict()
+
+
+class TestEnvironmentArming:
+    def test_env_off_values(self, monkeypatch):
+        for raw in ("", "0", "false", "no", "off"):
+            monkeypatch.setenv("REPRO_SANITIZE", raw)
+            assert env_enabled() is None
+            assert resolve_sanitizer(None) is None
+
+    def test_env_on(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert env_enabled() == "1"
+        san = resolve_sanitizer(None)
+        assert isinstance(san, WarpSanitizer) and not san.strict
+
+    def test_env_strict(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "strict")
+        san = resolve_sanitizer(None)
+        assert san is not None and san.strict
+
+    def test_explicit_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert resolve_sanitizer(False) is None
+        existing = WarpSanitizer()
+        assert resolve_sanitizer(existing) is existing
+
+    def test_env_reaches_kernel_launch(self, monkeypatch, rng):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        byte_prof, _ = _profiles(30)
+        c = KernelCounters()
+        msv_warp_kernel(byte_prof, _db(rng), counters=c)  # sanitize=None
+        assert c.sanitizer is not None and c.sanitizer.clean

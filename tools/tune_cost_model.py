@@ -23,16 +23,17 @@ from __future__ import annotations
 import argparse
 import dataclasses
 
-from repro.gpu.device import FERMI_GTX580
-from repro.hmm.sampler import PAPER_MODEL_SIZES
-from repro.kernels.memconfig import Stage
-from repro.perf.calibration import DEFAULT_COSTS, CostConstants
-from repro.perf.speedup import (
+from repro import (
+    CostConstants,
+    DEFAULT_COSTS,
+    FERMI_GTX580,
+    PAPER_MODEL_SIZES,
+    Stage,
+    experiment_workload,
     multi_gpu_speedup,
     optimal_stage_speedup,
     overall_speedup,
 )
-from repro.perf.workloads import experiment_workload
 
 #: (description, paper value, extractor) - the headline targets.
 TARGETS = [
