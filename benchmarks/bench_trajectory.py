@@ -32,12 +32,16 @@ import numpy as np
 from repro import (
     BatchSearchService,
     HmmsearchPipeline,
+    PressSettings,
+    ScanOptions,
     SearchOptions,
     Tracer,
     compare_bench,
     envnr_like,
     load_bench,
+    press_library,
     sample_hmm,
+    scan,
     swissprot_like,
     write_bench_json,
 )
@@ -51,6 +55,13 @@ FULL_JOBS = (
     (120, "swissprot", 400, "cpu_sse"),
 )
 QUICK_JOBS = ((60, "swissprot", 120, "gpu_warp"),)
+
+#: The pinned scan workload: (model sizes, database size, engine).  One
+#: sequence set against a pressed model library, scheduled by the scan
+#: service's memconfig bucketing - the hmmscan direction's stage spans
+#: land in the same trajectory document as the hmmsearch jobs above.
+FULL_SCAN = ((40, 70, 110), 120, "gpu_warp")
+QUICK_SCAN = ((30,), 40, "gpu_warp")
 
 _MAKERS = {"swissprot": swissprot_like, "envnr": envnr_like}
 
@@ -73,7 +84,28 @@ def run_workload(quick: bool = False) -> Tracer:
     for hmm, db, engine in build_jobs(quick):
         service.submit(hmm, db, engine=engine)
     service.run()
+    run_scan_workload(tracer, quick)
     return tracer
+
+
+def run_scan_workload(tracer: Tracer, quick: bool = False) -> None:
+    """Press the pinned model library and scan it, onto ``tracer``."""
+    sizes, n_seqs, engine = QUICK_SCAN if quick else FULL_SCAN
+    rng = np.random.default_rng(WORKLOAD_SEED + sum(sizes))
+    models = [sample_hmm(M, rng, name=f"scanfam{M}") for M in sizes]
+    db = swissprot_like(n_seqs, rng, hmm=models[0])
+    catalog = press_library(
+        models,
+        settings=PressSettings(
+            L=200, calibration_filter_sample=120,
+            calibration_forward_sample=40,
+        ),
+        name="bench-scan",
+    )
+    scan(
+        catalog, db,
+        ScanOptions(search=SearchOptions(engine=engine, tracer=tracer)),
+    )
 
 
 def tracing_overhead(quick: bool = False, repeats: int = 3) -> dict:
@@ -144,6 +176,7 @@ def main(argv: list[str] | None = None) -> int:
     if not args.skip_overhead:
         meta["tracing_overhead"] = tracing_overhead(quick=args.quick)
     jobs = QUICK_JOBS if args.quick else FULL_JOBS
+    scan_sizes, scan_seqs, scan_engine = QUICK_SCAN if args.quick else FULL_SCAN
     workload = {
         "name": "bench-trajectory",
         "seed": WORKLOAD_SEED,
@@ -151,6 +184,11 @@ def main(argv: list[str] | None = None) -> int:
             {"M": M, "database": db, "n_seqs": n, "engine": e}
             for M, db, n, e in jobs
         ],
+        "scan": {
+            "models": list(scan_sizes),
+            "n_seqs": scan_seqs,
+            "engine": scan_engine,
+        },
     }
     path = write_bench_json(args.out, tracer.roots, workload, meta)
     doc = load_bench(path)

@@ -30,15 +30,19 @@ from __future__ import annotations
 from importlib import import_module
 
 from .api import (
+    ScanOptions,
     SearchOptions,
     SearchResults,
     batch_search,
     load_fasta,
     load_hmm,
+    load_library,
+    press_library,
+    scan,
     search,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -46,7 +50,11 @@ __all__ = [
     "load_fasta",
     "search",
     "batch_search",
+    "press_library",
+    "load_library",
+    "scan",
     "SearchOptions",
+    "ScanOptions",
     "SearchResults",
 ]
 
@@ -100,7 +108,24 @@ _LEGACY = {
     "Engine": "repro.pipeline",
     "PipelineThresholds": "repro.pipeline",
     "ModelLibrary": "repro.pipeline",
+    "ScanHit": "repro.pipeline",
+    "ScanResults": "repro.pipeline",
     "OracleReport": "repro.pipeline",
+    # model-library scanning
+    "LibraryCatalog": "repro.scan",
+    "CatalogEntry": "repro.scan",
+    "PressSettings": "repro.scan",
+    "ScanService": "repro.scan",
+    "LibraryScanHit": "repro.scan",
+    "LibraryScanResults": "repro.scan",
+    "BucketPlan": "repro.scan",
+    "ModelBucket": "repro.scan",
+    "CoscheduleGroup": "repro.scan",
+    "build_bucket_plan": "repro.scan",
+    "coschedule_groups": "repro.scan",
+    "memconfig_crossover": "repro.scan",
+    "hmm_fingerprint": "repro.hmm.fingerprint",
+    "content_seed": "repro.hmm.fingerprint",
     "Divergence": "repro.pipeline",
     "GuardrailCounters": "repro.scoring",
     "PosteriorDecoding": "repro.cpu.posterior",
@@ -120,6 +145,7 @@ _LEGACY = {
     "ReproError": "repro.errors",
     "QuarantineError": "repro.errors",
     "DivergenceError": "repro.errors",
+    "CatalogError": "repro.errors",
     # -- tooling surface ------------------------------------------------
     # Names sanctioned for code *outside* src/repro (examples, the
     # benchmark suite, tools): the repro-lint facade rule (R002) allows

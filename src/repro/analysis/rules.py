@@ -86,6 +86,7 @@ DETERMINISTIC_DIRS = (
     "src/repro/scoring/",
     "src/repro/pipeline/",
     "src/repro/gpu/",
+    "src/repro/scan/",
 )
 
 # numpy module-level sampling calls that use unseeded global state
@@ -360,7 +361,7 @@ class OverflowDisciplineRule(Rule):
 # R004: lock discipline in service/
 # ---------------------------------------------------------------------------
 
-LOCK_DIRS = ("src/repro/service/",)
+LOCK_DIRS = ("src/repro/service/", "src/repro/scan/")
 
 _GUARD_MARKER = "# guarded-by:"
 _LOCK_EXEMPT_METHODS = {"__init__", "__post_init__", "__repr__"}

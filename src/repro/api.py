@@ -1,11 +1,12 @@
 """The supported public API of :mod:`repro` in one small facade.
 
 Four years of stacked PRs grew ~60 public names; almost every consumer
-needs six of them.  This module is that six: load a model, load a
-database, run one search or a batch of them, and the two types those
-calls exchange.  ``from repro import ...`` re-exports exactly this
-facade; everything else remains importable from its defining submodule
-(and lazily via ``repro.<legacy name>`` for compatibility).
+needs ten of them.  This module is that ten: load a model, load a
+database, run one search or a batch of them, press/load/scan a model
+library, and the types those calls exchange.  ``from repro import ...``
+re-exports exactly this facade; everything else remains importable from
+its defining submodule (and lazily via ``repro.<legacy name>`` for
+compatibility).
 
 Quickstart::
 
@@ -18,6 +19,14 @@ Quickstart::
 
     opts = repro.SearchOptions(engine="gpu", selfcheck=4)
     jobs, report = repro.batch_search([(hmm, db), (hmm, db)], options=opts)
+
+The scan direction (one sequence set against a model library) works on
+pressed libraries, hmmpress-style::
+
+    catalog = repro.press_library("pfam/", store="pfam.pressed")
+    catalog = repro.load_library("pfam.pressed")   # zero recalibration
+    hits = repro.scan(catalog, db)
+    print(hits.summary())
 """
 
 from __future__ import annotations
@@ -25,11 +34,13 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable
 
+from .errors import PipelineError
 from .hmm.hmmfile import load_hmm as _load_hmm
 from .hmm.plan7 import Plan7HMM
 from .options import SearchOptions
 from .pipeline.pipeline import HmmsearchPipeline
 from .pipeline.results import SearchResults
+from .scan.service import ScanOptions
 from .sequence.database import SequenceDatabase
 from .sequence.fasta import read_fasta
 
@@ -38,7 +49,11 @@ __all__ = [
     "load_fasta",
     "search",
     "batch_search",
+    "press_library",
+    "load_library",
+    "scan",
     "SearchOptions",
+    "ScanOptions",
     "SearchResults",
 ]
 
@@ -113,3 +128,89 @@ def batch_search(
         service.submit(hmm, database, engine=engine, options=job_opts)
     jobs = service.run()
     return jobs, service.metrics.render()
+
+
+def _collect_models(models, options: SearchOptions):
+    """Accept an iterable of models, a directory of ``.hmm`` files, or a
+    single model file; returns the loaded model list."""
+    if isinstance(models, (str, Path)):
+        path = Path(models)
+        if path.is_dir():
+            files = sorted(path.glob("*.hmm"))
+            if not files:
+                raise PipelineError(f"no .hmm files found in {path}")
+        elif path.is_file():
+            files = [path]
+        else:
+            raise PipelineError(f"{path}: no such model file or directory")
+        loaded = [load_hmm(f, options) for f in files]
+        return [h for h in loaded if h is not None]  # salvage skips
+    return list(models)
+
+
+def press_library(
+    models,
+    store: str | Path | None = None,
+    options: SearchOptions | None = None,
+    settings=None,
+    name: str = "library",
+):
+    """Press a model library into a calibrated catalog (``hmmpress``).
+
+    ``models`` is an iterable of :class:`Plan7HMM`, a directory of
+    ``.hmm`` files, or one model file.  With ``store``, the pressing is
+    persisted (and any prior pressing there is reused entry-by-entry
+    where model content is unchanged); later sessions then
+    :func:`load_library` it with zero recalibration.  ``settings`` is a
+    :class:`~repro.scan.catalog.PressSettings`; ``options`` supplies
+    ingestion policy/quarantine for reading model files.
+    """
+    from .scan import LibraryCatalog
+
+    opts = options if options is not None else SearchOptions()
+    return LibraryCatalog.press(
+        _collect_models(models, opts),
+        store=store,
+        settings=settings,
+        name=name,
+        policy=opts.policy,
+        quarantine=opts.quarantine,
+    )
+
+
+def load_library(store: str | Path, options: SearchOptions | None = None):
+    """Reopen a pressed library with zero recalibration.
+
+    Every entry is integrity-checked against its content fingerprint
+    and stored scoring tables; a strict ``options.policy`` raises
+    :class:`~repro.errors.CatalogError` on the first stale or corrupt
+    entry, salvage quarantines bad entries and loads the rest.
+    """
+    from .scan import LibraryCatalog
+
+    opts = options if options is not None else SearchOptions()
+    return LibraryCatalog.load(
+        store, policy=opts.policy, quarantine=opts.quarantine
+    )
+
+
+def scan(
+    library,
+    database: SequenceDatabase,
+    options: ScanOptions | None = None,
+):
+    """Scan a sequence database against a pressed model library.
+
+    ``library`` is a :class:`~repro.scan.catalog.LibraryCatalog` (from
+    :func:`press_library` / :func:`load_library`) or anything
+    :func:`press_library` accepts (pressed on the fly).  Models are
+    bucketed by the kernel memory-configuration crossover and scheduled
+    over the simulated device pool; hits are ranked by E-value over the
+    library size.
+    """
+    from .scan import LibraryCatalog, ScanService
+
+    opts = options if options is not None else ScanOptions()
+    if not isinstance(library, LibraryCatalog):
+        library = press_library(library, options=opts.search)
+    return ScanService(library, options=opts).scan(database)

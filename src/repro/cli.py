@@ -55,7 +55,6 @@ from .kernels.memconfig import MemoryConfig, Stage, stage_occupancy
 from .obs.exporters import write_bench_json
 from .obs.span import Tracer
 from .options import SearchOptions, field_doc
-from .pipeline.hmmscan import ModelLibrary
 from .pipeline.pipeline import Engine, HmmsearchPipeline
 from .sequence.fasta import read_fasta
 from .sequence.stockholm import (
@@ -224,21 +223,134 @@ def _cmd_align(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_scan(args: argparse.Namespace) -> int:
-    model_files = sorted(Path(args.models).glob("*.hmm"))
-    if not model_files:
-        print(f"no .hmm files in {args.models}", file=sys.stderr)
-        return 1
-    library = ModelLibrary(
-        [load_hmm(p) for p in model_files],
-        L=args.length,
-        calibration_filter_sample=args.calibration_sample,
-        calibration_forward_sample=max(25, args.calibration_sample // 4),
+def _load_catalog(
+    args: argparse.Namespace,
+    source: Path,
+    policy: IngestPolicy,
+    quarantine: RecordQuarantine,
+):
+    """A catalog from a pressed store, a directory of ``.hmm`` files, or
+    one model file; None (after printing why) when nothing is usable."""
+    from .scan import LibraryCatalog, PressSettings
+
+    if (source / "index.json").is_file():
+        return LibraryCatalog.load(source, policy=policy, quarantine=quarantine)
+    model_files = (
+        sorted(source.glob("*.hmm")) if source.is_dir() else [source]
     )
-    db = read_fasta(args.sequence)
-    for seq in db:
-        print(library.scan(seq).summary())
+    hmms = []
+    for path in model_files:
+        if not path.is_file():
+            print(f"no such model file: {path}", file=sys.stderr)
+            return None
+        hmms.append(load_hmm(path, policy=policy, quarantine=quarantine))
+    hmms = [h for h in hmms if h is not None]  # salvage-quarantined files
+    if not hmms:
+        print(f"no usable .hmm files in {source}", file=sys.stderr)
+        return None
+    return LibraryCatalog.press(
+        hmms,
+        settings=PressSettings(
+            L=args.length,
+            calibration_filter_sample=args.calibration_sample,
+            calibration_forward_sample=max(25, args.calibration_sample // 4),
+        ),
+        name=source.stem or source.name,
+        policy=policy,
+        quarantine=quarantine,
+    )
+
+
+def _cmd_press(args: argparse.Namespace) -> int:
+    from .errors import CatalogError, PipelineError
+
+    policy = _policy(args)
+    quarantine = RecordQuarantine()
+    try:
+        catalog = _load_catalog(args, Path(args.models), policy, quarantine)
+    except (CatalogError, PipelineError) as exc:
+        print(f"press failed: {exc}", file=sys.stderr)
+        return 1
+    if catalog is None:
+        return 1
+    # persist with reuse: unchanged entries in an existing pressing at
+    # the store keep their calibrations (entry_hits in the stats below)
+    from .scan import LibraryCatalog
+
+    pressed = LibraryCatalog.press(
+        [e.hmm for e in catalog.entries()],
+        store=args.store,
+        settings=catalog.settings,
+        name=catalog.name,
+        policy=policy,
+        quarantine=quarantine,
+    )
+    s = pressed.stats()
+    print(
+        f"pressed {s['entries']} model(s) -> {args.store}  "
+        f"(calibrated {s['calibrations']}, reused {s['entry_hits']}, "
+        f"invalidated {s['invalidated']})"
+    )
+    if quarantine:
+        for line in quarantine.render_lines():
+            print(line, file=sys.stderr)
+        return 2
     return 0
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    from .errors import CatalogError, PipelineError
+    from .scan import ScanOptions, ScanService
+
+    policy = _policy(args)
+    quarantine = RecordQuarantine()
+    source = Path(args.library if args.library else args.models)
+    try:
+        catalog = _load_catalog(args, source, policy, quarantine)
+    except (CatalogError, PipelineError) as exc:
+        print(f"cannot open model library {source}: {exc}", file=sys.stderr)
+        return 1
+    if catalog is None:
+        return 1
+    try:
+        db = read_fasta(args.sequence, policy=policy, quarantine=quarantine)
+    except QuarantineError as exc:
+        print(f"database {args.sequence} unusable: {exc}", file=sys.stderr)
+        for line in quarantine.render_lines():
+            print(line, file=sys.stderr)
+        return 2
+    tracer = _tracer(args)
+    service = ScanService(
+        catalog,
+        pool=_parse_pool(args.devices),
+        options=ScanOptions(
+            search=SearchOptions(
+                engine=_engine(args.engine),
+                selfcheck=args.selfcheck,
+                policy=policy,
+                quarantine=quarantine,
+                tracer=tracer,
+                sanitize=args.sanitize,
+            ),
+            top_hits=args.top_hits,
+        ),
+    )
+    try:
+        results = service.scan(db)
+    except DivergenceError as exc:
+        print(f"selfcheck FAILED: {exc}", file=sys.stderr)
+        return 3
+    print(results.summary())
+    _write_observability(
+        args, tracer,
+        {"command": "scan", "library": str(source),
+         "models": len(catalog), "sequences": len(db)},
+    )
+    if quarantine:
+        print()
+        for line in quarantine.render_lines():
+            print(line)
+    return 2 if quarantine else 0
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -402,11 +514,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_align)
 
     p = sub.add_parser("scan", help="scan sequences against a model library")
-    p.add_argument("models", help="directory of .hmm model files")
+    p.add_argument(
+        "models",
+        help="model library: a pressed store, a directory of .hmm "
+             "files, or one model file",
+    )
     p.add_argument("sequence", help="FASTA of query sequences")
+    p.add_argument(
+        "--library", default=None, metavar="STORE",
+        help="scan against this pressed store instead of the positional "
+             "model path (see the press subcommand)",
+    )
     p.add_argument("--length", type=int, default=350)
     p.add_argument("--calibration-sample", type=int, default=150)
+    p.add_argument("--engine", choices=("cpu", "gpu"), default="cpu",
+                   help=field_doc("engine"))
+    p.add_argument(
+        "--devices", default="k40=2,gtx580=2",
+        help="device pool for gpu scans, e.g. 'k40=2,gtx580=2'",
+    )
+    p.add_argument(
+        "--top-hits", type=int, default=None, metavar="N",
+        help="report only the N most significant hits",
+    )
+    _add_search_flags(p)
     p.set_defaults(func=_cmd_scan)
+
+    p = sub.add_parser(
+        "press",
+        help="press a model library into a calibrated on-disk store",
+    )
+    p.add_argument(
+        "models", help="directory of .hmm model files (or one model file)"
+    )
+    p.add_argument("store", help="directory to write the pressed store into")
+    p.add_argument("--length", type=int, default=350)
+    p.add_argument("--calibration-sample", type=int, default=150)
+    mode = p.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--strict", action="store_false", dest="salvage", default=False,
+        help="fail on the first unreadable model file (default)",
+    )
+    mode.add_argument(
+        "--salvage", action="store_true", dest="salvage",
+        help="quarantine unreadable model files and press the rest",
+    )
+    p.set_defaults(func=_cmd_press)
 
     p = sub.add_parser(
         "batch",

@@ -23,6 +23,7 @@ __all__ = [
     "QuarantineError",
     "DivergenceError",
     "SanitizerError",
+    "CatalogError",
 ]
 
 
@@ -64,6 +65,10 @@ class PipelineError(ReproError):
 
 class CalibrationError(ReproError):
     """Statistical calibration failed (e.g. degenerate score sample)."""
+
+
+class CatalogError(ReproError):
+    """A pressed model-library store is missing, corrupt, or stale."""
 
 
 class DeadlineError(ReproError):

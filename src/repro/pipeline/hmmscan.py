@@ -3,35 +3,36 @@
 The paper's introduction lists "scanning an entire database of HMMs for
 all motifs" among HMMER's core workloads; this module provides that
 direction on top of the same engines and statistics as
-:class:`~repro.pipeline.pipeline.HmmsearchPipeline`.  Each model runs its
-own MSV -> P7Viterbi -> Forward cascade against the query sequence, and
-models are ranked by E-value over the library size.
+:class:`~repro.pipeline.pipeline.HmmsearchPipeline`.  Each model runs
+its own MSV -> P7Viterbi -> Forward cascade against the query sequence,
+and models are ranked by E-value over the library size.
 
-Calibration dominates library construction, so :class:`ModelLibrary`
-calibrates lazily and caches: scanning many sequences against the same
-library amortizes it, matching how HMMER ships pre-calibrated Pfam
-pressings.
+:class:`ModelLibrary` is the convenience front end: it wraps an
+in-memory :class:`~repro.scan.catalog.LibraryCatalog` (so calibration
+stays lazy and content-keyed) and scans through the
+:class:`~repro.scan.service.ScanService`, which runs the real
+production engines - striped SSE by default, the warp-synchronous GPU
+kernels on request - instead of the scalar references.  Calibration
+seeds derive from each model's *content* fingerprint, never its
+position in the library, so scan results are invariant under
+permutation of the model files.
+
+For sequence-set scans, pressed on-disk libraries, and device-pool
+scheduling, use :mod:`repro.scan` directly (or the ``press_library`` /
+``scan`` facade entry points).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable
 
-import numpy as np
-
-from ..cpu.generic import GenericProfile, generic_forward_score
-from ..cpu.msv_reference import msv_score_sequence
-from ..cpu.viterbi_reference import viterbi_score_sequence
 from ..errors import PipelineError
 from ..hmm.plan7 import Plan7HMM
-from ..hmm.profile import SearchProfile
-from ..scoring.msv_profile import MSVByteProfile
-from ..scoring.vit_profile import ViterbiWordProfile
+from ..options import Engine, SearchOptions
+from ..sequence.database import SequenceDatabase
 from ..sequence.sequence import DigitalSequence
-from .calibrate import PipelineCalibration, calibrate_profile
 from .pipeline import PipelineThresholds
-from .stats import bits_from_nats
 
 __all__ = ["ModelLibrary", "ScanHit", "ScanResults"]
 
@@ -76,35 +77,11 @@ class ScanResults:
         return "\n".join(lines)
 
 
-class _Entry:
-    """One model with lazily-built profiles and calibration."""
-
-    def __init__(self, hmm: Plan7HMM, L: int, seed: int,
-                 n_filter: int, n_forward: int) -> None:
-        self.hmm = hmm
-        self._L = L
-        self._seed = seed
-        self._n_filter = n_filter
-        self._n_forward = n_forward
-        self._built: tuple | None = None
-
-    def built(self):
-        if self._built is None:
-            profile = SearchProfile(self.hmm, L=self._L)
-            calibration = calibrate_profile(
-                profile,
-                np.random.default_rng(self._seed),
-                n_filter=self._n_filter,
-                n_forward=self._n_forward,
-            )
-            self._built = (
-                profile,
-                MSVByteProfile.from_profile(profile),
-                ViterbiWordProfile.from_profile(profile),
-                GenericProfile.from_profile(profile),
-                calibration,
-            )
-        return self._built
+def _stage_passes(stages, name: str) -> int:
+    for st in stages:
+        if st.name == name:
+            return st.n_out
+    return 0
 
 
 class ModelLibrary:
@@ -126,73 +103,85 @@ class ModelLibrary:
         seed: int = 42,
         calibration_filter_sample: int = 200,
         calibration_forward_sample: int = 50,
+        options: SearchOptions | None = None,
     ) -> None:
-        hmms = list(hmms)
-        if not hmms:
-            raise PipelineError("a model library cannot be empty")
-        names = [h.name for h in hmms]
-        if len(set(names)) != len(names):
-            raise PipelineError("model names in a library must be unique")
+        # deferred: repro.scan pulls in the service plane, which imports
+        # repro.pipeline - importing it at module scope would cycle
+        from ..scan import LibraryCatalog, PressSettings
+
         self.thresholds = thresholds or PipelineThresholds()
-        self._entries = [
-            _Entry(h, L, seed + i, calibration_filter_sample,
-                   calibration_forward_sample)
-            for i, h in enumerate(hmms)
-        ]
+        self.options = options if options is not None else SearchOptions()
+        self.catalog = LibraryCatalog.press(
+            hmms,
+            settings=PressSettings(
+                L=L,
+                seed=seed,
+                calibration_filter_sample=calibration_filter_sample,
+                calibration_forward_sample=calibration_forward_sample,
+            ),
+        )
+        self._service = None
+
+    @classmethod
+    def from_catalog(cls, catalog) -> "ModelLibrary":
+        """Wrap an already-pressed catalog (e.g. loaded from a store)."""
+        lib = cls.__new__(cls)
+        lib.thresholds = PipelineThresholds()
+        lib.options = SearchOptions()
+        lib.catalog = catalog
+        lib._service = None
+        return lib
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self.catalog)
 
     def model_names(self) -> list[str]:
-        return [e.hmm.name for e in self._entries]
+        return self.catalog.names()
+
+    def service(self):
+        """The (lazily created) scan service backing this library."""
+        if self._service is None:
+            from ..scan import ScanService
+
+            self._service = ScanService(self.catalog)
+        return self._service
 
     def scan(self, sequence: DigitalSequence) -> ScanResults:
-        """Run the three-stage cascade of every model on one sequence."""
-        th = self.thresholds
-        hits: list[ScanHit] = []
-        msv_pass = 0
-        vit_pass = 0
-        for entry in self._entries:
-            profile, byte_prof, word_prof, gp, cal = entry.built()
-            null_len = cal.null_length_nats
-            msv_bits = float(
-                bits_from_nats(
-                    msv_score_sequence(byte_prof, sequence.codes), null_len
-                )
+        """Run the three-stage cascade of every model on one sequence.
+
+        The sequence is wrapped into a one-entry database and scanned
+        through the service plane, so scoring uses the production
+        engines (``options.engine``: striped SSE or the warp kernels)
+        rather than the scalar references; scores are engine-invariant,
+        so hits do not depend on the engine choice.
+        """
+        from ..scan import ScanOptions
+
+        db = SequenceDatabase([sequence], name=sequence.name)
+        sopts = replace(self.options, thresholds=self.thresholds)
+        results = self.service().scan(db, ScanOptions(search=sopts))
+        hits = [
+            ScanHit(
+                model_name=h.model_name,
+                M=h.M,
+                msv_bits=h.msv_bits,
+                vit_bits=h.vit_bits,
+                fwd_bits=h.fwd_bits,
+                fwd_p=h.fwd_p,
+                evalue=h.evalue,
             )
-            if cal.msv.pvalue(msv_bits) >= th.f1:
-                continue
-            msv_pass += 1
-            vit_bits = float(
-                bits_from_nats(
-                    viterbi_score_sequence(word_prof, sequence.codes), null_len
-                )
-            )
-            if cal.vit.pvalue(vit_bits) >= th.f2:
-                continue
-            vit_pass += 1
-            fwd_bits = float(
-                bits_from_nats(
-                    generic_forward_score(gp, sequence.codes), null_len
-                )
-            )
-            fwd_p = float(cal.fwd.pvalue(fwd_bits))
-            if fwd_p >= th.f3:
-                continue
-            evalue = fwd_p * len(self)
-            if evalue <= th.report_evalue:
-                hits.append(
-                    ScanHit(
-                        model_name=entry.hmm.name,
-                        M=entry.hmm.M,
-                        msv_bits=msv_bits,
-                        vit_bits=vit_bits,
-                        fwd_bits=fwd_bits,
-                        fwd_p=fwd_p,
-                        evalue=evalue,
-                    )
-                )
-        hits.sort(key=lambda h: (h.evalue, h.model_name))
+            for h in results.hits
+        ]
+        msv_pass = sum(
+            1
+            for stages in results.model_stages.values()
+            if _stage_passes(stages, "msv") > 0
+        )
+        vit_pass = sum(
+            1
+            for stages in results.model_stages.values()
+            if _stage_passes(stages, "p7viterbi") > 0
+        )
         return ScanResults(
             sequence_name=sequence.name,
             n_models=len(self),
@@ -200,3 +189,12 @@ class ModelLibrary:
             msv_survivors=msv_pass,
             vit_survivors=vit_pass,
         )
+
+    def gpu(self) -> "ModelLibrary":
+        """A view of this library scanning on the simulated warp kernels."""
+        view = ModelLibrary.__new__(ModelLibrary)
+        view.thresholds = self.thresholds
+        view.options = replace(self.options, engine=Engine.GPU_WARP)
+        view.catalog = self.catalog
+        view._service = self._service
+        return view

@@ -97,6 +97,7 @@ class HmmsearchPipeline:
         seed: int = 42,
         calibration_filter_sample: int = 400,
         calibration_forward_sample: int = 120,
+        calibration: PipelineCalibration | None = None,
     ) -> None:
         self.hmm = hmm
         self.thresholds = thresholds or PipelineThresholds()
@@ -104,11 +105,22 @@ class HmmsearchPipeline:
         self.byte_profile = MSVByteProfile.from_profile(self.profile)
         self.word_profile = ViterbiWordProfile.from_profile(self.profile)
         self.generic_profile = GenericProfile.from_profile(self.profile)
-        self.calibration: PipelineCalibration = calibrate_profile(
-            self.profile,
-            np.random.default_rng(seed),
-            n_filter=calibration_filter_sample,
-            n_forward=calibration_forward_sample,
+        if calibration is not None and calibration.L != self.profile.L:
+            raise PipelineError(
+                f"supplied calibration was fitted at L={calibration.L}, "
+                f"pipeline is configured with L={self.profile.L}"
+            )
+        # a pre-fitted calibration (e.g. from a pressed library catalog)
+        # skips the expensive background-sample scoring entirely
+        self.calibration: PipelineCalibration = (
+            calibration
+            if calibration is not None
+            else calibrate_profile(
+                self.profile,
+                np.random.default_rng(seed),
+                n_filter=calibration_filter_sample,
+                n_forward=calibration_forward_sample,
+            )
         )
 
     # -- stage engines ------------------------------------------------------

@@ -1,0 +1,47 @@
+"""Model-library scanning: pressed catalogs + the hmmscan service.
+
+The scan subsystem inverts the hmmsearch workload (one sequence set
+against a whole model library) and owns the three pieces that makes
+efficient:
+
+* :mod:`repro.scan.catalog` - the durable pressed store
+  (``hmmpress``): per-model fingerprints, quantized scoring tables and
+  calibrations persisted so a library pays calibration once ever;
+* :mod:`repro.scan.bucketing` - the model-batched schedule: libraries
+  split around the shared/global memconfig crossover, small models
+  co-scheduled CUDAMPF++-style into single launches;
+* :mod:`repro.scan.service` - :class:`ScanService`, running scan jobs
+  through the device pool with the standard fault/fallback/metrics
+  plumbing.
+
+Reach these through :mod:`repro.api` (``press_library``,
+``load_library``, ``scan``) unless you are extending the subsystem.
+"""
+
+from .bucketing import (
+    BucketPlan,
+    CoscheduleGroup,
+    ModelBucket,
+    build_bucket_plan,
+    coschedule_groups,
+    memconfig_crossover,
+)
+from .catalog import CATALOG_SCHEMA, CatalogEntry, LibraryCatalog, PressSettings
+from .service import LibraryScanHit, LibraryScanResults, ScanOptions, ScanService
+
+__all__ = [
+    "CATALOG_SCHEMA",
+    "PressSettings",
+    "CatalogEntry",
+    "LibraryCatalog",
+    "memconfig_crossover",
+    "coschedule_groups",
+    "CoscheduleGroup",
+    "ModelBucket",
+    "BucketPlan",
+    "build_bucket_plan",
+    "ScanOptions",
+    "LibraryScanHit",
+    "LibraryScanResults",
+    "ScanService",
+]

@@ -1,0 +1,268 @@
+"""Model-batched scheduling: memconfig bucketing and co-scheduling.
+
+hmmscan inverts the paper's workload - one sequence set against many
+models - so the scheduling question inverts too: instead of choosing a
+kernel configuration for *the* model, the scheduler must partition a
+whole library of model sizes across kernel configurations.
+
+Two decisions, both driven by the existing analytical machinery rather
+than new heuristics:
+
+1. **Bucketing by the shared/global crossover.**  The cost model's
+   shared-memory configuration wins for small models and loses (or
+   becomes infeasible) past a device-specific model size - near M~1000
+   for MSV on the K40 (paper Figure 9).  :func:`memconfig_crossover`
+   finds that point by scanning the cost model, and
+   :func:`build_bucket_plan` splits the library into a ``small`` bucket
+   launched with :class:`MemoryConfig.SHARED` and a ``large`` bucket
+   launched with :class:`MemoryConfig.GLOBAL`.
+
+2. **Co-scheduling small models.**  A small model leaves most of an
+   SM's shared memory idle.  Following CUDAMPF++, the ``small`` bucket
+   is packed into :class:`CoscheduleGroup`\\ s whose *combined*
+   parameter tables share one launch's shared memory, so several small
+   models ride a single device slot.  A grouping is admitted only when
+   the occupancy calculator proves it does not degrade residency below
+   what the group's largest member would achieve alone.
+
+Entries are duck-typed: anything with ``.name`` and ``.M`` buckets,
+so planning never forces model calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Sequence
+
+from ..gpu.device import DeviceSpec, KEPLER_K40
+from ..gpu.occupancy import best_occupancy
+from ..kernels.memconfig import (
+    MemoryConfig,
+    Stage,
+    param_table_bytes,
+    registers_per_thread,
+    smem_per_block,
+    stage_occupancy,
+)
+from ..perf.cost_model import StageWork, gpu_stage_time
+
+__all__ = [
+    "memconfig_crossover",
+    "coschedule_groups",
+    "CoscheduleGroup",
+    "ModelBucket",
+    "BucketPlan",
+    "build_bucket_plan",
+]
+
+#: Unit workload used to compare configurations while scanning for the
+#: crossover; only the *relative* cost of SHARED vs GLOBAL matters.
+_PROBE_WORK_ROWS = 100_000
+_PROBE_WORK_SEQS = 250
+
+
+@lru_cache(maxsize=None)
+def memconfig_crossover(
+    stage: Stage = Stage.MSV,
+    device: DeviceSpec = KEPLER_K40,
+    max_m: int = 4096,
+) -> int:
+    """Largest model size still worth the shared-memory configuration.
+
+    Scans the cost model upward in M and returns the last M for which
+    SHARED is feasible and no slower than GLOBAL; models strictly above
+    the returned size belong in the global-memory bucket.  For MSV on
+    the K40 this lands near M~1000 (paper Figure 9).  Cached: the scan
+    prices ~4k cost-model evaluations but depends only on
+    (stage, device, max_m).
+    """
+    crossover = 0
+    for m in range(2, max_m + 1):
+        work = StageWork(rows=_PROBE_WORK_ROWS, seqs=_PROBE_WORK_SEQS, M=m)
+        shared = gpu_stage_time(stage, work, device, MemoryConfig.SHARED)
+        if shared is None:
+            break
+        glob = gpu_stage_time(stage, work, device, MemoryConfig.GLOBAL)
+        if glob is not None and glob.seconds < shared.seconds:
+            break
+        crossover = m
+    return crossover
+
+
+@dataclass(frozen=True)
+class CoscheduleGroup:
+    """Several small models sharing one launch's shared memory."""
+
+    names: tuple[str, ...]
+    total_m: int          # sum of member model sizes
+    max_m: int            # largest member (sizes the DP rows)
+    table_bytes: int      # combined parameter tables
+    warps_per_sm: int     # proven residency for the combined launch
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+
+def _group_occupancy(
+    members: Sequence,
+    stage: Stage,
+    device: DeviceSpec,
+):
+    """Occupancy of a launch hosting all ``members`` at once, or None.
+
+    The DP working set is sized by the largest member (every warp walks
+    the longest model's rows), while the shared parameter tables of all
+    members are resident together - the CUDAMPF++ packing model.
+    """
+    max_m = max(e.M for e in members)
+    tables = sum(param_table_bytes(stage, e.M) for e in members)
+
+    def smem(warps: int) -> int:
+        base = smem_per_block(stage, max_m, warps, MemoryConfig.GLOBAL, device)
+        return base + tables
+
+    return best_occupancy(device, registers_per_thread(stage, device), smem)
+
+
+def coschedule_groups(
+    entries: Sequence,
+    stage: Stage = Stage.MSV,
+    device: DeviceSpec = KEPLER_K40,
+    max_group: int = 8,
+) -> list[CoscheduleGroup]:
+    """Pack small models into shared-memory co-schedule groups.
+
+    First-fit decreasing over model size: each model joins the first
+    group whose combined tables still achieve at least the residency
+    its largest member would get running alone (no member subsidizes
+    the group with its own occupancy).  Deterministic - ties broken by
+    name - so a library always packs the same way.
+    """
+    groups: list[list] = []
+    for entry in sorted(entries, key=lambda e: (-e.M, e.name)):
+        placed = False
+        for group in groups:
+            if len(group) >= max_group:
+                continue
+            candidate = group + [entry]
+            occ = _group_occupancy(candidate, stage, device)
+            if occ is None:
+                continue
+            solo = stage_occupancy(
+                stage, max(e.M for e in candidate), MemoryConfig.SHARED, device
+            )
+            if solo is not None and occ.warps_per_sm < solo.warps_per_sm:
+                continue
+            group.append(entry)
+            placed = True
+            break
+        if not placed:
+            groups.append([entry])
+    out = []
+    for group in groups:
+        occ = _group_occupancy(group, stage, device)
+        out.append(
+            CoscheduleGroup(
+                names=tuple(e.name for e in group),
+                total_m=sum(e.M for e in group),
+                max_m=max(e.M for e in group),
+                table_bytes=sum(param_table_bytes(stage, e.M) for e in group),
+                warps_per_sm=occ.warps_per_sm if occ is not None else 0,
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class ModelBucket:
+    """All library models sharing one kernel memory configuration."""
+
+    key: str                              # "small" | "large"
+    config: MemoryConfig
+    stage: Stage
+    names: tuple[str, ...]
+    groups: tuple[CoscheduleGroup, ...]   # launch units within the bucket
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+
+@dataclass(frozen=True)
+class BucketPlan:
+    """A library's complete model-batched schedule for one device."""
+
+    stage: Stage
+    device: DeviceSpec
+    crossover: int
+    buckets: tuple[ModelBucket, ...]
+
+    def bucket_of(self, name: str) -> ModelBucket:
+        for bucket in self.buckets:
+            if name in bucket.names:
+                return bucket
+        raise KeyError(name)
+
+    def describe(self) -> str:
+        parts = [
+            f"{b.key}:{len(b)} models/{len(b.groups)} launches"
+            f" ({b.config.value})"
+            for b in self.buckets
+        ]
+        return (
+            f"crossover M={self.crossover} on {self.device.name}; "
+            + "; ".join(parts)
+        )
+
+
+def build_bucket_plan(
+    entries: Sequence,
+    stage: Stage = Stage.MSV,
+    device: DeviceSpec = KEPLER_K40,
+    max_group: int = 8,
+) -> BucketPlan:
+    """Partition library entries around the memconfig crossover.
+
+    Models at or below the crossover form the ``small`` bucket
+    (shared-memory kernels, co-scheduled); models above it form the
+    ``large`` bucket (global-memory kernels, one launch each).  Buckets
+    are omitted when empty.
+    """
+    crossover = memconfig_crossover(stage, device)
+    small = [e for e in entries if e.M <= crossover]
+    large = [e for e in entries if e.M > crossover]
+    buckets = []
+    if small:
+        groups = coschedule_groups(small, stage, device, max_group)
+        buckets.append(
+            ModelBucket(
+                key="small",
+                config=MemoryConfig.SHARED,
+                stage=stage,
+                names=tuple(e.name for e in small),
+                groups=tuple(groups),
+            )
+        )
+    if large:
+        groups = tuple(
+            CoscheduleGroup(
+                names=(e.name,),
+                total_m=e.M,
+                max_m=e.M,
+                table_bytes=param_table_bytes(stage, e.M),
+                warps_per_sm=0,
+            )
+            for e in sorted(large, key=lambda e: (-e.M, e.name))
+        )
+        buckets.append(
+            ModelBucket(
+                key="large",
+                config=MemoryConfig.GLOBAL,
+                stage=stage,
+                names=tuple(e.name for e in large),
+                groups=groups,
+            )
+        )
+    return BucketPlan(
+        stage=stage, device=device, crossover=crossover, buckets=tuple(buckets)
+    )

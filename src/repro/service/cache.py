@@ -15,33 +15,19 @@ bound, and hit/miss/eviction counters feed the service metrics report.
 
 from __future__ import annotations
 
-import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..errors import PipelineError
+from ..hmm.fingerprint import hmm_fingerprint
 from ..hmm.plan7 import Plan7HMM
 from ..pipeline.pipeline import HmmsearchPipeline, PipelineThresholds
 
+# hmm_fingerprint moved to repro.hmm.fingerprint (the scan catalog needs
+# it without importing the service plane); re-exported here for
+# compatibility with existing imports.
 __all__ = ["hmm_fingerprint", "PipelineSettings", "PipelineCache"]
-
-
-def hmm_fingerprint(hmm: Plan7HMM) -> str:
-    """Stable content hash of a model (name, size and all tables).
-
-    Probabilities are quantized to 1e-6 before hashing so a model
-    survives a save/load round trip through the flat text format (which
-    stores ~10 significant digits) with its fingerprint intact.
-    """
-    h = hashlib.sha256()
-    h.update(hmm.name.encode())
-    h.update(str(hmm.M).encode())
-    for table in (hmm.match_emissions, hmm.insert_emissions, hmm.transitions):
-        h.update(np.round(table * 1e6).astype(np.int64).tobytes())
-    return h.hexdigest()
 
 
 @dataclass(frozen=True)

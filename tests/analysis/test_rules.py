@@ -424,3 +424,43 @@ class TestFindingIdentity:
         assert sorted(RULES_BY_ID) == ["R001", "R002", "R003", "R004", "R005"]
         for rule in RULES_BY_ID.values():
             assert rule.title and rule.rationale
+
+
+class TestScanSubsystemCoverage:
+    """The scan subsystem opted into the strict rule sets: R001
+    (deterministic paths) and R004 (lock discipline) bind
+    ``src/repro/scan/`` just like the original kernel and service
+    directories."""
+
+    def test_scan_is_a_deterministic_dir(self):
+        found = _lint(
+            "src/repro/scan/fake.py",
+            """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            "R001",
+        )
+        assert len(found) == 1
+        assert found[0].symbol == "time.time"
+
+    def test_scan_lock_discipline_binds(self):
+        found = _lint(
+            "src/repro/scan/fake.py",
+            """
+            import threading
+
+            class Catalog:
+                def __init__(self):
+                    self._lock = threading.RLock()
+                    self._entries = {}  # guarded-by: _lock
+
+                def size(self):
+                    return len(self._entries)
+            """,
+            "R004",
+        )
+        assert len(found) == 1
+        assert found[0].symbol == "Catalog.size:_entries"

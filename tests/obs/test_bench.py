@@ -143,6 +143,19 @@ class TestBenchTrajectoryHarness:
         assert doc["workload"]["name"] == "bench-trajectory"
         assert doc["spans"]["by_kind"]["kernel"] > 0
 
+    def test_workload_includes_scan_entry(self, harness, tmp_path):
+        out = tmp_path / "s.json"
+        assert harness.main(
+            ["--quick", "--skip-overhead", "--out", str(out)]
+        ) == 0
+        doc = load_bench(out)
+        # the hmmscan direction rides the same trajectory document: a
+        # pinned pressed-library scan contributes its own job and
+        # bucket-schedule spans alongside the batch-service jobs
+        assert doc["workload"]["scan"]["models"] == [30]
+        assert doc["spans"]["by_kind"]["job"] >= 2
+        assert doc["spans"]["by_kind"]["schedule"] >= 1
+
     def test_check_gate_passes_against_own_output(self, harness, tmp_path):
         out = tmp_path / "b.json"
         assert harness.main(

@@ -1,0 +1,157 @@
+"""Model-batched scheduling: the memconfig crossover split and
+CUDAMPF++-style co-scheduling of small models."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.gpu.device import FERMI_GTX580, KEPLER_K40
+from repro.gpu.occupancy import best_occupancy
+from repro.kernels.memconfig import (
+    MemoryConfig,
+    Stage,
+    registers_per_thread,
+    smem_per_block,
+    stage_occupancy,
+)
+from repro.perf.cost_model import StageWork, gpu_stage_time
+from repro.scan import (
+    build_bucket_plan,
+    coschedule_groups,
+    memconfig_crossover,
+)
+
+
+@dataclass(frozen=True)
+class FakeEntry:
+    """Bucketing is duck-typed on (name, M) so planning never needs a
+    calibrated catalog entry."""
+
+    name: str
+    M: int
+
+
+def entries(*sizes):
+    return [FakeEntry(name=f"m{m}_{i}", M=m) for i, m in enumerate(sizes)]
+
+
+class TestCrossover:
+    def test_msv_k40_crossover_in_paper_band(self):
+        # paper Figure 9: shared-memory MSV stops paying off near M~1000
+        c = memconfig_crossover(Stage.MSV, KEPLER_K40)
+        assert 600 <= c <= 1600
+
+    def test_crossover_is_provably_the_split_point(self):
+        c = memconfig_crossover(Stage.MSV, KEPLER_K40)
+        work_at = StageWork(rows=100_000, seqs=250, M=c)
+        work_past = StageWork(rows=100_000, seqs=250, M=c + 1)
+        shared_at = gpu_stage_time(
+            Stage.MSV, work_at, KEPLER_K40, MemoryConfig.SHARED
+        )
+        glob_at = gpu_stage_time(
+            Stage.MSV, work_at, KEPLER_K40, MemoryConfig.GLOBAL
+        )
+        assert shared_at is not None
+        assert glob_at is None or shared_at.seconds <= glob_at.seconds
+        shared_past = gpu_stage_time(
+            Stage.MSV, work_past, KEPLER_K40, MemoryConfig.SHARED
+        )
+        glob_past = gpu_stage_time(
+            Stage.MSV, work_past, KEPLER_K40, MemoryConfig.GLOBAL
+        )
+        assert shared_past is None or (
+            glob_past is not None
+            and glob_past.seconds < shared_past.seconds
+        )
+
+    def test_viterbi_crossover_smaller_than_msv(self):
+        # P7Viterbi's tripled DP rows burn shared memory ~6x faster
+        assert memconfig_crossover(Stage.P7VITERBI, KEPLER_K40) < \
+            memconfig_crossover(Stage.MSV, KEPLER_K40)
+
+    def test_device_dependent(self):
+        assert memconfig_crossover(Stage.MSV, FERMI_GTX580) != \
+            memconfig_crossover(Stage.MSV, KEPLER_K40)
+
+
+class TestBucketSplit:
+    def test_library_splits_around_crossover(self):
+        c = memconfig_crossover(Stage.MSV, KEPLER_K40)
+        lib = entries(50, 120, c, c + 1, 2000)
+        plan = build_bucket_plan(lib, Stage.MSV, KEPLER_K40)
+        assert plan.crossover == c
+        small = plan.bucket_of(lib[0].name)
+        large = plan.bucket_of(lib[4].name)
+        assert small.key == "small" and small.config is MemoryConfig.SHARED
+        assert large.key == "large" and large.config is MemoryConfig.GLOBAL
+        # M == crossover is still shared; M == crossover+1 is global
+        assert plan.bucket_of(lib[2].name) is small
+        assert plan.bucket_of(lib[3].name) is large
+        assert len(small) == 3 and len(large) == 2
+
+    def test_all_small_library_has_one_bucket(self):
+        plan = build_bucket_plan(entries(30, 60, 90))
+        assert [b.key for b in plan.buckets] == ["small"]
+
+    def test_all_large_library_has_one_bucket(self):
+        plan = build_bucket_plan(entries(2000, 3000))
+        assert [b.key for b in plan.buckets] == ["large"]
+        # large models never co-schedule: one launch each
+        assert all(len(g) == 1 for b in plan.buckets for g in b.groups)
+
+    def test_unknown_model_raises(self):
+        plan = build_bucket_plan(entries(30))
+        with pytest.raises(KeyError):
+            plan.bucket_of("nope")
+
+
+class TestCoscheduling:
+    def test_small_models_share_one_launch(self):
+        groups = coschedule_groups(entries(40, 60, 80), Stage.MSV, KEPLER_K40)
+        assert len(groups) == 1
+        assert len(groups[0]) >= 2  # the acceptance criterion
+        assert groups[0].total_m == 180
+
+    def test_grouping_never_degrades_occupancy(self):
+        lib = entries(40, 60, 80, 120, 200)
+        for group in coschedule_groups(lib, Stage.MSV, KEPLER_K40):
+            solo = stage_occupancy(
+                Stage.MSV, group.max_m, MemoryConfig.SHARED, KEPLER_K40
+            )
+            assert solo is not None
+            assert group.warps_per_sm >= solo.warps_per_sm
+
+    def test_combined_tables_fit_shared_memory(self):
+        for group in coschedule_groups(
+            entries(100, 200, 300, 400), Stage.MSV, KEPLER_K40
+        ):
+            def smem(w, group=group):
+                return smem_per_block(
+                    Stage.MSV, group.max_m, w, MemoryConfig.GLOBAL, KEPLER_K40
+                ) + group.table_bytes
+
+            occ = best_occupancy(
+                KEPLER_K40,
+                registers_per_thread(Stage.MSV, KEPLER_K40),
+                smem,
+            )
+            assert occ is not None and occ.feasible
+
+    def test_near_crossover_models_do_not_pack(self):
+        # two models that each nearly fill shared memory cannot share it
+        c = memconfig_crossover(Stage.MSV, KEPLER_K40)
+        groups = coschedule_groups(entries(c - 1, c - 2), Stage.MSV, KEPLER_K40)
+        assert len(groups) == 2
+
+    def test_max_group_respected(self):
+        groups = coschedule_groups(
+            entries(*([20] * 12)), Stage.MSV, KEPLER_K40, max_group=4
+        )
+        assert all(len(g) <= 4 for g in groups)
+        assert sum(len(g) for g in groups) == 12
+
+    def test_packing_is_deterministic(self):
+        lib = entries(40, 60, 80, 120, 200, 350)
+        a = coschedule_groups(lib, Stage.MSV, KEPLER_K40)
+        b = coschedule_groups(list(reversed(lib)), Stage.MSV, KEPLER_K40)
+        assert [g.names for g in a] == [g.names for g in b]

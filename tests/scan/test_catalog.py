@@ -1,0 +1,224 @@
+"""Pressed-catalog durability: press -> reload with zero recalibration,
+content-keyed invalidation, and integrity verification of the store."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import CatalogError, PipelineError
+from repro.hardening import SALVAGE, RecordQuarantine
+from repro.hmm import sample_hmm
+from repro.hmm.fingerprint import content_seed, hmm_fingerprint
+from repro.hmm.hmmfile import dumps_hmm, loads_hmm
+from repro.scan import CATALOG_SCHEMA, LibraryCatalog, PressSettings
+from repro.sequence.synthetic import homolog_database
+
+SETTINGS = PressSettings(
+    L=100, calibration_filter_sample=80, calibration_forward_sample=25
+)
+
+
+@pytest.fixture(scope="module")
+def models():
+    rng = np.random.default_rng(91)
+    return [
+        sample_hmm(M, rng, name=f"fam{M}", conservation=30.0)
+        for M in (25, 40, 60)
+    ]
+
+
+@pytest.fixture(scope="module")
+def database(models):
+    return homolog_database(
+        8, 90.0, np.random.default_rng(5), hmm=models[1],
+        homolog_fraction=0.5, name="targets",
+    )
+
+
+@pytest.fixture()
+def pressed_store(models, tmp_path):
+    store = tmp_path / "press"
+    LibraryCatalog.press(models, store=store, settings=SETTINGS, name="toy")
+    return store
+
+
+def _scan_hits(catalog, database):
+    from repro.scan import ScanService
+
+    return [
+        (h.model_name, h.sequence_name, h.msv_bits, h.vit_bits,
+         h.fwd_bits, h.evalue)
+        for h in ScanService(catalog).scan(database).hits
+    ]
+
+
+class TestPress:
+    def test_press_is_lazy_and_content_keyed(self, models):
+        catalog = LibraryCatalog.press(models, settings=SETTINGS)
+        assert len(catalog) == 3
+        assert catalog.stats()["calibrations"] == 0  # nothing forced yet
+        assert catalog.names() == [m.name for m in models]
+        for m in models:
+            # canonicalized entry keeps the flat-format fingerprint
+            assert catalog.get(m.name).fingerprint == hmm_fingerprint(m)
+
+    def test_empty_and_duplicate_rejected(self, models):
+        with pytest.raises(PipelineError):
+            LibraryCatalog.press([])
+        with pytest.raises(PipelineError):
+            LibraryCatalog.press([models[0], models[0]])
+
+    def test_store_layout(self, pressed_store, models):
+        index = json.loads((pressed_store / "index.json").read_text())
+        assert index["schema"] == CATALOG_SCHEMA
+        assert index["name"] == "toy"
+        assert len(index["entries"]) == 3
+        for row in index["entries"]:
+            assert (pressed_store / row["model_file"]).is_file()
+            assert (pressed_store / row["tables_file"]).is_file()
+            assert row["calibration"]["sample_size"] > 0
+
+    def test_repress_reuses_unchanged_entries(self, models, pressed_store):
+        again = LibraryCatalog.press(
+            models, store=pressed_store, settings=SETTINGS, name="toy"
+        )
+        s = again.stats()
+        assert s["calibrations"] == 0      # every entry reused
+        assert s["entry_hits"] == 3
+        assert s["invalidated"] == 0
+
+
+class TestReload:
+    def test_zero_recalibrations(self, pressed_store, database):
+        reloaded = LibraryCatalog.load(pressed_store)
+        hits = _scan_hits(reloaded, database)
+        assert hits  # the planted homologs must be found
+        # the counter-pinned acceptance criterion: a reloaded pressing
+        # never calibrates, even after running a full scan
+        assert reloaded.stats()["calibrations"] == 0
+
+    def test_hits_bit_identical_to_fresh_press(
+        self, models, pressed_store, database
+    ):
+        fresh = LibraryCatalog.press(models, settings=SETTINGS)
+        reloaded = LibraryCatalog.load(pressed_store)
+        assert _scan_hits(fresh, database) == _scan_hits(reloaded, database)
+
+    def test_settings_round_trip(self, pressed_store):
+        assert LibraryCatalog.load(pressed_store).settings == SETTINGS
+
+    def test_missing_store_raises(self, tmp_path):
+        with pytest.raises(CatalogError, match="index.json"):
+            LibraryCatalog.load(tmp_path / "nowhere")
+
+    def test_wrong_schema_raises(self, pressed_store):
+        index = json.loads((pressed_store / "index.json").read_text())
+        index["schema"] = "repro-catalog-v999"
+        (pressed_store / "index.json").write_text(json.dumps(index))
+        with pytest.raises(CatalogError, match="schema"):
+            LibraryCatalog.load(pressed_store)
+
+
+def _tamper_model(store, row_index=0):
+    """Change one stored model's content without re-pressing."""
+    index = json.loads((store / "index.json").read_text())
+    path = store / index["entries"][row_index]["model_file"]
+    hmm = loads_hmm(path.read_text(encoding="ascii"))
+    bumped = hmm.match_emissions.copy()
+    bumped[0] = bumped[0][::-1]  # permute one row: same simplex, new content
+    import dataclasses
+
+    tampered = dataclasses.replace(hmm, match_emissions=bumped)
+    path.write_text(dumps_hmm(tampered), encoding="ascii")
+    return index["entries"][row_index]["name"]
+
+
+class TestInvalidation:
+    def test_stale_entry_strict_raises(self, pressed_store):
+        _tamper_model(pressed_store)
+        with pytest.raises(CatalogError, match="stale"):
+            LibraryCatalog.load(pressed_store)
+
+    def test_stale_entry_salvage_quarantines(self, pressed_store):
+        name = _tamper_model(pressed_store)
+        q = RecordQuarantine()
+        catalog = LibraryCatalog.load(pressed_store, policy=SALVAGE,
+                                      quarantine=q)
+        assert len(catalog) == 2
+        assert name not in catalog
+        assert q.names() == [name]
+        assert q.records[0].kind == "catalog"
+        assert catalog.stats()["invalidated"] == 1
+
+    def test_repress_recalibrates_only_changed_model(
+        self, models, pressed_store
+    ):
+        import dataclasses
+
+        changed = dataclasses.replace(
+            models[0],
+            match_emissions=models[0].match_emissions[:, ::-1].copy(),
+        )
+        again = LibraryCatalog.press(
+            [changed, models[1], models[2]],
+            store=pressed_store, settings=SETTINGS, name="toy",
+        )
+        again.save(pressed_store)
+        s = LibraryCatalog.press(
+            [changed, models[1], models[2]],
+            store=pressed_store, settings=SETTINGS, name="toy",
+        ).stats()
+        assert s["entry_hits"] == 3  # the changed model was re-pressed once
+        assert again.stats()["entry_hits"] == 2
+        assert again.stats()["invalidated"] == 1
+
+
+class TestCorruption:
+    def test_corrupt_tables_strict_raises(self, pressed_store):
+        victim = next((pressed_store / "tables").glob("*.npz"))
+        victim.write_bytes(b"not an npz archive")
+        with pytest.raises(CatalogError, match="tables"):
+            LibraryCatalog.load(pressed_store)
+
+    def test_corrupt_tables_salvage_loads_rest(self, pressed_store):
+        victim = next((pressed_store / "tables").glob("*.npz"))
+        victim.write_bytes(b"not an npz archive")
+        q = RecordQuarantine()
+        catalog = LibraryCatalog.load(pressed_store, policy=SALVAGE,
+                                      quarantine=q)
+        assert len(catalog) == 2
+        assert len(q) == 1
+        assert q.records[0].kind == "catalog"
+        assert catalog.stats()["corrupt"] == 1
+
+    def test_missing_model_file_salvaged(self, pressed_store):
+        victim = next((pressed_store / "models").glob("*.hmm"))
+        victim.unlink()
+        q = RecordQuarantine()
+        catalog = LibraryCatalog.load(pressed_store, policy=SALVAGE,
+                                      quarantine=q)
+        assert len(catalog) == 2
+        assert "missing model file" in q.records[0].reason
+
+    def test_swapped_tables_detected(self, pressed_store):
+        a, b = sorted((pressed_store / "tables").glob("*.npz"))[:2]
+        a_bytes, b_bytes = a.read_bytes(), b.read_bytes()
+        a.write_bytes(b_bytes)
+        b.write_bytes(a_bytes)
+        with pytest.raises(CatalogError, match="table"):
+            LibraryCatalog.load(pressed_store)
+
+
+class TestContentSeed:
+    def test_seed_is_position_independent(self, models):
+        # identical content, different base seeds -> different samples;
+        # same content under any library ordering -> same seed
+        seeds = [content_seed(m) for m in models]
+        assert len(set(seeds)) == len(seeds)
+        assert [content_seed(m) for m in reversed(models)] == seeds[::-1]
+
+    def test_fingerprint_survives_text_round_trip(self, models):
+        for m in models:
+            again = loads_hmm(dumps_hmm(m))
+            assert hmm_fingerprint(again) == hmm_fingerprint(m)

@@ -15,7 +15,11 @@ FACADE = [
     "load_fasta",
     "search",
     "batch_search",
+    "press_library",
+    "load_library",
+    "scan",
     "SearchOptions",
+    "ScanOptions",
     "SearchResults",
 ]
 

@@ -262,3 +262,90 @@ class TestBuildAlignScan:
         write_fasta(fasta, [DigitalSequence("q", np.array([1, 2, 3], dtype=np.uint8))])
         rc = main(["scan", str(empty), str(fasta)])
         assert rc == 1
+
+
+class TestPressAndLibraryScan:
+    @pytest.fixture
+    def library_dir(self, tmp_path):
+        rng = np.random.default_rng(31)
+        truth = sample_hmm(30, rng, name="pressfam", conservation=40.0)
+        models = tmp_path / "models"
+        models.mkdir()
+        save_hmm(models / "pressfam.hmm", truth)
+        save_hmm(models / "other.hmm", sample_hmm(25, rng, name="other"))
+        query = tmp_path / "query.fasta"
+        write_fasta(
+            query, [DigitalSequence("probe", truth.sample_sequence(rng))]
+        )
+        return models, query
+
+    def test_press_then_scan_library(self, library_dir, tmp_path, capsys):
+        models, query = library_dir
+        store = tmp_path / "press.out"
+        rc = main(["press", str(models), str(store),
+                   "--length", "60", "--calibration-sample", "80"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pressed 2 model(s)" in out
+        assert "calibrated 2" in out
+        assert (store / "index.json").exists()
+
+        # re-pressing reuses everything
+        rc = main(["press", str(models), str(store),
+                   "--length", "60", "--calibration-sample", "80"])
+        assert rc == 0
+        assert "calibrated 0, reused 2" in capsys.readouterr().out
+
+        # scanning the pressed store finds the planted family
+        rc = main(["scan", str(models), str(query), "--library", str(store),
+                   "--engine", "gpu"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pressfam" in out
+        assert "crossover" in out
+
+    def test_scan_pressed_store_positionally(self, library_dir, tmp_path,
+                                             capsys):
+        models, query = library_dir
+        store = tmp_path / "press.out"
+        main(["press", str(models), str(store),
+              "--length", "60", "--calibration-sample", "80"])
+        capsys.readouterr()
+        rc = main(["scan", str(store), str(query)])
+        assert rc == 0
+        assert "pressfam" in capsys.readouterr().out
+
+    def test_scan_salvage_quarantines_bad_model(self, library_dir, capsys):
+        models, query = library_dir
+        (models / "broken.hmm").write_text("REPRO-HMM 1.0\ngarbage\n")
+        rc = main(["scan", str(models), str(query), "--length", "60",
+                   "--calibration-sample", "80", "--salvage"])
+        assert rc == 2
+        out = capsys.readouterr().out
+        assert "models: 2" in out          # the broken file was skipped
+        assert "broken" in out             # ...and reported
+
+    def test_scan_strict_rejects_bad_model(self, library_dir, capsys):
+        models, query = library_dir
+        (models / "broken.hmm").write_text("REPRO-HMM 1.0\ngarbage\n")
+        with pytest.raises(Exception):
+            main(["scan", str(models), str(query), "--length", "60",
+                  "--calibration-sample", "80", "--strict"])
+
+    def test_scan_observability_flags(self, library_dir, tmp_path, capsys):
+        models, query = library_dir
+        trace = tmp_path / "scan.jsonl"
+        bench = tmp_path / "scan-bench.json"
+        rc = main(["scan", str(models), str(query), "--length", "60",
+                   "--calibration-sample", "80",
+                   "--trace", str(trace), "--bench-out", str(bench)])
+        assert rc == 0
+        assert trace.exists() and bench.exists()
+        import json
+        payload = json.loads(bench.read_text())
+        assert payload["workload"]["command"] == "scan"
+        assert "msv" in payload["stages"]
+
+    def test_press_missing_dir_fails(self, tmp_path, capsys):
+        rc = main(["press", str(tmp_path / "nope"), str(tmp_path / "out")])
+        assert rc == 1

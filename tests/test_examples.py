@@ -41,6 +41,13 @@ class TestExamples:
         out = run_example("pfam_family_scan.py")
         assert "100%" in out  # full sensitivity on planted members
 
+    def test_library_scan(self):
+        out = run_example("library_scan.py")
+        assert "recalibrations after reload: 0" in out
+        assert "hits identical to the fresh pressing: yes" in out
+        assert "memconfig crossover" in out
+        assert "co-scheduled" in out
+
     def test_multigpu_scaling(self):
         out = run_example("multigpu_scaling.py")
         assert "devices" in out
