@@ -188,11 +188,25 @@ _LEGACY = {
     "BatchSearchService": "repro.service",
     "DevicePool": "repro.service",
     "FaultPlan": "repro.service",
+    "FaultKind": "repro.service",
+    "FaultSpec": "repro.service",
     "PipelineSettings": "repro.service",
     "RunJournal": "repro.service",
+    "RetryPolicy": "repro.service",
     "Scheduler": "repro.service",
     "JobQueue": "repro.service",
     "submit_manifest": "repro.service",
+    # overload protection (admission control, deadlines, watchdog)
+    "AdmissionController": "repro.service",
+    "AdmissionLimits": "repro.service",
+    "CostEstimate": "repro.service",
+    "DegradationState": "repro.service",
+    "estimate_job_cost": "repro.service",
+    "Deadline": "repro.service",
+    "ShardWatchdog": "repro.service",
+    "VirtualClock": "repro.service",
+    "OverloadError": "repro.errors",
+    "DeadlineExceeded": "repro.errors",
     # correctness tooling
     "SanitizerReport": "repro.analysis",
     "WarpSanitizer": "repro.analysis",

@@ -87,6 +87,11 @@ DETERMINISTIC_DIRS = (
     "src/repro/pipeline/",
     "src/repro/gpu/",
     "src/repro/scan/",
+    # the overload plane must run on injected clocks only: admission
+    # pricing and watchdog budgets come from the cost model, never from
+    # wall time, so soak tests replay bit-identically
+    "src/repro/service/admission.py",
+    "src/repro/service/watchdog.py",
 )
 
 # numpy module-level sampling calls that use unseeded global state

@@ -103,6 +103,7 @@ def batch_search(
         | tuple[Plan7HMM, SequenceDatabase, SearchOptions]
     ],
     options: SearchOptions | None = None,
+    limits=None,
 ):
     """Run many searches through the batch service; returns
     ``(jobs, report)``.
@@ -113,11 +114,17 @@ def batch_search(
     device pool with the pipeline cache, resilient accounting and (if
     ``options.tracer`` is set) full span tracing; ``report`` is the
     service metrics report text.
+
+    ``limits`` (an :class:`~repro.service.AdmissionLimits`) arms
+    predictive admission control: every request is priced through the
+    cost model, and an over-watermark submission raises
+    :class:`~repro.errors.OverloadError` instead of queueing - callers
+    that want partial progress should submit and catch per request.
     """
     from .service import BatchSearchService
 
     opts = options if options is not None else SearchOptions()
-    service = BatchSearchService(options=opts)
+    service = BatchSearchService(options=opts, limits=limits)
     for request in requests:
         if len(request) == 2:
             hmm, database = request

@@ -40,11 +40,17 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 
 import numpy as np
 
-from .errors import DivergenceError, QuarantineError
+from .errors import (
+    DeadlineExceeded,
+    DivergenceError,
+    OverloadError,
+    QuarantineError,
+)
 from .gpu.device import FERMI_GTX580, KEPLER_K40
 from .hardening import RecordQuarantine, IngestPolicy, STRICT, SALVAGE
 from .hmm.builder import build_hmm_from_msa
@@ -106,6 +112,10 @@ def _add_search_flags(p: argparse.ArgumentParser) -> None:
         "--sanitize", action="store_true", default=False,
         help=field_doc("sanitize"),
     )
+    p.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help=field_doc("deadline_ms"),
+    )
 
 
 def _tracer(args: argparse.Namespace) -> Tracer | None:
@@ -154,12 +164,16 @@ def _cmd_search(args: argparse.Namespace) -> int:
         quarantine=quarantine,
         tracer=tracer,
         sanitize=args.sanitize,
+        deadline_ms=args.deadline_ms,
     )
     try:
         results = pipe.search(db, options)
     except DivergenceError as exc:
         print(f"selfcheck FAILED: {exc}", file=sys.stderr)
         return 3
+    except DeadlineExceeded as exc:
+        print(f"deadline exceeded: {exc}", file=sys.stderr)
+        return 5
     print(results.summary())
     _write_observability(
         args, tracer,
@@ -333,13 +347,20 @@ def _cmd_scan(args: argparse.Namespace) -> int:
                 sanitize=args.sanitize,
             ),
             top_hits=args.top_hits,
+            deadline_ms=args.deadline_ms,
         ),
+        # a real monotonic timebase so --deadline-ms bounds wall time;
+        # tests and library callers keep the virtual default
+        clock=time.monotonic,
     )
     try:
         results = service.scan(db)
     except DivergenceError as exc:
         print(f"selfcheck FAILED: {exc}", file=sys.stderr)
         return 3
+    except DeadlineExceeded as exc:
+        print(f"deadline exceeded: {exc}", file=sys.stderr)
+        return 5
     print(results.summary())
     _write_observability(
         args, tracer,
@@ -387,6 +408,7 @@ def _parse_pool(spec: str):
 
 def _cmd_batch(args: argparse.Namespace) -> int:
     from .service import (
+        AdmissionLimits,
         BatchSearchService,
         FaultPlan,
         RunJournal,
@@ -409,26 +431,47 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     )
     policy = _policy(args)
     tracer = _tracer(args)
+    limits = None
+    if args.max_pending is not None or args.max_backlog_cost is not None:
+        limits = AdmissionLimits(
+            max_pending=args.max_pending,
+            max_backlog_cost=args.max_backlog_cost,
+        )
     service = BatchSearchService(
         pool=pool,
         cache_size=args.cache_size,
         fault_plan=plan,
         journal=journal,
+        limits=limits,
         options=SearchOptions(
             selfcheck=args.selfcheck, policy=policy, tracer=tracer,
-            sanitize=args.sanitize,
+            sanitize=args.sanitize, deadline_ms=args.deadline_ms,
         ),
     )
-    jobs = submit_manifest(
-        service,
-        args.manifest,
-        default_length=args.length,
-        calibration_filter_sample=args.calibration_sample,
-        calibration_forward_sample=max(25, args.calibration_sample // 4),
-        policy=policy,
-    )
-    print(f"submitted {len(jobs)} jobs from {args.manifest}")
-    service.run()
+    overload: OverloadError | None = None
+    jobs: list = []
+    try:
+        jobs = submit_manifest(
+            service,
+            args.manifest,
+            default_length=args.length,
+            calibration_filter_sample=args.calibration_sample,
+            calibration_forward_sample=max(25, args.calibration_sample // 4),
+            policy=policy,
+        )
+        print(f"submitted {len(jobs)} jobs from {args.manifest}")
+    except OverloadError as exc:
+        # admission control refused a submission; anything admitted
+        # before the watermark still runs to completion below
+        overload = exc
+        print(f"admission control {exc.kind} a job: {exc}", file=sys.stderr)
+        print(
+            f"retry after ~{exc.retry_after:.3f}s of modelled backlog",
+            file=sys.stderr,
+        )
+    done = service.run()
+    if not jobs:
+        jobs = done
     print()
     print(service.metrics.render())
     _write_observability(
@@ -448,10 +491,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             if job.results is not None and job.results.hits:
                 print(job.results.summary())
     # exit codes, worst first: 3 = engines diverged from the scalar
-    # reference, 1 = jobs failed, 2 = completed but records were
-    # quarantined, 0 = clean
+    # reference, 5 = job deadlines expired, 4 = admission control
+    # refused submissions, 1 = jobs failed, 2 = completed but records
+    # were quarantined, 0 = clean
     if service.metrics.total_divergences:
         return 3
+    if service.metrics.deadline_failures:
+        return 5
+    if overload is not None:
+        return 4
     if service.metrics.jobs_failed:
         return 1
     if service.quarantine:
@@ -593,6 +641,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--fault-count", type=int, default=4, metavar="N",
         help="number of faults in the seeded plan (default 4)",
+    )
+    p.add_argument(
+        "--max-pending", type=int, default=None, metavar="N",
+        help="arm admission control: refuse submissions once N jobs "
+             "are in the system (exit 4)",
+    )
+    p.add_argument(
+        "--max-backlog-cost", type=float, default=None, metavar="SECONDS",
+        help="arm admission control: refuse submissions once the "
+             "cost-model backlog exceeds SECONDS of modelled device "
+             "time (exit 4)",
     )
     _add_search_flags(p)
     p.set_defaults(func=_cmd_batch)

@@ -19,6 +19,9 @@ __all__ = [
     "PipelineError",
     "CalibrationError",
     "DeadlineError",
+    "SlowShardError",
+    "DeadlineExceeded",
+    "OverloadError",
     "ShardIntegrityError",
     "QuarantineError",
     "DivergenceError",
@@ -73,6 +76,34 @@ class CatalogError(ReproError):
 
 class DeadlineError(ReproError):
     """A dispatched stage exceeded its watchdog deadline (a hang)."""
+
+
+class SlowShardError(DeadlineError):
+    """A shard *completed* but took more than ``k x`` its cost-model
+    prediction; the hung-shard watchdog cancelled its result and feeds
+    the retry/quarantine ladder, exactly like a hang."""
+
+
+class DeadlineExceeded(ReproError):
+    """A job's ``deadline_ms`` budget ran out.  Unlike
+    :class:`DeadlineError` (a per-shard transient the resilience ladder
+    absorbs), an exhausted job budget is terminal: the job fails fast
+    instead of burning devices on work nobody will wait for."""
+
+
+class OverloadError(ReproError):
+    """The admission controller refused a submission: the bounded job
+    queue is at a watermark (``kind="rejected"``) or the service is
+    shedding low-priority load under pressure (``kind="shed"``).
+    ``retry_after`` is the estimated backlog drain time in seconds - the
+    hint a client should wait before resubmitting."""
+
+    def __init__(
+        self, message: str, retry_after: float = 0.0, kind: str = "rejected"
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.kind = kind
 
 
 class ShardIntegrityError(ReproError):

@@ -155,11 +155,21 @@ class SearchOptions:
                          "lands on each stage's KernelCounters; the "
                          "REPRO_SANITIZE env var arms it globally"},
     )
+    deadline_ms: float | None = field(
+        default=None,
+        metadata={"doc": "per-job time budget in modelled milliseconds; "
+                         "the budget is decremented through every retry "
+                         "backoff and injected stall, and an expired job "
+                         "fails fast with DeadlineExceeded (exit code 5) "
+                         "instead of burning devices (None = no deadline)"},
+    )
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "engine", Engine.coerce(self.engine))
         if self.selfcheck < 0:
             raise PipelineError("selfcheck must be >= 0")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise PipelineError("deadline_ms must be positive")
 
     def with_(self, **changes) -> "SearchOptions":
         """A copy with the given fields replaced (ergonomic alias)."""

@@ -28,8 +28,9 @@ hmmscan's semantics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Callable
 
-from ..errors import LaunchError
+from ..errors import LaunchError, PipelineError
 from ..gpu.counters import KernelCounters
 from ..kernels.memconfig import Stage
 from ..obs.span import Tracer, span
@@ -39,6 +40,7 @@ from ..sequence.database import SequenceDatabase
 from ..service.devices import DevicePool, DeviceSlot
 from ..service.faults import FaultPlan
 from ..service.metrics import MetricsRegistry
+from ..service.watchdog import Deadline, VirtualClock
 from .bucketing import BucketPlan, build_bucket_plan
 from .catalog import LibraryCatalog
 
@@ -57,10 +59,15 @@ class ScanOptions:
 
     search: SearchOptions = field(default_factory=SearchOptions)
     top_hits: int | None = None
+    deadline_ms: float | None = None  # whole-scan budget; checked between
+                                      # buckets and launch groups, raises
+                                      # DeadlineExceeded when exhausted
 
     def __post_init__(self) -> None:
         if self.top_hits is not None and self.top_hits < 1:
             raise ValueError("top_hits must be positive (or None)")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise PipelineError("deadline_ms must be positive")
 
 
 @dataclass(frozen=True)
@@ -152,6 +159,7 @@ class ScanService:
         metrics: MetricsRegistry | None = None,
         fault_plan: FaultPlan | None = None,
         options: ScanOptions | None = None,
+        clock: Callable[[], float] | None = None,
     ) -> None:
         self.catalog = catalog
         self.pool = pool if pool is not None else DevicePool.heterogeneous()
@@ -160,6 +168,10 @@ class ScanService:
             fault_plan if fault_plan is not None else FaultPlan.from_env()
         )
         self.options = options if options is not None else ScanOptions()
+        # monotonic timebase for deadline_ms budgets; injectable (the CLI
+        # passes a real monotonic clock, tests a stepped fake) and
+        # defaults to a private virtual timeline
+        self.clock = clock if clock is not None else VirtualClock().now
         self._next_slot = 0
 
     def _checkout(self) -> DeviceSlot | None:
@@ -204,6 +216,21 @@ class ScanService:
         model_stages: dict[str, list[StageStats]] = {}
         bucket_stats: list[dict] = []
         fallbacks = 0
+        # deadline: the ScanOptions budget wins; a budget set on the
+        # wrapped SearchOptions applies to the whole scan as a fallback
+        deadline_ms = (
+            opts.deadline_ms
+            if opts.deadline_ms is not None
+            else sopts.deadline_ms
+        )
+        deadline = (
+            Deadline(
+                deadline_ms / 1e3, self.clock,
+                label=f"scan:{self.catalog.name}",
+            )
+            if deadline_ms is not None
+            else None
+        )
 
         with span(
             tracer, f"scan:{self.catalog.name}", "job",
@@ -215,6 +242,8 @@ class ScanService:
                     targets=len(database), residues=database.total_residues
                 )
             for bucket in plan.buckets:
+                if deadline is not None:
+                    deadline.check(f"bucket {bucket.key}")
                 with span(
                     tracer, f"bucket:{bucket.key}", "schedule",
                     config=bucket.config.value, stage=bucket.stage.name,
@@ -222,6 +251,10 @@ class ScanService:
                     crossover=plan.crossover,
                 ):
                     for group in bucket.groups:
+                        if deadline is not None:
+                            deadline.check(
+                                f"launch group {group.names[0]}..."
+                            )
                         fallbacks += self._run_group(
                             bucket, group.names, database, sopts, inner_th,
                             th, n_models, hits, model_stages,

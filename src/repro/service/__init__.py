@@ -26,6 +26,16 @@ amortized across repeats, every stage observable.
   fallback, device quarantine, and batch checkpoint/resume.
 * :mod:`~repro.service.metrics` - :class:`MetricsRegistry`: per-job and
   aggregate observability; ``service.metrics.render()`` is the report.
+* :mod:`~repro.service.admission` - :class:`AdmissionController` /
+  :class:`AdmissionLimits`: predictive admission control pricing every
+  submission through the :mod:`repro.perf` cost model, bounding the
+  queue with watermarks and shedding optional work
+  (:class:`DegradationState`) under pressure.
+* :mod:`~repro.service.watchdog` - :class:`VirtualClock` /
+  :class:`Deadline` / :class:`ShardWatchdog`: the shared virtual
+  timeline, per-job ``deadline_ms`` budgets, and the hung-shard
+  watchdog cancelling shards that exceed ``k x`` their cost-model
+  prediction.
 
 Quickstart::
 
@@ -58,6 +68,13 @@ from ..options import (
     resolve_search_options,
 )
 from ..sequence.database import SequenceDatabase
+from .admission import (
+    AdmissionController,
+    AdmissionLimits,
+    CostEstimate,
+    DegradationState,
+    estimate_job_cost,
+)
 from .cache import PipelineCache, PipelineSettings, hmm_fingerprint
 from .devices import DeviceHealth, DevicePool, DeviceSlot
 from .faults import FaultKind, FaultPlan, FaultSpec, ResilienceEvent
@@ -71,9 +88,18 @@ from .resilience import (
     result_digest,
 )
 from .scheduler import PoolExecutor, Scheduler
+from .watchdog import Deadline, ShardWatchdog, VirtualClock
 
 __all__ = [
     "BatchSearchService",
+    "AdmissionController",
+    "AdmissionLimits",
+    "CostEstimate",
+    "DegradationState",
+    "estimate_job_cost",
+    "Deadline",
+    "ShardWatchdog",
+    "VirtualClock",
     "JobQueue",
     "JobState",
     "SearchJob",
@@ -121,11 +147,14 @@ class BatchSearchService:
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
         journal: RunJournal | None = None,
+        limits: AdmissionLimits | None = None,
+        admission: AdmissionController | None = None,
+        watchdog: ShardWatchdog | None = None,
+        timeline: VirtualClock | None = None,
         config=UNSET,
         selfcheck=UNSET,
         policy=UNSET,
     ) -> None:
-        self.queue = JobQueue()
         # explicit None checks: an empty PipelineCache is falsy (__len__)
         self.pool = pool if pool is not None else DevicePool.heterogeneous()
         self.cache = (
@@ -138,6 +167,16 @@ class BatchSearchService:
             options, "BatchSearchService",
             config=config, selfcheck=selfcheck, policy=policy,
         )
+        # admission control: `limits` builds a controller priced against
+        # the pool's lead device; an explicit `admission` wins.  Without
+        # either, the queue is unbounded (the pre-overload behaviour).
+        if admission is None and limits is not None:
+            admission = AdmissionController(
+                limits,
+                device=self.pool.slots[0].spec if self.pool.slots else None,
+            )
+        self.admission = admission
+        self.queue = JobQueue(admission=admission)
         self.scheduler = Scheduler(
             pool=self.pool,
             cache=self.cache,
@@ -147,6 +186,9 @@ class BatchSearchService:
             fault_plan=fault_plan,
             retry_policy=retry_policy,
             journal=journal,
+            admission=admission,
+            watchdog=watchdog,
+            timeline=timeline,
         )
         self._clock = clock
 
@@ -167,6 +209,23 @@ class BatchSearchService:
     @property
     def journal(self) -> RunJournal | None:
         return self.scheduler.journal
+
+    @property
+    def timeline(self) -> VirtualClock:
+        """The scheduler's shared virtual timeline."""
+        return self.scheduler.timeline
+
+    @property
+    def watchdog(self) -> ShardWatchdog:
+        """The scheduler's hung-shard watchdog."""
+        return self.scheduler.watchdog
+
+    @property
+    def degradation(self) -> DegradationState:
+        """Current degradation rung (NORMAL when admission is off)."""
+        if self.admission is None:
+            return DegradationState.NORMAL
+        return self.admission.state
 
     def submit(
         self,

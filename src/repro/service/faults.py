@@ -6,7 +6,7 @@ the same seed produces the same faults at the same dispatch ticks, and
 therefore (because retry backoff is also deterministically jittered)
 the same recovery event log, run after run.
 
-Four fault kinds model the ways a real device pool degrades:
+Five fault kinds model the ways a real device pool degrades:
 
 * :attr:`FaultKind.LAUNCH` - the kernel launch itself fails
   (:class:`~repro.errors.LaunchError`), e.g. an allocation error.
@@ -14,6 +14,10 @@ Four fault kinds model the ways a real device pool degrades:
   (:class:`~repro.errors.KernelError`), e.g. an ECC event.
 * :attr:`FaultKind.HANG` - the device stops responding; the stage
   watchdog trips its deadline (:class:`~repro.errors.DeadlineError`).
+* :attr:`FaultKind.SLOW` - the shard *completes* but only after
+  stalling past its cost-model prediction; the hung-shard watchdog
+  cancels it (:class:`~repro.errors.SlowShardError`) so the ladder can
+  re-place the work instead of accepting a straggler.
 * :attr:`FaultKind.CORRUPT` - the kernel "completes" but the returned
   shard scores are corrupted; detected by the dispatcher's cheap shard
   checksum re-verification (:class:`~repro.errors.ShardIntegrityError`).
@@ -53,6 +57,7 @@ class FaultKind(enum.Enum):
     LAUNCH = "launch"
     KERNEL = "kernel"
     HANG = "hang"
+    SLOW = "slow"
     CORRUPT = "corrupt"
 
 

@@ -11,6 +11,12 @@ The queue orders by ``(-priority, submission order)``: higher priority
 first, FIFO among equals.  It is a synchronous core - ``pop`` never
 blocks - which the scheduler drains in a simple loop today and an async
 worker pool can drain concurrently later without changing job semantics.
+
+With an :class:`~repro.service.admission.AdmissionController` attached
+the queue is *bounded*: every submission is priced through the cost
+model before a job is minted, and an over-watermark submission raises
+:class:`~repro.errors.OverloadError` without ever entering the heap -
+rejected work cannot partially execute because it never exists as a job.
 """
 
 from __future__ import annotations
@@ -53,6 +59,8 @@ class SearchJob:
     settings: PipelineSettings = field(default_factory=PipelineSettings)
     options: SearchOptions | None = None     # per-job override of the
                                              # scheduler's SearchOptions
+    estimate: object | None = None           # CostEstimate when admission
+                                             # control priced this job
 
     # -- filled in by the scheduler --
     state: JobState = JobState.PENDING
@@ -124,11 +132,12 @@ def _job_fingerprint(
 class JobQueue:
     """Priority queue of :class:`SearchJob` with deterministic ids."""
 
-    def __init__(self) -> None:
+    def __init__(self, admission=None) -> None:
         self._lock = threading.RLock()
         self._heap: list[tuple[int, int, SearchJob]] = []  # guarded-by: _lock
         self._serial = 0    # guarded-by: _lock
         self.submitted = 0  # guarded-by: _lock
+        self.admission = admission  # AdmissionController | None
 
     def submit(
         self,
@@ -148,8 +157,18 @@ class JobQueue:
         across reruns of the same submission sequence.  An explicit
         ``job_id`` (e.g. a manifest's ``id`` field) is used verbatim,
         which makes checkpoint journals robust to manifest edits.
+
+        When admission control is attached, the submission is priced and
+        admitted *before* the job is minted: a rejected or shed
+        submission raises :class:`~repro.errors.OverloadError` and
+        leaves the queue (and the serial counter) untouched.
         """
         engine = Engine.coerce(engine)
+        estimate = None
+        if self.admission is not None:
+            estimate = self.admission.admit(
+                hmm, database, engine=engine, priority=priority
+            )
         with self._lock:
             serial = self._serial
             self._serial += 1
@@ -166,6 +185,7 @@ class JobQueue:
                 thresholds=thresholds,
                 settings=settings or PipelineSettings(),
                 options=options,
+                estimate=estimate,
                 submitted_at=clock,
             )
             heapq.heappush(self._heap, (-priority, serial, job))

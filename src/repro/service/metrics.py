@@ -57,6 +57,8 @@ class JobRecord:
     selfchecked: int = 0         # sequences shadow-scored by the oracle
     divergences: int = 0         # oracle divergences caught
     quarantined: int = 0         # records quarantined while running this job
+    deadline_expired: bool = False  # failed because deadline_ms ran out
+    shed: list[str] = field(default_factory=list)  # optional work shed
     error: str | None = None
 
     def to_dict(self) -> dict:
@@ -80,6 +82,8 @@ class JobRecord:
             "selfchecked": self.selfchecked,
             "divergences": self.divergences,
             "quarantined": self.quarantined,
+            "deadline_expired": self.deadline_expired,
+            "shed": list(self.shed),
             "error": self.error,
         }
 
@@ -110,6 +114,7 @@ class ResilienceStats:
         self.probes = 0
         self.reintegrations = 0
         self.resumes = 0
+        self.deadline_aborts = 0
 
     def record(self, event: ResilienceEvent) -> None:
         self.events.append(event)
@@ -134,6 +139,8 @@ class ResilienceStats:
             self.reintegrations += 1
         elif event.kind == "resume":
             self.resumes += 1
+        elif event.kind == "deadline":
+            self.deadline_aborts += 1
 
     @property
     def total_faults(self) -> int:
@@ -163,6 +170,7 @@ class ResilienceStats:
             "probes": self.probes,
             "reintegrations": self.reintegrations,
             "resumes": self.resumes,
+            "deadline_aborts": self.deadline_aborts,
             "events": [e.to_dict() for e in self.events],
         }
 
@@ -184,6 +192,8 @@ class ResilienceStats:
             f"  quarantines: {self.quarantines}   probes: {self.probes}   "
             f"reintegrations: {self.reintegrations}",
         ]
+        if self.deadline_aborts:
+            lines.append(f"  deadline aborts: {self.deadline_aborts}")
         return lines
 
 
@@ -200,6 +210,8 @@ class MetricsRegistry:
         self.cache = cache
         self.resilience = ResilienceStats()
         self.quarantine = RecordQuarantine()
+        # the service's AdmissionController, when admission is armed
+        self.admission = None
         # fed by observe_job_span() when the scheduler runs with a tracer
         self.stage_seconds: dict[str, Histogram] = {}
         self.job_seconds = Histogram()
@@ -210,6 +222,10 @@ class MetricsRegistry:
     def attach(self, pool: DevicePool, cache: PipelineCache) -> None:
         self.pool = pool
         self.cache = cache
+
+    def attach_admission(self, controller) -> None:
+        """Expose the admission controller's gauges in reports."""
+        self.admission = controller
 
     def record_job(self, record: JobRecord) -> None:
         self.records.append(record)
@@ -259,6 +275,16 @@ class MetricsRegistry:
     def recomputed_jobs(self) -> int:
         """Jobs that actually executed (done or failed, not resumed)."""
         return sum(1 for r in self.records if not r.resumed)
+
+    @property
+    def deadline_failures(self) -> int:
+        """Jobs that failed because their ``deadline_ms`` budget ran out."""
+        return sum(1 for r in self.records if r.deadline_expired)
+
+    @property
+    def shed_work_jobs(self) -> int:
+        """Jobs that ran with optional work shed under degradation."""
+        return sum(1 for r in self.records if r.shed)
 
     @property
     def total_hits(self) -> int:
@@ -339,7 +365,10 @@ class MetricsRegistry:
             "quarantine": self.quarantine.to_dict(),
             "selfchecked": self.total_selfchecked,
             "divergences": self.total_divergences,
+            "deadline_failures": self.deadline_failures,
         }
+        if self.admission is not None:
+            data["admission"] = self.admission.snapshot()
         if self.stage_seconds:
             data["timings"] = {
                 "job_seconds": self.job_seconds.summary(),
@@ -381,6 +410,33 @@ class MetricsRegistry:
             f"mean queue latency: {1e3 * self.mean_queue_latency():.2f} ms   "
             f"total run time: {self.total_run_seconds():.3f} s"
         )
+        if self.deadline_failures:
+            lines.append(
+                f"deadline failures: {self.deadline_failures} "
+                f"(jobs whose deadline_ms budget ran out)"
+            )
+
+        if self.admission is not None:
+            s = self.admission.snapshot()
+            lines.append("")
+            lines.append("admission control")
+            lines.append(
+                f"  submitted: {s['submitted']}   admitted: {s['admitted']}"
+                f"   rejected: {s['rejected']}   shed: {s['shed']}"
+            )
+            lines.append(
+                f"  in system: {s['in_system']} (peak {s['peak_in_system']})"
+                f"   backlog: {s['backlog_cost_s']:.4f} s modelled "
+                f"(peak {s['peak_backlog_cost_s']:.4f} s)"
+            )
+            lines.append(
+                f"  utilization: {100 * s['utilization']:.1f}%   "
+                f"degradation: {s['state']}"
+                + (
+                    f" (shedding {', '.join(s['sheds'])})"
+                    if s["sheds"] else ""
+                )
+            )
 
         totals = self.stage_totals()
         if totals:

@@ -41,10 +41,12 @@ from ..cpu.results import FilterScores
 from ..cpu.viterbi_reference import viterbi_score_batch
 from ..errors import (
     DeadlineError,
+    DeadlineExceeded,
     KernelError,
     LaunchError,
     PipelineError,
     ShardIntegrityError,
+    SlowShardError,
 )
 from ..gpu.counters import KernelCounters
 from ..gpu.multi_gpu import score_chunk
@@ -53,6 +55,7 @@ from ..obs.span import span
 from ..sequence.database import SequenceDatabase
 from .devices import DeviceHealth, DevicePool, DeviceSlot
 from .faults import FaultKind, FaultPlan, ResilienceEvent
+from .watchdog import Deadline, ShardWatchdog
 
 __all__ = ["RetryPolicy", "ResilientExecutor", "RunJournal", "result_digest"]
 
@@ -69,8 +72,14 @@ _FAULT_BY_ERROR = {
     LaunchError: FaultKind.LAUNCH.value,
     KernelError: FaultKind.KERNEL.value,
     DeadlineError: FaultKind.HANG.value,
+    SlowShardError: FaultKind.SLOW.value,
     ShardIntegrityError: FaultKind.CORRUPT.value,
 }
+
+# An injected SLOW fault stalls the shard this far past its watchdog
+# budget, so the watchdog always cancels it (the margin keeps the test
+# signal unambiguous against float comparison).
+_SLOW_STALL_FACTOR = 1.25
 
 # Reference scorers used for shard- and stage-level CPU fallback; the
 # stage name is the executor-hook contract with HmmsearchPipeline.
@@ -136,9 +145,21 @@ class ResilientExecutor:
     :class:`~repro.service.faults.FaultPlan`; armed slot faults
     (:meth:`DeviceSlot.inject_fault`) are absorbed by the same ladder.
 
-    ``sleep`` is the backoff actuator; it defaults to ``None`` (record
-    the computed backoff in the event log without sleeping) so tests and
-    the simulated service stay fast and deterministic.
+    ``sleep`` is the backoff *and stall* actuator and ``clock`` the
+    matching monotonic timebase; both default to ``None`` (record
+    computed delays in the event log without sleeping) so tests and the
+    simulated service stay fast and deterministic.  The scheduler wires
+    them to its shared virtual timeline
+    (:class:`~repro.service.watchdog.VirtualClock`), on which injected
+    hangs, slow-shard stalls and retry backoffs all consume a ``deadline``
+    budget while honest work is free - matching the cost model's frame
+    of reference (modelled device seconds, not Python wall time).
+
+    The hung-shard ``watchdog`` is always armed (pass your own to tune
+    the multiplier): every shard's elapsed timeline seconds are compared
+    against ``k x`` its cost-model prediction, and an over-budget shard
+    is cancelled with :class:`~repro.errors.SlowShardError` - a
+    transient fault the ladder absorbs like any other.
     """
 
     def __init__(
@@ -151,6 +172,9 @@ class ResilientExecutor:
         sort_chunks: bool = True,
         sleep: Callable[[float], None] | None = None,
         tracer=None,
+        clock: Callable[[], float] | None = None,
+        watchdog: ShardWatchdog | None = None,
+        deadline: Deadline | None = None,
     ) -> None:
         self.pool = pool
         self.plan = plan
@@ -160,6 +184,9 @@ class ResilientExecutor:
         self.sort_chunks = sort_chunks
         self.sleep = sleep
         self.tracer = tracer
+        self.clock = clock
+        self.watchdog = watchdog if watchdog is not None else ShardWatchdog()
+        self.deadline = deadline
         self.stage_dispatches = 0
         self.failed_dispatches = 0
         self.retries_left = self.policy.retry_budget
@@ -177,6 +204,8 @@ class ResilientExecutor:
     def score_stage(
         self, name, kernel, profile, database, *, config, counters=None
     ):
+        if self.deadline is not None:
+            self.deadline.check(f"stage {name} entry")
         self.pool.advance()
         slots = self.pool.serviceable_slots(len(database))
         n = len(database)
@@ -201,6 +230,8 @@ class ResilientExecutor:
             chunks = database.chunk_by_residues(len(slots))
             offset = 0
             for shard_no, (chunk, slot) in enumerate(zip(chunks, slots)):
+                if self.deadline is not None:
+                    self.deadline.check(f"{name} shard {shard_no}")
                 with span(
                     self.tracer, f"shard{shard_no}", "shard",
                     device=slot.spec.name, stage=name,
@@ -266,12 +297,34 @@ class ResilientExecutor:
                     delay = self.policy.backoff_seconds(
                         attempt, key=f"{self.job_id}:{name}:{slot.index}"
                     )
+                    if (
+                        self.deadline is not None
+                        and delay > self.deadline.remaining()
+                    ):
+                        # fail fast: the backoff alone would sleep past
+                        # the job's deadline - no point burning a retry
+                        self._emit(
+                            "deadline", stage=name, device=slot.index,
+                            attempt=attempt, backoff=delay,
+                            detail=(
+                                f"backoff {delay:.4f}s exceeds remaining "
+                                f"budget {self.deadline.remaining():.4f}s"
+                            ),
+                        )
+                        raise DeadlineExceeded(
+                            f"job {self.job_id or ''} deadline: the "
+                            f"{delay:.4f}s retry backoff for {name} on "
+                            f"device {slot.index} exceeds the remaining "
+                            f"{self.deadline.remaining():.4f}s budget"
+                        ) from exc
                     self._emit(
                         "retry", stage=name, device=slot.index,
                         attempt=attempt, backoff=delay,
                     )
                     if self.sleep is not None:
                         self.sleep(delay)
+                    if self.deadline is not None:
+                        self.deadline.check(f"{name} retry backoff")
                     continue
                 return self._escalate(
                     name, kernel, profile, chunk, slot, config, counters,
@@ -283,6 +336,13 @@ class ResilientExecutor:
                     detail="probe succeeded, device healthy again",
                 )
             return part
+
+    def _shard_budget(self, name, profile, chunk, spec) -> float:
+        """The watchdog's cancel threshold (= detection period) for a shard."""
+        return self.watchdog.budget(
+            name, getattr(profile, "M", 0),
+            chunk.total_residues, len(chunk), spec,
+        )
 
     def _attempt(
         self, name, kernel, profile, chunk, slot, config, counters
@@ -296,8 +356,11 @@ class ResilientExecutor:
                     f"({spec.name})"
                 )
             if fault is FaultKind.HANG:
-                # the simulated device stopped responding; the stage
-                # watchdog trips its deadline
+                # the simulated device stopped responding; detection
+                # costs one watchdog period of timeline before the
+                # stage watchdog trips its deadline
+                if self.sleep is not None:
+                    self.sleep(self._shard_budget(name, profile, chunk, spec))
                 raise DeadlineError(
                     f"device {slot.index} ({spec.name}) exceeded the "
                     f"{self.policy.stage_deadline:g}s stage deadline "
@@ -307,6 +370,16 @@ class ResilientExecutor:
                 raise KernelError(
                     f"transient kernel fault injected on device {slot.index}"
                 )
+            started = self.clock() if self.clock is not None else None
+            stall = 0.0
+            if fault is FaultKind.SLOW:
+                # the shard will complete, but only after stalling past
+                # its cost-model budget; the watchdog below cancels it
+                stall = _SLOW_STALL_FACTOR * self._shard_budget(
+                    name, profile, chunk, spec
+                )
+                if self.sleep is not None:
+                    self.sleep(stall)
             c = KernelCounters()
             with span(
                 self.tracer, f"{name}@{spec.name}", "kernel",
@@ -324,6 +397,18 @@ class ResilientExecutor:
                     scores=part.scores + _CORRUPTION_BIAS,
                     overflowed=~part.overflowed,
                 )
+            # hung-shard watchdog: elapsed *timeline* seconds (injected
+            # stalls and backoff sleeps; honest work is free) against
+            # k x the cost-model prediction.  An over-budget shard is
+            # cancelled even though it technically completed.
+            elapsed = (
+                self.clock() - started if started is not None else stall
+            )
+            self.watchdog.observe(
+                name, getattr(profile, "M", 0),
+                chunk.total_residues, len(chunk), spec,
+                elapsed, device_index=slot.index,
+            )
             if self.policy.verify_shards:
                 self._verify_shard(
                     name, kernel, profile, chunk, part, slot, spec, config

@@ -48,7 +48,7 @@ import time
 from dataclasses import replace
 from typing import Callable
 
-from ..errors import DivergenceError, LaunchError, ReproError
+from ..errors import DeadlineExceeded, DivergenceError, LaunchError, ReproError
 from ..gpu.multi_gpu import run_multi_gpu
 from ..kernels.memconfig import MemoryConfig
 from ..obs.span import span
@@ -59,6 +59,7 @@ from .faults import FaultPlan, ResilienceEvent
 from .job import JobQueue, JobState, SearchJob
 from .metrics import JobRecord, MetricsRegistry
 from .resilience import ResilientExecutor, RetryPolicy, RunJournal
+from .watchdog import Deadline, ShardWatchdog, VirtualClock
 
 __all__ = ["PoolExecutor", "Scheduler"]
 
@@ -83,17 +84,24 @@ class PoolExecutor:
     """
 
     def __init__(
-        self, pool: DevicePool, sort_chunks: bool = True, tracer=None
+        self,
+        pool: DevicePool,
+        sort_chunks: bool = True,
+        tracer=None,
+        deadline: Deadline | None = None,
     ) -> None:
         self.pool = pool
         self.sort_chunks = sort_chunks
         self.tracer = tracer
+        self.deadline = deadline
         self.stage_dispatches = 0
         self.failed_dispatches = 0
 
     def score_stage(
         self, name, kernel, profile, database, *, config, counters=None
     ):
+        if self.deadline is not None:
+            self.deadline.check(f"stage {name} entry")
         slots = self.pool.active_slots(len(database))
         with span(
             self.tracer, f"dispatch:{name}", "schedule",
@@ -143,6 +151,9 @@ class Scheduler:
         fault_plan: FaultPlan | None = None,
         retry_policy: RetryPolicy | None = None,
         journal: RunJournal | None = None,
+        admission=None,
+        watchdog: ShardWatchdog | None = None,
+        timeline: VirtualClock | None = None,
         config=UNSET,
         selfcheck=UNSET,
         policy=UNSET,
@@ -166,6 +177,14 @@ class Scheduler:
         )
         self.retry_policy = retry_policy
         self.journal = journal
+        # overload protection: the shared virtual timeline (backoffs and
+        # injected stalls advance it; honest work is free), the
+        # hung-shard watchdog, and the optional admission controller
+        self.timeline = timeline if timeline is not None else VirtualClock()
+        self.watchdog = watchdog if watchdog is not None else ShardWatchdog()
+        self.admission = admission
+        if admission is not None:
+            self.metrics.attach_admission(admission)
 
     @property
     def config(self) -> MemoryConfig:
@@ -184,7 +203,12 @@ class Scheduler:
         """Whether GPU stages dispatch through the resilient executor."""
         return self.fault_plan is not None or self.retry_policy is not None
 
-    def _executor(self, job: SearchJob):
+    def _executor(
+        self,
+        job: SearchJob,
+        deadline: Deadline | None = None,
+        tracer=None,
+    ):
         if self.resilient:
             return ResilientExecutor(
                 self.pool,
@@ -192,9 +216,13 @@ class Scheduler:
                 policy=self.retry_policy or RetryPolicy(),
                 stats=self.metrics.resilience,
                 job_id=job.job_id,
-                tracer=self.options.tracer,
+                tracer=tracer,
+                sleep=self.timeline.sleep,
+                clock=self.timeline.now,
+                watchdog=self.watchdog,
+                deadline=deadline,
             )
-        return PoolExecutor(self.pool, tracer=self.options.tracer)
+        return PoolExecutor(self.pool, tracer=tracer, deadline=deadline)
 
     def run(self, queue: JobQueue) -> list[SearchJob]:
         """Drain the queue; returns the jobs in execution order.
@@ -216,17 +244,37 @@ class Scheduler:
             executed.append(job)
         return executed
 
-    def _job_options(self, job: SearchJob) -> SearchOptions:
-        """The effective options for one job: the job's own options (if
-        submitted with any) override the scheduler's, while the engine
-        comes from the job and the quarantine/tracer stay service-owned."""
+    def _job_options(self, job: SearchJob) -> tuple[SearchOptions, list[str]]:
+        """The effective options for one job, plus the optional work shed.
+
+        The job's own options (if submitted with any) override the
+        scheduler's, the engine comes from the job and the
+        quarantine/tracer stay service-owned.  Under load the admission
+        controller's :class:`~repro.service.admission.DegradationState`
+        then sheds optional work in the documented order - selfcheck
+        sampling, tracing, bench span export - and the record of what
+        was actually shed rides back to the job's metrics record.
+        """
         base = job.options if job.options is not None else self.options
-        return replace(
+        opts = replace(
             base,
             engine=job.engine,
             quarantine=self.metrics.quarantine,
             tracer=self.options.tracer,
         )
+        shed: list[str] = []
+        if self.admission is not None:
+            for kind in self.admission.state.sheds:
+                if kind == "selfcheck" and opts.selfcheck:
+                    opts = replace(opts, selfcheck=0)
+                    shed.append("selfcheck")
+                elif kind == "tracing" and opts.tracer is not None:
+                    opts = replace(opts, tracer=None)
+                    shed.append("tracing")
+                elif kind == "bench" and self.options.tracer is not None:
+                    # span aggregation into bench histograms is skipped
+                    shed.append("bench")
+        return opts, shed
 
     def execute(self, job: SearchJob) -> SearchJob:
         """Run one job to completion (or failure), recording metrics."""
@@ -236,8 +284,19 @@ class Scheduler:
         q_before = len(self.metrics.quarantine)
         error: str | None = None
         diverged = 0
-        opts = self._job_options(job)
+        deadline_expired = False
+        opts, shed = self._job_options(job)
         tracer = opts.tracer
+        # the deadline budget starts when execution starts (queueing is
+        # free), measured on the shared virtual timeline: retry backoffs
+        # and injected stalls consume it, honest work does not
+        deadline = (
+            Deadline(
+                opts.deadline_ms / 1e3, self.timeline.now, label=job.job_id
+            )
+            if opts.deadline_ms is not None
+            else None
+        )
         with span(
             tracer, f"job:{job.job_id}", "job",
             job_id=job.job_id, query=job.hmm.name,
@@ -257,7 +316,9 @@ class Scheduler:
                         results = pipeline.search(
                             job.database,
                             opts,
-                            executor=self._executor(job),
+                            executor=self._executor(
+                                job, deadline=deadline, tracer=tracer
+                            ),
                         )
                     else:
                         results = pipeline.search(
@@ -284,6 +345,14 @@ class Scheduler:
                 error = str(exc)
                 diverged = 1
                 job.state = JobState.FAILED
+            except DeadlineExceeded as exc:
+                # the job's deadline_ms budget ran out: terminal, not a
+                # transient - counted separately so operators (and exit
+                # code 5) can tell timeouts from ordinary failures
+                cache_hit = self.cache.misses == misses_before
+                error = str(exc)
+                deadline_expired = True
+                job.state = JobState.FAILED
             except ReproError as exc:
                 cache_hit = self.cache.misses == misses_before
                 error = str(exc)
@@ -295,15 +364,21 @@ class Scheduler:
         record = self._record(job, cache_hit)
         record.quarantined = len(self.metrics.quarantine) - q_before
         record.divergences += diverged
+        record.deadline_expired = deadline_expired
+        record.shed = shed
         self.metrics.record_job(record)
-        if job_span is not None:
+        if job_span is not None and "bench" not in shed:
             self.metrics.observe_job_span(job_span)
         if self.journal is not None and job.state is JobState.DONE:
             self.journal.record(job)
+        if self.admission is not None:
+            self.admission.complete(job.estimate)
         return job
 
     def _resume(self, job: SearchJob, entry: dict) -> SearchJob:
         """Restore a journaled job without recomputing it."""
+        if self.admission is not None:
+            self.admission.complete(job.estimate)
         job.state = JobState.DONE
         job.resumed = True
         job.started_at = self.clock()

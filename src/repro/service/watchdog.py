@@ -1,0 +1,220 @@
+"""Deadlines, the hung-shard watchdog, and the virtual service timeline.
+
+Three small pieces of overload protection share this module because they
+share one idea: *time is injectable*.  Nothing here reads a wall clock -
+callers supply a monotonic clock (the observability layer's pattern), so
+every test and the whole chaos/soak suite runs instantly and
+deterministically, with zero real sleeps.
+
+* :class:`VirtualClock` - the service's simulated monotonic timeline.
+  Backoff sleeps, injected hangs and slow shards *advance* it; honest
+  work takes (virtually) no time.  The scheduler measures resilience
+  timing on this clock rather than the wall, because the mechanistic
+  predictions it compares against model the simulated devices, not the
+  Python interpreter executing them.
+
+* :class:`Deadline` - one job's ``deadline_ms`` budget, decremented as
+  the timeline advances through Scheduler -> executor -> shard.
+  ``check()`` raises :class:`~repro.errors.DeadlineExceeded` the moment
+  the budget is gone, so an expired job aborts instead of burning
+  devices.
+
+* :class:`ShardWatchdog` - detects shards exceeding ``multiplier x``
+  their cost-model prediction (:mod:`repro.perf.cost_model`), cancels
+  them by raising :class:`~repro.errors.SlowShardError`, and lets the
+  existing retry / re-partition / quarantine machinery answer - the
+  proactive twin of the reactive ``hang`` fault path.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from ..errors import DeadlineExceeded, PipelineError, SlowShardError
+from ..gpu.device import DeviceSpec
+from ..kernels.memconfig import Stage
+from ..perf.calibration import DEFAULT_COSTS, CostConstants
+from ..perf.cost_model import StageWork, best_gpu_stage_time
+
+__all__ = ["VirtualClock", "Deadline", "ShardWatchdog"]
+
+#: Executor stage names -> the cost-model stage they are predicted with.
+_STAGE_BY_NAME = {"msv": Stage.MSV, "p7viterbi": Stage.P7VITERBI}
+
+
+class VirtualClock:
+    """A monotonic simulated timeline: ``sleep`` advances ``now``.
+
+    The drop-in (clock, sleep) pair the scheduler hands to the resilient
+    executor and the deadline machinery.  Real deployments substitute
+    ``time.monotonic`` / ``time.sleep``; tests and the soak harness keep
+    the default and run in zero wall time.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._lock = threading.RLock()
+        self._now = float(start)  # guarded-by: _lock
+        self.sleeps = 0           # guarded-by: _lock
+        self.slept = 0.0          # guarded-by: _lock
+
+    def now(self) -> float:
+        """Current virtual time in seconds (monotonic)."""
+        with self._lock:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        """Advance the timeline by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise PipelineError("cannot sleep a negative duration")
+        with self._lock:
+            self._now += seconds
+            self.sleeps += 1
+            self.slept += seconds
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"VirtualClock(now={self._now:.6f}, sleeps={self.sleeps})"
+            )
+
+
+class Deadline:
+    """One job's time budget, measured on an injected monotonic clock.
+
+    Created when the job starts executing; every layer on the way down
+    (scheduler, executor, shard loop, retry backoff) calls
+    :meth:`check` or compares :meth:`remaining` against the cost it is
+    about to pay, so the budget is *propagated*, not re-derived.
+    """
+
+    def __init__(
+        self,
+        budget_s: float,
+        clock: Callable[[], float],
+        label: str = "",
+    ) -> None:
+        if budget_s <= 0:
+            raise PipelineError("deadline budget must be positive")
+        self.budget_s = budget_s
+        self.label = label
+        self._clock = clock
+        self._start = clock()
+
+    @property
+    def consumed(self) -> float:
+        """Seconds of budget already spent."""
+        return max(0.0, self._clock() - self._start)
+
+    def remaining(self) -> float:
+        """Seconds of budget left (never negative)."""
+        return max(0.0, self.budget_s - self.consumed)
+
+    @property
+    def expired(self) -> bool:
+        return self.consumed >= self.budget_s
+
+    def check(self, where: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is exhausted."""
+        if self.expired:
+            suffix = f" at {where}" if where else ""
+            raise DeadlineExceeded(
+                f"deadline of {1e3 * self.budget_s:g} ms for "
+                f"{self.label or 'job'} exhausted{suffix} "
+                f"({1e3 * self.consumed:g} ms consumed)"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"Deadline({self.label!r}, budget={self.budget_s:g}s, "
+            f"remaining={self.remaining():g}s)"
+        )
+
+
+class ShardWatchdog:
+    """Cancels shards that exceed ``multiplier x`` their predicted time.
+
+    The mechanistic cost model already prices every (stage, model,
+    residues, device) combination for memconfig and co-scheduling
+    decisions; the watchdog reuses it as a *hang detector*: a shard that
+    has run ``multiplier`` times longer than its prediction (with a
+    ``floor_s`` grace for tiny shards) is declared hung-or-slow and
+    cancelled with :class:`~repro.errors.SlowShardError`, which the
+    resilient executor's ladder answers like any transient fault -
+    retry, re-partition, CPU fallback, quarantine.
+
+    ``budget()`` is also the watchdog *period*: an injected ``hang``
+    fault costs exactly one period of timeline before it is detected,
+    which is the bound the soak suite pins for deadline aborts.
+    """
+
+    def __init__(
+        self,
+        multiplier: float = 4.0,
+        floor_s: float = 0.005,
+        costs: CostConstants = DEFAULT_COSTS,
+    ) -> None:
+        if multiplier <= 1.0:
+            raise PipelineError("watchdog multiplier must be > 1")
+        if floor_s <= 0:
+            raise PipelineError("watchdog floor_s must be positive")
+        self.multiplier = multiplier
+        self.floor_s = floor_s
+        self.costs = costs
+        self.observed = 0
+        self.trips = 0
+
+    def predict(
+        self, stage: str, M: int, rows: int, seqs: int, spec: DeviceSpec
+    ) -> float:
+        """Cost-model seconds for one shard, 0.0 for unmodelled stages."""
+        kernel_stage = _STAGE_BY_NAME.get(stage)
+        if kernel_stage is None or rows <= 0:
+            return 0.0
+        work = StageWork(rows=rows, seqs=max(1, seqs), M=max(1, M))
+        try:
+            return best_gpu_stage_time(
+                kernel_stage, work, spec, costs=self.costs
+            ).seconds
+        except Exception:
+            # no feasible configuration: fall back to the grace floor
+            return 0.0
+
+    def budget(
+        self, stage: str, M: int, rows: int, seqs: int, spec: DeviceSpec
+    ) -> float:
+        """The cancel threshold (and detection period) for one shard."""
+        return self.multiplier * max(
+            self.predict(stage, M, rows, seqs, spec), self.floor_s
+        )
+
+    def observe(
+        self,
+        stage: str,
+        M: int,
+        rows: int,
+        seqs: int,
+        spec: DeviceSpec,
+        elapsed: float,
+        device_index: int | None = None,
+    ) -> None:
+        """Judge one completed shard; raise if it blew its budget."""
+        self.observed += 1
+        budget = self.budget(stage, M, rows, seqs, spec)
+        if elapsed > budget:
+            self.trips += 1
+            where = (
+                f"device {device_index}" if device_index is not None
+                else spec.name
+            )
+            raise SlowShardError(
+                f"watchdog cancelled {stage} shard on {where}: ran "
+                f"{elapsed:.4f}s against a {budget:.4f}s budget "
+                f"({self.multiplier:g}x the cost-model prediction)"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardWatchdog(multiplier={self.multiplier:g}, "
+            f"observed={self.observed}, trips={self.trips})"
+        )

@@ -85,6 +85,23 @@ class TestR001Determinism:
             "R001",
         )
 
+    def test_overload_plane_is_deterministic_scoped(self):
+        # admission pricing and watchdog budgets must come from injected
+        # clocks and the cost model, never wall time: both files sit in
+        # the rule's scope
+        from repro.analysis.rules import DETERMINISTIC_DIRS
+
+        assert "src/repro/service/admission.py" in DETERMINISTIC_DIRS
+        assert "src/repro/service/watchdog.py" in DETERMINISTIC_DIRS
+        wall_clock = """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        assert _lint("src/repro/service/watchdog.py", wall_clock, "R001")
+        assert _lint("src/repro/service/admission.py", wall_clock, "R001")
+
 
 class TestR002Facade:
     def test_deep_from_import_flagged(self):

@@ -1,0 +1,217 @@
+"""Predictive admission control: pricing, watermarks, shedding, gauges.
+
+The load-bearing property, checked both directly and as a hypothesis
+invariant over arbitrary admit/complete interleavings: every submission
+is accounted for exactly once -
+
+    admitted + rejected + shed == submitted
+
+and the in-system gauge can never exceed an armed ``max_pending``
+watermark, because the decision happens *before* a job is minted.
+"""
+
+import numpy as np
+import pytest
+
+from repro import sample_hmm
+from repro.errors import OverloadError, PipelineError
+from repro.gpu import KEPLER_K40
+from repro.sequence import (
+    DigitalSequence,
+    SequenceDatabase,
+    random_sequence_codes,
+)
+from repro.service import (
+    AdmissionController,
+    AdmissionLimits,
+    BatchSearchService,
+    CostEstimate,
+    DegradationState,
+    DevicePool,
+    FaultPlan,
+    JobQueue,
+    estimate_job_cost,
+)
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(44)
+    hmm = sample_hmm(40, rng, name="admitfam")
+    seqs = [
+        DigitalSequence(f"t{i}", random_sequence_codes(int(L), rng))
+        for i, L in enumerate(rng.integers(60, 160, size=12))
+    ]
+    return hmm, SequenceDatabase(seqs)
+
+
+def _est(seconds: float = 0.05, residues: int = 2_000) -> CostEstimate:
+    return CostEstimate(
+        seconds=seconds,
+        residues=residues,
+        sequences=10,
+        M=50,
+        engine="gpu_warp",
+        device="test",
+        stage_seconds=(("msv", seconds),),
+    )
+
+
+class TestEstimate:
+    def test_prices_scale_with_work(self, workload):
+        hmm, db = workload
+        gpu = estimate_job_cost(hmm, db, device=KEPLER_K40)
+        assert gpu.seconds > 0.0
+        assert gpu.residues == db.total_residues
+        assert gpu.M == hmm.M
+        stages = dict(gpu.stage_seconds)
+        assert set(stages) == {"msv", "p7viterbi", "fwd"}
+        assert gpu.seconds == pytest.approx(sum(stages.values()))
+        # MSV sees every residue, so it dominates the survivors' stages
+        assert stages["msv"] >= stages["p7viterbi"]
+
+    def test_cpu_engine_is_priced_without_a_device(self, workload):
+        hmm, db = workload
+        cpu = estimate_job_cost(hmm, db, engine="cpu")
+        assert cpu.seconds > 0.0
+        assert cpu.device == "cpu"
+
+
+class TestLimitsValidation:
+    def test_watermark_ordering_enforced(self):
+        with pytest.raises(PipelineError):
+            AdmissionLimits(degrade_at=0.9, minimal_at=0.5)
+
+    def test_max_pending_must_be_positive(self):
+        with pytest.raises(PipelineError):
+            AdmissionLimits(max_pending=0)
+
+
+class TestController:
+    def test_rejects_at_pending_watermark_with_retry_after(self):
+        ctrl = AdmissionController(AdmissionLimits(max_pending=2))
+        a, b = ctrl.admit_estimate(_est()), ctrl.admit_estimate(_est())
+        with pytest.raises(OverloadError) as err:
+            ctrl.admit_estimate(_est())
+        assert err.value.kind == "rejected"
+        assert err.value.retry_after > 0.0
+        # completion frees capacity; the refused job can retry
+        ctrl.complete(a)
+        ctrl.admit_estimate(_est())
+        ctrl.complete(b)
+        assert ctrl.snapshot()["submitted"] == 4
+
+    def test_rejects_at_backlog_cost_watermark(self):
+        ctrl = AdmissionController(AdmissionLimits(max_backlog_cost=0.1))
+        ctrl.admit_estimate(_est(seconds=0.08))
+        with pytest.raises(OverloadError, match="backlog"):
+            ctrl.admit_estimate(_est(seconds=0.08))
+
+    def test_sheds_low_priority_under_load_only(self):
+        limits = AdmissionLimits(max_pending=4, shed_below_priority=1)
+        ctrl = AdmissionController(limits)
+        ctrl.admit_estimate(_est(), priority=0)  # idle: admitted
+        ctrl.admit_estimate(_est(), priority=0)  # utilization now 0.5
+        with pytest.raises(OverloadError) as err:
+            ctrl.admit_estimate(_est(), priority=0)
+        assert err.value.kind == "shed"
+        # priority jobs are never shed, only hard-rejected at the wall
+        ctrl.admit_estimate(_est(), priority=1)
+        ctrl.admit_estimate(_est(), priority=1)
+        with pytest.raises(OverloadError) as err:
+            ctrl.admit_estimate(_est(), priority=1)
+        assert err.value.kind == "rejected"
+
+    def test_degradation_ladder_follows_utilization(self):
+        ctrl = AdmissionController(AdmissionLimits(max_pending=10))
+        assert ctrl.state is DegradationState.NORMAL
+        held = [ctrl.admit_estimate(_est()) for _ in range(5)]
+        assert ctrl.state is DegradationState.REDUCED
+        assert ctrl.state.sheds == ("selfcheck",)
+        held += [ctrl.admit_estimate(_est()) for _ in range(3)]
+        assert ctrl.state is DegradationState.MINIMAL
+        assert ctrl.state.sheds == ("selfcheck", "tracing")
+        held += [ctrl.admit_estimate(_est()) for _ in range(2)]
+        assert ctrl.state is DegradationState.CRITICAL
+        assert ctrl.state.sheds == ("selfcheck", "tracing", "bench")
+        for e in held:
+            ctrl.complete(e)
+        assert ctrl.state is DegradationState.NORMAL
+
+    def test_complete_is_none_safe_and_clamped(self):
+        ctrl = AdmissionController()
+        ctrl.complete(None)
+        ctrl.complete(_est())  # never admitted: clamps at zero
+        snap = ctrl.snapshot()
+        assert snap["in_system"] == 0
+        assert snap["backlog_cost_s"] == 0.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["admit", "complete"]), st.integers(0, 2)
+        ),
+        max_size=60,
+    )
+)
+def test_accounting_conserves_every_submission(ops):
+    """admitted + rejected + shed == submitted after ANY interleaving."""
+    limits = AdmissionLimits(max_pending=3, shed_below_priority=1)
+    ctrl = AdmissionController(limits)
+    live = []
+    for op, priority in ops:
+        if op == "admit":
+            try:
+                live.append(ctrl.admit_estimate(_est(), priority=priority))
+            except OverloadError:
+                pass
+        elif live:
+            ctrl.complete(live.pop())
+        snap = ctrl.snapshot()
+        assert (
+            snap["submitted"]
+            == snap["admitted"] + snap["rejected"] + snap["shed"]
+        )
+        assert snap["in_system"] == len(live)
+        assert snap["in_system"] <= limits.max_pending
+        assert snap["peak_in_system"] <= limits.max_pending
+        assert snap["backlog_cost_s"] == pytest.approx(
+            sum(e.seconds for e in live)
+        )
+
+
+class TestQueueIntegration:
+    def test_rejected_submission_never_enters_the_queue(self, workload):
+        hmm, db = workload
+        queue = JobQueue(
+            admission=AdmissionController(AdmissionLimits(max_pending=1))
+        )
+        queue.submit(hmm, db)
+        with pytest.raises(OverloadError):
+            queue.submit(hmm, db)
+        # no job minted, no serial burned: ids restart deterministically
+        assert len(queue) == 1
+        assert queue.admission.snapshot()["rejected"] == 1
+
+    def test_metrics_gauges_mirror_the_controller(self, workload):
+        hmm, db = workload
+        service = BatchSearchService(
+            pool=DevicePool.homogeneous(count=2),
+            fault_plan=FaultPlan([]),
+            limits=AdmissionLimits(max_pending=2),
+        )
+        service.submit(hmm, db)
+        with_pending = service.metrics.to_dict()["admission"]
+        assert with_pending == service.admission.snapshot()
+        assert with_pending["in_system"] == 1
+        service.run()
+        report = service.metrics.render()
+        assert "admission control" in report
+        after = service.metrics.to_dict()["admission"]
+        assert after["in_system"] == 0
+        assert after["admitted"] == 1

@@ -1,0 +1,150 @@
+"""The virtual timeline, deadline budgets, and the hung-shard watchdog.
+
+The invariants pinned here: virtual time advances only through explicit
+sleeps (honest work is free), a deadline is a pure function of the
+injected clock, and the watchdog's budget comes from the cost model -
+so a shard is cancelled for running past ``k x`` its *predicted* time,
+never past a wall-clock guess.
+"""
+
+import numpy as np
+import pytest
+
+from repro import sample_hmm
+from repro.errors import DeadlineExceeded, PipelineError, SlowShardError
+from repro.gpu import KEPLER_K40
+from repro.sequence import (
+    DigitalSequence,
+    SequenceDatabase,
+    random_sequence_codes,
+)
+from repro.service import (
+    BatchSearchService,
+    Deadline,
+    DevicePool,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    JobState,
+    PipelineSettings,
+    ShardWatchdog,
+    VirtualClock,
+)
+
+SETTINGS = PipelineSettings(
+    L=90, calibration_filter_sample=80, calibration_forward_sample=25
+)
+
+#: one representative shard workload for budget arithmetic
+WORK = dict(M=120, rows=60_000, seqs=200, spec=KEPLER_K40)
+
+
+class TestVirtualClock:
+    def test_advances_only_by_sleep(self):
+        clock = VirtualClock()
+        assert clock.now() == 0.0
+        clock.sleep(0.25)
+        clock.sleep(0.5)
+        assert clock.now() == pytest.approx(0.75)
+        assert clock.sleeps == 2
+        assert clock.slept == pytest.approx(0.75)
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(PipelineError):
+            VirtualClock().sleep(-1.0)
+
+    def test_custom_epoch(self):
+        assert VirtualClock(start=5.0).now() == 5.0
+
+
+class TestDeadline:
+    def test_budget_must_be_positive(self):
+        with pytest.raises(PipelineError):
+            Deadline(0.0, VirtualClock().now)
+
+    def test_consumes_virtual_time_and_expires(self):
+        clock = VirtualClock()
+        d = Deadline(0.1, clock.now, label="job-1")
+        assert not d.expired
+        assert d.remaining() == pytest.approx(0.1)
+        clock.sleep(0.04)
+        d.check("stage msv entry")  # still within budget
+        assert d.remaining() == pytest.approx(0.06)
+        clock.sleep(0.07)
+        assert d.expired
+        assert d.remaining() == 0.0
+        with pytest.raises(DeadlineExceeded, match="job-1"):
+            d.check("retry backoff")
+
+
+class TestShardWatchdog:
+    def test_budget_scales_the_cost_model_prediction(self):
+        wd = ShardWatchdog(multiplier=4.0)
+        predicted = wd.predict("msv", **WORK)
+        assert predicted > 0.0
+        assert wd.budget("msv", **WORK) == pytest.approx(
+            4.0 * max(predicted, wd.floor_s)
+        )
+
+    def test_unmodelled_stage_falls_back_to_the_floor(self):
+        wd = ShardWatchdog(multiplier=3.0, floor_s=0.01)
+        assert wd.predict("fwd", **WORK) == 0.0
+        assert wd.budget("fwd", **WORK) == pytest.approx(0.03)
+
+    def test_observe_trips_only_past_budget(self):
+        wd = ShardWatchdog()
+        budget = wd.budget("msv", **WORK)
+        wd.observe("msv", elapsed=0.5 * budget, **WORK)
+        assert wd.trips == 0
+        assert wd.observed == 1
+        with pytest.raises(SlowShardError, match="watchdog cancelled"):
+            wd.observe("msv", elapsed=2.0 * budget, device_index=1, **WORK)
+        assert wd.trips == 1
+
+    def test_multiplier_must_exceed_one(self):
+        with pytest.raises(PipelineError):
+            ShardWatchdog(multiplier=1.0)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(33)
+    hmm = sample_hmm(30, rng, name="wdfam")
+    seqs = [
+        DigitalSequence(f"t{i}", random_sequence_codes(int(L), rng))
+        for i, L in enumerate(rng.integers(40, 150, size=20))
+    ]
+    seqs.append(DigitalSequence("hom", hmm.sample_sequence(rng)))
+    return hmm, SequenceDatabase(seqs)
+
+
+class TestSlowShardEndToEnd:
+    def test_slow_shard_cancelled_and_hits_preserved(self, workload):
+        hmm, db = workload
+
+        def run(plan):
+            service = BatchSearchService(
+                pool=DevicePool.homogeneous(count=2), fault_plan=plan
+            )
+            job = service.submit(hmm, db, settings=SETTINGS)
+            service.run()
+            assert job.state is JobState.DONE
+            return service, job
+
+        clean_service, clean = run(FaultPlan([]))
+        plan = FaultPlan([FaultSpec(0, 0, FaultKind.SLOW)])
+        service, job = run(plan)
+
+        # the straggler was cancelled by the watchdog, recovered by the
+        # ladder, and the science is untouched
+        assert service.watchdog.trips == 1
+        stats = service.metrics.resilience
+        assert stats.fault_counts.get("slow") == 1
+        assert stats.total_faults == plan.fired_count == 1
+        assert job.results.hit_names() == clean.results.hit_names()
+        assert [h.evalue for h in job.results.hits] == [
+            h.evalue for h in clean.results.hits
+        ]
+        # the injected stall is the only thing that moved the timeline
+        assert service.timeline.now() > 0.0
+        assert clean_service.timeline.now() == 0.0

@@ -349,3 +349,75 @@ class TestPressAndLibraryScan:
     def test_press_missing_dir_fails(self, tmp_path, capsys):
         rc = main(["press", str(tmp_path / "nope"), str(tmp_path / "out")])
         assert rc == 1
+
+
+class TestOverloadExitCodes:
+    """The overload plane's CLI surface: exit 4 = admission refused,
+    exit 5 = deadlines expired, and neither disturbs a clean run."""
+
+    @pytest.fixture
+    def manifest(self, tmp_path, model_file, fasta_file):
+        import json
+
+        model_path, _ = model_file
+        jobs = [
+            {"model": str(model_path), "database": str(fasta_file)}
+            for _ in range(3)
+        ]
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps({"jobs": jobs}))
+        return path
+
+    def test_search_accepts_deadline_flag(self, model_file, fasta_file,
+                                          capsys):
+        path, _ = model_file
+        rc = main(["search", str(path), str(fasta_file), "--length", "120",
+                   "--deadline-ms", "60000"])
+        assert rc == 0
+        assert "planted" in capsys.readouterr().out
+
+    def test_batch_overload_exits_4(self, manifest, capsys):
+        rc = main(
+            ["batch", str(manifest), "--length", "120",
+             "--calibration-sample", "100", "--max-pending", "1"]
+        )
+        assert rc == 4
+        err = capsys.readouterr().err
+        assert "admission control rejected" in err
+        assert "retry after" in err
+
+    def test_batch_expired_deadline_exits_5(self, manifest, capsys):
+        rc = main(
+            ["batch", str(manifest), "--length", "120",
+             "--calibration-sample", "100",
+             "--fault-seed", "11", "--fault-count", "3",
+             "--deadline-ms", "0.5"]
+        )
+        assert rc == 5
+        out = capsys.readouterr().out
+        assert "deadline failures:" in out
+
+    def test_batch_generous_deadline_stays_clean(self, manifest, capsys):
+        rc = main(
+            ["batch", str(manifest), "--length", "120",
+             "--calibration-sample", "100",
+             "--fault-seed", "11", "--fault-count", "3",
+             "--deadline-ms", "60000"]
+        )
+        assert rc == 0
+        assert "jobs: 3 total, 3 done" in capsys.readouterr().out
+
+    def test_scan_expired_deadline_exits_5(self, tmp_path, capsys):
+        rng = np.random.default_rng(31)
+        truth = sample_hmm(30, rng, name="deadfam", conservation=40.0)
+        models = tmp_path / "models"
+        models.mkdir()
+        save_hmm(models / "deadfam.hmm", truth)
+        query = tmp_path / "query.fasta"
+        write_fasta(
+            query, [DigitalSequence("probe", truth.sample_sequence(rng))]
+        )
+        rc = main(["scan", str(models), str(query), "--length", "60",
+                   "--calibration-sample", "80", "--deadline-ms", "0.001"])
+        assert rc == 5
+        assert "deadline exceeded" in capsys.readouterr().err
