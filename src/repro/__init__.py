@@ -34,6 +34,7 @@ from .api import (
     SearchOptions,
     SearchResults,
     batch_search,
+    fsck_library,
     load_fasta,
     load_hmm,
     load_library,
@@ -52,6 +53,7 @@ __all__ = [
     "batch_search",
     "press_library",
     "load_library",
+    "fsck_library",
     "scan",
     "SearchOptions",
     "ScanOptions",
@@ -190,8 +192,20 @@ _LEGACY = {
     "FaultPlan": "repro.service",
     "FaultKind": "repro.service",
     "FaultSpec": "repro.service",
+    "PipelineCache": "repro.service",
     "PipelineSettings": "repro.service",
     "RunJournal": "repro.service",
+    "DurableRunJournal": "repro.service",
+    "WriteAheadJournal": "repro.service",
+    "ShardCheckpoint": "repro.service",
+    "CrashPoint": "repro.service",
+    "WAL_SCHEMA": "repro.service",
+    "result_digest": "repro.service",
+    "MetricsRegistry": "repro.service",
+    "JournalCorruptError": "repro.errors",
+    "FsckReport": "repro.scan",
+    "FsckProblem": "repro.scan",
+    "fsck_store": "repro.scan",
     "RetryPolicy": "repro.service",
     "Scheduler": "repro.service",
     "JobQueue": "repro.service",

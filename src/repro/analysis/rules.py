@@ -92,6 +92,9 @@ DETERMINISTIC_DIRS = (
     # wall time, so soak tests replay bit-identically
     "src/repro/service/admission.py",
     "src/repro/service/watchdog.py",
+    # the WAL carries no timestamps at all: recovery must replay to the
+    # same bytes regardless of when the journal was written
+    "src/repro/service/wal.py",
 )
 
 # numpy module-level sampling calls that use unseeded global state

@@ -51,6 +51,7 @@ __all__ = [
     "batch_search",
     "press_library",
     "load_library",
+    "fsck_library",
     "scan",
     "SearchOptions",
     "ScanOptions",
@@ -199,6 +200,22 @@ def load_library(store: str | Path, options: SearchOptions | None = None):
     return LibraryCatalog.load(
         store, policy=opts.policy, quarantine=opts.quarantine
     )
+
+
+def fsck_library(store: str | Path, repair: bool = False):
+    """Verify a pressed library store on disk; optionally repair it.
+
+    Walks the ``index.json`` + payload files of a :func:`press_library`
+    store, checking every entry's content fingerprint and scoring
+    tables.  With ``repair=True``, rebuildable damage (missing or
+    corrupt ``.npz`` tables) is regenerated from the fingerprint-true
+    model, unrecoverable entries are quarantined under
+    ``<store>/quarantine/``, and orphan payload files are swept aside.
+    Returns a :class:`~repro.scan.fsck.FsckReport`.
+    """
+    from .scan import LibraryCatalog
+
+    return LibraryCatalog.fsck(store, repair=repair)
 
 
 def scan(

@@ -24,12 +24,19 @@ mixed simulated device pool and print the service metrics report::
 
     repro-hmmsearch batch jobs.json --devices k40=2,gtx580=2
 
-Checkpoint a batch run to a journal (and later resume it, skipping the
-jobs already done), or soak it in deterministic injected faults::
+Checkpoint a batch run to a crash-consistent WAL v2 journal (and later
+resume it, replaying only unfinished work units), or soak it in
+deterministic injected faults::
 
-    repro-hmmsearch batch jobs.json --journal run.jsonl
-    repro-hmmsearch batch jobs.json --journal run.jsonl --resume
+    repro-hmmsearch batch jobs.json --journal run.wal
+    repro-hmmsearch batch jobs.json --journal run.wal --resume
     repro-hmmsearch batch jobs.json --fault-seed 42 --fault-count 4
+
+Library scans journal the same way, and a pressed store can be
+verified (and repaired) after a crash::
+
+    repro-hmmsearch scan store targets.fasta --journal scan.wal --resume
+    repro-hmmsearch fsck store --repair
 
 Print the occupancy table behind Figure 9::
 
@@ -48,6 +55,7 @@ import numpy as np
 from .errors import (
     DeadlineExceeded,
     DivergenceError,
+    JournalCorruptError,
     OverloadError,
     QuarantineError,
 )
@@ -334,9 +342,15 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             print(line, file=sys.stderr)
         return 2
     tracer = _tracer(args)
+    try:
+        journal = _open_journal(args)
+    except JournalCorruptError as exc:
+        print(f"journal corrupt: {exc}", file=sys.stderr)
+        return 6
     service = ScanService(
         catalog,
         pool=_parse_pool(args.devices),
+        journal=journal,
         options=ScanOptions(
             search=SearchOptions(
                 engine=_engine(args.engine),
@@ -362,6 +376,11 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         print(f"deadline exceeded: {exc}", file=sys.stderr)
         return 5
     print(results.summary())
+    if journal is not None:
+        print()
+        _journal_report(
+            journal, results.resumed_groups, results.recomputed_groups
+        )
     _write_observability(
         args, tracer,
         {"command": "scan", "library": str(source),
@@ -406,17 +425,51 @@ def _parse_pool(spec: str):
     return pool
 
 
+def _open_journal(args: argparse.Namespace):
+    """A WAL v2 journal from --journal/--resume flags, or None.
+
+    Strict/salvage follows the run's ingestion policy: salvage truncates
+    a torn journal tail and recomputes stale entries, strict raises
+    :class:`JournalCorruptError` (exit 6) so corruption never resumes
+    silently.
+    """
+    from .service import DurableRunJournal
+
+    if args.resume and not args.journal:
+        raise SystemExit("--resume requires --journal <path>")
+    if not args.journal:
+        return None
+    return DurableRunJournal(
+        args.journal, resume=args.resume, policy=_policy(args)
+    )
+
+
+def _journal_report(journal, resumed_units: int, recomputed_units: int) -> None:
+    counts = journal.unit_counts()
+    print(
+        f"journal {journal.path} (generation {journal.generation}): "
+        f"{counts['jobs']} job(s), {counts['shards']} shard(s), "
+        f"{counts['groups']} scan group(s) checkpointed"
+        + (
+            f", {journal.salvaged_bytes} torn tail byte(s) salvaged"
+            if journal.salvaged_bytes
+            else ""
+        )
+    )
+    print(
+        f"work units: {resumed_units} resumed from journal "
+        f"({recomputed_units} recomputed)"
+    )
+
+
 def _cmd_batch(args: argparse.Namespace) -> int:
     from .service import (
         AdmissionLimits,
         BatchSearchService,
         FaultPlan,
-        RunJournal,
         submit_manifest,
     )
 
-    if args.resume and not args.journal:
-        raise SystemExit("--resume requires --journal <path>")
     pool = _parse_pool(args.devices)
     plan = None
     if args.fault_seed is not None:
@@ -424,11 +477,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             args.fault_seed, n_faults=args.fault_count, n_devices=pool.size
         )
         print(plan.describe())
-    journal = (
-        RunJournal(args.journal, resume=args.resume)
-        if args.journal
-        else None
-    )
+    try:
+        journal = _open_journal(args)
+    except JournalCorruptError as exc:
+        print(f"journal corrupt: {exc}", file=sys.stderr)
+        return 6
     policy = _policy(args)
     tracer = _tracer(args)
     limits = None
@@ -469,7 +522,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"retry after ~{exc.retry_after:.3f}s of modelled backlog",
             file=sys.stderr,
         )
-    done = service.run()
+    try:
+        done = service.run()
+    except JournalCorruptError as exc:
+        # strict policy: a stale checkpoint entry must not silently
+        # resume the wrong results
+        print(f"journal corrupt: {exc}", file=sys.stderr)
+        return 6
     if not jobs:
         jobs = done
     print()
@@ -485,15 +544,21 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"journal {journal.path}: {len(journal)} job(s) checkpointed "
             f"({service.metrics.resumed_jobs} resumed this run)"
         )
+        _journal_report(
+            journal,
+            service.metrics.resumed_units,
+            service.metrics.recomputed_units,
+        )
     if args.show_hits:
         print()
         for job in jobs:
             if job.results is not None and job.results.hits:
                 print(job.results.summary())
-    # exit codes, worst first: 3 = engines diverged from the scalar
-    # reference, 5 = job deadlines expired, 4 = admission control
-    # refused submissions, 1 = jobs failed, 2 = completed but records
-    # were quarantined, 0 = clean
+    # exit codes, worst first: 6 = strict journal corruption (handled
+    # above), 3 = engines diverged from the scalar reference, 5 = job
+    # deadlines expired, 4 = admission control refused submissions,
+    # 1 = jobs failed, 2 = completed but records were quarantined,
+    # 0 = clean
     if service.metrics.total_divergences:
         return 3
     if service.metrics.deadline_failures:
@@ -505,6 +570,23 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if service.quarantine:
         return 2
     return 0
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    from .scan import LibraryCatalog
+
+    report = LibraryCatalog.fsck(args.store, repair=args.repair)
+    for line in report.render_lines():
+        print(line)
+    if args.json:
+        import json as _json
+
+        Path(args.json).write_text(
+            _json.dumps(report.to_dict(), indent=2) + "\n"
+        )
+        print(f"fsck report -> {args.json}")
+    # 0 = consistent (or fully repaired/quarantined), 1 = problems remain
+    return 0 if report.ok else 1
 
 
 def _cmd_occupancy(args: argparse.Namespace) -> int:
@@ -585,6 +667,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--top-hits", type=int, default=None, metavar="N",
         help="report only the N most significant hits",
     )
+    p.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="checkpoint completed launch groups to a crash-consistent "
+             "WAL v2 journal at PATH",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="replay launch groups already checkpointed in --journal "
+             "(requires --journal)",
+    )
     _add_search_flags(p)
     p.set_defaults(func=_cmd_scan)
 
@@ -626,12 +718,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print per-job hit summaries after the report")
     p.add_argument(
         "--journal", default=None, metavar="PATH",
-        help="checkpoint completed jobs to a JSONL journal at PATH",
+        help="checkpoint completed jobs and shards to a crash-consistent "
+             "WAL v2 journal at PATH",
     )
     p.add_argument(
         "--resume", action="store_true",
-        help="skip jobs already checkpointed in --journal "
-             "(requires --journal)",
+        help="skip jobs (and replay shards) already checkpointed in "
+             "--journal (requires --journal)",
     )
     p.add_argument(
         "--fault-seed", type=int, default=None, metavar="SEED",
@@ -655,6 +748,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_search_flags(p)
     p.set_defaults(func=_cmd_batch)
+
+    p = sub.add_parser(
+        "fsck",
+        help="verify a pressed library store; optionally repair it",
+    )
+    p.add_argument("store", help="pressed store directory to check")
+    p.add_argument(
+        "--repair", action="store_true",
+        help="rebuild damaged tables from verified models, quarantine "
+             "unrecoverable entries and orphans, and rewrite the index",
+    )
+    p.add_argument(
+        "--json", default=None, metavar="FILE",
+        help="also write the machine-readable fsck report to FILE",
+    )
+    p.set_defaults(func=_cmd_fsck)
 
     p = sub.add_parser("occupancy", help="print the Figure 9 occupancy table")
     p.add_argument("--stage", choices=("msv", "p7viterbi"), default="msv")

@@ -23,6 +23,7 @@ __all__ = [
     "DeadlineExceeded",
     "OverloadError",
     "ShardIntegrityError",
+    "JournalCorruptError",
     "QuarantineError",
     "DivergenceError",
     "SanitizerError",
@@ -108,6 +109,14 @@ class OverloadError(ReproError):
 
 class ShardIntegrityError(ReproError):
     """A scored shard failed its checksum re-verification (corruption)."""
+
+
+class JournalCorruptError(ReproError):
+    """A write-ahead journal (``repro-wal-v2``) failed recovery under the
+    strict policy: a torn or corrupt record tail, a bad file header, or
+    a checkpoint entry whose content fingerprint no longer matches the
+    submitted job.  Salvage-mode recovery truncates a damaged tail and
+    recomputes stale entries instead of raising."""
 
 
 class QuarantineError(ReproError):

@@ -27,6 +27,7 @@ from .bucketing import (
     memconfig_crossover,
 )
 from .catalog import CATALOG_SCHEMA, CatalogEntry, LibraryCatalog, PressSettings
+from .fsck import FsckProblem, FsckReport, fsck_store
 from .service import LibraryScanHit, LibraryScanResults, ScanOptions, ScanService
 
 __all__ = [
@@ -34,6 +35,9 @@ __all__ = [
     "PressSettings",
     "CatalogEntry",
     "LibraryCatalog",
+    "FsckProblem",
+    "FsckReport",
+    "fsck_store",
     "memconfig_crossover",
     "coschedule_groups",
     "CoscheduleGroup",

@@ -32,7 +32,9 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import threading
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
@@ -47,6 +49,7 @@ from ..hmm.plan7 import Plan7HMM
 from ..pipeline.calibrate import PipelineCalibration
 from ..pipeline.pipeline import HmmsearchPipeline, PipelineThresholds
 from ..pipeline.stats import ScoreDistribution
+from ..service.wal import fsync_dir
 
 __all__ = ["CATALOG_SCHEMA", "PressSettings", "CatalogEntry", "LibraryCatalog"]
 
@@ -335,10 +338,15 @@ class LibraryCatalog:
     def save(self, store: str | Path) -> Path:
         """Write the pressed store (models, tables, versioned index).
 
-        Forces any outstanding lazy calibrations first; the index is
-        written last so a crash mid-save leaves a store whose missing
-        artifacts are caught by load-time verification rather than a
-        valid-looking but incomplete index.
+        Forces any outstanding lazy calibrations first.  Durability
+        ordering matters: every ``.hmm``/``.npz`` payload is written
+        *and fsynced* before the index is tmp-written, fsynced and
+        atomically renamed over ``index.json`` (then the directory is
+        fsynced).  A kill at any point therefore leaves either the old
+        index or a new index whose referenced artifacts are already on
+        stable storage - never a valid-looking index pointing at a
+        truncated table (the invariant :func:`repro.scan.fsck.fsck_store`
+        verifies).
         """
         store = Path(store)
         (store / "models").mkdir(parents=True, exist_ok=True)
@@ -347,11 +355,14 @@ class LibraryCatalog:
         for entry in self.entries():
             model_file = f"models/{entry.fingerprint}.hmm"
             tables_file = f"tables/{entry.fingerprint}.npz"
-            (store / model_file).write_text(
-                dumps_hmm(entry.hmm), encoding="ascii"
-            )
+            with (store / model_file).open("w", encoding="ascii") as fh:
+                fh.write(dumps_hmm(entry.hmm))
+                fh.flush()
+                os.fsync(fh.fileno())
             with (store / tables_file).open("wb") as fh:
                 np.savez(fh, **entry.scoring_tables())
+                fh.flush()
+                os.fsync(fh.fileno())
             rows.append(
                 {
                     "name": entry.name,
@@ -369,8 +380,12 @@ class LibraryCatalog:
             "entries": rows,
         }
         tmp = store / "index.json.tmp"
-        tmp.write_text(json.dumps(index, indent=2) + "\n")
+        with tmp.open("w") as fh:
+            fh.write(json.dumps(index, indent=2) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
         tmp.replace(store / "index.json")
+        fsync_dir(store)
         return store
 
     @classmethod
@@ -521,6 +536,19 @@ class LibraryCatalog:
             catalog._adopt(entry)
         return catalog
 
+    @classmethod
+    def fsck(cls, store: str | Path, repair: bool = False):
+        """Verify a pressed store on disk; optionally repair/quarantine.
+
+        Returns a :class:`~repro.scan.fsck.FsckReport` - missing or
+        truncated artifacts, stale or unparseable models, orphans and
+        interrupted-save leftovers, each with the action taken.  See
+        :func:`repro.scan.fsck.fsck_store` for the repair semantics.
+        """
+        from .fsck import fsck_store
+
+        return fsck_store(store, repair=repair)
+
     def __repr__(self) -> str:
         return (
             f"LibraryCatalog({self.name!r}, entries={len(self)}, "
@@ -545,6 +573,7 @@ def _verify_tables(entry: CatalogEntry, tables_path: Path) -> str | None:
             for key, table in fresh.items():
                 if not np.array_equal(np.asarray(stored[key]), table):
                     return f"stored table {key!r} differs from model"
-    except (ValueError, OSError, KeyError) as exc:
+    except (ValueError, OSError, KeyError, zipfile.BadZipFile) as exc:
+        # BadZipFile: a truncated or bit-flipped .npz (torn write)
         return f"unreadable tables file: {exc}"
     return None

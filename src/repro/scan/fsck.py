@@ -1,0 +1,328 @@
+"""``fsck`` for pressed library stores: verify, repair, quarantine.
+
+:meth:`LibraryCatalog.load` verifies entries on the way in, but an
+operator staring at a store that survived a crash (or a disk that did
+not) needs the opposite direction: walk everything *on disk*, classify
+every inconsistency, and optionally put the store back into a loadable
+state without re-pressing.  :func:`fsck_store` checks
+
+* the index itself (present, parseable, right schema, no leftover
+  ``index.json.tmp`` from an interrupted save);
+* every indexed entry: model file present, parseable, fingerprint-true;
+  tables file present and bit-identical to tables rebuilt from the model
+  (the :func:`~repro.scan.catalog._verify_tables` invariant, which also
+  catches the truncated ``.npz`` a kill mid-save could leave without
+  the save path's payload-before-index fsync ordering);
+* orphans: ``models/``/``tables/`` artifacts no index row references.
+
+With ``repair=True`` the store is additionally *fixed*: rebuildable
+damage (bad or missing tables under a fingerprint-true model) is
+repaired in place with the save path's fsync discipline, unrecoverable
+entries (missing/stale/unparseable models) are moved to
+``<store>/quarantine/`` and dropped from a rewritten index, orphans are
+moved to quarantine, and the stale tmp index is deleted.  A repaired
+store always loads cleanly under the strict policy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import FormatError
+from ..hmm.fingerprint import hmm_fingerprint
+from ..hmm.hmmfile import loads_hmm
+from ..service.wal import fsync_dir, fsync_file
+
+__all__ = ["FsckProblem", "FsckReport", "fsck_store"]
+
+#: Problems fsck can fix in place by rebuilding from a verified model.
+_REBUILDABLE = ("missing-tables", "corrupt-tables")
+
+#: Problems that evict the entry (and its artifacts) to quarantine.
+_EVICTING = ("missing-model", "unparseable-model", "stale-model")
+
+
+@dataclass(frozen=True)
+class FsckProblem:
+    """One inconsistency found in a pressed store."""
+
+    kind: str            # e.g. "corrupt-tables", "orphan", "stale-model"
+    path: str            # store-relative path of the offending artifact
+    entry: str = ""      # model name, when the problem belongs to an entry
+    detail: str = ""
+    action: str = "reported"  # "reported" | "repaired" | "quarantined"
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class FsckReport:
+    """Everything one fsck pass over a store found (and did)."""
+
+    store: str
+    entries_checked: int = 0
+    orphans_checked: int = 0
+    problems: list[FsckProblem] = field(default_factory=list)
+    repaired: int = 0
+    quarantined: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when every found problem was repaired or quarantined."""
+        return all(p.action != "reported" for p in self.problems)
+
+    @property
+    def clean(self) -> bool:
+        """True when the store had no problems at all."""
+        return not self.problems
+
+    def to_dict(self) -> dict:
+        return {
+            "store": self.store,
+            "entries_checked": self.entries_checked,
+            "orphans_checked": self.orphans_checked,
+            "problems": [p.to_dict() for p in self.problems],
+            "repaired": self.repaired,
+            "quarantined": self.quarantined,
+            "ok": self.ok,
+            "clean": self.clean,
+        }
+
+    def render_lines(self) -> list[str]:
+        lines = [
+            f"fsck {self.store}: {self.entries_checked} entries checked, "
+            f"{self.orphans_checked} unreferenced artifact(s)",
+        ]
+        if self.clean:
+            lines.append("  store is consistent")
+            return lines
+        for p in self.problems:
+            where = f" ({p.entry})" if p.entry else ""
+            lines.append(f"  [{p.kind}] {p.path}{where}: "
+                         f"{p.detail or 'inconsistent'} -> {p.action}")
+        lines.append(
+            f"  {len(self.problems)} problem(s): {self.repaired} repaired, "
+            f"{self.quarantined} quarantined, "
+            f"{sum(1 for p in self.problems if p.action == 'reported')} "
+            "left in place"
+        )
+        return lines
+
+
+def _quarantine(store: Path, rel: str) -> None:
+    """Move one artifact into ``<store>/quarantine/`` (flattened name)."""
+    src = store / rel
+    if not src.exists():
+        return
+    qdir = store / "quarantine"
+    qdir.mkdir(exist_ok=True)
+    dst = qdir / rel.replace("/", "__")
+    src.replace(dst)
+    fsync_dir(qdir)
+
+
+def fsck_store(store: str | Path, repair: bool = False) -> FsckReport:
+    """Walk a pressed store on disk and classify every inconsistency.
+
+    Never raises on store damage - every finding lands in the report
+    (the CLI turns an unrepaired report into a nonzero exit).  With
+    ``repair=True`` the actions described in the module docstring are
+    applied and the index rewritten if entries were evicted.
+    """
+    from .catalog import (
+        CATALOG_SCHEMA,
+        CatalogEntry,
+        PressSettings,
+        _calibration_from_dict,
+        _verify_tables,
+    )
+
+    store = Path(store)
+    report = FsckReport(store=str(store))
+    index_path = store / "index.json"
+    tmp_path = store / "index.json.tmp"
+
+    if tmp_path.exists():
+        action = "reported"
+        if repair:
+            tmp_path.unlink()
+            action = "repaired"
+            report.repaired += 1
+        report.problems.append(
+            FsckProblem(
+                kind="leftover-tmp", path="index.json.tmp",
+                detail="interrupted save left a temporary index",
+                action=action,
+            )
+        )
+
+    if not index_path.exists():
+        report.problems.append(
+            FsckProblem(
+                kind="missing-index", path="index.json",
+                detail="not a pressed library (no index.json)",
+            )
+        )
+        return report
+    try:
+        index = json.loads(index_path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        report.problems.append(
+            FsckProblem(
+                kind="unreadable-index", path="index.json",
+                detail=f"index does not parse: {exc}",
+            )
+        )
+        return report
+    if index.get("schema") != CATALOG_SCHEMA:
+        report.problems.append(
+            FsckProblem(
+                kind="bad-schema", path="index.json",
+                detail=f"schema {index.get('schema')!r} is not "
+                       f"{CATALOG_SCHEMA}",
+            )
+        )
+        return report
+
+    try:
+        settings = PressSettings.from_dict(index.get("settings", {}))
+    except (KeyError, TypeError, ValueError) as exc:
+        report.problems.append(
+            FsckProblem(
+                kind="bad-settings", path="index.json",
+                detail=f"press settings do not parse: {exc}",
+            )
+        )
+        return report
+
+    referenced: set[str] = set()
+    surviving_rows: list[dict] = []
+    index_dirty = False
+
+    def entry_problem(row: dict, kind: str, rel: str, detail: str) -> None:
+        nonlocal index_dirty
+        action = "reported"
+        name = str(row.get("name", "?"))
+        if repair:
+            if kind in _REBUILDABLE:
+                # the model is fingerprint-true: rebuild the tables from
+                # it with the save path's payload-then-fsync discipline
+                entry = CatalogEntry(
+                    row["_hmm"], settings,
+                    fingerprint=str(row.get("fingerprint", "")),
+                    calibration=_calibration_from_dict(row["calibration"]),
+                )
+                tables_path = store / str(row.get("tables_file", ""))
+                with tables_path.open("wb") as fh:
+                    np.savez(fh, **entry.scoring_tables())
+                    fh.flush()
+                fsync_file(tables_path)
+                action = "repaired"
+                report.repaired += 1
+            elif kind in _EVICTING:
+                _quarantine(store, str(row.get("model_file", "")))
+                _quarantine(store, str(row.get("tables_file", "")))
+                index_dirty = True
+                action = "quarantined"
+                report.quarantined += 1
+        report.problems.append(
+            FsckProblem(
+                kind=kind, path=rel, entry=name, detail=detail, action=action
+            )
+        )
+
+    for row in index.get("entries", []):
+        report.entries_checked += 1
+        model_rel = str(row.get("model_file", ""))
+        tables_rel = str(row.get("tables_file", ""))
+        referenced.update({model_rel, tables_rel})
+        model_path = store / model_rel
+        evicted = False
+
+        if not model_path.is_file():
+            entry_problem(row, "missing-model", model_rel,
+                          "indexed model file does not exist")
+            evicted = repair
+        else:
+            try:
+                hmm = loads_hmm(
+                    model_path.read_text(encoding="ascii"),
+                    source=str(model_path),
+                )
+            except (FormatError, UnicodeDecodeError) as exc:
+                hmm = None
+                entry_problem(row, "unparseable-model", model_rel,
+                              f"model file does not parse: {exc}")
+                evicted = repair
+            if hmm is not None:
+                if hmm_fingerprint(hmm) != row.get("fingerprint"):
+                    entry_problem(
+                        row, "stale-model", model_rel,
+                        "model content no longer matches the pressed "
+                        "fingerprint",
+                    )
+                    evicted = repair
+                else:
+                    # fingerprint-true model: verify (and maybe rebuild)
+                    # its tables
+                    entry = CatalogEntry(
+                        hmm, settings,
+                        fingerprint=str(row.get("fingerprint", "")),
+                        calibration=_calibration_from_dict(row["calibration"]),
+                    )
+                    tables_path = store / tables_rel
+                    if not tables_path.is_file():
+                        row = dict(row, _hmm=hmm)
+                        entry_problem(row, "missing-tables", tables_rel,
+                                      "indexed tables file does not exist")
+                    else:
+                        reason = _verify_tables(entry, tables_path)
+                        if reason is not None:
+                            row = dict(row, _hmm=hmm)
+                            entry_problem(
+                                row, "corrupt-tables", tables_rel, reason
+                            )
+        if not evicted:
+            surviving_rows.append(
+                {k: v for k, v in row.items() if k != "_hmm"}
+            )
+
+    # orphan sweep: artifacts on disk the index does not reference
+    for sub in ("models", "tables"):
+        subdir = store / sub
+        if not subdir.is_dir():
+            continue
+        for path in sorted(subdir.iterdir()):
+            rel = f"{sub}/{path.name}"
+            if rel in referenced or not path.is_file():
+                continue
+            report.orphans_checked += 1
+            action = "reported"
+            if repair:
+                _quarantine(store, rel)
+                action = "quarantined"
+                report.quarantined += 1
+            report.problems.append(
+                FsckProblem(
+                    kind="orphan", path=rel,
+                    detail="artifact not referenced by the index",
+                    action=action,
+                )
+            )
+
+    if repair and index_dirty:
+        index["entries"] = surviving_rows
+        with tmp_path.open("w") as fh:
+            fh.write(json.dumps(index, indent=2) + "\n")
+            fh.flush()
+        fsync_file(tmp_path)
+        tmp_path.replace(index_path)
+        fsync_dir(store)
+
+    return report

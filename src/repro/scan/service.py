@@ -27,8 +27,11 @@ hmmscan's semantics.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, replace
 from typing import Callable
+
+import numpy as np
 
 from ..errors import LaunchError, PipelineError
 from ..gpu.counters import KernelCounters
@@ -38,7 +41,7 @@ from ..options import Engine, PipelineThresholds, SearchOptions
 from ..pipeline.results import StageStats
 from ..sequence.database import SequenceDatabase
 from ..service.devices import DevicePool, DeviceSlot
-from ..service.faults import FaultPlan
+from ..service.faults import FaultPlan, ResilienceEvent
 from ..service.metrics import MetricsRegistry
 from ..service.watchdog import Deadline, VirtualClock
 from .bucketing import BucketPlan, build_bucket_plan
@@ -111,6 +114,8 @@ class LibraryScanResults:
     bucket_stats: list[dict]                   # per-bucket schedule summary
     crossover: int                             # memconfig split point used
     fallbacks: int                             # launch groups retried on CPU
+    resumed_groups: int = 0     # launch groups served from a durable journal
+    recomputed_groups: int = 0  # launch groups executed live under a journal
 
     def hit_models(self) -> list[str]:
         seen: dict[str, None] = {}
@@ -128,6 +133,11 @@ class LibraryScanResults:
             f"schedule: crossover M={self.crossover}, "
             f"{len(self.bucket_stats)} bucket(s), fallbacks: {self.fallbacks}",
         ]
+        if self.resumed_groups or self.recomputed_groups:
+            lines.append(
+                f"journal: {self.resumed_groups} launch group(s) resumed, "
+                f"{self.recomputed_groups} recomputed"
+            )
         for b in self.bucket_stats:
             lines.append(
                 f"  bucket {b['key']}: {b['models']} models in "
@@ -160,6 +170,7 @@ class ScanService:
         fault_plan: FaultPlan | None = None,
         options: ScanOptions | None = None,
         clock: Callable[[], float] | None = None,
+        journal=None,
     ) -> None:
         self.catalog = catalog
         self.pool = pool if pool is not None else DevicePool.heterogeneous()
@@ -168,6 +179,9 @@ class ScanService:
             fault_plan if fault_plan is not None else FaultPlan.from_env()
         )
         self.options = options if options is not None else ScanOptions()
+        # DurableRunJournal | None: launch groups are checkpointed as
+        # they complete, and a resumed scan replays only unfinished ones
+        self.journal = journal
         # monotonic timebase for deadline_ms budgets; injectable (the CLI
         # passes a real monotonic clock, tests a stepped fake) and
         # defaults to a private virtual timeline
@@ -195,6 +209,83 @@ class ScanService:
         device = self.pool.slots[0].spec
         return build_bucket_plan(self.catalog.entries(), stage, device)
 
+    # -- durable checkpointing -----------------------------------------------
+
+    def _database_fingerprint(self, database: SequenceDatabase) -> str:
+        """Content hash of the scanned sequence set (names + residues)."""
+        h = hashlib.sha256()
+        h.update(database.name.encode())
+        h.update(str(len(database)).encode())
+        for seq in database:
+            h.update(seq.name.encode())
+            h.update(np.asarray(seq.codes, dtype=np.uint8).tobytes())
+        return h.hexdigest()
+
+    def _group_key(
+        self,
+        db_fp: str,
+        bucket,
+        names: tuple[str, ...],
+        n_models: int,
+        report_evalue: float,
+    ) -> str:
+        """Content key of one launch group's durable unit.
+
+        Hashes the models' *content fingerprints* (a re-pressed model
+        changes the key), the database content, the kernel memory
+        configuration, the reporting gate and the library size - scan
+        E-values are ``fwd_p x n_models``, so the same group scanned in
+        a different-sized library is a different unit.  The engine is
+        deliberately excluded: hits are engine-invariant.
+        """
+        h = hashlib.sha256()
+        h.update(b"scan-group:")
+        h.update(db_fp.encode())
+        h.update(bucket.config.value.encode())
+        h.update(str(n_models).encode())
+        h.update(np.float64(report_evalue).tobytes())
+        for name in names:
+            entry = self.catalog.get(name)
+            h.update(name.encode())
+            h.update(entry.fingerprint.encode())
+        return h.hexdigest()
+
+    def _restore_group(
+        self,
+        entry: dict,
+        hits: list[LibraryScanHit],
+        model_stages: dict[str, list[StageStats]],
+    ) -> None:
+        """Replay one journaled launch group without touching a device."""
+        for h in entry.get("hits", []):
+            hits.append(
+                LibraryScanHit(
+                    sequence_name=str(h["sequence_name"]),
+                    sequence_index=int(h["sequence_index"]),
+                    model_name=str(h["model_name"]),
+                    M=int(h["M"]),
+                    msv_bits=float(h["msv_bits"]),
+                    vit_bits=float(h["vit_bits"]),
+                    fwd_bits=float(h["fwd_bits"]),
+                    fwd_p=float(h["fwd_p"]),
+                    evalue=float(h["evalue"]),
+                )
+            )
+        for name, sts in entry.get("stages", {}).items():
+            model_stages[name] = [StageStats.from_dict(d) for d in sts]
+        self.metrics.resilience.record(
+            ResilienceEvent(
+                kind="resume_group",
+                stage="scan",
+                job_id=f"scan:{self.catalog.name}",
+                detail=(
+                    f"{len(entry.get('stages', {}))} model(s), "
+                    f"{len(entry.get('hits', []))} hit(s) restored "
+                    "from the journal"
+                ),
+            )
+        )
+
     def scan(
         self,
         database: SequenceDatabase,
@@ -216,6 +307,13 @@ class ScanService:
         model_stages: dict[str, list[StageStats]] = {}
         bucket_stats: list[dict] = []
         fallbacks = 0
+        resumed_groups = 0
+        recomputed_groups = 0
+        db_fp = (
+            self._database_fingerprint(database)
+            if self.journal is not None
+            else ""
+        )
         # deadline: the ScanOptions budget wins; a budget set on the
         # wrapped SearchOptions applies to the whole scan as a fallback
         deadline_ms = (
@@ -255,10 +353,39 @@ class ScanService:
                             deadline.check(
                                 f"launch group {group.names[0]}..."
                             )
-                        fallbacks += self._run_group(
+                        key = None
+                        if self.journal is not None:
+                            key = self._group_key(
+                                db_fp, bucket, group.names, n_models,
+                                th.report_evalue,
+                            )
+                            done = self.journal.group(key)
+                            if done is not None:
+                                self._restore_group(
+                                    done, hits, model_stages
+                                )
+                                resumed_groups += 1
+                                continue
+                        g_hits: list[LibraryScanHit] = []
+                        g_stages: dict[str, list[StageStats]] = {}
+                        fb = self._run_group(
                             bucket, group.names, database, sopts, inner_th,
-                            th, n_models, hits, model_stages,
+                            th, n_models, g_hits, g_stages,
                         )
+                        fallbacks += fb
+                        hits.extend(g_hits)
+                        model_stages.update(g_stages)
+                        if key is not None:
+                            self.journal.record_group(
+                                key,
+                                hits=[h.to_dict() for h in g_hits],
+                                stages={
+                                    name: [st.to_dict() for st in sts]
+                                    for name, sts in g_stages.items()
+                                },
+                                fallbacks=fb,
+                            )
+                            recomputed_groups += 1
                 bucket_stats.append(
                     {
                         "key": bucket.key,
@@ -289,6 +416,8 @@ class ScanService:
             bucket_stats=bucket_stats,
             crossover=plan.crossover,
             fallbacks=fallbacks,
+            resumed_groups=resumed_groups,
+            recomputed_groups=recomputed_groups,
         )
 
     def _run_group(

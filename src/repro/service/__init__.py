@@ -24,6 +24,11 @@ amortized across repeats, every stage observable.
   :class:`RetryPolicy` / :class:`RunJournal`: shard-level retry with
   backoff, repartitioning onto surviving devices, residual-shard CPU
   fallback, device quarantine, and batch checkpoint/resume.
+* :mod:`~repro.service.wal` - :class:`WriteAheadJournal` /
+  :class:`DurableRunJournal` / :class:`ShardCheckpoint`: the
+  ``repro-wal-v2`` crash-consistent journal (CRC-framed records, fsync
+  epochs, torn-tail recovery) checkpointing jobs, shards and scan
+  launch groups for exactly-once resume.
 * :mod:`~repro.service.metrics` - :class:`MetricsRegistry`: per-job and
   aggregate observability; ``service.metrics.render()`` is the report.
 * :mod:`~repro.service.admission` - :class:`AdmissionController` /
@@ -88,6 +93,13 @@ from .resilience import (
     result_digest,
 )
 from .scheduler import PoolExecutor, Scheduler
+from .wal import (
+    WAL_SCHEMA,
+    CrashPoint,
+    DurableRunJournal,
+    ShardCheckpoint,
+    WriteAheadJournal,
+)
 from .watchdog import Deadline, ShardWatchdog, VirtualClock
 
 __all__ = [
@@ -117,6 +129,11 @@ __all__ = [
     "ResilientExecutor",
     "RetryPolicy",
     "RunJournal",
+    "WAL_SCHEMA",
+    "CrashPoint",
+    "DurableRunJournal",
+    "ShardCheckpoint",
+    "WriteAheadJournal",
     "result_digest",
     "PoolExecutor",
     "Scheduler",

@@ -34,7 +34,7 @@ from ..pipeline.results import SearchResults
 from ..sequence.database import SequenceDatabase
 from .cache import PipelineSettings, hmm_fingerprint
 
-__all__ = ["JobState", "SearchJob", "JobQueue"]
+__all__ = ["JobState", "SearchJob", "JobQueue", "job_fingerprint"]
 
 
 class JobState(enum.Enum):
@@ -117,9 +117,16 @@ class SearchJob:
         )
 
 
-def _job_fingerprint(
+def job_fingerprint(
     hmm: Plan7HMM, database: SequenceDatabase, engine: Engine
 ) -> str:
+    """Content fingerprint of one (query, database, engine) submission.
+
+    The durable-execution layer keys journal entries by this hash, so a
+    resumed run only trusts checkpoints whose submission content is
+    bit-identical to what it is about to execute - an edited manifest or
+    swapped database invalidates stale entries by construction.
+    """
     h = hashlib.sha256()
     h.update(hmm_fingerprint(hmm).encode())
     h.update(database.name.encode())
@@ -127,6 +134,10 @@ def _job_fingerprint(
     h.update(str(database.total_residues).encode())
     h.update(engine.value.encode())
     return h.hexdigest()
+
+
+# Backward-compatible private alias (pre-durability callers).
+_job_fingerprint = job_fingerprint
 
 
 class JobQueue:

@@ -59,6 +59,8 @@ class JobRecord:
     quarantined: int = 0         # records quarantined while running this job
     deadline_expired: bool = False  # failed because deadline_ms ran out
     shed: list[str] = field(default_factory=list)  # optional work shed
+    resumed_units: int = 0       # shards served from a durable journal
+    recomputed_units: int = 0    # shards executed live under a journal
     error: str | None = None
 
     def to_dict(self) -> dict:
@@ -84,6 +86,8 @@ class JobRecord:
             "quarantined": self.quarantined,
             "deadline_expired": self.deadline_expired,
             "shed": list(self.shed),
+            "resumed_units": self.resumed_units,
+            "recomputed_units": self.recomputed_units,
             "error": self.error,
         }
 
@@ -115,6 +119,9 @@ class ResilienceStats:
         self.reintegrations = 0
         self.resumes = 0
         self.deadline_aborts = 0
+        self.shard_resumes = 0       # shards served from a durable journal
+        self.group_resumes = 0       # scan launch groups served likewise
+        self.stale_checkpoints = 0   # fingerprint-mismatched entries dropped
 
     def record(self, event: ResilienceEvent) -> None:
         self.events.append(event)
@@ -141,6 +148,12 @@ class ResilienceStats:
             self.resumes += 1
         elif event.kind == "deadline":
             self.deadline_aborts += 1
+        elif event.kind == "resume_shard":
+            self.shard_resumes += 1
+        elif event.kind == "resume_group":
+            self.group_resumes += 1
+        elif event.kind == "stale_checkpoint":
+            self.stale_checkpoints += 1
 
     @property
     def total_faults(self) -> int:
@@ -171,6 +184,9 @@ class ResilienceStats:
             "reintegrations": self.reintegrations,
             "resumes": self.resumes,
             "deadline_aborts": self.deadline_aborts,
+            "shard_resumes": self.shard_resumes,
+            "group_resumes": self.group_resumes,
+            "stale_checkpoints": self.stale_checkpoints,
             "events": [e.to_dict() for e in self.events],
         }
 
@@ -194,6 +210,12 @@ class ResilienceStats:
         ]
         if self.deadline_aborts:
             lines.append(f"  deadline aborts: {self.deadline_aborts}")
+        if self.shard_resumes or self.group_resumes or self.stale_checkpoints:
+            lines.append(
+                f"  journal: {self.shard_resumes} shard(s) and "
+                f"{self.group_resumes} scan group(s) resumed, "
+                f"{self.stale_checkpoints} stale checkpoint(s) discarded"
+            )
         return lines
 
 
@@ -275,6 +297,16 @@ class MetricsRegistry:
     def recomputed_jobs(self) -> int:
         """Jobs that actually executed (done or failed, not resumed)."""
         return sum(1 for r in self.records if not r.resumed)
+
+    @property
+    def resumed_units(self) -> int:
+        """Shard-granular work units served from a durable journal."""
+        return sum(r.resumed_units for r in self.records)
+
+    @property
+    def recomputed_units(self) -> int:
+        """Shard-granular work units executed live under a journal."""
+        return sum(r.recomputed_units for r in self.records)
 
     @property
     def deadline_failures(self) -> int:
@@ -361,6 +393,8 @@ class MetricsRegistry:
             },
             "resumed_jobs": self.resumed_jobs,
             "recomputed_jobs": self.recomputed_jobs,
+            "resumed_units": self.resumed_units,
+            "recomputed_units": self.recomputed_units,
             "resilience": self.resilience.to_dict(),
             "quarantine": self.quarantine.to_dict(),
             "selfchecked": self.total_selfchecked,
@@ -402,6 +436,11 @@ class MetricsRegistry:
                 f"({self.recomputed_jobs} recomputed)"
             )
         lines.append(jobs_line)
+        if self.resumed_units or self.recomputed_units:
+            lines.append(
+                f"work units: {self.resumed_units} resumed from journal, "
+                f"{self.recomputed_units} recomputed"
+            )
         lines.append(
             f"targets scored: {self.total_targets}   "
             f"hits reported: {self.total_hits}"

@@ -175,6 +175,7 @@ class ResilientExecutor:
         clock: Callable[[], float] | None = None,
         watchdog: ShardWatchdog | None = None,
         deadline: Deadline | None = None,
+        checkpoint=None,
     ) -> None:
         self.pool = pool
         self.plan = plan
@@ -187,9 +188,12 @@ class ResilientExecutor:
         self.clock = clock
         self.watchdog = watchdog if watchdog is not None else ShardWatchdog()
         self.deadline = deadline
+        self.checkpoint = checkpoint  # ShardCheckpoint | None
         self.stage_dispatches = 0
         self.failed_dispatches = 0
         self.retries_left = self.policy.retry_budget
+        self.resumed_units = 0       # shards served from the journal
+        self.recomputed_units = 0    # shards executed live under a journal
 
     # -- event log -----------------------------------------------------------
 
@@ -217,12 +221,16 @@ class ResilientExecutor:
         ):
             if not slots:
                 # every device quarantined and cooling down: the stage
-                # itself degrades to the reference scorer
+                # itself degrades to the reference scorer (checkpointed
+                # as a single stage-wide unit)
                 self._emit(
                     "cpu_stage", stage=name,
                     detail=f"all {self.pool.size} devices quarantined",
                 )
-                part = self._cpu_scores(name, profile, database)
+                part = self._checkpointed(
+                    name, profile, database,
+                    lambda: self._cpu_scores(name, profile, database),
+                )
                 scores[:] = part.scores
                 overflowed[:] = part.overflowed
                 self.stage_dispatches += 1
@@ -236,9 +244,12 @@ class ResilientExecutor:
                     self.tracer, f"shard{shard_no}", "shard",
                     device=slot.spec.name, stage=name,
                 ) as sh:
-                    part = self._score_shard(
-                        name, kernel, profile, chunk, slot, config, counters,
-                        peers=slots,
+                    part = self._checkpointed(
+                        name, profile, chunk,
+                        lambda: self._score_shard(
+                            name, kernel, profile, chunk, slot, config,
+                            counters, peers=slots,
+                        ),
                     )
                     if sh is not None:
                         sh.count(
@@ -251,6 +262,39 @@ class ResilientExecutor:
                 offset += m
             self.stage_dispatches += 1
         return FilterScores(scores=scores, overflowed=overflowed)
+
+    # -- shard-granular checkpointing ----------------------------------------
+
+    def _checkpointed(
+        self, name, profile, chunk, compute: Callable[[], FilterScores]
+    ) -> FilterScores:
+        """Serve one work unit from the journal, or run it and journal it.
+
+        A journal hit is *exactly-once resume*: the stored bit-exact
+        scores are returned without touching a device, and the unit is
+        never re-recorded (so the journal's duplicate counter stays
+        zero).  A miss runs ``compute`` - the full degradation ladder -
+        and durably commits the result before the stage moves on, which
+        makes every shard boundary a crash-consistent journal epoch.
+        """
+        if self.checkpoint is None:
+            return compute()
+        key = self.checkpoint.shard_key(name, profile, chunk)
+        part = self.checkpoint.lookup(key, len(chunk))
+        if part is not None:
+            self.resumed_units += 1
+            self._emit(
+                "resume_shard", stage=name,
+                detail=(
+                    f"shard of {len(chunk)} restored from the journal "
+                    f"(key {key[:12]})"
+                ),
+            )
+            return part
+        part = compute()
+        self.recomputed_units += 1
+        self.checkpoint.commit(key, name, part)
+        return part
 
     # -- the degradation ladder ----------------------------------------------
 

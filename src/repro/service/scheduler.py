@@ -48,7 +48,13 @@ import time
 from dataclasses import replace
 from typing import Callable
 
-from ..errors import DeadlineExceeded, DivergenceError, LaunchError, ReproError
+from ..errors import (
+    DeadlineExceeded,
+    DivergenceError,
+    JournalCorruptError,
+    LaunchError,
+    ReproError,
+)
 from ..gpu.multi_gpu import run_multi_gpu
 from ..kernels.memconfig import MemoryConfig
 from ..obs.span import span
@@ -56,9 +62,10 @@ from ..options import UNSET, Engine, SearchOptions, resolve_search_options
 from .cache import PipelineCache
 from .devices import DevicePool
 from .faults import FaultPlan, ResilienceEvent
-from .job import JobQueue, JobState, SearchJob
+from .job import JobQueue, JobState, SearchJob, job_fingerprint
 from .metrics import JobRecord, MetricsRegistry
 from .resilience import ResilientExecutor, RetryPolicy, RunJournal
+from .wal import DurableRunJournal, ShardCheckpoint
 from .watchdog import Deadline, ShardWatchdog, VirtualClock
 
 __all__ = ["PoolExecutor", "Scheduler"]
@@ -199,9 +206,24 @@ class Scheduler:
         return self.options.policy
 
     @property
+    def durable(self) -> bool:
+        """Whether a WAL v2 journal checkpoints shard-granular progress."""
+        return isinstance(self.journal, DurableRunJournal)
+
+    @property
     def resilient(self) -> bool:
-        """Whether GPU stages dispatch through the resilient executor."""
-        return self.fault_plan is not None or self.retry_policy is not None
+        """Whether GPU stages dispatch through the resilient executor.
+
+        A durable journal forces the resilient path even without a fault
+        plan: shard-granular checkpoint/resume lives in
+        :class:`ResilientExecutor`, and its shard boundaries are the
+        journal's crash-consistent epochs.
+        """
+        return (
+            self.fault_plan is not None
+            or self.retry_policy is not None
+            or self.durable
+        )
 
     def _executor(
         self,
@@ -210,6 +232,12 @@ class Scheduler:
         tracer=None,
     ):
         if self.resilient:
+            checkpoint = None
+            if self.durable:
+                checkpoint = ShardCheckpoint(
+                    self.journal, job.job_id,
+                    job_fingerprint(job.hmm, job.database, job.engine),
+                )
             return ResilientExecutor(
                 self.pool,
                 plan=self.fault_plan,
@@ -221,6 +249,7 @@ class Scheduler:
                 clock=self.timeline.now,
                 watchdog=self.watchdog,
                 deadline=deadline,
+                checkpoint=checkpoint,
             )
         return PoolExecutor(self.pool, tracer=tracer, deadline=deadline)
 
@@ -238,11 +267,51 @@ class Scheduler:
                 else None
             )
             if entry is not None:
+                entry = self._validated(job, entry)
+            if entry is not None:
                 self._resume(job, entry)
             else:
                 self.execute(job)
             executed.append(job)
         return executed
+
+    def _validated(self, job: SearchJob, entry: dict) -> dict | None:
+        """Check a journaled job entry against the submission's content.
+
+        WAL v2 entries carry the job's content fingerprint; an entry
+        whose fingerprint no longer matches (edited manifest, swapped
+        database, different engine) is *stale* - in salvage mode it is
+        discarded and the job recomputed, in strict mode it raises a
+        :class:`JournalCorruptError` naming the job.  Legacy v1 entries
+        have no fingerprint and are trusted unchanged.
+        """
+        recorded = entry.get("fingerprint")
+        if recorded is None:
+            return entry
+        current = job_fingerprint(job.hmm, job.database, job.engine)
+        if recorded == current:
+            return entry
+        policy = getattr(self.journal, "policy", None)
+        if policy is not None and not policy.salvage:
+            raise JournalCorruptError(
+                f"journal entry for job {job.job_id} is stale: the "
+                f"checkpointed submission fingerprint {recorded[:12]} does "
+                f"not match the current submission {current[:12]} (query "
+                f"{job.hmm.name!r}, database {job.database.name!r}); "
+                "recompute with the salvage policy or a fresh journal"
+            )
+        self.metrics.resilience.record(
+            ResilienceEvent(
+                kind="stale_checkpoint",
+                stage="job",
+                job_id=job.job_id,
+                detail=(
+                    f"fingerprint {recorded[:12]} != {current[:12]}; "
+                    "entry discarded, job recomputed"
+                ),
+            )
+        )
+        return None
 
     def _job_options(self, job: SearchJob) -> tuple[SearchOptions, list[str]]:
         """The effective options for one job, plus the optional work shed.
@@ -285,6 +354,7 @@ class Scheduler:
         error: str | None = None
         diverged = 0
         deadline_expired = False
+        executor = None
         opts, shed = self._job_options(job)
         tracer = opts.tracer
         # the deadline budget starts when execution starts (queueing is
@@ -313,12 +383,11 @@ class Scheduler:
                 try:
                     job.attempts += 1
                     if job.engine is Engine.GPU_WARP:
+                        executor = self._executor(
+                            job, deadline=deadline, tracer=tracer
+                        )
                         results = pipeline.search(
-                            job.database,
-                            opts,
-                            executor=self._executor(
-                                job, deadline=deadline, tracer=tracer
-                            ),
+                            job.database, opts, executor=executor,
                         )
                     else:
                         results = pipeline.search(
@@ -366,6 +435,9 @@ class Scheduler:
         record.divergences += diverged
         record.deadline_expired = deadline_expired
         record.shed = shed
+        if executor is not None:
+            record.resumed_units = getattr(executor, "resumed_units", 0)
+            record.recomputed_units = getattr(executor, "recomputed_units", 0)
         self.metrics.record_job(record)
         if job_span is not None and "bench" not in shed:
             self.metrics.observe_job_span(job_span)

@@ -102,6 +102,24 @@ class TestR001Determinism:
         assert _lint("src/repro/service/watchdog.py", wall_clock, "R001")
         assert _lint("src/repro/service/admission.py", wall_clock, "R001")
 
+    def test_wal_is_deterministic_and_lock_scoped(self):
+        # the WAL must carry no timestamps (recovery replays to the
+        # same bytes regardless of when the journal was written), and
+        # as service-plane code it is under the lock-discipline rule
+        from repro.analysis.rules import DETERMINISTIC_DIRS, LOCK_DIRS
+
+        assert "src/repro/service/wal.py" in DETERMINISTIC_DIRS
+        wall_clock = """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        assert _lint("src/repro/service/wal.py", wall_clock, "R001")
+        assert any(
+            "src/repro/service/wal.py".startswith(d) for d in LOCK_DIRS
+        )
+
 
 class TestR002Facade:
     def test_deep_from_import_flagged(self):

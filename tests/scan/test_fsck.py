@@ -1,0 +1,184 @@
+"""Store fsck: detection, repair and quarantine of pressed-store damage.
+
+Each damage class a crash or bad disk can inflict gets a test pair:
+fsck *detects* it without repair, and with ``repair=True`` puts the
+store back into a state that loads cleanly under the strict policy.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import LibraryCatalog, fsck_library, sample_hmm
+from repro.errors import CatalogError
+from repro.hmm.hmmfile import dumps_hmm
+from repro.scan import fsck_store
+from repro.scan.catalog import PressSettings
+
+SETTINGS = PressSettings(
+    L=100, calibration_filter_sample=60, calibration_forward_sample=20
+)
+
+
+@pytest.fixture(scope="module")
+def models():
+    rng = np.random.default_rng(81)
+    return [sample_hmm(m, rng, name=f"fam{m}") for m in (35, 50)]
+
+
+@pytest.fixture
+def store(tmp_path, models):
+    path = tmp_path / "library.pressed"
+    LibraryCatalog.press(models, store=path, settings=SETTINGS)
+    return path
+
+
+def problem_kinds(report):
+    return sorted(p.kind for p in report.problems)
+
+
+def entry_files(store, name):
+    index = json.loads((store / "index.json").read_text())
+    (row,) = [r for r in index["entries"] if r["name"] == name]
+    return store / row["model_file"], store / row["tables_file"]
+
+
+class TestCleanStore:
+    def test_clean_store_is_clean(self, store):
+        report = LibraryCatalog.fsck(store)
+        assert report.clean and report.ok
+        assert report.entries_checked == 2
+        assert report.problems == []
+
+    def test_facade_function(self, store):
+        report = fsck_library(store)
+        assert report.clean
+        assert report.to_dict()["store"] == str(store)
+
+    def test_render_lines(self, store):
+        lines = LibraryCatalog.fsck(store).render_lines()
+        assert any("consistent" in ln for ln in lines)
+
+    def test_missing_index(self, tmp_path):
+        report = fsck_store(tmp_path)
+        assert problem_kinds(report) == ["missing-index"]
+        assert not report.ok
+
+
+class TestRebuildableDamage:
+    def test_missing_tables_detected_and_rebuilt(self, store, models):
+        _, tables = entry_files(store, models[0].name)
+        tables.unlink()
+        report = LibraryCatalog.fsck(store)
+        assert problem_kinds(report) == ["missing-tables"]
+        assert not report.ok
+        repaired = LibraryCatalog.fsck(store, repair=True)
+        assert repaired.repaired == 1 and repaired.ok
+        assert LibraryCatalog.fsck(store).clean
+        LibraryCatalog.load(store)  # strict load succeeds again
+
+    def test_truncated_tables_detected_and_rebuilt(self, store, models):
+        """The fsync-ordering regression: a torn .npz is never silent.
+
+        Without the save path's payload-before-index ordering, a kill
+        mid-save could leave a valid index referencing a truncated
+        tables file; fsck must classify that as corrupt-tables, and the
+        rebuilt file must verify bit-identical.
+        """
+        _, tables = entry_files(store, models[1].name)
+        data = tables.read_bytes()
+        tables.write_bytes(data[: len(data) // 2])
+        report = LibraryCatalog.fsck(store)
+        assert problem_kinds(report) == ["corrupt-tables"]
+        repaired = LibraryCatalog.fsck(store, repair=True)
+        assert repaired.repaired == 1 and repaired.ok
+        assert LibraryCatalog.fsck(store).clean
+
+    def test_bitflipped_tables_detected(self, store, models):
+        _, tables = entry_files(store, models[0].name)
+        data = bytearray(tables.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        tables.write_bytes(bytes(data))
+        report = LibraryCatalog.fsck(store)
+        assert problem_kinds(report) == ["corrupt-tables"]
+
+
+class TestEvictingDamage:
+    def test_missing_model_quarantines_entry(self, store, models):
+        model, tables = entry_files(store, models[0].name)
+        model.unlink()
+        report = LibraryCatalog.fsck(store)
+        assert problem_kinds(report) == ["missing-model"]
+        repaired = LibraryCatalog.fsck(store, repair=True)
+        assert repaired.quarantined == 1 and repaired.ok
+        # the surviving entry still loads; the evicted one is gone
+        catalog = LibraryCatalog.load(store)
+        assert len(catalog) == 1
+        assert not tables.exists()
+        assert (store / "quarantine").is_dir()
+
+    def test_unparseable_model_quarantined(self, store, models):
+        model, _ = entry_files(store, models[1].name)
+        model.write_text("not an hmm file\n")
+        report = LibraryCatalog.fsck(store)
+        assert problem_kinds(report) == ["unparseable-model"]
+        repaired = LibraryCatalog.fsck(store, repair=True)
+        assert repaired.quarantined == 1 and repaired.ok
+        assert len(LibraryCatalog.load(store)) == 1
+
+    def test_stale_model_quarantined(self, store, models):
+        # overwrite the model file with *different* valid content: it
+        # parses but no longer hashes to the pressed fingerprint
+        rng = np.random.default_rng(3)
+        impostor = sample_hmm(models[0].M, rng, name=models[0].name)
+        model, _ = entry_files(store, models[0].name)
+        model.write_text(dumps_hmm(impostor))
+        report = LibraryCatalog.fsck(store)
+        assert problem_kinds(report) == ["stale-model"]
+        repaired = LibraryCatalog.fsck(store, repair=True)
+        assert repaired.quarantined == 1 and repaired.ok
+        assert LibraryCatalog.fsck(store).clean
+
+
+class TestOrphansAndLeftovers:
+    def test_orphan_artifact_quarantined(self, store):
+        orphan = store / "tables" / "deadbeef.npz"
+        orphan.write_bytes(b"stray")
+        report = LibraryCatalog.fsck(store)
+        assert problem_kinds(report) == ["orphan"]
+        assert report.orphans_checked == 1
+        repaired = LibraryCatalog.fsck(store, repair=True)
+        assert repaired.quarantined == 1 and repaired.ok
+        assert not orphan.exists()
+
+    def test_leftover_tmp_index_removed(self, store):
+        (store / "index.json.tmp").write_text("{}")
+        report = LibraryCatalog.fsck(store)
+        assert problem_kinds(report) == ["leftover-tmp"]
+        repaired = LibraryCatalog.fsck(store, repair=True)
+        assert repaired.repaired == 1 and repaired.ok
+        assert not (store / "index.json.tmp").exists()
+
+    def test_multiple_problems_reported_together(self, store, models):
+        model, _ = entry_files(store, models[0].name)
+        model.unlink()
+        (store / "models" / "stray.hmm").write_text("x")
+        report = LibraryCatalog.fsck(store)
+        assert problem_kinds(report) == ["missing-model", "orphan"]
+        repaired = LibraryCatalog.fsck(store, repair=True)
+        assert repaired.quarantined == 2 and repaired.ok
+
+
+class TestRepairedStoreLoads:
+    def test_strict_load_fails_then_succeeds_after_repair(
+        self, store, models
+    ):
+        _, tables = entry_files(store, models[0].name)
+        tables.unlink()
+        with pytest.raises(CatalogError):
+            LibraryCatalog.load(store)
+        LibraryCatalog.fsck(store, repair=True)
+        catalog = LibraryCatalog.load(store)
+        assert len(catalog) == 2
+        assert catalog.stats()["calibrations"] == 0  # zero recalibration

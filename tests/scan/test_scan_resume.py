@@ -1,0 +1,141 @@
+"""Launch-group checkpointing: scans resume exactly-once from the WAL.
+
+Mirror of the search-side durable tests: a scan killed between launch
+groups resumes with bit-identical hits, group keys are pure content
+hashes (re-pressed models or a different database invalidate them), and
+restored groups never re-execute.
+"""
+
+import numpy as np
+import pytest
+
+from repro import LibraryCatalog, ScanService, sample_hmm, swissprot_like
+from repro.hardening import SALVAGE
+from repro.scan.catalog import PressSettings
+from repro.service.wal import CrashPoint, DurableRunJournal
+
+SETTINGS = PressSettings(
+    L=100, calibration_filter_sample=60, calibration_forward_sample=20
+)
+
+
+@pytest.fixture(scope="module")
+def models():
+    rng = np.random.default_rng(71)
+    return [sample_hmm(m, rng, name=f"fam{m}") for m in (40, 55, 75)]
+
+
+@pytest.fixture(scope="module")
+def catalog(models):
+    return LibraryCatalog.press(models, settings=SETTINGS)
+
+
+@pytest.fixture(scope="module")
+def database(models):
+    rng = np.random.default_rng(72)
+    return swissprot_like(25, rng, hmm=models[0])
+
+
+@pytest.fixture(scope="module")
+def reference(catalog, database):
+    return [h.to_dict() for h in ScanService(catalog).scan(database).hits]
+
+
+def scan_once(path, catalog, database, epoch_limit=None):
+    hook = None
+    if epoch_limit is not None:
+        def hook(epoch, limit=epoch_limit):
+            if epoch >= limit:
+                raise CrashPoint(epoch)
+    journal = DurableRunJournal(path, policy=SALVAGE, epoch_hook=hook)
+    try:
+        results = ScanService(catalog, journal=journal).scan(database)
+    finally:
+        journal.close()
+    return results, journal
+
+
+class TestGroupCheckpointing:
+    def test_first_scan_checkpoints_every_group(
+        self, tmp_path, catalog, database, reference
+    ):
+        results, journal = scan_once(tmp_path / "scan.wal", catalog, database)
+        counts = journal.unit_counts()
+        assert counts["groups"] == results.recomputed_groups > 0
+        assert results.resumed_groups == 0
+        assert counts["duplicates"] == 0
+        assert [h.to_dict() for h in results.hits] == reference
+
+    def test_second_scan_resumes_every_group(
+        self, tmp_path, catalog, database, reference
+    ):
+        path = tmp_path / "scan.wal"
+        first, _ = scan_once(path, catalog, database)
+        second, journal = scan_once(path, catalog, database)
+        assert second.resumed_groups == first.recomputed_groups
+        assert second.recomputed_groups == 0
+        assert journal.duplicate_units == 0
+        assert [h.to_dict() for h in second.hits] == reference
+        # a resume_group event per restored group lands in the metrics
+        assert second.resumed_groups > 0
+
+    def test_kill_between_groups_resumes_bit_identical(
+        self, tmp_path, catalog, database, reference
+    ):
+        path = tmp_path / "scan.wal"
+        crashes = 0
+        results = journal = None
+        for attempt in range(1, 100):
+            try:
+                results, journal = scan_once(
+                    path, catalog, database, epoch_limit=attempt
+                )
+                break
+            except CrashPoint:
+                crashes += 1
+        assert results is not None and crashes >= 1
+        assert [h.to_dict() for h in results.hits] == reference
+        assert journal.duplicate_units == 0
+        assert (
+            results.resumed_groups + results.recomputed_groups
+            == journal.unit_counts()["groups"]
+        )
+
+
+class TestKeyInvalidation:
+    def test_repressed_model_invalidates_its_group(
+        self, tmp_path, models, catalog, database
+    ):
+        path = tmp_path / "scan.wal"
+        first, _ = scan_once(path, catalog, database)
+        total = first.recomputed_groups
+
+        # re-press with one model's *content* changed (same name): its
+        # launch group's key changes, every other group stays resumable
+        rng = np.random.default_rng(999)
+        changed = [
+            sample_hmm(models[0].M, rng, name=models[0].name),
+            *models[1:],
+        ]
+        recat = LibraryCatalog.press(changed, settings=SETTINGS)
+        results, journal = scan_once(path, recat, database)
+        assert results.recomputed_groups >= 1
+        assert results.resumed_groups < total
+        assert results.resumed_groups + results.recomputed_groups >= total
+        assert journal.duplicate_units == 0
+
+    def test_different_database_recomputes_everything(
+        self, tmp_path, catalog, database, models
+    ):
+        path = tmp_path / "scan.wal"
+        scan_once(path, catalog, database)
+        rng = np.random.default_rng(5)
+        other = swissprot_like(20, rng, hmm=models[1])
+        results, _ = scan_once(path, catalog, other)
+        assert results.resumed_groups == 0
+        assert results.recomputed_groups > 0
+
+    def test_unjournaled_scan_unchanged(self, catalog, database, reference):
+        results = ScanService(catalog).scan(database)
+        assert results.resumed_groups == results.recomputed_groups == 0
+        assert [h.to_dict() for h in results.hits] == reference

@@ -17,6 +17,7 @@ FACADE = [
     "batch_search",
     "press_library",
     "load_library",
+    "fsck_library",
     "scan",
     "SearchOptions",
     "ScanOptions",

@@ -179,6 +179,65 @@ class TestBatch:
         assert "fault plan (seed=11, 3 faults)" in out
         assert "jobs: 3 total, 3 done" in out
 
+    def test_batch_unit_report(self, manifest, tmp_path, capsys):
+        """The WAL v2 report breaks work down to shard granularity."""
+        journal = tmp_path / "run.wal"
+        rc = main(
+            ["batch", str(manifest), "--length", "120",
+             "--calibration-sample", "100", "--journal", str(journal)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "(generation 1)" in out
+        assert "shard(s), 0 scan group(s) checkpointed" in out
+        resumed, recomputed = _unit_counts(out)
+        # the manifest repeats one job: its twin resumes the first
+        # job's shards even inside a single run (keys are pure content
+        # hashes), but a fresh journal always computes something live
+        assert recomputed > 0
+
+    def test_batch_strict_corrupt_journal_exits_6(
+        self, manifest, tmp_path, capsys
+    ):
+        """A torn journal tail under the strict policy is exit 6, and
+        --salvage turns the same journal into a clean resumed run."""
+        journal = tmp_path / "run.wal"
+        rc = main(
+            ["batch", str(manifest), "--length", "120",
+             "--calibration-sample", "100", "--journal", str(journal)]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        # tear the final record: chop bytes off the end of the WAL
+        data = journal.read_bytes()
+        journal.write_bytes(data[:-5])
+
+        rc = main(
+            ["batch", str(manifest), "--length", "120",
+             "--calibration-sample", "100",
+             "--journal", str(journal), "--resume"]
+        )
+        assert rc == 6
+        assert "journal corrupt" in capsys.readouterr().err
+
+        rc = main(
+            ["batch", str(manifest), "--length", "120",
+             "--calibration-sample", "100",
+             "--journal", str(journal), "--resume", "--salvage"]
+        )
+        assert rc == 0
+        assert "torn tail byte(s) salvaged" in capsys.readouterr().out
+
+
+def _unit_counts(out):
+    import re
+
+    match = re.search(
+        r"work units: (\d+) resumed from journal \((\d+) recomputed\)", out
+    )
+    assert match, out
+    return int(match.group(1)), int(match.group(2))
+
 
 class TestBuildAlignScan:
     @pytest.fixture
@@ -421,3 +480,99 @@ class TestOverloadExitCodes:
                    "--calibration-sample", "80", "--deadline-ms", "0.001"])
         assert rc == 5
         assert "deadline exceeded" in capsys.readouterr().err
+
+class TestDurableScanAndFsck:
+    """The durability surface of scan and the fsck subcommand: launch
+    groups checkpoint into the WAL and resume exactly-once, and fsck
+    turns a damaged store back into one that loads strictly."""
+
+    @pytest.fixture
+    def pressed(self, tmp_path):
+        rng = np.random.default_rng(47)
+        truth = sample_hmm(30, rng, name="walfam", conservation=40.0)
+        models = tmp_path / "models"
+        models.mkdir()
+        save_hmm(models / "walfam.hmm", truth)
+        save_hmm(models / "other.hmm", sample_hmm(24, rng, name="other"))
+        query = tmp_path / "query.fasta"
+        write_fasta(
+            query, [DigitalSequence("probe", truth.sample_sequence(rng))]
+        )
+        store = tmp_path / "library.pressed"
+        rc = main(["press", str(models), str(store),
+                   "--length", "60", "--calibration-sample", "80"])
+        assert rc == 0
+        return store, query
+
+    def test_scan_journal_then_resume(self, pressed, tmp_path, capsys):
+        store, query = pressed
+        journal = tmp_path / "scan.wal"
+        capsys.readouterr()
+        rc = main(["scan", str(store), str(query),
+                   "--journal", str(journal)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scan group(s) checkpointed" in out
+        resumed, recomputed = _unit_counts(out)
+        assert resumed == 0 and recomputed > 0
+
+        rc = main(["scan", str(store), str(query),
+                   "--journal", str(journal), "--resume"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "walfam" in out  # resumed hits render identically
+        assert "(generation 2)" in out
+        assert _unit_counts(out) == (recomputed, 0)
+
+    def test_scan_resume_requires_journal(self, pressed):
+        store, query = pressed
+        with pytest.raises(SystemExit, match="requires --journal"):
+            main(["scan", str(store), str(query), "--resume"])
+
+    def test_scan_strict_corrupt_journal_exits_6(self, pressed, tmp_path,
+                                                 capsys):
+        store, query = pressed
+        journal = tmp_path / "scan.wal"
+        rc = main(["scan", str(store), str(query),
+                   "--journal", str(journal)])
+        assert rc == 0
+        data = journal.read_bytes()
+        journal.write_bytes(data[:-3])
+        capsys.readouterr()
+        rc = main(["scan", str(store), str(query),
+                   "--journal", str(journal), "--resume"])
+        assert rc == 6
+        assert "journal corrupt" in capsys.readouterr().err
+
+    def test_fsck_clean_store(self, pressed, capsys):
+        store, _ = pressed
+        rc = main(["fsck", str(store)])
+        assert rc == 0
+        assert "consistent" in capsys.readouterr().out
+
+    def test_fsck_detects_then_repairs(self, pressed, tmp_path, capsys):
+        import json
+
+        store, query = pressed
+        index = json.loads((store / "index.json").read_text())
+        (row,) = [r for r in index["entries"] if r["name"] == "walfam"]
+        (store / row["tables_file"]).unlink()
+
+        rc = main(["fsck", str(store)])
+        assert rc == 1
+        assert "missing-tables" in capsys.readouterr().out
+
+        report_file = tmp_path / "fsck.json"
+        rc = main(["fsck", str(store), "--repair",
+                   "--json", str(report_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rebuilt" in out or "repaired" in out
+        payload = json.loads(report_file.read_text())
+        assert payload["repaired"] == 1
+
+        # the repaired store scans again, zero recalibration
+        capsys.readouterr()
+        rc = main(["scan", str(store), str(query)])
+        assert rc == 0
+        assert "walfam" in capsys.readouterr().out

@@ -1,0 +1,353 @@
+"""Deterministic kill-anywhere crash drill for the durable WAL layer.
+
+The crash-recovery analogue of ``tools/soak.py``: instead of load, this
+harness injects *process death* at every durable journal boundary and
+proves recovery changes nothing about the science.
+
+The WAL fires ``epoch_hook(epoch)`` after each record is fsynced, and
+raising ``CrashPoint`` from it models ``kill -9`` at exactly that
+boundary: the only state that survives is what the journal already made
+durable.  The drill walks the whole run:
+
+* attempt 1 is killed after epoch 1, attempt 2 after epoch 2, ... so
+  every fsync boundary of the progressing run is a kill site;
+* every attempt resumes from the same journal file; checkpointed units
+  (job shards, whole jobs, scan launch groups) replay from the journal
+  and only unfinished work re-executes;
+* when an attempt finally outruns its kill epoch, the completed run
+  must be **bit-identical** to an uninterrupted reference run, and the
+  journal must show **zero duplicate units** (exactly-once: nothing
+  checkpointed was ever re-executed and re-recorded);
+* a torn-tail sweep then truncates the finished journal at every byte
+  of its final record, checking that strict recovery raises
+  ``JournalCorruptError`` while salvage truncates the tail and a
+  resumed run still completes bit-identically.
+
+Both planes are drilled: a batch hmmsearch workload (shard-granular
+checkpoints) and a library scan (launch-group checkpoints).  Everything
+runs on virtual clocks - no wall-time dependence, no real sleeps - so a
+given ``--seed`` replays bit-identically.
+
+Usage::
+
+    python tools/crashpoint.py --seed 11 --jobs 3 --out recovery.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    SALVAGE,
+    STRICT,
+    BatchSearchService,
+    CrashPoint,
+    DurableRunJournal,
+    JournalCorruptError,
+    LibraryCatalog,
+    PipelineCache,
+    ScanService,
+    VirtualClock,
+    result_digest,
+    sample_hmm,
+    swissprot_like,
+)
+
+MODEL_SIZES = (50, 90, 140)
+
+#: Safety valve: attempts needed scale with journal epochs, not jobs, so
+#: leave generous headroom before declaring the drill wedged.
+MAX_ATTEMPTS = 500
+
+
+def crash_after(epoch_limit: int):
+    """An epoch hook that kills the process model at ``epoch_limit``."""
+
+    def hook(epoch: int) -> None:
+        if epoch >= epoch_limit:
+            raise CrashPoint(epoch)
+
+    return hook
+
+
+def build_jobs(seed: int, n_jobs: int) -> list:
+    """The seeded search workload; job ids are stable across attempts."""
+    rng = np.random.default_rng(seed)
+    jobs = []
+    for i in range(n_jobs):
+        size = int(rng.choice(MODEL_SIZES))
+        hmm = sample_hmm(size, rng)
+        db = swissprot_like(int(rng.integers(25, 60)), rng, hmm=hmm)
+        jobs.append((f"drill-{i:03d}", hmm, db))
+    return jobs
+
+
+# -- search drill ------------------------------------------------------------
+
+
+def run_search_attempt(path: Path, jobs, cache, epoch_limit=None):
+    """One process lifetime; returns (service, journal) or raises nothing.
+
+    A ``CrashPoint`` from the journal hook is caught here - this
+    function is the process boundary of the model.  Returns ``None``
+    for the service when the attempt died.
+    """
+    hook = crash_after(epoch_limit) if epoch_limit is not None else None
+    try:
+        journal = DurableRunJournal(
+            path, resume=True, policy=SALVAGE, epoch_hook=hook
+        )
+    except CrashPoint:
+        return None, None
+    service = BatchSearchService(
+        cache=cache, journal=journal, clock=VirtualClock().now
+    )
+    for job_id, hmm, db in jobs:
+        service.submit(hmm, db, job_id=job_id)
+    try:
+        service.run()
+    except CrashPoint:
+        journal.close()
+        return None, journal
+    journal.close()
+    return service, journal
+
+
+def search_drill(seed: int, n_jobs: int, workdir: Path) -> dict:
+    jobs = build_jobs(seed, n_jobs)
+    cache = PipelineCache(max_entries=16)
+
+    # the uninterrupted reference: same workload, no journal
+    reference = BatchSearchService(cache=cache, clock=VirtualClock().now)
+    for job_id, hmm, db in jobs:
+        reference.submit(hmm, db, job_id=job_id)
+    ref_digests = {
+        j.job_id: result_digest(j.results) for j in reference.run()
+    }
+
+    path = workdir / "run.wal"
+    crashes = 0
+    service = journal = None
+    for attempt in range(1, MAX_ATTEMPTS + 1):
+        service, journal = run_search_attempt(
+            path, jobs, cache, epoch_limit=attempt
+        )
+        if service is not None:
+            break
+        crashes += 1
+    if service is None:
+        return {"ok": False, "error": "drill never completed", "crashes": crashes}
+
+    final_digests = {
+        job_id: journal.completed(job_id).get("digest", "")
+        for job_id, _, _ in jobs
+    }
+    counts = journal.unit_counts()
+    invariants = {
+        "bit_identical_hits": final_digests == ref_digests,
+        "zero_duplicate_units": counts["duplicates"] == 0,
+        "all_jobs_checkpointed": counts["jobs"] == len(jobs),
+        "every_boundary_killed": crashes >= 1,
+    }
+    return {
+        "seed": seed,
+        "jobs": len(jobs),
+        "crashes": crashes,
+        "generations": journal.generation,
+        "journal_units": counts,
+        "resumed_units": service.metrics.resumed_units,
+        "recomputed_units": service.metrics.recomputed_units,
+        "invariants": invariants,
+        "ok": all(invariants.values()),
+    }
+
+
+# -- scan drill --------------------------------------------------------------
+
+
+def run_scan_attempt(path: Path, catalog, db, epoch_limit=None):
+    hook = crash_after(epoch_limit) if epoch_limit is not None else None
+    try:
+        journal = DurableRunJournal(
+            path, resume=True, policy=SALVAGE, epoch_hook=hook
+        )
+    except CrashPoint:
+        return None, None
+    service = ScanService(catalog, journal=journal)
+    try:
+        results = service.scan(db)
+    except CrashPoint:
+        journal.close()
+        return None, journal
+    journal.close()
+    return results, journal
+
+
+def scan_drill(seed: int, workdir: Path) -> dict:
+    rng = np.random.default_rng(seed)
+    models = [sample_hmm(m, rng) for m in (45, 70, 95)]
+    db = swissprot_like(35, rng, hmm=models[0])
+    catalog = LibraryCatalog.press(models)
+    reference = [h.to_dict() for h in ScanService(catalog).scan(db).hits]
+
+    path = workdir / "scan.wal"
+    crashes = 0
+    results = journal = None
+    for attempt in range(1, MAX_ATTEMPTS + 1):
+        results, journal = run_scan_attempt(
+            path, catalog, db, epoch_limit=attempt
+        )
+        if results is not None:
+            break
+        crashes += 1
+    if results is None:
+        return {"ok": False, "error": "drill never completed", "crashes": crashes}
+
+    counts = journal.unit_counts()
+    invariants = {
+        "bit_identical_hits": [h.to_dict() for h in results.hits] == reference,
+        "zero_duplicate_units": counts["duplicates"] == 0,
+        "all_groups_checkpointed": counts["groups"]
+        == results.resumed_groups + results.recomputed_groups,
+        "every_boundary_killed": crashes >= 1,
+    }
+    return {
+        "seed": seed,
+        "models": len(catalog),
+        "crashes": crashes,
+        "generations": journal.generation,
+        "journal_units": counts,
+        "resumed_groups": results.resumed_groups,
+        "recomputed_groups": results.recomputed_groups,
+        "invariants": invariants,
+        "ok": all(invariants.values()),
+    }
+
+
+# -- torn-tail drill ---------------------------------------------------------
+
+
+def torn_tail_drill(seed: int, n_jobs: int, workdir: Path) -> dict:
+    """Truncate a finished journal at every byte of its final record."""
+    jobs = build_jobs(seed, n_jobs)
+    cache = PipelineCache(max_entries=16)
+    path = workdir / "torn.wal"
+    service, journal = run_search_attempt(path, jobs, cache)
+    ref_digests = {
+        job_id: journal.completed(job_id).get("digest", "")
+        for job_id, _, _ in jobs
+    }
+    data = path.read_bytes()
+    # the final record's frame starts where a fresh recovery of all
+    # records minus one would end; recompute it from the record sizes
+    payload = json.dumps(
+        journal.records()[-1], separators=(",", ":")
+    ).encode()
+    final_len = 8 + len(payload)  # frame header + payload
+    tail_start = len(data) - final_len
+
+    strict_raises = salvage_recovers = resumed_ok = 0
+    offsets = range(tail_start + 1, len(data))
+    for cut in offsets:
+        torn = workdir / "torn-cut.wal"
+        torn.write_bytes(data[:cut])
+        try:
+            DurableRunJournal(torn, policy=STRICT).close()
+        except JournalCorruptError:
+            strict_raises += 1
+        torn.write_bytes(data[:cut])
+        j = DurableRunJournal(torn, policy=SALVAGE)
+        if j.salvaged_bytes > 0:
+            salvage_recovers += 1
+        j.close()
+    # one full resume from a salvaged journal: the truncated-away job
+    # recomputes and the run still matches the reference digests
+    cut = tail_start + final_len // 2
+    torn = workdir / "torn-resume.wal"
+    torn.write_bytes(data[:cut])
+    resumed, rjournal = run_search_attempt(torn, jobs, cache)
+    if resumed is not None:
+        resumed_digests = {
+            job_id: rjournal.completed(job_id).get("digest", "")
+            for job_id, _, _ in jobs
+        }
+        resumed_ok = int(resumed_digests == ref_digests)
+
+    n = len(list(offsets))
+    invariants = {
+        "strict_raises_everywhere": strict_raises == n,
+        "salvage_recovers_everywhere": salvage_recovers == n,
+        "salvaged_run_bit_identical": resumed_ok == 1,
+    }
+    return {
+        "seed": seed,
+        "truncation_points": n,
+        "strict_raises": strict_raises,
+        "salvage_recovers": salvage_recovers,
+        "invariants": invariants,
+        "ok": all(invariants.values()),
+    }
+
+
+def run_drill(seed: int, n_jobs: int) -> dict:
+    with tempfile.TemporaryDirectory(prefix="crashpoint-") as tmp:
+        workdir = Path(tmp)
+        report = {
+            "seed": seed,
+            "search": search_drill(seed, n_jobs, workdir),
+            "scan": scan_drill(seed + 1, workdir),
+            "torn_tail": torn_tail_drill(seed + 2, 1, workdir),
+        }
+    report["ok"] = all(
+        report[k]["ok"] for k in ("search", "scan", "torn_tail")
+    )
+    return report
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--seed", type=int, default=11)
+    ap.add_argument("--jobs", type=int, default=3,
+                    help="search jobs in the kill-anywhere workload")
+    ap.add_argument("--out", default=None, metavar="FILE",
+                    help="write the recovery metrics JSON to FILE")
+    args = ap.parse_args(argv)
+
+    report = run_drill(args.seed, args.jobs)
+    s = report["search"]
+    print(
+        f"search drill: {s.get('crashes', 0)} kills over "
+        f"{s.get('generations', 0)} generations, "
+        f"{s.get('resumed_units', 0)} shard(s) resumed, "
+        f"{s.get('recomputed_units', 0)} recomputed, "
+        f"duplicates {s.get('journal_units', {}).get('duplicates', '?')}"
+    )
+    c = report["scan"]
+    print(
+        f"scan drill: {c.get('crashes', 0)} kills over "
+        f"{c.get('generations', 0)} generations, "
+        f"{c.get('resumed_groups', 0)} group(s) resumed, "
+        f"{c.get('recomputed_groups', 0)} recomputed"
+    )
+    t = report["torn_tail"]
+    print(
+        f"torn-tail drill: {t.get('truncation_points', 0)} cut points, "
+        f"strict raised {t.get('strict_raises', 0)}, "
+        f"salvage recovered {t.get('salvage_recovers', 0)}"
+    )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"recovery metrics -> {args.out}")
+    print("crashpoint:", "OK" if report["ok"] else "INVARIANT VIOLATION")
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
