@@ -47,21 +47,28 @@ from repro import (
 )
 
 #: The pinned workload: (model size, database maker, database size, engine).
+#: The engine column exercises the registry's high-throughput engines:
+#: ``gpu_warp_batched`` (cross-sequence lane packing) carries the bulk
+#: and one job runs the process-parallel ``mp`` backend (its workers
+#: default to the batched inner engine).  The pre-batching engine mix
+#: (``gpu_warp``/``cpu_sse``) is frozen
+#: in ``benchmarks/results/BENCH_prebatch_baseline.json`` for the
+#: ``--speedup-baseline`` gate.
 WORKLOAD_SEED = 2015  # the paper's year; never change, or shares shift
 FULL_JOBS = (
-    (120, "swissprot", 400, "gpu_warp"),
-    (200, "swissprot", 400, "gpu_warp"),
-    (200, "envnr", 300, "gpu_warp"),
-    (120, "swissprot", 400, "cpu_sse"),
+    (120, "swissprot", 400, "gpu_warp_batched"),
+    (200, "swissprot", 400, "gpu_warp_batched"),
+    (200, "envnr", 300, "gpu_warp_batched"),
+    (120, "swissprot", 400, "mp"),
 )
-QUICK_JOBS = ((60, "swissprot", 120, "gpu_warp"),)
+QUICK_JOBS = ((60, "swissprot", 120, "gpu_warp_batched"),)
 
 #: The pinned scan workload: (model sizes, database size, engine).  One
 #: sequence set against a pressed model library, scheduled by the scan
 #: service's memconfig bucketing - the hmmscan direction's stage spans
 #: land in the same trajectory document as the hmmsearch jobs above.
-FULL_SCAN = ((40, 70, 110), 120, "gpu_warp")
-QUICK_SCAN = ((30,), 40, "gpu_warp")
+FULL_SCAN = ((40, 70, 110), 120, "gpu_warp_batched")
+QUICK_SCAN = ((30,), 40, "gpu_warp_batched")
 
 _MAKERS = {"swissprot": swissprot_like, "envnr": envnr_like}
 
@@ -160,6 +167,18 @@ def main(argv: list[str] | None = None) -> int:
              "absolute seconds (machine-independent; what CI uses)",
     )
     parser.add_argument(
+        "--speedup-baseline", default=None, metavar="FILE",
+        help="frozen pre-batching trajectory (e.g. benchmarks/results/"
+             "BENCH_prebatch_baseline.json); the fresh run must beat its "
+             "total wall time by --min-speedup and keep the P7Viterbi "
+             "share below the MSV share, else exit 1",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=2.0,
+        help="minimum total-wall-time speedup vs --speedup-baseline "
+             "(default 2.0; CI gate - run locally expecting ~5x)",
+    )
+    parser.add_argument(
         "--quick", action="store_true",
         help="one small job instead of the full mix (for tests)",
     )
@@ -204,6 +223,32 @@ def main(argv: list[str] | None = None) -> int:
         print(f"tracing overhead: {100 * overhead['overhead_fraction']:+.2f}%"
               f" ({overhead['untraced_seconds']:.3f}s -> "
               f"{overhead['traced_seconds']:.3f}s)")
+
+    if args.speedup_baseline:
+        pre = load_bench(args.speedup_baseline)
+        speedup = (
+            pre["totals"]["wall_seconds"] / doc["totals"]["wall_seconds"]
+        )
+        msv_share = doc["stages"]["msv"]["share"]
+        vit_share = doc["stages"]["p7viterbi"]["share"]
+        print(f"speedup vs {args.speedup_baseline}: {speedup:.2f}x "
+              f"(gate {args.min_speedup:.1f}x); "
+              f"msv share {msv_share:.3f}, p7viterbi share {vit_share:.3f}")
+        failed = False
+        if speedup < args.min_speedup:
+            print(f"\nBENCH SPEEDUP GATE: {speedup:.2f}x < "
+                  f"{args.min_speedup:.1f}x required vs "
+                  f"{args.speedup_baseline}", file=sys.stderr)
+            failed = True
+        if vit_share >= msv_share:
+            print(f"\nBENCH SHARE GATE: P7Viterbi share {vit_share:.3f} "
+                  f">= MSV share {msv_share:.3f} - cross-sequence "
+                  "batching should leave the narrow-survivor P7Viterbi "
+                  "stage cheaper than the every-sequence MSV stage",
+                  file=sys.stderr)
+            failed = True
+        if failed:
+            return 1
 
     if baseline is not None:
         problems = compare_bench(

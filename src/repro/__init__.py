@@ -30,26 +30,32 @@ from __future__ import annotations
 from importlib import import_module
 
 from .api import (
+    EngineSpec,
     ScanOptions,
     SearchOptions,
     SearchResults,
     batch_search,
     fsck_library,
+    get_engine,
+    list_engines,
     load_fasta,
     load_hmm,
     load_library,
     press_library,
+    register_engine,
     scan,
     search,
+    search_many,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
     "load_hmm",
     "load_fasta",
     "search",
+    "search_many",
     "batch_search",
     "press_library",
     "load_library",
@@ -58,6 +64,10 @@ __all__ = [
     "SearchOptions",
     "ScanOptions",
     "SearchResults",
+    "EngineSpec",
+    "register_engine",
+    "get_engine",
+    "list_engines",
 ]
 
 # -- legacy compatibility (PEP 562) ------------------------------------------
@@ -148,6 +158,7 @@ _LEGACY = {
     "QuarantineError": "repro.errors",
     "DivergenceError": "repro.errors",
     "CatalogError": "repro.errors",
+    "UnknownEngineError": "repro.errors",
     # -- tooling surface ------------------------------------------------
     # Names sanctioned for code *outside* src/repro (examples, the
     # benchmark suite, tools): the repro-lint facade rule (R002) allows

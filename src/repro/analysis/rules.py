@@ -24,7 +24,7 @@ and baseline machinery — is ``rule::path::symbol``.
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 
@@ -87,6 +87,11 @@ DETERMINISTIC_DIRS = (
     "src/repro/pipeline/",
     "src/repro/gpu/",
     "src/repro/scan/",
+    # the engine registry dispatches every scoring path (including the
+    # cross-sequence batched kernels and the mp backend's chunk seeding):
+    # a wall-clock or ambient-RNG call here would silently break the
+    # bit-identical contract for every engine at once
+    "src/repro/engines.py",
     # the overload plane must run on injected clocks only: admission
     # pricing and watchdog budgets come from the cost model, never from
     # wall time, so soak tests replay bit-identically

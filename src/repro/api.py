@@ -34,6 +34,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable
 
+from .engines import EngineSpec, get as get_engine, list_engines, register as register_engine
 from .errors import PipelineError
 from .hmm.hmmfile import load_hmm as _load_hmm
 from .hmm.plan7 import Plan7HMM
@@ -43,11 +44,13 @@ from .pipeline.results import SearchResults
 from .scan.service import ScanOptions
 from .sequence.database import SequenceDatabase
 from .sequence.fasta import read_fasta
+from .sequence.sequence import DigitalSequence
 
 __all__ = [
     "load_hmm",
     "load_fasta",
     "search",
+    "search_many",
     "batch_search",
     "press_library",
     "load_library",
@@ -56,6 +59,11 @@ __all__ = [
     "SearchOptions",
     "ScanOptions",
     "SearchResults",
+    # the engine registry (repro.engines), facade-blessed
+    "EngineSpec",
+    "register_engine",
+    "get_engine",
+    "list_engines",
 ]
 
 
@@ -94,6 +102,54 @@ def search(
     whose pipeline cache amortizes calibration across jobs.
     """
     opts = options if options is not None else SearchOptions()
+    pipeline = HmmsearchPipeline(hmm, thresholds=opts.thresholds)
+    return pipeline.search(database, opts)
+
+
+def search_many(
+    hmm: Plan7HMM,
+    targets,
+    options: SearchOptions | None = None,
+) -> SearchResults:
+    """Search many target sequences against one model in a single
+    batched pipeline invocation - the preferred high-throughput path.
+
+    ``targets`` is a :class:`SequenceDatabase` or any iterable mixing
+    :class:`~repro.sequence.sequence.DigitalSequence` objects and
+    databases; everything is merged into one database and scored by
+    **one** pipeline call.  Where a Python loop over :func:`search`
+    launches one kernel per sequence, this routes the whole set through
+    the cross-sequence batched packer (length-sorted, bucketed across
+    warp lanes), so the MSV and P7Viterbi filters each run as a single
+    vectorized kernel over all lanes.  Hit scores are bit-identical to
+    per-sequence calls.
+
+    When ``options`` is ``None`` the ``gpu_warp_batched`` engine is
+    selected (that is the point of this entry point); pass explicit
+    :class:`SearchOptions` to choose any registered engine, including a
+    per-stage mapping such as
+    ``engine={"msv": "gpu_warp_batched", "p7viterbi": "mp"}``.
+    """
+    opts = (
+        options
+        if options is not None
+        else SearchOptions(engine="gpu_warp_batched")
+    )
+    if isinstance(targets, SequenceDatabase):
+        database = targets
+    else:
+        seqs: list[DigitalSequence] = []
+        for item in targets:
+            if isinstance(item, SequenceDatabase):
+                seqs.extend(item)
+            elif isinstance(item, DigitalSequence):
+                seqs.append(item)
+            else:
+                raise PipelineError(
+                    "search_many targets must be DigitalSequence or "
+                    f"SequenceDatabase items, got {type(item).__name__}"
+                )
+        database = SequenceDatabase(seqs, name="search_many")
     pipeline = HmmsearchPipeline(hmm, thresholds=opts.thresholds)
     return pipeline.search(database, opts)
 

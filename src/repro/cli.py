@@ -52,12 +52,14 @@ from pathlib import Path
 
 import numpy as np
 
+from . import engines
 from .errors import (
     DeadlineExceeded,
     DivergenceError,
     JournalCorruptError,
     OverloadError,
     QuarantineError,
+    UnknownEngineError,
 )
 from .gpu.device import FERMI_GTX580, KEPLER_K40
 from .hardening import RecordQuarantine, IngestPolicy, STRICT, SALVAGE
@@ -69,7 +71,7 @@ from .kernels.memconfig import MemoryConfig, Stage, stage_occupancy
 from .obs.exporters import write_bench_json
 from .obs.span import Tracer
 from .options import SearchOptions, field_doc
-from .pipeline.pipeline import Engine, HmmsearchPipeline
+from .pipeline.pipeline import HmmsearchPipeline
 from .sequence.fasta import read_fasta
 from .sequence.stockholm import (
     StockholmAlignment,
@@ -81,8 +83,27 @@ from .sequence.synthetic import envnr_like, swissprot_like
 __all__ = ["main"]
 
 
-def _engine(name: str) -> Engine:
-    return Engine.GPU_WARP if name == "gpu" else Engine.CPU_SSE
+def _engine(name: str):
+    """argparse type: resolve any registered engine name/alias/mapping.
+
+    Using a ``type=`` converter instead of ``choices=`` keeps the CLI
+    open like the registry: new engines (and ``stage=name,...``
+    per-stage mappings) are accepted the moment they register, and an
+    unknown name fails with the registry's own message.
+    """
+    try:
+        return engines.resolve(name)
+    except UnknownEngineError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _engine_help(doc_field: str = "engine") -> str:
+    lines = [field_doc(doc_field), "registered engines:"]
+    for name in engines.list_engines():
+        spec = engines.get(name)
+        mark = "" if spec.probe() else " [unavailable on this host]"
+        lines.append(f"{name} - {spec.description}{mark}")
+    return "; ".join(lines)
 
 
 def _policy(args: argparse.Namespace) -> IngestPolicy:
@@ -166,7 +187,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
     pipe = HmmsearchPipeline(hmm, L=args.length)
     tracer = _tracer(args)
     options = SearchOptions(
-        engine=_engine(args.engine),
+        engine=args.engine,
         selfcheck=args.selfcheck,
         policy=policy,
         quarantine=quarantine,
@@ -204,7 +225,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     db = maker(args.n_seqs, rng, hmm=hmm)
     print(f"model: {hmm}   database: {db}")
     pipe = HmmsearchPipeline(hmm, L=int(db.mean_length))
-    results = pipe.search(db, SearchOptions(engine=_engine(args.engine)))
+    results = pipe.search(db, SearchOptions(engine=args.engine))
     print(results.summary())
     if results.counters:
         for stage_name, c in results.counters.items():
@@ -353,7 +374,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         journal=journal,
         options=ScanOptions(
             search=SearchOptions(
-                engine=_engine(args.engine),
+                engine=args.engine,
                 selfcheck=args.selfcheck,
                 policy=policy,
                 quarantine=quarantine,
@@ -615,8 +636,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("model", help="model file (repro flat format)")
     p.add_argument("database", help="FASTA file of target sequences")
     p.add_argument(
-        "--engine", choices=("cpu", "gpu"), default="cpu",
-        help=field_doc("engine"),
+        "--engine", type=_engine, default="cpu",
+        help=_engine_help(), metavar="ENGINE",
     )
     p.add_argument("--length", type=int, default=400, help="length-model L")
     _add_search_flags(p)
@@ -626,7 +647,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model-size", type=int, default=200)
     p.add_argument("--n-seqs", type=int, default=400)
     p.add_argument("--database", choices=("swissprot", "envnr"), default="envnr")
-    p.add_argument("--engine", choices=("cpu", "gpu"), default="gpu")
+    p.add_argument("--engine", type=_engine, default="gpu",
+                   help=_engine_help(), metavar="ENGINE")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_demo)
 
@@ -657,8 +679,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--length", type=int, default=350)
     p.add_argument("--calibration-sample", type=int, default=150)
-    p.add_argument("--engine", choices=("cpu", "gpu"), default="cpu",
-                   help=field_doc("engine"))
+    p.add_argument("--engine", type=_engine, default="cpu",
+                   help=_engine_help(), metavar="ENGINE")
     p.add_argument(
         "--devices", default="k40=2,gtx580=2",
         help="device pool for gpu scans, e.g. 'k40=2,gtx580=2'",

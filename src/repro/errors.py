@@ -17,6 +17,7 @@ __all__ = [
     "KernelError",
     "LaunchError",
     "PipelineError",
+    "UnknownEngineError",
     "CalibrationError",
     "DeadlineError",
     "SlowShardError",
@@ -65,6 +66,12 @@ class LaunchError(ReproError):
 
 class PipelineError(ReproError):
     """The hmmsearch pipeline was configured or driven incorrectly."""
+
+
+class UnknownEngineError(PipelineError):
+    """An engine name is not in the registry.  The message names the
+    registered engines; call :func:`repro.engines.list_engines` for the
+    authoritative list (plus aliases) programmatically."""
 
 
 class CalibrationError(ReproError):

@@ -37,9 +37,23 @@ class KernelCounters:
     lazyf_extra_passes: int = 0   # passes beyond the first, i.e. real D-D work
     sequences: int = 0            # sequences scored
     saturations: int = 0          # DP cells clipped by a saturating add
+    grid_cells: int = 0           # lane-rows launched by batched kernels
+    padding_cells: int = 0        # launched lane-rows holding no residue
     # attached by kernels running under REPRO_SANITIZE / sanitize=True;
     # not an event tally, so excluded from as_dict() and the int merge
     sanitizer: Optional["SanitizerReport"] = None
+
+    @property
+    def padding_fraction(self) -> float:
+        """Fraction of launched lane-rows wasted on padding.
+
+        The cross-sequence batched kernels pack length-sorted sequences
+        across warp lanes; length bucketing bounds this waste (see
+        ``docs/engines.md``).  0.0 when no batched kernel ran.
+        """
+        if self.grid_cells == 0:
+            return 0.0
+        return self.padding_cells / self.grid_cells
 
     def merge(self, other: "KernelCounters") -> "KernelCounters":
         """Accumulate another counter set into this one (returns self)."""

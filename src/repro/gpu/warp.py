@@ -22,6 +22,7 @@ from ..errors import KernelError
 __all__ = [
     "WARP_SIZE",
     "lane_ids",
+    "conflict_free_lane_stride",
     "shfl_xor",
     "shfl_up",
     "shfl_down",
@@ -43,6 +44,25 @@ def _check_warp_axis(values: np.ndarray) -> np.ndarray:
 def lane_ids() -> np.ndarray:
     """``threadIdx.x`` within a warp: 0..31."""
     return np.arange(WARP_SIZE)
+
+
+def conflict_free_lane_stride(row_bytes: int) -> int:
+    """Smallest conflict-free lane-major row stride >= ``row_bytes``.
+
+    For lane-per-sequence layouts (the cross-sequence batched kernels)
+    lane ``l``'s cell ``j`` lives at byte ``l * stride + j * itemsize``;
+    a warp touching cell ``j`` across all 32 lanes is conflict-free iff
+    the stride maps lanes to 32 distinct banks.  With 4-byte words and
+    32 banks that holds exactly when ``stride = 4 * s`` with ``s`` odd
+    (``s`` invertible mod 32), so this returns the smallest such stride
+    - the simulator analog of padding a shared-memory array row.
+    """
+    if row_bytes < 1:
+        raise KernelError("row_bytes must be >= 1")
+    s = -(-row_bytes // 4)
+    if s % 2 == 0:
+        s += 1
+    return 4 * s
 
 
 def shfl_xor(values: np.ndarray, lane_mask: int) -> np.ndarray:

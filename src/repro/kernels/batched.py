@@ -1,0 +1,464 @@
+"""Cross-sequence batched MSV and P7Viterbi kernels.
+
+The warp kernels in :mod:`repro.kernels.msv_warp` /
+:mod:`repro.kernels.viterbi_warp` score **one sequence per kernel
+invocation pattern**: a warp's 32 lanes sweep the model dimension, and
+the Python row loop runs once per residue of every sequence - 725k
+residues means 725k vectorized row steps.  That inverts the paper's
+Figure 1 profile (P7Viterbi at 58% of wall time instead of 14.5%)
+because the NumPy vector units idle across the warp dimension.
+
+These kernels batch *across sequences* instead (AnySeq/GPU-style
+cross-alignment batching): each warp lane owns one whole sequence, all
+lanes advance one residue per lockstep row, and one vectorized NumPy
+invocation scores an entire length bucket.  The row loop now runs
+``max_len`` times per bucket, not ``total_residues`` times.
+
+Architecture-aware structure, observable through the counters:
+
+* **Length-sorted lane packing.**  Sequences are sorted by length
+  (descending), so the lanes still live at row ``i`` always form a
+  contiguous prefix - the inner loop slices views instead of masking,
+  exactly like a GPU retiring trailing lanes.
+* **Length bucketing bounds padding waste.**  A bucket closes when the
+  next sequence is shorter than ``(1 - max_waste)`` of the bucket's
+  first (longest) sequence, so the fraction of launched lane-rows that
+  hold no residue is bounded by ``max_waste`` plus the final
+  warp-rounding term.  The realized fraction is reported as
+  ``KernelCounters.padding_fraction`` (``grid_cells`` /
+  ``padding_cells``).
+* **Lane retirement on overflow.**  A lane whose score overflows the
+  quantized range is deleted from the working arrays (rare), keeping
+  the hot loop branch-free.
+* **No reduction, no barriers.**  Each lane reduces its own row maximum
+  serially in registers; the cross-lane shuffle of the per-warp kernels
+  disappears (``shuffles == 0``, ``syncthreads == 0``).
+* **Conflict-free lane-major layout.**  Lane ``l``'s DP row lives at
+  stride :func:`~repro.gpu.warp.conflict_free_lane_stride`, so a
+  warp-wide access to cell ``j`` across lanes touches 32 distinct
+  banks; the WarpSanitizer certifies this on every sanitized row.
+
+Scores are bit-identical to :mod:`repro.cpu.msv_reference` and
+:mod:`repro.cpu.viterbi_reference` - the paper's accuracy-preservation
+claim, pinned per-sequence by a hypothesis property test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..alphabet.packing import packed_stream_bytes
+from ..analysis.sanitizer import resolve_sanitizer
+from ..constants import MSV_BYTE_MAX, VF_WORD_MAX, VF_WORD_MIN, WARP_SIZE
+from ..cpu.results import FilterScores
+from ..errors import KernelError
+from ..gpu.counters import KernelCounters
+from ..gpu.device import KEPLER_K40, DeviceSpec
+from ..gpu.warp import conflict_free_lane_stride
+from ..scoring.msv_profile import MSVByteProfile
+from ..scoring.quantized import clip_i16
+from ..scoring.vit_profile import ViterbiWordProfile
+from ..sequence.database import PaddedBatch, SequenceDatabase
+from .memconfig import MemoryConfig
+
+__all__ = [
+    "LaneBucket",
+    "pack_length_buckets",
+    "msv_batched_kernel",
+    "viterbi_batched_kernel",
+    "DEFAULT_MAX_WASTE",
+]
+
+#: Default padding-waste bound for length bucketing.
+DEFAULT_MAX_WASTE = 0.25
+
+
+@dataclass(frozen=True)
+class LaneBucket:
+    """One launch group: length-sorted sequences packed across lanes.
+
+    Attributes
+    ----------
+    indices:
+        Original batch positions of the member sequences, length-sorted
+        descending (stable).
+    width:
+        The bucket's row count = its longest member's length.
+    lanes_padded:
+        Lane count rounded up to a whole number of 32-lane warps - the
+        launched grid width.
+    """
+
+    indices: np.ndarray
+    width: int
+
+    @property
+    def lanes(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def lanes_padded(self) -> int:
+        return -(-self.lanes // WARP_SIZE) * WARP_SIZE
+
+    def grid_cells(self) -> int:
+        """Lane-rows launched for this bucket (live + padding)."""
+        return self.lanes_padded * self.width
+
+
+def pack_length_buckets(
+    lengths: np.ndarray, max_waste: float = DEFAULT_MAX_WASTE
+) -> list[LaneBucket]:
+    """Length bucketing of a batch for cross-sequence lane packing.
+
+    Sequences are sorted by length descending (stable, so equal lengths
+    keep batch order) and split into buckets by a shortest-path dynamic
+    program that minimizes the total launched grid
+    (``sum of lanes_padded * width`` over buckets).  A split is
+    *admissible* when every lane covers at least ``1 - max_waste`` of
+    its bucket's rows - that bounds the per-lane length padding - with
+    one relaxation: a bucket may always absorb up to a full warp of 32
+    lanes, because splitting below warp granularity only trades length
+    padding for strictly-larger warp-rounding padding.  The greedy
+    pure-threshold split is admissible, so the DP's total padding never
+    exceeds it; the realized fraction is reported as
+    ``KernelCounters.padding_fraction``.  Zero-length sequences never
+    join a bucket - they have no DP rows.
+    """
+    if not 0.0 <= max_waste < 1.0:
+        raise KernelError("max_waste must be in [0, 1)")
+    lengths = np.asarray(lengths)
+    order = np.argsort(-lengths, kind="stable")
+    sorted_lens = lengths[order]
+    n = int(np.searchsorted(-sorted_lens, 0, side="left"))  # drop zero tail
+    if n == 0:
+        return []
+    # best[i]: minimal grid cells to pack lanes i..n-1; split[i]: its cut
+    best = np.zeros(n + 1, dtype=np.int64)
+    split = np.zeros(n, dtype=np.int64)
+    for i in range(n - 1, -1, -1):
+        width = int(sorted_lens[i])
+        floor = (1.0 - max_waste) * width
+        last = int(np.searchsorted(-sorted_lens[i:], -floor, side="right"))
+        last = min(n - i, max(last, WARP_SIZE))
+        k = np.arange(1, last + 1)
+        cost = (-(-k // WARP_SIZE)) * WARP_SIZE * width + best[i + k]
+        j = int(np.argmin(cost))
+        best[i] = cost[j]
+        split[i] = i + j + 1
+    buckets: list[LaneBucket] = []
+    start = 0
+    while start < n:
+        end = int(split[start])
+        buckets.append(
+            LaneBucket(indices=order[start:end], width=int(sorted_lens[start]))
+        )
+        start = end
+    return buckets
+
+
+def _as_batch(database: SequenceDatabase | PaddedBatch) -> PaddedBatch:
+    if isinstance(database, SequenceDatabase):
+        return database.padded_batch()
+    return database
+
+
+def _live_prefix_counts(lengths: np.ndarray, width: int) -> np.ndarray:
+    """``live[i]`` = number of lanes with length > ``i`` (descending
+    sort makes them a prefix)."""
+    counts = np.bincount(lengths.astype(np.int64), minlength=width + 1)
+    return lengths.size - np.cumsum(counts)[:width]
+
+
+def _charge_setup(counters: KernelCounters | None, batch: PaddedBatch,
+                  buckets: list[LaneBucket]) -> None:
+    if counters is None:
+        return
+    counters.sequences += batch.n_seqs
+    counters.global_bytes += int(
+        sum(packed_stream_bytes(int(L)) for L in batch.lengths)
+    )
+    for b in buckets:
+        grid = b.grid_cells()
+        counters.grid_cells += grid
+        counters.padding_cells += grid - int(batch.lengths[b.indices].sum())
+
+
+def _charge_row(counters: KernelCounters, p: int, M: int,
+                config: MemoryConfig) -> None:
+    """Event tally for one lockstep row over a ``p``-lane live prefix.
+
+    Per warp the lanes sweep the model serially: one conflict-free
+    warp-wide load + store per cell (the lane-major DP row), plus the
+    emission fetch from shared or global memory - the same convention
+    the per-warp kernels charge, transposed to lane-per-sequence.
+    """
+    n_warps = -(-p // WARP_SIZE)
+    counters.rows += p
+    counters.strips += n_warps
+    counters.cells += p * M
+    counters.shared_loads += n_warps * M
+    counters.shared_stores += n_warps * M
+    if config is MemoryConfig.SHARED:
+        counters.shared_loads += n_warps * M  # emission fetch
+    else:
+        counters.global_bytes += p * M  # emission fetch
+
+
+def msv_batched_kernel(
+    profile: MSVByteProfile,
+    database: SequenceDatabase | PaddedBatch,
+    config: MemoryConfig = MemoryConfig.SHARED,
+    device: DeviceSpec = KEPLER_K40,
+    counters: KernelCounters | None = None,
+    sanitize: bool | None = None,
+    max_waste: float = DEFAULT_MAX_WASTE,
+) -> FilterScores:
+    """Score a database with the cross-sequence batched MSV kernel.
+
+    Bit-identical to :func:`repro.cpu.msv_reference.msv_score_batch`
+    (and therefore to per-sequence scoring); the u8 state is carried
+    natively with the wraparound-repair saturation trick, so each row
+    costs ~6 one-byte passes over the live prefix instead of the
+    reference's four-byte clip chains.
+    """
+    batch = _as_batch(database)
+    n, M = batch.n_seqs, profile.M
+    san = resolve_sanitizer(sanitize)
+    buckets = pack_length_buckets(batch.lengths, max_waste=max_waste)
+    _charge_setup(counters, batch, buckets)
+
+    # zero-length sequences process no rows: final xJ stays 0
+    scores = np.full(n, profile.final_score_nats(0), dtype=np.float64)
+    overflowed = np.zeros(n, dtype=bool)
+
+    rbv_u8 = profile.rbv.astype(np.uint8)  # biased costs all fit u8
+    bias = np.uint8(profile.bias)
+    # sv + bias saturates at 255 exactly when sv >= 255 - bias; compare
+    # *before* the wrapped add, repair the wrapped cells after
+    sat_floor = np.uint8(MSV_BYTE_MAX - profile.bias)
+    overflow_at = np.uint8(min(MSV_BYTE_MAX, profile.overflow_threshold))
+    stride = conflict_free_lane_stride(M + 1)  # u8 row, cell 0 = -inf
+
+    for bucket in buckets:
+        idx = bucket.indices
+        width = bucket.width
+        codes = batch.codes[idx, :width]
+        lens = batch.lengths[idx]
+        live = _live_prefix_counts(lens, width)
+        k = idx.size
+        rows = np.zeros((k, M + 1), dtype=np.uint8)
+        xJ = np.zeros(k, dtype=np.int32)
+        xB = np.full(k, profile.init_xB, dtype=np.int32)
+
+        for i in range(width):
+            p = int(live[i])
+            if p == 0:
+                break
+            sub = rows[:p]
+            rb = rbv_u8[codes[:p, i]]
+            if san is not None:
+                # one representative warp-wide access per row: the
+                # pattern is identical for every warp and cell
+                san.begin_row(f"msv_batched:row{i}")
+                lanes = np.arange(min(WARP_SIZE, p), dtype=np.int64) * stride
+                j = i % M
+                san.shared_load(lanes + j, "msv_batched:dep-load",
+                                dependency=True)
+            xBv = np.maximum(xB[:p] - profile.tbm, 0).astype(np.uint8)
+            sv = np.maximum(sub[:, :M], xBv[:, None])
+            sat = sv >= sat_floor
+            if counters is not None:
+                # guardrail: cells at the u8 ceiling after the biased
+                # add - matches the reference engine's guard tally
+                counters.saturations += int(np.count_nonzero(sat))
+                _charge_row(counters, p, M, config)
+            sv += bias  # u8 wraps where sat; repaired next line
+            sv[sat] = MSV_BYTE_MAX
+            under = rb > sv
+            sv -= rb  # u8 wraps where under; repaired next line
+            sv[under] = 0
+            sub[:, 1:] = sv
+            if san is not None:
+                san.shared_store(lanes + (i % M) + 1, "msv_batched:store")
+            xE = sv.max(axis=1)
+
+            bad = xE >= overflow_at
+            if bad.any():
+                good = np.flatnonzero(~bad)
+                xE_g = xE[good].astype(np.int32)
+                xJ[good] = np.maximum(
+                    xJ[good], np.maximum(0, xE_g - profile.tec)
+                )
+                xB[good] = np.maximum(
+                    0, np.maximum(profile.base, xJ[good]) - profile.tjb
+                )
+                retire = np.flatnonzero(bad)
+                scores[idx[retire]] = float("inf")
+                overflowed[idx[retire]] = True
+                keep = np.ones(k, dtype=bool)
+                keep[retire] = False
+                rows, codes, xJ, xB = rows[keep], codes[keep], xJ[keep], xB[keep]
+                lens, idx = lens[keep], idx[keep]
+                k = idx.size
+                live = _live_prefix_counts(lens, width)
+            else:
+                xE_i = xE.astype(np.int32)
+                xJ[:p] = np.maximum(xJ[:p], np.maximum(0, xE_i - profile.tec))
+                xB[:p] = np.maximum(
+                    0, np.maximum(profile.base, xJ[:p]) - profile.tjb
+                )
+
+        scores[idx] = ((xJ - profile.tjb) - profile.base) / profile.scale - 3.0
+
+    if san is not None and counters is not None:
+        report = san.report()
+        counters.attach_sanitizer(report)
+        counters.bank_conflict_extra += report.conflict_extra
+    return FilterScores(scores=scores, overflowed=overflowed)
+
+
+def viterbi_batched_kernel(
+    profile: ViterbiWordProfile,
+    database: SequenceDatabase | PaddedBatch,
+    config: MemoryConfig = MemoryConfig.SHARED,
+    device: DeviceSpec = KEPLER_K40,
+    counters: KernelCounters | None = None,
+    sanitize: bool | None = None,
+    max_waste: float = DEFAULT_MAX_WASTE,
+) -> FilterScores:
+    """Score a database with the cross-sequence batched P7Viterbi kernel.
+
+    Bit-identical to
+    :func:`repro.cpu.viterbi_reference.viterbi_score_batch`.  Exactness
+    arguments for the fused arithmetic: saturating clips commute with
+    ``max`` over a common interval, so the three entry terms are maxed
+    unclipped in int32 and clipped once; the Delete-chain prefix scan's
+    ``cumsum(tdd)`` is profile-constant and hoisted out of the row loop;
+    the ``(M+1)``-wide state rows carry a permanent -inf column 0 so the
+    node shift is a view, not a concatenate.
+    """
+    batch = _as_batch(database)
+    n, M = batch.n_seqs, profile.M
+    san = resolve_sanitizer(sanitize)
+    buckets = pack_length_buckets(batch.lengths, max_waste=max_waste)
+    _charge_setup(counters, batch, buckets)
+
+    # zero-length sequences process no rows: xC stays -inf
+    scores = np.full(n, float("-inf"), dtype=np.float64)
+    overflowed = np.zeros(n, dtype=bool)
+
+    # hoisted Delete-chain scan constants (see cpu.viterbi_reference
+    # .exact_d_chain): c[j] = sum of tdd[t] for t < j
+    tmd = profile.tmd.astype(np.int64)
+    c = np.concatenate(([0], np.cumsum(profile.tdd.astype(np.int64))))
+    c_tail = c[1 : M + 1]
+    c_body = c[1:M]
+    # i16 rows for three matrices per lane: M, I, D
+    stride = conflict_free_lane_stride(3 * 2 * (M + 1))
+    base_i, base_d = 2 * (M + 1), 4 * (M + 1)
+
+    for bucket in buckets:
+        idx = bucket.indices
+        width = bucket.width
+        codes = batch.codes[idx, :width]
+        lens = batch.lengths[idx]
+        live = _live_prefix_counts(lens, width)
+        k = idx.size
+        # column 0 is the permanent minus-infinity boundary: the
+        # "previous node" shift becomes the view [:, :M]
+        Mp = np.full((k, M + 1), VF_WORD_MIN, dtype=np.int32)
+        Ip = Mp.copy()
+        Dp = Mp.copy()
+        xJ = np.full(k, VF_WORD_MIN, dtype=np.int64)
+        xC = xJ.copy()
+        xB = np.full(k, profile.init_xB, dtype=np.int64)
+
+        for i in range(width):
+            p = int(live[i])
+            if p == 0:
+                break
+            Mp_s, Ip_s, Dp_s = Mp[:p], Ip[:p], Dp[:p]
+            rw = profile.rwv[codes[:p, i]]
+            if san is not None:
+                san.begin_row(f"vit_batched:row{i}")
+                lanes = np.arange(min(WARP_SIZE, p), dtype=np.int64) * stride
+                j2 = 2 * (i % M)
+                for mat, base_b in (("m", 0), ("i", base_i), ("d", base_d)):
+                    san.shared_load(lanes + base_b + j2,
+                                    f"vit_batched:dep-load:{mat}",
+                                    dependency=True)
+            xBv = (xB[:p] + profile.tbm).astype(np.int32)
+            sv = np.maximum(
+                xBv[:, None], Mp_s[:, :M] + profile.enter_mm
+            )
+            np.maximum(sv, Ip_s[:, :M] + profile.enter_im, out=sv)
+            np.maximum(sv, Dp_s[:, :M] + profile.enter_dm, out=sv)
+            clip_i16(sv, out=sv)
+            Mv = sv + rw
+            clip_i16(Mv, out=Mv)
+            if counters is not None:
+                # guardrail: M cells pinned at the i16 floor, the same
+                # tally the reference engine keeps
+                counters.saturations += int(
+                    np.count_nonzero(Mv == VF_WORD_MIN)
+                )
+                _charge_row(counters, p, M, config)
+            Iv = np.maximum(
+                Mp_s[:, 1:] + profile.tmi, Ip_s[:, 1:] + profile.tii
+            )
+            clip_i16(Iv, out=Iv)
+            start = np.maximum(Mv.astype(np.int64) + tmd, VF_WORD_MIN)
+            h = np.maximum.accumulate(start - c_tail, axis=-1)
+            Dv = np.full((p, M), VF_WORD_MIN, dtype=np.int64)
+            Dv[:, 1:] = np.maximum(c_body + h[:, :-1], VF_WORD_MIN)
+            Mp_s[:, 1:] = Mv
+            Ip_s[:, 1:] = Iv
+            Dp_s[:, 1:] = Dv
+            if san is not None:
+                for mat, base_b in (("m", 0), ("i", base_i), ("d", base_d)):
+                    san.shared_store(lanes + base_b + 2 * (i % M) + 2,
+                                     f"vit_batched:store:{mat}")
+            xE = Mv.max(axis=1)
+
+            bad = xE >= VF_WORD_MAX
+            if bad.any():
+                good = np.flatnonzero(~bad)
+                xE_g = xE[good].astype(np.int64)
+                xC[good] = np.maximum(xC[good], xE_g + profile.xE_move)
+                xJ[good] = np.maximum(xJ[good], xE_g + profile.xE_loop)
+                xB[good] = np.maximum(
+                    profile.base + profile.xNJ_move,
+                    xJ[good] + profile.xNJ_move,
+                )
+                retire = np.flatnonzero(bad)
+                scores[idx[retire]] = float("inf")
+                overflowed[idx[retire]] = True
+                keep = np.ones(k, dtype=bool)
+                keep[retire] = False
+                Mp, Ip, Dp = Mp[keep], Ip[keep], Dp[keep]
+                codes, xJ, xC, xB = codes[keep], xJ[keep], xC[keep], xB[keep]
+                lens, idx = lens[keep], idx[keep]
+                k = idx.size
+                live = _live_prefix_counts(lens, width)
+            else:
+                xE64 = xE.astype(np.int64)
+                xC[:p] = np.maximum(xC[:p], xE64 + profile.xE_move)
+                xJ[:p] = np.maximum(xJ[:p], xE64 + profile.xE_loop)
+                xB[:p] = np.maximum(
+                    profile.base + profile.xNJ_move,
+                    xJ[:p] + profile.xNJ_move,
+                )
+
+        scores[idx] = np.where(
+            xC == VF_WORD_MIN,
+            float("-inf"),
+            (xC + profile.xNJ_move - profile.base) / profile.scale - 2.0,
+        )
+
+    if san is not None and counters is not None:
+        report = san.report()
+        counters.attach_sanitizer(report)
+        counters.bank_conflict_extra += report.conflict_extra
+    return FilterScores(scores=scores, overflowed=overflowed)

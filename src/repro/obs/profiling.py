@@ -20,12 +20,14 @@ __all__ = ["kernel_tags", "record_kernel_counters"]
 STAGE_BY_NAME = {"msv": Stage.MSV, "p7viterbi": Stage.P7VITERBI}
 
 
-def kernel_tags(stage_name, M, config, device) -> dict:
+def kernel_tags(stage_name, M, config, device, engine=None) -> dict:
     """Tags for one kernel launch span.
 
-    Always includes the device and architecture; adds the memory config
-    and model size when known, and the achievable occupancy when the
-    stage has an occupancy model and the configuration is feasible.
+    Always includes the device and architecture; adds the registered
+    engine name when given (any :func:`repro.engines.list_engines`
+    entry), the memory config and model size when known, and the
+    achievable occupancy when the stage has an occupancy model and the
+    configuration is feasible.
     """
     tags = {
         "stage": stage_name,
@@ -33,6 +35,8 @@ def kernel_tags(stage_name, M, config, device) -> dict:
         "architecture": device.architecture,
         "M": int(M),
     }
+    if engine is not None:
+        tags["engine"] = str(engine)
     if isinstance(config, MemoryConfig):
         tags["config"] = config.value
     stage = STAGE_BY_NAME.get(stage_name)

@@ -22,10 +22,11 @@ drift apart.
 
 from __future__ import annotations
 
-import enum
 import warnings
 from dataclasses import dataclass, field, replace
 
+from . import engines
+from .engines import EngineSelection
 from .errors import PipelineError
 from .gpu.device import KEPLER_K40, DeviceSpec
 from .hardening import STRICT, IngestPolicy, RecordQuarantine
@@ -42,27 +43,43 @@ __all__ = [
 ]
 
 
-class Engine(enum.Enum):
-    """Which implementation scores the MSV and P7Viterbi stages."""
+class Engine:
+    """Deprecated closed engine enum, now a shim over the registry.
 
-    CPU_SSE = "cpu_sse"
-    GPU_WARP = "gpu_warp"
+    ``Engine.CPU_SSE`` / ``Engine.GPU_WARP`` are the interned
+    :class:`~repro.engines.EngineSelection` objects for those engines,
+    so historical identity checks (``opts.engine is Engine.GPU_WARP``)
+    and ``.value`` reads keep working.  New code should pass registered
+    engine names (or per-stage mappings) straight to
+    ``SearchOptions(engine=...)`` and use :func:`repro.engines.resolve`
+    / :func:`repro.engines.list_engines` instead.
+    """
+
+    CPU_SSE = engines.resolve("cpu_sse")
+    GPU_WARP = engines.resolve("gpu_warp")
+
+    def __init__(self) -> None:  # pragma: no cover - guard, not API
+        raise TypeError(
+            "Engine is a namespace shim over repro.engines; use "
+            "Engine.CPU_SSE / Engine.GPU_WARP or engines.resolve(name)"
+        )
 
     @classmethod
-    def coerce(cls, value: "Engine | str") -> "Engine":
-        """Accept an Engine, its value, or the CLI aliases cpu/gpu."""
-        if isinstance(value, cls):
-            return value
-        alias = {"cpu": cls.CPU_SSE, "gpu": cls.GPU_WARP}
-        name = str(value).lower()
-        if name in alias:
-            return alias[name]
-        try:
-            return cls(name)
-        except ValueError:
-            raise PipelineError(
-                f"unknown engine {value!r} (use cpu_sse/gpu_warp)"
-            ) from None
+    def coerce(cls, value: "EngineSelection | str") -> EngineSelection:
+        """Deprecated: accept an engine name/alias/selection.
+
+        Kept for pre-registry call sites; emits one
+        ``DeprecationWarning`` and delegates to
+        :func:`repro.engines.resolve`, so every registered engine (not
+        just the historical two) resolves.
+        """
+        warnings.warn(
+            "Engine.coerce is deprecated; use repro.engines.resolve "
+            "(the engine registry) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return engines.resolve(value)
 
 
 @dataclass(frozen=True)
@@ -90,11 +107,15 @@ class SearchOptions:
     only decides *whether* they are fed.
     """
 
-    engine: Engine = field(
+    engine: EngineSelection = field(
         default=Engine.CPU_SSE,
         metadata={"doc": "scoring engine for the MSV and P7Viterbi "
-                         "stages: cpu (striped SSE reference) or gpu "
-                         "(warp-synchronous simulated kernels)"},
+                         "stages: any registered engine name "
+                         "(repro.engines.list_engines(); e.g. cpu_sse, "
+                         "gpu_warp, gpu_warp_batched, mp) or a "
+                         "per-stage mapping like "
+                         "msv=gpu_warp_batched,p7viterbi=mp "
+                         "('*' keys the default stage engine)"},
     )
     device: DeviceSpec = field(
         default=KEPLER_K40,
@@ -163,13 +184,30 @@ class SearchOptions:
                          "fails fast with DeadlineExceeded (exit code 5) "
                          "instead of burning devices (None = no deadline)"},
     )
+    mp_workers: int = field(
+        default=2,
+        metadata={"doc": "worker-process count for the mp engine; 1 "
+                         "scores inline in this process (hits are "
+                         "bit-identical for every worker count)"},
+    )
+    mp_inner_engine: str = field(
+        default="gpu_warp_batched",
+        metadata={"doc": "registered engine each mp worker runs on its "
+                         "shard (anything but mp itself)"},
+    )
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "engine", Engine.coerce(self.engine))
+        object.__setattr__(self, "engine", engines.resolve(self.engine))
         if self.selfcheck < 0:
             raise PipelineError("selfcheck must be >= 0")
         if self.deadline_ms is not None and self.deadline_ms <= 0:
             raise PipelineError("deadline_ms must be positive")
+        if self.mp_workers < 1:
+            raise PipelineError("mp_workers must be >= 1")
+        inner = engines.get(self.mp_inner_engine).name
+        if inner == "mp":
+            raise PipelineError("mp_inner_engine cannot be 'mp' itself")
+        object.__setattr__(self, "mp_inner_engine", inner)
 
     def with_(self, **changes) -> "SearchOptions":
         """A copy with the given fields replaced (ergonomic alias)."""

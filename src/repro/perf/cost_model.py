@@ -23,7 +23,6 @@ Structure (constants in :mod:`repro.perf.calibration`):
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from ..errors import CalibrationError
@@ -39,6 +38,7 @@ __all__ = [
     "cpu_forward_time",
     "gpu_stage_time",
     "best_gpu_stage_time",
+    "engine_cost_hook",
 ]
 
 
@@ -238,6 +238,44 @@ def best_gpu_stage_time(
             f"no feasible configuration for {stage} with M={work.M}"
         )
     return min(candidates, key=lambda t: t.seconds)
+
+
+_STAGE_BY_NAME = {s.value: s for s in Stage}
+
+
+def engine_cost_hook(
+    kind: str,
+    stage: Stage | str,
+    work: StageWork,
+    device: DeviceSpec | None,
+    costs: CostConstants = DEFAULT_COSTS,
+) -> float:
+    """Canonical admission-pricing hook behind the engine registry.
+
+    Each :class:`~repro.engines.EngineSpec` binds one pricing ``kind``:
+
+    ``cpu``
+        The SSE baseline model (:func:`cpu_stage_time`).
+    ``gpu``
+        Optimal-strategy device time (:func:`best_gpu_stage_time`);
+        falls back to the CPU price when no device is given or no
+        kernel configuration is feasible for the model size - the same
+        ladder the executor's runtime fallback takes.
+    ``mp``
+        Conservatively the CPU price: worker processes buy wall-clock
+        overlap, not modelled device seconds, and admission must not
+        under-price a job because the host happens to have spare cores.
+    """
+    if isinstance(stage, str):
+        stage = _STAGE_BY_NAME[stage]
+    if kind == "gpu" and device is not None:
+        try:
+            return best_gpu_stage_time(stage, work, device, costs).seconds
+        except CalibrationError:
+            return cpu_stage_time(stage, work, costs)
+    if kind not in ("cpu", "gpu", "mp"):
+        raise CalibrationError(f"unknown engine cost kind {kind!r}")
+    return cpu_stage_time(stage, work, costs)
 
 
 def transfer_time_s(

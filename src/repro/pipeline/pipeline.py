@@ -1,16 +1,15 @@
 """The hmmsearch task pipeline (paper Figure 1).
 
 ``MSV filter -> P7Viterbi filter -> Forward``, with P-value thresholds
-between stages (HMMER 3.0 defaults: 0.02, 1e-3, 1e-5).  Two engine
-families implement the two accelerated stages:
+between stages (HMMER 3.0 defaults: 0.02, 1e-3, 1e-5).  The two
+accelerated stages dispatch through the engine registry
+(:mod:`repro.engines`): ``cpu_sse`` (the vectorized golden reference,
+bit-identical to the striped SSE simulation), ``gpu_warp`` (the paper's
+warp-synchronous kernels), ``gpu_warp_batched`` (cross-sequence batched
+kernels) and ``mp`` (process pool), selectable per stage via
+``SearchOptions.engine``.
 
-* ``Engine.CPU_SSE`` - the striped SSE reference path (scores computed by
-  the vectorized golden reference, which is bit-identical to the striped
-  simulation; the striped code itself is exercised by the test suite);
-* ``Engine.GPU_WARP`` - the paper's warp-synchronous kernels on a chosen
-  (simulated) device and memory configuration.
-
-Both produce *identical* results - the paper's accuracy-preservation
+All produce *identical* results - the paper's accuracy-preservation
 claim - which the test suite asserts; they differ in the hardware event
 counters and in the stage times the performance model assigns.
 
@@ -27,23 +26,18 @@ to one ``is None`` check per block.
 
 from __future__ import annotations
 
-import functools
-
 import numpy as np
 
 from ..cpu.forward_batch import forward_score_batch
 from ..cpu.generic import GenericProfile, generic_forward_score
-from ..cpu.msv_reference import msv_score_batch, msv_score_sequence
-from ..cpu.viterbi_reference import viterbi_score_batch, viterbi_score_sequence
+from ..cpu.msv_reference import msv_score_sequence
+from ..cpu.viterbi_reference import viterbi_score_sequence
 from ..errors import DivergenceError, PipelineError
 from ..gpu.counters import KernelCounters
 from ..hardening import RecordQuarantine
 from ..hmm.background import NullModel
 from ..hmm.plan7 import Plan7HMM
 from ..hmm.profile import SearchProfile
-from ..kernels.msv_warp import msv_warp_kernel
-from ..kernels.viterbi_warp import viterbi_warp_kernel
-from ..obs.profiling import kernel_tags, record_kernel_counters
 from ..obs.span import span
 from ..options import (
     UNSET,
@@ -62,8 +56,6 @@ from .results import SearchHit, SearchResults, StageStats
 from .stats import bits_from_nats
 
 __all__ = ["Engine", "PipelineThresholds", "HmmsearchPipeline"]
-
-_WARP_KERNELS = {"msv": msv_warp_kernel, "p7viterbi": viterbi_warp_kernel}
 
 
 class HmmsearchPipeline:
@@ -126,51 +118,25 @@ class HmmsearchPipeline:
     # -- stage engines ------------------------------------------------------
 
     def _score_filter(
-        self, stage_name, profile, reference, db, opts, counters,
+        self, stage_name, profile, db, opts, counters,
         executor=None, guard=None,
     ):
-        """Score one accelerated filter stage (MSV or P7Viterbi)."""
-        tracer = opts.tracer
-        if opts.engine is Engine.GPU_WARP:
-            c = counters.setdefault(stage_name, KernelCounters())
-            before = c.saturations
-            kernel = _WARP_KERNELS[stage_name]
-            if opts.sanitize:
-                # bind the flag so executor-dispatched launches (which own
-                # their kernel calls) are sanitized too; sanitize=None
-                # would only defer to REPRO_SANITIZE
-                kernel = functools.partial(kernel, sanitize=True)
-            if executor is not None:
-                scores = executor.score_stage(
-                    stage_name, kernel, profile, db,
-                    config=opts.config, counters=c,
-                )
-            else:
-                with span(
-                    tracer,
-                    _WARP_KERNELS[stage_name].__name__,
-                    "kernel",
-                    engine=opts.engine.value,
-                    **kernel_tags(
-                        stage_name, self.profile.M, opts.config, opts.device
-                    ),
-                ) as ks:
-                    scores = kernel(
-                        profile, db, config=opts.config, device=opts.device,
-                        counters=c,
-                    )
-                    record_kernel_counters(ks, c)
-            if guard is not None:
-                guard.saturations += c.saturations - before
-            return scores
-        with span(
-            tracer, f"{stage_name}_batch", "kernel",
-            stage=stage_name, engine=opts.engine.value,
-        ) as ks:
-            scores = reference(profile, db, guard=guard)
-            if ks is not None:
-                ks.count(rows=db.total_residues, sequences=len(db))
-        return scores
+        """Score one accelerated filter stage (MSV or P7Viterbi).
+
+        Dispatch goes through the engine registry: the stage's resolved
+        :class:`~repro.engines.EngineSpec` owns the scoring strategy
+        (reference batch, warp kernel, cross-sequence batched kernel,
+        process pool).  The device-pool ``executor`` is handed only to
+        ``pooled`` engines - the others score in-process and the
+        sharded-retry machinery never sees them.
+        """
+        spec = opts.engine.spec_for(stage_name)
+        return spec.scorer(
+            stage_name, profile, db,
+            opts=opts, counters=counters, guard=guard,
+            executor=executor if spec.pooled else None,
+            M=self.profile.M,
+        )
 
     # -- search ---------------------------------------------------------------
 
@@ -250,7 +216,7 @@ class HmmsearchPipeline:
             guard1 = GuardrailCounters() if opts.guard else None
             with span(tracer, "msv", "stage", stage="msv") as st_span:
                 msv_scores = self._score_filter(
-                    "msv", self.byte_profile, msv_score_batch,
+                    "msv", self.byte_profile,
                     database, opts, counters, executor, guard1,
                 )
                 if guard1 is not None:
@@ -288,7 +254,7 @@ class HmmsearchPipeline:
                     sub = database.subset(pass1.tolist())
                     rows2 = sub.total_residues
                     vit_scores = self._score_filter(
-                        "p7viterbi", self.word_profile, viterbi_score_batch,
+                        "p7viterbi", self.word_profile,
                         sub, opts, counters, executor, guard2,
                     )
                     if guard2 is not None:

@@ -34,6 +34,7 @@ from typing import Callable
 import numpy as np
 
 from ..errors import LaunchError, PipelineError
+from .. import engines
 from ..gpu.counters import KernelCounters
 from ..kernels.memconfig import Stage
 from ..obs.span import Tracer, span
@@ -61,12 +62,21 @@ class ScanOptions:
     """
 
     search: SearchOptions = field(default_factory=SearchOptions)
+    engine: object | None = None      # any registered engine name, alias,
+                                      # EngineSelection or per-stage mapping;
+                                      # overrides search.engine when set
     top_hits: int | None = None
     deadline_ms: float | None = None  # whole-scan budget; checked between
                                       # buckets and launch groups, raises
                                       # DeadlineExceeded when exhausted
 
     def __post_init__(self) -> None:
+        if self.engine is not None:
+            selection = engines.resolve(self.engine)
+            object.__setattr__(self, "engine", selection)
+            object.__setattr__(
+                self, "search", replace(self.search, engine=selection)
+            )
         if self.top_hits is not None and self.top_hits < 1:
             raise ValueError("top_hits must be positive (or None)")
         if self.deadline_ms is not None and self.deadline_ms <= 0:
@@ -436,7 +446,9 @@ class ScanService:
         slot: DeviceSlot | None = None
         engine = sopts.engine
         fallback = 0
-        if engine is Engine.GPU_WARP:
+        if engine.device_bound:
+            # any selection with a device-bound stage engine (gpu_warp,
+            # gpu_warp_batched) occupies a pool slot for the group
             slot = self._checkout()
             if slot is None:
                 # pool exhausted (injected faults): the group still

@@ -28,6 +28,7 @@ __all__ = [
     "sat_add_i16",
     "max_i16",
     "floor_i16",
+    "clip_i16",
     "U8_ZERO",
     "I16_NEG_INF",
 ]
@@ -77,6 +78,21 @@ def sat_add_i16(a, b, guard=None):
 def max_i16(a, b):
     """``_mm_max_epi16`` (no saturation involved, named for symmetry)."""
     return np.maximum(np.asarray(a, dtype=np.int32), np.asarray(b, dtype=np.int32))
+
+
+def clip_i16(a, out=None):
+    """Pin a wide accumulator into the i16 lane range, optionally in
+    place.
+
+    The fused form of :func:`sat_add_i16` for the cross-sequence
+    batched kernels: several already-saturated terms are combined with
+    ``np.maximum`` / ``+`` in a wide dtype first, then clamped to
+    ``[VF_WORD_MIN, VF_WORD_MAX]`` in one pass.  Because the clamp is
+    monotone, clipping after a max-of-sums yields exactly the same
+    values as maxing the per-term :func:`sat_add_i16` results, at a
+    third of the passes over the lane-major state rows.
+    """
+    return np.clip(a, VF_WORD_MIN, VF_WORD_MAX, out=out)
 
 
 def floor_i16(a):

@@ -38,18 +38,14 @@ import enum
 import threading
 from dataclasses import dataclass
 
-from ..errors import CalibrationError, OverloadError, PipelineError
+from .. import engines
+from ..errors import OverloadError, PipelineError
 from ..gpu.device import DeviceSpec
 from ..hmm.plan7 import Plan7HMM
 from ..kernels.memconfig import Stage
 from ..options import Engine, PipelineThresholds
 from ..perf.calibration import DEFAULT_COSTS, CostConstants
-from ..perf.cost_model import (
-    StageWork,
-    best_gpu_stage_time,
-    cpu_forward_time,
-    cpu_stage_time,
-)
+from ..perf.cost_model import StageWork, cpu_forward_time, cpu_stage_time
 from ..sequence.database import SequenceDatabase
 
 __all__ = [
@@ -164,7 +160,7 @@ def estimate_job_cost(
     large for any feasible configuration falls back to the CPU price
     (which is what the executor's fallback ladder would do too).
     """
-    engine = Engine.coerce(engine)
+    selection = engines.resolve(engine)
     th = thresholds or PipelineThresholds()
     residues = database.total_residues
     seqs = len(database)
@@ -179,14 +175,12 @@ def estimate_job_cost(
     def price(stage: Stage, work: StageWork) -> float:
         if work.rows <= 0:
             return 0.0
-        if engine is Engine.GPU_WARP and device is not None:
-            try:
-                return best_gpu_stage_time(stage, work, device, costs).seconds
-            except CalibrationError:
-                # no feasible kernel configuration for this model size:
-                # price the CPU fallback the executor would take instead
-                return cpu_stage_time(stage, work, costs)
-        return cpu_stage_time(stage, work, costs)
+        # each stage's registered engine prices itself through its
+        # cost hook; engines without one are priced as the CPU baseline
+        spec = selection.spec_for(stage.value)
+        if spec.cost_hook is None:
+            return cpu_stage_time(stage, work, costs)
+        return spec.cost_hook(stage, work, device, costs)
 
     msv_s = price(Stage.MSV, msv)
     vit_s = price(Stage.P7VITERBI, vit)
@@ -196,7 +190,7 @@ def estimate_job_cost(
         residues=residues,
         sequences=seqs,
         M=hmm.M,
-        engine=engine.value,
+        engine=selection.value,
         device=device.name if device is not None else "cpu",
         stage_seconds=(("msv", msv_s), ("p7viterbi", vit_s), ("fwd", fwd_s)),
     )

@@ -27,6 +27,7 @@ import heapq
 import threading
 from dataclasses import dataclass, field
 
+from .. import engines
 from ..errors import PipelineError
 from ..hmm.plan7 import Plan7HMM
 from ..options import Engine, PipelineThresholds, SearchOptions
@@ -174,7 +175,7 @@ class JobQueue:
         submission raises :class:`~repro.errors.OverloadError` and
         leaves the queue (and the serial counter) untouched.
         """
-        engine = Engine.coerce(engine)
+        engine = engines.resolve(engine)
         estimate = None
         if self.admission is not None:
             estimate = self.admission.admit(

@@ -33,17 +33,15 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-from ..errors import FormatError, QuarantineError
+from .. import engines
+from ..errors import FormatError, QuarantineError, UnknownEngineError
 from ..hardening import STRICT, IngestPolicy, RecordQuarantine
 from ..hmm.hmmfile import load_hmm
-from ..pipeline.pipeline import Engine
 from ..sequence.fasta import read_fasta
 from .cache import PipelineSettings
 from .job import SearchJob
 
 __all__ = ["load_manifest", "submit_manifest", "validate_manifest_paths"]
-
-_ENGINES = {"cpu": Engine.CPU_SSE, "gpu": Engine.GPU_WARP}
 
 
 def load_manifest(path: str | Path) -> list[dict]:
@@ -70,11 +68,15 @@ def load_manifest(path: str | Path) -> list[dict]:
                     f"manifest {path}: job {i} is missing {key!r}"
                 )
         engine = entry.get("engine", "gpu")
-        if engine not in _ENGINES:
+        try:
+            # any registered engine name, alias, or per-stage
+            # "stage=name,..." mapping string is a valid manifest entry
+            engines.resolve(engine)
+        except (UnknownEngineError, TypeError) as exc:
             raise FormatError(
                 f"manifest {path}: job {i} has unknown engine {engine!r} "
-                "(expected 'cpu' or 'gpu')"
-            )
+                f"({exc})"
+            ) from exc
         job_id = entry.get("id")
         if job_id is not None:
             if not isinstance(job_id, str) or not job_id.strip():
@@ -196,7 +198,7 @@ def submit_manifest(
             service.submit(
                 models[model_path],
                 databases[db_path],
-                engine=_ENGINES[entry["engine"]],
+                engine=engines.resolve(entry["engine"]),
                 priority=entry["priority"],
                 settings=settings,
                 job_id=entry["id"],

@@ -382,7 +382,9 @@ class Scheduler:
                         prep.tags["cache"] = "hit" if cache_hit else "miss"
                 try:
                     job.attempts += 1
-                    if job.engine is Engine.GPU_WARP:
+                    if job.engine.pooled:
+                        # every stage shards through the device pool:
+                        # the resilient executor owns retry/fallback
                         executor = self._executor(
                             job, deadline=deadline, tracer=tracer
                         )
@@ -390,9 +392,9 @@ class Scheduler:
                             job.database, opts, executor=executor,
                         )
                     else:
-                        results = pipeline.search(
-                            job.database, replace(opts, engine=Engine.CPU_SSE)
-                        )
+                        # non-pooled engines (cpu_sse, gpu_warp_batched,
+                        # mp) score in-process under their own dispatch
+                        results = pipeline.search(job.database, opts)
                 except LaunchError as exc:
                     # device failed to launch: degrade to the CPU engine,
                     # which is bit-identical in scores (the resilient

@@ -185,3 +185,73 @@ class TestBenchTrajectoryHarness:
         )
         assert rc == 1
         assert "BENCH REGRESSION" in capsys.readouterr().err
+
+    def test_speedup_gate(self, harness, tmp_path, capsys, monkeypatch):
+        out = tmp_path / "b.json"
+        assert harness.main(
+            ["--quick", "--skip-overhead", "--out", str(out)]
+        ) == 0
+        doc = load_bench(out)
+
+        # the tiny quick workload's stage shares are not representative;
+        # pin the fresh document's shares so only the speedup term is
+        # under test
+        real_load = harness.load_bench
+
+        def pinned(path):
+            d = real_load(path)
+            if str(path).endswith(("c.json", "d.json")):
+                d["stages"]["msv"]["share"] = 0.5
+                d["stages"]["p7viterbi"]["share"] = 0.1
+            return d
+
+        monkeypatch.setattr(harness, "load_bench", pinned)
+
+        # a fabricated pre-batching baseline 10x slower: gate passes
+        slow = copy.deepcopy(doc)
+        slow["totals"]["wall_seconds"] *= 10.0
+        base = tmp_path / "slow.json"
+        base.write_text(json.dumps(slow))
+        assert harness.main(
+            ["--quick", "--skip-overhead", "--out", str(tmp_path / "c.json"),
+             "--speedup-baseline", str(base), "--min-speedup", "2.0"]
+        ) == 0
+        capsys.readouterr()
+        # an equal-speed baseline: a 2x gate must fail
+        base.write_text(json.dumps(doc))
+        rc = harness.main(
+            ["--quick", "--skip-overhead", "--out", str(tmp_path / "d.json"),
+             "--speedup-baseline", str(base), "--min-speedup", "2.0"]
+        )
+        assert rc == 1
+        assert "BENCH SPEEDUP GATE" in capsys.readouterr().err
+
+    def test_share_inversion_gate(self, harness, tmp_path, capsys,
+                                  monkeypatch):
+        """P7Viterbi costing more than MSV fails even at huge speedup."""
+        out = tmp_path / "b.json"
+        assert harness.main(
+            ["--quick", "--skip-overhead", "--out", str(out)]
+        ) == 0
+        doc = load_bench(out)
+        slow = copy.deepcopy(doc)
+        slow["totals"]["wall_seconds"] *= 100.0
+        base = tmp_path / "slow.json"
+        base.write_text(json.dumps(slow))
+
+        real_load = harness.load_bench
+
+        def swapped(path):
+            d = real_load(path)
+            if str(path).endswith("e.json"):
+                m, v = d["stages"]["msv"], d["stages"]["p7viterbi"]
+                m["share"], v["share"] = v["share"], m["share"] + 1.0
+            return d
+
+        monkeypatch.setattr(harness, "load_bench", swapped)
+        rc = harness.main(
+            ["--quick", "--skip-overhead", "--out", str(tmp_path / "e.json"),
+             "--speedup-baseline", str(base), "--min-speedup", "2.0"]
+        )
+        assert rc == 1
+        assert "BENCH SHARE GATE" in capsys.readouterr().err

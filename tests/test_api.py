@@ -14,6 +14,7 @@ FACADE = [
     "load_hmm",
     "load_fasta",
     "search",
+    "search_many",
     "batch_search",
     "press_library",
     "load_library",
@@ -22,6 +23,10 @@ FACADE = [
     "SearchOptions",
     "ScanOptions",
     "SearchResults",
+    "EngineSpec",
+    "register_engine",
+    "get_engine",
+    "list_engines",
 ]
 
 

@@ -5,6 +5,7 @@ import pytest
 
 from repro.cli import build_parser, main
 from repro.hmm import sample_hmm, save_hmm
+from repro.options import Engine
 from repro.sequence import DigitalSequence, write_fasta, random_sequence_codes
 
 
@@ -42,7 +43,10 @@ class TestParser:
     def test_demo_defaults(self):
         args = build_parser().parse_args(["demo"])
         assert args.model_size == 200
-        assert args.engine == "gpu"
+        # argparse applies the registry-resolving type= converter to the
+        # string default, so the parsed value is an interned selection
+        assert args.engine is Engine.GPU_WARP
+        assert args.engine.value == "gpu_warp"
 
 
 class TestSearch:
