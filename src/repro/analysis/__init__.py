@@ -4,15 +4,36 @@ warp-model sanitizer.
 Static side — ``repro-lint`` / ``python -m repro.analysis`` — checks
 project invariants (determinism, facade discipline, overflow
 guardrails, lock protocols, frozen contracts) on every commit; see
-:mod:`repro.analysis.rules` for the catalog.
+:mod:`repro.analysis.rules` for the catalog.  Two semantic passes ride
+the same engine: ``repro-lint --prove`` runs the interval abstract
+interpreter (:mod:`repro.analysis.absint`) that certifies the
+quantized filter kernels overflow-free, and the package rules in
+:mod:`repro.analysis.locks` verify the service plane's lock order
+(R006) and async-readiness (R007) interprocedurally.
 
 Runtime side — :class:`WarpSanitizer` — instruments the simulated
 shared-memory traffic of the warp kernels when ``REPRO_SANITIZE=1``;
 see :mod:`repro.analysis.sanitizer`.
 """
 
+from .absint import (
+    ENCODE_MODULES,
+    PROVE_TARGETS,
+    IntervalProverRule,
+    analyze_module,
+    analyze_source,
+    certificate_doc,
+)
 from .baseline import Baseline
 from .engine import LintResult, lint_file, run
+from .locks import (
+    ALL_PACKAGE_RULES,
+    AsyncReadinessRule,
+    GuardedEscapeRule,
+    LockOrderRule,
+    PackageRule,
+    build_lock_model,
+)
 from .rules import ALL_RULES, RULES_BY_ID, Finding
 from .sanitizer import (
     SanitizerReport,
@@ -22,13 +43,25 @@ from .sanitizer import (
 )
 
 __all__ = [
+    "ALL_PACKAGE_RULES",
     "ALL_RULES",
+    "ENCODE_MODULES",
+    "PROVE_TARGETS",
     "RULES_BY_ID",
+    "AsyncReadinessRule",
     "Baseline",
     "Finding",
+    "GuardedEscapeRule",
+    "IntervalProverRule",
     "LintResult",
+    "LockOrderRule",
+    "PackageRule",
     "SanitizerReport",
     "WarpSanitizer",
+    "analyze_module",
+    "analyze_source",
+    "build_lock_model",
+    "certificate_doc",
     "env_enabled",
     "lint_file",
     "resolve_sanitizer",

@@ -13,6 +13,8 @@ from typing import List, Optional, Sequence
 
 from . import baseline as baseline_mod
 from . import engine, report
+from .absint import IntervalProverRule, certificate_doc
+from .locks import ALL_PACKAGE_RULES
 from .rules import ALL_RULES
 
 
@@ -64,6 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
              "(keeps existing justifications)",
     )
     parser.add_argument(
+        "--prove", action="store_true",
+        help="run the interval abstract interpreter over the kernel and "
+             "scoring modules, fail on unproven u8/i16 sites, and attach "
+             "the proof certificates to the report",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog and exit",
     )
@@ -76,9 +84,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _list_rules() -> str:
     lines = []
-    for rule in ALL_RULES:
+    for rule in list(ALL_RULES) + list(ALL_PACKAGE_RULES):
         lines.append(f"{rule.id}  {rule.title}")
         lines.append(f"      {rule.rationale}")
+    prover = IntervalProverRule()
+    lines.append(f"{prover.id} (--prove)  {prover.title}")
+    lines.append(f"      {prover.rationale}")
     return "\n".join(lines)
 
 
@@ -108,7 +119,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     paths: List[str] = list(args.paths) or ["src"]
-    result = engine.run(paths, root, baseline=baseline)
+    rules = tuple(ALL_RULES)
+    certificates = None
+    if args.prove:
+        rules = rules + (IntervalProverRule(),)
+        certificates = certificate_doc(root)
+    result = engine.run(paths, root, baseline=baseline, rules=rules)
 
     if args.update_baseline:
         fresh = baseline_mod.Baseline.from_findings(
@@ -126,9 +142,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     rendered = (
-        report.render_json(result)
+        report.render_json(result, certificates=certificates)
         if args.format == "json"
-        else report.render_text(result, verbose=args.verbose)
+        else report.render_text(
+            result, verbose=args.verbose, certificates=certificates
+        )
     )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .baseline import Baseline
+from .locks import ALL_PACKAGE_RULES, PackageRule
 from .rules import ALL_RULES, Finding, Rule
 
 _PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9, ]+)")
@@ -110,11 +111,19 @@ def run(
     root: str,
     baseline: Optional[Baseline] = None,
     rules: Sequence[Rule] = ALL_RULES,
+    package_rules: Sequence[PackageRule] = ALL_PACKAGE_RULES,
 ) -> LintResult:
-    """Lint all python files under *paths* (relative to *root*)."""
+    """Lint all python files under *paths* (relative to *root*).
+
+    Per-file *rules* run on each file in isolation; *package_rules*
+    (interprocedural passes such as the lock-order analyzer) run once
+    over every matching file together.  Both feed the same pragma and
+    baseline suppression layers.
+    """
     result = LintResult()
     baseline = baseline or Baseline()
     matched_keys: Set[str] = set()
+    pkg_sources: Dict[str, str] = {}
     for relpath in iter_python_files(paths, root):
         try:
             with open(os.path.join(root, relpath), "r", encoding="utf-8") as fh:
@@ -128,12 +137,41 @@ def run(
         if err:
             result.parse_errors.append(err)
             continue
+        if any(pr.applies_to(relpath) for pr in package_rules):
+            pkg_sources[relpath] = source
         for finding in findings:
             if baseline.contains(finding.key):
                 matched_keys.add(finding.key)
                 result.baselined.append(finding)
             else:
                 result.findings.append(finding)
+    if package_rules and pkg_sources:
+        pkg_files: Dict[str, Tuple[ast.Module, List[str]]] = {}
+        pkg_pragmas: Dict[str, Dict[int, Set[str]]] = {}
+        for relpath, source in pkg_sources.items():
+            # syntax errors were already reported by lint_file above
+            tree = ast.parse(source, filename=relpath)
+            lines = source.splitlines()
+            pkg_files[relpath] = (tree, lines)
+            pkg_pragmas[relpath] = parse_pragmas(lines)
+        for package_rule in package_rules:
+            scoped = {
+                p: v for p, v in pkg_files.items()
+                if package_rule.applies_to(p)
+            }
+            if not scoped:
+                continue
+            for finding in package_rule.check_package(scoped):
+                disabled = pkg_pragmas.get(finding.path, {}).get(
+                    finding.line, set()
+                )
+                if "ALL" in disabled or finding.rule in disabled:
+                    result.suppressed += 1
+                elif baseline.contains(finding.key):
+                    matched_keys.add(finding.key)
+                    result.baselined.append(finding)
+                else:
+                    result.findings.append(finding)
     result.unused_baseline = sorted(set(baseline.keys()) - matched_keys)
     result.findings.sort(key=lambda f: (f.path, f.line, f.rule))
     result.baselined.sort(key=lambda f: (f.path, f.line, f.rule))

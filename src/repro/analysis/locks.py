@@ -1,0 +1,650 @@
+"""Interprocedural lock-order and async-readiness analysis.
+
+The service plane (``src/repro/service/``) and the scan subsystem
+(``src/repro/scan/``) follow a documented synchronization protocol:
+``# guarded-by:`` attributes, one ``threading.RLock`` per component,
+and no blocking work while a lock is held.  ROADMAP item 3 evolves the
+run-to-completion core into a long-lived asyncio server, which turns
+those conventions into hard invariants: any lock-order cycle can
+deadlock the event loop's worker threads, and any syscall-blocking
+region under a lock stalls every coroutine sharing it.
+
+This module analyzes the two packages *as a whole* (package rules see
+every file at once, unlike per-file :class:`~repro.analysis.rules.Rule`
+checks) and enforces:
+
+``R006``
+    the lock-acquisition graph — an edge ``A -> B`` whenever lock B is
+    acquired (directly or through the intra-package call graph) while
+    lock A is held — must be acyclic.  Re-acquiring the *same* RLock
+    is reentrant and allowed; cycles between distinct locks are
+    reported with the witness acquisition chain.
+
+``R007``
+    no blocking primitive (``time.sleep``, ``os.fsync`` and the WAL
+    fsync helpers, ``subprocess``/``os.system``, or ``.join()`` /
+    ``.wait()`` / ``.get()`` / ``.put()`` on queue/event/thread-like
+    receivers) may execute while a lock is held, either directly or
+    through any intra-package call chain.
+
+``R004`` (escape variant)
+    a ``# guarded-by:`` attribute holding a mutable container must not
+    escape its owner via ``return self._attr`` or a trivially aliased
+    return — callers would mutate it outside the lock.  Returning a
+    copy (``list(self._attr)``, ``dict(self._attr)``, ``.copy()``) is
+    the sanctioned idiom and is not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .rules import LOCK_DIRS, Finding, LockDisciplineRule, _norm, dotted_name
+
+__all__ = [
+    "PackageRule",
+    "LockOrderRule",
+    "AsyncReadinessRule",
+    "GuardedEscapeRule",
+    "ALL_PACKAGE_RULES",
+    "build_lock_model",
+]
+
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+
+_BLOCKING_EXACT = {"time.sleep", "os.fsync", "os.system"}
+_BLOCKING_BARE = {"fsync_file", "fsync_dir"}
+_BLOCKING_METHODS = {"join", "wait", "get", "put", "acquire"}
+_BLOCKING_RECEIVER_HINTS = ("queue", "event", "cond", "thread", "proc", "future")
+
+_MUTABLE_FACTORIES = {"dict", "list", "set", "deque", "defaultdict", "OrderedDict"}
+
+
+def _is_lock_factory(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    name = dotted_name(node.func)
+    return name is not None and name.split(".")[-1] in _LOCK_FACTORIES
+
+
+def _field_lock_default(node: ast.expr) -> bool:
+    """``field(default_factory=threading.RLock)`` dataclass idiom."""
+    if not (isinstance(node, ast.Call) and dotted_name(node.func) is not None):
+        return False
+    if dotted_name(node.func).split(".")[-1] != "field":  # type: ignore[union-attr]
+        return False
+    for kw in node.keywords:
+        if kw.arg == "default_factory":
+            name = dotted_name(kw.value)
+            if name is not None and name.split(".")[-1] in _LOCK_FACTORIES:
+                return True
+    return False
+
+
+@dataclass
+class _FunctionInfo:
+    key: str  # "path::Class.method" / "path::func"
+    path: str
+    cls: Optional[str]
+    name: str
+    node: ast.FunctionDef
+    is_property: bool = False
+    # (line, lock) acquired with the locks already held at that point
+    acquisitions: List[Tuple[int, str, Tuple[str, ...]]] = field(default_factory=list)
+    # (line, callee display name, resolved callee key, held locks)
+    calls: List[Tuple[int, str, str, Tuple[str, ...]]] = field(default_factory=list)
+    # (line, primitive, held locks)
+    blocking: List[Tuple[int, str, Tuple[str, ...]]] = field(default_factory=list)
+
+
+@dataclass
+class LockModel:
+    """The package-wide lock world extracted from the ASTs."""
+
+    functions: Dict[str, _FunctionInfo] = field(default_factory=dict)
+    # class name -> set of lock attribute names
+    class_locks: Dict[str, Set[str]] = field(default_factory=dict)
+    # class name -> method name -> function key
+    class_methods: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    # method name -> keys across all classes (for unique-name resolution)
+    method_index: Dict[str, List[str]] = field(default_factory=dict)
+    # module path -> top-level function name -> key
+    module_functions: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    # lock graph: (held, acquired) -> witness (path, line, via)
+    edges: Dict[Tuple[str, str], Tuple[str, int, str]] = field(default_factory=dict)
+    # function key -> locks transitively acquired inside it
+    acq_star: Dict[str, Set[str]] = field(default_factory=dict)
+    # function key -> primitive -> (call chain, path, line of first hop)
+    block_star: Dict[str, Dict[str, Tuple[Tuple[str, ...], str, int]]] = field(
+        default_factory=dict
+    )
+
+
+def _blocking_primitive(call: ast.Call) -> Optional[str]:
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    if name in _BLOCKING_EXACT:
+        return name
+    parts = name.split(".")
+    tail = parts[-1]
+    if tail in _BLOCKING_BARE:
+        return tail
+    if parts[0] == "subprocess":
+        return name
+    if tail in _BLOCKING_METHODS and len(parts) > 1:
+        receiver = ".".join(parts[:-1]).lower()
+        # `self.clock.sleep` style virtual clocks are *not* receivers
+        # here — only `sleep` via the exact `time.sleep` name blocks
+        if any(hint in receiver for hint in _BLOCKING_RECEIVER_HINTS):
+            return f"{parts[-2]}.{tail}"
+    return None
+
+
+class _FunctionScanner:
+    """Single-function walk tracking the currently-held lock stack."""
+
+    def __init__(self, model: LockModel, info: _FunctionInfo) -> None:
+        self.model = model
+        self.info = info
+        self.locks = model.class_locks.get(info.cls or "", set())
+
+    def scan(self) -> None:
+        for stmt in self.info.node.body:
+            self._visit(stmt, ())
+
+    def _lock_of(self, ctx: ast.expr) -> Optional[str]:
+        node = ctx
+        if isinstance(node, ast.Call):
+            node = node.func
+        name = dotted_name(node)
+        if name is None or not name.startswith("self."):
+            return None
+        attr = name[len("self."):]
+        if "." in attr:
+            return None
+        if attr in self.locks:
+            return f"{self.info.cls}.{attr}"
+        return None
+
+    def _resolve_call(self, call: ast.Call) -> Optional[Tuple[str, str]]:
+        name = dotted_name(call.func)
+        if name is None:
+            return None
+        parts = name.split(".")
+        if parts[0] == "self" and len(parts) == 2 and self.info.cls is not None:
+            key = self.model.class_methods.get(self.info.cls, {}).get(parts[1])
+            if key is not None:
+                return name, key
+            return None
+        if len(parts) == 1:
+            local = self.model.module_functions.get(self.info.path, {})
+            if name in local:
+                return name, local[name]
+            candidates = [
+                fns[name]
+                for fns in self.model.module_functions.values()
+                if name in fns
+            ]
+            if len(candidates) == 1:
+                return name, candidates[0]
+            return None
+        # obj.method(...): resolve only when the method name is defined
+        # by exactly one class in the package (else too ambiguous)
+        tail = parts[-1]
+        keys = self.model.method_index.get(tail, [])
+        if len(keys) == 1:
+            return name, keys[0]
+        return None
+
+    def _property_edges(self, node: ast.expr, held: Tuple[str, ...]) -> None:
+        # reading `self.p` where p is a @property of this class runs
+        # the property body — a hidden call edge
+        if not (isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name)):
+            return
+        if node.value.id != "self" or self.info.cls is None:
+            return
+        key = self.model.class_methods.get(self.info.cls, {}).get(node.attr)
+        if key is None:
+            return
+        target = self.model.functions[key]
+        if target.is_property:
+            self.info.calls.append((node.lineno, f"self.{node.attr}", key, held))
+
+    def _visit(self, node: ast.AST, held: Tuple[str, ...]) -> None:
+        if isinstance(node, ast.With):
+            new_held = held
+            for item in node.items:
+                lock = self._lock_of(item.context_expr)
+                if lock is not None:
+                    self.info.acquisitions.append(
+                        (item.context_expr.lineno, lock, new_held)
+                    )
+                    new_held = new_held + (lock,)
+                else:
+                    self._visit(item.context_expr, held)
+            for stmt in node.body:
+                self._visit(stmt, new_held)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # nested callables may run later, outside the lock: scan
+            # their bodies with an empty held stack
+            body = node.body if not isinstance(node, ast.Lambda) else [node.body]
+            for sub in body:
+                if isinstance(sub, ast.stmt):
+                    self._visit(sub, ())
+                else:
+                    self._visit(sub, ())
+            return
+        if isinstance(node, ast.Call):
+            primitive = _blocking_primitive(node)
+            if primitive is not None:
+                self.info.blocking.append((node.lineno, primitive, held))
+            else:
+                resolved = self._resolve_call(node)
+                if resolved is not None:
+                    display, key = resolved
+                    self.info.calls.append((node.lineno, display, key, held))
+            for arg in node.args:
+                self._visit(arg, held)
+            for kw in node.keywords:
+                self._visit(kw.value, held)
+            if isinstance(node.func, ast.Attribute):
+                self._visit(node.func.value, held)
+            return
+        if isinstance(node, ast.Attribute):
+            self._property_edges(node, held)
+            self._visit(node.value, held)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, held)
+
+
+def build_lock_model(
+    files: Mapping[str, Tuple[ast.Module, Sequence[str]]]
+) -> LockModel:
+    """Extract locks, the call graph, and acquisition edges from *files*."""
+    model = LockModel()
+
+    # pass 1: classes, lock attributes, function index
+    for path in sorted(files):
+        tree, _lines = files[path]
+        model.module_functions.setdefault(path, {})
+        for node in tree.body:
+            if isinstance(node, ast.FunctionDef):
+                key = f"{path}::{node.name}"
+                model.functions[key] = _FunctionInfo(
+                    key=key, path=path, cls=None, name=node.name, node=node
+                )
+                model.module_functions[path][node.name] = key
+            elif isinstance(node, ast.ClassDef):
+                locks: Set[str] = set()
+                methods: Dict[str, str] = {}
+                for sub in node.body:
+                    if isinstance(sub, (ast.Assign, ast.AnnAssign)):
+                        value = (
+                            sub.value if isinstance(sub, (ast.Assign, ast.AnnAssign))
+                            else None
+                        )
+                        targets = (
+                            sub.targets
+                            if isinstance(sub, ast.Assign)
+                            else [sub.target]
+                        )
+                        for t in targets:
+                            if isinstance(t, ast.Name) and value is not None and (
+                                _is_lock_factory(value) or _field_lock_default(value)
+                            ):
+                                locks.add(t.id)
+                    if not isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        continue
+                    is_prop = any(
+                        dotted_name(d) in ("property", "cached_property",
+                                           "functools.cached_property")
+                        for d in sub.decorator_list
+                    )
+                    if isinstance(sub, ast.AsyncFunctionDef):
+                        continue
+                    key = f"{path}::{node.name}.{sub.name}"
+                    model.functions[key] = _FunctionInfo(
+                        key=key, path=path, cls=node.name, name=sub.name,
+                        node=sub, is_property=is_prop,
+                    )
+                    methods[sub.name] = key
+                    model.method_index.setdefault(sub.name, []).append(key)
+                    if sub.name in ("__init__", "__post_init__"):
+                        for inner in ast.walk(sub):
+                            if not isinstance(inner, ast.Assign):
+                                continue
+                            for t in inner.targets:
+                                nm = dotted_name(t)
+                                if (
+                                    nm is not None
+                                    and nm.startswith("self.")
+                                    and nm.count(".") == 1
+                                    and _is_lock_factory(inner.value)
+                                ):
+                                    locks.add(nm[len("self."):])
+                model.class_locks[node.name] = locks
+                model.class_methods[node.name] = methods
+
+    # pass 2: per-function lock/call/blocking scan
+    for info in model.functions.values():
+        _FunctionScanner(model, info).scan()
+
+    # pass 3: ACQ*/BLOCK* fixpoint over the call graph
+    for key, info in model.functions.items():
+        model.acq_star[key] = {lock for _, lock, _ in info.acquisitions}
+        model.block_star[key] = {
+            prim: ((info.key,), info.path, line)
+            for line, prim, _held in info.blocking
+        }
+    changed = True
+    guard = 0
+    while changed and guard < 64:
+        changed = False
+        guard += 1
+        for key, info in model.functions.items():
+            for line, _display, callee, _held in info.calls:
+                if callee == key:
+                    continue
+                callee_acq = model.acq_star.get(callee, set())
+                if not callee_acq <= model.acq_star[key]:
+                    model.acq_star[key] |= callee_acq
+                    changed = True
+                for prim, (chain, _p, _l) in model.block_star.get(callee, {}).items():
+                    if prim not in model.block_star[key]:
+                        model.block_star[key][prim] = (
+                            (info.key,) + chain, info.path, line
+                        )
+                        changed = True
+
+    # pass 4: acquisition edges (direct nesting + transitive via calls)
+    for info in model.functions.values():
+        for line, lock, held in info.acquisitions:
+            for h in held:
+                model.edges.setdefault(
+                    (h, lock), (info.path, line, info.key)
+                )
+        for line, _display, callee, held in info.calls:
+            if not held:
+                continue
+            for lock in model.acq_star.get(callee, set()):
+                for h in held:
+                    model.edges.setdefault(
+                        (h, lock), (info.path, line, f"{info.key} -> {callee}")
+                    )
+    return model
+
+
+def _strongly_connected(edges: Set[Tuple[str, str]]) -> List[List[str]]:
+    """Tarjan SCC over the lock graph (self-edges excluded upstream)."""
+    graph: Dict[str, List[str]] = {}
+    for a, b in edges:
+        graph.setdefault(a, []).append(b)
+        graph.setdefault(b, [])
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[List[str]] = []
+    counter = [0]
+
+    def strongconnect(v: str) -> None:
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        for w in graph[v]:
+            if w not in index:
+                strongconnect(w)
+                low[v] = min(low[v], low[w])
+            elif w in on_stack:
+                low[v] = min(low[v], index[w])
+        if low[v] == index[v]:
+            comp = []
+            while True:
+                w = stack.pop()
+                on_stack.discard(w)
+                comp.append(w)
+                if w == v:
+                    break
+            sccs.append(comp)
+
+    for v in sorted(graph):
+        if v not in index:
+            strongconnect(v)
+    return [sorted(c) for c in sccs if len(c) > 1]
+
+
+class PackageRule:
+    """A rule that analyzes a set of files together.
+
+    Unlike :class:`repro.analysis.rules.Rule` (one file at a time),
+    ``check_package`` receives every matching file's parsed tree and
+    source lines in one call, enabling interprocedural analysis.
+    """
+
+    id: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def applies_to(self, path: str) -> bool:
+        return _norm(path).startswith(LOCK_DIRS)
+
+    def check_package(
+        self, files: Mapping[str, Tuple[ast.Module, Sequence[str]]]
+    ) -> List[Finding]:
+        raise NotImplementedError
+
+
+class LockOrderRule(PackageRule):
+    id = "R006"
+    title = "lock-order cycle (deadlock potential)"
+    rationale = (
+        "Two threads acquiring the same pair of locks in opposite order "
+        "deadlock; the asyncio server refactor multiplies the number of "
+        "concurrent acquirers, so the acquisition graph must be acyclic."
+    )
+
+    def check_package(self, files):
+        model = build_lock_model(files)
+        proper_edges = {
+            (a, b) for (a, b) in model.edges if a != b  # RLock reentrancy OK
+        }
+        findings: List[Finding] = []
+        for comp in _strongly_connected(proper_edges):
+            witnesses = sorted(
+                (a, b, model.edges[(a, b)])
+                for (a, b) in proper_edges
+                if a in comp and b in comp
+            )
+            path, line, via = witnesses[0][2]
+            detail = "; ".join(
+                f"{a} -> {b} (via {w[2]})" for a, b, w in witnesses
+            )
+            findings.append(
+                Finding(
+                    self.id, path, line,
+                    "cycle:" + "+".join(comp),
+                    f"lock-order cycle between {', '.join(comp)}: {detail} "
+                    "— acquire these locks in one global order or merge them",
+                )
+            )
+        return findings
+
+
+class AsyncReadinessRule(PackageRule):
+    id = "R007"
+    title = "blocking call while holding a lock"
+    rationale = (
+        "fsync/sleep/subprocess/queue waits under a lock serialize every "
+        "thread sharing it and will stall the future asyncio event loop; "
+        "do the blocking work outside the critical section."
+    )
+
+    def check_package(self, files):
+        model = build_lock_model(files)
+        findings: List[Finding] = []
+        seen: Set[str] = set()
+        for info in model.functions.values():
+            qual = info.key.split("::", 1)[1]
+            for line, prim, held in info.blocking:
+                if not held:
+                    continue
+                symbol = f"async:{qual}:{prim}"
+                if symbol in seen:
+                    continue
+                seen.add(symbol)
+                findings.append(
+                    Finding(
+                        self.id, info.path, line, symbol,
+                        f"{prim} called while holding {', '.join(held)} in "
+                        f"{qual}() — move the blocking call outside the lock",
+                    )
+                )
+            for line, display, callee, held in info.calls:
+                if not held:
+                    continue
+                for prim, (chain, _p, _l) in model.block_star.get(callee, {}).items():
+                    symbol = f"async:{qual}:{display}:{prim}"
+                    if symbol in seen:
+                        continue
+                    seen.add(symbol)
+                    hops = " -> ".join(
+                        k.split("::", 1)[1] for k in (info.key,) + chain
+                    )
+                    findings.append(
+                        Finding(
+                            self.id, info.path, line, symbol,
+                            f"{display}() reaches {prim} while {qual}() holds "
+                            f"{', '.join(held)} (chain: {hops} -> {prim}) — "
+                            "move the blocking call outside the lock",
+                        )
+                    )
+        findings.sort(key=lambda f: (f.path, f.line, f.symbol))
+        return findings
+
+
+class GuardedEscapeRule(PackageRule):
+    """``# guarded-by:`` mutable state must not escape via returns.
+
+    Reported under the existing R004 lock-discipline id: an escaping
+    reference lets callers mutate guarded state outside the lock, the
+    exact hazard the per-file access check cannot see.
+    """
+
+    id = "R004"
+    title = "guarded mutable attribute escapes its owner"
+    rationale = LockDisciplineRule.rationale
+
+    def check_package(self, files):
+        findings: List[Finding] = []
+        for path in sorted(files):
+            tree, lines = files[path]
+            for cls in tree.body:
+                if not isinstance(cls, ast.ClassDef):
+                    continue
+                guarded = LockDisciplineRule._guarded_attrs(cls, lines)
+                if not guarded:
+                    continue
+                mutable = self._mutable_attrs(cls)
+                targets = set(guarded) & mutable
+                if not targets:
+                    continue
+                for fn in cls.body:
+                    if not isinstance(fn, ast.FunctionDef):
+                        continue
+                    findings.extend(
+                        self._check_returns(path, cls.name, fn, targets)
+                    )
+        return findings
+
+    @staticmethod
+    def _mutable_attrs(cls: ast.ClassDef) -> Set[str]:
+        mutable: Set[str] = set()
+        for node in cls.body:
+            if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                value = node.value
+                if isinstance(value, ast.Call):
+                    name = dotted_name(value.func)
+                    if name is not None and name.split(".")[-1] == "field":
+                        for kw in value.keywords:
+                            if kw.arg == "default_factory":
+                                fac = dotted_name(kw.value)
+                                if fac is not None and (
+                                    fac.split(".")[-1] in _MUTABLE_FACTORIES
+                                ):
+                                    mutable.add(node.target.id)
+            if not isinstance(node, ast.FunctionDef):
+                continue
+            if node.name not in ("__init__", "__post_init__"):
+                continue
+            for inner in ast.walk(node):
+                if not isinstance(inner, ast.Assign):
+                    continue
+                value = inner.value
+                is_mutable = isinstance(value, (ast.Dict, ast.List, ast.Set)) or (
+                    isinstance(value, ast.Call)
+                    and dotted_name(value.func) is not None
+                    and dotted_name(value.func).split(".")[-1]  # type: ignore[union-attr]
+                    in _MUTABLE_FACTORIES
+                )
+                if not is_mutable:
+                    continue
+                for t in inner.targets:
+                    nm = dotted_name(t)
+                    if nm is not None and nm.startswith("self.") and nm.count(".") == 1:
+                        mutable.add(nm[len("self."):])
+        return mutable
+
+    def _check_returns(
+        self, path: str, cls_name: str, fn: ast.FunctionDef, targets: Set[str]
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                tgt = node.targets[0]
+                src = dotted_name(node.value)
+                if (
+                    isinstance(tgt, ast.Name)
+                    and src is not None
+                    and src.startswith("self.")
+                    and src[len("self."):] in targets
+                ):
+                    aliases[tgt.id] = src[len("self."):]
+                elif isinstance(tgt, ast.Name):
+                    aliases.pop(tgt.id, None)
+            if not (isinstance(node, ast.Return) and node.value is not None):
+                continue
+            attr: Optional[str] = None
+            src = dotted_name(node.value)
+            if src is not None and src.startswith("self."):
+                cand = src[len("self."):]
+                if cand in targets:
+                    attr = cand
+            elif isinstance(node.value, ast.Name):
+                attr = aliases.get(node.value.id)
+            if attr is None:
+                continue
+            findings.append(
+                Finding(
+                    self.id, path, node.lineno,
+                    f"escape:{cls_name}.{fn.name}:{attr}",
+                    f"guarded mutable attribute self.{attr} escapes "
+                    f"{cls_name}.{fn.name}() by reference — return a copy "
+                    "(list(...)/dict(...)) so callers cannot mutate it "
+                    "outside the lock",
+                )
+            )
+        return findings
+
+
+ALL_PACKAGE_RULES: Tuple[PackageRule, ...] = (
+    LockOrderRule(),
+    AsyncReadinessRule(),
+    GuardedEscapeRule(),
+)

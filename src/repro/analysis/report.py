@@ -3,13 +3,32 @@
 from __future__ import annotations
 
 import json
-from typing import Dict, List
+from typing import Dict, List, Mapping, Optional
 
 from .engine import LintResult
+from .locks import ALL_PACKAGE_RULES
 from .rules import RULES_BY_ID
 
 
-def render_text(result: LintResult, verbose: bool = False) -> str:
+def _rule_catalog() -> Dict[str, object]:
+    """Per-file rules plus the interprocedural package rules."""
+    catalog: Dict[str, object] = {
+        rid: {"title": rule.title, "rationale": rule.rationale}
+        for rid, rule in RULES_BY_ID.items()
+    }
+    for package_rule in ALL_PACKAGE_RULES:
+        catalog.setdefault(
+            package_rule.id,
+            {"title": package_rule.title, "rationale": package_rule.rationale},
+        )
+    return dict(sorted(catalog.items()))
+
+
+def render_text(
+    result: LintResult,
+    verbose: bool = False,
+    certificates: Optional[Mapping[str, object]] = None,
+) -> str:
     """Human-readable report, one finding per line, gcc-style."""
     out: List[str] = []
     for f in result.findings:
@@ -23,8 +42,23 @@ def render_text(result: LintResult, verbose: bool = False) -> str:
         out.append(f"warning: stale baseline entry (no longer matches): {stale}")
     for err in result.parse_errors:
         out.append(f"error: {err}")
+    if certificates is not None:
+        out.append("")
+        status = "PROVEN" if certificates.get("proven") else "UNPROVEN"
+        out.append(
+            f"repro-prove: {status} — {certificates.get('sites', 0)} "
+            f"obligation site(s) across "
+            f"{len(certificates.get('targets', []))} module(s), "  # type: ignore[arg-type]
+            f"{certificates.get('unproven', 0)} unproven"
+        )
+        if verbose:
+            for target in certificates.get("targets", []):  # type: ignore[union-attr]
+                out.append(
+                    f"  {target['path']}: {target['sites']} site(s), "
+                    f"{target['unproven']} unproven"
+                )
     out.append("")
-    rules = ", ".join(sorted(RULES_BY_ID))
+    rules = ", ".join(_rule_catalog())
     status = "OK" if result.ok else "FAIL"
     out.append(
         f"repro-lint: {status} — {result.files_checked} files, "
@@ -35,7 +69,10 @@ def render_text(result: LintResult, verbose: bool = False) -> str:
     return "\n".join(out)
 
 
-def render_json(result: LintResult) -> str:
+def render_json(
+    result: LintResult,
+    certificates: Optional[Mapping[str, object]] = None,
+) -> str:
     """Machine-readable report for the CI artifact."""
 
     def encode(f) -> Dict[str, object]:
@@ -57,9 +94,8 @@ def render_json(result: LintResult) -> str:
         "baselined": [encode(f) for f in result.baselined],
         "unused_baseline": result.unused_baseline,
         "parse_errors": result.parse_errors,
-        "rules": {
-            rid: {"title": rule.title, "rationale": rule.rationale}
-            for rid, rule in sorted(RULES_BY_ID.items())
-        },
+        "rules": _rule_catalog(),
     }
+    if certificates is not None:
+        doc["certificates"] = certificates
     return json.dumps(doc, indent=2) + "\n"

@@ -274,11 +274,14 @@ class OverflowDisciplineRule(Rule):
     # -- sub-check (a): np.clip with saturation bounds -----------------
     def _clip_findings(self, tree, path):
         out: List[Finding] = []
+        certified = self._certified_clip_lines(tree, path)
         for node in ast.walk(tree):
             if not isinstance(node, ast.Call):
                 continue
             name = dotted_name(node.func)
             if name not in ("np.clip", "numpy.clip"):
+                continue
+            if node.lineno in certified:
                 continue
             if any(self._is_sat_bound(a) for a in node.args[1:]):
                 out.append(
@@ -290,6 +293,23 @@ class OverflowDisciplineRule(Rule):
                     )
                 )
         return out
+
+    @staticmethod
+    def _certified_clip_lines(tree, path):
+        """Encode-step clips the interval prover certifies in-range.
+
+        The quantizer construction clips (profile encode) are the
+        sanctioned boundary where float scores *enter* the narrow
+        systems; the prover checks their bounds semantically, so the
+        syntactic ban does not apply.  Failure of the prover keeps the
+        finding (fail-safe: an empty set changes nothing).
+        """
+        try:
+            from .absint import certified_clip_lines
+
+            return certified_clip_lines(tree, path)
+        except Exception:
+            return frozenset()
 
     @staticmethod
     def _is_sat_bound(node: ast.AST) -> bool:

@@ -412,7 +412,10 @@ def viterbi_batched_kernel(
             start = np.maximum(Mv.astype(np.int64) + tmd, VF_WORD_MIN)
             h = np.maximum.accumulate(start - c_tail, axis=-1)
             Dv = np.full((p, M), VF_WORD_MIN, dtype=np.int64)
-            Dv[:, 1:] = np.maximum(c_body + h[:, :-1], VF_WORD_MIN)
+            # clip_i16 == np.maximum(., VF_WORD_MIN) here: every tdd
+            # cost is <= 0, so c_body + h never exceeds the i16 ceiling;
+            # the explicit ceiling makes the word range locally provable
+            Dv[:, 1:] = clip_i16(c_body + h[:, :-1])
             Mp_s[:, 1:] = Mv
             Ip_s[:, 1:] = Iv
             Dp_s[:, 1:] = Dv

@@ -1,0 +1,310 @@
+"""Lock-order and async-readiness analysis: cycle detection, blocking
+calls under a lock, guarded-state escapes, package-rule plumbing, and
+the acceptance pin that the real service plane is clean."""
+
+import ast
+import os
+import textwrap
+
+import pytest
+
+from repro.analysis import run
+from repro.analysis.baseline import Baseline
+from repro.analysis.locks import (
+    ALL_PACKAGE_RULES,
+    AsyncReadinessRule,
+    GuardedEscapeRule,
+    LockOrderRule,
+    build_lock_model,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def _files(sources):
+    """{relpath: source} -> the Mapping check_package expects."""
+    return {
+        path: (ast.parse(textwrap.dedent(src)), textwrap.dedent(src).splitlines())
+        for path, src in sources.items()
+    }
+
+
+_CYCLE = {
+    "src/repro/service/fx_cycle.py": """
+        import threading
+
+
+        class A:
+            def __init__(self, other):
+                self._lock = threading.Lock()
+                self.other = other
+
+            def one(self):
+                with self._lock:
+                    self.other.two()
+
+
+        class B:
+            def __init__(self, other):
+                self._lock = threading.Lock()
+                self.other = other
+
+            def two(self):
+                with self._lock:
+                    self.other.one()
+        """
+}
+
+_WRITER = {
+    "src/repro/service/fx_writer.py": """
+        import os
+        import threading
+        import time
+
+
+        class Writer:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.fh = None
+
+            def flush(self):
+                with self._lock:
+                    time.sleep(0.1)
+                    self._sync()
+
+            def _sync(self):
+                os.fsync(self.fh.fileno())
+        """
+}
+
+
+class TestLockOrder:
+    def test_two_lock_cycle_detected(self):
+        findings = LockOrderRule().check_package(_files(_CYCLE))
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.rule == "R006"
+        assert f.symbol == "cycle:A._lock+B._lock"
+        assert "A._lock" in f.message and "B._lock" in f.message
+
+    def test_consistent_order_is_clean(self):
+        ordered = {
+            "src/repro/service/fx_ordered.py": """
+                import threading
+
+
+                class A:
+                    def __init__(self, other):
+                        self._lock = threading.Lock()
+                        self.other = other
+
+                    def one(self):
+                        with self._lock:
+                            self.other.two()
+
+
+                class B:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+
+                    def two(self):
+                        with self._lock:
+                            pass
+                """
+        }
+        assert LockOrderRule().check_package(_files(ordered)) == []
+
+    def test_reentrant_self_acquisition_not_a_cycle(self):
+        """An RLock-guarded method calling another method of the same
+        class re-enters the same lock; that is not a lock-order cycle."""
+        reentrant = {
+            "src/repro/service/fx_reentrant.py": """
+                import threading
+
+
+                class C:
+                    def __init__(self):
+                        self._lock = threading.RLock()
+                        self.n = 0
+
+                    def outer(self):
+                        with self._lock:
+                            self.inner()
+
+                    def inner(self):
+                        with self._lock:
+                            self.n += 1
+                """
+        }
+        assert LockOrderRule().check_package(_files(reentrant)) == []
+
+
+class TestAsyncReadiness:
+    def test_direct_and_transitive_blocking_flagged(self):
+        findings = AsyncReadinessRule().check_package(_files(_WRITER))
+        symbols = {f.symbol for f in findings}
+        assert "async:Writer.flush:time.sleep" in symbols
+        assert "async:Writer.flush:self._sync:os.fsync" in symbols
+        assert all(f.rule == "R007" for f in findings)
+
+    def test_virtual_clock_sleep_not_flagged(self):
+        """self.clock.sleep() is the injectable VirtualClock, not
+        time.sleep; it must not trip R007."""
+        src = {
+            "src/repro/service/fx_clock.py": """
+                import threading
+
+
+                class Poller:
+                    def __init__(self, clock):
+                        self._lock = threading.Lock()
+                        self.clock = clock
+
+                    def tick(self):
+                        with self._lock:
+                            self.clock.sleep(0.1)
+                """
+        }
+        assert AsyncReadinessRule().check_package(_files(src)) == []
+
+    def test_str_join_not_flagged(self):
+        src = {
+            "src/repro/service/fx_join.py": """
+                import threading
+
+
+                class Render:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.parts = []
+
+                    def line(self):
+                        with self._lock:
+                            return ", ".join(self.parts)
+                """
+        }
+        assert AsyncReadinessRule().check_package(_files(src)) == []
+
+    def test_blocking_outside_lock_is_fine(self):
+        src = {
+            "src/repro/service/fx_outside.py": """
+                import threading
+                import time
+
+
+                class Poller:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self.n = 0
+
+                    def tick(self):
+                        time.sleep(0.1)
+                        with self._lock:
+                            self.n += 1
+                """
+        }
+        assert AsyncReadinessRule().check_package(_files(src)) == []
+
+
+class TestGuardedEscape:
+    _ESCAPE = {
+        "src/repro/service/fx_escape.py": """
+            import threading
+
+
+            class Registry:
+                # guarded-by: _lock
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {{}}  # guarded-by: _lock
+
+                def snapshot(self):
+                    with self._lock:
+                        return {ret}
+            """
+    }
+
+    def _with_return(self, ret):
+        files = {
+            path: src.format(ret=ret) for path, src in self._ESCAPE.items()
+        }
+        return _files(files)
+
+    def test_returning_guarded_dict_flagged(self):
+        findings = GuardedEscapeRule().check_package(
+            self._with_return("self._items")
+        )
+        assert len(findings) == 1
+        assert findings[0].symbol == "escape:Registry.snapshot:_items"
+
+    def test_returning_copy_is_clean(self):
+        findings = GuardedEscapeRule().check_package(
+            self._with_return("dict(self._items)")
+        )
+        assert findings == []
+
+
+class TestRealTreeClean:
+    """Acceptance pin: the shipped service plane has an acyclic lock
+    graph, no blocking calls under a lock, and no guarded escapes."""
+
+    def _real_files(self):
+        files = {}
+        for pkg in ("src/repro/service", "src/repro/scan"):
+            for name in sorted(os.listdir(os.path.join(REPO_ROOT, pkg))):
+                if not name.endswith(".py"):
+                    continue
+                rel = f"{pkg}/{name}"
+                with open(os.path.join(REPO_ROOT, rel), encoding="utf-8") as fh:
+                    src = fh.read()
+                files[rel] = (ast.parse(src), src.splitlines())
+        return files
+
+    def test_model_finds_the_locks(self):
+        model = build_lock_model(self._real_files())
+        lock_classes = {cls for cls, locks in model.class_locks.items() if locks}
+        assert {"JobQueue", "AdmissionController", "LibraryCatalog"} <= lock_classes
+
+    @pytest.mark.parametrize("rule", ALL_PACKAGE_RULES, ids=lambda r: r.id)
+    def test_service_plane_clean(self, rule):
+        findings = rule.check_package(self._real_files())
+        assert findings == [], [f.key for f in findings]
+
+
+class TestEnginePlumbing:
+    def _write_tree(self, tmp_path, files):
+        for rel, source in files.items():
+            p = tmp_path / rel
+            p.parent.mkdir(parents=True, exist_ok=True)
+            p.write_text(textwrap.dedent(source))
+        (tmp_path / "pyproject.toml").write_text("[project]\nname='x'\n")
+        return str(tmp_path)
+
+    def test_run_surfaces_package_findings(self, tmp_path):
+        root = self._write_tree(tmp_path, _CYCLE)
+        result = run(["src"], root, baseline=Baseline())
+        assert [f.rule for f in result.findings if f.rule == "R006"]
+        assert not result.ok
+
+    def test_pragma_suppresses_package_finding(self, tmp_path):
+        files = {
+            path: src.replace(
+                "self.other.two()",
+                "self.other.two()  # repro-lint: disable=R006",
+            )
+            for path, src in _CYCLE.items()
+        }
+        root = self._write_tree(tmp_path, files)
+        result = run(["src"], root, baseline=Baseline())
+        assert not [f for f in result.findings if f.rule == "R006"]
+        assert result.suppressed >= 1
+
+    def test_files_outside_lock_dirs_ignored(self, tmp_path):
+        files = {
+            "src/repro/kernels/fx_cycle.py": _CYCLE[
+                "src/repro/service/fx_cycle.py"
+            ]
+        }
+        root = self._write_tree(tmp_path, files)
+        result = run(["src"], root, baseline=Baseline())
+        assert not [f for f in result.findings if f.rule in ("R006", "R007")]

@@ -227,3 +227,36 @@ class TestSanitizer:
         assert c.sanitizer is not None
         assert c.sanitizer.clean
         assert c.bank_conflict_extra == 0
+
+    @pytest.mark.parametrize("kernel_idx", [0, 1])
+    def test_sanitizer_clean_mixed_length_buckets(self, kernel_idx, rng):
+        """Wildly mixed lengths force several packing buckets with
+        partially filled warps; the shared-memory model must stay
+        conflict-, hazard- and garbage-free in every one of them."""
+        mp, vp = _profiles(45, seed=4)
+        prof, batched = ((mp, msv_batched_kernel),
+                         (vp, viterbi_batched_kernel))[kernel_idx]
+        lengths = [0, 1, 2, 7, 8, 9, 60, 61, 63, 64, 65, 240, 241, 400]
+        batch = _padded_batch(lengths, rng)
+        c = KernelCounters()
+        batched(prof, batch, counters=c, sanitize=True)
+        assert c.sanitizer is not None
+        assert c.sanitizer.clean
+        assert c.bank_conflict_extra == 0
+
+    @pytest.mark.parametrize("kernel_idx", [0, 1])
+    def test_sanitizer_clean_across_retirement(self, kernel_idx, rng):
+        """Lane retirement (overflowed homologs latching mid-kernel)
+        must not leak lane garbage into live lanes' shared traffic."""
+        hmm = sample_hmm(70, rng)
+        sp = SearchProfile(hmm, L=110)
+        prof = (MSVByteProfile.from_profile(sp),
+                ViterbiWordProfile.from_profile(sp))[kernel_idx]
+        batched = (msv_batched_kernel, viterbi_batched_kernel)[kernel_idx]
+        db = homolog_database(50, 110, rng, hmm=hmm, homolog_fraction=0.6)
+        c = KernelCounters()
+        result = batched(prof, db, counters=c, sanitize=True)
+        assert result.overflowed.any()  # retirement actually happened
+        assert c.sanitizer is not None
+        assert c.sanitizer.clean
+        assert c.bank_conflict_extra == 0
